@@ -1,0 +1,163 @@
+//! **vNPU** — topology-aware virtualization for inter-core connected NPUs.
+//!
+//! This crate is the reproduction of the ISCA'25 paper's contribution: it
+//! layers virtual NPUs — each with its own *virtual topology*, guest memory
+//! space and bandwidth budget — on top of the physical machine modelled by
+//! [`vnpu_sim`], using three mechanisms:
+//!
+//! * **vRouter** ([`routing_table`], [`vrouter`]) — routing tables mapping
+//!   virtual core IDs to physical ones, in either the standard per-entry
+//!   organization or the compact base-plus-shape form for regular meshes;
+//!   an instruction router in the NPU controller; and a per-core NoC
+//!   router that rewrites destinations and can confine packets to the
+//!   virtual topology with per-hop direction overrides (*NoC
+//!   non-interference*).
+//! * **vChunk** ([`vchunk`], [`meta`]) — per-core range translation over
+//!   the hypervisor's buddy-allocated HBM blocks, plus access counters and
+//!   bandwidth caps; meta-tables live in the SRAM *meta-zone* written only
+//!   by the hyper-mode controller.
+//! * **Topology mapping** ([`hypervisor`]) — virtual-NPU core allocation
+//!   by exact match, zig-zag, or minimum topology edit distance
+//!   (re-exported from [`vnpu_topo::mapping`]).
+//!
+//! The comparative systems of §6 are here too: [`mig`] (fixed-partition
+//! MIG-style NPU with TDM fallback) and [`uvm`] (unified-virtual-memory
+//! NPUs without interconnect virtualization), plus the [`hwcost`] model
+//! reproducing the Figure 19 FPGA resource analysis.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vnpu::hypervisor::Hypervisor;
+//! use vnpu::VnpuRequest;
+//! use vnpu_sim::SocConfig;
+//!
+//! # fn main() -> Result<(), vnpu::VnpuError> {
+//! let mut hv = Hypervisor::new(SocConfig::sim());
+//! let vm = hv.create_vnpu(VnpuRequest::mesh(2, 2).mem_bytes(64 << 20))?;
+//! let vnpu = hv.vnpu(vm)?;
+//! assert_eq!(vnpu.core_count(), 4);
+//! assert_eq!(vnpu.mapping().edit_distance(), 0); // empty chip: exact match
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hwcost;
+pub mod hypervisor;
+pub mod meta;
+pub mod mig;
+pub mod mmio;
+pub mod routing_table;
+pub mod uvm;
+pub mod vchunk;
+pub mod vnpu;
+pub mod vrouter;
+
+mod ids;
+
+pub use hypervisor::Hypervisor;
+pub use ids::{PhysCoreId, VirtCoreId, VmId};
+pub use routing_table::RoutingTable;
+pub use vnpu::{VirtualNpu, VnpuRequest};
+pub use vrouter::VRouterNoc;
+
+use std::fmt;
+use vnpu_mem::MemError;
+use vnpu_sim::SimError;
+use vnpu_topo::TopoError;
+
+/// Errors produced by the virtualization layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VnpuError {
+    /// Core allocation failed (insufficient or unsatisfiable topology).
+    Mapping(TopoError),
+    /// Guest memory allocation or table construction failed.
+    Memory(MemError),
+    /// The underlying simulation rejected a binding or run.
+    Sim(SimError),
+    /// Referenced virtual NPU does not exist.
+    UnknownVm(VmId),
+    /// A virtual core ID outside the virtual NPU was referenced.
+    VirtCoreOutOfRange {
+        /// The offending virtual core.
+        vcore: VirtCoreId,
+        /// Cores in the virtual NPU.
+        count: u32,
+    },
+    /// The request asked for zero cores or zero memory.
+    EmptyRequest,
+    /// Meta-tables exceed the SRAM meta-zone budget.
+    MetaZoneOverflow {
+        /// Bytes required.
+        required: u64,
+        /// Bytes available.
+        capacity: u64,
+    },
+    /// No MIG partition is free.
+    NoPartition,
+    /// An MMIO access violated the PF/VF protection rules (§5.1).
+    MmioDenied {
+        /// The requesting VM.
+        vm: VmId,
+        /// Offended register offset.
+        offset: u64,
+    },
+}
+
+impl fmt::Display for VnpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VnpuError::Mapping(e) => write!(f, "core mapping failed: {e}"),
+            VnpuError::Memory(e) => write!(f, "memory virtualization failed: {e}"),
+            VnpuError::Sim(e) => write!(f, "simulation error: {e}"),
+            VnpuError::UnknownVm(vm) => write!(f, "unknown virtual NPU {vm}"),
+            VnpuError::VirtCoreOutOfRange { vcore, count } => {
+                write!(f, "virtual core {vcore} out of range ({count} cores)")
+            }
+            VnpuError::EmptyRequest => write!(f, "request must ask for at least one core and byte"),
+            VnpuError::MetaZoneOverflow { required, capacity } => {
+                write!(f, "meta-zone overflow: need {required} bytes, have {capacity}")
+            }
+            VnpuError::NoPartition => write!(f, "no free MIG partition"),
+            VnpuError::MmioDenied { vm, offset } => {
+                write!(f, "{vm} denied MMIO access at offset {offset:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VnpuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VnpuError::Mapping(e) => Some(e),
+            VnpuError::Memory(e) => Some(e),
+            VnpuError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopoError> for VnpuError {
+    fn from(e: TopoError) -> Self {
+        VnpuError::Mapping(e)
+    }
+}
+
+impl From<MemError> for VnpuError {
+    fn from(e: MemError) -> Self {
+        VnpuError::Memory(e)
+    }
+}
+
+impl From<SimError> for VnpuError {
+    fn from(e: SimError) -> Self {
+        VnpuError::Sim(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, VnpuError>;

@@ -1,0 +1,382 @@
+//! Page-based translation: the conventional fixed-size-page design the
+//! paper argues is a poor fit for NPU DMA bursts (§4.2), evaluated as the
+//! "IOTLB-4" and "IOTLB-32" baselines of Figure 14.
+//!
+//! A DMA chunk access walks every page it touches; each page lookup either
+//! hits the small LRU IOTLB or pays a full page-table walk, and a miss
+//! stalls the whole DMA queue behind it.
+
+use crate::translate::{Translate, TranslateStats, Translation, TranslationCosts};
+use crate::{MemError, Perm, PhysAddr, Result, VirtAddr};
+use std::collections::BTreeMap;
+
+/// A flat (single-level, map-backed) page table with fixed-size pages.
+///
+/// The walk latency of a real multi-level table is modelled by
+/// [`TranslationCosts::page_walk`] rather than by structural levels.
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    page_size: u64,
+    map: BTreeMap<u64, (u64, Perm)>, // vpn -> (pfn, perm)
+}
+
+impl PageTable {
+    /// Creates an empty page table with the given page size (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is not a power of two.
+    pub fn new(page_size: u64) -> Self {
+        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        PageTable {
+            page_size,
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Number of mapped pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table maps no pages.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maps the virtual range `[va, va + len)` to consecutive physical
+    /// pages starting at `pa`. Both addresses must be page-aligned; `len`
+    /// is rounded up to whole pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidRange`] if either address is unaligned or
+    /// the range overlaps an existing mapping.
+    pub fn map_range(&mut self, va: VirtAddr, pa: PhysAddr, len: u64, perm: Perm) -> Result<()> {
+        if va.value() % self.page_size != 0 || pa.value() % self.page_size != 0 || len == 0 {
+            return Err(MemError::InvalidRange { va });
+        }
+        let pages = len.div_ceil(self.page_size);
+        let vpn0 = va.value() / self.page_size;
+        let pfn0 = pa.value() / self.page_size;
+        for i in 0..pages {
+            if self.map.contains_key(&(vpn0 + i)) {
+                return Err(MemError::InvalidRange { va });
+            }
+        }
+        for i in 0..pages {
+            self.map.insert(vpn0 + i, (pfn0 + i, perm));
+        }
+        Ok(())
+    }
+
+    /// Looks up the page containing `va`.
+    pub fn lookup(&self, va: VirtAddr) -> Option<(PhysAddr, Perm)> {
+        let vpn = va.value() / self.page_size;
+        self.map.get(&vpn).map(|&(pfn, perm)| {
+            let off = va.value() % self.page_size;
+            (PhysAddr(pfn * self.page_size + off), perm)
+        })
+    }
+}
+
+/// A small fully-associative LRU TLB over page translations (the IOTLB of
+/// Figure 14; each entry caches one page).
+#[derive(Debug, Clone)]
+pub struct PageTlb {
+    capacity: usize,
+    /// (vpn, pfn, perm, last-use tick), linear scan — capacities are 4–32.
+    entries: Vec<(u64, u64, Perm, u64)>,
+    tick: u64,
+}
+
+impl PageTlb {
+    /// Creates a TLB with the given number of entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB capacity must be positive");
+        PageTlb {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            tick: 0,
+        }
+    }
+
+    /// Number of entries the TLB can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up a virtual page number; refreshes LRU state on hit.
+    pub fn lookup(&mut self, vpn: u64) -> Option<(u64, Perm)> {
+        self.tick += 1;
+        let tick = self.tick;
+        for e in &mut self.entries {
+            if e.0 == vpn {
+                e.3 = tick;
+                return Some((e.1, e.2));
+            }
+        }
+        None
+    }
+
+    /// Inserts a translation, evicting the least-recently-used entry when
+    /// full.
+    pub fn insert(&mut self, vpn: u64, pfn: u64, perm: Perm) {
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == vpn) {
+            *e = (vpn, pfn, perm, self.tick);
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.3)
+                .map(|(i, _)| i)
+                .expect("TLB non-empty when full");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((vpn, pfn, perm, self.tick));
+    }
+
+    /// Drops all entries.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Page-table translation with an IOTLB and a walk cost model.
+#[derive(Debug, Clone)]
+pub struct PageTranslator {
+    table: PageTable,
+    tlb: PageTlb,
+    costs: TranslationCosts,
+    stats: TranslateStats,
+}
+
+impl PageTranslator {
+    /// Wraps a populated page table with a TLB of `tlb_entries` entries.
+    pub fn new(table: PageTable, tlb_entries: usize, costs: TranslationCosts) -> Self {
+        PageTranslator {
+            table,
+            tlb: PageTlb::new(tlb_entries),
+            costs,
+            stats: TranslateStats::default(),
+        }
+    }
+
+    /// The underlying page table.
+    pub fn table(&self) -> &PageTable {
+        &self.table
+    }
+
+    /// Mutable access to the page table (hypervisor updates).
+    pub fn table_mut(&mut self) -> &mut PageTable {
+        &mut self.table
+    }
+}
+
+impl Translate for PageTranslator {
+    fn translate(&mut self, va: VirtAddr, len: u64, perm: Perm) -> Result<Translation> {
+        if len == 0 {
+            return Err(MemError::RangeOverrun { va, len });
+        }
+        let ps = self.table.page_size();
+        let first_vpn = va.value() / ps;
+        let last_vpn = (va.value() + len - 1) / ps;
+        let mut cycles = 0u64;
+        let mut all_hit = true;
+        let mut first_pa = None;
+        for vpn in first_vpn..=last_vpn {
+            self.stats.lookups += 1;
+            let (pfn, p) = match self.tlb.lookup(vpn) {
+                Some(hit) => {
+                    self.stats.hits += 1;
+                    cycles += self.costs.tlb_hit;
+                    hit
+                }
+                None => {
+                    self.stats.misses += 1;
+                    self.stats.probe_reads += 1;
+                    all_hit = false;
+                    cycles += self.costs.page_walk;
+                    let page_va = VirtAddr(vpn * ps);
+                    let (pa, p) = self
+                        .table
+                        .lookup(page_va)
+                        .ok_or(MemError::TranslationFault { va: page_va })?;
+                    let pfn = pa.value() / ps;
+                    self.tlb.insert(vpn, pfn, p);
+                    (pfn, p)
+                }
+            };
+            if !p.contains(perm) {
+                return Err(MemError::PermissionDenied {
+                    va,
+                    needed: perm,
+                    granted: p,
+                });
+            }
+            if vpn == first_vpn {
+                first_pa = Some(PhysAddr(pfn * ps + va.value() % ps));
+            }
+        }
+        self.stats.cycles += cycles;
+        Ok(Translation {
+            pa: first_pa.expect("at least one page walked"),
+            cycles,
+            hit: all_hit,
+        })
+    }
+
+    fn name(&self) -> String {
+        format!("iotlb-{}", self.tlb.capacity())
+    }
+
+    fn stats(&self) -> TranslateStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = TranslateStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_64k() -> PageTable {
+        let mut t = PageTable::new(4096);
+        t.map_range(VirtAddr(0x1_0000), PhysAddr(0x80_0000), 64 * 1024, Perm::RW)
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn lookup_translates_offset() {
+        let t = table_64k();
+        let (pa, perm) = t.lookup(VirtAddr(0x1_2345)).unwrap();
+        assert_eq!(pa, PhysAddr(0x80_2345));
+        assert!(perm.contains(Perm::RW));
+        assert!(t.lookup(VirtAddr(0x9_0000)).is_none());
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut t = table_64k();
+        assert!(matches!(
+            t.map_range(VirtAddr(0x1_4000), PhysAddr(0), 4096, Perm::R),
+            Err(MemError::InvalidRange { .. })
+        ));
+    }
+
+    #[test]
+    fn unaligned_rejected() {
+        let mut t = PageTable::new(4096);
+        assert!(t
+            .map_range(VirtAddr(0x123), PhysAddr(0), 4096, Perm::R)
+            .is_err());
+        assert!(t
+            .map_range(VirtAddr(0x1000), PhysAddr(0x10), 4096, Perm::R)
+            .is_err());
+        assert!(t
+            .map_range(VirtAddr(0x1000), PhysAddr(0x1000), 0, Perm::R)
+            .is_err());
+    }
+
+    #[test]
+    fn tlb_lru_eviction() {
+        let mut tlb = PageTlb::new(2);
+        tlb.insert(1, 101, Perm::R);
+        tlb.insert(2, 102, Perm::R);
+        assert!(tlb.lookup(1).is_some()); // 1 now MRU
+        tlb.insert(3, 103, Perm::R); // evicts 2
+        assert!(tlb.lookup(2).is_none());
+        assert!(tlb.lookup(1).is_some());
+        assert!(tlb.lookup(3).is_some());
+    }
+
+    #[test]
+    fn translator_hit_miss_accounting() {
+        let mut tr = PageTranslator::new(table_64k(), 4, TranslationCosts::default());
+        // First touch: miss + walk.
+        let t1 = tr.translate(VirtAddr(0x1_0000), 64, Perm::R).unwrap();
+        assert!(!t1.hit);
+        assert_eq!(t1.cycles, TranslationCosts::default().page_walk);
+        // Same page again: hit.
+        let t2 = tr.translate(VirtAddr(0x1_0040), 64, Perm::R).unwrap();
+        assert!(t2.hit);
+        assert_eq!(t2.cycles, TranslationCosts::default().tlb_hit);
+        let s = tr.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn cross_page_access_walks_both() {
+        let mut tr = PageTranslator::new(table_64k(), 4, TranslationCosts::default());
+        let t = tr
+            .translate(VirtAddr(0x1_0000 + 4096 - 32), 64, Perm::R)
+            .unwrap();
+        assert!(!t.hit);
+        assert_eq!(tr.stats().lookups, 2);
+        assert_eq!(t.pa, PhysAddr(0x80_0000 + 4096 - 32));
+    }
+
+    #[test]
+    fn burst_of_chunks_thrashes_small_tlb() {
+        // 32 pages streamed with a 4-entry TLB: every page is a miss on the
+        // first iteration AND on every subsequent iteration (capacity
+        // misses) — this is the Figure 14 effect.
+        let mut t = PageTable::new(4096);
+        t.map_range(VirtAddr(0), PhysAddr(0x100_0000), 32 * 4096, Perm::R)
+            .unwrap();
+        let mut tr = PageTranslator::new(t, 4, TranslationCosts::default());
+        for _iter in 0..3 {
+            for page in 0..32u64 {
+                tr.translate(VirtAddr(page * 4096), 2048, Perm::R).unwrap();
+            }
+        }
+        let s = tr.stats();
+        assert_eq!(s.lookups, 96);
+        assert_eq!(s.misses, 96, "streaming working set must thrash a 4-entry TLB");
+    }
+
+    #[test]
+    fn permission_enforced() {
+        let mut t = PageTable::new(4096);
+        t.map_range(VirtAddr(0), PhysAddr(0), 4096, Perm::R).unwrap();
+        let mut tr = PageTranslator::new(t, 4, TranslationCosts::default());
+        assert!(matches!(
+            tr.translate(VirtAddr(0), 64, Perm::W),
+            Err(MemError::PermissionDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn fault_on_unmapped() {
+        let mut tr = PageTranslator::new(PageTable::new(4096), 4, TranslationCosts::default());
+        assert!(matches!(
+            tr.translate(VirtAddr(0x5000), 8, Perm::R),
+            Err(MemError::TranslationFault { .. })
+        ));
+    }
+
+    #[test]
+    fn name_reflects_capacity() {
+        let tr = PageTranslator::new(PageTable::new(4096), 32, TranslationCosts::default());
+        assert_eq!(tr.name(), "iotlb-32");
+    }
+}

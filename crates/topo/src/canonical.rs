@@ -1,0 +1,387 @@
+//! Canonical forms for small graphs, used to deduplicate isomorphic
+//! candidate topologies (Algorithm 1, line 25: "for the same topology, we
+//! retain only one instance").
+//!
+//! Two mechanisms are provided:
+//!
+//! * [`wl_hash`] — a Weisfeiler–Lehman colour-refinement hash. Fast and
+//!   sound for *distinguishing* many non-isomorphic graphs, but may collide
+//!   (WL-equivalent non-isomorphic graphs hash equal). Used for graphs
+//!   larger than [`EXACT_CANONICAL_LIMIT`].
+//! * [`canonical_form`] — an exact canonical adjacency encoding obtained by
+//!   searching permutations within WL colour classes. Exponential in the
+//!   worst case but cheap for the ≤10-node candidate topologies that
+//!   dominate virtual-NPU requests.
+
+use crate::{NodeId, Topology};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Largest node count for which [`canonical_key`] computes the exact
+/// canonical form; larger graphs fall back to the WL hash.
+pub const EXACT_CANONICAL_LIMIT: usize = 10;
+
+/// A key identifying a topology up to isomorphism (exactly for graphs of at
+/// most [`EXACT_CANONICAL_LIMIT`] nodes; heuristically via WL hashing
+/// beyond).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalKey {
+    nodes: usize,
+    edges: usize,
+    code: u64,
+}
+
+/// Computes the dedup key for a topology.
+///
+/// The key also folds in node-attribute multisets so that heterogeneous
+/// topologies with different core-kind distributions never collide.
+pub fn canonical_key(t: &Topology) -> CanonicalKey {
+    let code = if t.node_count() <= EXACT_CANONICAL_LIMIT {
+        hash_u64s(&canonical_form(t))
+    } else {
+        wl_hash(t)
+    };
+    CanonicalKey {
+        nodes: t.node_count(),
+        edges: t.edge_count(),
+        code,
+    }
+}
+
+/// Iterated Weisfeiler–Lehman colour refinement, returning a hash of the
+/// stable colouring (plus node/edge counts folded in by the caller).
+pub fn wl_hash(t: &Topology) -> u64 {
+    let colors = wl_colors(t);
+    let mut sorted = colors;
+    sorted.sort_unstable();
+    hash_u64s(&sorted)
+}
+
+/// Runs WL colour refinement to a fixed point and returns per-node colours.
+pub fn wl_colors(t: &Topology) -> Vec<u64> {
+    let n = t.node_count();
+    // Initial colour: (degree, node kind) so heterogeneous nodes differ.
+    let mut colors: Vec<u64> = (0..n)
+        .map(|i| {
+            let node = NodeId(i as u32);
+            let attr = t.node_attr(node);
+            hash_tuple(&[t.degree(node) as u64, attr.kind as u64])
+        })
+        .collect();
+    // n rounds suffice for stabilization on n-node graphs.
+    for _ in 0..n.max(1) {
+        let mut next = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut nb: Vec<u64> = t
+                .neighbors(NodeId(i as u32))
+                .iter()
+                .map(|v| colors[v.index()])
+                .collect();
+            nb.sort_unstable();
+            nb.insert(0, colors[i]);
+            next.push(hash_u64s(&nb));
+        }
+        if next == colors {
+            break;
+        }
+        colors = next;
+    }
+    colors
+}
+
+/// Exact canonical form: the lexicographically-smallest flattened adjacency
+/// encoding over all node permutations compatible with the WL colouring.
+///
+/// The output is a vector of `u64` words encoding, per canonical node
+/// position, its attribute kind followed by its canonical neighbor indices.
+/// Two graphs are isomorphic (respecting node kinds) iff their canonical
+/// forms are equal, for graphs within [`EXACT_CANONICAL_LIMIT`].
+pub fn canonical_form(t: &Topology) -> Vec<u64> {
+    let n = t.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Group nodes by WL colour; only permute within groups ordered by colour.
+    let colors = wl_colors(t);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (colors[i], i));
+    // Partition into colour classes.
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    for &i in &order {
+        match classes.last_mut() {
+            Some(c) if colors[c[0]] == colors[i] => c.push(i),
+            _ => classes.push(vec![i]),
+        }
+    }
+    let mut best: Option<Vec<u64>> = None;
+    let mut perm: Vec<usize> = Vec::with_capacity(n);
+    permute_classes(t, &classes, 0, &mut perm, &mut best);
+    best.unwrap_or_default()
+}
+
+fn permute_classes(
+    t: &Topology,
+    classes: &[Vec<usize>],
+    class_idx: usize,
+    perm: &mut Vec<usize>,
+    best: &mut Option<Vec<u64>>,
+) {
+    if class_idx == classes.len() {
+        let enc = encode(t, perm);
+        if best.as_ref().is_none_or(|b| enc < *b) {
+            *best = Some(enc);
+        }
+        return;
+    }
+    let class = &classes[class_idx];
+    let mut items = class.clone();
+    heap_permute(&mut items, &mut |p: &[usize]| {
+        perm.extend_from_slice(p);
+        permute_classes(t, classes, class_idx + 1, perm, best);
+        perm.truncate(perm.len() - p.len());
+    });
+}
+
+/// Heap's algorithm invoking `f` on every permutation of `items`.
+fn heap_permute(items: &mut Vec<usize>, f: &mut dyn FnMut(&[usize])) {
+    let n = items.len();
+    if n == 0 {
+        f(&[]);
+        return;
+    }
+    let mut c = vec![0usize; n];
+    f(items);
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                items.swap(0, i);
+            } else {
+                items.swap(c[i], i);
+            }
+            f(items);
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Encodes the graph under a permutation: `perm[k]` is the original node at
+/// canonical position `k`.
+fn encode(t: &Topology, perm: &[usize]) -> Vec<u64> {
+    let n = perm.len();
+    let mut pos = vec![0usize; t.node_count()];
+    for (k, &orig) in perm.iter().enumerate() {
+        pos[orig] = k;
+    }
+    let mut out = Vec::with_capacity(n * 3);
+    for &orig in perm {
+        out.push(t.node_attr(NodeId(orig as u32)).kind as u64);
+        let mut nb: Vec<u64> = t
+            .neighbors(NodeId(orig as u32))
+            .iter()
+            .map(|v| pos[v.index()] as u64)
+            .collect();
+        nb.sort_unstable();
+        out.push(nb.len() as u64);
+        out.extend(nb);
+    }
+    out
+}
+
+/// Verifies isomorphism between two topologies (exact for any size, but
+/// exponential in the worst case; intended for candidate verification after
+/// a canonical-key match).
+pub fn are_isomorphic(a: &Topology, b: &Topology) -> bool {
+    find_isomorphism(a, b).is_some()
+}
+
+/// Finds an isomorphism `a → b` (respecting node kinds), returning for each
+/// `a`-node the matching `b`-node, or `None` if the graphs are not
+/// isomorphic.
+pub fn find_isomorphism(a: &Topology, b: &Topology) -> Option<Vec<NodeId>> {
+    if a.node_count() != b.node_count()
+        || a.edge_count() != b.edge_count()
+        || a.degree_sequence() != b.degree_sequence()
+    {
+        return None;
+    }
+    let n = a.node_count();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let ca = wl_colors(a);
+    let cb = wl_colors(b);
+    let mut sa = ca.clone();
+    let mut sb = cb.clone();
+    sa.sort_unstable();
+    sb.sort_unstable();
+    if sa != sb {
+        return None;
+    }
+    // Backtracking search mapping a-nodes (ordered by colour-class size) to
+    // b-nodes of equal colour.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut class_size: HashMap<u64, usize> = HashMap::new();
+    for &c in &ca {
+        *class_size.entry(c).or_insert(0) += 1;
+    }
+    order.sort_by_key(|&i| (class_size[&ca[i]], ca[i], i));
+    let mut mapping = vec![usize::MAX; n];
+    let mut used = vec![false; n];
+    if backtrack_iso(a, b, &ca, &cb, &order, 0, &mut mapping, &mut used) {
+        Some(mapping.into_iter().map(|m| NodeId(m as u32)).collect())
+    } else {
+        None
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack_iso(
+    a: &Topology,
+    b: &Topology,
+    ca: &[u64],
+    cb: &[u64],
+    order: &[usize],
+    depth: usize,
+    mapping: &mut [usize],
+    used: &mut [bool],
+) -> bool {
+    if depth == order.len() {
+        return true;
+    }
+    let u = order[depth];
+    for v in 0..b.node_count() {
+        if used[v] || ca[u] != cb[v] {
+            continue;
+        }
+        // Edge consistency with already-mapped nodes, in both directions:
+        // for every mapped node w, (u,w) is an edge in `a` iff (v, m(w)) is
+        // an edge in `b`. Checking both directions keeps the partial mapping
+        // an induced-subgraph isomorphism at every depth.
+        let ok = (0..mapping.len()).all(|w| {
+            let m = mapping[w];
+            if m == usize::MAX {
+                return true;
+            }
+            a.has_edge(NodeId(u as u32), NodeId(w as u32))
+                == b.has_edge(NodeId(v as u32), NodeId(m as u32))
+        });
+        if !ok {
+            continue;
+        }
+        mapping[u] = v;
+        used[v] = true;
+        if backtrack_iso(a, b, ca, cb, order, depth + 1, mapping, used) {
+            return true;
+        }
+        mapping[u] = usize::MAX;
+        used[v] = false;
+    }
+    false
+}
+
+fn hash_u64s(vals: &[u64]) -> u64 {
+    let mut h = DefaultHasher::new();
+    vals.hash(&mut h);
+    h.finish()
+}
+
+fn hash_tuple(vals: &[u64]) -> u64 {
+    hash_u64s(vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+
+    #[test]
+    fn isomorphic_meshes_same_key() {
+        // 2x3 and 3x2 meshes are isomorphic.
+        let a = Topology::mesh2d(2, 3);
+        let b = Topology::mesh2d(3, 2);
+        assert_eq!(canonical_key(&a), canonical_key(&b));
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn non_isomorphic_different_key() {
+        // a 6-line vs a 2x3 mesh: same node count, different edge counts.
+        let a = Topology::line(6);
+        let b = Topology::mesh2d(2, 3);
+        assert_ne!(canonical_key(&a), canonical_key(&b));
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn same_degree_sequence_different_structure() {
+        // C6 vs two C3s: both 2-regular with 6 nodes and 6 edges.
+        let c6 = Topology::ring(6);
+        let two_c3 = Topology::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+            .unwrap();
+        assert_ne!(canonical_key(&c6), canonical_key(&two_c3));
+        assert!(!are_isomorphic(&c6, &two_c3));
+    }
+
+    #[test]
+    fn relabeled_graph_is_isomorphic() {
+        let a = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let b = Topology::from_edges(4, &[(2, 3), (3, 0), (0, 1), (1, 2)]).unwrap();
+        assert_eq!(canonical_key(&a), canonical_key(&b));
+    }
+
+    #[test]
+    fn node_kind_breaks_isomorphism() {
+        use crate::{NodeId, NodeKind};
+        let a = Topology::line(3);
+        let mut b = Topology::line(3);
+        b.node_attr_mut(NodeId(0)).kind = NodeKind::VectorOptimized;
+        assert_ne!(canonical_key(&a), canonical_key(&b));
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn empty_graphs() {
+        let a = Topology::empty(0);
+        let b = Topology::empty(0);
+        assert_eq!(canonical_key(&a), canonical_key(&b));
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn singleton_vs_pair() {
+        let a = Topology::empty(1);
+        let b = Topology::empty(2);
+        assert_ne!(canonical_key(&a), canonical_key(&b));
+    }
+
+    #[test]
+    fn l_shape_not_isomorphic_to_line() {
+        // L-tromino-ish: 0-1-2 with 1-3 branch vs a 4-line.
+        let l = Topology::from_edges(4, &[(0, 1), (1, 2), (1, 3)]).unwrap();
+        let line = Topology::line(4);
+        assert_ne!(canonical_key(&l), canonical_key(&line));
+        assert!(!are_isomorphic(&l, &line));
+    }
+
+    #[test]
+    fn canonical_form_stable_under_relabel() {
+        let a = Topology::from_edges(5, &[(0, 1), (0, 2), (0, 3), (3, 4)]).unwrap();
+        // relabel: 0->4,1->3,2->2,3->1,4->0
+        let b = Topology::from_edges(5, &[(4, 3), (4, 2), (4, 1), (1, 0)]).unwrap();
+        assert_eq!(canonical_form(&a), canonical_form(&b));
+    }
+
+    #[test]
+    fn large_graph_uses_wl() {
+        // above the exact limit: two isomorphic 4x4 meshes still match keys
+        let a = Topology::mesh2d(4, 4);
+        let b = Topology::mesh2d(4, 4);
+        assert_eq!(canonical_key(&a), canonical_key(&b));
+    }
+}

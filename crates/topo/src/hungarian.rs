@@ -1,0 +1,208 @@
+//! Kuhn–Munkres (Hungarian) assignment solver.
+//!
+//! Used by the bipartite graph-edit-distance heuristic (Riesen & Bunke,
+//! the approximation the paper cites for computing topology edit distance
+//! on larger candidates). Costs are `u64`; a square matrix is required —
+//! callers pad rectangular problems with dummy rows/columns.
+
+/// Sentinel for "infinite" cost. Kept well below `u64::MAX` so that the
+/// potentials arithmetic cannot overflow.
+pub const INF: u64 = u64::MAX / 4;
+
+/// Solves the square assignment problem, minimizing total cost.
+///
+/// Returns `(assignment, total_cost)` where `assignment[row] = column`.
+///
+/// This is the O(n³) shortest-augmenting-path formulation (Jonker–Volgenant
+/// style potentials).
+///
+/// # Panics
+///
+/// Panics if `cost` is not square (every row must have `cost.len()`
+/// entries).
+///
+/// # Example
+///
+/// ```
+/// use vnpu_topo::hungarian::solve;
+/// let cost = vec![vec![4, 1, 3], vec![2, 0, 5], vec![3, 2, 2]];
+/// let (assign, total) = solve(&cost);
+/// assert_eq!(total, 5); // 1 + 2 + 2
+/// assert_eq!(assign, vec![1, 0, 2]);
+/// ```
+pub fn solve(cost: &[Vec<u64>]) -> (Vec<usize>, u64) {
+    let n = cost.len();
+    for row in cost {
+        assert_eq!(row.len(), n, "cost matrix must be square");
+    }
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    // 1-indexed potentials per the classic formulation.
+    let mut u = vec![0i128; n + 1];
+    let mut v = vec![0i128; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[col] = row assigned to col (0 = none)
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![i128::MAX; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = i128::MAX;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] as i128 - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    let total: u64 = assignment
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| cost[r][c])
+        .sum();
+    (assignment, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(cost: &[Vec<u64>]) -> u64 {
+        let n = cost.len();
+        let mut cols: Vec<usize> = (0..n).collect();
+        let mut best = u64::MAX;
+        permute(&mut cols, 0, &mut |perm| {
+            let total: u64 = perm.iter().enumerate().map(|(r, &c)| cost[r][c]).sum();
+            best = best.min(total);
+        });
+        best
+    }
+
+    fn permute(items: &mut Vec<usize>, k: usize, f: &mut dyn FnMut(&[usize])) {
+        if k == items.len() {
+            f(items);
+            return;
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            permute(items, k + 1, f);
+            items.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn known_small_case() {
+        let cost = vec![vec![4, 1, 3], vec![2, 0, 5], vec![3, 2, 2]];
+        let (_, total) = solve(&cost);
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn identity_optimal() {
+        let cost = vec![vec![0, 9, 9], vec![9, 0, 9], vec![9, 9, 0]];
+        let (assign, total) = solve(&cost);
+        assert_eq!(assign, vec![0, 1, 2]);
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let (assign, total) = solve(&[]);
+        assert!(assign.is_empty());
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn single_cell() {
+        let (assign, total) = solve(&[vec![7]]);
+        assert_eq!(assign, vec![0]);
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn assignment_is_permutation() {
+        let cost = vec![
+            vec![5, 9, 1, 4],
+            vec![3, 2, 8, 6],
+            vec![7, 7, 7, 7],
+            vec![1, 2, 3, 4],
+        ];
+        let (assign, _) = solve(&cost);
+        let mut seen = vec![false; 4];
+        for &c in &assign {
+            assert!(!seen[c]);
+            seen[c] = true;
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        // Deterministic pseudo-random matrices (no external RNG needed).
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % 100
+        };
+        for n in 1..=6usize {
+            for _ in 0..20 {
+                let cost: Vec<Vec<u64>> =
+                    (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+                let (_, total) = solve(&cost);
+                assert_eq!(total, brute_force(&cost), "n={n} cost={cost:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn handles_inf_padding() {
+        // One forbidden cell; solver must route around it.
+        let cost = vec![vec![INF, 1], vec![1, INF]];
+        let (assign, total) = solve(&cost);
+        assert_eq!(total, 2);
+        assert_eq!(assign, vec![1, 0]);
+    }
+}

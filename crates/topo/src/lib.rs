@@ -1,0 +1,123 @@
+//! Topology substrate for inter-core connected NPU virtualization.
+//!
+//! This crate provides the graph machinery behind the vNPU paper's
+//! *best-effort topology mapping* (ISCA'25, §4.3):
+//!
+//! * [`Topology`] — an undirected graph with per-node attributes
+//!   (heterogeneous core kinds, distance to the nearest memory interface)
+//!   and per-edge attributes (criticality costs), plus 2D-mesh builders.
+//! * [`enumerate`] — connected induced-subgraph enumeration (Algorithm 1,
+//!   lines 20–29) with a rectangle fast-path for regular mesh requests.
+//! * [`canonical`] — canonical forms for small graphs, used to deduplicate
+//!   isomorphic candidate topologies (Algorithm 1, line 25).
+//! * [`ged`] — topology edit distance: an exact A* search for small graphs
+//!   and the Riesen–Bunke bipartite heuristic (backed by [`hungarian`]) for
+//!   larger ones, both parameterized by [`MatchCosts`].
+//! * [`mapping`] — the allocation strategies evaluated in the paper:
+//!   straightforward (zig-zag by core ID) and similar-topology (minimum
+//!   topology edit distance), with optional disconnected "fragmentation"
+//!   mode.
+//! * [`route`] — dimension-order routing and confined (direction-override)
+//!   path computation used by the NoC vRouter.
+//!
+//! # Example
+//!
+//! Allocate a 2×2 virtual mesh out of a partially-occupied 4×4 physical
+//! mesh:
+//!
+//! ```
+//! use vnpu_topo::{Topology, NodeId, mapping::{Mapper, Strategy}};
+//!
+//! let phys = Topology::mesh2d(4, 4);
+//! let req = Topology::mesh2d(2, 2);
+//! let mut free: Vec<NodeId> = phys.nodes().collect();
+//! free.retain(|n| n.index() != 0); // core 0 already allocated
+//!
+//! let mapper = Mapper::new(&phys);
+//! let mapping = mapper.map(&free, &req, &Strategy::similar_topology()).unwrap();
+//! assert_eq!(mapping.phys_nodes().len(), 4);
+//! assert_eq!(mapping.edit_distance(), 0); // plenty of exact 2x2 windows left
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canonical;
+pub mod enumerate;
+pub mod ged;
+pub mod hungarian;
+pub mod mapping;
+pub mod route;
+mod topology;
+
+pub use ged::{GedResult, MatchCosts, UniformCosts};
+pub use mapping::{Mapper, Mapping, Strategy};
+pub use route::Direction;
+pub use topology::{EdgeAttr, MeshShape, NodeAttr, NodeId, NodeKind, Topology};
+
+use std::fmt;
+
+/// Errors produced by topology construction and mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopoError {
+    /// A node index was out of range for the topology.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: u32,
+        /// Number of nodes in the topology.
+        len: usize,
+    },
+    /// An edge referenced identical endpoints.
+    SelfLoop(u32),
+    /// A topology-mapping request asked for more nodes than are free.
+    InsufficientNodes {
+        /// Nodes requested.
+        requested: usize,
+        /// Nodes available.
+        available: usize,
+    },
+    /// No candidate satisfying the constraints (e.g. connectivity) exists.
+    NoCandidate,
+    /// The requested mesh dimensions were degenerate (zero-sized).
+    EmptyMesh,
+    /// A routing path was requested between nodes that are not connected
+    /// inside the allowed node set.
+    Unroutable {
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+    },
+}
+
+impl fmt::Display for TopoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopoError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node} out of range for topology of {len} nodes")
+            }
+            TopoError::SelfLoop(n) => write!(f, "self-loop on node {n}"),
+            TopoError::InsufficientNodes {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested {requested} nodes but only {available} are free"
+            ),
+            TopoError::NoCandidate => write!(f, "no candidate topology satisfies the constraints"),
+            TopoError::EmptyMesh => write!(f, "mesh dimensions must be non-zero"),
+            TopoError::Unroutable { src, dst } => {
+                write!(
+                    f,
+                    "no route from node {src} to node {dst} inside the allowed set"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, TopoError>;

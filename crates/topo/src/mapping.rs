@@ -1,0 +1,689 @@
+//! Virtual-NPU core allocation strategies — the paper's §4.3 and
+//! Algorithm 1 (`minTopologyEditDistance`).
+//!
+//! Three strategies are provided, matching the paper's evaluation
+//! (Figures 8, 17 and 18):
+//!
+//! * [`Strategy::straightforward`] — allocate the first `k` free cores in
+//!   core-ID (zig-zag) order. Cheap, but the resulting shape can deviate
+//!   badly from the request.
+//! * [`Strategy::similar_topology`] — the paper's best-effort mapping:
+//!   enumerate connected candidate sub-topologies of the free region,
+//!   early-exit on an exact (isomorphic) match, deduplicate isomorphic
+//!   candidates, score the rest by topology edit distance in parallel, and
+//!   return the minimum.
+//! * [`Strategy::exact_only`] — the rigid "topology lock-in" behaviour:
+//!   succeed only on an exact match (what MIG-style partitioning provides).
+//!
+//! All strategies honour R-1 (node count) by construction; R-3
+//! (connectivity) is enforced unless fragmentation mode
+//! ([`Strategy::allow_disconnected`]) is enabled.
+
+use crate::canonical::{canonical_key, find_isomorphism, CanonicalKey};
+use crate::enumerate::{self, Visit, DEFAULT_CANDIDATE_CAP};
+use crate::ged::{self, GedResult, MatchCosts, UniformCosts};
+use crate::{NodeId, Result, TopoError, Topology};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Which allocation algorithm a [`Strategy`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// First-k free cores in ID order ("zig-zag").
+    Straightforward,
+    /// Minimum topology-edit-distance mapping (Algorithm 1).
+    SimilarTopology,
+    /// Exact isomorphic match or failure.
+    ExactOnly,
+}
+
+/// Configuration for a mapping attempt.
+///
+/// Build with one of the constructors and refine with the chained setters:
+///
+/// ```
+/// use vnpu_topo::mapping::Strategy;
+/// let s = Strategy::similar_topology()
+///     .candidate_cap(5_000)
+///     .threads(2);
+/// ```
+#[derive(Clone)]
+pub struct Strategy {
+    kind: StrategyKind,
+    candidate_cap: usize,
+    allow_disconnected: bool,
+    threads: usize,
+    costs: Arc<dyn MatchCosts + Send + Sync>,
+}
+
+impl std::fmt::Debug for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Strategy")
+            .field("kind", &self.kind)
+            .field("candidate_cap", &self.candidate_cap)
+            .field("allow_disconnected", &self.allow_disconnected)
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Strategy {
+    /// Straightforward (zig-zag, by core ID) allocation.
+    pub fn straightforward() -> Self {
+        Strategy {
+            kind: StrategyKind::Straightforward,
+            candidate_cap: DEFAULT_CANDIDATE_CAP,
+            allow_disconnected: false,
+            threads: 1,
+            costs: Arc::new(UniformCosts),
+        }
+    }
+
+    /// Similar-topology (minimum edit distance) allocation with uniform
+    /// costs.
+    pub fn similar_topology() -> Self {
+        Strategy {
+            kind: StrategyKind::SimilarTopology,
+            candidate_cap: DEFAULT_CANDIDATE_CAP,
+            allow_disconnected: false,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            costs: Arc::new(UniformCosts),
+        }
+    }
+
+    /// Exact-match-only allocation (fails rather than approximate).
+    pub fn exact_only() -> Self {
+        Strategy {
+            kind: StrategyKind::ExactOnly,
+            ..Strategy::straightforward()
+        }
+    }
+
+    /// The hypervisor's *performance-first* preset (Figure 10): insist on
+    /// an exact topology match — fail rather than degrade the tenant's
+    /// data flow.
+    pub fn performance_first() -> Self {
+        Strategy::exact_only()
+    }
+
+    /// The hypervisor's *utilization-first* preset (Figure 10): accept
+    /// the closest similar topology and, when the free region is
+    /// fragmented, even a disconnected allocation — never strand cores.
+    pub fn utilization_first() -> Self {
+        Strategy::similar_topology().allow_disconnected(true)
+    }
+
+    /// Limits the number of enumerated candidate sub-topologies.
+    pub fn candidate_cap(mut self, cap: usize) -> Self {
+        self.candidate_cap = cap.max(1);
+        self
+    }
+
+    /// Permits disconnected allocations when no connected candidate exists
+    /// (the paper's fragmentation trade-off, §4.3).
+    pub fn allow_disconnected(mut self, allow: bool) -> Self {
+        self.allow_disconnected = allow;
+        self
+    }
+
+    /// Number of worker threads for parallel edit-distance scoring
+    /// (Algorithm 1 line 30's `multiprocess`).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Installs custom node/edge match costs (heterogeneous nodes, critical
+    /// edges).
+    pub fn costs(mut self, costs: Arc<dyn MatchCosts + Send + Sync>) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// The strategy kind.
+    pub fn kind(&self) -> StrategyKind {
+        self.kind
+    }
+}
+
+/// A completed virtual-to-physical core mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    phys_nodes: Vec<NodeId>,
+    edit_distance: u64,
+    exact_distance: bool,
+    connected: bool,
+}
+
+impl Mapping {
+    /// Physical node chosen for each virtual node (index = virtual node
+    /// ID).
+    pub fn phys_nodes(&self) -> &[NodeId] {
+        &self.phys_nodes
+    }
+
+    /// Physical node backing virtual node `v`.
+    pub fn phys_of(&self, v: NodeId) -> NodeId {
+        self.phys_nodes[v.index()]
+    }
+
+    /// Topology edit distance between the request and the allocated
+    /// sub-topology (0 = exact match).
+    pub fn edit_distance(&self) -> u64 {
+        self.edit_distance
+    }
+
+    /// Whether [`Mapping::edit_distance`] came from the exact algorithm.
+    pub fn is_distance_exact(&self) -> bool {
+        self.exact_distance
+    }
+
+    /// Whether the allocated physical node set is connected (R-3).
+    pub fn is_connected(&self) -> bool {
+        self.connected
+    }
+}
+
+/// Maps virtual topologies onto the free region of a physical topology.
+#[derive(Debug, Clone, Copy)]
+pub struct Mapper<'a> {
+    phys: &'a Topology,
+}
+
+impl<'a> Mapper<'a> {
+    /// Creates a mapper over the given physical topology.
+    pub fn new(phys: &'a Topology) -> Self {
+        Mapper { phys }
+    }
+
+    /// Allocates physical nodes for the requested virtual topology `req`
+    /// out of the free node set, per `strategy`.
+    ///
+    /// # Errors
+    ///
+    /// * [`TopoError::InsufficientNodes`] — fewer free nodes than requested
+    ///   (violates R-1).
+    /// * [`TopoError::NoCandidate`] — no allocation satisfying the
+    ///   strategy's constraints (connectivity, exactness) exists.
+    pub fn map(&self, free: &[NodeId], req: &Topology, strategy: &Strategy) -> Result<Mapping> {
+        let k = req.node_count();
+        if free.len() < k {
+            return Err(TopoError::InsufficientNodes {
+                requested: k,
+                available: free.len(),
+            });
+        }
+        if k == 0 {
+            return Ok(Mapping {
+                phys_nodes: Vec::new(),
+                edit_distance: 0,
+                exact_distance: true,
+                connected: true,
+            });
+        }
+        match strategy.kind {
+            StrategyKind::Straightforward => Ok(self.straightforward(free, req, strategy)),
+            StrategyKind::ExactOnly => self.exact(free, req),
+            StrategyKind::SimilarTopology => self.similar(free, req, strategy),
+        }
+    }
+
+    /// First-k free nodes in ascending ID order; virtual node `i` gets the
+    /// `i`-th of them (the zig-zag order of paper Figure 17/18).
+    fn straightforward(&self, free: &[NodeId], req: &Topology, strategy: &Strategy) -> Mapping {
+        let mut sorted = free.to_vec();
+        sorted.sort_unstable();
+        let chosen: Vec<NodeId> = sorted.into_iter().take(req.node_count()).collect();
+        let (sub, _) = self.phys.induced_subgraph(&chosen);
+        let identity: Vec<Option<NodeId>> =
+            (0..req.node_count() as u32).map(|i| Some(NodeId(i))).collect();
+        let distance = ged::mapping_cost(req, &sub, &identity, strategy.costs.as_ref());
+        let connected = self.phys.is_connected_subset(&chosen);
+        Mapping {
+            phys_nodes: chosen,
+            edit_distance: distance,
+            exact_distance: true, // exact cost *of this mapping*, not a minimum
+            connected,
+        }
+    }
+
+    /// Exact isomorphic match or [`TopoError::NoCandidate`].
+    fn exact(&self, free: &[NodeId], req: &Topology) -> Result<Mapping> {
+        if let Some(m) = self.try_exact(free, req, DEFAULT_CANDIDATE_CAP) {
+            return Ok(m);
+        }
+        Err(TopoError::NoCandidate)
+    }
+
+    fn try_exact(&self, free: &[NodeId], req: &Topology, cap: usize) -> Option<Mapping> {
+        // Rectangle fast-path for mesh requests on mesh hardware.
+        if let Some(shape) = req.mesh_shape() {
+            if let Some(rects) =
+                enumerate::mesh_rectangles(self.phys, free, shape.width, shape.height)
+            {
+                if let Some(cells) = rects.into_iter().next() {
+                    // `cells` is sorted; the window is itself row-major, so an
+                    // isomorphism search gives the virtual -> physical layout.
+                    let (sub, back) = self.phys.induced_subgraph(&cells);
+                    if let Some(iso) = find_isomorphism(req, &sub) {
+                        let phys_nodes = iso.iter().map(|j| back[j.index()]).collect();
+                        return Some(Mapping {
+                            phys_nodes,
+                            edit_distance: 0,
+                            exact_distance: true,
+                            connected: true,
+                        });
+                    }
+                }
+            }
+        }
+        // General exact search: enumerate connected candidates, compare
+        // canonical keys, verify with an isomorphism search. The cap
+        // bounds the (worst-case exponential) exhaustion proof.
+        let req_key = canonical_key(req);
+        let mut found: Option<Mapping> = None;
+        enumerate::enumerate_connected(self.phys, free, req.node_count(), cap, |cells| {
+            let (sub, back) = self.phys.induced_subgraph(cells);
+            if canonical_key(&sub) == req_key {
+                if let Some(iso) = find_isomorphism(req, &sub) {
+                    found = Some(Mapping {
+                        phys_nodes: iso.iter().map(|j| back[j.index()]).collect(),
+                        edit_distance: 0,
+                        exact_distance: true,
+                        connected: true,
+                    });
+                    return Visit::Stop;
+                }
+            }
+            Visit::Continue
+        });
+        found
+    }
+
+    /// Algorithm 1: enumerate, early-exit, dedup, score in parallel, pick
+    /// the minimum-edit-distance candidate.
+    fn similar(&self, free: &[NodeId], req: &Topology, strategy: &Strategy) -> Result<Mapping> {
+        // Line 22: exact early exit.
+        if let Some(m) = self.try_exact(free, req, strategy.candidate_cap) {
+            return Ok(m);
+        }
+        // Lines 20–29: collect connected candidates, dedup by canonical key.
+        let mut seen: HashSet<CanonicalKey> = HashSet::new();
+        let mut candidates: Vec<Vec<NodeId>> = Vec::new();
+        enumerate::enumerate_connected(
+            self.phys,
+            free,
+            req.node_count(),
+            strategy.candidate_cap,
+            |cells| {
+                let (sub, _) = self.phys.induced_subgraph(cells);
+                if seen.insert(canonical_key(&sub)) {
+                    candidates.push(cells.to_vec());
+                }
+                Visit::Continue
+            },
+        );
+        if candidates.is_empty() {
+            if strategy.allow_disconnected {
+                // Fragmentation mode: fall back to zig-zag over whatever is
+                // free; the caller accepts inter-core conflict overheads.
+                return Ok(self.straightforward(free, req, strategy));
+            }
+            return Err(TopoError::NoCandidate);
+        }
+        // Lines 30–32: parallel TED scoring.
+        let results = self.score_parallel(req, &candidates, strategy);
+        // Refine the best few candidates with 2-opt swaps (the bipartite
+        // assignment ignores global edge structure). Pipeline-style
+        // requests (virtual IDs in dataflow order) additionally get a
+        // serpentine seed — a snake through the candidate region — which
+        // is usually the natural embedding for chains.
+        let mut order: Vec<usize> = (0..results.len()).collect();
+        order.sort_by_key(|&i| results[i].cost);
+        let mut best: Option<(u64, Vec<NodeId>, bool)> = None;
+        for &i in order.iter().take(REFINE_TOP_CANDIDATES) {
+            let cells = &candidates[i];
+            let (sub, back) = self.phys.induced_subgraph(cells);
+            let mut starts: Vec<Vec<Option<NodeId>>> =
+                vec![complete_option_mapping(&results[i].mapping, cells.len())];
+            starts.push(self.serpentine_mapping(cells));
+            for start in starts {
+                let (refined, cost) =
+                    ged::refine_mapping(req, &sub, &start, strategy.costs.as_ref(), 8);
+                if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
+                    let phys_nodes = refined
+                        .iter()
+                        .map(|m| back[m.expect("total mapping").index()])
+                        .collect();
+                    best = Some((cost, phys_nodes, false));
+                }
+            }
+        }
+        let (cost, phys_nodes, exact) = best.expect("candidates is non-empty");
+        Ok(Mapping {
+            phys_nodes,
+            edit_distance: cost,
+            exact_distance: exact,
+            connected: true,
+        })
+    }
+
+    /// Virtual node `i` → the `i`-th candidate cell in serpentine order
+    /// (row-major with alternating column direction on meshes; BFS order
+    /// from the lowest cell otherwise). Candidate-local node IDs.
+    fn serpentine_mapping(&self, cells: &[NodeId]) -> Vec<Option<NodeId>> {
+        let mut order: Vec<usize> = (0..cells.len()).collect();
+        if self.phys.mesh_shape().is_some() {
+            order.sort_by_key(|&j| {
+                let (x, y) = self.phys.mesh_coord(cells[j]).expect("mesh coord");
+                let xx = if y % 2 == 0 { x as i64 } else { -(x as i64) };
+                (y, xx)
+            });
+        } else {
+            // BFS order from the lowest cell keeps neighbors close.
+            let sub = cells.to_vec();
+            let mut seen = vec![false; cells.len()];
+            let mut bfs = Vec::with_capacity(cells.len());
+            let mut queue = std::collections::VecDeque::from([0usize]);
+            seen[0] = true;
+            while let Some(u) = queue.pop_front() {
+                bfs.push(u);
+                for (v, &cell) in sub.iter().enumerate() {
+                    if !seen[v] && self.phys.has_edge(sub[u], cell) {
+                        seen[v] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for v in 0..cells.len() {
+                if !seen[v] {
+                    bfs.push(v);
+                }
+            }
+            order = bfs;
+        }
+        order.into_iter().map(|j| Some(NodeId(j as u32))).collect()
+    }
+
+    fn score_parallel(
+        &self,
+        req: &Topology,
+        candidates: &[Vec<NodeId>],
+        strategy: &Strategy,
+    ) -> Vec<GedResult> {
+        let threads = strategy.threads.min(candidates.len()).max(1);
+        if threads == 1 {
+            return candidates
+                .iter()
+                .map(|cells| {
+                    let (sub, _) = self.phys.induced_subgraph(cells);
+                    ged::ged(req, &sub, strategy.costs.as_ref())
+                })
+                .collect();
+        }
+        let chunk = candidates.len().div_ceil(threads);
+        let mut results: Vec<Option<GedResult>> = vec![None; candidates.len()];
+        std::thread::scope(|scope| {
+            let mut rest = results.as_mut_slice();
+            for (t, cand_chunk) in candidates.chunks(chunk).enumerate() {
+                let (head, tail) = rest.split_at_mut(cand_chunk.len().min(rest.len()));
+                rest = tail;
+                let phys = self.phys;
+                let costs = Arc::clone(&strategy.costs);
+                let _ = t;
+                scope.spawn(move || {
+                    for (slot, cells) in head.iter_mut().zip(cand_chunk) {
+                        let (sub, _) = phys.induced_subgraph(cells);
+                        *slot = Some(ged::ged(req, &sub, costs.as_ref()));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every candidate scored"))
+            .collect()
+    }
+}
+
+/// How many of the lowest-TED candidates receive 2-opt refinement.
+const REFINE_TOP_CANDIDATES: usize = 6;
+
+/// Turns a (possibly partial) GED node mapping into a total mapping in
+/// candidate-local node IDs: unmapped virtual nodes take the leftover
+/// candidate cells in order.
+fn complete_option_mapping(mapping: &[Option<NodeId>], candidate_len: usize) -> Vec<Option<NodeId>> {
+    let mut used = vec![false; candidate_len];
+    for m in mapping.iter().flatten() {
+        used[m.index()] = true;
+    }
+    let mut leftovers = (0..candidate_len).filter(|&j| !used[j]);
+    mapping
+        .iter()
+        .map(|m| match m {
+            Some(j) => Some(*j),
+            None => Some(NodeId(
+                leftovers.next().expect("R-1: equal node counts") as u32
+            )),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+
+    fn free_except(t: &Topology, taken: &[u32]) -> Vec<NodeId> {
+        t.nodes().filter(|n| !taken.contains(&n.0)).collect()
+    }
+
+    #[test]
+    fn straightforward_takes_lowest_ids() {
+        let phys = Topology::mesh2d(5, 5);
+        let req = Topology::mesh2d(2, 2);
+        let free = free_except(&phys, &[0, 1]);
+        let m = Mapper::new(&phys)
+            .map(&free, &req, &Strategy::straightforward())
+            .unwrap();
+        assert_eq!(m.phys_nodes(), &[NodeId(2), NodeId(3), NodeId(4), NodeId(5)]);
+    }
+
+    #[test]
+    fn exact_mesh_fast_path() {
+        let phys = Topology::mesh2d(5, 5);
+        let req = Topology::mesh2d(3, 3);
+        let free: Vec<NodeId> = phys.nodes().collect();
+        let m = Mapper::new(&phys)
+            .map(&free, &req, &Strategy::exact_only())
+            .unwrap();
+        assert_eq!(m.edit_distance(), 0);
+        assert!(m.is_connected());
+        // mapping must be a valid isomorphism: adjacent virtual nodes map to
+        // adjacent physical nodes
+        for (a, b) in req.edges() {
+            assert!(phys.has_edge(m.phys_of(a), m.phys_of(b)));
+        }
+    }
+
+    #[test]
+    fn topology_lock_in_reproduced() {
+        // Paper §4.3: 5x5 mesh, two 3x3 requests. Exact-only can satisfy only
+        // one; similar-topology satisfies both.
+        let phys = Topology::mesh2d(5, 5);
+        let req = Topology::mesh2d(3, 3);
+        let all: Vec<NodeId> = phys.nodes().collect();
+        let mapper = Mapper::new(&phys);
+
+        let first = mapper.map(&all, &req, &Strategy::exact_only()).unwrap();
+        let free: Vec<NodeId> = all
+            .iter()
+            .copied()
+            .filter(|n| !first.phys_nodes().contains(n))
+            .collect();
+        assert_eq!(free.len(), 16);
+        // Exact fails: lock-in.
+        assert_eq!(
+            mapper.map(&free, &req, &Strategy::exact_only()),
+            Err(TopoError::NoCandidate)
+        );
+        // Similar topology succeeds with a small positive edit distance.
+        let second = mapper
+            .map(&free, &req, &Strategy::similar_topology().threads(2))
+            .unwrap();
+        assert_eq!(second.phys_nodes().len(), 9);
+        assert!(second.edit_distance() > 0);
+        assert!(second.is_connected());
+        // Its nodes must all be free ones.
+        for n in second.phys_nodes() {
+            assert!(free.contains(n));
+        }
+    }
+
+    #[test]
+    fn similar_prefers_exact_when_available() {
+        let phys = Topology::mesh2d(4, 4);
+        let req = Topology::mesh2d(2, 2);
+        let free: Vec<NodeId> = phys.nodes().collect();
+        let m = Mapper::new(&phys)
+            .map(&free, &req, &Strategy::similar_topology())
+            .unwrap();
+        assert_eq!(m.edit_distance(), 0);
+    }
+
+    #[test]
+    fn insufficient_nodes_error() {
+        let phys = Topology::mesh2d(2, 2);
+        let req = Topology::mesh2d(3, 3);
+        let free: Vec<NodeId> = phys.nodes().collect();
+        assert!(matches!(
+            Mapper::new(&phys).map(&free, &req, &Strategy::similar_topology()),
+            Err(TopoError::InsufficientNodes {
+                requested: 9,
+                available: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn mapping_is_injective() {
+        let phys = Topology::mesh2d(5, 5);
+        let req = Topology::line(6);
+        let free = free_except(&phys, &[6, 7, 8, 11, 12, 13]);
+        let m = Mapper::new(&phys)
+            .map(&free, &req, &Strategy::similar_topology().threads(2))
+            .unwrap();
+        let mut seen = HashSet::new();
+        for n in m.phys_nodes() {
+            assert!(seen.insert(*n), "physical node {n} assigned twice");
+        }
+    }
+
+    #[test]
+    fn disconnected_free_region_needs_fragmentation_mode() {
+        // Free nodes form two islands of 2; request a 4-line.
+        let phys = Topology::mesh2d(3, 3);
+        let free = vec![NodeId(0), NodeId(1), NodeId(7), NodeId(8)];
+        let req = Topology::line(4);
+        let mapper = Mapper::new(&phys);
+        assert_eq!(
+            mapper.map(&free, &req, &Strategy::similar_topology()),
+            Err(TopoError::NoCandidate)
+        );
+        let m = mapper
+            .map(
+                &free,
+                &req,
+                &Strategy::similar_topology().allow_disconnected(true),
+            )
+            .unwrap();
+        assert!(!m.is_connected());
+        assert_eq!(m.phys_nodes().len(), 4);
+    }
+
+    #[test]
+    fn zero_node_request() {
+        let phys = Topology::mesh2d(2, 2);
+        let req = Topology::empty(0);
+        let free: Vec<NodeId> = phys.nodes().collect();
+        let m = Mapper::new(&phys)
+            .map(&free, &req, &Strategy::similar_topology())
+            .unwrap();
+        assert!(m.phys_nodes().is_empty());
+    }
+
+    #[test]
+    fn similar_beats_straightforward_on_distance() {
+        // Occupy a snake so that low-ID free cells are badly shaped.
+        let phys = Topology::mesh2d(5, 5);
+        let taken = [0u32, 2, 4, 10, 12, 14, 20, 22, 24];
+        let free = free_except(&phys, &taken);
+        let req = Topology::mesh2d(2, 2);
+        let mapper = Mapper::new(&phys);
+        let s = mapper
+            .map(&free, &req, &Strategy::straightforward())
+            .unwrap();
+        let t = mapper
+            .map(&free, &req, &Strategy::similar_topology().threads(2))
+            .unwrap();
+        assert!(
+            t.edit_distance() <= s.edit_distance(),
+            "similar ({}) must not lose to straightforward ({})",
+            t.edit_distance(),
+            s.edit_distance()
+        );
+    }
+
+    #[test]
+    fn policy_presets_match_figure10() {
+        // Performance-first = exact or fail; utilization-first = always
+        // place when nodes exist, even disconnected.
+        let phys = Topology::mesh2d(3, 3);
+        // Fragmented free set: the four corners.
+        let free = vec![NodeId(0), NodeId(2), NodeId(6), NodeId(8)];
+        let req = Topology::mesh2d(2, 2);
+        let mapper = Mapper::new(&phys);
+        assert!(mapper.map(&free, &req, &Strategy::performance_first()).is_err());
+        let m = mapper
+            .map(&free, &req, &Strategy::utilization_first())
+            .unwrap();
+        assert_eq!(m.phys_nodes().len(), 4);
+        assert!(!m.is_connected());
+    }
+
+    #[test]
+    fn chain_requests_embed_as_snakes() {
+        // A 12-chain onto an idle 4x3 mesh: the serpentine seed + 2-opt
+        // must keep every chain edge on a mesh edge (edit distance =
+        // only the mesh's surplus edges).
+        let phys = Topology::mesh2d(4, 3);
+        let req = Topology::line(12);
+        let free: Vec<NodeId> = phys.nodes().collect();
+        let m = Mapper::new(&phys)
+            .map(&free, &req, &Strategy::similar_topology().threads(1))
+            .unwrap();
+        // Every consecutive pair must be physically adjacent.
+        for w in m.phys_nodes().windows(2) {
+            assert!(
+                phys.has_edge(w[0], w[1]),
+                "chain neighbors {}-{} not adjacent",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn transposed_rectangle_found() {
+        // Only a vertical 1x3 strip is free; request a horizontal 3x1.
+        let phys = Topology::mesh2d(3, 3);
+        let free = vec![NodeId(1), NodeId(4), NodeId(7)];
+        let req = Topology::mesh2d(3, 1);
+        let m = Mapper::new(&phys)
+            .map(&free, &req, &Strategy::exact_only())
+            .unwrap();
+        assert_eq!(m.edit_distance(), 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! The micro-benchmark kernels of Figures 12 and 13.
+
+use vnpu_sim::isa::Kernel;
+
+/// `Conv32hw16c_16oc3k`: 32×32 input, 16→16 channels, 3×3 kernel.
+pub fn conv_32hw_16c_16oc_3k() -> Kernel {
+    Kernel::Conv {
+        hw: 32,
+        in_ch: 16,
+        out_ch: 16,
+        kernel: 3,
+        stride: 1,
+    }
+}
+
+/// `Matmul_128m_128k_128n`.
+pub fn matmul_128m_128k_128n() -> Kernel {
+    Kernel::Matmul {
+        m: 128,
+        k: 128,
+        n: 128,
+    }
+}
+
+/// `Conv16hw64c_128oc3k`: 16×16 input, 64→128 channels, 3×3 kernel.
+pub fn conv_16hw_64c_128oc_3k() -> Kernel {
+    Kernel::Conv {
+        hw: 16,
+        in_ch: 64,
+        out_ch: 128,
+        kernel: 3,
+        stride: 1,
+    }
+}
+
+/// `Matmul_64m_512k_32n`.
+pub fn matmul_64m_512k_32n() -> Kernel {
+    Kernel::Matmul {
+        m: 64,
+        k: 512,
+        n: 32,
+    }
+}
+
+/// The four Figure 13 kernels with their paper labels, in figure order.
+pub fn fig13_kernels() -> [(&'static str, Kernel); 4] {
+    [
+        ("Conv32hw16c_16oc3k", conv_32hw_16c_16oc_3k()),
+        ("Matmul_128m_128k_128n", matmul_128m_128k_128n()),
+        ("Conv16hw64c_128oc3k", conv_16hw_64c_128oc_3k()),
+        ("Matmul_64m_512k_32n", matmul_64m_512k_32n()),
+    ]
+}
+
+/// Output activation bytes of a kernel (int8), the payload broadcast in
+/// Figure 13.
+pub fn output_bytes(kernel: &Kernel) -> u64 {
+    match *kernel {
+        Kernel::Matmul { m, n, .. } => u64::from(m) * u64::from(n),
+        Kernel::Conv {
+            hw,
+            out_ch,
+            kernel,
+            stride,
+            ..
+        } => {
+            let o = u64::from(vnpu_sim::isa::out_dim(hw, kernel, stride));
+            o * o * u64::from(out_ch)
+        }
+        Kernel::Vector { elems } => elems,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnpu_sim::compute::kernel_cycles;
+    use vnpu_sim::SocConfig;
+
+    #[test]
+    fn four_kernels_enumerated() {
+        let ks = fig13_kernels();
+        assert_eq!(ks.len(), 4);
+        let names: Vec<_> = ks.iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"Matmul_128m_128k_128n"));
+    }
+
+    #[test]
+    fn conv_b_is_heaviest_like_the_paper() {
+        // Paper comp times: Conv16hw64c (96912) >> Conv32hw16c (13474) >
+        // Matmul_64m (5212) ~ Matmul_128m (4836).
+        let cfg = SocConfig::fpga();
+        let t: Vec<u64> = fig13_kernels()
+            .iter()
+            .map(|(_, k)| kernel_cycles(&cfg, k))
+            .collect();
+        assert!(t[2] > t[0], "Conv16hw64c must dominate Conv32hw16c");
+        assert!(t[0] > t[1], "Conv32hw16c must beat Matmul_128");
+    }
+
+    #[test]
+    fn output_sizes() {
+        assert_eq!(output_bytes(&matmul_128m_128k_128n()), 128 * 128);
+        assert_eq!(output_bytes(&conv_32hw_16c_16oc_3k()), 30 * 30 * 16);
+        assert_eq!(output_bytes(&Kernel::Vector { elems: 77 }), 77);
+    }
+}

@@ -1,0 +1,97 @@
+//! ML workloads for the vNPU simulator: analytic model graphs, a pipeline
+//! partitioner, and a compiler that lowers graphs to per-core instruction
+//! streams in the IPU-style programming model of §3.1 (every layer pinned
+//! to a core, activations forwarded with explicit sends over the NoC,
+//! weights streamed from global memory by DMA).
+//!
+//! * [`graph`] — [`ModelGraph`]: layers with kernels, weight/activation
+//!   sizes and dependencies.
+//! * [`models`] — the networks of the paper's evaluation: ResNet-18/34/50,
+//!   AlexNet, GoogLeNet, MobileNetV1, YOLO-Lite, BERT, GPT-2
+//!   small/medium/large, DLRM, EfficientNet, plus the Figure 15
+//!   micro-blocks.
+//! * [`partition`] — FLOP-balanced contiguous pipeline partitioning onto
+//!   `n` virtual cores.
+//! * [`compile`] — lowering to [`vnpu_sim::isa::Program`]s with NoC or
+//!   UVM (global-memory synchronization) communication.
+//! * [`kernels`] — the Figure 12/13 micro-benchmark kernels.
+//! * [`traffic`] — broadcast/reduce traffic generators (Figure 13).
+//!
+//! # Example
+//!
+//! ```
+//! use vnpu_workloads::{models, compile::{self, CompileOptions}};
+//! use vnpu_sim::SocConfig;
+//!
+//! # fn main() -> Result<(), vnpu_workloads::WorkloadError> {
+//! let cfg = SocConfig::sim();
+//! let model = models::resnet18();
+//! let out = compile::compile(&model, 9, &cfg, &CompileOptions::default())?;
+//! assert_eq!(out.programs.len(), 9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod graph;
+pub mod kernels;
+pub mod models;
+pub mod partition;
+pub mod traffic;
+pub mod transform;
+
+pub use graph::{Layer, LayerId, LayerKind, ModelGraph};
+
+use std::fmt;
+
+/// Errors from partitioning and compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// The model has no layers.
+    EmptyModel,
+    /// Zero cores requested.
+    NoCores,
+    /// One pipeline stage's weights exceed a tile's scratchpad.
+    StageTooLarge {
+        /// Stage index.
+        stage: usize,
+        /// Weight bytes the stage needs resident.
+        bytes: u64,
+        /// Per-tile scratchpad capacity.
+        capacity: u64,
+    },
+    /// A layer dependency references a later (or missing) layer.
+    BadDependency {
+        /// The layer with the bad dependency.
+        layer: u32,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::EmptyModel => write!(f, "model graph has no layers"),
+            WorkloadError::NoCores => write!(f, "at least one core is required"),
+            WorkloadError::StageTooLarge {
+                stage,
+                bytes,
+                capacity,
+            } => write!(
+                f,
+                "stage {stage} needs {bytes} weight bytes but a tile holds {capacity}; use more cores"
+            ),
+            WorkloadError::BadDependency { layer } => {
+                write!(f, "layer {layer} depends on a later or missing layer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, WorkloadError>;

@@ -1,0 +1,110 @@
+//! DLRM — the recommendation model of the Figure 3 motivation: embedding
+//! lookups plus small MLPs, i.e. memory-heavy and compute-light, the
+//! worst-case FLOPS utilization on a large NPU.
+
+use super::DTYPE_BYTES;
+use crate::graph::{GraphBuilder, LayerKind, ModelGraph};
+use vnpu_sim::isa::Kernel;
+
+/// DLRM with 8 embedding tables and the standard bottom/top MLPs.
+pub fn dlrm() -> ModelGraph {
+    let mut b = GraphBuilder::new();
+    // Bottom MLP over dense features: 13 -> 512 -> 256 -> 64.
+    let bot1 = b.chain(
+        "bot_mlp1",
+        LayerKind::Fc,
+        Kernel::Matmul { m: 1, k: 13, n: 512 },
+        13 * 512 * DTYPE_BYTES,
+        512 * DTYPE_BYTES,
+    );
+    let _ = bot1;
+    b.chain(
+        "bot_mlp2",
+        LayerKind::Fc,
+        Kernel::Matmul { m: 1, k: 512, n: 256 },
+        512 * 256 * DTYPE_BYTES,
+        256 * DTYPE_BYTES,
+    );
+    let bot3 = b.chain(
+        "bot_mlp3",
+        LayerKind::Fc,
+        Kernel::Matmul { m: 1, k: 256, n: 64 },
+        256 * 64 * DTYPE_BYTES,
+        64 * DTYPE_BYTES,
+    );
+    // Embedding tables: 8 tables of 1M rows x 64 dims (lookups are pure
+    // memory traffic; the kernel is a tiny gather).
+    let mut embeds = vec![bot3];
+    for i in 0..8 {
+        let e = b.push(
+            format!("embed{i}"),
+            LayerKind::Embed,
+            Kernel::Vector { elems: 64 },
+            1_000_000 * 64 * DTYPE_BYTES / 8, // tables sharded per core
+            64 * DTYPE_BYTES,
+            vec![],
+        );
+        embeds.push(e);
+    }
+    // Feature interaction: pairwise dots of 9 vectors of 64 dims.
+    let interact = b.push(
+        "interact",
+        LayerKind::Elementwise,
+        Kernel::Matmul { m: 9, k: 64, n: 9 },
+        0,
+        (9 * 9 + 64) * DTYPE_BYTES,
+        embeds,
+    );
+    // Top MLP: 512 -> 256 -> 1.
+    let top1 = b.push(
+        "top_mlp1",
+        LayerKind::Fc,
+        Kernel::Matmul { m: 1, k: 145, n: 512 },
+        145 * 512 * DTYPE_BYTES,
+        512 * DTYPE_BYTES,
+        vec![interact],
+    );
+    let top2 = b.push(
+        "top_mlp2",
+        LayerKind::Fc,
+        Kernel::Matmul { m: 1, k: 512, n: 256 },
+        512 * 256 * DTYPE_BYTES,
+        256 * DTYPE_BYTES,
+        vec![top1],
+    );
+    b.push(
+        "top_mlp3",
+        LayerKind::Fc,
+        Kernel::Matmul { m: 1, k: 256, n: 1 },
+        256 * DTYPE_BYTES,
+        DTYPE_BYTES,
+        vec![top2],
+    );
+    b.build("dlrm").expect("dlrm graph is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dlrm_is_memory_heavy_compute_light() {
+        let g = dlrm();
+        // Embedding weights dominate; MACs are tiny.
+        assert!(g.total_weight_bytes() > 50_000_000);
+        assert!(g.total_macs() < 2_000_000);
+    }
+
+    #[test]
+    fn dlrm_structure() {
+        let g = dlrm();
+        assert_eq!(g.len(), 3 + 8 + 1 + 3);
+        // The interaction layer joins 9 inputs.
+        let interact = g
+            .layers()
+            .iter()
+            .find(|l| l.name == "interact")
+            .expect("interact layer");
+        assert_eq!(interact.deps.len(), 9);
+    }
+}

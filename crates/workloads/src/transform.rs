@@ -1,0 +1,316 @@
+//! Graph transformations: operator splitting (tensor parallelism).
+//!
+//! A pipeline's throughput is capped by its heaviest single layer; to
+//! scale a model onto more cores than that allows (the paper's ResNet34
+//! on 24–28 cores, Figure 16/18), heavy layers are *column-split*: a
+//! convolution's output channels (or a matmul's N dimension) are halved
+//! into two parallel layers, each feeding the original consumers. The
+//! IPU programming model supports this directly — each half is just
+//! another vertex pinned to its own tile.
+
+use crate::graph::{Layer, LayerId, ModelGraph};
+use vnpu_sim::compute::kernel_cycles;
+use vnpu_sim::isa::Kernel;
+use vnpu_sim::SocConfig;
+
+/// How the halves share weights after a split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WeightMode {
+    /// Output-channel split: each half holds half the weights.
+    Halve,
+    /// Spatial (row) split: both halves need the full filter set.
+    Replicate,
+}
+
+/// Whether a layer can be usefully split.
+fn splittable(kernel: &Kernel) -> bool {
+    match *kernel {
+        Kernel::Matmul { m, n, .. } => n >= 2 || m >= 2,
+        Kernel::Conv { hw, out_ch, .. } => out_ch >= 2 || hw >= 2,
+        Kernel::Vector { elems } => elems >= 2,
+    }
+}
+
+/// Splits a kernel along the dimension that actually reduces
+/// systolic-array tiles: halving `n`/`out_ch` only helps when it crosses
+/// a tile boundary (`⌈n/2/D⌉ < ⌈n/D⌉`); otherwise the output *rows* are
+/// split instead (spatial partitioning — both halves then need the full
+/// filter set). A spatially-split convolution is expressed as its im2col
+/// matmul halves.
+fn split_kernel(kernel: &Kernel, d: u64) -> (Kernel, Kernel, WeightMode) {
+    let crosses_tile = |n: u64| n >= 2 && (n / 2).div_ceil(d) < n.div_ceil(d);
+    match *kernel {
+        Kernel::Matmul { m, k, n } => {
+            if crosses_tile(u64::from(n)) {
+                (
+                    Kernel::Matmul { m, k, n: n / 2 },
+                    Kernel::Matmul { m, k, n: n - n / 2 },
+                    WeightMode::Halve,
+                )
+            } else {
+                (
+                    Kernel::Matmul { m: m / 2, k, n },
+                    Kernel::Matmul { m: m - m / 2, k, n },
+                    WeightMode::Replicate,
+                )
+            }
+        }
+        Kernel::Conv {
+            hw,
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+        } => {
+            if crosses_tile(u64::from(out_ch)) {
+                (
+                    Kernel::Conv {
+                        hw,
+                        in_ch,
+                        out_ch: out_ch / 2,
+                        kernel,
+                        stride,
+                    },
+                    Kernel::Conv {
+                        hw,
+                        in_ch,
+                        out_ch: out_ch - out_ch / 2,
+                        kernel,
+                        stride,
+                    },
+                    WeightMode::Halve,
+                )
+            } else {
+                // Spatial split: each half computes half the output rows,
+                // expressed as the im2col matmul (MACs preserved exactly;
+                // the im2col rebuild overhead of the halves is folded away
+                // — a deliberate, documented simplification).
+                let out = u64::from(vnpu_sim::isa::out_dim(hw, kernel, stride));
+                let m = out * out;
+                let k = u64::from(in_ch) * u64::from(kernel) * u64::from(kernel);
+                (
+                    Kernel::Matmul {
+                        m: (m / 2) as u32,
+                        k: k as u32,
+                        n: out_ch,
+                    },
+                    Kernel::Matmul {
+                        m: (m - m / 2) as u32,
+                        k: k as u32,
+                        n: out_ch,
+                    },
+                    WeightMode::Replicate,
+                )
+            }
+        }
+        Kernel::Vector { elems } => (
+            Kernel::Vector { elems: elems / 2 },
+            Kernel::Vector {
+                elems: elems - elems / 2,
+            },
+            WeightMode::Halve,
+        ),
+    }
+}
+
+/// Column-splits heavy layers until the graph has at least
+/// `target_stages` layers *and* no single layer exceeds its fair share of
+/// the total compute (within 2×), or until no further split helps.
+///
+/// The result computes the same MACs (up to integer halving) and moves
+/// the same activation bytes; each split adds one extra consumer edge per
+/// original consumer (the halves are concatenated at the consumer).
+pub fn split_for_stages(graph: &ModelGraph, target_stages: u32, cfg: &SocConfig) -> ModelGraph {
+    let mut layers: Vec<Layer> = graph.layers().to_vec();
+    let budget = 3 * target_stages as usize + 8; // split attempts bound
+    for _ in 0..budget {
+        let costs: Vec<u64> = layers.iter().map(|l| kernel_cycles(cfg, &l.kernel)).collect();
+        let total: u64 = costs.iter().sum();
+        let fair = total / u64::from(target_stages.max(1)) + 1;
+        // Find the heaviest splittable layer.
+        let Some((idx, &cost)) = costs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| splittable(&layers[*i].kernel))
+            .max_by_key(|(_, &c)| c)
+        else {
+            break;
+        };
+        let enough_layers = layers.len() >= target_stages as usize;
+        let balanced = cost * 20 <= fair * 21; // within 1.05x of the fair share
+        if enough_layers && balanced {
+            break;
+        }
+        if cost < 2 * vnpu_sim::compute::KERNEL_ISSUE_OVERHEAD {
+            break; // splitting trivia only adds overhead
+        }
+        // Stop if splitting would not reduce the cost (e.g. a tiny kernel
+        // whose tile count cannot shrink).
+        let (ka, kb, _) = split_kernel(&layers[idx].kernel, u64::from(cfg.systolic_dim));
+        let split_cost = kernel_cycles(cfg, &ka).max(kernel_cycles(cfg, &kb));
+        if split_cost >= cost {
+            break;
+        }
+        layers = split_at(&layers, idx, u64::from(cfg.systolic_dim));
+    }
+    ModelGraph::new(format!("{}/split", graph.name()), layers).expect("split graph is valid")
+}
+
+/// Replaces layer `idx` with two halves; consumers depend on both.
+fn split_at(layers: &[Layer], idx: usize, d: u64) -> Vec<Layer> {
+    let (ka, kb, weights) = split_kernel(&layers[idx].kernel, d);
+    let old = &layers[idx];
+    let (wa, wb) = match weights {
+        WeightMode::Halve => (old.weight_bytes / 2, old.weight_bytes - old.weight_bytes / 2),
+        WeightMode::Replicate => (old.weight_bytes, old.weight_bytes),
+    };
+    let half_a = Layer {
+        name: format!("{}.a", old.name),
+        kind: old.kind,
+        kernel: ka,
+        weight_bytes: wa,
+        out_bytes: (old.out_bytes / 2).max(1),
+        deps: old.deps.clone(),
+    };
+    let half_b = Layer {
+        name: format!("{}.b", old.name),
+        kind: old.kind,
+        kernel: kb,
+        weight_bytes: wb,
+        out_bytes: (old.out_bytes - old.out_bytes / 2).max(1),
+        deps: old.deps.clone(),
+    };
+    // Old index i maps to: i (i < idx), idx & idx+1 (the halves),
+    // i + 1 (i > idx).
+    let remap = |d: LayerId| -> Vec<LayerId> {
+        match d.index() {
+            i if i < idx => vec![LayerId(i as u32)],
+            i if i == idx => vec![LayerId(idx as u32), LayerId(idx as u32 + 1)],
+            i => vec![LayerId(i as u32 + 1)],
+        }
+    };
+    let mut out = Vec::with_capacity(layers.len() + 1);
+    for (i, l) in layers.iter().enumerate() {
+        if i == idx {
+            out.push(half_a.clone());
+            out.push(half_b.clone());
+            continue;
+        }
+        let mut deps = Vec::new();
+        for &d in &l.deps {
+            deps.extend(remap(d));
+        }
+        out.push(Layer {
+            deps,
+            ..l.clone()
+        });
+    }
+    out
+}
+
+/// The ratio by which splitting reduced the heaviest layer, for reports.
+pub fn bottleneck_reduction(
+    original: &ModelGraph,
+    split: &ModelGraph,
+    cfg: &SocConfig,
+) -> f64 {
+    let max_of = |g: &ModelGraph| {
+        g.layers()
+            .iter()
+            .map(|l| kernel_cycles(cfg, &l.kernel))
+            .max()
+            .unwrap_or(1) as f64
+    };
+    max_of(original) / max_of(split)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn split_preserves_macs_approximately() {
+        let cfg = SocConfig::sim();
+        let g = models::resnet34();
+        let s = split_for_stages(&g, 24, &cfg);
+        let ratio = s.total_macs() as f64 / g.total_macs() as f64;
+        assert!((0.95..1.05).contains(&ratio), "MACs drifted: {ratio}");
+        assert!(s.len() >= 24);
+    }
+
+    #[test]
+    fn split_balances_heaviest_layer() {
+        let cfg = SocConfig::sim();
+        let g = models::resnet34();
+        let s = split_for_stages(&g, 28, &cfg);
+        assert!(bottleneck_reduction(&g, &s, &cfg) >= 1.0);
+        // Post-condition: the heaviest layer is within ~1.25x of the fair
+        // per-stage share (or cannot be split further).
+        let costs: Vec<u64> = s
+            .layers()
+            .iter()
+            .map(|l| kernel_cycles(&cfg, &l.kernel))
+            .collect();
+        let total: u64 = costs.iter().sum();
+        let fair = total / 28 + 1;
+        let heaviest = *costs.iter().max().unwrap();
+        assert!(
+            heaviest * 4 <= fair * 5 + 4 * vnpu_sim::compute::KERNEL_ISSUE_OVERHEAD,
+            "heaviest {heaviest} vs fair {fair}"
+        );
+    }
+
+    #[test]
+    fn split_keeps_graph_valid_and_acyclic() {
+        let cfg = SocConfig::sim();
+        for model in [models::resnet18(), models::gpt2_small(), models::alexnet()] {
+            let s = split_for_stages(&model, 32, &cfg);
+            // ModelGraph::new validated topological order already; check
+            // consumers reachable.
+            let consumers = s.consumers();
+            assert_eq!(consumers.len(), s.len());
+            assert!(s.total_weight_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn consumers_of_split_layer_depend_on_both_halves() {
+        let cfg = SocConfig::sim();
+        let g = models::alexnet();
+        let s = split_for_stages(&g, 16, &cfg);
+        // Find a pair of ".a"/".b" halves and check a consumer lists both.
+        let a = s
+            .layers()
+            .iter()
+            .position(|l| l.name.ends_with(".a"))
+            .expect("some layer split");
+        let b = a + 1;
+        assert!(s.layers()[b].name.ends_with(".b"));
+        let consumers = s.consumers();
+        // Every consumer of half a must also consume half b.
+        for c in &consumers[a] {
+            assert!(
+                s.layer(*c).deps.contains(&crate::graph::LayerId(b as u32)),
+                "consumer {c} lost half b"
+            );
+        }
+    }
+
+    #[test]
+    fn already_balanced_graph_untouched_when_layers_suffice() {
+        let cfg = SocConfig::sim();
+        let g = models::gpt2_small(); // 97 uniform-ish layers
+        let s = split_for_stages(&g, 12, &cfg);
+        // Uniform blocks with enough layers: at most minor splitting.
+        assert!(s.len() < g.len() + 8);
+    }
+
+    #[test]
+    fn small_target_no_split() {
+        let cfg = SocConfig::sim();
+        let g = models::yolo_lite();
+        let s = split_for_stages(&g, 1, &cfg);
+        assert_eq!(s.len(), g.len());
+    }
+}

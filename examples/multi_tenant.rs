@@ -1,0 +1,92 @@
+//! Multi-tenant serving: three differently-sized virtual NPUs share one
+//! chip; tenants come and go and the hypervisor reuses their cores.
+//!
+//! ```sh
+//! cargo run --example multi_tenant
+//! ```
+
+use vnpu::{Hypervisor, VirtCoreId, VnpuRequest};
+use vnpu_sim::machine::Machine;
+use vnpu_sim::SocConfig;
+use vnpu_workloads::compile::{compile, CompileOptions};
+use vnpu_workloads::models;
+use vnpu_workloads::ModelGraph;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SocConfig::sim();
+    let mut hypervisor = Hypervisor::new(cfg.clone());
+
+    // Three tenants with different shapes and models.
+    let tenants: Vec<(&str, ModelGraph, VnpuRequest)> = vec![
+        (
+            "vision",
+            models::resnet18(),
+            VnpuRequest::mesh(4, 3).mem_bytes(256 << 20),
+        ),
+        (
+            "llm",
+            models::gpt2_small(),
+            VnpuRequest::cores(12).mem_bytes(1 << 30),
+        ),
+        (
+            "detector",
+            models::yolo_lite(),
+            VnpuRequest::mesh(3, 3).mem_bytes(128 << 20).noc_isolation(true),
+        ),
+    ];
+
+    let mut machine = Machine::new(cfg.clone());
+    let mut handles = Vec::new();
+    for (name, model, request) in &tenants {
+        let vm = hypervisor.create_vnpu(request.clone())?;
+        let vnpu = hypervisor.vnpu(vm)?;
+        let opts = CompileOptions {
+            iterations: 8,
+            weight_va_base: vnpu.va_base().value(),
+            ..Default::default()
+        };
+        let compiled = compile(model, vnpu.core_count(), &cfg, &opts)?;
+        let tenant = machine.add_tenant(name);
+        for (v, program) in compiled.programs.iter().enumerate() {
+            let vcore = VirtCoreId(v as u32);
+            machine.bind_with(
+                vnpu.phys_core(vcore)?,
+                tenant,
+                v as u32,
+                program.clone(),
+                vnpu.services(vcore)?,
+            )?;
+        }
+        handles.push((vm, tenant, *name));
+        println!(
+            "placed '{name}' on {} cores (edit distance {}), chip utilization now {:.0}%",
+            vnpu.core_count(),
+            vnpu.mapping().edit_distance(),
+            100.0 * hypervisor.core_utilization(),
+        );
+    }
+
+    let report = machine.run()?;
+    for (_, tenant, name) in &handles {
+        println!(
+            "'{name}': {:.1} fps, warm-up {} cycles",
+            report.fps(*tenant),
+            report.warmup_cycles(*tenant),
+        );
+    }
+
+    // Tear down the LLM tenant and show that its cores are reusable.
+    let (llm_vm, _, _) = handles[1];
+    hypervisor.destroy_vnpu(llm_vm)?;
+    println!(
+        "destroyed the llm tenant: {} cores free again",
+        hypervisor.free_core_count()
+    );
+    let replacement = hypervisor.create_vnpu(VnpuRequest::mesh(3, 4).mem_bytes(64 << 20))?;
+    println!(
+        "replacement {} allocated with edit distance {}",
+        replacement,
+        hypervisor.vnpu(replacement)?.mapping().edit_distance()
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Quickstart: provision a virtual NPU, compile a small CNN onto it, and
+//! run it on the simulated chip.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use vnpu::{Hypervisor, VirtCoreId, VnpuRequest};
+use vnpu_sim::machine::Machine;
+use vnpu_sim::SocConfig;
+use vnpu_workloads::compile::{compile, CompileOptions};
+use vnpu_workloads::models;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A 36-core inter-core connected NPU (the paper's SIM config).
+    let cfg = SocConfig::sim();
+    let mut hypervisor = Hypervisor::new(cfg.clone());
+
+    // 2. Ask for a 3x3 virtual NPU with 256 MB of guest memory.
+    let vm = hypervisor.create_vnpu(VnpuRequest::mesh(3, 3).mem_bytes(256 << 20))?;
+    let vnpu = hypervisor.vnpu(vm)?;
+    println!(
+        "created {vm}: {} cores, edit distance {}, routing table with {} entr{}",
+        vnpu.core_count(),
+        vnpu.mapping().edit_distance(),
+        vnpu.routing_table().entry_count(),
+        if vnpu.routing_table().entry_count() == 1 { "y" } else { "ies" },
+    );
+
+    // 3. Compile YOLO-Lite as a 9-stage pipeline for the virtual cores.
+    let model = models::yolo_lite();
+    let opts = CompileOptions {
+        iterations: 16,
+        weight_va_base: vnpu.va_base().value(),
+        ..Default::default()
+    };
+    let compiled = compile(&model, vnpu.core_count(), &cfg, &opts)?;
+
+    // 4. Bind every virtual core with its vRouter + vChunk services.
+    let mut machine = Machine::new(cfg);
+    let tenant = machine.add_tenant("quickstart");
+    for (v, program) in compiled.programs.iter().enumerate() {
+        let vcore = VirtCoreId(v as u32);
+        machine.bind_with(
+            vnpu.phys_core(vcore)?,
+            tenant,
+            v as u32,
+            program.clone(),
+            vnpu.services(vcore)?,
+        )?;
+    }
+
+    // 5. Run and report.
+    let report = machine.run()?;
+    println!(
+        "{}: {:.1} fps, warm-up {} cycles, makespan {} cycles, utilization {:.1}%",
+        model.name(),
+        report.fps(tenant),
+        report.warmup_cycles(tenant),
+        report.makespan(),
+        100.0 * report.tenant_utilization(tenant),
+    );
+    Ok(())
+}

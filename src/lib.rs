@@ -1,0 +1,17 @@
+//! Meta-crate for the vNPU reproduction workspace.
+//!
+//! This crate exists to host the runnable [examples](../examples) and the
+//! cross-crate integration tests under `tests/`. The actual library surface
+//! lives in the member crates:
+//!
+//! * [`vnpu_topo`] — topology graphs, graph edit distance, mapping strategies
+//! * [`vnpu_mem`] — buddy allocator, page/range translation (vChunk)
+//! * [`vnpu_sim`] — discrete-event inter-core connected NPU simulator
+//! * [`vnpu`] — vRouter, hypervisor, MIG/UVM baselines (the paper's system)
+//! * [`vnpu_workloads`] — ML model graphs and the pipeline compiler
+
+pub use vnpu;
+pub use vnpu_mem;
+pub use vnpu_sim;
+pub use vnpu_topo;
+pub use vnpu_workloads;

@@ -1,0 +1,104 @@
+//! Cross-design integration: the relative ordering of the virtualization
+//! designs must hold on a common workload (the paper's overall story).
+
+use vnpu::vchunk::MemMode;
+use vnpu::vrouter::RoutePolicy;
+use vnpu::{Hypervisor, VirtCoreId, VnpuRequest};
+use vnpu_sim::machine::Machine;
+use vnpu_sim::SocConfig;
+use vnpu_workloads::compile::{compile, CommMode, CompileOptions};
+use vnpu_workloads::models;
+
+/// Runs GPT2-small on 8 cores under a given (memory mode, comm mode).
+fn run(cfg: &SocConfig, mem: MemMode, comm: CommMode) -> f64 {
+    let model = models::gpt2_small();
+    let opts = CompileOptions {
+        iterations: 8,
+        comm,
+        weight_va_base: vnpu::vnpu::GUEST_VA_BASE,
+        ..Default::default()
+    };
+    let out = compile(&model, 8, cfg, &opts).expect("compile");
+    let mut hv = Hypervisor::new(cfg.clone());
+    let vm = hv
+        .create_vnpu(VnpuRequest::mesh(4, 2).mem_bytes(1 << 30))
+        .expect("create");
+    let vnpu = hv.vnpu(vm).expect("vnpu");
+    let mut machine = Machine::new(cfg.clone());
+    let tenant = machine.add_tenant("model");
+    for (v, p) in out.programs.iter().enumerate() {
+        let vcore = VirtCoreId(v as u32);
+        machine
+            .bind_with(
+                vnpu.phys_core(vcore).unwrap(),
+                tenant,
+                v as u32,
+                p.clone(),
+                vnpu.services_with(vcore, mem, RoutePolicy::Dor).unwrap(),
+            )
+            .unwrap();
+    }
+    machine.run().unwrap().fps(tenant)
+}
+
+#[test]
+fn design_ordering_holds() {
+    let cfg = SocConfig::sim();
+    let vnpu_fps = run(&cfg, MemMode::vchunk(), CommMode::Noc);
+    let uvm_fps = run(&cfg, MemMode::Page { tlb_entries: 32 }, CommMode::Uvm);
+    let physical_noc = run(&cfg, MemMode::Physical, CommMode::Noc);
+
+    // vNPU ~= ideal physical memory with NoC (vChunk is nearly free).
+    assert!(
+        vnpu_fps > physical_noc * 0.95,
+        "vChunk must be nearly free: {vnpu_fps:.1} vs {physical_noc:.1}"
+    );
+    // NoC data flow beats UVM global-memory synchronization.
+    assert!(
+        vnpu_fps > uvm_fps * 1.2,
+        "inter-core connections must win: {vnpu_fps:.1} vs {uvm_fps:.1}"
+    );
+}
+
+#[test]
+fn noc_isolation_does_not_cost_performance_on_regular_allocations() {
+    // For a rectangular vNPU, confined routing uses the same shortest
+    // paths as DOR, so isolation should be free.
+    let cfg = SocConfig::sim();
+    let model = models::resnet18();
+    let opts = CompileOptions {
+        iterations: 6,
+        weight_va_base: vnpu::vnpu::GUEST_VA_BASE,
+        ..Default::default()
+    };
+    let out = compile(&model, 9, &cfg, &opts).expect("compile");
+    let run_policy = |policy| {
+        let mut hv = Hypervisor::new(cfg.clone());
+        let vm = hv
+            .create_vnpu(VnpuRequest::mesh(3, 3).mem_bytes(256 << 20))
+            .unwrap();
+        let vnpu = hv.vnpu(vm).unwrap();
+        let mut machine = Machine::new(cfg.clone());
+        let tenant = machine.add_tenant("r18");
+        for (v, p) in out.programs.iter().enumerate() {
+            let vcore = VirtCoreId(v as u32);
+            machine
+                .bind_with(
+                    vnpu.phys_core(vcore).unwrap(),
+                    tenant,
+                    v as u32,
+                    p.clone(),
+                    vnpu.services_with(vcore, MemMode::vchunk(), policy).unwrap(),
+                )
+                .unwrap();
+        }
+        machine.run().unwrap().fps(tenant)
+    };
+    let dor = run_policy(RoutePolicy::Dor);
+    let confined = run_policy(RoutePolicy::Confined);
+    let ratio = confined / dor;
+    assert!(
+        (0.95..=1.05).contains(&ratio),
+        "confinement on a rectangle must be free: {ratio:.3}"
+    );
+}

@@ -1,142 +1,8 @@
-//! **Ablation** (§4.1.2) — NoC routing strategies for irregular virtual
-//! NPUs: default DOR (packets may cross foreign cores → interference) vs.
-//! direction-override routing confined to the virtual topology.
-//!
-//! This reproduces Figure 5's scenario literally: vNPU2 owns physical
-//! cores {3, 6, 7, 11} of a 4×3 mesh; its 11→6 flow under DOR crosses
-//! foreign core 10 and shares the (10,6) link with the neighbouring
-//! tenant's own traffic. Confined routing (11→7→6) removes the shared
-//! link, eliminating the cross-tenant contention.
-
-use vnpu::vrouter::RoutePolicy;
-use vnpu_bench::{adhoc_vrouter, print_table};
-use vnpu_mem::translate::PhysicalTranslator;
-use vnpu_sim::isa::{Instr, Program};
-use vnpu_sim::machine::{CoreServices, Machine};
-use vnpu_sim::SocConfig;
-
-const ITERATIONS: u32 = 128;
-const BYTES: u64 = 16 * 1024;
-
-/// Runs both tenants with tenant A using the given policy; returns
-/// (A cycles/iter, B cycles/iter, total link contention).
-fn run(policy: RoutePolicy) -> (f64, f64, u64) {
-    let cfg = SocConfig {
-        mesh_width: 4,
-        mesh_height: 3,
-        ..SocConfig::fpga()
-    };
-    let mut machine = Machine::new(cfg.clone());
-
-    // Tenant A = Figure 5's vNPU2 on {3, 6, 7, 11}; virtual 3 (phys 11)
-    // streams to virtual 1 (phys 6) every iteration.
-    let a = machine.add_tenant("vnpu2");
-    let a_cores = vec![3u32, 6, 7, 11];
-    let bind_a = |machine: &mut Machine, vcore: u32, program: Program| {
-        let mut router = adhoc_vrouter(&cfg, a_cores.clone(), policy);
-        router.precompute_paths();
-        machine
-            .bind_with(
-                a_cores[vcore as usize],
-                a,
-                vcore,
-                program,
-                CoreServices {
-                    router: Box::new(router),
-                    translator: Box::new(PhysicalTranslator::new()),
-                    limiter: None,
-                },
-            )
-            .unwrap();
-    };
-    bind_a(
-        &mut machine,
-        3,
-        Program::looped(vec![], vec![Instr::send(1, BYTES, 0)], ITERATIONS),
-    );
-    bind_a(
-        &mut machine,
-        1,
-        Program::looped(vec![], vec![Instr::recv(3, BYTES, 0)], ITERATIONS),
-    );
-
-    // Tenant B owns {2, 10}; its 10→2 flow always rides DOR through
-    // foreign core 6, sharing the (10,6) link with A's DOR route.
-    let b = machine.add_tenant("neighbour");
-    let b_cores = vec![10u32, 2];
-    for (vcore, program) in [
-        (
-            0u32,
-            Program::looped(vec![], vec![Instr::send(1, BYTES, 0)], ITERATIONS),
-        ),
-        (
-            1u32,
-            Program::looped(vec![], vec![Instr::recv(0, BYTES, 0)], ITERATIONS),
-        ),
-    ] {
-        let router = adhoc_vrouter(&cfg, b_cores.clone(), RoutePolicy::Dor);
-        machine
-            .bind_with(
-                b_cores[vcore as usize],
-                b,
-                vcore,
-                program,
-                CoreServices {
-                    router: Box::new(router),
-                    translator: Box::new(PhysicalTranslator::new()),
-                    limiter: None,
-                },
-            )
-            .unwrap();
-    }
-
-    let report = machine.run().unwrap();
-    (
-        report.cycles_per_iteration(a),
-        report.cycles_per_iteration(b),
-        report.noc_contention_cycles(),
-    )
-}
+//! Thin bench entry point; the scenario lives in
+//! [`vnpu_bench::figs::ablation_noc_isolation`] so `tests/benches_smoke.rs` can run it at
+//! tiny scale under `cargo test`. Pass `-- --quick` for the same fast
+//! mode here.
 
 fn main() {
-    let (dor_a, dor_b, dor_contention) = run(RoutePolicy::Dor);
-    let (conf_a, conf_b, conf_contention) = run(RoutePolicy::Confined);
-    print_table(
-        "Ablation: Figure 5's NoC interference — DOR vs confined routing for vNPU2",
-        &[
-            "vNPU2 policy",
-            "vNPU2 c/iter",
-            "neighbour c/iter",
-            "link contention (cyc)",
-        ],
-        &[
-            vec![
-                "DOR".to_owned(),
-                format!("{dor_a:.0}"),
-                format!("{dor_b:.0}"),
-                dor_contention.to_string(),
-            ],
-            vec![
-                "Confined".to_owned(),
-                format!("{conf_a:.0}"),
-                format!("{conf_b:.0}"),
-                conf_contention.to_string(),
-            ],
-        ],
-    );
-    println!(
-        "\nUnder DOR both tenants fight for the (10,6) link ({dor_contention} wait \
-         cycles); the direction-override path 11→7→6 stays inside vNPU2 and the \
-         contention drops to {conf_contention} — the §4.1.2 'NoC non-interference' \
-         guarantee."
-    );
-    assert!(dor_contention > 0, "Figure 5's DOR interference must appear");
-    assert!(
-        conf_contention < dor_contention / 4,
-        "confinement must remove the shared-link contention"
-    );
-    assert!(
-        conf_b <= dor_b,
-        "the neighbour must not slow down when vNPU2 confines itself"
-    );
+    vnpu_bench::figs::ablation_noc_isolation::run(vnpu_bench::harness::quick_from_env());
 }

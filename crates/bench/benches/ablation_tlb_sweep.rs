@@ -1,85 +1,8 @@
-//! **Ablation** (§4.2) — translation-hardware sizing sweep: range-TLB and
-//! IOTLB entry counts vs. translation stall cycles on a streamed ResNet.
-//!
-//! The range TLB saturates at a handful of entries (one per live tensor),
-//! while the page IOTLB keeps paying compulsory misses regardless of size
-//! — the structural argument for vChunk.
-
-use vnpu::vchunk::MemMode;
-use vnpu::vrouter::RoutePolicy;
-use vnpu::{Hypervisor, VnpuRequest};
-use vnpu_bench::{bind_design, print_table, Design};
-use vnpu_sim::machine::Machine;
-use vnpu_sim::SocConfig;
-use vnpu_workloads::compile::{compile, CompileOptions, Residency};
-use vnpu_workloads::models;
-
-const ITERATIONS: u32 = 3;
-
-fn stall_cycles(cfg: &SocConfig, mode: MemMode) -> (u64, f64) {
-    let model = models::resnet18();
-    let opts = CompileOptions {
-        iterations: ITERATIONS,
-        residency: Residency::Streamed,
-        weight_va_base: vnpu::vnpu::GUEST_VA_BASE,
-        ..Default::default()
-    };
-    let out = compile(&model, 8, cfg, &opts).expect("compile");
-    let mut machine = Machine::new(cfg.clone());
-    let mut hv = Hypervisor::new(cfg.clone());
-    let vm = hv
-        .create_vnpu(VnpuRequest::mesh(4, 2).mem_bytes(64 << 20))
-        .expect("vNPU");
-    let tenant = bind_design(
-        &mut machine,
-        &hv,
-        vm,
-        &out.programs,
-        Design::VnpuWith(mode, RoutePolicy::Dor),
-        "sweep",
-    );
-    let report = machine.run().expect("run");
-    (report.translation_cycles(), report.fps(tenant))
-}
+//! Thin bench entry point; the scenario lives in
+//! [`vnpu_bench::figs::ablation_tlb_sweep`] so `tests/benches_smoke.rs` can run it at
+//! tiny scale under `cargo test`. Pass `-- --quick` for the same fast
+//! mode here.
 
 fn main() {
-    let cfg = SocConfig::fpga();
-    let mut rows = Vec::new();
-    let mut range_stalls = Vec::new();
-    let mut page_stalls = Vec::new();
-    for entries in [1usize, 2, 4, 8, 16, 32] {
-        let (rc, rf) = stall_cycles(&cfg, MemMode::Range { tlb_entries: entries });
-        let (pc, pf) = stall_cycles(&cfg, MemMode::Page { tlb_entries: entries });
-        range_stalls.push(rc);
-        page_stalls.push(pc);
-        rows.push(vec![
-            entries.to_string(),
-            rc.to_string(),
-            format!("{rf:.1}"),
-            pc.to_string(),
-            format!("{pf:.1}"),
-        ]);
-    }
-    print_table(
-        "Ablation: TLB-size sweep (streamed ResNet-18, FPGA config)",
-        &["entries", "range stalls", "range fps", "page stalls", "page fps"],
-        &rows,
-    );
-    println!(
-        "\nRange translation needs only a couple of entries; page translation's compulsory \
-         misses persist at any size (streaming working sets exceed any IOTLB reach)."
-    );
-    // Range TLB with >=2 entries must beat the best page TLB by 10x+.
-    assert!(
-        range_stalls[2] * 10 < page_stalls[5],
-        "range ({}) must be far below page ({})",
-        range_stalls[2],
-        page_stalls[5]
-    );
-    // Page stalls barely improve with size (compulsory misses).
-    let improvement = page_stalls[0] as f64 / page_stalls[5].max(1) as f64;
-    assert!(
-        improvement < 2.0,
-        "page-TLB scaling cannot fix streaming misses ({improvement:.2}x)"
-    );
+    vnpu_bench::figs::ablation_tlb_sweep::run(vnpu_bench::harness::quick_from_env());
 }

@@ -1,94 +1,8 @@
-//! **Figure 6** — the trace of accessed global-memory addresses for the
-//! ResNet workload across NPU cores and iterations.
-//!
-//! Paper result: within one iteration each core's accessed weight
-//! addresses increase monotonically (Pattern-2); across iterations the
-//! same address sequence repeats (Pattern-3). These two patterns are what
-//! vChunk's `RTT_CUR` and `last_v` exploit.
-
-use vnpu_bench::print_table;
-use vnpu_sim::machine::Machine;
-use vnpu_sim::SocConfig;
-use vnpu_workloads::compile::{compile, CompileOptions, Residency};
-use vnpu_workloads::models;
-
-const ITERATIONS: u32 = 3;
-const CORES: u32 = 4;
+//! Thin bench entry point; the scenario lives in
+//! [`vnpu_bench::figs::fig06_mem_trace`] so `tests/benches_smoke.rs` can run it at
+//! tiny scale under `cargo test`. Pass `-- --quick` for the same fast
+//! mode here.
 
 fn main() {
-    let cfg = SocConfig::fpga();
-    let model = models::resnet50();
-    let opts = CompileOptions {
-        iterations: ITERATIONS,
-        residency: Residency::Streamed,
-        ..Default::default()
-    };
-    let out = compile(&model, CORES, &cfg, &opts).expect("compile");
-    let mut machine = Machine::new(cfg.clone());
-    machine.enable_mem_trace();
-    let tenant = machine.add_tenant("resnet50");
-    for (c, p) in out.programs.iter().enumerate() {
-        machine.bind(c as u32, tenant, c as u32, p.clone()).expect("bind");
-    }
-    let report = machine.run().expect("run");
-    let trace = report.mem_trace();
-    assert!(!trace.is_empty(), "mem trace must be recorded");
-
-    // Split per core, then per iteration (address resets mark boundaries).
-    let mut rows = Vec::new();
-    for core in 0..CORES {
-        let accesses: Vec<(u64, u64)> = trace
-            .iter()
-            .filter(|(_, c, _)| *c == core)
-            .map(|(t, _, va)| (*t, *va))
-            .collect();
-        if accesses.is_empty() {
-            continue;
-        }
-        // Iteration boundaries: where the address strictly drops.
-        let mut iterations: Vec<Vec<u64>> = vec![Vec::new()];
-        for w in accesses.windows(2) {
-            iterations.last_mut().unwrap().push(w[0].1);
-            if w[1].1 < w[0].1 {
-                iterations.push(Vec::new());
-            }
-        }
-        iterations.last_mut().unwrap().push(accesses.last().unwrap().1);
-
-        // Pattern-2: monotonic within each iteration.
-        let monotonic = iterations
-            .iter()
-            .all(|it| it.windows(2).all(|w| w[1] >= w[0]));
-        // Pattern-3: identical sequences across iterations.
-        let repeating = iterations.windows(2).all(|w| w[0] == w[1]);
-        rows.push(vec![
-            format!("core {core}"),
-            accesses.len().to_string(),
-            iterations.len().to_string(),
-            format!("{:#x}", iterations[0].first().copied().unwrap_or(0)),
-            format!("{:#x}", iterations[0].last().copied().unwrap_or(0)),
-            monotonic.to_string(),
-            repeating.to_string(),
-        ]);
-        assert!(monotonic, "core {core}: Pattern-2 must hold");
-        assert!(repeating, "core {core}: Pattern-3 must hold");
-        assert_eq!(iterations.len() as u32, ITERATIONS, "one sweep per iteration");
-    }
-    print_table(
-        "Figure 6: per-core global-memory access trace (ResNet-50, 3 iterations)",
-        &[
-            "core",
-            "accesses",
-            "sweeps",
-            "first VA",
-            "last VA",
-            "monotonic",
-            "repeating",
-        ],
-        &rows,
-    );
-    println!(
-        "\nEvery core sweeps its weight range monotonically within an iteration and \
-         repeats it across iterations — the patterns vChunk exploits (§4.2)."
-    );
+    vnpu_bench::figs::fig06_mem_trace::run(vnpu_bench::harness::quick_from_env());
 }

@@ -1,45 +1,8 @@
-//! **Figure 11** — configuration overhead of the routing table with
-//! different numbers of NPU cores.
-//!
-//! Paper result: the total routing-table setup (availability query +
-//! entry writes) is a few hundred cycles at 8 cores and grows linearly —
-//! negligible against virtual-NPU creation.
-
-use vnpu::routing_table::RoutingTable;
-use vnpu::{PhysCoreId, VmId};
-use vnpu_bench::print_table;
-use vnpu_sim::controller;
-use vnpu_topo::MeshShape;
+//! Thin bench entry point; the scenario lives in
+//! [`vnpu_bench::figs::fig11_rt_config`] so `tests/benches_smoke.rs` can run it at
+//! tiny scale under `cargo test`. Pass `-- --quick` for the same fast
+//! mode here.
 
 fn main() {
-    let mut rows = Vec::new();
-    for cores in 1..=8u32 {
-        let standard = RoutingTable::from_dense(VmId(0), &(0..cores).collect::<Vec<_>>());
-        let compact = RoutingTable::mesh2d(
-            VmId(0),
-            PhysCoreId(0),
-            MeshShape {
-                width: cores,
-                height: 1,
-            },
-            8,
-        );
-        rows.push(vec![
-            cores.to_string(),
-            standard.config_cycles().to_string(),
-            compact.config_cycles().to_string(),
-            controller::rt_config_cycles(cores).to_string(),
-        ]);
-    }
-    print_table(
-        "Figure 11: routing-table configuration cost (clocks) vs. #NPU cores",
-        &["cores", "standard RT", "compact (mesh) RT", "model"],
-        &rows,
-    );
-    let c8 = controller::rt_config_cycles(8);
-    println!(
-        "\n8-core standard configuration = {c8} clocks (paper: ~300; 'can be neglected \
-         during the virtual NPU creation')."
-    );
-    assert!((150..450).contains(&c8), "Fig11 shape: a few hundred cycles");
+    vnpu_bench::figs::fig11_rt_config::run(vnpu_bench::harness::quick_from_env());
 }

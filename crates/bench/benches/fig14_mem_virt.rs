@@ -1,103 +1,8 @@
-//! **Figure 14** — normalized performance of ML workloads under different
-//! memory-virtualization methods: ideal physical memory, vChunk (ours,
-//! 4 range-TLB entries), IOTLB-32 and IOTLB-4 page translation.
-//!
-//! Paper result: page-based translation costs ~20% with 4 IOTLB entries
-//! and ≥9.2% even with 32; vChunk stays within ~4.3% of physical memory,
-//! because whole-tensor ranges hit a 4-entry range TLB and the `last_v`
-//! chain removes scan costs across iterations.
-
-use vnpu::vchunk::MemMode;
-use vnpu::vrouter::RoutePolicy;
-use vnpu::{Hypervisor, VnpuRequest};
-use vnpu_bench::{bind_design, print_table, Design};
-use vnpu_sim::machine::Machine;
-use vnpu_sim::SocConfig;
-use vnpu_workloads::compile::{compile, CompileOptions, Residency};
-use vnpu_workloads::models;
-use vnpu_workloads::ModelGraph;
-
-const ITERATIONS: u32 = 4;
-const CORES: u32 = 8;
-
-fn run(cfg: &SocConfig, model: &ModelGraph, mode: MemMode) -> f64 {
-    let opts = CompileOptions {
-        iterations: ITERATIONS,
-        residency: Residency::Streamed, // weights stream from HBM: the §4.2 burst regime
-        weight_va_base: vnpu::vnpu::GUEST_VA_BASE,
-        ..Default::default()
-    };
-    let out = compile(model, CORES, cfg, &opts).expect("compile");
-    let mut machine = Machine::new(cfg.clone());
-    let mut hv = Hypervisor::new(cfg.clone());
-    let vm = hv
-        .create_vnpu(
-            VnpuRequest::mesh(4, 2).mem_bytes((out.va_footprint + (1 << 20)).max(64 << 20)),
-        )
-        .expect("vNPU");
-    let tenant = bind_design(
-        &mut machine,
-        &hv,
-        vm,
-        &out.programs,
-        Design::VnpuWith(mode, RoutePolicy::Dor),
-        model.name(),
-    );
-    machine.run().expect("run").fps(tenant)
-}
+//! Thin bench entry point; the scenario lives in
+//! [`vnpu_bench::figs::fig14_mem_virt`] so `tests/benches_smoke.rs` can run it at
+//! tiny scale under `cargo test`. Pass `-- --quick` for the same fast
+//! mode here.
 
 fn main() {
-    let cfg = SocConfig::fpga();
-    let models: Vec<ModelGraph> = vec![
-        models::alexnet(),
-        models::resnet18(),
-        models::googlenet(),
-        models::mobilenet_v1(),
-        models::yolo_lite(),
-        models::bert_base(), // the figure's "Transformer"
-    ];
-    let modes = [
-        ("Physical", MemMode::Physical),
-        ("Ours(vChunk)", MemMode::Range { tlb_entries: 4 }),
-        ("IOTLB32", MemMode::Page { tlb_entries: 32 }),
-        ("IOTLB4", MemMode::Page { tlb_entries: 4 }),
-    ];
-    let mut rows = Vec::new();
-    let mut sums = [0.0f64; 4];
-    for model in &models {
-        let fps: Vec<f64> = modes.iter().map(|(_, m)| run(&cfg, model, *m)).collect();
-        let base = fps[0].max(1e-9);
-        let mut row = vec![model.name().to_owned()];
-        for (i, f) in fps.iter().enumerate() {
-            let norm = f / base;
-            sums[i] += norm;
-            row.push(format!("{norm:.3}"));
-        }
-        rows.push(row);
-    }
-    let n = models.len() as f64;
-    rows.push(vec![
-        "AVERAGE".to_owned(),
-        format!("{:.3}", sums[0] / n),
-        format!("{:.3}", sums[1] / n),
-        format!("{:.3}", sums[2] / n),
-        format!("{:.3}", sums[3] / n),
-    ]);
-    print_table(
-        "Figure 14: normalized fps under memory-virtualization methods",
-        &["model", "Physical", "Ours(vChunk)", "IOTLB32", "IOTLB4"],
-        &rows,
-    );
-    let avg_ours = sums[1] / n;
-    let avg_32 = sums[2] / n;
-    let avg_4 = sums[3] / n;
-    println!(
-        "\nAverage overhead: vChunk {:.1}% | IOTLB32 {:.1}% | IOTLB4 {:.1}% \
-         (paper: <4.3% | 9.2% | ~20%).",
-        100.0 * (1.0 - avg_ours),
-        100.0 * (1.0 - avg_32),
-        100.0 * (1.0 - avg_4)
-    );
-    assert!(avg_ours > avg_32 && avg_32 >= avg_4, "ordering must hold");
-    assert!(avg_ours > 0.90, "vChunk must stay near physical performance");
+    vnpu_bench::figs::fig14_mem_virt::run(vnpu_bench::harness::quick_from_env());
 }

@@ -1,155 +1,8 @@
-//! **Figure 16** — performance and warm-up latency of MIG-based virtual
-//! NPUs vs. vNPU, on 36- and 48-core chips running two tenants.
-//!
-//! Scenarios (as in the paper):
-//! * 36 cores: GPT2-small (needs 12 cores) + ResNet34. MIG's fixed 18+18
-//!   partitions strand 6 cores under GPT2-small and cap ResNet34 at 18;
-//!   vNPU allocates exactly 12 + 24.
-//! * 48 cores: GPT2-small + GPT2-large (needs 36 cores). MIG's 24+24
-//!   partitions force GPT2-large into TDM (36 virtual cores on 24
-//!   physical); vNPU allocates exactly 36 + 12.
-//!
-//! Paper result: up to 1.92× (GPT2-large) and 1.28× (ResNet34) vNPU
-//! advantage; vNPU itself costs <1% vs bare metal (§6.3.3); warm-up time
-//! is set by weight volume over the tenant's memory bandwidth (§6.3.4).
-
-use vnpu::mig::MigPartitioner;
-use vnpu::{Hypervisor, VnpuRequest};
-use vnpu_bench::{bind_design, bind_mig, print_table, Design};
-use vnpu_sim::machine::Machine;
-use vnpu_sim::SocConfig;
-use vnpu_workloads::compile::{compile, CompileOptions};
-use vnpu_workloads::models;
-use vnpu_workloads::ModelGraph;
-
-const ITERATIONS: u32 = 96;
-
-fn programs(model: &ModelGraph, cores: u32, cfg: &SocConfig) -> Vec<vnpu_sim::isa::Program> {
-    let opts = CompileOptions {
-        iterations: ITERATIONS,
-        weight_va_base: vnpu::vnpu::GUEST_VA_BASE,
-        ..Default::default()
-    };
-    compile(model, cores, cfg, &opts).expect("compile").programs
-}
-
-struct Outcome {
-    fps_a: f64,
-    fps_b: f64,
-    warmup_a: u64,
-    warmup_b: u64,
-}
-
-/// Runs two tenants under vNPU (exact-size allocations).
-fn run_vnpu(cfg: &SocConfig, a: (&ModelGraph, u32), b: (&ModelGraph, u32), design: Design) -> Outcome {
-    let mut machine = Machine::new(cfg.clone());
-    let mut hv = Hypervisor::new(cfg.clone());
-    let vm_a = hv
-        .create_vnpu(VnpuRequest::cores(a.1).mem_bytes(1 << 30))
-        .expect("vNPU A");
-    let vm_b = hv
-        .create_vnpu(VnpuRequest::cores(b.1).mem_bytes(1 << 30))
-        .expect("vNPU B");
-    let ta = bind_design(&mut machine, &hv, vm_a, &programs(a.0, a.1, cfg), design, a.0.name());
-    let tb = bind_design(&mut machine, &hv, vm_b, &programs(b.0, b.1, cfg), design, b.0.name());
-    let r = machine.run().expect("run");
-    Outcome {
-        fps_a: r.fps(ta),
-        fps_b: r.fps(tb),
-        warmup_a: r.warmup_cycles(ta),
-        warmup_b: r.warmup_cycles(tb),
-    }
-}
-
-/// Runs two tenants under MIG fixed partitions. Each tenant gets a whole
-/// partition; a tenant needing more virtual cores than the partition holds
-/// time-division-multiplexes. A tenant needing fewer still compiles to the
-/// number of cores it *wants* (the paper: GPT2-small uses 12 of 18/24).
-fn run_mig(cfg: &SocConfig, a: (&ModelGraph, u32), b: (&ModelGraph, u32)) -> Outcome {
-    let mut machine = Machine::new(cfg.clone());
-    let mut mig = MigPartitioner::standard(cfg);
-    let alloc_a = mig.allocate(a.1).expect("partition A");
-    let alloc_b = mig.allocate(b.1).expect("partition B");
-    let ta = bind_mig(&mut machine, cfg, &alloc_a, &programs(a.0, a.1, cfg), a.0.name());
-    let tb = bind_mig(&mut machine, cfg, &alloc_b, &programs(b.0, b.1, cfg), b.0.name());
-    let r = machine.run().expect("run");
-    Outcome {
-        fps_a: r.fps(ta),
-        fps_b: r.fps(tb),
-        warmup_a: r.warmup_cycles(ta),
-        warmup_b: r.warmup_cycles(tb),
-    }
-}
+//! Thin bench entry point; the scenario lives in
+//! [`vnpu_bench::figs::fig16_vnpu_vs_mig`] so `tests/benches_smoke.rs` can run it at
+//! tiny scale under `cargo test`. Pass `-- --quick` for the same fast
+//! mode here.
 
 fn main() {
-    // ---------------- 36-core chip ----------------
-    let cfg36 = SocConfig::sim();
-    let gpt_s = models::gpt2_small();
-    let resnet34 = models::resnet34();
-    // vNPU: exact 12 + 24; MIG: both squeezed into 18-core partitions
-    // (GPT2-small still runs 12 virtual cores; ResNet34 gets only 18).
-    let v36 = run_vnpu(&cfg36, (&gpt_s, 12), (&resnet34, 24), Design::Vnpu);
-    let m36 = run_mig(&cfg36, (&gpt_s, 12), (&resnet34, 18));
-    let bare36 = run_vnpu(&cfg36, (&gpt_s, 12), (&resnet34, 24), Design::BareMetal);
-
-    // ---------------- 48-core chip ----------------
-    let cfg48 = SocConfig::sim48();
-    let gpt_l = models::gpt2_large();
-    let v48 = run_vnpu(&cfg48, (&gpt_s, 12), (&gpt_l, 36), Design::Vnpu);
-    let m48 = run_mig(&cfg48, (&gpt_s, 12), (&gpt_l, 36)); // 36 vcores on 24 phys: TDM
-    let bare48 = run_vnpu(&cfg48, (&gpt_s, 12), (&gpt_l, 36), Design::BareMetal);
-
-    let fmt = |o: &Outcome| {
-        vec![
-            format!("{:.1}", o.fps_a),
-            format!("{:.1}", o.fps_b),
-            format!("{:.2}M", o.warmup_a as f64 / 1e6),
-            format!("{:.2}M", o.warmup_b as f64 / 1e6),
-        ]
-    };
-    let mut rows = Vec::new();
-    for (name, o) in [
-        ("36c vNPU (GPT2-s:12 + ResNet34:24)", &v36),
-        ("36c MIG  (GPT2-s:18p + ResNet34:18p)", &m36),
-        ("36c bare-metal (same alloc as vNPU)", &bare36),
-        ("48c vNPU (GPT2-s:12 + GPT2-l:36)", &v48),
-        ("48c MIG  (GPT2-s:24p + GPT2-l:24p TDM)", &m48),
-        ("48c bare-metal (same alloc as vNPU)", &bare48),
-    ] {
-        let mut row = vec![name.to_owned()];
-        row.extend(fmt(o));
-        rows.push(row);
-    }
-    print_table(
-        "Figure 16: fps and warm-up (cycles) under MIG vs vNPU",
-        &["scenario", "task1 fps", "task2 fps", "warmup1", "warmup2"],
-        &rows,
-    );
-
-    let resnet_speedup = v36.fps_b / m36.fps_b.max(1e-9);
-    let gptl_speedup = v48.fps_b / m48.fps_b.max(1e-9);
-    let overhead36 = 1.0 - v36.fps_b / bare36.fps_b.max(1e-9);
-    let overhead48 = 1.0 - v48.fps_b / bare48.fps_b.max(1e-9);
-    println!(
-        "\nvNPU vs MIG: ResNet34 {resnet_speedup:.2}x (paper 1.28x avg); \
-         GPT2-large {gptl_speedup:.2}x (paper up to 1.92x)."
-    );
-    println!(
-        "vNPU vs bare metal: {:.2}% (36c) / {:.2}% (48c) overhead (paper <1%).",
-        100.0 * overhead36,
-        100.0 * overhead48
-    );
-    assert!(
-        resnet_speedup > 1.1,
-        "more cores must beat MIG's fixed partition for ResNet34"
-    );
-    assert!(gptl_speedup > 1.4, "TDM must cost MIG dearly on GPT2-large");
-    assert!(overhead36.abs() < 0.03 && overhead48.abs() < 0.03, "vNPU ~free");
-    // GPT2-small under MIG wastes partition cores; vNPU gives it exactly 12,
-    // so its fps should be comparable (within noise) across designs.
-    let gpts_ratio = v48.fps_a / m48.fps_a.max(1e-9);
-    assert!(
-        (0.8..1.3).contains(&gpts_ratio),
-        "GPT2-small fps should be similar under both designs ({gpts_ratio:.2})"
-    );
+    vnpu_bench::figs::fig16_vnpu_vs_mig::run(vnpu_bench::harness::quick_from_env());
 }

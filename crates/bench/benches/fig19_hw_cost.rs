@@ -1,62 +1,8 @@
-//! **Figure 19** — hardware resource cost: additional FPGA resources of
-//! vNPU (vRouter + vChunk) vs. Kim's UVM design, on the NPU controller
-//! and per core, plus the standalone routing-table storage.
-//!
-//! Paper result: both designs need only ≈2% extra Total LUTs and FFs; a
-//! 128-entry routing table is FF-cheap with near-zero LUTs.
-
-use vnpu::hwcost::{
-    baseline_controller, baseline_core, kim_controller_overhead, kim_core_overhead,
-    routing_table_cost, vnpu_controller_overhead, vnpu_core_overhead,
-};
-use vnpu_bench::print_table;
+//! Thin bench entry point; the scenario lives in
+//! [`vnpu_bench::figs::fig19_hw_cost`] so `tests/benches_smoke.rs` can run it at
+//! tiny scale under `cargo test`. Pass `-- --quick` for the same fast
+//! mode here.
 
 fn main() {
-    let base_ctrl = baseline_controller();
-    let base_core = baseline_core();
-    let configs = [
-        (
-            "NPU controller (Kim's)",
-            kim_controller_overhead().percent_of(base_ctrl),
-        ),
-        (
-            "NPU controller (vNPU)",
-            vnpu_controller_overhead(128).percent_of(base_ctrl),
-        ),
-        ("NPU core (Kim's)", kim_core_overhead(32).percent_of(base_core)),
-        ("NPU core (vNPU)", vnpu_core_overhead(4).percent_of(base_core)),
-    ];
-    let mut rows: Vec<Vec<String>> = configs
-        .iter()
-        .map(|(name, pct)| {
-            let mut row = vec![name.to_string()];
-            row.extend(pct.iter().map(|p| format!("{p:.2}%")));
-            row
-        })
-        .collect();
-    let rt = routing_table_cost(128);
-    rows.push(vec![
-        "Routing table (128 entries)".to_owned(),
-        format!("{} LUTs", rt.total_luts),
-        format!("{} logic", rt.logic_luts),
-        format!("{} LUTRAM", rt.lutrams),
-        format!("{} FFs", rt.ffs),
-    ]);
-    print_table(
-        "Figure 19: additional FPGA resources (% of baseline)",
-        &["configuration", "Total LUTs", "Logic LUTs", "LUTRAMs", "FFs"],
-        &rows,
-    );
-
-    for (name, pct) in &configs {
-        assert!(
-            pct[0] < 10.0 && pct[3] < 10.0,
-            "{name} exceeds the Figure 19 envelope: {pct:?}"
-        );
-    }
-    println!(
-        "\nAll overheads stay in the ~2% envelope; the routing table needs {} FFs and \
-         only {} LUTs (paper: 'minimal FF resources ... LUT requirements nearly zero').",
-        rt.ffs, rt.total_luts
-    );
+    vnpu_bench::figs::fig19_hw_cost::run(vnpu_bench::harness::quick_from_env());
 }

@@ -1,11 +1,15 @@
-//! Criterion micro-benchmarks for the hot data-structure paths: range-TLB
-//! translation, page-TLB translation, routing-table lookup, graph edit
-//! distance, Hungarian assignment, and connected-subgraph enumeration.
+//! Criterion-style micro-benchmarks for the hot data-structure paths:
+//! range-TLB translation, page-TLB translation, routing-table lookup,
+//! graph edit distance, Hungarian assignment, and connected-subgraph
+//! enumeration — running on the in-repo harness
+//! ([`vnpu_bench::harness`]; the `criterion` crate is unavailable in
+//! this offline workspace). Pass `-- --quick` for a sub-second pass.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use vnpu::routing_table::RoutingTable;
 use vnpu::{PhysCoreId, VmId};
+use vnpu_bench::harness::{BatchSize, Criterion};
+use vnpu_bench::{criterion_group, criterion_main};
 use vnpu_mem::page::{PageTable, PageTranslator};
 use vnpu_mem::rtt::{RangeTranslationTable, RangeTranslator, RttEntry};
 use vnpu_mem::{Perm, PhysAddr, Translate, TranslationCosts, VirtAddr};

@@ -1,0 +1,476 @@
+//! A minimal, dependency-free Criterion-style micro-benchmark harness.
+//!
+//! The offline workspace cannot fetch the `criterion` crate, so the
+//! micro-benchmarks run on this module instead. It keeps the familiar
+//! API surface — [`Criterion`], [`Criterion::benchmark_group`],
+//! `bench_function`, [`Bencher::iter`], [`Bencher::iter_batched`],
+//! [`BatchSize`] — and the familiar methodology: a warm-up phase, a
+//! fixed number of timed samples with an auto-calibrated iteration count
+//! per sample, and median/mean/throughput reporting to stdout plus a
+//! JSON file for toolable comparisons.
+//!
+//! `--quick` (or `VNPU_BENCH_QUICK=1`) shrinks warm-up and sampling so a
+//! whole bench target completes in well under a second — the mode
+//! `scripts/verify.sh` uses as its bench gate.
+
+use std::time::{Duration, Instant};
+
+/// How [`Bencher::iter_batched`] amortizes setup cost, mirroring
+/// Criterion's `BatchSize`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many inputs per sample.
+    SmallInput,
+    /// Large inputs: few inputs per sample (bounded memory).
+    LargeInput,
+    /// One input per measurement.
+    PerIteration,
+}
+
+/// One finished measurement, kept for the end-of-run JSON report.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest observed sample (ns/iter).
+    pub min_ns: f64,
+    /// Slowest observed sample (ns/iter).
+    pub max_ns: f64,
+    /// Iterations per second implied by the median.
+    pub throughput: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Sampling configuration shared by a group of benchmarks.
+#[derive(Debug, Clone, Copy)]
+struct Sampling {
+    warm_up: Duration,
+    sample_count: usize,
+    target_sample_time: Duration,
+}
+
+impl Sampling {
+    fn standard() -> Self {
+        Sampling {
+            warm_up: Duration::from_millis(200),
+            sample_count: 30,
+            target_sample_time: Duration::from_millis(20),
+        }
+    }
+
+    fn quick() -> Self {
+        Sampling {
+            warm_up: Duration::from_millis(5),
+            sample_count: 8,
+            target_sample_time: Duration::from_millis(2),
+        }
+    }
+}
+
+/// The harness entry point: owns global options and collects results.
+#[derive(Debug)]
+pub struct Criterion {
+    quick: bool,
+    records: Vec<Record>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::with_quick(quick_from_env())
+    }
+}
+
+/// True when `--quick` is among the process arguments or
+/// `VNPU_BENCH_QUICK=1` is exported (cargo's own flags are ignored).
+pub fn quick_from_env() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("VNPU_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+impl Criterion {
+    /// Creates a harness with an explicit quick-mode setting.
+    pub fn with_quick(quick: bool) -> Self {
+        Criterion {
+            quick,
+            records: Vec::new(),
+        }
+    }
+
+    /// Whether quick mode is active.
+    pub fn is_quick(&self) -> bool {
+        self.quick
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sampling: None,
+        }
+    }
+
+    /// Benches a standalone function (no group).
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sampling = self.sampling(None);
+        self.run_one(name.to_owned(), sampling, f);
+    }
+
+    fn sampling(&self, group_sample_size: Option<usize>) -> Sampling {
+        let mut s = if self.quick {
+            Sampling::quick()
+        } else {
+            Sampling::standard()
+        };
+        if let Some(n) = group_sample_size {
+            s.sample_count = if self.quick { n.min(8) } else { n };
+        }
+        s
+    }
+
+    fn run_one<F>(&mut self, id: String, sampling: Sampling, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sampling,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let record = bencher.into_record(id);
+        println!(
+            "{:<44} median {:>12}  mean {:>12}  thrpt {:>14}  ({} samples)",
+            record.id,
+            fmt_ns(record.median_ns),
+            fmt_ns(record.mean_ns),
+            format!("{:.1}/s", record.throughput),
+            record.samples,
+        );
+        self.records.push(record);
+    }
+
+    /// Prints the closing summary and writes the JSON report. Returns
+    /// the path of the JSON file (if it could be written).
+    pub fn final_summary(&self) -> Option<std::path::PathBuf> {
+        println!("\n{} benchmarks measured", self.records.len());
+        let exe = std::env::current_exe().ok();
+        // Cargo runs bench binaries with cwd set to the *package* root,
+        // so a cwd-relative "target" would scatter stray target dirs
+        // across member crates. The exe always lives in
+        // `<target-dir>/<profile>/deps/`; walk three levels up so this
+        // also holds under a renamed CARGO_TARGET_DIR.
+        let target = exe
+            .as_deref()
+            .and_then(|p| p.parent()) // deps
+            .and_then(|p| p.parent()) // profile
+            .and_then(|p| p.parent()) // target dir
+            .map(|p| p.to_path_buf())
+            .unwrap_or_else(|| std::path::PathBuf::from("target"));
+        let dir = target.join("vnpu-bench");
+        std::fs::create_dir_all(&dir).ok()?;
+        let stem = exe
+            .as_deref()
+            .and_then(|p| p.file_stem())
+            .and_then(|s| s.to_str())
+            // Strip cargo's `-<hash>` disambiguator if present.
+            .map(|s| s.rsplit_once('-').map_or(s, |(base, _)| base).to_owned())
+            .unwrap_or_else(|| "bench".to_owned());
+        // Quick-mode numbers (few samples, tiny targets) are not
+        // comparable to full-scale runs; keep them in a separate file so
+        // a quick pass never clobbers a full `cargo bench` result.
+        let suffix = if self.quick { ".quick.json" } else { ".json" };
+        let path = dir.join(format!("{stem}{suffix}"));
+        std::fs::write(&path, self.to_json()).ok()?;
+        println!("results written to {}", path.display());
+        Some(path)
+    }
+
+    /// Serializes the records as a JSON array (hand-rolled: no serde in
+    /// the offline workspace; ids are plain identifiers, escaped anyway).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"id\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\
+                 \"min_ns\":{:.1},\"max_ns\":{:.1},\"throughput_per_s\":{:.3},\
+                 \"samples\":{}}}{}\n",
+                escape_json(&r.id),
+                r.median_ns,
+                r.mean_ns,
+                r.min_ns,
+                r.max_ns,
+                r.throughput,
+                r.samples,
+                if i + 1 == self.records.len() { "" } else { "," },
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// The measurements collected so far.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => "?".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named collection of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sampling: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sampling = Some(n);
+        self
+    }
+
+    /// Benches `f` under `group_name/name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{name}", self.name);
+        let sampling = self.criterion.sampling(self.sampling);
+        self.criterion.run_one(id, sampling, f);
+        self
+    }
+
+    /// Closes the group (provided for Criterion API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    sampling: Sampling,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, calling it repeatedly per sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let iters = self.calibrate(|| {
+            std::hint::black_box(routine());
+        });
+        self.samples_ns.clear();
+        for _ in 0..self.sampling.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate with setup excluded as far as possible: time a
+        // single (setup, routine) pair and use only the routine part.
+        let mut one = || {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            start.elapsed()
+        };
+        let per_iter = one().max(Duration::from_nanos(1));
+        let batch = match size {
+            BatchSize::PerIteration => 1,
+            BatchSize::LargeInput => self.iters_for(per_iter).min(16),
+            BatchSize::SmallInput => self.iters_for(per_iter).min(4096),
+        };
+        self.samples_ns.clear();
+        for _ in 0..self.sampling.sample_count {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            self.samples_ns
+                .push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Warm-up: run until the warm-up budget elapses, then derive the
+    /// per-sample iteration count from the observed speed.
+    fn calibrate<R: FnMut()>(&self, mut routine: R) -> u64 {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.sampling.warm_up || iters == 0 {
+            routine();
+            iters += 1;
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.iters_for(start.elapsed() / iters.max(1) as u32)
+    }
+
+    fn iters_for(&self, per_iter: Duration) -> u64 {
+        let per_iter = per_iter.max(Duration::from_nanos(1));
+        (self.sampling.target_sample_time.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 20)
+            as u64
+    }
+
+    fn into_record(self, id: String) -> Record {
+        let mut sorted = self.samples_ns.clone();
+        assert!(
+            !sorted.is_empty(),
+            "bench '{id}' never called Bencher::iter/iter_batched"
+        );
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Record {
+            id,
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: sorted[0],
+            max_ns: *sorted.last().unwrap(),
+            throughput: if median > 0.0 { 1e9 / median } else { f64::INFINITY },
+            samples: sorted.len(),
+        }
+    }
+}
+
+/// Declares a bench group function compatible with the Criterion macro
+/// of the same name: `criterion_group!(name, fn_a, fn_b)` defines
+/// `fn name(&mut Criterion)` running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every group against one
+/// shared [`harness::Criterion`](crate::harness::Criterion) and then
+/// printing/writing the summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    fn quick() -> Criterion {
+        Criterion::with_quick(true)
+    }
+
+    #[test]
+    fn iter_measures_and_records() {
+        let mut c = quick();
+        let calls = Cell::new(0u64);
+        let mut g = c.benchmark_group("g");
+        g.bench_function("count", |b| {
+            b.iter(|| calls.set(calls.get() + 1));
+        });
+        g.finish();
+        assert!(calls.get() > 0);
+        let r = &c.records()[0];
+        assert_eq!(r.id, "g/count");
+        assert_eq!(r.samples, 8);
+        assert!(r.median_ns >= 0.0 && r.min_ns <= r.max_ns);
+        assert!(r.throughput > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut c = quick();
+        let mut next = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    next += 1;
+                    next
+                },
+                |input| assert!(input > 0),
+                BatchSize::SmallInput,
+            );
+        });
+        assert!(next > 0);
+        assert_eq!(c.records().len(), 1);
+    }
+
+    #[test]
+    fn sample_size_is_respected() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).bench_function("tiny", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert_eq!(c.records()[0].samples, 3);
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough() {
+        let mut c = quick();
+        c.bench_function("a\"b", |b| b.iter(|| ()));
+        let json = c.to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\\\""), "quote must be escaped: {json}");
+        assert!(json.contains("median_ns"));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        fn bench_one(c: &mut Criterion) {
+            c.bench_function("one", |b| b.iter(|| 2 * 2));
+        }
+        criterion_group!(benches, bench_one);
+        let mut c = quick();
+        benches(&mut c);
+        assert_eq!(c.records().len(), 1);
+    }
+}

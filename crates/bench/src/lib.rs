@@ -1,12 +1,23 @@
 //! Shared harness code for the figure/table benchmarks.
 //!
 //! Each bench target under `benches/` reproduces one table or figure of
-//! the paper; this library provides the plumbing: binding compiled
-//! workloads onto machines under the various virtualization designs
-//! (vNPU, UVM, MIG, bare-metal), and uniform table printing.
+//! the paper. This library provides everything they need so the repo is
+//! self-contained offline:
+//!
+//! * the plumbing in this root module — binding compiled workloads onto
+//!   machines under the various virtualization designs (vNPU, UVM, MIG,
+//!   bare-metal) and uniform table printing;
+//! * [`figs`] — the core loop of every figure/table bench, parameterized
+//!   by a `quick` flag so `tests/benches_smoke.rs` can exercise each one
+//!   at tiny scale under `cargo test`;
+//! * [`harness`] — the in-repo Criterion-style micro-benchmark harness
+//!   (the `criterion` crate is unavailable offline).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod figs;
+pub mod harness;
 
 use vnpu::mig::MigAllocation;
 use vnpu::uvm;

@@ -142,16 +142,13 @@ impl MigPartitioner {
         // Best fit: smallest free partition with enough cores.
         let mut best: Option<usize> = None;
         for (i, p) in self.partitions.iter().enumerate() {
-            if self.used[i] && best != Some(i) {
-                continue;
-            }
             if self.used[i] {
                 continue;
             }
-            if p.len() >= vcores as usize {
-                if best.is_none_or(|b| self.partitions[b].len() > p.len()) {
-                    best = Some(i);
-                }
+            if p.len() >= vcores as usize
+                && best.is_none_or(|b| self.partitions[b].len() > p.len())
+            {
+                best = Some(i);
             }
         }
         // Fall back to the largest free partition (TDM).

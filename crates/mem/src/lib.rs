@@ -42,6 +42,7 @@
 pub mod buddy;
 pub mod counter;
 pub mod page;
+pub mod proptest_lite;
 pub mod rtt;
 pub mod translate;
 

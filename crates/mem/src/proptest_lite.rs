@@ -1,0 +1,469 @@
+//! A dependency-free, deterministic property-testing harness.
+//!
+//! The reproduction workspace must build and test with no network access,
+//! so the `proptest` dev-dependency the original suite used is replaced
+//! by this module: a xorshift64* PRNG, composable [`Strategy`] value
+//! generators (integer ranges, tuples, vectors), and a [`check`] runner
+//! that minimizes failing inputs by halving (shorter vectors, smaller
+//! integers) before reporting them.
+//!
+//! It lives in `vnpu_mem` — the workspace's leaf crate — so every other
+//! crate (and the root meta-crate's `tests/props.rs`) can reach it
+//! without dependency cycles.
+//!
+//! # Example
+//!
+//! ```
+//! use vnpu_mem::proptest_lite::{check, range, vec_of};
+//! use vnpu_mem::prop_assert;
+//!
+//! check("sum_is_monotone", 64, vec_of(range(0u64..100), 0..8), |xs| {
+//!     let mut sorted = xs.clone();
+//!     sorted.sort_unstable();
+//!     prop_assert!(sorted.iter().sum::<u64>() == xs.iter().sum::<u64>());
+//!     Ok(())
+//! });
+//! ```
+//!
+//! Failures panic with the minimized input, the case number, and the
+//! seed, so a run is always reproducible. `VNPU_PROP_CASES` in the
+//! environment overrides every suite's case count (e.g. a nightly soak
+//! with `VNPU_PROP_CASES=10000`).
+
+use std::fmt::Debug;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The outcome of one property evaluation: `Ok(())` or a failure message.
+pub type PropResult = Result<(), String>;
+
+/// Deterministic xorshift64* pseudo-random number generator.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a nonzero-coerced seed.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A composable value generator with halving-based shrinking.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Proposes strictly "smaller" variants of `v`, most aggressive
+    /// first. An empty vector means `v` is fully minimized.
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value>;
+}
+
+/// Strategy for a half-open integer range `lo..hi`.
+#[derive(Debug, Clone)]
+pub struct RangeStrategy<T> {
+    lo: T,
+    hi: T,
+}
+
+/// Uniform integer in `lo..hi` (half-open; `lo < hi` required).
+pub fn range<T: UniformInt>(r: Range<T>) -> RangeStrategy<T> {
+    assert!(
+        r.start.to_u64() < r.end.to_u64(),
+        "range(): empty range {:?}..{:?}",
+        r.start.to_u64(),
+        r.end.to_u64()
+    );
+    RangeStrategy {
+        lo: r.start,
+        hi: r.end,
+    }
+}
+
+/// Integer types usable with [`range`].
+pub trait UniformInt: Copy + Clone + Debug + PartialEq {
+    /// Widens to u64 for uniform sampling.
+    fn to_u64(self) -> u64;
+    /// Narrows from u64 (value is always in the strategy's range).
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),+) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )+};
+}
+uniform_int!(u8, u16, u32, u64, usize);
+
+impl<T: UniformInt> Strategy for RangeStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        let (lo, hi) = (self.lo.to_u64(), self.hi.to_u64());
+        T::from_u64(lo + rng.below(hi - lo))
+    }
+
+    fn shrink(&self, v: &T) -> Vec<T> {
+        // Halve the distance to the lower bound.
+        let (lo, v) = (self.lo.to_u64(), v.to_u64());
+        let mut out = Vec::new();
+        if v > lo {
+            out.push(T::from_u64(lo));
+            let mid = lo + (v - lo) / 2;
+            if mid != lo && mid != v {
+                out.push(T::from_u64(mid));
+            }
+            if v - 1 != lo {
+                out.push(T::from_u64(v - 1));
+            }
+        }
+        out
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// A vector of `elem`-generated values with length in `len` (half-open).
+pub fn vec_of<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "vec_of(): empty length range");
+    VecStrategy {
+        elem,
+        min_len: len.start,
+        max_len: len.end,
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let span = (self.max_len - self.min_len) as u64;
+        let len = self.min_len + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // 1. Halve the length (keep the prefix), down to min_len.
+        if v.len() > self.min_len {
+            let half = (v.len() / 2).max(self.min_len);
+            if half < v.len() {
+                out.push(v[..half].to_vec());
+            }
+            if v.len() - 1 > half {
+                out.push(v[..v.len() - 1].to_vec());
+            }
+        }
+        // 2. Shrink one element at a time.
+        for (i, elem) in v.iter().enumerate() {
+            for smaller in self.elem.shrink(elem) {
+                let mut copy = v.clone();
+                copy[i] = smaller;
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for smaller in self.$idx.shrink(&v.$idx) {
+                        let mut copy = v.clone();
+                        copy.$idx = smaller;
+                        out.push(copy);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Asserts a condition inside a property, failing the case (and
+/// triggering shrinking) instead of aborting the whole run.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!("[{}:{}] {}", file!(), line!(), format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{} ({:?} vs {:?})", format!($($fmt)+), a, b);
+    }};
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(FNV_OFFSET, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(FNV_PRIME)
+    })
+}
+
+/// Maximum shrink steps before reporting the best-so-far counterexample.
+const MAX_SHRINK_STEPS: usize = 4096;
+
+fn run_one<T: Clone + Debug>(prop: &dyn Fn(&T) -> PropResult, v: &T) -> PropResult {
+    match catch_unwind(AssertUnwindSafe(|| prop(v))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic".to_owned());
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Runs `prop` against `cases` values drawn from `strategy`.
+///
+/// On failure the input is minimized by halving and the runner panics
+/// with the smallest failing value, its error, and the reproduction
+/// seed. `VNPU_PROP_CASES` overrides `cases` globally.
+pub fn check<S, F>(name: &str, cases: u32, strategy: S, prop: F)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> PropResult,
+{
+    let cases = std::env::var("VNPU_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(cases);
+    let base = fnv1a(name.as_bytes());
+    for case in 0..cases {
+        // SplitMix64-style stream separation per case.
+        let seed = base ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = Rng::new(seed);
+        let value = strategy.generate(&mut rng);
+        if let Err(first_err) = run_one(&prop, &value) {
+            let (minimal, err, steps) = minimize(&strategy, &prop, value, first_err);
+            panic!(
+                "property '{name}' failed (case {case}/{cases}, seed {seed:#x}, \
+                 {steps} shrink steps)\n  minimal input: {minimal:?}\n  error: {err}"
+            );
+        }
+    }
+}
+
+/// Greedy halving minimization: repeatedly move to the first shrink
+/// candidate that still fails.
+fn minimize<S, F>(
+    strategy: &S,
+    prop: &F,
+    mut value: S::Value,
+    mut err: String,
+    // Returns (minimal value, its error, shrink steps taken).
+) -> (S::Value, String, usize)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> PropResult,
+{
+    // Silence the global panic hook while probing shrink candidates:
+    // each caught panic would otherwise print its full message (and
+    // backtrace) up to MAX_SHRINK_STEPS times, burying the final
+    // minimal-counterexample report.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut steps = 0;
+    'outer: while steps < MAX_SHRINK_STEPS {
+        for candidate in strategy.shrink(&value) {
+            steps += 1;
+            if let Err(e) = run_one(prop, &candidate) {
+                value = candidate;
+                err = e;
+                continue 'outer;
+            }
+            if steps >= MAX_SHRINK_STEPS {
+                break;
+            }
+        }
+        break; // no candidate fails: fully minimized
+    }
+    std::panic::set_hook(prev_hook);
+    (value, err, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn rng_is_deterministic_and_varied() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let distinct: std::collections::HashSet<_> = xs.iter().collect();
+        assert!(distinct.len() > 30, "xorshift must not cycle early");
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let s = range(10u32..20);
+        let mut rng = Rng::new(7);
+        for _ in 0..1000 {
+            let v = s.generate(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_respects_length_bounds() {
+        let s = vec_of(range(0u64..5), 2..6);
+        let mut rng = Rng::new(9);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = Cell::new(0u32);
+        check("always_passes", 100, range(0u32..1000), |_| {
+            count.set(count.get() + 1);
+            Ok(())
+        });
+        assert_eq!(count.get(), 100);
+    }
+
+    #[test]
+    fn failing_property_minimizes_by_halving() {
+        // Fails whenever the vector contains a value >= 50; the minimal
+        // counterexample is a single-element vector [50].
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "minimizes",
+                200,
+                vec_of(range(0u64..1000), 0..12),
+                |xs: &Vec<u64>| {
+                    if xs.iter().any(|&x| x >= 50) {
+                        Err("too big".into())
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        let msg = *result
+            .expect_err("must fail")
+            .downcast::<String>()
+            .expect("panic message");
+        assert!(msg.contains("minimal input: [50]"), "got: {msg}");
+    }
+
+    #[test]
+    fn panicking_property_is_caught_and_reported() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check("panics", 50, range(0u32..10), |&v| {
+                assert!(v < 100, "inner panic {v}");
+                if v > 5 {
+                    panic!("boom at {v}");
+                }
+                Ok(())
+            });
+        }));
+        let msg = *result
+            .expect_err("must fail")
+            .downcast::<String>()
+            .expect("panic message");
+        assert!(msg.contains("boom"), "got: {msg}");
+        // Shrinking drove the value down to the smallest failing one.
+        assert!(msg.contains("minimal input: 6"), "got: {msg}");
+    }
+
+    #[test]
+    fn tuples_generate_and_shrink_componentwise() {
+        let s = (range(0u32..10), range(5u64..50), range(0usize..3));
+        let mut rng = Rng::new(1234);
+        let v = s.generate(&mut rng);
+        assert!(v.0 < 10 && (5..50).contains(&v.1) && v.2 < 3);
+        let shrunk = s.shrink(&(9u32, 49u64, 2usize));
+        assert!(!shrunk.is_empty());
+        for (a, b, c) in shrunk {
+            assert!(a <= 9 && b <= 49 && c <= 2);
+            assert!((a, b, c) != (9, 49, 2), "shrinks must differ");
+        }
+    }
+
+    #[test]
+    fn prop_assert_macros_produce_errors_not_panics() {
+        fn inner(x: u32) -> PropResult {
+            prop_assert!(x != 3, "x was {}", x);
+            prop_assert_eq!(x % 2, 0);
+            Ok(())
+        }
+        assert!(inner(2).is_ok());
+        assert!(inner(3).unwrap_err().contains("x was 3"));
+        assert!(inner(5).unwrap_err().contains("x % 2"));
+    }
+}

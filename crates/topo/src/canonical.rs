@@ -144,7 +144,7 @@ fn permute_classes(
 }
 
 /// Heap's algorithm invoking `f` on every permutation of `items`.
-fn heap_permute(items: &mut Vec<usize>, f: &mut dyn FnMut(&[usize])) {
+fn heap_permute(items: &mut [usize], f: &mut dyn FnMut(&[usize])) {
     let n = items.len();
     if n == 0 {
         f(&[]);

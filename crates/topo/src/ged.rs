@@ -306,7 +306,7 @@ pub fn ged_bipartite(g1: &Topology, g2: &Topology, costs: &dyn MatchCosts) -> Ge
     let mut cost = vec![vec![hungarian::INF; n]; n];
     for i in 0..n1 {
         let i_id = NodeId(i as u32);
-        for j in 0..n2 {
+        for (j, cell) in cost[i].iter_mut().enumerate().take(n2) {
             let j_id = NodeId(j as u32);
             let sub = costs.node_substitute(g1.node_attr(i_id), g2.node_attr(j_id));
             // Local edge estimate: degree difference priced at the cheaper of
@@ -314,7 +314,7 @@ pub fn ged_bipartite(g1: &Topology, g2: &Topology, costs: &dyn MatchCosts) -> Ge
             let d1 = g1.degree(i_id) as u64;
             let d2 = g2.degree(j_id) as u64;
             let edge_est = d1.abs_diff(d2);
-            cost[i][j] = sub + edge_est;
+            *cell = sub + edge_est;
         }
         // Deletion of i: node + incident edges.
         let del_edges: u64 = g1
@@ -334,9 +334,7 @@ pub fn ged_bipartite(g1: &Topology, g2: &Topology, costs: &dyn MatchCosts) -> Ge
             .iter()
             .map(|&w| costs.edge_insert(&g2.edge_attr(j_id, w).unwrap_or_default()))
             .sum();
-        for jj in 0..n2 {
-            cost[n1 + j][jj] = hungarian::INF;
-        }
+        cost[n1 + j][..n2].fill(hungarian::INF);
         cost[n1 + j][j] = costs.node_insert(g2.node_attr(j_id)) + ins_edges;
         // Dummy-to-dummy cells are free.
         for i in 0..n1 {
@@ -382,8 +380,8 @@ pub fn mapping_cost(
             None => total += costs.node_delete(g1.node_attr(i_id)),
         }
     }
-    for j in 0..g2.node_count() {
-        if !used[j] {
+    for (j, &u) in used.iter().enumerate() {
+        if !u {
             total += costs.node_insert(g2.node_attr(NodeId(j as u32)));
         }
     }

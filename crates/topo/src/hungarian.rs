@@ -170,7 +170,7 @@ mod tests {
             vec![1, 2, 3, 4],
         ];
         let (assign, _) = solve(&cost);
-        let mut seen = vec![false; 4];
+        let mut seen = [false; 4];
         for &c in &assign {
             assert!(!seen[c]);
             seen[c] = true;

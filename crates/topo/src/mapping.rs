@@ -397,8 +397,8 @@ impl<'a> Mapper<'a> {
                     }
                 }
             }
-            for v in 0..cells.len() {
-                if !seen[v] {
+            for (v, &s) in seen.iter().enumerate() {
+                if !s {
                     bfs.push(v);
                 }
             }

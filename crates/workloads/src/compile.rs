@@ -235,7 +235,7 @@ pub fn compile(
 
     // Emit per-stage programs.
     let mut programs = Vec::with_capacity(n_cores as usize);
-    for s in 0..stages {
+    for (s, &stage_bytes) in stage_resident.iter().enumerate() {
         let mut prelude = Vec::new();
         let mut body = Vec::new();
         let owned = &part.stages()[s];
@@ -346,7 +346,7 @@ pub fn compile(
                 .map(|&l| resident_weight(l).min(slice_cap))
                 .max()
                 .unwrap_or(0),
-            _ => stage_resident[s],
+            _ => stage_bytes,
         };
         programs.push(
             Program::looped(prelude, body, opts.iterations).with_footprint(footprint),

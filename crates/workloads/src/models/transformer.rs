@@ -5,6 +5,7 @@ use super::DTYPE_BYTES;
 use crate::graph::{GraphBuilder, LayerId, LayerKind, ModelGraph};
 use vnpu_sim::isa::Kernel;
 
+#[allow(clippy::too_many_arguments)]
 fn matmul_layer(
     b: &mut GraphBuilder,
     name: &str,

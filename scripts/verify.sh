@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the vnpu-repro workspace.
+#
+# Runs entirely offline: the workspace has only path dependencies, the
+# bench harness is `vnpu_bench::harness`, and the property runner is
+# `vnpu_mem::proptest_lite`, so no crates.io registry is ever touched.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo bench --bench micro_criterion -- --quick =="
+cargo bench --bench micro_criterion -- --quick
+
+echo "verify: OK"

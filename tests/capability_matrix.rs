@@ -6,8 +6,7 @@
 use vnpu::mig::MigPartitioner;
 use vnpu::vchunk::MemMode;
 use vnpu::{Hypervisor, VirtCoreId, VnpuRequest};
-use vnpu_mem::{Perm, Translate, VirtAddr};
-use vnpu_sim::noc::NocRouter;
+use vnpu_mem::{Perm, VirtAddr};
 use vnpu_sim::SocConfig;
 use vnpu_topo::mapping::Strategy;
 

@@ -139,7 +139,7 @@ fn kv_decode_runs_on_a_virtual_npu() {
 fn gnn_tenant_should_choose_page_mode() {
     // §7's recommendation as an executable decision: random gathers cost
     // less under page translation than range translation.
-    use vnpu_mem::{Perm, Translate, VirtAddr};
+    use vnpu_mem::{Perm, VirtAddr};
     let cfg = SocConfig::sim();
     let mut hv = Hypervisor::new(cfg);
     let vm = hv

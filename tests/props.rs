@@ -1,260 +1,326 @@
-//! Property-based invariants across the workspace (proptest).
+//! Property-based invariants across the workspace, run on the in-repo
+//! harness (`vnpu_mem::proptest_lite`) so the suite needs no external
+//! crates. Each property keeps the invariant of the original
+//! proptest-based suite; the first seven run 64 cases, the end-to-end
+//! compile-and-run property 16 (it simulates whole pipelines per case).
 
-use proptest::prelude::*;
 use vnpu_mem::buddy::BuddyAllocator;
 use vnpu_mem::page::{PageTable, PageTranslator};
+use vnpu_mem::proptest_lite::{check, range, vec_of};
 use vnpu_mem::rtt::{RangeTranslationTable, RangeTranslator, RttEntry};
+use vnpu_mem::{prop_assert, prop_assert_eq};
 use vnpu_mem::{Perm, PhysAddr, Translate, TranslationCosts, VirtAddr};
 use vnpu_topo::mapping::{Mapper, Strategy};
 use vnpu_topo::{canonical, enumerate, ged, NodeId, Topology, UniformCosts};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Buddy allocations never overlap and frees fully coalesce.
-    #[test]
-    fn buddy_no_overlap_and_full_coalesce(
-        sizes in prop::collection::vec(1u64..200_000, 1..24)
-    ) {
-        let total = 16 << 20;
-        let mut b = BuddyAllocator::new(PhysAddr(0), total, 4096);
-        let mut live = Vec::new();
-        for s in sizes {
-            if let Ok(block) = b.alloc(s) {
-                live.push(block);
-            }
-        }
-        let mut sorted = live.clone();
-        sorted.sort_by_key(|blk| blk.addr);
-        for w in sorted.windows(2) {
-            prop_assert!(w[0].addr.value() + w[0].size <= w[1].addr.value());
-        }
-        for blk in &live {
-            b.free(blk.addr).expect("free succeeds");
-        }
-        prop_assert_eq!(b.free_bytes(), total);
-        prop_assert_eq!(b.largest_free_block(), total);
-    }
-
-    /// Range translation agrees with a linear reference map on every
-    /// mapped address, and faults exactly on unmapped ones.
-    #[test]
-    fn rtt_matches_reference(
-        ranges in prop::collection::vec((0u64..64, 1u64..8), 1..12),
-        probes in prop::collection::vec(0u64..1 << 20, 1..64)
-    ) {
-        // Build non-overlapping ranges from (slot, pages) pairs.
-        let mut entries = Vec::new();
-        let mut next_va = 0x1_0000u64;
-        let mut reference: Vec<(u64, u64, u64)> = Vec::new(); // (va, size, pa)
-        for (i, (gap, pages)) in ranges.iter().enumerate() {
-            let va = next_va + gap * 0x1000;
-            let size = pages * 0x1000;
-            let pa = 0x10_0000_0000 + (i as u64) * 0x100_0000;
-            entries.push(RttEntry::new(VirtAddr(va), PhysAddr(pa), size, Perm::RW));
-            reference.push((va, size, pa));
-            next_va = va + size;
-        }
-        let rtt = RangeTranslationTable::new(entries).expect("valid ranges");
-        let mut tr = RangeTranslator::new(rtt, 4, TranslationCosts::default());
-        for p in probes {
-            let va = 0x1_0000 + p;
-            let expect = reference
-                .iter()
-                .find(|(rva, size, _)| va >= *rva && va < rva + size)
-                .map(|(rva, _, pa)| pa + (va - rva));
-            // Use len=1 so range-straddling cannot trigger.
-            match (tr.translate(VirtAddr(va), 1, Perm::R), expect) {
-                (Ok(t), Some(pa)) => prop_assert_eq!(t.pa.value(), pa),
-                (Err(_), None) => {}
-                (Ok(t), None) => prop_assert!(false, "phantom translation {:?}", t),
-                (Err(e), Some(_)) => prop_assert!(false, "spurious fault {e}"),
-            }
-        }
-    }
-
-    /// Page and range translators agree wherever both are defined.
-    #[test]
-    fn page_and_range_agree(
-        blocks in prop::collection::vec(1u64..16, 1..6),
-        offsets in prop::collection::vec(0u64..1 << 16, 1..32)
-    ) {
-        let mut entries = Vec::new();
-        let mut va = 0x10_0000u64;
-        for (i, pages) in blocks.iter().enumerate() {
-            let size = pages * 0x1000;
-            entries.push(RttEntry::new(
-                VirtAddr(va),
-                PhysAddr(0x8000_0000 + (i as u64) * 0x10_0000),
-                size,
-                Perm::RW,
-            ));
-            va += size;
-        }
-        let span: u64 = entries.iter().map(|e| e.size).sum();
-        let rtt = RangeTranslationTable::new(entries.clone()).expect("ranges");
-        let mut range = RangeTranslator::new(rtt, 4, TranslationCosts::default());
-        let mut pt = PageTable::new(4096);
-        for e in &entries {
-            pt.map_range(e.va, e.pa, e.size, e.perm).expect("map");
-        }
-        let mut page = PageTranslator::new(pt, 8, TranslationCosts::default());
-        for off in offsets {
-            let probe = VirtAddr(0x10_0000 + off % span);
-            let a = range.translate(probe, 1, Perm::R);
-            let b = page.translate(probe, 1, Perm::R);
-            match (a, b) {
-                (Ok(x), Ok(y)) => prop_assert_eq!(x.pa, y.pa),
-                (Err(_), Err(_)) => {}
-                other => prop_assert!(false, "translators disagree: {other:?}"),
-            }
-        }
-    }
-
-    /// Connected-subgraph enumeration yields connected, duplicate-free,
-    /// right-sized candidates drawn from the free set.
-    #[test]
-    fn enumeration_soundness(
-        w in 2u32..5, h in 2u32..4,
-        k in 2usize..6,
-        taken_mask in 0u32..256
-    ) {
-        let t = Topology::mesh2d(w, h);
-        let free: Vec<NodeId> = t
-            .nodes()
-            .filter(|n| taken_mask & (1 << (n.0 % 8)) == 0 || n.0 >= 8)
-            .collect();
-        let cands = enumerate::connected_candidates(&t, &free, k, 500);
-        let mut seen = std::collections::HashSet::new();
-        for c in &cands {
-            prop_assert_eq!(c.len(), k);
-            prop_assert!(t.is_connected_subset(c));
-            prop_assert!(c.iter().all(|n| free.contains(n)));
-            prop_assert!(seen.insert(c.clone()));
-        }
-    }
-
-    /// GED is zero iff isomorphic (small graphs), and the bipartite
-    /// heuristic never reports below the exact distance.
-    #[test]
-    fn ged_axioms(edges_a in prop::collection::vec((0u32..5, 0u32..5), 0..8),
-                  edges_b in prop::collection::vec((0u32..5, 0u32..5), 0..8)) {
-        let build = |edges: &[(u32, u32)]| {
-            let mut t = Topology::empty(5);
-            for &(a, b) in edges {
-                if a != b {
-                    let _ = t.add_edge(NodeId(a), NodeId(b));
+/// Buddy allocations never overlap and frees fully coalesce.
+#[test]
+fn buddy_no_overlap_and_full_coalesce() {
+    check(
+        "buddy_no_overlap_and_full_coalesce",
+        64,
+        vec_of(range(1u64..200_000), 1..24),
+        |sizes| {
+            let total = 16 << 20;
+            let mut b = BuddyAllocator::new(PhysAddr(0), total, 4096);
+            let mut live = Vec::new();
+            for &s in sizes {
+                if let Ok(block) = b.alloc(s) {
+                    live.push(block);
                 }
             }
-            t
-        };
-        let a = build(&edges_a);
-        let b = build(&edges_b);
-        let exact = ged::ged_exact(&a, &b, &UniformCosts);
-        let approx = ged::ged_bipartite(&a, &b, &UniformCosts);
-        prop_assert!(approx.cost >= exact.cost);
-        let iso = canonical::are_isomorphic(&a, &b);
-        prop_assert_eq!(exact.cost == 0, iso, "GED=0 iff isomorphic");
-        // Symmetry for uniform costs.
-        let rev = ged::ged_exact(&b, &a, &UniformCosts);
-        prop_assert_eq!(exact.cost, rev.cost);
-    }
-
-    /// Any successful mapping is injective, right-sized, inside the free
-    /// set, and connected unless fragmentation was allowed.
-    #[test]
-    fn mapping_invariants(
-        taken in prop::collection::vec(0u32..25, 0..10),
-        req_w in 1u32..4, req_h in 1u32..3
-    ) {
-        let phys = Topology::mesh2d(5, 5);
-        let free: Vec<NodeId> = phys.nodes().filter(|n| !taken.contains(&n.0)).collect();
-        let req = Topology::mesh2d(req_w, req_h);
-        let mapper = Mapper::new(&phys);
-        let strategy = Strategy::similar_topology().threads(1).candidate_cap(500);
-        if let Ok(m) = mapper.map(&free, &req, &strategy) {
-            prop_assert_eq!(m.phys_nodes().len(), req.node_count());
-            let mut seen = std::collections::HashSet::new();
-            for n in m.phys_nodes() {
-                prop_assert!(free.contains(n));
-                prop_assert!(seen.insert(*n));
+            let mut sorted = live.clone();
+            sorted.sort_by_key(|blk| blk.addr);
+            for w in sorted.windows(2) {
+                prop_assert!(w[0].addr.value() + w[0].size <= w[1].addr.value());
             }
-            prop_assert!(m.is_connected());
-        }
-    }
-
-    /// WL canonical keys are isomorphism invariants under relabeling.
-    #[test]
-    fn canonical_key_relabel_invariant(
-        edges in prop::collection::vec((0u32..6, 0u32..6), 1..10),
-        perm_seed in 0u64..1000
-    ) {
-        let mut a = Topology::empty(6);
-        for &(x, y) in &edges {
-            if x != y {
-                let _ = a.add_edge(NodeId(x), NodeId(y));
+            for blk in &live {
+                b.free(blk.addr).expect("free succeeds");
             }
-        }
-        // Deterministic permutation from the seed.
-        let mut perm: Vec<u32> = (0..6).collect();
-        let mut s = perm_seed;
-        for i in (1..6usize).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let j = (s >> 33) as usize % (i + 1);
-            perm.swap(i, j);
-        }
-        let mut b = Topology::empty(6);
-        for &(x, y) in &edges {
-            if x != y {
-                let _ = b.add_edge(NodeId(perm[x as usize]), NodeId(perm[y as usize]));
-            }
-        }
-        prop_assert_eq!(canonical::canonical_key(&a), canonical::canonical_key(&b));
-    }
+            prop_assert_eq!(b.free_bytes(), total);
+            prop_assert_eq!(b.largest_free_block(), total);
+            Ok(())
+        },
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Compiled workloads always pair sends with receives and the machine
-    /// runs them to completion deterministically.
-    #[test]
-    fn compile_and_run_arbitrary_chains(
-        layer_sizes in prop::collection::vec(16u32..128, 2..8),
-        cores in 2u32..5
-    ) {
-        use vnpu_workloads::graph::{GraphBuilder, LayerKind};
-        use vnpu_workloads::compile::{compile, CompileOptions};
-        use vnpu_sim::isa::Kernel;
-        use vnpu_sim::machine::Machine;
-        use vnpu_sim::SocConfig;
-
-        let mut b = GraphBuilder::new();
-        for (i, &s) in layer_sizes.iter().enumerate() {
-            b.chain(
-                format!("l{i}"),
-                LayerKind::Fc,
-                Kernel::Matmul { m: s, k: s, n: s },
-                u64::from(s) * u64::from(s),
-                u64::from(s) * u64::from(s),
-            );
-        }
-        let g = b.build("chain").expect("graph");
-        let cfg = SocConfig::fpga();
-        let out = compile(&g, cores, &cfg, &CompileOptions {
-            iterations: 3,
-            ..Default::default()
-        }).expect("compile");
-        let run = || {
-            let mut m = Machine::new(cfg.clone());
-            let t = m.add_tenant("chain");
-            for (c, p) in out.programs.iter().enumerate() {
-                m.bind(c as u32, t, c as u32, p.clone()).expect("bind");
+/// Range translation agrees with a linear reference map on every mapped
+/// address, and faults exactly on unmapped ones.
+#[test]
+fn rtt_matches_reference() {
+    check(
+        "rtt_matches_reference",
+        64,
+        (
+            vec_of((range(0u64..64), range(1u64..8)), 1..12),
+            vec_of(range(0u64..1 << 20), 1..64),
+        ),
+        |(ranges, probes)| {
+            // Build non-overlapping ranges from (slot, pages) pairs.
+            let mut entries = Vec::new();
+            let mut next_va = 0x1_0000u64;
+            let mut reference: Vec<(u64, u64, u64)> = Vec::new(); // (va, size, pa)
+            for (i, (gap, pages)) in ranges.iter().enumerate() {
+                let va = next_va + gap * 0x1000;
+                let size = pages * 0x1000;
+                let pa = 0x10_0000_0000 + (i as u64) * 0x100_0000;
+                entries.push(RttEntry::new(VirtAddr(va), PhysAddr(pa), size, Perm::RW));
+                reference.push((va, size, pa));
+                next_va = va + size;
             }
-            m.run().expect("run").makespan()
-        };
-        let a = run();
-        prop_assert!(a > 0);
-        prop_assert_eq!(a, run(), "determinism");
-    }
+            let rtt = RangeTranslationTable::new(entries).expect("valid ranges");
+            let mut tr = RangeTranslator::new(rtt, 4, TranslationCosts::default());
+            for &p in probes {
+                let va = 0x1_0000 + p;
+                let expect = reference
+                    .iter()
+                    .find(|(rva, size, _)| va >= *rva && va < rva + size)
+                    .map(|(rva, _, pa)| pa + (va - rva));
+                // Use len=1 so range-straddling cannot trigger.
+                match (tr.translate(VirtAddr(va), 1, Perm::R), expect) {
+                    (Ok(t), Some(pa)) => prop_assert_eq!(t.pa.value(), pa),
+                    (Err(_), None) => {}
+                    (Ok(t), None) => prop_assert!(false, "phantom translation {:?}", t),
+                    (Err(e), Some(_)) => prop_assert!(false, "spurious fault {}", e),
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Page and range translators agree wherever both are defined.
+#[test]
+fn page_and_range_agree() {
+    check(
+        "page_and_range_agree",
+        64,
+        (
+            vec_of(range(1u64..16), 1..6),
+            vec_of(range(0u64..1 << 16), 1..32),
+        ),
+        |(blocks, offsets)| {
+            let mut entries = Vec::new();
+            let mut va = 0x10_0000u64;
+            for (i, &pages) in blocks.iter().enumerate() {
+                let size = pages * 0x1000;
+                entries.push(RttEntry::new(
+                    VirtAddr(va),
+                    PhysAddr(0x8000_0000 + (i as u64) * 0x10_0000),
+                    size,
+                    Perm::RW,
+                ));
+                va += size;
+            }
+            let span: u64 = entries.iter().map(|e| e.size).sum();
+            let rtt = RangeTranslationTable::new(entries.clone()).expect("ranges");
+            let mut range_tr = RangeTranslator::new(rtt, 4, TranslationCosts::default());
+            let mut pt = PageTable::new(4096);
+            for e in &entries {
+                pt.map_range(e.va, e.pa, e.size, e.perm).expect("map");
+            }
+            let mut page = PageTranslator::new(pt, 8, TranslationCosts::default());
+            for &off in offsets {
+                let probe = VirtAddr(0x10_0000 + off % span);
+                let a = range_tr.translate(probe, 1, Perm::R);
+                let b = page.translate(probe, 1, Perm::R);
+                match (a, b) {
+                    (Ok(x), Ok(y)) => prop_assert_eq!(x.pa, y.pa),
+                    (Err(_), Err(_)) => {}
+                    other => prop_assert!(false, "translators disagree: {:?}", other),
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Connected-subgraph enumeration yields connected, duplicate-free,
+/// right-sized candidates drawn from the free set.
+#[test]
+fn enumeration_soundness() {
+    check(
+        "enumeration_soundness",
+        64,
+        (
+            range(2u32..5),
+            range(2u32..4),
+            range(2usize..6),
+            range(0u32..256),
+        ),
+        |&(w, h, k, taken_mask)| {
+            let t = Topology::mesh2d(w, h);
+            let free: Vec<NodeId> = t
+                .nodes()
+                .filter(|n| taken_mask & (1 << (n.0 % 8)) == 0 || n.0 >= 8)
+                .collect();
+            let cands = enumerate::connected_candidates(&t, &free, k, 500);
+            let mut seen = std::collections::HashSet::new();
+            for c in &cands {
+                prop_assert_eq!(c.len(), k);
+                prop_assert!(t.is_connected_subset(c));
+                prop_assert!(c.iter().all(|n| free.contains(n)));
+                prop_assert!(seen.insert(c.clone()));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// GED is zero iff isomorphic (small graphs), and the bipartite
+/// heuristic never reports below the exact distance.
+#[test]
+fn ged_axioms() {
+    check(
+        "ged_axioms",
+        64,
+        (
+            vec_of((range(0u32..5), range(0u32..5)), 0..8),
+            vec_of((range(0u32..5), range(0u32..5)), 0..8),
+        ),
+        |(edges_a, edges_b)| {
+            let build = |edges: &[(u32, u32)]| {
+                let mut t = Topology::empty(5);
+                for &(a, b) in edges {
+                    if a != b {
+                        let _ = t.add_edge(NodeId(a), NodeId(b));
+                    }
+                }
+                t
+            };
+            let a = build(edges_a);
+            let b = build(edges_b);
+            let exact = ged::ged_exact(&a, &b, &UniformCosts);
+            let approx = ged::ged_bipartite(&a, &b, &UniformCosts);
+            prop_assert!(approx.cost >= exact.cost);
+            let iso = canonical::are_isomorphic(&a, &b);
+            prop_assert_eq!(exact.cost == 0, iso, "GED=0 iff isomorphic");
+            // Symmetry for uniform costs.
+            let rev = ged::ged_exact(&b, &a, &UniformCosts);
+            prop_assert_eq!(exact.cost, rev.cost);
+            Ok(())
+        },
+    );
+}
+
+/// Any successful mapping is injective, right-sized, inside the free
+/// set, and connected unless fragmentation was allowed.
+#[test]
+fn mapping_invariants() {
+    check(
+        "mapping_invariants",
+        64,
+        (
+            vec_of(range(0u32..25), 0..10),
+            range(1u32..4),
+            range(1u32..3),
+        ),
+        |(taken, req_w, req_h)| {
+            let phys = Topology::mesh2d(5, 5);
+            let free: Vec<NodeId> = phys.nodes().filter(|n| !taken.contains(&n.0)).collect();
+            let req = Topology::mesh2d(*req_w, *req_h);
+            let mapper = Mapper::new(&phys);
+            let strategy = Strategy::similar_topology().threads(1).candidate_cap(500);
+            if let Ok(m) = mapper.map(&free, &req, &strategy) {
+                prop_assert_eq!(m.phys_nodes().len(), req.node_count());
+                let mut seen = std::collections::HashSet::new();
+                for n in m.phys_nodes() {
+                    prop_assert!(free.contains(n));
+                    prop_assert!(seen.insert(*n));
+                }
+                prop_assert!(m.is_connected());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// WL canonical keys are isomorphism invariants under relabeling.
+#[test]
+fn canonical_key_relabel_invariant() {
+    check(
+        "canonical_key_relabel_invariant",
+        64,
+        (
+            vec_of((range(0u32..6), range(0u32..6)), 1..10),
+            range(0u64..1000),
+        ),
+        |(edges, perm_seed)| {
+            let mut a = Topology::empty(6);
+            for &(x, y) in edges {
+                if x != y {
+                    let _ = a.add_edge(NodeId(x), NodeId(y));
+                }
+            }
+            // Deterministic permutation from the seed.
+            let mut perm: Vec<u32> = (0..6).collect();
+            let mut s = *perm_seed;
+            for i in (1..6usize).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let j = (s >> 33) as usize % (i + 1);
+                perm.swap(i, j);
+            }
+            let mut b = Topology::empty(6);
+            for &(x, y) in edges {
+                if x != y {
+                    let _ = b.add_edge(NodeId(perm[x as usize]), NodeId(perm[y as usize]));
+                }
+            }
+            prop_assert_eq!(canonical::canonical_key(&a), canonical::canonical_key(&b));
+            Ok(())
+        },
+    );
+}
+
+/// Compiled workloads always pair sends with receives and the machine
+/// runs them to completion deterministically.
+#[test]
+fn compile_and_run_arbitrary_chains() {
+    use vnpu_sim::isa::Kernel;
+    use vnpu_sim::machine::Machine;
+    use vnpu_sim::SocConfig;
+    use vnpu_workloads::compile::{compile, CompileOptions};
+    use vnpu_workloads::graph::{GraphBuilder, LayerKind};
+
+    check(
+        "compile_and_run_arbitrary_chains",
+        16,
+        (vec_of(range(16u32..128), 2..8), range(2u32..5)),
+        |(layer_sizes, cores)| {
+            let mut b = GraphBuilder::new();
+            for (i, &s) in layer_sizes.iter().enumerate() {
+                b.chain(
+                    format!("l{i}"),
+                    LayerKind::Fc,
+                    Kernel::Matmul { m: s, k: s, n: s },
+                    u64::from(s) * u64::from(s),
+                    u64::from(s) * u64::from(s),
+                );
+            }
+            let g = b.build("chain").expect("graph");
+            let cfg = SocConfig::fpga();
+            let out = compile(
+                &g,
+                *cores,
+                &cfg,
+                &CompileOptions {
+                    iterations: 3,
+                    ..Default::default()
+                },
+            )
+            .expect("compile");
+            let run = || {
+                let mut m = Machine::new(cfg.clone());
+                let t = m.add_tenant("chain");
+                for (c, p) in out.programs.iter().enumerate() {
+                    m.bind(c as u32, t, c as u32, p.clone()).expect("bind");
+                }
+                m.run().expect("run").makespan()
+            };
+            let a = run();
+            prop_assert!(a > 0);
+            prop_assert_eq!(a, run(), "determinism");
+            Ok(())
+        },
+    );
 }

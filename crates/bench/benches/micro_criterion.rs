@@ -19,7 +19,14 @@ use vnpu_topo::{enumerate, ged, hungarian, MeshShape, NodeId, Topology, UniformC
 fn bench_translation(c: &mut Criterion) {
     let mut g = c.benchmark_group("translation");
     let entries: Vec<RttEntry> = (0..32u64)
-        .map(|i| RttEntry::new(VirtAddr(i * 0x10_0000), PhysAddr(i * 0x10_0000), 0x10_0000, Perm::RW))
+        .map(|i| {
+            RttEntry::new(
+                VirtAddr(i * 0x10_0000),
+                PhysAddr(i * 0x10_0000),
+                0x10_0000,
+                Perm::RW,
+            )
+        })
         .collect();
     g.bench_function("range_tlb_stream", |b| {
         b.iter_batched(

@@ -41,13 +41,11 @@ pub fn run(quick: bool) {
 
     let frag_vm = hv
         .create_vnpu(
-            VnpuRequest::cores(12)
-                .mem_bytes(1 << 30)
-                .strategy(
-                    Strategy::similar_topology()
-                        .candidate_cap(4000)
-                        .allow_disconnected(true),
-                ),
+            VnpuRequest::cores(12).mem_bytes(1 << 30).strategy(
+                Strategy::similar_topology()
+                    .candidate_cap(4000)
+                    .allow_disconnected(true),
+            ),
         )
         .expect("fragmented allocation");
 
@@ -63,7 +61,14 @@ pub fn run(quick: bool) {
 
     let frag_fps = {
         let mut machine = Machine::new(cfg.clone());
-        let tenant = bind_design(&mut machine, &hv, frag_vm, &out.programs, Design::Vnpu, "frag");
+        let tenant = bind_design(
+            &mut machine,
+            &hv,
+            frag_vm,
+            &out.programs,
+            Design::Vnpu,
+            "frag",
+        );
         machine.run().expect("run").fps(tenant)
     };
     let ideal_fps = {

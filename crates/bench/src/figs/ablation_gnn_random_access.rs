@@ -50,7 +50,13 @@ pub fn run(quick: bool) {
     let ps = page.stats();
     print_table(
         "Ablation (§7): random GNN gathers — range vs page translation",
-        &["mechanism", "lookups", "miss rate", "probe reads", "stall cycles"],
+        &[
+            "mechanism",
+            "lookups",
+            "miss rate",
+            "probe reads",
+            "stall cycles",
+        ],
         &[
             vec![
                 range.name(),

@@ -41,7 +41,13 @@ fn matrix_tenant(cfg: &SocConfig, hybrid: bool, iterations: u32) -> f64 {
             machine.set_core_scales(phys, 50, 200).unwrap();
         }
         machine
-            .bind_with(phys, tenant, v as u32, p.clone(), vnpu.services(vcore).unwrap())
+            .bind_with(
+                phys,
+                tenant,
+                v as u32,
+                p.clone(),
+                vnpu.services(vcore).unwrap(),
+            )
             .unwrap();
     }
     machine.run().unwrap().fps(tenant)
@@ -65,12 +71,15 @@ fn vector_tenant(cfg: &SocConfig, hybrid: bool, iterations: u32, elems: u64) -> 
             body.insert(0, Instr::recv(c - 1, 64 * 1024, 0));
         }
         let mut services = vnpu_sim::machine::CoreServices::bare_metal(cfg);
-        services.router = Box::new(crate::RemapRouter::new(
-            cfg,
-            (8..12).collect::<Vec<u32>>(),
-        ));
+        services.router = Box::new(crate::RemapRouter::new(cfg, (8..12).collect::<Vec<u32>>()));
         machine
-            .bind_with(phys, tenant, c, Program::looped(vec![], body, iterations), services)
+            .bind_with(
+                phys,
+                tenant,
+                c,
+                Program::looped(vec![], body, iterations),
+                services,
+            )
             .unwrap();
     }
     machine.run().unwrap().fps(tenant)

@@ -132,7 +132,10 @@ pub fn run(quick: bool) {
          contention drops to {conf_contention} — the §4.1.2 'NoC non-interference' \
          guarantee."
     );
-    assert!(dor_contention > 0, "Figure 5's DOR interference must appear");
+    assert!(
+        dor_contention > 0,
+        "Figure 5's DOR interference must appear"
+    );
     assert!(
         conf_contention < dor_contention / 4,
         "confinement must remove the shared-link contention"

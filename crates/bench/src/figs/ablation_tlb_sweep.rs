@@ -45,13 +45,29 @@ fn stall_cycles(cfg: &SocConfig, mode: MemMode, iterations: u32) -> (u64, f64) {
 pub fn run(quick: bool) {
     let iterations = if quick { 2 } else { 3 };
     let cfg = SocConfig::fpga();
-    let sweep: &[usize] = if quick { &[1, 4, 32] } else { &[1, 2, 4, 8, 16, 32] };
+    let sweep: &[usize] = if quick {
+        &[1, 4, 32]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
     let mut rows = Vec::new();
     let mut range_stalls = Vec::new();
     let mut page_stalls = Vec::new();
     for &entries in sweep {
-        let (rc, rf) = stall_cycles(&cfg, MemMode::Range { tlb_entries: entries }, iterations);
-        let (pc, pf) = stall_cycles(&cfg, MemMode::Page { tlb_entries: entries }, iterations);
+        let (rc, rf) = stall_cycles(
+            &cfg,
+            MemMode::Range {
+                tlb_entries: entries,
+            },
+            iterations,
+        );
+        let (pc, pf) = stall_cycles(
+            &cfg,
+            MemMode::Page {
+                tlb_entries: entries,
+            },
+            iterations,
+        );
         range_stalls.push((entries, rc));
         page_stalls.push((entries, pc));
         rows.push(vec![
@@ -64,7 +80,13 @@ pub fn run(quick: bool) {
     }
     print_table(
         "Ablation: TLB-size sweep (streamed ResNet-18, FPGA config)",
-        &["entries", "range stalls", "range fps", "page stalls", "page fps"],
+        &[
+            "entries",
+            "range stalls",
+            "range fps",
+            "page stalls",
+            "page fps",
+        ],
         &rows,
     );
     println!(
@@ -72,7 +94,10 @@ pub fn run(quick: bool) {
          misses persist at any size (streaming working sets exceed any IOTLB reach)."
     );
     let stalls_at = |v: &[(usize, u64)], entries: usize| {
-        v.iter().find(|(e, _)| *e == entries).map(|(_, s)| *s).unwrap()
+        v.iter()
+            .find(|(e, _)| *e == entries)
+            .map(|(_, s)| *s)
+            .unwrap()
     };
     // Range TLB at the vChunk operating point (4 entries) must beat the
     // best page TLB by 10x+.
@@ -83,8 +108,7 @@ pub fn run(quick: bool) {
         stalls_at(&page_stalls, 32)
     );
     // Page stalls barely improve with size (compulsory misses).
-    let improvement =
-        stalls_at(&page_stalls, 1) as f64 / stalls_at(&page_stalls, 32).max(1) as f64;
+    let improvement = stalls_at(&page_stalls, 1) as f64 / stalls_at(&page_stalls, 32).max(1) as f64;
     assert!(
         improvement < 2.0,
         "page-TLB scaling cannot fix streaming misses ({improvement:.2}x)"

@@ -48,7 +48,9 @@ fn utilization(cfg: &SocConfig, model: &ModelGraph, iterations: u32) -> f64 {
     let mut machine = Machine::new(cfg.clone());
     let tenant = machine.add_tenant(model.name());
     for (c, p) in out.programs.iter().enumerate() {
-        machine.bind(c as u32, tenant, c as u32, p.clone()).expect("bind");
+        machine
+            .bind(c as u32, tenant, c as u32, p.clone())
+            .expect("bind");
     }
     machine.run().expect("run").tenant_utilization(tenant)
 }

@@ -33,7 +33,9 @@ pub fn run(quick: bool) {
     machine.enable_mem_trace();
     let tenant = machine.add_tenant(model.name());
     for (c, p) in out.programs.iter().enumerate() {
-        machine.bind(c as u32, tenant, c as u32, p.clone()).expect("bind");
+        machine
+            .bind(c as u32, tenant, c as u32, p.clone())
+            .expect("bind");
     }
     let report = machine.run().expect("run");
     let trace = report.mem_trace();

@@ -42,5 +42,8 @@ pub fn run(_quick: bool) {
         "\n8-core standard configuration = {c8} clocks (paper: ~300; 'can be neglected \
          during the virtual NPU creation')."
     );
-    assert!((150..450).contains(&c8), "Fig11 shape: a few hundred cycles");
+    assert!(
+        (150..450).contains(&c8),
+        "Fig11 shape: a few hundred cycles"
+    );
 }

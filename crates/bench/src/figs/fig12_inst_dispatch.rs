@@ -44,7 +44,10 @@ pub fn run(_quick: bool) {
          ({}x) — dispatch cost is negligible, as in the paper.",
         conv / worst_noc
     );
-    assert!(conv / worst_noc > 100, "kernels must dominate by 2-3 orders");
+    assert!(
+        conv / worst_noc > 100,
+        "kernels must dominate by 2-3 orders"
+    );
     assert!(
         dispatch_latency(&cfg, DispatchPath::InstructionBus, 7)
             <= dispatch_latency(&cfg, DispatchPath::InstructionNoc, 7),

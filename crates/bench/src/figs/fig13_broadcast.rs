@@ -90,27 +90,25 @@ pub fn run(quick: bool) {
     print_table(
         "Figure 13: broadcast cost per iteration (clocks), vRouter vs UVM-sync",
         &[
-            "kernel",
-            "fan-out",
-            "comp",
-            "vRouter",
-            "UVM-sync",
-            "vR/comp",
-            "UVM/comp",
+            "kernel", "fan-out", "comp", "vRouter", "UVM-sync", "vR/comp", "UVM/comp",
         ],
         &rows,
     );
-    assert!(!ratios.is_empty(), "at least one (kernel, fanout) point must measure");
-    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
-    println!(
-        "\nAverage UVM-sync / vRouter broadcast-cost ratio = {avg:.2}x (paper: 4.24x)."
+    assert!(
+        !ratios.is_empty(),
+        "at least one (kernel, fanout) point must measure"
     );
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!("\nAverage UVM-sync / vRouter broadcast-cost ratio = {avg:.2}x (paper: 4.24x).");
     if !quick {
         println!(
             "UVM 1:4 Matmul broadcast exceeds its computation time: {uvm_exceeds_comp_at_1_4} \
              (paper: true)."
         );
-        assert!(avg > 3.0, "vRouter must beat memory synchronization by multiples");
+        assert!(
+            avg > 3.0,
+            "vRouter must beat memory synchronization by multiples"
+        );
         assert!(
             uvm_exceeds_comp_at_1_4,
             "the paper's Matmul 1:4 imbalance must reproduce"

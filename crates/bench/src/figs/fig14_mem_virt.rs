@@ -75,7 +75,10 @@ pub fn run(quick: bool) {
             .map(|(_, m)| one(&cfg, model, *m, iterations))
             .collect();
         let base = fps[0].max(1e-9);
-        assert!(fps.iter().all(|&f| f > 0.0), "every mode must make progress");
+        assert!(
+            fps.iter().all(|&f| f > 0.0),
+            "every mode must make progress"
+        );
         let mut row = vec![model.name().to_owned()];
         for (i, f) in fps.iter().enumerate() {
             let norm = f / base;
@@ -109,6 +112,9 @@ pub fn run(quick: bool) {
     );
     if !quick {
         assert!(avg_ours > avg_32 && avg_32 >= avg_4, "ordering must hold");
-        assert!(avg_ours > 0.90, "vChunk must stay near physical performance");
+        assert!(
+            avg_ours > 0.90,
+            "vChunk must stay near physical performance"
+        );
     }
 }

@@ -193,13 +193,7 @@ pub fn run(quick: bool) {
     print_table(
         "Figure 15 (multi-instance): interference of co-located instances",
         &[
-            "design",
-            "tf solo",
-            "tf multi",
-            "tf degr",
-            "rn solo",
-            "rn multi",
-            "rn degr",
+            "design", "tf solo", "tf multi", "tf degr", "rn solo", "rn multi", "rn degr",
         ],
         &rows,
     );
@@ -216,7 +210,10 @@ pub fn run(quick: bool) {
         100.0 * vnpu_degr
     );
     if !quick {
-        assert!(tf_avg > 1.5, "vNPU must clearly beat UVM on transformer blocks");
+        assert!(
+            tf_avg > 1.5,
+            "vNPU must clearly beat UVM on transformer blocks"
+        );
         assert!(rn_avg < tf_avg, "ResNet blocks benefit less (bubbles)");
         assert!(rn_avg > 0.9, "vNPU must not lose on ResNet blocks");
         assert!(

@@ -132,7 +132,13 @@ pub fn run(quick: bool) {
     let resnet34 = models::resnet34();
     // vNPU: exact 12 + 24; MIG: both squeezed into 18-core partitions
     // (GPT2-small still runs 12 virtual cores; ResNet34 gets only 18).
-    let v36 = run_vnpu(&cfg36, (&gpt_s, 12), (&resnet34, 24), Design::Vnpu, iterations);
+    let v36 = run_vnpu(
+        &cfg36,
+        (&gpt_s, 12),
+        (&resnet34, 24),
+        Design::Vnpu,
+        iterations,
+    );
     let m36 = run_mig(&cfg36, (&gpt_s, 12), (&resnet34, 18), iterations);
     let bare36 = run_vnpu(
         &cfg36,
@@ -198,9 +204,7 @@ pub fn run(quick: bool) {
         v36.warmup_a > 0 && v36.warmup_b > 0,
         "warm-up (weight loading) must be visible"
     );
-    println!(
-        "\nvNPU vs MIG: ResNet34 {resnet_speedup:.2}x (paper 1.28x avg)."
-    );
+    println!("\nvNPU vs MIG: ResNet34 {resnet_speedup:.2}x (paper 1.28x avg).");
     println!(
         "vNPU vs bare metal: {:.2}% (36c) overhead (paper <1%).",
         100.0 * overhead36
@@ -218,7 +222,10 @@ pub fn run(quick: bool) {
             "more cores must beat MIG's fixed partition for ResNet34"
         );
         assert!(gptl_speedup > 1.4, "TDM must cost MIG dearly on GPT2-large");
-        assert!(overhead36.abs() < 0.03 && overhead48.abs() < 0.03, "vNPU ~free");
+        assert!(
+            overhead36.abs() < 0.03 && overhead48.abs() < 0.03,
+            "vNPU ~free"
+        );
         // GPT2-small under MIG wastes partition cores; vNPU gives it exactly 12,
         // so its fps should be comparable (within noise) across designs.
         let gpts_ratio = v48.fps_a / m48.fps_a.max(1e-9);

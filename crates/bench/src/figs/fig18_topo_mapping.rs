@@ -61,7 +61,14 @@ fn one(
         )
         .ok()?;
     let mut machine = Machine::new(cfg.clone());
-    let tenant = bind_design(&mut machine, &hv, vm, &out.programs, Design::Vnpu, model.name());
+    let tenant = bind_design(
+        &mut machine,
+        &hv,
+        vm,
+        &out.programs,
+        Design::Vnpu,
+        model.name(),
+    );
     let report = machine.run().ok()?;
     Some(report.fps(tenant))
 }
@@ -129,7 +136,10 @@ pub fn run(quick: bool) {
         &["model", "cores", "zig-zag fps", "similar fps", "gain"],
         &rows,
     );
-    assert!(!gains.is_empty(), "at least one (model, cores) point must map");
+    assert!(
+        !gains.is_empty(),
+        "at least one (model, cores) point must map"
+    );
 
     // Bottom of Figure 18: core activity trace for ResNet18 at 12 cores.
     let trace = trace_rows(&cfg, &model_set[0].1, if quick { 9 } else { 12 }, &p);
@@ -171,7 +181,10 @@ pub fn run(quick: bool) {
         resnet_big > resnet_small,
         "the mapping gain must grow with core count ({resnet_big:.3} vs {resnet_small:.3})"
     );
-    assert!(resnet_all > 1.02, "ResNet must benefit overall ({resnet_all:.3})");
+    assert!(
+        resnet_all > 1.02,
+        "ResNet must benefit overall ({resnet_all:.3})"
+    );
     assert!(
         gpt_gain < resnet_all,
         "GPT must be less mapping-sensitive than ResNet ({gpt_gain:.3} vs {resnet_all:.3})"

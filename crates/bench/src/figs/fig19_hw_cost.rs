@@ -24,8 +24,14 @@ pub fn run(_quick: bool) {
             "NPU controller (vNPU)",
             vnpu_controller_overhead(128).percent_of(base_ctrl),
         ),
-        ("NPU core (Kim's)", kim_core_overhead(32).percent_of(base_core)),
-        ("NPU core (vNPU)", vnpu_core_overhead(4).percent_of(base_core)),
+        (
+            "NPU core (Kim's)",
+            kim_core_overhead(32).percent_of(base_core),
+        ),
+        (
+            "NPU core (vNPU)",
+            vnpu_core_overhead(4).percent_of(base_core),
+        ),
     ];
     let mut rows: Vec<Vec<String>> = configs
         .iter()
@@ -45,7 +51,13 @@ pub fn run(_quick: bool) {
     ]);
     print_table(
         "Figure 19: additional FPGA resources (% of baseline)",
-        &["configuration", "Total LUTs", "Logic LUTs", "LUTRAMs", "FFs"],
+        &[
+            "configuration",
+            "Total LUTs",
+            "Logic LUTs",
+            "LUTRAMs",
+            "FFs",
+        ],
         &rows,
     );
 

@@ -162,20 +162,7 @@ impl Criterion {
     pub fn final_summary(&self) -> Option<std::path::PathBuf> {
         println!("\n{} benchmarks measured", self.records.len());
         let exe = std::env::current_exe().ok();
-        // Cargo runs bench binaries with cwd set to the *package* root,
-        // so a cwd-relative "target" would scatter stray target dirs
-        // across member crates. The exe always lives in
-        // `<target-dir>/<profile>/deps/`; walk three levels up so this
-        // also holds under a renamed CARGO_TARGET_DIR.
-        let target = exe
-            .as_deref()
-            .and_then(|p| p.parent()) // deps
-            .and_then(|p| p.parent()) // profile
-            .and_then(|p| p.parent()) // target dir
-            .map(|p| p.to_path_buf())
-            .unwrap_or_else(|| std::path::PathBuf::from("target"));
-        let dir = target.join("vnpu-bench");
-        std::fs::create_dir_all(&dir).ok()?;
+        let dir = report_dir()?;
         let stem = exe
             .as_deref()
             .and_then(|p| p.file_stem())
@@ -220,6 +207,26 @@ impl Criterion {
     pub fn records(&self) -> &[Record] {
         &self.records
     }
+}
+
+/// The shared bench-report directory `<target>/vnpu-bench`, created on
+/// demand. Cargo runs bench binaries with cwd set to the *package* root,
+/// so a cwd-relative "target" would scatter stray target dirs across
+/// member crates. The exe always lives in `<target-dir>/<profile>/deps/`;
+/// walk three levels up so this also holds under a renamed
+/// CARGO_TARGET_DIR.
+pub fn report_dir() -> Option<std::path::PathBuf> {
+    let target = std::env::current_exe()
+        .ok()
+        .as_deref()
+        .and_then(|p| p.parent()) // deps
+        .and_then(|p| p.parent()) // profile
+        .and_then(|p| p.parent()) // target dir
+        .map(|p| p.to_path_buf())
+        .unwrap_or_else(|| std::path::PathBuf::from("target"));
+    let dir = target.join("vnpu-bench");
+    std::fs::create_dir_all(&dir).ok()?;
+    Some(dir)
 }
 
 fn escape_json(s: &str) -> String {
@@ -349,8 +356,7 @@ impl Bencher {
 
     fn iters_for(&self, per_iter: Duration) -> u64 {
         let per_iter = per_iter.max(Duration::from_nanos(1));
-        (self.sampling.target_sample_time.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 20)
-            as u64
+        (self.sampling.target_sample_time.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 20) as u64
     }
 
     fn into_record(self, id: String) -> Record {
@@ -368,7 +374,11 @@ impl Bencher {
             mean_ns: mean,
             min_ns: sorted[0],
             max_ns: *sorted.last().unwrap(),
-            throughput: if median > 0.0 { 1e9 / median } else { f64::INFINITY },
+            throughput: if median > 0.0 {
+                1e9 / median
+            } else {
+                f64::INFINITY
+            },
             samples: sorted.len(),
         }
     }
@@ -448,7 +458,8 @@ mod tests {
     fn sample_size_is_respected() {
         let mut c = quick();
         let mut g = c.benchmark_group("g");
-        g.sample_size(3).bench_function("tiny", |b| b.iter(|| 1 + 1));
+        g.sample_size(3)
+            .bench_function("tiny", |b| b.iter(|| 1 + 1));
         g.finish();
         assert_eq!(c.records()[0].samples, 3);
     }

@@ -170,7 +170,11 @@ impl NocRouter for RemapRouter {
 /// Convenience: a second `VRouterNoc` construction helper for ad-hoc
 /// virtual NPUs in micro-benches (no hypervisor).
 pub fn adhoc_vrouter(cfg: &SocConfig, v2p: Vec<u32>, policy: RoutePolicy) -> VRouterNoc {
-    VRouterNoc::new(Topology::mesh2d(cfg.mesh_width, cfg.mesh_height), v2p, policy)
+    VRouterNoc::new(
+        Topology::mesh2d(cfg.mesh_width, cfg.mesh_height),
+        v2p,
+        policy,
+    )
 }
 
 /// Prints a fixed-width table with a title, headers and rows.
@@ -196,7 +200,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         "{}",
         fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -231,11 +238,7 @@ mod tests {
             Program::once(vec![Instr::send(1, 2048, 0)]),
             Program::once(vec![Instr::recv(0, 2048, 0)]),
         ];
-        for design in [
-            Design::Vnpu,
-            Design::Uvm { iotlb: 32 },
-            Design::BareMetal,
-        ] {
+        for design in [Design::Vnpu, Design::Uvm { iotlb: 32 }, Design::BareMetal] {
             let mut m = Machine::new(cfg.clone());
             let t = bind_design(&mut m, &hv, vm, &programs, design, "x");
             let r = m.run().unwrap();

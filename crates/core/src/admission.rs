@@ -1,0 +1,292 @@
+//! Admission control for the online serving regime: queued virtual-NPU
+//! requests, pluggable ordering policies, and the per-tick fragmentation
+//! metrics the scheduler steers by.
+//!
+//! The paper evaluates *static* provisioning — every vNPU exists before
+//! the workload runs. A serving deployment instead sees a stream of
+//! create/destroy requests under fragmentation, where placement can fail
+//! *now* and succeed *after the next departure*. This module gives the
+//! [`crate::Hypervisor`] that lifecycle: [`Hypervisor::submit`] enqueues a
+//! request, [`Hypervisor::process_admissions`] runs one admission tick
+//! under the configured [`AdmissionPolicy`], and every attempt remains
+//! transactional (a failed placement changes nothing, exactly as a failed
+//! [`Hypervisor::create_vnpu`] rolls back its partial allocations).
+//!
+//! [`Hypervisor::submit`]: crate::Hypervisor::submit
+//! [`Hypervisor::process_admissions`]: crate::Hypervisor::process_admissions
+
+use crate::ids::VmId;
+use crate::vnpu::VnpuRequest;
+use crate::VnpuError;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a queued admission request (dense, starting at 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// How the admission queue orders and retries placement attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Strict arrival order with head-of-line blocking: a tick stops at
+    /// the first request that fails to place.
+    #[default]
+    Fifo,
+    /// Attempt the smallest (fewest-core) request first each tick,
+    /// skipping over failures — trades head-of-line blocking for possible
+    /// starvation of large requests.
+    SmallestFirst,
+    /// Arrival order, but a request that has already failed is only
+    /// re-attempted after at least one vNPU has been destroyed since its
+    /// last attempt (nothing was freed, so retrying would burn an
+    /// enumeration for the same answer — though the mapping cache would
+    /// memoize it anyway).
+    RetryAfterFree,
+}
+
+/// Terminal outcome of one queued request during an admission tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionOutcome {
+    /// Placed; the request's virtual NPU is live.
+    Admitted(VmId),
+    /// Permanently rejected (impossible request, or attempt budget spent).
+    Rejected(VnpuError),
+}
+
+/// One terminal admission decision, as returned by
+/// [`crate::Hypervisor::process_admissions`]. Requests still queued after
+/// the tick produce no event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionEvent {
+    /// The request this decision is about.
+    pub id: RequestId,
+    /// What happened to it.
+    pub outcome: AdmissionOutcome,
+}
+
+#[derive(Debug)]
+pub(crate) struct PendingRequest {
+    pub id: RequestId,
+    pub req: VnpuRequest,
+    pub attempts: u32,
+    /// Value of the hypervisor's free-event counter at the last failed
+    /// attempt (`None` until the first failure).
+    pub last_failure_at_free_event: Option<u64>,
+}
+
+/// The pending-request queue with its policy and attempt budget.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    pending: VecDeque<PendingRequest>,
+    policy: AdmissionPolicy,
+    max_attempts: Option<u32>,
+    next_id: u64,
+}
+
+impl Default for AdmissionQueue {
+    fn default() -> Self {
+        Self::new(AdmissionPolicy::default())
+    }
+}
+
+impl AdmissionQueue {
+    /// An empty queue under `policy` with an unlimited attempt budget.
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        AdmissionQueue {
+            pending: VecDeque::new(),
+            policy,
+            max_attempts: None,
+            next_id: 0,
+        }
+    }
+
+    /// Caps placement attempts per request; a request failing its
+    /// `max_attempts`-th attempt is rejected. `None` retries forever.
+    pub fn set_max_attempts(&mut self, max_attempts: Option<u32>) {
+        self.max_attempts = max_attempts.map(|m| m.max(1));
+    }
+
+    /// The active ordering policy.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Replaces the ordering policy (queued requests are kept).
+    pub fn set_policy(&mut self, policy: AdmissionPolicy) {
+        self.policy = policy;
+    }
+
+    /// Queued request count.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// IDs currently queued, in arrival order.
+    pub fn queued_ids(&self) -> Vec<RequestId> {
+        self.pending.iter().map(|p| p.id).collect()
+    }
+
+    /// The attempt budget.
+    pub fn max_attempts(&self) -> Option<u32> {
+        self.max_attempts
+    }
+
+    pub(crate) fn push(&mut self, req: VnpuRequest) -> RequestId {
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.pending.push_back(PendingRequest {
+            id,
+            req,
+            attempts: 0,
+            last_failure_at_free_event: None,
+        });
+        id
+    }
+
+    /// The IDs to attempt this tick, in policy order. `free_events` is the
+    /// hypervisor's monotone destroy counter (drives `RetryAfterFree`).
+    pub(crate) fn attempt_order(&self, free_events: u64) -> Vec<RequestId> {
+        match self.policy {
+            AdmissionPolicy::Fifo => self.pending.iter().map(|p| p.id).collect(),
+            AdmissionPolicy::SmallestFirst => {
+                let mut ids: Vec<(u32, RequestId)> = self
+                    .pending
+                    .iter()
+                    .map(|p| (p.req.core_count(), p.id))
+                    .collect();
+                // Stable under equal sizes: arrival order breaks ties
+                // because `RequestId`s are assigned in arrival order.
+                ids.sort();
+                ids.into_iter().map(|(_, id)| id).collect()
+            }
+            AdmissionPolicy::RetryAfterFree => self
+                .pending
+                .iter()
+                .filter(|p| match p.last_failure_at_free_event {
+                    None => true,
+                    Some(at) => free_events > at,
+                })
+                .map(|p| p.id)
+                .collect(),
+        }
+    }
+
+    /// Whether a failed attempt under this policy ends the tick
+    /// (head-of-line blocking).
+    pub(crate) fn blocks_on_failure(&self) -> bool {
+        matches!(
+            self.policy,
+            AdmissionPolicy::Fifo | AdmissionPolicy::RetryAfterFree
+        )
+    }
+
+    pub(crate) fn request(&self, id: RequestId) -> Option<&PendingRequest> {
+        self.pending.iter().find(|p| p.id == id)
+    }
+
+    pub(crate) fn remove(&mut self, id: RequestId) -> Option<PendingRequest> {
+        let idx = self.pending.iter().position(|p| p.id == id)?;
+        self.pending.remove(idx)
+    }
+
+    /// Records a failed attempt; returns `true` when the attempt budget is
+    /// now spent (caller rejects the request).
+    pub(crate) fn mark_failed(&mut self, id: RequestId, free_events: u64) -> bool {
+        let Some(p) = self.pending.iter_mut().find(|p| p.id == id) else {
+            return false;
+        };
+        p.attempts += 1;
+        p.last_failure_at_free_event = Some(free_events);
+        self.max_attempts.is_some_and(|m| p.attempts >= m)
+    }
+}
+
+/// A point-in-time fragmentation picture of the hypervisor's resources,
+/// exposed per admission tick so the serving layer can chart how close the
+/// chip is to topology lock-in (§4.3) while traffic churns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FragmentationStats {
+    /// Free physical cores.
+    pub free_cores: u32,
+    /// Connected components of the free-core region (0 when none free).
+    pub free_components: usize,
+    /// Size of the largest connected free component.
+    pub largest_free_component: usize,
+    /// Largest free component over all free cores, in `[0, 1]`; 1.0 when
+    /// the free region is a single island (or empty — nothing is
+    /// stranded).
+    pub free_connectivity: f64,
+    /// Free HBM bytes.
+    pub hbm_free_bytes: u64,
+    /// Largest single free buddy block.
+    pub hbm_largest_free_block: u64,
+    /// Buddy external fragmentation: `1 − largest_free_block/free_bytes`
+    /// (0.0 when no memory is free — nothing is fragmented).
+    pub hbm_external_fragmentation: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(policy: AdmissionPolicy) -> AdmissionQueue {
+        AdmissionQueue::new(policy)
+    }
+
+    #[test]
+    fn fifo_orders_by_arrival() {
+        let mut queue = q(AdmissionPolicy::Fifo);
+        let a = queue.push(VnpuRequest::mesh(3, 3));
+        let b = queue.push(VnpuRequest::mesh(1, 1));
+        assert_eq!(queue.attempt_order(0), vec![a, b]);
+        assert!(queue.blocks_on_failure());
+    }
+
+    #[test]
+    fn smallest_first_orders_by_core_count_then_arrival() {
+        let mut queue = q(AdmissionPolicy::SmallestFirst);
+        let big = queue.push(VnpuRequest::mesh(3, 3));
+        let small_a = queue.push(VnpuRequest::mesh(1, 2));
+        let small_b = queue.push(VnpuRequest::mesh(2, 1));
+        // 2-core requests first (arrival order between them), then 9-core.
+        assert_eq!(queue.attempt_order(0), vec![small_a, small_b, big]);
+        assert!(!queue.blocks_on_failure());
+    }
+
+    #[test]
+    fn retry_after_free_skips_until_a_destroy() {
+        let mut queue = q(AdmissionPolicy::RetryAfterFree);
+        let a = queue.push(VnpuRequest::mesh(2, 2));
+        assert_eq!(queue.attempt_order(0), vec![a]);
+        assert!(!queue.mark_failed(a, 0));
+        // No free event since the failure: not retried.
+        assert!(queue.attempt_order(0).is_empty());
+        // After a destroy the request is eligible again.
+        assert_eq!(queue.attempt_order(1), vec![a]);
+    }
+
+    #[test]
+    fn attempt_budget_trips_after_max() {
+        let mut queue = q(AdmissionPolicy::Fifo);
+        queue.set_max_attempts(Some(2));
+        let a = queue.push(VnpuRequest::mesh(2, 2));
+        assert!(!queue.mark_failed(a, 0));
+        assert!(
+            queue.mark_failed(a, 1),
+            "second failure exhausts the budget"
+        );
+        queue.remove(a).unwrap();
+        assert!(queue.is_empty());
+    }
+}

@@ -8,6 +8,10 @@
 //! the whole provisioning pipeline and accounts the controller cycles it
 //! would cost (the Figure 11 configuration overhead).
 
+use crate::admission::{
+    AdmissionEvent, AdmissionOutcome, AdmissionPolicy, AdmissionQueue, FragmentationStats,
+    RequestId,
+};
 use crate::ids::{VirtCoreId, VmId};
 use crate::meta::MetaZoneLayout;
 use crate::mmio::{MmioSpace, PfReg, Requester};
@@ -20,6 +24,7 @@ use vnpu_mem::buddy::{Block, BuddyAllocator};
 use vnpu_mem::rtt::RttEntry;
 use vnpu_mem::{Perm, PhysAddr, VirtAddr};
 use vnpu_sim::SocConfig;
+use vnpu_topo::cache::{CacheStats, FreeSet, MappingCache};
 use vnpu_topo::mapping::Mapper;
 use vnpu_topo::{NodeId, Topology};
 
@@ -40,11 +45,20 @@ pub struct Hypervisor {
     cfg: SocConfig,
     topo: Arc<Topology>,
     core_users: Vec<u32>,
+    /// The free-core region (`core_users[i] == 0`), maintained
+    /// incrementally so the mapping hot path never rebuilds it.
+    free_set: FreeSet,
     buddy: BuddyAllocator,
     vnpus: BTreeMap<VmId, VirtualNpu>,
     next_vm: u32,
     config_cycles: u64,
     mmio: MmioSpace,
+    /// Memoized mapping results keyed by (request, strategy, free region).
+    cache: MappingCache,
+    /// Queued create requests awaiting placement.
+    admissions: AdmissionQueue,
+    /// Monotone count of vNPU destructions (drives retry-after-free).
+    free_events: u64,
 }
 
 impl Hypervisor {
@@ -69,13 +83,52 @@ impl Hypervisor {
         Hypervisor {
             topo: Arc::new(topo),
             core_users: vec![0; n],
+            free_set: FreeSet::all_free(n),
             buddy: BuddyAllocator::new(PhysAddr(0x8_0000_0000), hbm_bytes, MIN_BLOCK_BYTES),
             vnpus: BTreeMap::new(),
             next_vm: 0,
             config_cycles: 0,
             mmio,
+            cache: MappingCache::default(),
+            admissions: AdmissionQueue::default(),
+            free_events: 0,
             cfg,
         }
+    }
+
+    /// Takes one user reference on a core, updating the free region when
+    /// the core transitions free → used.
+    fn acquire_core(&mut self, core: u32) {
+        let users = &mut self.core_users[core as usize];
+        *users += 1;
+        if *users == 1 {
+            self.free_set.occupy(NodeId(core));
+        }
+    }
+
+    /// Drops one user reference on a core, updating the free region when
+    /// the core transitions used → free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VnpuError::OverRelease`] when the core has no user — a
+    /// double release, which previously was silently masked by a
+    /// saturating subtraction.
+    fn release_core(&mut self, core: u32) -> Result<()> {
+        let users = &mut self.core_users[core as usize];
+        if *users == 0 {
+            return Err(VnpuError::OverRelease { core });
+        }
+        *users -= 1;
+        if *users == 0 {
+            self.free_set.release(NodeId(core));
+            // Any used→free transition is a retry signal, whether it came
+            // from destroy_vnpu or an administrative release_cores — a
+            // retry-after-free request must not stall behind capacity
+            // freed outside a vNPU teardown.
+            self.free_events += 1;
+        }
+        Ok(())
     }
 
     /// The controller's MMIO register space (PF + per-tenant VFs).
@@ -101,16 +154,40 @@ impl Hypervisor {
 
     /// Currently free physical cores, ascending.
     pub fn free_cores(&self) -> Vec<u32> {
-        self.core_users
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &u)| (u == 0).then_some(i as u32))
-            .collect()
+        self.free_set.nodes().into_iter().map(|n| n.0).collect()
+    }
+
+    /// The free-core region (incrementally maintained).
+    pub fn free_set(&self) -> &FreeSet {
+        &self.free_set
     }
 
     /// Number of free cores.
     pub fn free_core_count(&self) -> u32 {
-        self.core_users.iter().filter(|&&u| u == 0).count() as u32
+        self.free_set.free_count() as u32
+    }
+
+    /// Mapping-cache effectiveness counters (hits, misses, evictions).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Free HBM bytes.
+    pub fn hbm_free_bytes(&self) -> u64 {
+        self.buddy.free_bytes()
+    }
+
+    /// Total managed HBM bytes.
+    pub fn hbm_total_bytes(&self) -> u64 {
+        self.buddy.total_bytes()
+    }
+
+    /// Monotone count of resource-freeing events — core used→free
+    /// transitions (from vNPU teardown *or* administrative core release)
+    /// and vNPU destructions (which also free HBM). This is the
+    /// retry-after-free signal.
+    pub fn free_events(&self) -> u64 {
+        self.free_events
     }
 
     /// Fraction of physical cores currently allocated.
@@ -151,12 +228,18 @@ impl Hypervisor {
         if req.core_count() == 0 || req.memory_bytes() == 0 {
             return Err(VnpuError::EmptyRequest);
         }
-        // 1. Core allocation via the topology-mapping strategy. With
-        //    temporal sharing (§7 over-provisioning), the available set is
-        //    widened with the least-loaded busy cores; their current
-        //    tenants will be time-division-multiplexed with this one.
-        let mut available: Vec<NodeId> = self.free_cores().into_iter().map(NodeId).collect();
-        if req.wants_temporal_sharing() && available.len() < req.core_count() as usize {
+        // 1. Core allocation via the topology-mapping strategy, memoized
+        //    through the mapping cache (the request topology + free-region
+        //    fingerprint identify the answer). With temporal sharing (§7
+        //    over-provisioning), the available set is widened with the
+        //    least-loaded busy cores; their current tenants will be
+        //    time-division-multiplexed with this one. The widened set is
+        //    its own cacheable region — its fingerprint differs from the
+        //    plain free set's.
+        let widened: Option<FreeSet> = if req.wants_temporal_sharing()
+            && self.free_set.free_count() < req.core_count() as usize
+        {
+            let mut set = self.free_set.clone();
             let mut busy: Vec<(u32, u32)> = self
                 .core_users
                 .iter()
@@ -166,15 +249,23 @@ impl Hypervisor {
                 .collect();
             busy.sort_unstable();
             for (_, core) in busy {
-                if available.len() >= req.core_count() as usize {
+                if set.free_count() >= req.core_count() as usize {
                     break;
                 }
-                available.push(NodeId(core));
+                set.release(NodeId(core));
             }
-            available.sort_unstable();
-        }
+            Some(set)
+        } else {
+            None
+        };
+        let available = widened.as_ref().unwrap_or(&self.free_set);
         let mapper = Mapper::new(&self.topo);
-        let mapping = mapper.map(&available, req.topology(), req.strategy_ref())?;
+        let mapping = mapper.map_cached(
+            available,
+            req.topology(),
+            req.strategy_ref(),
+            &mut self.cache,
+        )?;
 
         // 2. Guest memory: buddy blocks mapped 1:1 into RTT entries.
         let (entries, blocks) = self.allocate_memory(req.memory_bytes())?;
@@ -204,8 +295,8 @@ impl Hypervisor {
         }
 
         // 5. Deploy: mark cores used, account controller configuration.
-        for n in mapping.phys_nodes() {
-            self.core_users[n.index()] += 1;
+        for &n in mapping.phys_nodes() {
+            self.acquire_core(n.0);
         }
         self.config_cycles += routing_table.config_cycles();
         self.config_cycles += entries.len() as u64 * 22; // RTT entry writes
@@ -247,19 +338,24 @@ impl Hypervisor {
             }
         }
         for &c in cores {
-            self.core_users[c as usize] += 1;
+            self.acquire_core(c);
         }
         Ok(())
     }
 
     /// Releases cores previously taken with [`Hypervisor::reserve_cores`].
     ///
+    /// The call is transactional: it validates every index *and* every
+    /// user count up front, so a failing call changes nothing.
+    ///
     /// # Errors
     ///
-    /// Returns [`VnpuError::VirtCoreOutOfRange`] if any index is outside
-    /// the chip.
+    /// * [`VnpuError::VirtCoreOutOfRange`] — an index outside the chip.
+    /// * [`VnpuError::OverRelease`] — a core released more times than it
+    ///   was acquired (counting duplicates within this call).
     pub fn release_cores(&mut self, cores: &[u32]) -> Result<()> {
         let count = self.cfg.core_count();
+        let mut releases = vec![0u32; count as usize];
         for &c in cores {
             if c >= count {
                 return Err(VnpuError::VirtCoreOutOfRange {
@@ -267,9 +363,13 @@ impl Hypervisor {
                     count,
                 });
             }
+            releases[c as usize] += 1;
+            if releases[c as usize] > self.core_users[c as usize] {
+                return Err(VnpuError::OverRelease { core: c });
+            }
         }
         for &c in cores {
-            self.core_users[c as usize] = self.core_users[c as usize].saturating_sub(1);
+            self.release_core(c).expect("validated above");
         }
         Ok(())
     }
@@ -278,17 +378,30 @@ impl Hypervisor {
     ///
     /// # Errors
     ///
-    /// Returns [`VnpuError::UnknownVm`] for stale IDs.
+    /// * [`VnpuError::UnknownVm`] — stale ID.
+    /// * [`VnpuError::OverRelease`] — a core of this vNPU no longer has a
+    ///   user reference (an earlier [`Hypervisor::release_cores`] misuse);
+    ///   the vNPU is left untouched.
     pub fn destroy_vnpu(&mut self, vm: VmId) -> Result<()> {
-        let vnpu = self.vnpus.remove(&vm).ok_or(VnpuError::UnknownVm(vm))?;
-        for n in vnpu.mapping().phys_nodes() {
-            self.core_users[n.index()] = self.core_users[n.index()].saturating_sub(1);
+        let vnpu = self.vnpus.get(&vm).ok_or(VnpuError::UnknownVm(vm))?;
+        if let Some(n) = vnpu
+            .mapping()
+            .phys_nodes()
+            .iter()
+            .find(|n| self.core_users[n.index()] == 0)
+        {
+            return Err(VnpuError::OverRelease { core: n.0 });
+        }
+        let vnpu = self.vnpus.remove(&vm).expect("looked up above");
+        for &n in vnpu.mapping().phys_nodes() {
+            self.release_core(n.0).expect("validated above");
         }
         for b in vnpu.blocks() {
             self.buddy
                 .free(b.addr)
                 .expect("hypervisor-owned block frees cleanly");
         }
+        self.free_events += 1;
         Ok(())
     }
 
@@ -300,6 +413,117 @@ impl Hypervisor {
     /// Propagates lookup and construction failures.
     pub fn services(&self, vm: VmId, vcore: VirtCoreId) -> Result<vnpu_sim::machine::CoreServices> {
         self.vnpu(vm)?.services(vcore)
+    }
+
+    /// Queues a create request for placement by a later admission tick.
+    /// Requests that can *never* fit (more cores than the chip, more
+    /// memory than the HBM) are still queued; the first tick rejects them.
+    pub fn submit(&mut self, req: VnpuRequest) -> RequestId {
+        self.admissions.push(req)
+    }
+
+    /// Number of requests waiting for placement.
+    pub fn pending_count(&self) -> usize {
+        self.admissions.len()
+    }
+
+    /// The admission queue (policy, attempt budget, queued IDs).
+    pub fn admissions(&self) -> &AdmissionQueue {
+        &self.admissions
+    }
+
+    /// Replaces the admission ordering policy.
+    pub fn set_admission_policy(&mut self, policy: AdmissionPolicy) {
+        self.admissions.set_policy(policy);
+    }
+
+    /// Caps placement attempts per queued request (see
+    /// [`AdmissionQueue::set_max_attempts`]).
+    pub fn set_admission_max_attempts(&mut self, max_attempts: Option<u32>) {
+        self.admissions.set_max_attempts(max_attempts);
+    }
+
+    /// Runs one admission tick: attempts queued requests in policy order,
+    /// placing each through the same transactional
+    /// [`Hypervisor::create_vnpu`] pipeline (and therefore through the
+    /// mapping cache). Returns the tick's *terminal* decisions —
+    /// admissions and rejections; requests that merely stay queued produce
+    /// no event.
+    ///
+    /// Rejection happens when a request cannot possibly fit the chip
+    /// (cores or memory exceed the hardware) or when its attempt budget is
+    /// exhausted. Under head-of-line policies (FIFO, retry-after-free) the
+    /// tick stops at the first deferral.
+    pub fn process_admissions(&mut self) -> Vec<AdmissionEvent> {
+        let mut events = Vec::new();
+        for id in self.admissions.attempt_order(self.free_events) {
+            let req = self
+                .admissions
+                .request(id)
+                .expect("attempt_order returns queued ids");
+            // A failure is terminal (reject now, never retry) when the
+            // request can't fit the hardware even on an idle chip. The
+            // classification only applies to *failed* attempts: if a
+            // future placement path (sharding, over-provisioning) lets
+            // such a request place after all, the admission succeeds
+            // normally.
+            let terminal = req.req.core_count() == 0
+                || req.req.memory_bytes() == 0
+                || req.req.core_count() > self.cfg.core_count()
+                || req.req.memory_bytes() > self.buddy.total_bytes();
+            let request = req.req.clone();
+            match self.create_vnpu(request) {
+                Ok(vm) => {
+                    self.admissions.remove(id);
+                    events.push(AdmissionEvent {
+                        id,
+                        outcome: AdmissionOutcome::Admitted(vm),
+                    });
+                }
+                Err(err) => {
+                    let budget_spent = self.admissions.mark_failed(id, self.free_events);
+                    if terminal || budget_spent {
+                        self.admissions.remove(id);
+                        events.push(AdmissionEvent {
+                            id,
+                            outcome: AdmissionOutcome::Rejected(err),
+                        });
+                    } else if self.admissions.blocks_on_failure() {
+                        break;
+                    }
+                }
+            }
+        }
+        events
+    }
+
+    /// The per-tick fragmentation picture: free-core connectivity and
+    /// buddy external fragmentation (the two resources whose fragmentation
+    /// gates admission).
+    pub fn fragmentation(&self) -> FragmentationStats {
+        let free_nodes = self.free_set.nodes();
+        let components = self.topo.subset_components(&free_nodes);
+        let free_cores = free_nodes.len();
+        let largest = components.first().copied().unwrap_or(0);
+        let free_bytes = self.buddy.free_bytes();
+        let largest_block = self.buddy.largest_free_block();
+        FragmentationStats {
+            free_cores: free_cores as u32,
+            free_components: components.len(),
+            largest_free_component: largest,
+            free_connectivity: if free_cores == 0 {
+                1.0
+            } else {
+                largest as f64 / free_cores as f64
+            },
+            hbm_free_bytes: free_bytes,
+            hbm_largest_free_block: largest_block,
+            hbm_external_fragmentation: if free_bytes == 0 {
+                0.0
+            } else {
+                1.0 - largest_block as f64 / free_bytes as f64
+            },
+        }
     }
 
     fn allocate_memory(&mut self, bytes: u64) -> Result<(Vec<RttEntry>, Vec<Block>)> {
@@ -387,8 +611,7 @@ mod tests {
         let mut h = Hypervisor::new(cfg.clone());
         h.create_vnpu(VnpuRequest::mesh(3, 3).strategy(Strategy::exact_only()))
             .unwrap();
-        let second_exact =
-            h.create_vnpu(VnpuRequest::mesh(3, 3).strategy(Strategy::exact_only()));
+        let second_exact = h.create_vnpu(VnpuRequest::mesh(3, 3).strategy(Strategy::exact_only()));
         assert!(second_exact.is_err(), "topology lock-in must occur");
         assert_eq!(h.free_core_count(), 16); // 64% of 25 wasted
 
@@ -407,7 +630,9 @@ mod tests {
     fn destroy_releases_resources() {
         let mut h = hv();
         let before_mem = h.buddy.free_bytes();
-        let vm = h.create_vnpu(VnpuRequest::mesh(2, 2).mem_bytes(128 << 20)).unwrap();
+        let vm = h
+            .create_vnpu(VnpuRequest::mesh(2, 2).mem_bytes(128 << 20))
+            .unwrap();
         assert_eq!(h.free_core_count(), 32);
         assert!(h.buddy.free_bytes() < before_mem);
         h.destroy_vnpu(vm).unwrap();
@@ -420,7 +645,9 @@ mod tests {
     #[test]
     fn memory_plan_covers_request_contiguously() {
         let mut h = hv();
-        let vm = h.create_vnpu(VnpuRequest::mesh(2, 2).mem_bytes(600 << 20)).unwrap();
+        let vm = h
+            .create_vnpu(VnpuRequest::mesh(2, 2).mem_bytes(600 << 20))
+            .unwrap();
         let v = h.vnpu(vm).unwrap();
         let entries = v.rtt_entries();
         assert!(entries.len() >= 3, "600 MB needs multiple <=256 MB blocks");
@@ -439,7 +666,11 @@ mod tests {
         let free_before = h.buddy.free_bytes();
         let r = h.create_vnpu(VnpuRequest::mesh(2, 2).mem_bytes(1 << 30));
         assert!(matches!(r, Err(VnpuError::Memory(_))));
-        assert_eq!(h.buddy.free_bytes(), free_before, "partial blocks must be freed");
+        assert_eq!(
+            h.buddy.free_bytes(),
+            free_before,
+            "partial blocks must be freed"
+        );
         assert_eq!(h.free_core_count(), 36, "no cores leaked");
     }
 
@@ -495,7 +726,9 @@ mod tests {
         // window alignment in that area... simplest: allocate 1x1 at core 0
         // then request 6x6-minus impossible, so ask a line of 5.
         h.create_vnpu(VnpuRequest::mesh(1, 1)).unwrap();
-        let vm = h.create_vnpu(VnpuRequest::custom(Topology::line(5))).unwrap();
+        let vm = h
+            .create_vnpu(VnpuRequest::custom(Topology::line(5)))
+            .unwrap();
         let v = h.vnpu(vm).unwrap();
         // Line of 5 on a mesh still matches exactly (a row), possibly
         // shifted; either table form is valid but lookups must be total.
@@ -553,6 +786,150 @@ mod tests {
         h.destroy_vnpu(shared).unwrap();
         h.destroy_vnpu(first).unwrap();
         assert_eq!(h.free_core_count(), 36);
+    }
+
+    #[test]
+    fn over_release_is_an_error_not_a_silent_mask() {
+        // Regression: release_cores/destroy_vnpu used saturating_sub on
+        // the user counts, so a double release silently zeroed state and
+        // later teardown corrupted accounting. It must be a hard error.
+        let mut h = hv();
+        h.reserve_cores(&[3]).unwrap();
+        h.release_cores(&[3]).unwrap();
+        assert_eq!(
+            h.release_cores(&[3]),
+            Err(VnpuError::OverRelease { core: 3 })
+        );
+        // Duplicates inside one call count too, and the failing call is
+        // transactional: nothing is released.
+        h.reserve_cores(&[5]).unwrap();
+        assert_eq!(
+            h.release_cores(&[5, 5]),
+            Err(VnpuError::OverRelease { core: 5 })
+        );
+        assert!(!h.free_cores().contains(&5), "failed call must not mutate");
+        h.release_cores(&[5]).unwrap();
+        // destroy_vnpu notices when a vNPU's core was stripped externally.
+        let vm = h.create_vnpu(VnpuRequest::mesh(2, 2)).unwrap();
+        let core = h.vnpu(vm).unwrap().mapping().phys_nodes()[0].0;
+        h.release_cores(&[core]).unwrap(); // misuse: steals the vNPU's core
+        assert_eq!(h.destroy_vnpu(vm), Err(VnpuError::OverRelease { core }));
+        assert!(h.vnpu(vm).is_ok(), "failed destroy must keep the vNPU");
+    }
+
+    #[test]
+    fn free_set_tracks_core_users_incrementally() {
+        let mut h = hv();
+        let vm = h.create_vnpu(VnpuRequest::mesh(3, 2)).unwrap();
+        let reference: Vec<u32> = h
+            .core_users
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &u)| (u == 0).then_some(i as u32))
+            .collect();
+        assert_eq!(h.free_cores(), reference);
+        assert_eq!(h.free_set().free_count(), 30);
+        h.destroy_vnpu(vm).unwrap();
+        assert_eq!(h.free_set().free_count(), 36);
+    }
+
+    #[test]
+    fn mapping_cache_hits_on_repeated_churn() {
+        let mut h = hv();
+        // Same request shape against the same free region, repeatedly.
+        for _ in 0..4 {
+            let vm = h.create_vnpu(VnpuRequest::mesh(2, 2)).unwrap();
+            h.destroy_vnpu(vm).unwrap();
+        }
+        let stats = h.cache_stats();
+        assert_eq!(stats.misses, 1, "one cold mapping");
+        assert_eq!(stats.hits, 3, "subsequent identical requests must hit");
+    }
+
+    #[test]
+    fn admission_fifo_blocks_head_of_line() {
+        let mut h = hv();
+        h.create_vnpu(VnpuRequest::mesh(6, 5)).unwrap(); // 6 cores left
+        let big = h.submit(VnpuRequest::mesh(3, 3));
+        let small = h.submit(VnpuRequest::mesh(1, 2));
+        let events = h.process_admissions();
+        assert!(events.is_empty(), "FIFO head cannot place, tick stops");
+        assert_eq!(h.pending_count(), 2);
+        let _ = (big, small);
+    }
+
+    #[test]
+    fn admission_smallest_first_places_past_blocked_head() {
+        let mut h = hv();
+        h.create_vnpu(VnpuRequest::mesh(6, 5)).unwrap();
+        let big = h.submit(VnpuRequest::mesh(3, 3));
+        let small = h.submit(VnpuRequest::mesh(1, 2));
+        h.set_admission_policy(AdmissionPolicy::SmallestFirst);
+        let events = h.process_admissions();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].id, small);
+        assert!(matches!(events[0].outcome, AdmissionOutcome::Admitted(_)));
+        assert_eq!(h.pending_count(), 1, "big request stays queued");
+        let _ = big;
+    }
+
+    #[test]
+    fn admission_retry_after_free_waits_for_departure() {
+        let mut h = hv();
+        let resident = h.create_vnpu(VnpuRequest::mesh(6, 6)).unwrap(); // full chip
+        h.set_admission_policy(AdmissionPolicy::RetryAfterFree);
+        let id = h.submit(VnpuRequest::mesh(2, 2));
+        assert!(h.process_admissions().is_empty());
+        // Without a destroy, the next tick does not even attempt it.
+        let misses_before = h.cache_stats().misses;
+        assert!(h.process_admissions().is_empty());
+        assert_eq!(h.cache_stats().misses, misses_before, "no re-attempt");
+        h.destroy_vnpu(resident).unwrap();
+        let events = h.process_admissions();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].id, id);
+        assert!(matches!(events[0].outcome, AdmissionOutcome::Admitted(_)));
+    }
+
+    #[test]
+    fn admission_rejects_impossible_and_budget_exhausted() {
+        let mut h = hv();
+        let impossible = h.submit(VnpuRequest::mesh(7, 7)); // 49 > 36 cores
+        let events = h.process_admissions();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].id, impossible);
+        assert!(matches!(events[0].outcome, AdmissionOutcome::Rejected(_)));
+
+        h.create_vnpu(VnpuRequest::mesh(6, 6)).unwrap(); // fill the chip
+        h.set_admission_max_attempts(Some(2));
+        let starved = h.submit(VnpuRequest::mesh(2, 2));
+        assert!(h.process_admissions().is_empty(), "attempt 1 defers");
+        let events = h.process_admissions();
+        assert_eq!(events.len(), 1, "attempt 2 exhausts the budget");
+        assert_eq!(events[0].id, starved);
+        assert!(matches!(events[0].outcome, AdmissionOutcome::Rejected(_)));
+        assert_eq!(h.pending_count(), 0);
+    }
+
+    #[test]
+    fn fragmentation_stats_reflect_lock_in() {
+        let cfg = SocConfig {
+            mesh_width: 3,
+            mesh_height: 3,
+            ..SocConfig::sim()
+        };
+        let mut h = Hypervisor::new(cfg);
+        let frag = h.fragmentation();
+        assert_eq!(frag.free_components, 1);
+        assert!((frag.free_connectivity - 1.0).abs() < 1e-12);
+        assert!(frag.hbm_external_fragmentation < 1e-12);
+        // Occupy the middle row: the free region splits into two islands.
+        h.reserve_cores(&[3, 4, 5]).unwrap();
+        let frag = h.fragmentation();
+        assert_eq!(frag.free_cores, 6);
+        assert_eq!(frag.free_components, 2);
+        assert_eq!(frag.largest_free_component, 3);
+        assert!((frag.free_connectivity - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod hwcost;
 pub mod hypervisor;
 pub mod meta;
@@ -58,6 +59,10 @@ pub mod vrouter;
 
 mod ids;
 
+pub use admission::{
+    AdmissionEvent, AdmissionOutcome, AdmissionPolicy, AdmissionQueue, FragmentationStats,
+    RequestId,
+};
 pub use hypervisor::Hypervisor;
 pub use ids::{PhysCoreId, VirtCoreId, VmId};
 pub use routing_table::RoutingTable;
@@ -90,6 +95,12 @@ pub enum VnpuError {
     },
     /// The request asked for zero cores or zero memory.
     EmptyRequest,
+    /// A core was released more times than it was acquired (double
+    /// release) — previously masked by a saturating subtraction.
+    OverRelease {
+        /// The physical core whose user count would go negative.
+        core: u32,
+    },
     /// Meta-tables exceed the SRAM meta-zone budget.
     MetaZoneOverflow {
         /// Bytes required.
@@ -119,8 +130,14 @@ impl fmt::Display for VnpuError {
                 write!(f, "virtual core {vcore} out of range ({count} cores)")
             }
             VnpuError::EmptyRequest => write!(f, "request must ask for at least one core and byte"),
+            VnpuError::OverRelease { core } => {
+                write!(f, "core {core} released more times than it was acquired")
+            }
             VnpuError::MetaZoneOverflow { required, capacity } => {
-                write!(f, "meta-zone overflow: need {required} bytes, have {capacity}")
+                write!(
+                    f,
+                    "meta-zone overflow: need {required} bytes, have {capacity}"
+                )
             }
             VnpuError::NoPartition => write!(f, "no free MIG partition"),
             VnpuError::MmioDenied { vm, offset } => {

@@ -145,8 +145,7 @@ impl MigPartitioner {
             if self.used[i] {
                 continue;
             }
-            if p.len() >= vcores as usize
-                && best.is_none_or(|b| self.partitions[b].len() > p.len())
+            if p.len() >= vcores as usize && best.is_none_or(|b| self.partitions[b].len() > p.len())
             {
                 best = Some(i);
             }

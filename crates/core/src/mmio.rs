@@ -161,7 +161,11 @@ impl MmioSpace {
 
     /// Whether hyper mode has been enabled by the hypervisor.
     pub fn hyper_enabled(&self) -> bool {
-        self.pf.get(&(PfReg::HyperEnable as u64)).copied().unwrap_or(0) != 0
+        self.pf
+            .get(&(PfReg::HyperEnable as u64))
+            .copied()
+            .unwrap_or(0)
+            != 0
     }
 }
 
@@ -172,9 +176,14 @@ mod tests {
     #[test]
     fn hypervisor_owns_pf() {
         let mut m = MmioSpace::new();
-        m.write_pf(Requester::Hypervisor, PfReg::RtBase, 0x4000).unwrap();
-        m.write_pf(Requester::Hypervisor, PfReg::HyperEnable, 1).unwrap();
-        assert_eq!(m.read_pf(Requester::Hypervisor, PfReg::RtBase).unwrap(), 0x4000);
+        m.write_pf(Requester::Hypervisor, PfReg::RtBase, 0x4000)
+            .unwrap();
+        m.write_pf(Requester::Hypervisor, PfReg::HyperEnable, 1)
+            .unwrap();
+        assert_eq!(
+            m.read_pf(Requester::Hypervisor, PfReg::RtBase).unwrap(),
+            0x4000
+        );
         assert!(m.hyper_enabled());
     }
 
@@ -183,7 +192,9 @@ mod tests {
         let mut m = MmioSpace::new();
         let deny = m.write_pf(Requester::Guest(VmId(1)), PfReg::RttBase, 0xdead);
         assert!(matches!(deny, Err(VnpuError::MmioDenied { .. })));
-        assert!(m.read_pf(Requester::Guest(VmId(1)), PfReg::RttBase).is_err());
+        assert!(m
+            .read_pf(Requester::Guest(VmId(1)), PfReg::RttBase)
+            .is_err());
     }
 
     #[test]
@@ -194,7 +205,8 @@ mod tests {
         m.write_vf(Requester::Guest(VmId(1)), VmId(1), VfReg::Doorbell, 7)
             .unwrap();
         assert_eq!(
-            m.read_vf(Requester::Guest(VmId(1)), VmId(1), VfReg::Doorbell).unwrap(),
+            m.read_vf(Requester::Guest(VmId(1)), VmId(1), VfReg::Doorbell)
+                .unwrap(),
             7
         );
         // Cross-tenant access denied.
@@ -205,7 +217,8 @@ mod tests {
             .read_vf(Requester::Guest(VmId(2)), VmId(1), VfReg::Status)
             .is_err());
         // The hypervisor can service any VF.
-        m.write_vf(Requester::Hypervisor, VmId(2), VfReg::Status, 1).unwrap();
+        m.write_vf(Requester::Hypervisor, VmId(2), VfReg::Status, 1)
+            .unwrap();
     }
 
     #[test]
@@ -227,7 +240,8 @@ mod tests {
         m.add_vf(VmId(0));
         assert_eq!(m.read_pf(Requester::Hypervisor, PfReg::RtLen).unwrap(), 0);
         assert_eq!(
-            m.read_vf(Requester::Guest(VmId(0)), VmId(0), VfReg::Status).unwrap(),
+            m.read_vf(Requester::Guest(VmId(0)), VmId(0), VfReg::Status)
+                .unwrap(),
             0
         );
     }

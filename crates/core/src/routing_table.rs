@@ -133,9 +133,9 @@ impl RoutingTable {
     /// Inverse lookup: which virtual core is backed by `p`?
     pub fn lookup_phys(&self, p: PhysCoreId) -> Option<VirtCoreId> {
         match self {
-            RoutingTable::Standard { entries, .. } => entries
-                .iter()
-                .find_map(|(&v, &pp)| (pp == p).then_some(v)),
+            RoutingTable::Standard { entries, .. } => {
+                entries.iter().find_map(|(&v, &pp)| (pp == p).then_some(v))
+            }
             RoutingTable::Mesh2d {
                 p_origin,
                 shape,
@@ -144,8 +144,7 @@ impl RoutingTable {
             } => {
                 let off = p.0.checked_sub(p_origin.0)?;
                 let (px, py) = (off % phys_width, off / phys_width);
-                (px < shape.width && py < shape.height)
-                    .then(|| VirtCoreId(py * shape.width + px))
+                (px < shape.width && py < shape.height).then(|| VirtCoreId(py * shape.width + px))
             }
         }
     }
@@ -163,9 +162,7 @@ impl RoutingTable {
     pub fn config_cycles(&self) -> u64 {
         match self {
             RoutingTable::Standard { .. } => controller::rt_config_cycles(self.core_count()),
-            RoutingTable::Mesh2d { .. } => {
-                controller::rt_config_cycles_compact(self.core_count())
-            }
+            RoutingTable::Mesh2d { .. } => controller::rt_config_cycles_compact(self.core_count()),
         }
     }
 }
@@ -209,7 +206,10 @@ mod tests {
 
     #[test]
     fn inverse_lookup_roundtrip() {
-        for t in [mesh_table(), RoutingTable::from_dense(VmId(0), &[6, 2, 9, 4])] {
+        for t in [
+            mesh_table(),
+            RoutingTable::from_dense(VmId(0), &[6, 2, 9, 4]),
+        ] {
             for v in 0..t.core_count() {
                 let p = t.lookup(VirtCoreId(v)).unwrap();
                 assert_eq!(t.lookup_phys(p), Some(VirtCoreId(v)));

@@ -27,7 +27,11 @@ pub const DEFAULT_IOTLB_ENTRIES: usize = 32;
 /// # Errors
 ///
 /// Propagates core-range and table-construction failures.
-pub fn services(vnpu: &VirtualNpu, vcore: VirtCoreId, iotlb_entries: usize) -> Result<CoreServices> {
+pub fn services(
+    vnpu: &VirtualNpu,
+    vcore: VirtCoreId,
+    iotlb_entries: usize,
+) -> Result<CoreServices> {
     vnpu.services_with(
         vcore,
         MemMode::Page {
@@ -133,8 +137,14 @@ mod tests {
         let v = h.vnpu(vm).unwrap();
         let producer = uvm_program(v, 0, &Program::once(vec![Instr::send(1, 2048, 9)]));
         let consumer = uvm_program(v, 1, &Program::once(vec![Instr::recv(0, 2048, 9)]));
-        let (Instr::GlobalWrite { tag: wt, va: wva, .. }, Instr::GlobalRead { tag: rt, va: rva, .. }) =
-            (producer.body[0], consumer.body[0])
+        let (
+            Instr::GlobalWrite {
+                tag: wt, va: wva, ..
+            },
+            Instr::GlobalRead {
+                tag: rt, va: rva, ..
+            },
+        ) = (producer.body[0], consumer.body[0])
         else {
             panic!("rewrite failed");
         };

@@ -74,10 +74,7 @@ pub fn build_translator(
 /// Number of 4 KiB pages the same plan costs under page-based translation
 /// (table-size comparison for [`crate::hwcost`]).
 pub fn page_count(entries: &[RttEntry]) -> u64 {
-    entries
-        .iter()
-        .map(|e| e.size.div_ceil(UVM_PAGE_SIZE))
-        .sum()
+    entries.iter().map(|e| e.size.div_ceil(UVM_PAGE_SIZE)).sum()
 }
 
 #[cfg(test)]
@@ -87,8 +84,18 @@ mod tests {
 
     fn entries() -> Vec<RttEntry> {
         vec![
-            RttEntry::new(VirtAddr(0x1000_0000), PhysAddr(0x8000_0000), 1 << 20, Perm::RW),
-            RttEntry::new(VirtAddr(0x1010_0000), PhysAddr(0x9000_0000), 1 << 19, Perm::RW),
+            RttEntry::new(
+                VirtAddr(0x1000_0000),
+                PhysAddr(0x8000_0000),
+                1 << 20,
+                Perm::RW,
+            ),
+            RttEntry::new(
+                VirtAddr(0x1010_0000),
+                PhysAddr(0x9000_0000),
+                1 << 19,
+                Perm::RW,
+            ),
         ]
     }
 

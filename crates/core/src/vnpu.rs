@@ -179,10 +179,12 @@ pub fn near_mesh_topology(n: u32) -> Topology {
     for y in 0..full_rows {
         for x in 0..width {
             if x + 1 < width {
-                t.add_edge(node(x, y).into(), node(x + 1, y).into()).unwrap();
+                t.add_edge(node(x, y).into(), node(x + 1, y).into())
+                    .unwrap();
             }
             if y + 1 < full_rows || (y + 1 == full_rows && x < rem) {
-                t.add_edge(node(x, y).into(), node(x, y + 1).into()).unwrap();
+                t.add_edge(node(x, y).into(), node(x, y + 1).into())
+                    .unwrap();
             }
         }
     }
@@ -368,7 +370,13 @@ mod tests {
 
     #[test]
     fn near_mesh_factors() {
-        for (n, w, h) in [(12u32, 4u32, 3u32), (36, 6, 6), (24, 6, 4), (9, 3, 3), (2, 2, 1)] {
+        for (n, w, h) in [
+            (12u32, 4u32, 3u32),
+            (36, 6, 6),
+            (24, 6, 4),
+            (9, 3, 3),
+            (2, 2, 1),
+        ] {
             let t = near_mesh_topology(n);
             assert_eq!(t.node_count() as u32, n);
             assert_eq!(t.mesh_shape().map(|s| (s.width, s.height)), Some((w, h)));

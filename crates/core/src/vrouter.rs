@@ -157,14 +157,7 @@ impl NocRouter for VRouterNoc {
         if let Some(p) = self.path_cache.get(&(src_phys, dst_phys)) {
             return Ok(p.clone());
         }
-        compute_path(
-            &self.topo,
-            &self.allowed,
-            self.policy,
-            src_phys,
-            dst_phys,
-        )
-        .map(|(p, _)| p)
+        compute_path(&self.topo, &self.allowed, self.policy, src_phys, dst_phys).map(|(p, _)| p)
     }
 
     fn per_packet_overhead(&self) -> u64 {

@@ -43,8 +43,14 @@ impl BuddyAllocator {
     /// Panics if `min_block` is not a power of two, or `total` is not a
     /// multiple of `min_block`, or `total == 0`.
     pub fn new(base: PhysAddr, total: u64, min_block: u64) -> Self {
-        assert!(min_block.is_power_of_two(), "min_block must be a power of two");
-        assert!(total > 0 && total % min_block == 0, "total must be a positive multiple of min_block");
+        assert!(
+            min_block.is_power_of_two(),
+            "min_block must be a power of two"
+        );
+        assert!(
+            total > 0 && total % min_block == 0,
+            "total must be a positive multiple of min_block"
+        );
         let max_order = {
             let mut o = 0;
             while (min_block << (o + 1)) <= total {
@@ -251,7 +257,10 @@ mod tests {
         let mut b = BuddyAllocator::new(PhysAddr(0), 1 << 20, 4096);
         let blk = b.alloc(4096).unwrap();
         b.free(blk.addr).unwrap();
-        assert_eq!(b.free(blk.addr), Err(MemError::InvalidFree { pa: blk.addr }));
+        assert_eq!(
+            b.free(blk.addr),
+            Err(MemError::InvalidFree { pa: blk.addr })
+        );
     }
 
     #[test]

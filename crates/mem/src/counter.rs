@@ -194,6 +194,9 @@ mod tests {
             t_cap += 100;
             t_cap += capped.record(t_cap, 4096);
         }
-        assert!(t_cap > t_un * 3 / 2, "capped stream must run slower: {t_cap} vs {t_un}");
+        assert!(
+            t_cap > t_un * 3 / 2,
+            "capped stream must run slower: {t_cap} vs {t_un}"
+        );
     }
 }

@@ -99,8 +99,15 @@ impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MemError::TranslationFault { va } => write!(f, "translation fault at {va}"),
-            MemError::PermissionDenied { va, needed, granted } => {
-                write!(f, "permission denied at {va}: need {needed}, have {granted}")
+            MemError::PermissionDenied {
+                va,
+                needed,
+                granted,
+            } => {
+                write!(
+                    f,
+                    "permission denied at {va}: need {needed}, have {granted}"
+                )
             }
             MemError::RangeOverrun { va, len } => {
                 write!(f, "access at {va} of {len} bytes overruns its mapping")

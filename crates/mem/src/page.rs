@@ -27,7 +27,10 @@ impl PageTable {
     ///
     /// Panics if `page_size` is not a power of two.
     pub fn new(page_size: u64) -> Self {
-        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
         PageTable {
             page_size,
             map: BTreeMap::new(),
@@ -351,13 +354,17 @@ mod tests {
         }
         let s = tr.stats();
         assert_eq!(s.lookups, 96);
-        assert_eq!(s.misses, 96, "streaming working set must thrash a 4-entry TLB");
+        assert_eq!(
+            s.misses, 96,
+            "streaming working set must thrash a 4-entry TLB"
+        );
     }
 
     #[test]
     fn permission_enforced() {
         let mut t = PageTable::new(4096);
-        t.map_range(VirtAddr(0), PhysAddr(0), 4096, Perm::R).unwrap();
+        t.map_range(VirtAddr(0), PhysAddr(0), 4096, Perm::R)
+            .unwrap();
         let mut tr = PageTranslator::new(t, 4, TranslationCosts::default());
         assert!(matches!(
             tr.translate(VirtAddr(0), 64, Perm::W),

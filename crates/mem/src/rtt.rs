@@ -400,7 +400,14 @@ mod tests {
         // Pattern-2: entries sorted by VA; moving to the next tensor scans
         // from RTT_CUR so it finds the neighbor in ≤2 probes.
         let entries: Vec<RttEntry> = (0..16u64)
-            .map(|i| RttEntry::new(VirtAddr(i * 0x10000), PhysAddr(i * 0x10000), 0x10000, Perm::R))
+            .map(|i| {
+                RttEntry::new(
+                    VirtAddr(i * 0x10000),
+                    PhysAddr(i * 0x10000),
+                    0x10000,
+                    Perm::R,
+                )
+            })
             .collect();
         let rtt = RangeTranslationTable::new(entries).unwrap();
         let mut tr = RangeTranslator::new(rtt, 2, TranslationCosts::default());
@@ -419,7 +426,14 @@ mod tests {
         // Pattern-3: the second iteration's misses hit the last_v hint: one
         // probe each, including the wrap-around back to entry 0.
         let entries: Vec<RttEntry> = (0..8u64)
-            .map(|i| RttEntry::new(VirtAddr(i * 0x10000), PhysAddr(i * 0x10000), 0x10000, Perm::R))
+            .map(|i| {
+                RttEntry::new(
+                    VirtAddr(i * 0x10000),
+                    PhysAddr(i * 0x10000),
+                    0x10000,
+                    Perm::R,
+                )
+            })
             .collect();
         let rtt = RangeTranslationTable::new(entries).unwrap();
         // TLB of 1 entry: every range transition is a miss.
@@ -464,7 +478,14 @@ mod tests {
     #[test]
     fn incorrect_last_v_falls_back_to_scan() {
         let entries: Vec<RttEntry> = (0..4u64)
-            .map(|i| RttEntry::new(VirtAddr(i * 0x1000), PhysAddr(0x100000 + i * 0x1000), 0x1000, Perm::R))
+            .map(|i| {
+                RttEntry::new(
+                    VirtAddr(i * 0x1000),
+                    PhysAddr(0x100000 + i * 0x1000),
+                    0x1000,
+                    Perm::R,
+                )
+            })
             .collect();
         let mut rtt = RangeTranslationTable::new(entries).unwrap();
         // Poison entry 0's hint to point at the wrong entry.
@@ -519,7 +540,14 @@ mod tests {
         let mut page = PageTranslator::new(pt, 4, TranslationCosts::default());
 
         let entries: Vec<RttEntry> = (0..32u64)
-            .map(|i| RttEntry::new(VirtAddr(i * 0x10000), PhysAddr(i * 0x10000), 0x10000, Perm::R))
+            .map(|i| {
+                RttEntry::new(
+                    VirtAddr(i * 0x10000),
+                    PhysAddr(i * 0x10000),
+                    0x10000,
+                    Perm::R,
+                )
+            })
             .collect();
         let mut range = RangeTranslator::new(
             RangeTranslationTable::new(entries).unwrap(),
@@ -560,7 +588,9 @@ mod tests {
         ])
         .unwrap();
         let mut tr = RangeTranslator::new(rtt, 4, TranslationCosts::default());
-        let t = tr.translate(VirtAddr(0x2000 - 0x100), 0x200, Perm::R).unwrap();
+        let t = tr
+            .translate(VirtAddr(0x2000 - 0x100), 0x200, Perm::R)
+            .unwrap();
         assert_eq!(t.pa, PhysAddr(0x10_0000 + 0x1000 - 0x100));
         assert_eq!(tr.stats().lookups, 2, "the split burst costs two lookups");
     }

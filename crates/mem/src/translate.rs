@@ -2,9 +2,9 @@
 //! the paper evaluates in Figure 14 (physical / page-based IOTLB /
 //! range-based vChunk), consumed by the simulator's DMA engine.
 
-use crate::{Perm, PhysAddr, Result, VirtAddr};
 #[allow(unused_imports)] // referenced by doc links
 use crate::MemError;
+use crate::{Perm, PhysAddr, Result, VirtAddr};
 use std::fmt;
 
 /// Latency parameters of the translation hardware, in core clock cycles.

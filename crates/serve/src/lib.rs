@@ -1,0 +1,47 @@
+//! **vnpu_serve** — the online serving runtime over the vNPU stack.
+//!
+//! The paper evaluates topology-aware virtualization statically: vNPUs
+//! are provisioned once, run, and the chip is torn down. This crate adds
+//! the regime a production NPU pool actually operates in — *continuous
+//! churn*: requests arrive over time, virtual NPUs are created and
+//! destroyed under fragmentation, mappings are recomputed (or, mostly,
+//! *remembered*) per arrival, and execution interleaves with placement.
+//!
+//! Three modules implement the loop:
+//!
+//! * [`arrivals`] — a deterministic seeded traffic model: Poisson-ish
+//!   inter-arrival gaps, a weighted mix of virtual-topology shapes
+//!   (meshes, chains, awkward core counts) and geometric lifetimes.
+//! * [`scheduler`] — the runtime itself: per tick it retires expired
+//!   tenants, submits arrivals to the hypervisor's admission queue
+//!   ([`vnpu::admission`]), runs one admission pass (through the
+//!   [`vnpu_topo::cache::MappingCache`] hot path), samples fragmentation,
+//!   and executes one machine epoch with every live tenant's programs
+//!   bound ([`vnpu_sim::machine::Machine::run_epoch`]).
+//! * [`report`] — the [`ServeReport`]: accepted/rejected/queued counts,
+//!   p50/p99 time-to-placement in controller cycles, mapping-cache hit
+//!   rate, the fragmentation trajectory, and leak accounting (a correct
+//!   run ends with zero cores and zero HBM bytes still allocated).
+//!
+//! # Example
+//!
+//! ```
+//! use vnpu_serve::{ServeConfig, ServeRuntime};
+//!
+//! let report = ServeRuntime::new(ServeConfig::standard(42, 20))
+//!     .run()
+//!     .expect("serving runtime completes");
+//! assert_eq!(report.leaked_cores, 0);
+//! assert_eq!(report.leaked_hbm_bytes, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod report;
+pub mod scheduler;
+
+pub use arrivals::{Arrival, ArrivalGenerator, Shape, TrafficConfig};
+pub use report::{FragSample, ServeReport};
+pub use scheduler::{ServeConfig, ServeRuntime};

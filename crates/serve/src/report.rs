@@ -1,0 +1,235 @@
+//! The churn-run report: admission outcomes, placement latency
+//! percentiles, mapping-cache effectiveness, fragmentation trajectory and
+//! leak accounting, with hand-rolled JSON output (the offline workspace
+//! has no serde).
+
+use vnpu_topo::cache::CacheStats;
+
+/// One per-tick fragmentation sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FragSample {
+    /// Tick (= epoch) index.
+    pub tick: u64,
+    /// Free physical cores.
+    pub free_cores: u32,
+    /// Connected components of the free region.
+    pub free_components: usize,
+    /// Largest free component over all free cores (1.0 = one island).
+    pub free_connectivity: f64,
+    /// Buddy external fragmentation (`1 − largest block / free bytes`).
+    pub hbm_external_fragmentation: f64,
+    /// Live virtual NPUs after this tick's admissions.
+    pub live_vnpus: usize,
+}
+
+/// Summary of one serving churn run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Seed that reproduces the run.
+    pub seed: u64,
+    /// Ticks (= epochs) simulated.
+    pub epochs: u64,
+    /// Requests generated and submitted.
+    pub submitted: u64,
+    /// Requests placed.
+    pub accepted: u64,
+    /// Requests permanently rejected.
+    pub rejected: u64,
+    /// Requests still queued when the run ended.
+    pub queued_at_end: u64,
+    /// Tenants destroyed over the run (departures).
+    pub departed: u64,
+    /// Median time-to-placement in controller cycles (submit → admit).
+    pub p50_placement_cycles: u64,
+    /// 99th-percentile time-to-placement in controller cycles.
+    pub p99_placement_cycles: u64,
+    /// Worst observed time-to-placement in controller cycles.
+    pub max_placement_cycles: u64,
+    /// Mapping-cache counters accumulated by the hypervisor.
+    pub cache: CacheStats,
+    /// Fragmentation trajectory, one sample per tick.
+    pub fragmentation: Vec<FragSample>,
+    /// Machine epochs actually executed (0 when execution is disabled).
+    pub executed_epochs: u64,
+    /// Total simulated machine cycles across executed epochs.
+    pub machine_cycles: u64,
+    /// Controller cycles consumed over the run (ticks + configuration).
+    pub controller_cycles: u64,
+    /// Cores still marked used after the final drain (must be 0).
+    pub leaked_cores: u32,
+    /// HBM bytes still allocated after the final drain (must be 0).
+    pub leaked_hbm_bytes: u64,
+}
+
+impl ServeReport {
+    /// Cache hit rate in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// Acceptance rate over submitted requests, in `[0, 1]`.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            return 1.0;
+        }
+        self.accepted as f64 / self.submitted as f64
+    }
+
+    /// Mean free-core connectivity over the trajectory (1.0 when empty).
+    pub fn mean_free_connectivity(&self) -> f64 {
+        if self.fragmentation.is_empty() {
+            return 1.0;
+        }
+        self.fragmentation
+            .iter()
+            .map(|s| s.free_connectivity)
+            .sum::<f64>()
+            / self.fragmentation.len() as f64
+    }
+
+    /// A compact human-readable summary block.
+    pub fn summary(&self) -> String {
+        format!(
+            "serve: {} epochs, {} submitted | accepted {} ({:.1}%), rejected {}, \
+             queued {} | placement cycles p50 {} p99 {} max {} | cache hits {} \
+             misses {} (hit rate {:.1}%) | mean free-connectivity {:.3} | \
+             executed {} machine epochs ({} cycles) | leaks: {} cores, {} HBM bytes",
+            self.epochs,
+            self.submitted,
+            self.accepted,
+            100.0 * self.acceptance_rate(),
+            self.rejected,
+            self.queued_at_end,
+            self.p50_placement_cycles,
+            self.p99_placement_cycles,
+            self.max_placement_cycles,
+            self.cache.hits,
+            self.cache.misses,
+            100.0 * self.cache_hit_rate(),
+            self.mean_free_connectivity(),
+            self.executed_epochs,
+            self.machine_cycles,
+            self.leaked_cores,
+            self.leaked_hbm_bytes,
+        )
+    }
+
+    /// Serializes the report as a JSON object (fragmentation trajectory
+    /// included, down-sampled to at most `max_samples` points; pass
+    /// `usize::MAX` for everything).
+    pub fn to_json(&self, max_samples: usize) -> String {
+        let step = self.fragmentation.len().div_ceil(max_samples.max(1)).max(1);
+        let mut frag = String::from("[");
+        let mut first = true;
+        for s in self.fragmentation.iter().step_by(step) {
+            if !first {
+                frag.push(',');
+            }
+            first = false;
+            frag.push_str(&format!(
+                "{{\"tick\":{},\"free_cores\":{},\"free_components\":{},\
+                 \"free_connectivity\":{:.4},\"hbm_external_fragmentation\":{:.4},\
+                 \"live_vnpus\":{}}}",
+                s.tick,
+                s.free_cores,
+                s.free_components,
+                s.free_connectivity,
+                s.hbm_external_fragmentation,
+                s.live_vnpus
+            ));
+        }
+        frag.push(']');
+        format!(
+            "{{\n  \"seed\": {},\n  \"epochs\": {},\n  \"submitted\": {},\n  \
+             \"accepted\": {},\n  \"rejected\": {},\n  \"queued_at_end\": {},\n  \
+             \"departed\": {},\n  \"p50_placement_cycles\": {},\n  \
+             \"p99_placement_cycles\": {},\n  \"max_placement_cycles\": {},\n  \
+             \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
+             \"cache_hit_rate\": {:.4},\n  \"cache_evictions\": {},\n  \
+             \"executed_epochs\": {},\n  \"machine_cycles\": {},\n  \
+             \"controller_cycles\": {},\n  \"leaked_cores\": {},\n  \
+             \"leaked_hbm_bytes\": {},\n  \"fragmentation\": {}\n}}",
+            self.seed,
+            self.epochs,
+            self.submitted,
+            self.accepted,
+            self.rejected,
+            self.queued_at_end,
+            self.departed,
+            self.p50_placement_cycles,
+            self.p99_placement_cycles,
+            self.max_placement_cycles,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache_hit_rate(),
+            self.cache.evictions,
+            self.executed_epochs,
+            self.machine_cycles,
+            self.controller_cycles,
+            self.leaked_cores,
+            self.leaked_hbm_bytes,
+            frag,
+        )
+    }
+}
+
+/// Percentile over a sorted slice: the `p`-th percentile element (nearest
+/// -rank). Returns 0 for empty input.
+pub(crate) fn percentile(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 * p).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_math() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&v, 100), 100);
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[], 50), 0);
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let r = ServeReport {
+            seed: 1,
+            epochs: 2,
+            submitted: 3,
+            accepted: 2,
+            rejected: 1,
+            queued_at_end: 0,
+            departed: 2,
+            p50_placement_cycles: 10,
+            p99_placement_cycles: 20,
+            max_placement_cycles: 30,
+            cache: CacheStats::default(),
+            fragmentation: vec![FragSample {
+                tick: 0,
+                free_cores: 36,
+                free_components: 1,
+                free_connectivity: 1.0,
+                hbm_external_fragmentation: 0.0,
+                live_vnpus: 0,
+            }],
+            executed_epochs: 2,
+            machine_cycles: 1000,
+            controller_cycles: 99,
+            leaked_cores: 0,
+            leaked_hbm_bytes: 0,
+        };
+        let json = r.to_json(usize::MAX);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"cache_hit_rate\""));
+        assert!(json.contains("\"fragmentation\": [{"));
+        assert!(!r.summary().is_empty());
+    }
+}

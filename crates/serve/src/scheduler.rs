@@ -1,0 +1,396 @@
+//! The serving loop: departures → arrivals → admission tick → execution
+//! epoch, repeated, with every step deterministic under the seed.
+//!
+//! Each *tick* of the runtime is one machine epoch. The scheduler first
+//! retires tenants whose lifetime expired (destroying their vNPUs frees
+//! cores and HBM — the fragmentation churn of §4.3), then submits the
+//! tick's arrivals to the hypervisor's admission queue, runs one
+//! admission pass under the configured policy, and finally binds every
+//! live tenant's per-core program into the machine and executes the
+//! epoch. Placement latency is measured in *controller cycles*: a fixed
+//! per-tick scheduling overhead plus the meta-table configuration cycles
+//! the hypervisor actually spends (the Figure 11 cost model).
+
+use crate::arrivals::{Arrival, ArrivalGenerator, TrafficConfig};
+use crate::report::{percentile, FragSample, ServeReport};
+use std::collections::{BTreeMap, HashMap};
+use vnpu::admission::{AdmissionOutcome, AdmissionPolicy, RequestId};
+use vnpu::{Hypervisor, VirtCoreId, VmId};
+use vnpu_sim::isa::{Instr, Program};
+use vnpu_sim::machine::{Machine, TenantId};
+use vnpu_sim::SocConfig;
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The chip model.
+    pub soc: SocConfig,
+    /// HBM capacity managed by the hypervisor.
+    pub hbm_bytes: u64,
+    /// Ticks (= machine epochs) to simulate.
+    pub epochs: u64,
+    /// The seeded traffic model.
+    pub traffic: TrafficConfig,
+    /// Admission ordering policy.
+    pub policy: AdmissionPolicy,
+    /// Placement attempts per request before rejection (`None` = forever).
+    pub max_attempts: Option<u32>,
+    /// Whether to bind and execute tenant programs each epoch (off =
+    /// placement-only churn, for mapping-focused benchmarks).
+    pub execute_epochs: bool,
+    /// Controller cycles charged per scheduling tick (queue scan, MMIO
+    /// doorbells); configuration cycles are accounted on top from the
+    /// hypervisor's own meta-table cost model.
+    pub tick_cycles: u64,
+}
+
+impl ServeConfig {
+    /// A standard churn scenario on the paper's 6×6 SIM chip: modest HBM
+    /// (so memory churn matters), execution on, FIFO admission.
+    pub fn standard(seed: u64, epochs: u64) -> Self {
+        ServeConfig {
+            soc: SocConfig::sim(),
+            hbm_bytes: 4 << 30,
+            epochs,
+            traffic: TrafficConfig::standard(seed),
+            policy: AdmissionPolicy::Fifo,
+            max_attempts: Some(24),
+            execute_epochs: true,
+            tick_cycles: 1_000,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct LiveVnpu {
+    vm: VmId,
+    tenant: TenantId,
+    expires_at_epoch: u64,
+}
+
+/// The serving runtime: one hypervisor + one machine driven through
+/// continuous churn.
+#[derive(Debug)]
+pub struct ServeRuntime {
+    cfg: ServeConfig,
+    hv: Hypervisor,
+    machine: Machine,
+    generator: ArrivalGenerator,
+    live: BTreeMap<VmId, LiveVnpu>,
+    /// Lifetime (epochs) of each queued request, by admission ID.
+    queued_lifetimes: HashMap<RequestId, u64>,
+    /// Controller-cycle stamp of each submission.
+    submitted_at: HashMap<RequestId, u64>,
+    controller_cycles: u64,
+    accounted_config_cycles: u64,
+    placement_cycles: Vec<u64>,
+    accepted: u64,
+    rejected: u64,
+    departed: u64,
+    executed_epochs: u64,
+    machine_cycles: u64,
+    fragmentation: Vec<FragSample>,
+}
+
+impl ServeRuntime {
+    /// Builds the runtime (hypervisor, machine and traffic stream).
+    pub fn new(cfg: ServeConfig) -> Self {
+        let mut hv = Hypervisor::with_hbm_bytes(cfg.soc.clone(), cfg.hbm_bytes);
+        hv.set_admission_policy(cfg.policy);
+        hv.set_admission_max_attempts(cfg.max_attempts);
+        let machine = Machine::new(cfg.soc.clone());
+        let generator = ArrivalGenerator::new(cfg.traffic.clone());
+        ServeRuntime {
+            hv,
+            machine,
+            generator,
+            live: BTreeMap::new(),
+            queued_lifetimes: HashMap::new(),
+            submitted_at: HashMap::new(),
+            controller_cycles: 0,
+            accounted_config_cycles: 0,
+            placement_cycles: Vec::new(),
+            accepted: 0,
+            rejected: 0,
+            departed: 0,
+            executed_epochs: 0,
+            machine_cycles: 0,
+            fragmentation: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Live virtual NPUs right now.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// The hypervisor (for inspection).
+    pub fn hypervisor(&self) -> &Hypervisor {
+        &self.hv
+    }
+
+    /// Runs the configured number of epochs, drains all remaining
+    /// tenants, and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures (deadlock, cycle limit) — these
+    /// indicate a runtime bug, not load; placement failures are data.
+    pub fn run(mut self) -> Result<ServeReport, vnpu::VnpuError> {
+        for tick in 0..self.cfg.epochs {
+            self.tick(tick)?;
+        }
+        // Drain: retire every remaining tenant so leak accounting is
+        // meaningful (a correct run ends with a pristine chip).
+        let remaining: Vec<VmId> = self.live.keys().copied().collect();
+        for vm in remaining {
+            self.retire(vm)?;
+        }
+        let leaked_cores = self.cfg.soc.core_count() - self.hv.free_core_count();
+        let leaked_hbm = self.hv.hbm_total_bytes() - self.hv.hbm_free_bytes();
+        let mut sorted = self.placement_cycles.clone();
+        sorted.sort_unstable();
+        Ok(ServeReport {
+            seed: self.cfg.traffic.seed,
+            epochs: self.cfg.epochs,
+            submitted: self.generator.generated(),
+            accepted: self.accepted,
+            rejected: self.rejected,
+            queued_at_end: self.hv.pending_count() as u64,
+            departed: self.departed,
+            p50_placement_cycles: percentile(&sorted, 50),
+            p99_placement_cycles: percentile(&sorted, 99),
+            max_placement_cycles: sorted.last().copied().unwrap_or(0),
+            cache: self.hv.cache_stats(),
+            fragmentation: self.fragmentation,
+            executed_epochs: self.executed_epochs,
+            machine_cycles: self.machine_cycles,
+            controller_cycles: self.controller_cycles,
+            leaked_cores,
+            leaked_hbm_bytes: leaked_hbm,
+        })
+    }
+
+    fn tick(&mut self, tick: u64) -> Result<(), vnpu::VnpuError> {
+        self.controller_cycles += self.cfg.tick_cycles;
+
+        // 1. Departures: tenants whose lifetime expired leave first,
+        //    freeing cores/HBM for this tick's admissions.
+        let expired: Vec<VmId> = self
+            .live
+            .values()
+            .filter(|l| l.expires_at_epoch <= tick)
+            .map(|l| l.vm)
+            .collect();
+        for vm in expired {
+            self.retire(vm)?;
+        }
+
+        // 2. Arrivals enter the admission queue.
+        let arrivals: Vec<Arrival> = self.generator.arrivals_for_tick(tick);
+        for arrival in arrivals {
+            let id = self.hv.submit(arrival.request);
+            self.queued_lifetimes.insert(id, arrival.lifetime_epochs);
+            self.submitted_at.insert(id, self.controller_cycles);
+        }
+
+        // 3. One admission pass; configuration cycles the hypervisor
+        //    spent deploying meta-tables are added to the controller
+        //    clock before stamping placements.
+        let events = self.hv.process_admissions();
+        let config_now = self.hv.total_config_cycles();
+        self.controller_cycles += config_now - self.accounted_config_cycles;
+        self.accounted_config_cycles = config_now;
+        for event in events {
+            let lifetime = self
+                .queued_lifetimes
+                .remove(&event.id)
+                .expect("every queued id has a lifetime");
+            let stamp = self
+                .submitted_at
+                .remove(&event.id)
+                .expect("every queued id has a submit stamp");
+            match event.outcome {
+                AdmissionOutcome::Admitted(vm) => {
+                    self.accepted += 1;
+                    self.placement_cycles
+                        .push(self.controller_cycles.saturating_sub(stamp));
+                    let name = format!("vm{}", vm.0);
+                    let tenant = self.machine.add_tenant(&name);
+                    self.live.insert(
+                        vm,
+                        LiveVnpu {
+                            vm,
+                            tenant,
+                            expires_at_epoch: tick + lifetime.max(1),
+                        },
+                    );
+                }
+                AdmissionOutcome::Rejected(_) => {
+                    self.rejected += 1;
+                }
+            }
+        }
+
+        // 4. Fragmentation sample (after admissions, before execution).
+        let frag = self.hv.fragmentation();
+        self.fragmentation.push(FragSample {
+            tick,
+            free_cores: frag.free_cores,
+            free_components: frag.free_components,
+            free_connectivity: frag.free_connectivity,
+            hbm_external_fragmentation: frag.hbm_external_fragmentation,
+            live_vnpus: self.live.len(),
+        });
+
+        // 5. Execution epoch: every live tenant runs its ring workload.
+        if self.cfg.execute_epochs && !self.live.is_empty() {
+            for l in self.live.values() {
+                bind_ring_workload(&mut self.machine, &self.hv, l.vm, l.tenant)?;
+            }
+            let report = self.machine.run_epoch().map_err(vnpu::VnpuError::Sim)?;
+            self.executed_epochs += 1;
+            self.machine_cycles += report.makespan();
+        }
+        Ok(())
+    }
+
+    fn retire(&mut self, vm: VmId) -> Result<(), vnpu::VnpuError> {
+        let live = self.live.remove(&vm).expect("retire() only on live vms");
+        self.hv.destroy_vnpu(vm)?;
+        self.machine
+            .remove_tenant(live.tenant)
+            .map_err(vnpu::VnpuError::Sim)?;
+        self.departed += 1;
+        Ok(())
+    }
+}
+
+/// Binds one live vNPU's epoch workload: each virtual core computes and
+/// forwards a small activation block around the virtual ring (vRouter +
+/// vChunk services exercise the whole virtualization stack), single cores
+/// just compute.
+fn bind_ring_workload(
+    machine: &mut Machine,
+    hv: &Hypervisor,
+    vm: VmId,
+    tenant: TenantId,
+) -> Result<(), vnpu::VnpuError> {
+    let vnpu = hv.vnpu(vm)?;
+    let n = vnpu.core_count();
+    for v in 0..n {
+        let phys = vnpu.phys_core(VirtCoreId(v))?;
+        let services = hv.services(vm, VirtCoreId(v))?;
+        let body = if n == 1 {
+            vec![Instr::matmul(16, 16, 16)]
+        } else {
+            let next = (v + 1) % n;
+            let prev = (v + n - 1) % n;
+            vec![
+                Instr::matmul(16, 16, 16),
+                Instr::send(next, 1024, v),
+                Instr::recv(prev, 1024, prev),
+            ]
+        };
+        machine
+            .bind_with(phys, tenant, v, Program::looped(vec![], body, 1), services)
+            .map_err(vnpu::VnpuError::Sim)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(seed: u64) -> ServeConfig {
+        let mut cfg = ServeConfig::standard(seed, 80);
+        cfg.traffic.candidate_cap = 200;
+        cfg
+    }
+
+    #[test]
+    fn churn_run_is_deterministic_and_leak_free() {
+        let a = ServeRuntime::new(quick_cfg(11)).run().unwrap();
+        let b = ServeRuntime::new(quick_cfg(11)).run().unwrap();
+        assert_eq!(a, b, "same seed must reproduce the whole report");
+        assert_eq!(a.leaked_cores, 0);
+        assert_eq!(a.leaked_hbm_bytes, 0);
+        assert!(
+            a.submitted > 20,
+            "traffic must actually flow: {}",
+            a.submitted
+        );
+        assert!(a.accepted > 0);
+        assert_eq!(
+            a.accepted + a.rejected + a.queued_at_end,
+            a.submitted,
+            "every request is accounted exactly once"
+        );
+        assert!(a.departed >= a.accepted.saturating_sub(36), "tenants churn");
+        assert!(a.executed_epochs > 0);
+        assert!(a.machine_cycles > 0);
+    }
+
+    #[test]
+    fn cache_hits_accumulate_under_churn() {
+        let r = ServeRuntime::new(quick_cfg(5)).run().unwrap();
+        assert!(
+            r.cache.hits > 0,
+            "popular shapes against recurring free regions must hit: {:?}",
+            r.cache
+        );
+        assert!(r.cache_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn placement_latency_percentiles_are_ordered() {
+        let r = ServeRuntime::new(quick_cfg(9)).run().unwrap();
+        assert!(r.p50_placement_cycles <= r.p99_placement_cycles);
+        assert!(r.p99_placement_cycles <= r.max_placement_cycles);
+        assert!(
+            r.max_placement_cycles > 0,
+            "placements cost controller cycles"
+        );
+    }
+
+    #[test]
+    fn fragmentation_trajectory_has_one_sample_per_tick() {
+        let r = ServeRuntime::new(quick_cfg(3)).run().unwrap();
+        assert_eq!(r.fragmentation.len(), r.epochs as usize);
+        for s in &r.fragmentation {
+            assert!(s.free_cores <= 36);
+            assert!(s.free_connectivity >= 0.0 && s.free_connectivity <= 1.0);
+            assert!(s.hbm_external_fragmentation >= 0.0 && s.hbm_external_fragmentation <= 1.0);
+        }
+        // Under real load the chip must not sit idle the whole run.
+        assert!(r.fragmentation.iter().any(|s| s.live_vnpus > 0));
+    }
+
+    #[test]
+    fn policies_all_run_leak_free() {
+        for policy in [
+            AdmissionPolicy::Fifo,
+            AdmissionPolicy::SmallestFirst,
+            AdmissionPolicy::RetryAfterFree,
+        ] {
+            let mut cfg = quick_cfg(21);
+            cfg.policy = policy;
+            let r = ServeRuntime::new(cfg).run().unwrap();
+            assert_eq!(r.leaked_cores, 0, "{policy:?}");
+            assert_eq!(r.leaked_hbm_bytes, 0, "{policy:?}");
+            assert!(r.accepted > 0, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn placement_only_mode_skips_execution() {
+        let mut cfg = quick_cfg(2);
+        cfg.execute_epochs = false;
+        let r = ServeRuntime::new(cfg).run().unwrap();
+        assert_eq!(r.executed_epochs, 0);
+        assert_eq!(r.machine_cycles, 0);
+        assert!(r.accepted > 0);
+    }
+}

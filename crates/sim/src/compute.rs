@@ -79,7 +79,14 @@ mod tests {
     #[test]
     fn matmul_matches_formula() {
         // 128x128x128 on 16-dim SA: 8*8 tiles * (128 + 32) = 10240 + overhead.
-        let c = kernel_cycles(&fpga(), &Kernel::Matmul { m: 128, k: 128, n: 128 });
+        let c = kernel_cycles(
+            &fpga(),
+            &Kernel::Matmul {
+                m: 128,
+                k: 128,
+                n: 128,
+            },
+        );
         assert_eq!(c, KERNEL_ISSUE_OVERHEAD + 64 * 160);
     }
 
@@ -90,14 +97,40 @@ mod tests {
         // Conv16hw64c_128oc3k = 96912, Matmul_64m_512k_32n = 5212.
         let conv_a = kernel_cycles(
             &cfg,
-            &Kernel::Conv { hw: 32, in_ch: 16, out_ch: 16, kernel: 3, stride: 1 },
+            &Kernel::Conv {
+                hw: 32,
+                in_ch: 16,
+                out_ch: 16,
+                kernel: 3,
+                stride: 1,
+            },
         );
-        let mm_a = kernel_cycles(&cfg, &Kernel::Matmul { m: 128, k: 128, n: 128 });
+        let mm_a = kernel_cycles(
+            &cfg,
+            &Kernel::Matmul {
+                m: 128,
+                k: 128,
+                n: 128,
+            },
+        );
         let conv_b = kernel_cycles(
             &cfg,
-            &Kernel::Conv { hw: 16, in_ch: 64, out_ch: 128, kernel: 3, stride: 1 },
+            &Kernel::Conv {
+                hw: 16,
+                in_ch: 64,
+                out_ch: 128,
+                kernel: 3,
+                stride: 1,
+            },
         );
-        let mm_b = kernel_cycles(&cfg, &Kernel::Matmul { m: 64, k: 512, n: 32 });
+        let mm_b = kernel_cycles(
+            &cfg,
+            &Kernel::Matmul {
+                m: 64,
+                k: 512,
+                n: 32,
+            },
+        );
         for (ours, paper) in [
             (conv_a, 13474u64),
             (mm_a, 4836),
@@ -114,8 +147,22 @@ mod tests {
 
     #[test]
     fn bigger_array_is_faster() {
-        let small = kernel_cycles(&SocConfig::fpga(), &Kernel::Matmul { m: 256, k: 256, n: 256 });
-        let large = kernel_cycles(&SocConfig::sim(), &Kernel::Matmul { m: 256, k: 256, n: 256 });
+        let small = kernel_cycles(
+            &SocConfig::fpga(),
+            &Kernel::Matmul {
+                m: 256,
+                k: 256,
+                n: 256,
+            },
+        );
+        let large = kernel_cycles(
+            &SocConfig::sim(),
+            &Kernel::Matmul {
+                m: 256,
+                k: 256,
+                n: 256,
+            },
+        );
         assert!(large < small);
     }
 
@@ -143,7 +190,14 @@ mod tests {
     fn utilization_bounded_and_sane() {
         let cfg = fpga();
         // Perfectly tiled big matmul: high utilization.
-        let big = kernel_utilization(&cfg, &Kernel::Matmul { m: 512, k: 2048, n: 512 });
+        let big = kernel_utilization(
+            &cfg,
+            &Kernel::Matmul {
+                m: 512,
+                k: 2048,
+                n: 512,
+            },
+        );
         assert!(big > 0.8, "big matmul utilization {big}");
         // Tiny matmul: terrible utilization.
         let tiny = kernel_utilization(&cfg, &Kernel::Matmul { m: 4, k: 4, n: 4 });
@@ -157,7 +211,11 @@ mod tests {
     fn small_models_underutilize_big_chip() {
         // The Figure 3 motivation: the same kernel that nearly saturates the
         // FPGA tile badly underutilizes the 128-dim SIM tile.
-        let k = Kernel::Matmul { m: 64, k: 512, n: 32 };
+        let k = Kernel::Matmul {
+            m: 64,
+            k: 512,
+            n: 32,
+        };
         let small = kernel_utilization(&SocConfig::fpga(), &k);
         let large = kernel_utilization(&SocConfig::sim(), &k);
         assert!(large < small / 2.0, "large {large} vs small {small}");

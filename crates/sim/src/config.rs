@@ -175,7 +175,7 @@ mod tests {
         assert_eq!(c.core_count(), 8);
         assert_eq!(c.systolic_dim, 16);
         assert_eq!(c.total_scratchpad(), 4 * 1024 * 1024); // 4 MB total
-        // 0.5 TOPS per tile, 4 TOPS total (Table 2).
+                                                           // 0.5 TOPS per tile, 4 TOPS total (Table 2).
         assert!((c.total_tops() - 4.096).abs() < 0.2);
     }
 
@@ -185,7 +185,7 @@ mod tests {
         assert_eq!(c.core_count(), 36);
         assert_eq!(c.systolic_dim, 128);
         assert_eq!(c.total_scratchpad(), 36 * 30 * 1024 * 1024); // 1080 MB
-        // 16 TOPS per tile, 576 TOPS total.
+                                                                 // 16 TOPS per tile, 576 TOPS total.
         assert!((c.total_tops() - 589.8).abs() < 20.0);
     }
 

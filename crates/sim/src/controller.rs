@@ -35,9 +35,7 @@ pub fn dispatch_latency(cfg: &SocConfig, path: DispatchPath, core: u32) -> u64 {
         DispatchPath::InstructionBus => IBUS_LATENCY,
         DispatchPath::InstructionNoc => {
             let topo = Topology::mesh2d(cfg.mesh_width, cfg.mesh_height);
-            let hops = topo
-                .hop_distance(NodeId(0), NodeId(core))
-                .unwrap_or(0);
+            let hops = topo.hop_distance(NodeId(0), NodeId(core)).unwrap_or(0);
             INST_NOC_BASE + u64::from(hops) * INST_NOC_HOP
         }
     }

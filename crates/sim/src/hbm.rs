@@ -84,6 +84,16 @@ impl Hbm {
         ch.busy_until
     }
 
+    /// Rewinds every channel to idle for a fresh machine epoch: the
+    /// `busy_until` clocks and per-epoch counters are zeroed, the channel
+    /// structures are reused.
+    pub fn reset_epoch(&mut self) {
+        for ch in &mut self.channels {
+            *ch = Channel::default();
+        }
+        self.wait_cycles = 0;
+    }
+
     /// Total cycles requests waited behind busy channels.
     pub fn wait_cycles(&self) -> u64 {
         self.wait_cycles

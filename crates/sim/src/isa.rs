@@ -55,7 +55,8 @@ impl Kernel {
                 stride,
             } => {
                 let out = out_dim(hw, kernel, stride);
-                u64::from(out) * u64::from(out)
+                u64::from(out)
+                    * u64::from(out)
                     * u64::from(in_ch)
                     * u64::from(out_ch)
                     * u64::from(kernel)
@@ -258,10 +259,7 @@ mod tests {
 
     #[test]
     fn kernel_macs() {
-        assert_eq!(
-            Kernel::Matmul { m: 2, k: 3, n: 4 }.macs(),
-            24
-        );
+        assert_eq!(Kernel::Matmul { m: 2, k: 3, n: 4 }.macs(), 24);
         // 3x3 conv, 32x32 input, 16->16 channels, stride 1: 30x30 output.
         let c = Kernel::Conv {
             hw: 32,

@@ -48,6 +48,7 @@
 pub mod compute;
 pub mod config;
 pub mod controller;
+pub mod epoch;
 pub mod hbm;
 pub mod isa;
 pub mod machine;
@@ -55,6 +56,7 @@ pub mod noc;
 pub mod stats;
 
 pub use config::SocConfig;
+pub use epoch::EpochSummary;
 pub use isa::{Instr, Kernel, Program};
 pub use machine::{Machine, TenantId};
 pub use stats::Report;
@@ -113,6 +115,9 @@ pub enum SimError {
     },
     /// An unknown tenant was referenced.
     UnknownTenant(u32),
+    /// The tenant still has threads bound in the current epoch and cannot
+    /// be removed until the epoch finishes.
+    TenantBusy(u32),
 }
 
 impl fmt::Display for SimError {
@@ -137,6 +142,9 @@ impl fmt::Display for SimError {
             SimError::Deadlock { detail } => write!(f, "deadlock: {detail}"),
             SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} exceeded"),
             SimError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            SimError::TenantBusy(t) => {
+                write!(f, "tenant {t} still has bound threads in the current epoch")
+            }
         }
     }
 }

@@ -9,20 +9,27 @@
 //! DMA and NoC activity interleaves freely (which is why TDM can hide the
 //! imbalance of ResNet-style stages by pairing a hot virtual core with a
 //! cold one).
+//!
+//! The machine is layered into *persistent chip state* (this module:
+//! configuration, per-core hardware, NoC links, HBM channels, the tenant
+//! registry) and *epoch state* ([`crate::epoch`]: thread bindings, the
+//! event queue, flows/flags/barriers, traces). One machine can run many
+//! successive workload batches — [`Machine::run_epoch`] executes the
+//! current batch and resets only the epoch layer, so a serving runtime
+//! interleaves tenant arrivals with execution without ever rebuilding the
+//! chip model.
 
-use crate::compute::kernel_cycles;
 use crate::config::SocConfig;
-use crate::controller;
+use crate::epoch::{EpochState, EpochSummary, Phase, ThreadState};
 use crate::hbm::Hbm;
-use crate::isa::{Instr, Program};
+use crate::isa::Program;
 use crate::noc::{DorRouter, Noc, NocRouter};
-use crate::stats::{Activity, CoreTrace, Report, TenantStats};
+use crate::stats::Report;
 use crate::{Result, SimError};
-use std::collections::hash_map::Entry;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use vnpu_mem::counter::AccessCounter;
 use vnpu_mem::translate::PhysicalTranslator;
-use vnpu_mem::{Perm, Translate, VirtAddr};
+use vnpu_mem::Translate;
 
 /// Identifier of a tenant (one virtual NPU instance, or bare metal).
 pub type TenantId = u32;
@@ -62,63 +69,24 @@ impl std::fmt::Debug for CoreServices {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
-    Prelude(usize),
-    Body { iter: u32, pc: usize },
-    Done,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct FlowKey {
-    tenant: TenantId,
-    src: u32,
-    dst: u32,
-    tag: u32,
-}
-
-#[derive(Debug, Default)]
-struct FlowState {
-    sent: u64,
-    arrived: u64,
-    consumed: u64,
-    /// Blocked receiver: (thread, bytes needed beyond `consumed`, since).
-    waiter: Option<(usize, u64, u64)>,
-    /// Senders blocked on flow credit.
-    credit_waiters: Vec<usize>,
-}
-
+/// One physical core's state. The hybrid-core scalings survive across
+/// epochs (they model hardware); everything else is per-epoch occupancy
+/// and is cleared by [`Machine::finish_epoch`].
 #[derive(Debug)]
-struct ThreadState {
-    tenant: TenantId,
-    prog_core: u32,
-    phys_core: u32,
-    program: Program,
-    phase: Phase,
-    warmup_done: Option<u64>,
-    finished_at: Option<u64>,
-    body_started: Option<u64>,
-    compute_cycles: u64,
-    macs: u64,
-    consumed_flags: HashMap<u32, u64>,
-    blocked: Option<String>,
-}
-
-#[derive(Debug)]
-struct CoreState {
-    compute_busy_until: u64,
+pub(crate) struct CoreState {
+    pub(crate) compute_busy_until: u64,
     /// The send/receive engine is separate hardware: packets stream out
     /// asynchronously while the core computes (§6.2.3's "fully
     /// overlapped" broadcast). Outgoing packets serialize here.
-    send_engine_busy_until: u64,
-    last_owner: Option<usize>,
-    thread_count: u32,
-    footprint: u64,
+    pub(crate) send_engine_busy_until: u64,
+    pub(crate) last_owner: Option<usize>,
+    pub(crate) thread_count: u32,
+    pub(crate) footprint: u64,
     /// Hybrid-core scaling (§7): matrix-kernel cycles are multiplied by
     /// `matrix_scale`/100 and vector kernels by `vector_scale`/100. 100 =
     /// a standard core.
-    matrix_scale: u32,
-    vector_scale: u32,
+    pub(crate) matrix_scale: u32,
+    pub(crate) vector_scale: u32,
 }
 
 impl Default for CoreState {
@@ -135,40 +103,14 @@ impl Default for CoreState {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Event {
-    ThreadReady(usize),
-    PacketArrive {
-        flow_idx: usize,
-        bytes: u64,
-    },
-    FlagWrite {
-        tenant: TenantId,
-        tag: u32,
-        bytes: u64,
-    },
-}
-
-#[derive(Debug, PartialEq, Eq)]
-struct QueuedEvent {
-    time: u64,
-    seq: u64,
-    event: Event,
-}
-
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap via reverse comparison on (time, seq).
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+impl CoreState {
+    /// Clears per-epoch occupancy, keeping the hardware scalings.
+    fn reset_epoch(&mut self) {
+        self.compute_busy_until = 0;
+        self.send_engine_busy_until = 0;
+        self.last_owner = None;
+        self.thread_count = 0;
+        self.footprint = 0;
     }
 }
 
@@ -176,33 +118,27 @@ impl PartialOrd for QueuedEvent {
 pub struct Machine {
     cfg: SocConfig,
     cores: Vec<CoreState>,
-    threads: Vec<ThreadState>,
-    services: Vec<CoreServices>,
-    noc: Noc,
-    hbm: Hbm,
-    queue: BinaryHeap<QueuedEvent>,
-    seq: u64,
-    now: u64,
-    flow_index: HashMap<FlowKey, usize>,
-    flows: Vec<FlowState>,
-    flags: HashMap<(TenantId, u32), u64>,
-    flag_waiters: Vec<(usize, u32, u64, u64)>, // (thread, tag, needed_total, since)
-    barriers: HashMap<(TenantId, u32), Vec<(usize, u64)>>,
-    tenant_names: HashMap<TenantId, String>,
-    tenant_threads: HashMap<TenantId, u32>,
+    pub(crate) noc: Noc,
+    pub(crate) hbm: Hbm,
+    pub(crate) tenant_names: HashMap<TenantId, String>,
     next_tenant: TenantId,
-    traces: Vec<CoreTrace>,
-    mem_trace_enabled: bool,
-    mem_trace: Vec<(u64, u32, u64)>, // (time, core, va)
-    recv_ack: u64,
+    pub(crate) mem_trace_enabled: bool,
+    pub(crate) recv_ack: u64,
+    /// Per-thread virtualization services (parallel to the epoch's thread
+    /// list).
+    pub(crate) services: Vec<CoreServices>,
+    pub(crate) epoch: EpochState,
+    epoch_index: u64,
+    epoch_history: Vec<EpochSummary>,
 }
 
 impl std::fmt::Debug for Machine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Machine")
             .field("cores", &self.cores.len())
-            .field("threads", &self.threads.len())
-            .field("now", &self.now)
+            .field("threads", &self.epoch.threads.len())
+            .field("epoch", &self.epoch_index)
+            .field("now", &self.epoch.now)
             .finish_non_exhaustive()
     }
 }
@@ -215,23 +151,14 @@ impl Machine {
             noc: Noc::new(&cfg),
             hbm: Hbm::new(&cfg),
             cores: (0..n).map(|_| CoreState::default()).collect(),
-            threads: Vec::new(),
-            services: Vec::new(),
-            queue: BinaryHeap::new(),
-            seq: 0,
-            now: 0,
-            flow_index: HashMap::new(),
-            flows: Vec::new(),
-            flags: HashMap::new(),
-            flag_waiters: Vec::new(),
-            barriers: HashMap::new(),
             tenant_names: HashMap::new(),
-            tenant_threads: HashMap::new(),
             next_tenant: 0,
-            traces: (0..n).map(|_| CoreTrace::default()).collect(),
             mem_trace_enabled: false,
-            mem_trace: Vec::new(),
             recv_ack: 2,
+            services: Vec::new(),
+            epoch: EpochState::new(n),
+            epoch_index: 0,
+            epoch_history: Vec::new(),
             cfg,
         }
     }
@@ -241,13 +168,50 @@ impl Machine {
         &self.cfg
     }
 
-    /// Registers a tenant (one virtual NPU / workload instance).
+    pub(crate) fn core(&self, i: usize) -> &CoreState {
+        &self.cores[i]
+    }
+
+    pub(crate) fn core_mut(&mut self, i: usize) -> &mut CoreState {
+        &mut self.cores[i]
+    }
+
+    pub(crate) fn core_scales(&self, i: usize) -> (u32, u32) {
+        (self.cores[i].matrix_scale, self.cores[i].vector_scale)
+    }
+
+    /// Registers a tenant (one virtual NPU / workload instance). Tenants
+    /// persist across epochs until removed.
     pub fn add_tenant(&mut self, name: &str) -> TenantId {
         let id = self.next_tenant;
         self.next_tenant += 1;
         self.tenant_names.insert(id, name.to_owned());
-        self.tenant_threads.insert(id, 0);
         id
+    }
+
+    /// Unregisters a tenant, e.g. when its virtual NPU is destroyed
+    /// between epochs.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownTenant`] — never registered or already
+    ///   removed.
+    /// * [`SimError::TenantBusy`] — the tenant still has threads bound in
+    ///   the current epoch; finish the epoch first.
+    pub fn remove_tenant(&mut self, tenant: TenantId) -> Result<()> {
+        if !self.tenant_names.contains_key(&tenant) {
+            return Err(SimError::UnknownTenant(tenant));
+        }
+        if self.epoch.tenant_threads.get(&tenant).copied().unwrap_or(0) > 0 {
+            return Err(SimError::TenantBusy(tenant));
+        }
+        self.tenant_names.remove(&tenant);
+        Ok(())
+    }
+
+    /// Registered tenant count.
+    pub fn tenant_count(&self) -> usize {
+        self.tenant_names.len()
     }
 
     /// Enables per-chunk global-memory access tracing (Figure 6).
@@ -258,7 +222,8 @@ impl Machine {
     /// Configures a hybrid core (§7): matrix kernels (matmul/conv) run at
     /// `matrix_pct`% of the standard cycle count and vector kernels at
     /// `vector_pct`% — e.g. `(50, 200)` is a matrix-optimized core with a
-    /// double-size systolic array and a halved vector unit.
+    /// double-size systolic array and a halved vector unit. The setting
+    /// models hardware and therefore survives epoch resets.
     ///
     /// # Errors
     ///
@@ -336,7 +301,7 @@ impl Machine {
         }
         core.footprint += program.footprint_bytes;
         core.thread_count += 1;
-        *self.tenant_threads.get_mut(&tenant).expect("tenant exists") += 1;
+        *self.epoch.tenant_threads.entry(tenant).or_insert(0) += 1;
         let phase = if program.prelude.is_empty() {
             if program.body.is_empty() || program.iterations == 0 {
                 Phase::Done
@@ -346,7 +311,7 @@ impl Machine {
         } else {
             Phase::Prelude(0)
         };
-        self.threads.push(ThreadState {
+        self.epoch.threads.push(ThreadState {
             tenant,
             prog_core,
             phys_core,
@@ -364,495 +329,75 @@ impl Machine {
         Ok(())
     }
 
-    fn push_event(&mut self, time: u64, event: Event) {
-        self.seq += 1;
-        self.queue.push(QueuedEvent {
-            time,
-            seq: self.seq,
-            event,
-        });
+    /// Zero-based index of the epoch currently accepting bindings.
+    pub fn epoch_index(&self) -> u64 {
+        self.epoch_index
     }
 
-    fn flow_idx(&mut self, key: FlowKey) -> usize {
-        match self.flow_index.entry(key) {
-            Entry::Occupied(o) => *o.get(),
-            Entry::Vacant(v) => {
-                let idx = self.flows.len();
-                v.insert(idx);
-                self.flows.push(FlowState::default());
-                idx
-            }
-        }
+    /// Summaries of every finished epoch, oldest first.
+    pub fn epoch_history(&self) -> &[EpochSummary] {
+        &self.epoch_history
     }
 
-    /// Runs the machine to completion.
-    ///
-    /// # Errors
-    ///
-    /// * [`SimError::Deadlock`] — threads remain blocked with no pending
-    ///   events (e.g. a `Recv` whose `Send` never happens).
-    /// * [`SimError::CycleLimit`] — the configured cycle budget ran out.
-    /// * [`SimError::MemFault`] / [`SimError::RouteFault`] — a program
-    ///   performed an invalid access.
-    pub fn run(&mut self) -> Result<Report> {
-        // Kick off every thread at its controller-dispatch offset.
-        for t in 0..self.threads.len() {
-            let core = self.threads[t].phys_core;
-            let offset = controller::dispatch_latency(
-                &self.cfg,
-                controller::DispatchPath::InstructionNoc,
-                core,
-            );
-            self.push_event(offset, Event::ThreadReady(t));
-        }
-        while let Some(q) = self.queue.pop() {
-            self.now = q.time;
-            if self.now > self.cfg.max_cycles {
-                return Err(SimError::CycleLimit {
-                    limit: self.cfg.max_cycles,
-                });
-            }
-            match q.event {
-                Event::ThreadReady(t) => self.step_thread(t)?,
-                Event::PacketArrive { flow_idx, bytes } => self.packet_arrive(flow_idx, bytes),
-                Event::FlagWrite { tenant, tag, bytes } => self.flag_write(tenant, tag, bytes),
-            }
-        }
-        // Done or deadlocked.
-        let blocked: Vec<String> = self
-            .threads
-            .iter()
-            .enumerate()
-            .filter(|(_, th)| th.phase != Phase::Done)
-            .map(|(i, th)| {
-                format!(
-                    "thread {i} (tenant {}, core {}): {}",
-                    th.tenant,
-                    th.phys_core,
-                    th.blocked.as_deref().unwrap_or("not started")
-                )
-            })
-            .collect();
-        if !blocked.is_empty() {
-            return Err(SimError::Deadlock {
-                detail: blocked.join("; "),
-            });
-        }
-        Ok(self.build_report())
-    }
-
-    fn current_instr(&self, t: usize) -> Option<Instr> {
-        let th = &self.threads[t];
-        match th.phase {
-            Phase::Prelude(pc) => th.program.prelude.get(pc).copied(),
-            Phase::Body { pc, .. } => th.program.body.get(pc).copied(),
-            Phase::Done => None,
-        }
-    }
-
-    /// Advances the phase state machine past the current instruction,
-    /// recording warm-up / completion timestamps at boundaries.
-    fn advance(&mut self, t: usize, at: u64) {
-        let th = &mut self.threads[t];
-        th.phase = match th.phase {
-            Phase::Prelude(pc) => {
-                if pc + 1 < th.program.prelude.len() {
-                    Phase::Prelude(pc + 1)
-                } else {
-                    th.warmup_done = Some(at);
-                    if th.program.body.is_empty() || th.program.iterations == 0 {
-                        th.finished_at = Some(at);
-                        Phase::Done
-                    } else {
-                        th.body_started = Some(at);
-                        Phase::Body { iter: 0, pc: 0 }
-                    }
-                }
-            }
-            Phase::Body { iter, pc } => {
-                if pc + 1 < th.program.body.len() {
-                    Phase::Body { iter, pc: pc + 1 }
-                } else if iter + 1 < th.program.iterations {
-                    Phase::Body {
-                        iter: iter + 1,
-                        pc: 0,
-                    }
-                } else {
-                    th.finished_at = Some(at);
-                    Phase::Done
-                }
-            }
-            Phase::Done => Phase::Done,
-        };
-    }
-
-    fn finish_instr(&mut self, t: usize, at: u64) {
-        self.advance(t, at);
-        if self.threads[t].phase != Phase::Done {
-            self.push_event(at, Event::ThreadReady(t));
-        }
-    }
-
-    fn step_thread(&mut self, t: usize) -> Result<()> {
-        self.threads[t].blocked = None;
-        if self.threads[t].body_started.is_none() {
-            if let Phase::Body { .. } = self.threads[t].phase {
-                self.threads[t].body_started = Some(self.now);
-                if self.threads[t].warmup_done.is_none() {
-                    self.threads[t].warmup_done = Some(self.now);
-                }
-            }
-        }
-        let Some(instr) = self.current_instr(t) else {
-            return Ok(());
-        };
-        match instr {
-            Instr::Delay { cycles } => {
-                let done = self.now + cycles;
-                self.finish_instr(t, done);
-            }
-            Instr::Compute(kernel) => {
-                let phys = self.threads[t].phys_core as usize;
-                let scale = match kernel {
-                    crate::isa::Kernel::Vector { .. } => self.cores[phys].vector_scale,
-                    _ => self.cores[phys].matrix_scale,
-                };
-                let dur = (kernel_cycles(&self.cfg, &kernel) * u64::from(scale) / 100).max(1);
-                let core = &mut self.cores[phys];
-                let mut start = self.now.max(core.compute_busy_until);
-                if core.thread_count > 1 && core.last_owner.is_some_and(|o| o != t) {
-                    start += self.cfg.tdm_switch_penalty;
-                }
-                core.compute_busy_until = start + dur;
-                core.last_owner = Some(t);
-                self.threads[t].compute_cycles += dur;
-                self.threads[t].macs += kernel.macs();
-                self.traces[phys].push(start, start + dur, Activity::Compute);
-                self.finish_instr(t, start + dur);
-            }
-            Instr::DmaLoad { va, bytes } => self.do_dma(t, va, bytes, Perm::R)?,
-            Instr::DmaStore { va, bytes } => self.do_dma(t, va, bytes, Perm::W)?,
-            Instr::Send { dst, bytes, tag } => self.do_send(t, dst, bytes, tag)?,
-            Instr::Recv { src, bytes, tag } => self.do_recv(t, src, bytes, tag),
-            Instr::GlobalWrite { va, bytes, tag } => self.do_global_write(t, va, bytes, tag)?,
-            Instr::GlobalRead { va, bytes, tag } => self.do_global_read(t, va, bytes, tag)?,
-            Instr::Barrier { id } => self.do_barrier(t, id),
-        }
-        Ok(())
-    }
-
-    /// Streams a DMA transfer: chunked issue, translation stalls, optional
-    /// bandwidth limiting, HBM channel contention.
-    fn do_dma(&mut self, t: usize, va: VirtAddr, bytes: u64, perm: Perm) -> Result<()> {
-        let phys = self.threads[t].phys_core;
-        let channel = self.cfg.interface_of(phys);
-        let burst = self.cfg.dma_burst_bytes.max(1);
-        let services = &mut self.services[t];
-        let mut issue = self.now;
-        let mut done = self.now;
-        let mut off = 0u64;
-        while off < bytes {
-            let len = burst.min(bytes - off);
-            let tr = services
-                .translator
-                .translate(va.offset(off), len, perm)
-                .map_err(|err| SimError::MemFault { core: phys, err })?;
-            if tr.hit {
-                issue += tr.cycles;
-            } else {
-                // §4.2: "Any TLB misses can cause a stall in numerous
-                // subsequent DMA requests" — the engine drains its
-                // outstanding transfers, then walks, then resumes issuing.
-                issue = done.max(issue) + tr.cycles;
-            }
-            if let Some(lim) = services.limiter.as_mut() {
-                issue += lim.record(issue, len);
-            }
-            let _ = tr.pa; // physical address is modelled, not dereferenced
-            let completion = self.hbm.access(channel, len, issue);
-            done = done.max(completion);
-            if self.mem_trace_enabled {
-                self.mem_trace.push((issue, phys, va.offset(off).value()));
-            }
-            issue += self.cfg.dma_issue_interval;
-            off += len;
-        }
-        self.traces[phys as usize].push(self.now, done, Activity::Dma);
-        self.finish_instr(t, done);
-        Ok(())
-    }
-
-    fn do_send(&mut self, t: usize, dst: u32, bytes: u64, tag: u32) -> Result<()> {
-        let th = &self.threads[t];
-        let key = FlowKey {
-            tenant: th.tenant,
-            src: th.prog_core,
-            dst,
-            tag,
-        };
-        let phys = th.phys_core;
-        let fidx = self.flow_idx(key);
-        // Finite receive buffering: block while too many bytes are in
-        // flight and unconsumed.
-        let flow = &mut self.flows[fidx];
-        if flow.sent - flow.consumed + bytes > self.cfg.flow_credit_bytes.max(bytes) {
-            flow.credit_waiters.push(t);
-            self.threads[t].blocked = Some(format!(
-                "send to {dst} tag {tag}: flow-credit wait ({} in flight)",
-                flow.sent - flow.consumed
-            ));
-            return Ok(());
-        }
-        flow.sent += bytes;
-        let services = &mut self.services[t];
-        let (dst_phys, lookup) = services.router.resolve(dst).map_err(|_| SimError::RouteFault {
-            core: phys,
-            dst,
-        })?;
-        let path = services.router.path(phys, dst_phys)?;
-        let per_packet = services.router.per_packet_overhead();
-        // The thread only programs the engine; streaming is asynchronous.
-        let engine_ready = self.now + self.cfg.send_setup + lookup;
-        let mut depart = engine_ready.max(self.cores[phys as usize].send_engine_busy_until);
-        let send_started = depart;
-        let mut off = 0u64;
-        let mut arrivals: Vec<(u64, u64)> = Vec::new();
-        while off < bytes {
-            let len = self.cfg.packet_bytes.min(bytes - off);
-            let timing = self.noc.send_packet(&path, len, depart + per_packet)?;
-            depart = timing.injected_at + self.cfg.packet_overhead;
-            arrivals.push((timing.arrived_at + self.cfg.packet_overhead, len));
-            off += len;
-        }
-        for (at, len) in arrivals {
-            self.push_event(
-                at,
-                Event::PacketArrive {
-                    flow_idx: fidx,
-                    bytes: len,
-                },
-            );
-        }
-        self.cores[phys as usize].send_engine_busy_until = depart;
-        self.traces[phys as usize].push(send_started, depart, Activity::Send);
-        self.finish_instr(t, engine_ready);
-        Ok(())
-    }
-
-    fn do_recv(&mut self, t: usize, src: u32, bytes: u64, tag: u32) {
-        let th = &self.threads[t];
-        let key = FlowKey {
-            tenant: th.tenant,
-            src,
-            dst: th.prog_core,
-            tag,
-        };
-        let fidx = self.flow_idx(key);
-        let flow = &mut self.flows[fidx];
-        if flow.arrived - flow.consumed >= bytes {
-            flow.consumed += bytes;
-            let waiters = std::mem::take(&mut flow.credit_waiters);
-            for w in waiters {
-                self.push_event(self.now, Event::ThreadReady(w));
-            }
-            let done = self.now + self.recv_ack;
-            self.finish_instr(t, done);
-        } else {
-            debug_assert!(flow.waiter.is_none(), "one receiver per flow");
-            flow.waiter = Some((t, bytes, self.now));
-            self.threads[t].blocked =
-                Some(format!("recv from {src} tag {tag}: waiting for {bytes} bytes"));
-        }
-    }
-
-    fn packet_arrive(&mut self, fidx: usize, bytes: u64) {
-        let flow = &mut self.flows[fidx];
-        flow.arrived += bytes;
-        if let Some((t, needed, since)) = flow.waiter {
-            if flow.arrived - flow.consumed >= needed {
-                flow.waiter = None;
-                flow.consumed += needed;
-                let waiters = std::mem::take(&mut flow.credit_waiters);
-                let phys = self.threads[t].phys_core as usize;
-                self.traces[phys].push(since, self.now, Activity::RecvWait);
-                for w in waiters {
-                    self.push_event(self.now, Event::ThreadReady(w));
-                }
-                let done = self.now + self.recv_ack;
-                self.finish_instr(t, done);
-            }
-        }
-    }
-
-    fn do_global_write(&mut self, t: usize, va: VirtAddr, bytes: u64, tag: u32) -> Result<()> {
-        // Write the payload + a flag line through the HBM channel, at
-        // load/store (cache-line) granularity.
-        let tenant = self.threads[t].tenant;
-        let phys = self.threads[t].phys_core;
-        let channel = self.cfg.interface_of(phys);
-        let burst = self.cfg.dma_burst_bytes.max(1);
-        let (line, mlp) = (self.cfg.uvm_line_bytes, self.cfg.uvm_mlp);
-        let services = &mut self.services[t];
-        let mut issue = self.now;
-        let mut done = self.now;
-        let mut off = 0u64;
-        while off < bytes {
-            let len = burst.min(bytes - off);
-            let tr = services
-                .translator
-                .translate(va.offset(off), len, Perm::W)
-                .map_err(|err| SimError::MemFault { core: phys, err })?;
-            issue += tr.cycles;
-            if let Some(lim) = services.limiter.as_mut() {
-                issue += lim.record(issue, len);
-            }
-            done = done.max(self.hbm.access_uvm(channel, len, issue, line, mlp));
-            issue += self.cfg.dma_issue_interval;
-            off += len;
-        }
-        // Flag publication: one extra cache-line write after the data.
-        let flag_done = self.hbm.access_uvm(channel, 64, done, line, mlp);
-        self.traces[phys as usize].push(self.now, flag_done, Activity::Send);
-        self.push_event(flag_done, Event::FlagWrite { tenant, tag, bytes });
-        // Stores drain through a write buffer: the producer core continues
-        // after issuing (symmetric with the asynchronous send engine); the
-        // channel occupancy above still serializes its later accesses.
-        self.finish_instr(t, self.now + self.cfg.send_setup);
-        Ok(())
-    }
-
-    fn do_global_read(&mut self, t: usize, va: VirtAddr, bytes: u64, tag: u32) -> Result<()> {
-        let tenant = self.threads[t].tenant;
-        let consumed = *self.threads[t].consumed_flags.get(&tag).unwrap_or(&0);
-        let available = *self.flags.get(&(tenant, tag)).unwrap_or(&0);
-        if available >= consumed + bytes {
-            // Data is published: read it through HBM (contention!).
-            self.threads[t]
-                .consumed_flags
-                .insert(tag, consumed + bytes);
-            let phys = self.threads[t].phys_core;
-            let channel = self.cfg.interface_of(phys);
-            let burst = self.cfg.dma_burst_bytes.max(1);
-            let (line, mlp) = (self.cfg.uvm_line_bytes, self.cfg.uvm_mlp);
-            let services = &mut self.services[t];
-            let mut issue = self.now;
-            let mut done = self.now;
-            let mut off = 0u64;
-            while off < bytes {
-                let len = burst.min(bytes - off);
-                let tr = services
-                    .translator
-                    .translate(va.offset(off), len, Perm::R)
-                    .map_err(|err| SimError::MemFault { core: phys, err })?;
-                issue += tr.cycles;
-                if let Some(lim) = services.limiter.as_mut() {
-                    issue += lim.record(issue, len);
-                }
-                done = done.max(self.hbm.access_uvm(channel, len, issue, line, mlp));
-                issue += self.cfg.dma_issue_interval;
-                off += len;
-            }
-            self.traces[phys as usize].push(self.now, done, Activity::RecvWait);
-            self.finish_instr(t, done);
-        } else {
-            self.flag_waiters.push((t, tag, consumed + bytes, self.now));
-            self.threads[t].blocked = Some(format!(
-                "global-read tag {tag}: waiting for {} bytes (have {available})",
-                consumed + bytes
-            ));
-        }
-        Ok(())
-    }
-
-    fn flag_write(&mut self, tenant: TenantId, tag: u32, bytes: u64) {
-        *self.flags.entry((tenant, tag)).or_insert(0) += bytes;
-        let available = self.flags[&(tenant, tag)];
-        let mut still_waiting = Vec::new();
-        let waiters = std::mem::take(&mut self.flag_waiters);
-        for (t, wtag, needed, since) in waiters {
-            if wtag == tag && self.threads[t].tenant == tenant && available >= needed {
-                self.push_event(self.now, Event::ThreadReady(t));
-            } else {
-                still_waiting.push((t, wtag, needed, since));
-            }
-        }
-        self.flag_waiters = still_waiting;
-    }
-
-    fn do_barrier(&mut self, t: usize, id: u32) {
-        let tenant = self.threads[t].tenant;
-        let total = self.tenant_threads[&tenant];
-        let entry = self.barriers.entry((tenant, id)).or_default();
-        entry.push((t, self.now));
-        if entry.len() as u32 == total {
-            let participants = std::mem::take(entry);
-            for (p, _) in participants {
-                self.advance(p, self.now);
-                if self.threads[p].phase != Phase::Done {
-                    self.push_event(self.now, Event::ThreadReady(p));
-                }
-            }
-            // Re-check Done bookkeeping for completed threads handled in advance().
-        } else {
-            self.threads[t].blocked = Some(format!("barrier {id}"));
-        }
-    }
-
-    fn build_report(&mut self) -> Report {
-        // A thread's final instruction completes without scheduling another
-        // event, so the true makespan is the max over completion stamps,
-        // not the last event time.
+    /// Ends the current epoch: drops all thread bindings, flows, flags,
+    /// barriers and traces, and rewinds the chip's clocks (core/link/
+    /// channel `busy_until`) to zero — while the chip structures (cores
+    /// with their hybrid scalings, NoC link graph, HBM channels) and the
+    /// tenant registry survive. The machine is immediately bindable for
+    /// the next batch.
+    pub fn finish_epoch(&mut self) {
+        let threads = self.epoch.threads.len();
+        let tenants = self
+            .epoch
+            .tenant_threads
+            .values()
+            .filter(|&&n| n > 0)
+            .count();
         let makespan = self
+            .epoch
             .threads
             .iter()
             .filter_map(|th| th.finished_at)
             .max()
             .unwrap_or(0)
-            .max(self.now);
-        let mut tenants: HashMap<TenantId, TenantStats> = HashMap::new();
-        for th in &self.threads {
-            let s = tenants.entry(th.tenant).or_insert_with(|| TenantStats {
-                name: self.tenant_names[&th.tenant].clone(),
-                warmup_end: 0,
-                body_start: u64::MAX,
-                end: 0,
-                iterations: th.program.iterations,
-                threads: 0,
-                compute_cycles: 0,
-                macs: 0,
-            });
-            s.threads += 1;
-            s.warmup_end = s.warmup_end.max(th.warmup_done.unwrap_or(0));
-            s.body_start = s.body_start.min(th.body_started.unwrap_or(u64::MAX));
-            s.end = s.end.max(th.finished_at.unwrap_or(0));
-            s.compute_cycles += th.compute_cycles;
-            s.macs += th.macs;
-            s.iterations = s.iterations.max(th.program.iterations);
-        }
-        let translator_stats = self
-            .services
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (self.threads[i].phys_core, s.translator.stats()))
-            .collect();
-        Report::new(
-            self.cfg.clone(),
+            .max(self.epoch.now);
+        self.epoch_history.push(EpochSummary {
+            index: self.epoch_index,
             makespan,
+            threads,
             tenants,
-            std::mem::take(&mut self.traces),
-            self.noc.contention_cycles(),
-            self.noc.packets_sent(),
-            self.hbm.wait_cycles(),
-            translator_stats,
-            std::mem::take(&mut self.mem_trace),
-        )
+        });
+        self.epoch_index += 1;
+        self.epoch = EpochState::new(self.cfg.core_count() as usize);
+        self.services.clear();
+        for core in &mut self.cores {
+            core.reset_epoch();
+        }
+        self.noc.reset_epoch();
+        self.hbm.reset_epoch();
+    }
+
+    /// Runs the current batch to completion and finishes the epoch: the
+    /// returned [`Report`] covers exactly this batch, and the machine is
+    /// ready for the next round of [`Machine::bind_with`] calls.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::run`]. On error the epoch is *not* finished, so
+    /// the failed state remains inspectable.
+    pub fn run_epoch(&mut self) -> Result<Report> {
+        let report = self.run()?;
+        self.finish_epoch();
+        Ok(report)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::isa::Kernel;
+    use crate::compute::kernel_cycles;
+    use crate::isa::{Instr, Kernel};
+    use vnpu_mem::VirtAddr;
 
     fn fpga() -> SocConfig {
         SocConfig::fpga()
@@ -872,7 +417,14 @@ mod tests {
         m.bind(0, t, 0, Program::once(vec![Instr::matmul(16, 16, 16)]))
             .unwrap();
         let r = m.run().unwrap();
-        let expect = kernel_cycles(&fpga(), &Kernel::Matmul { m: 16, k: 16, n: 16 });
+        let expect = kernel_cycles(
+            &fpga(),
+            &Kernel::Matmul {
+                m: 16,
+                k: 16,
+                n: 16,
+            },
+        );
         // Dispatch offset + kernel.
         assert!(r.makespan() >= expect);
         assert!(r.makespan() < expect + 100);
@@ -921,7 +473,10 @@ mod tests {
             0,
             t,
             0,
-            Program::once(vec![Instr::Delay { cycles: 10_000 }, Instr::send(1, 2048, 0)]),
+            Program::once(vec![
+                Instr::Delay { cycles: 10_000 },
+                Instr::send(1, 2048, 0),
+            ]),
         )
         .unwrap();
         m.bind(1, t, 1, Program::once(vec![Instr::recv(0, 2048, 0)]))
@@ -969,8 +524,13 @@ mod tests {
             let t = m.add_tenant("t");
             m.bind(0, t, 0, Program::once(vec![Instr::dma_load(0, 64 * 1024)]))
                 .unwrap();
-            m.bind(1, t, 1, Program::once(vec![Instr::dma_load(1 << 20, 64 * 1024)]))
-                .unwrap();
+            m.bind(
+                1,
+                t,
+                1,
+                Program::once(vec![Instr::dma_load(1 << 20, 64 * 1024)]),
+            )
+            .unwrap();
             m.run().unwrap().makespan()
         };
         assert!(
@@ -988,8 +548,10 @@ mod tests {
         let once = {
             let mut m = Machine::new(fpga());
             let t = m.add_tenant("t");
-            m.bind(0, t, 0, Program::looped(vec![], body0.clone(), 1)).unwrap();
-            m.bind(1, t, 1, Program::looped(vec![], body1.clone(), 1)).unwrap();
+            m.bind(0, t, 0, Program::looped(vec![], body0.clone(), 1))
+                .unwrap();
+            m.bind(1, t, 1, Program::looped(vec![], body1.clone(), 1))
+                .unwrap();
             m.run().unwrap().makespan()
         };
         let four = {
@@ -1011,15 +573,18 @@ mod tests {
         let solo = {
             let mut m = Machine::new(fpga());
             let t = m.add_tenant("a");
-            m.bind(0, t, 0, Program::looped(vec![], vec![kernel], 8)).unwrap();
+            m.bind(0, t, 0, Program::looped(vec![], vec![kernel], 8))
+                .unwrap();
             m.run().unwrap().makespan()
         };
         let shared = {
             let mut m = Machine::new(fpga());
             let a = m.add_tenant("a");
             let b = m.add_tenant("b");
-            m.bind(0, a, 0, Program::looped(vec![], vec![kernel], 8)).unwrap();
-            m.bind(0, b, 0, Program::looped(vec![], vec![kernel], 8)).unwrap();
+            m.bind(0, a, 0, Program::looped(vec![], vec![kernel], 8))
+                .unwrap();
+            m.bind(0, b, 0, Program::looped(vec![], vec![kernel], 8))
+                .unwrap();
             m.run().unwrap().makespan()
         };
         assert!(
@@ -1035,13 +600,15 @@ mod tests {
         let mut m = Machine::new(fpga());
         let a = m.add_tenant("busy");
         let b = m.add_tenant("idle");
-        m.bind(0, a, 0, Program::looped(vec![], vec![busy], 8)).unwrap();
+        m.bind(0, a, 0, Program::looped(vec![], vec![busy], 8))
+            .unwrap();
         m.bind(0, b, 0, Program::once(vec![Instr::Delay { cycles: 100 }]))
             .unwrap();
         let shared = m.run().unwrap().makespan();
         let mut m2 = Machine::new(fpga());
         let a2 = m2.add_tenant("busy");
-        m2.bind(0, a2, 0, Program::looped(vec![], vec![busy], 8)).unwrap();
+        m2.bind(0, a2, 0, Program::looped(vec![], vec![busy], 8))
+            .unwrap();
         let solo = m2.run().unwrap().makespan();
         assert!(
             (shared as f64) < solo as f64 * 1.2,
@@ -1057,7 +624,10 @@ mod tests {
             0,
             t,
             0,
-            Program::once(vec![Instr::Delay { cycles: 5000 }, Instr::Barrier { id: 1 }]),
+            Program::once(vec![
+                Instr::Delay { cycles: 5000 },
+                Instr::Barrier { id: 1 },
+            ]),
         )
         .unwrap();
         m.bind(1, t, 1, Program::once(vec![Instr::Barrier { id: 1 }]))
@@ -1132,7 +702,10 @@ mod tests {
         };
         let one = run(1);
         let three = run(3);
-        assert!(three > one * 3 / 2, "1:3 ({three}) must cost more than 1:1 ({one})");
+        assert!(
+            three > one * 3 / 2,
+            "1:3 ({three}) must cost more than 1:1 ({one})"
+        );
     }
 
     #[test]
@@ -1183,8 +756,13 @@ mod tests {
                 )
                 .unwrap();
             }
-            m.bind(4, b, 0, Program::looped(vec![], vec![Instr::matmul(32, 32, 32)], 7))
-                .unwrap();
+            m.bind(
+                4,
+                b,
+                0,
+                Program::looped(vec![], vec![Instr::matmul(32, 32, 32)], 7),
+            )
+            .unwrap();
             m.run().unwrap().makespan()
         };
         assert_eq!(run(), run());
@@ -1221,7 +799,7 @@ mod tests {
         let r = m.run().unwrap();
         let trace = r.mem_trace();
         assert_eq!(trace.len(), 4); // 8192 / 2048 chunks
-        // Monotonically increasing addresses (Pattern-2).
+                                    // Monotonically increasing addresses (Pattern-2).
         for w in trace.windows(2) {
             assert!(w[1].2 > w[0].2);
         }
@@ -1247,12 +825,110 @@ mod tests {
             1,
             Program::looped(
                 vec![],
-                vec![Instr::Delay { cycles: 20_000 }, Instr::recv(0, 16 * 1024, 0)],
+                vec![
+                    Instr::Delay { cycles: 20_000 },
+                    Instr::recv(0, 16 * 1024, 0),
+                ],
                 16,
             ),
         )
         .unwrap();
         let r = m.run().unwrap();
         assert!(r.makespan() >= 16 * 20_000);
+    }
+
+    #[test]
+    fn epochs_reuse_the_machine_deterministically() {
+        // The same batch run in epoch 0 of a fresh machine and in epoch 3
+        // of a reused one must report identical cycles: finish_epoch fully
+        // rewinds the chip clocks.
+        let bind_batch = |m: &mut Machine| {
+            let t = m.add_tenant("batch");
+            m.bind(
+                0,
+                t,
+                0,
+                Program::looped(
+                    vec![Instr::dma_load(0, 16 * 1024)],
+                    vec![Instr::matmul(64, 64, 64), Instr::send(1, 2048, 0)],
+                    3,
+                ),
+            )
+            .unwrap();
+            m.bind(
+                1,
+                t,
+                1,
+                Program::looped(vec![], vec![Instr::recv(0, 2048, 0)], 3),
+            )
+            .unwrap();
+        };
+        let fresh = {
+            let mut m = Machine::new(fpga());
+            bind_batch(&mut m);
+            m.run_epoch().unwrap().makespan()
+        };
+        let mut m = Machine::new(fpga());
+        for _ in 0..3 {
+            bind_batch(&mut m);
+            m.run_epoch().unwrap();
+        }
+        assert_eq!(m.epoch_index(), 3);
+        bind_batch(&mut m);
+        let reused = m.run_epoch().unwrap().makespan();
+        assert_eq!(fresh, reused, "epoch reuse must not leak timing state");
+        assert_eq!(m.epoch_history().len(), 4);
+        assert!(m.epoch_history().iter().all(|e| e.makespan == fresh));
+    }
+
+    #[test]
+    fn tenants_persist_across_epochs_until_removed() {
+        let mut m = Machine::new(fpga());
+        let keep = m.add_tenant("keeper");
+        let drop_me = m.add_tenant("transient");
+        m.bind(0, keep, 0, Program::once(vec![Instr::matmul(16, 16, 16)]))
+            .unwrap();
+        m.bind(
+            1,
+            drop_me,
+            0,
+            Program::once(vec![Instr::matmul(16, 16, 16)]),
+        )
+        .unwrap();
+        // Mid-epoch removal is refused: bindings reference the tenant.
+        assert!(matches!(
+            m.remove_tenant(drop_me),
+            Err(SimError::TenantBusy(_))
+        ));
+        m.run_epoch().unwrap();
+        // Between epochs the tenant can leave; the other remains bindable.
+        m.remove_tenant(drop_me).unwrap();
+        assert_eq!(m.tenant_count(), 1);
+        assert!(matches!(
+            m.bind(0, drop_me, 0, Program::once(vec![])),
+            Err(SimError::UnknownTenant(_))
+        ));
+        m.bind(0, keep, 0, Program::once(vec![Instr::matmul(16, 16, 16)]))
+            .unwrap();
+        m.run_epoch().unwrap();
+        assert!(matches!(
+            m.remove_tenant(drop_me),
+            Err(SimError::UnknownTenant(_))
+        ));
+    }
+
+    #[test]
+    fn hybrid_core_scalings_survive_epochs() {
+        let mut m = Machine::new(fpga());
+        m.set_core_scales(0, 50, 200).unwrap();
+        let t = m.add_tenant("t");
+        m.bind(0, t, 0, Program::once(vec![Instr::matmul(64, 64, 64)]))
+            .unwrap();
+        let fast = m.run_epoch().unwrap().makespan();
+        // Next epoch, same kernel: the hybrid scaling must still apply.
+        m.bind(0, t, 0, Program::once(vec![Instr::matmul(64, 64, 64)]))
+            .unwrap();
+        let again = m.run_epoch().unwrap().makespan();
+        assert_eq!(fast, again, "hardware scalings persist across epochs");
     }
 }

@@ -183,6 +183,17 @@ impl Noc {
         })
     }
 
+    /// Rewinds the NoC to an idle state for a fresh machine epoch: every
+    /// link's `busy_until` clock and the per-epoch counters are zeroed,
+    /// while the link graph itself is reused (never rebuilt).
+    pub fn reset_epoch(&mut self) {
+        for link in self.links.values_mut() {
+            *link = Link::default();
+        }
+        self.contention_cycles = 0;
+        self.packets_sent = 0;
+    }
+
     /// Total cycles packets spent waiting for busy links (the NoC
     /// interference metric).
     pub fn contention_cycles(&self) -> u64 {

@@ -182,8 +182,7 @@ impl Report {
         if cycles == 0 {
             return 0.0;
         }
-        let peak_per_core =
-            u64::from(self.cfg.systolic_dim) * u64::from(self.cfg.systolic_dim);
+        let peak_per_core = u64::from(self.cfg.systolic_dim) * u64::from(self.cfg.systolic_dim);
         let peak = cycles as f64 * peak_per_core as f64 * f64::from(t.threads);
         t.macs as f64 / peak
     }

@@ -1,0 +1,544 @@
+//! Incremental free-set tracking and mapping memoization for the online
+//! serving regime.
+//!
+//! Under churn the hypervisor calls [`crate::mapping::Mapper::map`] for
+//! every arriving virtual-NPU request, and the expensive steps — candidate
+//! enumeration (Algorithm 1, lines 20–29) and GED scoring (lines 30–32) —
+//! depend only on *(request topology, current free region)*. Serving
+//! traffic repeats both: tenants ask for a handful of popular shapes, and
+//! the free region revisits the same configurations as vNPUs come and go.
+//! This module exploits that:
+//!
+//! * [`FreeSet`] — the free-core region as an incrementally-maintained
+//!   membership mask with an O(delta) XOR fingerprint, so per-request
+//!   mapping no longer rebuilds an O(cores) mask and the region's identity
+//!   is a single `u64`.
+//! * [`MappingCache`] — a bounded memo table keyed by
+//!   `(canonical_key(request), labeled request hash, strategy tag,
+//!   free-region fingerprint)` holding complete mapping results (including
+//!   `NoCandidate` failures, which are the *most* expensive outcome: they
+//!   require an exhaustion proof over the candidate space).
+//!
+//! A hit returns a placement byte-identical to what the uncached strategy
+//! would produce on the same free set — the key includes a
+//! *label-sensitive* request hash precisely so two isomorphic but
+//! differently-numbered requests can never alias (their virtual→physical
+//! assignments differ even when their canonical keys agree).
+
+use crate::canonical::{canonical_key, CanonicalKey};
+use crate::mapping::{Mapping, Strategy};
+use crate::{NodeId, Result, Topology};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Default bound on live [`MappingCache`] entries.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4_096;
+
+/// The free region of a physical topology, maintained incrementally.
+///
+/// `occupy`/`release` are O(1) per node; the fingerprint is the XOR of a
+/// per-node mix, so it is order-independent and updates in O(delta) — the
+/// "incremental free-set delta" interface the mapper consumes instead of
+/// rebuilding its occupancy mask from a node list on every request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreeSet {
+    is_free: Vec<bool>,
+    free_count: usize,
+    fingerprint: u64,
+}
+
+/// SplitMix64 finalizer: decorrelates node indices before XOR-folding.
+fn mix(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FreeSet {
+    /// A fully-free set over `n` nodes.
+    pub fn all_free(n: usize) -> Self {
+        let mut fingerprint = 0;
+        for i in 0..n {
+            fingerprint ^= mix(i as u64);
+        }
+        FreeSet {
+            is_free: vec![true; n],
+            free_count: n,
+            fingerprint,
+        }
+    }
+
+    /// A fully-occupied set over `n` nodes.
+    pub fn all_occupied(n: usize) -> Self {
+        FreeSet {
+            is_free: vec![false; n],
+            free_count: 0,
+            fingerprint: 0,
+        }
+    }
+
+    /// Builds a set over `n` nodes with exactly `free` free (duplicates
+    /// ignored; out-of-range nodes ignored).
+    pub fn from_free_nodes(n: usize, free: &[NodeId]) -> Self {
+        let mut s = Self::all_occupied(n);
+        for &f in free {
+            s.release(f);
+        }
+        s
+    }
+
+    /// Number of tracked nodes (free or not).
+    pub fn capacity(&self) -> usize {
+        self.is_free.len()
+    }
+
+    /// Number of free nodes.
+    pub fn free_count(&self) -> usize {
+        self.free_count
+    }
+
+    /// Whether no node is free.
+    pub fn is_empty(&self) -> bool {
+        self.free_count == 0
+    }
+
+    /// Whether `n` is currently free.
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.is_free.get(n.index()).copied().unwrap_or(false)
+    }
+
+    /// Marks `n` occupied. Returns `false` (and changes nothing) when it
+    /// already was, or is out of range.
+    pub fn occupy(&mut self, n: NodeId) -> bool {
+        match self.is_free.get_mut(n.index()) {
+            Some(f) if *f => {
+                *f = false;
+                self.free_count -= 1;
+                self.fingerprint ^= mix(n.0 as u64);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Marks `n` free. Returns `false` (and changes nothing) when it
+    /// already was, or is out of range.
+    pub fn release(&mut self, n: NodeId) -> bool {
+        match self.is_free.get_mut(n.index()) {
+            Some(f) if !*f => {
+                *f = true;
+                self.free_count += 1;
+                self.fingerprint ^= mix(n.0 as u64);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Occupies every node in `nodes` (already-occupied ones are ignored).
+    pub fn occupy_all(&mut self, nodes: &[NodeId]) {
+        for &n in nodes {
+            self.occupy(n);
+        }
+    }
+
+    /// Releases every node in `nodes` (already-free ones are ignored).
+    pub fn release_all(&mut self, nodes: &[NodeId]) {
+        for &n in nodes {
+            self.release(n);
+        }
+    }
+
+    /// The membership mask, indexed by node id.
+    pub fn mask(&self) -> &[bool] {
+        &self.is_free
+    }
+
+    /// Free nodes in ascending id order (allocates).
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.is_free
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &f)| f.then_some(NodeId(i as u32)))
+            .collect()
+    }
+
+    /// Order-independent identity of the free region. Two `FreeSet`s over
+    /// the same topology with equal fingerprints and equal counts hold the
+    /// same nodes (up to negligible 64-bit collision probability).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// Key of one memoized mapping attempt.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Label-sensitive fingerprint of the *physical* topology, so one
+    /// cache shared across chips never aliases their entries.
+    phys: u64,
+    /// Isomorphism-class key of the request topology.
+    canonical: CanonicalKey,
+    /// Label-sensitive request hash (adjacency in node order), so
+    /// isomorphic-but-relabeled requests never alias.
+    labeled: u64,
+    /// Strategy discriminant (kind, cap, disconnected mode).
+    strategy: u64,
+    /// Free-region fingerprint + count.
+    free: (u64, usize),
+}
+
+/// Counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the full mapping pipeline.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+    /// Lookups skipped because the strategy is uncacheable (custom costs).
+    pub uncacheable: u64,
+}
+
+impl CacheStats {
+    /// Hits over total cacheable lookups, in `[0, 1]`; 0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded memo table for complete mapping results.
+///
+/// Both successful [`Mapping`]s and mapping errors (notably
+/// [`crate::TopoError::NoCandidate`], whose exhaustion proof is the most
+/// expensive outcome of Algorithm 1) are stored. Eviction is FIFO by
+/// insertion order — under serving churn the working set is small and
+/// recency tracking is not worth a per-hit write.
+#[derive(Debug)]
+pub struct MappingCache {
+    entries: HashMap<CacheKey, Result<Mapping>>,
+    order: std::collections::VecDeque<CacheKey>,
+    capacity: usize,
+    stats: CacheStats,
+    /// Canonical keys are exact (permutation-searched) and therefore the
+    /// priciest part of a lookup; they only depend on the labeled request
+    /// graph, so memoize them by labeled hash. Bounded by `capacity`
+    /// (requests shapes are far fewer than free regions).
+    canon_memo: HashMap<u64, CanonicalKey>,
+}
+
+impl Default for MappingCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl MappingCache {
+    /// Creates a cache bounded to `capacity` entries (at least one).
+    pub fn with_capacity(capacity: usize) -> Self {
+        MappingCache {
+            entries: HashMap::new(),
+            order: std::collections::VecDeque::new(),
+            capacity: capacity.max(1),
+            stats: CacheStats::default(),
+            canon_memo: HashMap::new(),
+        }
+    }
+
+    /// Builds the key for a `(physical chip, request, strategy,
+    /// free-region)` tuple, or `None` when the strategy is uncacheable
+    /// (custom match costs carry state the key cannot see). `phys_key` is
+    /// the physical topology's [`labeled_hash`] — [`crate::Mapper`]
+    /// precomputes it.
+    pub fn key_for(
+        &mut self,
+        phys_key: u64,
+        req: &Topology,
+        strategy: &Strategy,
+        free: &FreeSet,
+    ) -> Option<CacheKey> {
+        let Some(tag) = strategy.cache_tag() else {
+            self.stats.uncacheable += 1;
+            return None;
+        };
+        let labeled = labeled_hash(req);
+        if self.canon_memo.len() >= self.capacity {
+            self.canon_memo.clear();
+        }
+        let canonical = self
+            .canon_memo
+            .entry(labeled)
+            .or_insert_with(|| canonical_key(req))
+            .clone();
+        Some(CacheKey {
+            phys: phys_key,
+            canonical,
+            labeled,
+            strategy: tag,
+            free: (free.fingerprint(), free.free_count()),
+        })
+    }
+
+    /// Looks up a memoized result.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Result<Mapping>> {
+        match self.entries.get(key) {
+            Some(r) => {
+                self.stats.hits += 1;
+                Some(r.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoizes a result, evicting the oldest entry beyond capacity.
+    pub fn insert(&mut self, key: CacheKey, result: Result<Mapping>) {
+        if self.entries.insert(key.clone(), result).is_none() {
+            self.order.push_back(key);
+            self.stats.insertions += 1;
+            while self.entries.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.entries.remove(&old);
+                    self.stats.evictions += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Drops every entry (e.g. after a physical-topology change), keeping
+    /// the statistics.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.canon_memo.clear();
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// Label-sensitive topology hash: node count, per-node kind, and adjacency
+/// lists in node order. Distinguishes relabelings that `canonical_key`
+/// deliberately identifies.
+pub fn labeled_hash(t: &Topology) -> u64 {
+    let mut h = DefaultHasher::new();
+    t.node_count().hash(&mut h);
+    for n in t.nodes() {
+        (t.node_attr(n).kind as u64).hash(&mut h);
+        for &v in t.neighbors(n) {
+            v.0.hash(&mut h);
+        }
+        u32::MAX.hash(&mut h); // adjacency-list separator
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::Mapper;
+
+    #[test]
+    fn fingerprint_is_order_independent_and_incremental() {
+        let mut a = FreeSet::all_free(16);
+        let mut b = FreeSet::all_free(16);
+        a.occupy(NodeId(3));
+        a.occupy(NodeId(7));
+        b.occupy(NodeId(7));
+        b.occupy(NodeId(3));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.free_count(), 14);
+        // Round trip restores the original fingerprint.
+        let pristine = FreeSet::all_free(16);
+        a.release(NodeId(3));
+        a.release(NodeId(7));
+        assert_eq!(a, pristine);
+    }
+
+    #[test]
+    fn from_free_nodes_matches_incremental_path() {
+        let mut inc = FreeSet::all_free(9);
+        inc.occupy_all(&[NodeId(0), NodeId(4), NodeId(8)]);
+        let built = FreeSet::from_free_nodes(9, &[1, 2, 3, 5, 6, 7].map(NodeId));
+        assert_eq!(inc, built);
+    }
+
+    #[test]
+    fn occupy_release_are_idempotent_and_range_checked() {
+        let mut s = FreeSet::all_free(4);
+        assert!(s.occupy(NodeId(2)));
+        assert!(!s.occupy(NodeId(2)), "double occupy is a no-op");
+        assert!(!s.occupy(NodeId(99)), "out of range is a no-op");
+        let fp = s.fingerprint();
+        s.occupy(NodeId(2));
+        assert_eq!(s.fingerprint(), fp);
+        assert!(s.release(NodeId(2)));
+        assert!(!s.release(NodeId(2)));
+    }
+
+    #[test]
+    fn different_regions_different_fingerprint() {
+        let mut a = FreeSet::all_free(25);
+        let mut b = FreeSet::all_free(25);
+        a.occupy(NodeId(0));
+        b.occupy(NodeId(1));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn cache_hit_returns_identical_mapping() {
+        let phys = Topology::mesh2d(5, 5);
+        let mapper = Mapper::new(&phys);
+        let req = Topology::mesh2d(2, 3);
+        let mut free = FreeSet::all_free(25);
+        free.occupy_all(&[NodeId(0), NodeId(6), NodeId(12)]);
+        let strategy = Strategy::similar_topology().threads(1);
+        let mut cache = MappingCache::default();
+        let first = mapper
+            .map_cached(&free, &req, &strategy, &mut cache)
+            .unwrap();
+        let second = mapper
+            .map_cached(&free, &req, &strategy, &mut cache)
+            .unwrap();
+        assert_eq!(first, second);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        // And identical to the uncached result on the same free set.
+        let uncached = mapper.map_in(&free, &req, &strategy).unwrap();
+        assert_eq!(first, uncached);
+    }
+
+    #[test]
+    fn relabeled_isomorphic_requests_do_not_alias() {
+        // mesh2d(2,3) and mesh2d(3,2) are isomorphic (same canonical key)
+        // but number their virtual nodes differently; the cache must keep
+        // them apart.
+        let a = Topology::mesh2d(2, 3);
+        let b = Topology::mesh2d(3, 2);
+        assert_eq!(canonical_key(&a), canonical_key(&b));
+        assert_ne!(labeled_hash(&a), labeled_hash(&b));
+    }
+
+    #[test]
+    fn failures_are_memoized() {
+        let phys = Topology::mesh2d(3, 3);
+        let mapper = Mapper::new(&phys);
+        // Two free islands; a connected 4-line cannot be placed.
+        let free = FreeSet::from_free_nodes(9, &[0, 1, 7, 8].map(NodeId));
+        let req = Topology::line(4);
+        let strategy = Strategy::similar_topology().threads(1);
+        let mut cache = MappingCache::default();
+        assert!(mapper
+            .map_cached(&free, &req, &strategy, &mut cache)
+            .is_err());
+        assert!(mapper
+            .map_cached(&free, &req, &strategy, &mut cache)
+            .is_err());
+        assert_eq!(
+            cache.stats().hits,
+            1,
+            "the NoCandidate proof must be memoized"
+        );
+    }
+
+    #[test]
+    fn shared_cache_across_chips_does_not_alias() {
+        // Same node count, same all-free fingerprint, different link
+        // structure: the physical-topology fingerprint in the key must
+        // keep the two chips' entries apart.
+        let mesh = Topology::mesh2d(3, 3);
+        let ring = Topology::ring(9);
+        let req = Topology::line(3);
+        let strategy = Strategy::similar_topology().threads(1);
+        let mut cache = MappingCache::default();
+        let free = FreeSet::all_free(9);
+        let on_mesh = Mapper::new(&mesh)
+            .map_cached(&free, &req, &strategy, &mut cache)
+            .unwrap();
+        let on_ring = Mapper::new(&ring)
+            .map_cached(&free, &req, &strategy, &mut cache)
+            .unwrap();
+        assert_eq!(cache.stats().hits, 0, "different chips must not alias");
+        assert_eq!(cache.len(), 2);
+        let mesh_direct = Mapper::new(&mesh).map_in(&free, &req, &strategy).unwrap();
+        let ring_direct = Mapper::new(&ring).map_in(&free, &req, &strategy).unwrap();
+        assert_eq!(on_mesh, mesh_direct);
+        assert_eq!(on_ring, ring_direct);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest() {
+        let phys = Topology::mesh2d(4, 4);
+        let mapper = Mapper::new(&phys);
+        let req = Topology::mesh2d(2, 2);
+        let strategy = Strategy::similar_topology().threads(1);
+        let mut cache = MappingCache::with_capacity(2);
+        for i in 0..4u32 {
+            let mut free = FreeSet::all_free(16);
+            free.occupy(NodeId(i));
+            mapper
+                .map_cached(&free, &req, &strategy, &mut cache)
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn custom_costs_are_uncacheable() {
+        use crate::ged::{MatchCosts, UniformCosts};
+        use crate::{EdgeAttr, NodeAttr};
+        #[derive(Debug)]
+        struct Odd;
+        impl MatchCosts for Odd {
+            fn node_substitute(&self, a: &NodeAttr, b: &NodeAttr) -> u64 {
+                UniformCosts.node_substitute(a, b)
+            }
+            fn node_delete(&self, a: &NodeAttr) -> u64 {
+                UniformCosts.node_delete(a)
+            }
+            fn node_insert(&self, b: &NodeAttr) -> u64 {
+                UniformCosts.node_insert(b)
+            }
+            fn edge_delete(&self, e: &EdgeAttr) -> u64 {
+                UniformCosts.edge_delete(e)
+            }
+            fn edge_insert(&self, e: &EdgeAttr) -> u64 {
+                UniformCosts.edge_insert(e)
+            }
+        }
+        let strategy = Strategy::similar_topology().costs(std::sync::Arc::new(Odd));
+        let mut cache = MappingCache::default();
+        let free = FreeSet::all_free(4);
+        assert!(cache
+            .key_for(0, &Topology::mesh2d(2, 2), &strategy, &free)
+            .is_none());
+        assert_eq!(cache.stats().uncacheable, 1);
+    }
+}

@@ -322,8 +322,8 @@ mod tests {
     fn same_degree_sequence_different_structure() {
         // C6 vs two C3s: both 2-regular with 6 nodes and 6 edges.
         let c6 = Topology::ring(6);
-        let two_c3 = Topology::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
-            .unwrap();
+        let two_c3 =
+            Topology::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
         assert_ne!(canonical_key(&c6), canonical_key(&two_c3));
         assert!(!are_isomorphic(&c6, &two_c3));
     }

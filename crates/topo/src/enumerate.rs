@@ -15,6 +15,7 @@
 //! A rectangle fast-path ([`mesh_rectangles`]) answers `w × h` mesh requests
 //! in O(free-mask scan) time without general enumeration.
 
+use crate::cache::FreeSet;
 use crate::{MeshShape, NodeId, Topology};
 use std::collections::BTreeSet;
 
@@ -48,23 +49,37 @@ pub fn enumerate_connected(
     free: &[NodeId],
     k: usize,
     cap: usize,
+    visit: impl FnMut(&[NodeId]) -> Visit,
+) -> usize {
+    let set = FreeSet::from_free_nodes(topo.node_count(), free);
+    enumerate_connected_in(topo, &set, k, cap, visit)
+}
+
+/// [`enumerate_connected`] over an incrementally-maintained [`FreeSet`]:
+/// the occupancy mask is reused as-is instead of being rebuilt from a node
+/// list — the hot-path entry point for online serving, where the free set
+/// changes by small deltas between requests.
+pub fn enumerate_connected_in(
+    topo: &Topology,
+    free: &FreeSet,
+    k: usize,
+    cap: usize,
     mut visit: impl FnMut(&[NodeId]) -> Visit,
 ) -> usize {
-    if k == 0 || free.len() < k {
+    if k == 0 || free.free_count() < k {
         return 0;
     }
-    let n = topo.node_count();
-    let mut is_free = vec![false; n];
-    for &f in free {
-        is_free[f.index()] = true;
-    }
+    let is_free = free.mask();
     let mut count = 0usize;
     let mut steps = cap.saturating_mul(STEPS_PER_CANDIDATE).max(10_000);
     let mut stopped = false;
 
     // ESU: for each root v (ascending), grow subgraphs using only nodes > v,
     // with an extension set of exclusive neighbors.
-    for &root in free {
+    for root in (0..topo.node_count() as u32).map(NodeId) {
+        if !is_free[root.index()] {
+            continue;
+        }
         if stopped || count >= cap || steps == 0 {
             break;
         }
@@ -76,7 +91,16 @@ pub fn enumerate_connected(
             .filter(|&u| u > root && is_free[u.index()])
             .collect();
         extend(
-            topo, &is_free, root, &mut sub, ext, k, cap, &mut count, &mut steps, &mut stopped,
+            topo,
+            is_free,
+            root,
+            &mut sub,
+            ext,
+            k,
+            cap,
+            &mut count,
+            &mut steps,
+            &mut stopped,
             &mut visit,
         );
     }
@@ -122,10 +146,7 @@ fn extend(
         // the current subgraph before w joined).
         let mut next_ext = ext.clone();
         for &u in topo.neighbors(w) {
-            if u > root
-                && is_free[u.index()]
-                && !sub.contains(&u)
-                && !neighbor_of_sub(topo, sub, u)
+            if u > root && is_free[u.index()] && !sub.contains(&u) && !neighbor_of_sub(topo, sub, u)
             {
                 next_ext.insert(u);
             }
@@ -167,18 +188,26 @@ pub fn mesh_rectangles(
     req_w: u32,
     req_h: u32,
 ) -> Option<Vec<Vec<NodeId>>> {
+    let set = FreeSet::from_free_nodes(topo.node_count(), free);
+    mesh_rectangles_in(topo, &set, req_w, req_h)
+}
+
+/// [`mesh_rectangles`] over a prebuilt [`FreeSet`] (no mask rebuild).
+pub fn mesh_rectangles_in(
+    topo: &Topology,
+    free: &FreeSet,
+    req_w: u32,
+    req_h: u32,
+) -> Option<Vec<Vec<NodeId>>> {
     let shape = topo.mesh_shape()?;
-    let mut is_free = vec![false; topo.node_count()];
-    for &f in free {
-        is_free[f.index()] = true;
-    }
+    let is_free = free.mask();
     let mut out = Vec::new();
     let mut shapes = vec![(req_w, req_h)];
     if req_w != req_h {
         shapes.push((req_h, req_w));
     }
     for (w, h) in shapes {
-        collect_windows(&shape, &is_free, w, h, &mut out);
+        collect_windows(&shape, is_free, w, h, &mut out);
     }
     Some(out)
 }
@@ -248,11 +277,7 @@ mod tests {
         assert_eq!(cands.len(), brute.len());
     }
 
-    fn brute_force_connected(
-        t: &Topology,
-        free: &[NodeId],
-        k: usize,
-    ) -> Vec<Vec<NodeId>> {
+    fn brute_force_connected(t: &Topology, free: &[NodeId], k: usize) -> Vec<Vec<NodeId>> {
         let mut out = Vec::new();
         let n = free.len();
         let mut idx: Vec<usize> = (0..k).collect();

@@ -102,7 +102,11 @@ impl Default for HeteroCosts {
 
 impl MatchCosts for HeteroCosts {
     fn node_substitute(&self, a: &NodeAttr, b: &NodeAttr) -> u64 {
-        let kind = if a.kind == b.kind { 0 } else { self.kind_penalty };
+        let kind = if a.kind == b.kind {
+            0
+        } else {
+            self.kind_penalty
+        };
         let dist = if a.mem_distance == u32::MAX || b.mem_distance == u32::MAX {
             0
         } else {
@@ -601,8 +605,10 @@ mod tests {
         // the floor is edge_count(mesh) - 7 = 3).
         let chain = Topology::line(8);
         let mesh = Topology::mesh2d(4, 2);
-        let scrambled: Vec<Option<NodeId>> =
-            [3u32, 6, 1, 4, 7, 0, 5, 2].iter().map(|&i| Some(NodeId(i))).collect();
+        let scrambled: Vec<Option<NodeId>> = [3u32, 6, 1, 4, 7, 0, 5, 2]
+            .iter()
+            .map(|&i| Some(NodeId(i)))
+            .collect();
         let start = mapping_cost(&chain, &mesh, &scrambled, &UniformCosts);
         let (refined, cost) = refine_mapping(&chain, &mesh, &scrambled, &UniformCosts, 16);
         assert_eq!(cost, mapping_cost(&chain, &mesh, &refined, &UniformCosts));
@@ -614,8 +620,10 @@ mod tests {
         );
         // From the serpentine start (what the mapper seeds chain requests
         // with) the snake is already optimal: 0 deleted chain edges.
-        let snake: Vec<Option<NodeId>> =
-            [0u32, 1, 2, 3, 7, 6, 5, 4].iter().map(|&i| Some(NodeId(i))).collect();
+        let snake: Vec<Option<NodeId>> = [0u32, 1, 2, 3, 7, 6, 5, 4]
+            .iter()
+            .map(|&i| Some(NodeId(i)))
+            .collect();
         let (_, s_cost) = refine_mapping(&chain, &mesh, &snake, &UniformCosts, 4);
         assert_eq!(s_cost, 3);
     }

@@ -19,6 +19,10 @@
 //!   mode.
 //! * [`route`] — dimension-order routing and confined (direction-override)
 //!   path computation used by the NoC vRouter.
+//! * [`cache`] — the online-serving hot path: an incrementally-maintained
+//!   free-core set ([`FreeSet`]) and a memo table for complete mapping
+//!   results ([`MappingCache`]), so repeated requests under churn skip
+//!   re-enumeration and re-scoring entirely.
 //!
 //! # Example
 //!
@@ -42,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod canonical;
 pub mod enumerate;
 pub mod ged;
@@ -50,6 +55,7 @@ pub mod mapping;
 pub mod route;
 mod topology;
 
+pub use cache::{CacheStats, FreeSet, MappingCache};
 pub use ged::{GedResult, MatchCosts, UniformCosts};
 pub use mapping::{Mapper, Mapping, Strategy};
 pub use route::Direction;

@@ -19,6 +19,7 @@
 //! (connectivity) is enforced unless fragmentation mode
 //! ([`Strategy::allow_disconnected`]) is enabled.
 
+use crate::cache::{FreeSet, MappingCache};
 use crate::canonical::{canonical_key, find_isomorphism, CanonicalKey};
 use crate::enumerate::{self, Visit, DEFAULT_CANDIDATE_CAP};
 use crate::ged::{self, GedResult, MatchCosts, UniformCosts};
@@ -54,6 +55,9 @@ pub struct Strategy {
     allow_disconnected: bool,
     threads: usize,
     costs: Arc<dyn MatchCosts + Send + Sync>,
+    /// Whether `costs` is still the stock [`UniformCosts`] — custom costs
+    /// make a mapping attempt uncacheable (the cache key cannot see them).
+    default_costs: bool,
 }
 
 impl std::fmt::Debug for Strategy {
@@ -76,6 +80,7 @@ impl Strategy {
             allow_disconnected: false,
             threads: 1,
             costs: Arc::new(UniformCosts),
+            default_costs: true,
         }
     }
 
@@ -90,6 +95,7 @@ impl Strategy {
                 .map(|n| n.get())
                 .unwrap_or(1),
             costs: Arc::new(UniformCosts),
+            default_costs: true,
         }
     }
 
@@ -136,15 +142,32 @@ impl Strategy {
     }
 
     /// Installs custom node/edge match costs (heterogeneous nodes, critical
-    /// edges).
+    /// edges). Attempts with custom costs bypass the [`MappingCache`].
     pub fn costs(mut self, costs: Arc<dyn MatchCosts + Send + Sync>) -> Self {
         self.costs = costs;
+        self.default_costs = false;
         self
     }
 
     /// The strategy kind.
     pub fn kind(&self) -> StrategyKind {
         self.kind
+    }
+
+    /// A discriminant folding every result-affecting knob into one word for
+    /// [`MappingCache`] keys, or `None` when the strategy is uncacheable
+    /// (custom costs). The thread count is deliberately excluded: scoring
+    /// is deterministic regardless of how it is parallelized.
+    pub fn cache_tag(&self) -> Option<u64> {
+        if !self.default_costs {
+            return None;
+        }
+        let kind = match self.kind {
+            StrategyKind::Straightforward => 0u64,
+            StrategyKind::SimilarTopology => 1,
+            StrategyKind::ExactOnly => 2,
+        };
+        Some(kind | (u64::from(self.allow_disconnected) << 2) | ((self.candidate_cap as u64) << 3))
     }
 }
 
@@ -190,12 +213,19 @@ impl Mapping {
 #[derive(Debug, Clone, Copy)]
 pub struct Mapper<'a> {
     phys: &'a Topology,
+    /// Label-sensitive fingerprint of `phys`, computed once so cached
+    /// lookups can bind their keys to the chip without re-hashing the
+    /// whole graph per request.
+    phys_key: u64,
 }
 
 impl<'a> Mapper<'a> {
     /// Creates a mapper over the given physical topology.
     pub fn new(phys: &'a Topology) -> Self {
-        Mapper { phys }
+        Mapper {
+            phys,
+            phys_key: crate::cache::labeled_hash(phys),
+        }
     }
 
     /// Allocates physical nodes for the requested virtual topology `req`
@@ -208,11 +238,22 @@ impl<'a> Mapper<'a> {
     /// * [`TopoError::NoCandidate`] — no allocation satisfying the
     ///   strategy's constraints (connectivity, exactness) exists.
     pub fn map(&self, free: &[NodeId], req: &Topology, strategy: &Strategy) -> Result<Mapping> {
+        let set = FreeSet::from_free_nodes(self.phys.node_count(), free);
+        self.map_in(&set, req, strategy)
+    }
+
+    /// [`Mapper::map`] over an incrementally-maintained [`FreeSet`] — the
+    /// serving hot path: no occupancy mask is rebuilt per request.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Mapper::map`].
+    pub fn map_in(&self, free: &FreeSet, req: &Topology, strategy: &Strategy) -> Result<Mapping> {
         let k = req.node_count();
-        if free.len() < k {
+        if free.free_count() < k {
             return Err(TopoError::InsufficientNodes {
                 requested: k,
-                available: free.len(),
+                available: free.free_count(),
             });
         }
         if k == 0 {
@@ -230,15 +271,43 @@ impl<'a> Mapper<'a> {
         }
     }
 
+    /// [`Mapper::map_in`] memoized through a [`MappingCache`]: a hit
+    /// returns the stored result (success *or* failure) for this exact
+    /// `(physical topology, request, strategy, free-region)` tuple; a miss
+    /// computes and stores it. Uncacheable strategies (custom costs) fall
+    /// through to the direct path. One cache may safely be shared by
+    /// mappers over different chips — the key carries the physical
+    /// topology's fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Mapper::map`] (memoized errors replay identically).
+    pub fn map_cached(
+        &self,
+        free: &FreeSet,
+        req: &Topology,
+        strategy: &Strategy,
+        cache: &mut MappingCache,
+    ) -> Result<Mapping> {
+        let Some(key) = cache.key_for(self.phys_key, req, strategy, free) else {
+            return self.map_in(free, req, strategy);
+        };
+        if let Some(result) = cache.get(&key) {
+            return result;
+        }
+        let result = self.map_in(free, req, strategy);
+        cache.insert(key, result.clone());
+        result
+    }
+
     /// First-k free nodes in ascending ID order; virtual node `i` gets the
     /// `i`-th of them (the zig-zag order of paper Figure 17/18).
-    fn straightforward(&self, free: &[NodeId], req: &Topology, strategy: &Strategy) -> Mapping {
-        let mut sorted = free.to_vec();
-        sorted.sort_unstable();
-        let chosen: Vec<NodeId> = sorted.into_iter().take(req.node_count()).collect();
+    fn straightforward(&self, free: &FreeSet, req: &Topology, strategy: &Strategy) -> Mapping {
+        let chosen: Vec<NodeId> = free.nodes().into_iter().take(req.node_count()).collect();
         let (sub, _) = self.phys.induced_subgraph(&chosen);
-        let identity: Vec<Option<NodeId>> =
-            (0..req.node_count() as u32).map(|i| Some(NodeId(i))).collect();
+        let identity: Vec<Option<NodeId>> = (0..req.node_count() as u32)
+            .map(|i| Some(NodeId(i)))
+            .collect();
         let distance = ged::mapping_cost(req, &sub, &identity, strategy.costs.as_ref());
         let connected = self.phys.is_connected_subset(&chosen);
         Mapping {
@@ -250,18 +319,18 @@ impl<'a> Mapper<'a> {
     }
 
     /// Exact isomorphic match or [`TopoError::NoCandidate`].
-    fn exact(&self, free: &[NodeId], req: &Topology) -> Result<Mapping> {
+    fn exact(&self, free: &FreeSet, req: &Topology) -> Result<Mapping> {
         if let Some(m) = self.try_exact(free, req, DEFAULT_CANDIDATE_CAP) {
             return Ok(m);
         }
         Err(TopoError::NoCandidate)
     }
 
-    fn try_exact(&self, free: &[NodeId], req: &Topology, cap: usize) -> Option<Mapping> {
+    fn try_exact(&self, free: &FreeSet, req: &Topology, cap: usize) -> Option<Mapping> {
         // Rectangle fast-path for mesh requests on mesh hardware.
         if let Some(shape) = req.mesh_shape() {
             if let Some(rects) =
-                enumerate::mesh_rectangles(self.phys, free, shape.width, shape.height)
+                enumerate::mesh_rectangles_in(self.phys, free, shape.width, shape.height)
             {
                 if let Some(cells) = rects.into_iter().next() {
                     // `cells` is sorted; the window is itself row-major, so an
@@ -284,7 +353,7 @@ impl<'a> Mapper<'a> {
         // bounds the (worst-case exponential) exhaustion proof.
         let req_key = canonical_key(req);
         let mut found: Option<Mapping> = None;
-        enumerate::enumerate_connected(self.phys, free, req.node_count(), cap, |cells| {
+        enumerate::enumerate_connected_in(self.phys, free, req.node_count(), cap, |cells| {
             let (sub, back) = self.phys.induced_subgraph(cells);
             if canonical_key(&sub) == req_key {
                 if let Some(iso) = find_isomorphism(req, &sub) {
@@ -304,7 +373,7 @@ impl<'a> Mapper<'a> {
 
     /// Algorithm 1: enumerate, early-exit, dedup, score in parallel, pick
     /// the minimum-edit-distance candidate.
-    fn similar(&self, free: &[NodeId], req: &Topology, strategy: &Strategy) -> Result<Mapping> {
+    fn similar(&self, free: &FreeSet, req: &Topology, strategy: &Strategy) -> Result<Mapping> {
         // Line 22: exact early exit.
         if let Some(m) = self.try_exact(free, req, strategy.candidate_cap) {
             return Ok(m);
@@ -312,7 +381,7 @@ impl<'a> Mapper<'a> {
         // Lines 20–29: collect connected candidates, dedup by canonical key.
         let mut seen: HashSet<CanonicalKey> = HashSet::new();
         let mut candidates: Vec<Vec<NodeId>> = Vec::new();
-        enumerate::enumerate_connected(
+        enumerate::enumerate_connected_in(
             self.phys,
             free,
             req.node_count(),
@@ -454,7 +523,10 @@ const REFINE_TOP_CANDIDATES: usize = 6;
 /// Turns a (possibly partial) GED node mapping into a total mapping in
 /// candidate-local node IDs: unmapped virtual nodes take the leftover
 /// candidate cells in order.
-fn complete_option_mapping(mapping: &[Option<NodeId>], candidate_len: usize) -> Vec<Option<NodeId>> {
+fn complete_option_mapping(
+    mapping: &[Option<NodeId>],
+    candidate_len: usize,
+) -> Vec<Option<NodeId>> {
     let mut used = vec![false; candidate_len];
     for m in mapping.iter().flatten() {
         used[m.index()] = true;
@@ -488,7 +560,10 @@ mod tests {
         let m = Mapper::new(&phys)
             .map(&free, &req, &Strategy::straightforward())
             .unwrap();
-        assert_eq!(m.phys_nodes(), &[NodeId(2), NodeId(3), NodeId(4), NodeId(5)]);
+        assert_eq!(
+            m.phys_nodes(),
+            &[NodeId(2), NodeId(3), NodeId(4), NodeId(5)]
+        );
     }
 
     #[test]
@@ -645,7 +720,9 @@ mod tests {
         let free = vec![NodeId(0), NodeId(2), NodeId(6), NodeId(8)];
         let req = Topology::mesh2d(2, 2);
         let mapper = Mapper::new(&phys);
-        assert!(mapper.map(&free, &req, &Strategy::performance_first()).is_err());
+        assert!(mapper
+            .map(&free, &req, &Strategy::performance_first())
+            .is_err());
         let m = mapper
             .map(&free, &req, &Strategy::utilization_first())
             .unwrap();

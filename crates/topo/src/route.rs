@@ -192,7 +192,10 @@ mod tests {
         let t = Topology::mesh2d(4, 4);
         // from (0,0)=0 to (2,2)=10: x to 2 first (1, 2), then y (6, 10)
         let p = dor_path(&t, NodeId(0), NodeId(10)).unwrap();
-        assert_eq!(p, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(6), NodeId(10)]);
+        assert_eq!(
+            p,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(6), NodeId(10)]
+        );
     }
 
     #[test]
@@ -270,11 +273,26 @@ mod tests {
     #[test]
     fn step_direction_all_cases() {
         let t = Topology::mesh2d(3, 3);
-        assert_eq!(step_direction(&t, NodeId(4), NodeId(5)), Some(Direction::East));
-        assert_eq!(step_direction(&t, NodeId(4), NodeId(3)), Some(Direction::West));
-        assert_eq!(step_direction(&t, NodeId(4), NodeId(7)), Some(Direction::South));
-        assert_eq!(step_direction(&t, NodeId(4), NodeId(1)), Some(Direction::North));
-        assert_eq!(step_direction(&t, NodeId(4), NodeId(4)), Some(Direction::Local));
+        assert_eq!(
+            step_direction(&t, NodeId(4), NodeId(5)),
+            Some(Direction::East)
+        );
+        assert_eq!(
+            step_direction(&t, NodeId(4), NodeId(3)),
+            Some(Direction::West)
+        );
+        assert_eq!(
+            step_direction(&t, NodeId(4), NodeId(7)),
+            Some(Direction::South)
+        );
+        assert_eq!(
+            step_direction(&t, NodeId(4), NodeId(1)),
+            Some(Direction::North)
+        );
+        assert_eq!(
+            step_direction(&t, NodeId(4), NodeId(4)),
+            Some(Direction::Local)
+        );
         assert_eq!(step_direction(&t, NodeId(0), NodeId(8)), None);
     }
 

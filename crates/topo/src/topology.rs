@@ -388,6 +388,41 @@ impl Topology {
         count == subset.len()
     }
 
+    /// Sizes of the connected components of the induced subgraph on
+    /// `subset`, largest first. Empty subsets yield an empty vector.
+    ///
+    /// This is the fragmentation view of a free-core region: one component
+    /// covering everything means any connected request of that size can at
+    /// least be attempted, many small islands mean topology lock-in.
+    pub fn subset_components(&self, subset: &[NodeId]) -> Vec<usize> {
+        let mut in_set = vec![false; self.node_count()];
+        for &n in subset {
+            in_set[n.index()] = true;
+        }
+        let mut seen = vec![false; self.node_count()];
+        let mut sizes = Vec::new();
+        for &start in subset {
+            if seen[start.index()] {
+                continue;
+            }
+            seen[start.index()] = true;
+            let mut size = 1usize;
+            let mut q = VecDeque::from([start]);
+            while let Some(u) = q.pop_front() {
+                for &v in self.neighbors(u) {
+                    if in_set[v.index()] && !seen[v.index()] {
+                        seen[v.index()] = true;
+                        size += 1;
+                        q.push_back(v);
+                    }
+                }
+            }
+            sizes.push(size);
+        }
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+
     /// Induced subgraph on `subset`, plus the mapping from new node IDs
     /// (positions in `subset`) back to the original IDs.
     ///
@@ -466,7 +501,13 @@ mod tests {
         // 2D mesh edges: w*(h-1) + h*(w-1)
         assert_eq!(t.edge_count(), 5 * 4 + 5 * 4);
         assert!(t.is_connected());
-        assert_eq!(t.mesh_shape(), Some(MeshShape { width: 5, height: 5 }));
+        assert_eq!(
+            t.mesh_shape(),
+            Some(MeshShape {
+                width: 5,
+                height: 5
+            })
+        );
     }
 
     #[test]
@@ -531,7 +572,10 @@ mod tests {
     #[test]
     fn self_loop_rejected() {
         let mut t = Topology::empty(2);
-        assert_eq!(t.add_edge(NodeId(0), NodeId(0)), Err(TopoError::SelfLoop(0)));
+        assert_eq!(
+            t.add_edge(NodeId(0), NodeId(0)),
+            Err(TopoError::SelfLoop(0))
+        );
     }
 
     #[test]

@@ -20,9 +20,9 @@
 use crate::graph::{LayerId, ModelGraph};
 use crate::partition::{self, Partition};
 use crate::{Result, WorkloadError};
+use vnpu_mem::VirtAddr;
 use vnpu_sim::isa::{Instr, Program};
 use vnpu_sim::SocConfig;
-use vnpu_mem::VirtAddr;
 
 /// How cross-core activations travel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -216,7 +216,8 @@ pub fn compile(
     // accounting for the communication topology.
     let consumers = graph.consumers();
     let mut edge_va = std::collections::HashMap::new();
-    let mut traffic: std::collections::BTreeMap<(u32, u32), u64> = std::collections::BTreeMap::new();
+    let mut traffic: std::collections::BTreeMap<(u32, u32), u64> =
+        std::collections::BTreeMap::new();
     for (i, cons) in consumers.iter().enumerate() {
         let p = LayerId(i as u32);
         for &c in cons {
@@ -348,9 +349,7 @@ pub fn compile(
                 .unwrap_or(0),
             _ => stage_bytes,
         };
-        programs.push(
-            Program::looped(prelude, body, opts.iterations).with_footprint(footprint),
-        );
+        programs.push(Program::looped(prelude, body, opts.iterations).with_footprint(footprint));
     }
     // Pad with idle programs if more cores than layers. Under BSP, idle
     // cores still participate in the superstep barrier.
@@ -438,7 +437,10 @@ mod tests {
         for p in &out.programs {
             for i in &p.body {
                 if let Instr::DmaLoad { bytes, .. } = i {
-                    assert!(*bytes < 1 << 20, "body load of {bytes} bytes is not a gather");
+                    assert!(
+                        *bytes < 1 << 20,
+                        "body load of {bytes} bytes is not a gather"
+                    );
                 }
             }
         }
@@ -472,7 +474,11 @@ mod tests {
         b.chain(
             "fat",
             LayerKind::Fc,
-            Kernel::Matmul { m: 1, k: 32768, n: 32768 },
+            Kernel::Matmul {
+                m: 1,
+                k: 32768,
+                n: 32768,
+            },
             1 << 30,
             64,
         );
@@ -552,7 +558,10 @@ mod tests {
         let out = compile(&g, 32, &cfg(), &CompileOptions::default()).unwrap();
         assert_eq!(out.programs.len(), 32);
         let active = out.programs.iter().filter(|p| !p.is_empty()).count();
-        assert!(active > 16, "splitting must spread work over the cores: {active}");
+        assert!(
+            active > 16,
+            "splitting must spread work over the cores: {active}"
+        );
     }
 
     #[test]
@@ -608,7 +617,13 @@ mod tests {
 
     #[test]
     fn edge_tags_unique_per_edge() {
-        assert_ne!(edge_tag(LayerId(1), LayerId(2)), edge_tag(LayerId(2), LayerId(1)));
-        assert_ne!(edge_tag(LayerId(1), LayerId(2)), edge_tag(LayerId(1), LayerId(3)));
+        assert_ne!(
+            edge_tag(LayerId(1), LayerId(2)),
+            edge_tag(LayerId(2), LayerId(1))
+        );
+        assert_ne!(
+            edge_tag(LayerId(1), LayerId(2)),
+            edge_tag(LayerId(1), LayerId(3))
+        );
     }
 }

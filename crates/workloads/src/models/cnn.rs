@@ -117,8 +117,26 @@ fn basic_block(
     stride: u32,
     input: LayerId,
 ) -> (LayerId, u32) {
-    let (c1, hw1) = conv(b, &format!("{prefix}.conv1"), hw, in_ch, out_ch, 3, stride, vec![input]);
-    let (c2, hw2) = conv(b, &format!("{prefix}.conv2"), hw1, out_ch, out_ch, 3, 1, vec![c1]);
+    let (c1, hw1) = conv(
+        b,
+        &format!("{prefix}.conv1"),
+        hw,
+        in_ch,
+        out_ch,
+        3,
+        stride,
+        vec![input],
+    );
+    let (c2, hw2) = conv(
+        b,
+        &format!("{prefix}.conv2"),
+        hw1,
+        out_ch,
+        out_ch,
+        3,
+        1,
+        vec![c1],
+    );
     let skip = if stride != 1 || in_ch != out_ch {
         let (proj, _) = conv(
             b,
@@ -149,9 +167,36 @@ fn bottleneck_block(
     input: LayerId,
 ) -> (LayerId, u32) {
     let out_ch = mid_ch * 4;
-    let (c1, hw1) = conv(b, &format!("{prefix}.conv1"), hw, in_ch, mid_ch, 1, 1, vec![input]);
-    let (c2, hw2) = conv(b, &format!("{prefix}.conv2"), hw1, mid_ch, mid_ch, 3, stride, vec![c1]);
-    let (c3, hw3) = conv(b, &format!("{prefix}.conv3"), hw2, mid_ch, out_ch, 1, 1, vec![c2]);
+    let (c1, hw1) = conv(
+        b,
+        &format!("{prefix}.conv1"),
+        hw,
+        in_ch,
+        mid_ch,
+        1,
+        1,
+        vec![input],
+    );
+    let (c2, hw2) = conv(
+        b,
+        &format!("{prefix}.conv2"),
+        hw1,
+        mid_ch,
+        mid_ch,
+        3,
+        stride,
+        vec![c1],
+    );
+    let (c3, hw3) = conv(
+        b,
+        &format!("{prefix}.conv3"),
+        hw2,
+        mid_ch,
+        out_ch,
+        1,
+        1,
+        vec![c2],
+    );
     let skip = if stride != 1 || in_ch != out_ch {
         let (proj, _) = conv(
             b,
@@ -189,7 +234,11 @@ fn resnet(name: &str, blocks: [u32; 4], bottleneck: bool) -> ModelGraph {
             };
             prev = out;
             hw = new_hw;
-            in_ch = if bottleneck { stage_ch[s] * 4 } else { stage_ch[s] };
+            in_ch = if bottleneck {
+                stage_ch[s] * 4
+            } else {
+                stage_ch[s]
+            };
         }
     }
     fc(&mut b, "fc", in_ch, 1000, vec![prev]);
@@ -254,12 +303,48 @@ fn inception(
     cp: u32,
     input: LayerId,
 ) -> (LayerId, u32) {
-    let (b1, _) = conv(b, &format!("{prefix}.1x1"), hw, in_ch, c1, 1, 1, vec![input]);
-    let (b3r, _) = conv(b, &format!("{prefix}.3x3r"), hw, in_ch, c3r, 1, 1, vec![input]);
+    let (b1, _) = conv(
+        b,
+        &format!("{prefix}.1x1"),
+        hw,
+        in_ch,
+        c1,
+        1,
+        1,
+        vec![input],
+    );
+    let (b3r, _) = conv(
+        b,
+        &format!("{prefix}.3x3r"),
+        hw,
+        in_ch,
+        c3r,
+        1,
+        1,
+        vec![input],
+    );
     let (b3, hw3) = conv(b, &format!("{prefix}.3x3"), hw, c3r, c3, 3, 1, vec![b3r]);
-    let (b5r, _) = conv(b, &format!("{prefix}.5x5r"), hw, in_ch, c5r, 1, 1, vec![input]);
+    let (b5r, _) = conv(
+        b,
+        &format!("{prefix}.5x5r"),
+        hw,
+        in_ch,
+        c5r,
+        1,
+        1,
+        vec![input],
+    );
     let (b5, _) = conv(b, &format!("{prefix}.5x5"), hw, c5r, c5, 5, 1, vec![b5r]);
-    let (bp, _) = conv(b, &format!("{prefix}.poolp"), hw, in_ch, cp, 1, 1, vec![input]);
+    let (bp, _) = conv(
+        b,
+        &format!("{prefix}.poolp"),
+        hw,
+        in_ch,
+        cp,
+        1,
+        1,
+        vec![input],
+    );
     let out_ch = c1 + c3 + c5 + cp;
     let concat = b.push(
         format!("{prefix}.concat"),
@@ -375,16 +460,35 @@ pub fn efficientnet_b0() -> ModelGraph {
     for (i, &(out_ch, stride)) in blocks.iter().enumerate() {
         // MBConv expand (x6) -> depthwise -> project, folded.
         let expanded = ch * 6;
-        let (e, hw0) = conv(&mut b, &format!("mb{i}.expand"), hw, ch, expanded, 1, 1, vec![prev]);
+        let (e, hw0) = conv(
+            &mut b,
+            &format!("mb{i}.expand"),
+            hw,
+            ch,
+            expanded,
+            1,
+            1,
+            vec![prev],
+        );
         let (dw, hw1) = dwconv(&mut b, &format!("mb{i}.dw"), hw0, expanded, stride, vec![e]);
-        let (pr, hw2) = conv(&mut b, &format!("mb{i}.project"), hw1, expanded, out_ch, 1, 1, vec![dw]);
+        let (pr, hw2) = conv(
+            &mut b,
+            &format!("mb{i}.project"),
+            hw1,
+            expanded,
+            out_ch,
+            1,
+            1,
+            vec![dw],
+        );
         prev = pr;
         hw = hw2;
         ch = out_ch;
     }
     let (head, _) = conv(&mut b, "head", hw, ch, 1280, 1, 1, vec![prev]);
     fc(&mut b, "fc", 1280, 1000, vec![head]);
-    b.build("efficientnet_b0").expect("efficientnet graph is valid")
+    b.build("efficientnet_b0")
+        .expect("efficientnet graph is valid")
 }
 
 /// RetinaNet approximated as ResNet-50 plus FPN/head convolutions

@@ -13,7 +13,11 @@ pub fn dlrm() -> ModelGraph {
     let bot1 = b.chain(
         "bot_mlp1",
         LayerKind::Fc,
-        Kernel::Matmul { m: 1, k: 13, n: 512 },
+        Kernel::Matmul {
+            m: 1,
+            k: 13,
+            n: 512,
+        },
         13 * 512 * DTYPE_BYTES,
         512 * DTYPE_BYTES,
     );
@@ -21,14 +25,22 @@ pub fn dlrm() -> ModelGraph {
     b.chain(
         "bot_mlp2",
         LayerKind::Fc,
-        Kernel::Matmul { m: 1, k: 512, n: 256 },
+        Kernel::Matmul {
+            m: 1,
+            k: 512,
+            n: 256,
+        },
         512 * 256 * DTYPE_BYTES,
         256 * DTYPE_BYTES,
     );
     let bot3 = b.chain(
         "bot_mlp3",
         LayerKind::Fc,
-        Kernel::Matmul { m: 1, k: 256, n: 64 },
+        Kernel::Matmul {
+            m: 1,
+            k: 256,
+            n: 64,
+        },
         256 * 64 * DTYPE_BYTES,
         64 * DTYPE_BYTES,
     );
@@ -59,7 +71,11 @@ pub fn dlrm() -> ModelGraph {
     let top1 = b.push(
         "top_mlp1",
         LayerKind::Fc,
-        Kernel::Matmul { m: 1, k: 145, n: 512 },
+        Kernel::Matmul {
+            m: 1,
+            k: 145,
+            n: 512,
+        },
         145 * 512 * DTYPE_BYTES,
         512 * DTYPE_BYTES,
         vec![interact],
@@ -67,7 +83,11 @@ pub fn dlrm() -> ModelGraph {
     let top2 = b.push(
         "top_mlp2",
         LayerKind::Fc,
-        Kernel::Matmul { m: 1, k: 512, n: 256 },
+        Kernel::Matmul {
+            m: 1,
+            k: 512,
+            n: 256,
+        },
         512 * 256 * DTYPE_BYTES,
         256 * DTYPE_BYTES,
         vec![top1],

@@ -15,8 +15,8 @@ mod dlrm;
 mod transformer;
 
 pub use cnn::{
-    alexnet, efficientnet_b0, googlenet, mobilenet_v1, resnet18, resnet34, resnet50,
-    resnet_block, resnet_rs_approx, retinanet_approx, yolo_lite,
+    alexnet, efficientnet_b0, googlenet, mobilenet_v1, resnet18, resnet34, resnet50, resnet_block,
+    resnet_rs_approx, retinanet_approx, yolo_lite,
 };
 pub use dlrm::dlrm;
 pub use transformer::{
@@ -62,14 +62,14 @@ mod tests {
     fn parameter_counts_are_plausible() {
         // Published parameter counts (approximate, in millions).
         let cases = [
-            (resnet50(), 25.0, 0.5),      // 25.6 M
-            (resnet18(), 11.7, 0.5),      // 11.7 M
-            (resnet34(), 21.8, 0.5),      // 21.8 M
-            (alexnet(), 61.0, 0.6),       // 61 M
-            (gpt2_small(), 124.0, 0.5),   // 124 M
-            (gpt2_medium(), 355.0, 0.5),  // 355 M
-            (gpt2_large(), 774.0, 0.5),   // 774 M
-            (bert_base(), 110.0, 0.6),    // 110 M
+            (resnet50(), 25.0, 0.5),     // 25.6 M
+            (resnet18(), 11.7, 0.5),     // 11.7 M
+            (resnet34(), 21.8, 0.5),     // 21.8 M
+            (alexnet(), 61.0, 0.6),      // 61 M
+            (gpt2_small(), 124.0, 0.5),  // 124 M
+            (gpt2_medium(), 355.0, 0.5), // 355 M
+            (gpt2_large(), 774.0, 0.5),  // 774 M
+            (bert_base(), 110.0, 0.6),   // 110 M
         ];
         for (m, expect_millions, tolerance) in cases {
             let params = m.total_weight_bytes() as f64 / DTYPE_BYTES as f64 / 1e6;

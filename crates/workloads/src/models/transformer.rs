@@ -195,7 +195,9 @@ pub fn gpt2_decode(size: GptSize, context: u32) -> ModelGraph {
     let embed = b.push(
         "embed",
         LayerKind::Embed,
-        Kernel::Vector { elems: u64::from(h) },
+        Kernel::Vector {
+            elems: u64::from(h),
+        },
         50257 * u64::from(h) * DTYPE_BYTES,
         u64::from(h) * DTYPE_BYTES,
         vec![],
@@ -203,13 +205,26 @@ pub fn gpt2_decode(size: GptSize, context: u32) -> ModelGraph {
     let mut prev = embed;
     for i in 0..layers {
         let prefix = format!("blk{i}");
-        let qkv = matmul_layer(&mut b, &format!("{prefix}.qkv"), 1, h, 3 * h, LayerKind::Attention, true, vec![prev]);
+        let qkv = matmul_layer(
+            &mut b,
+            &format!("{prefix}.qkv"),
+            1,
+            h,
+            3 * h,
+            LayerKind::Attention,
+            true,
+            vec![prev],
+        );
         // Scores over the whole KV context; the KV buffer rides on this
         // layer's resident footprint.
         let scores = b.push(
             format!("{prefix}.scores"),
             LayerKind::Attention,
-            Kernel::Matmul { m: 1, k: h, n: context },
+            Kernel::Matmul {
+                m: 1,
+                k: h,
+                n: context,
+            },
             kv_bytes, // resident K cache
             u64::from(context) * DTYPE_BYTES,
             vec![qkv],
@@ -224,9 +239,36 @@ pub fn gpt2_decode(size: GptSize, context: u32) -> ModelGraph {
             false,
             vec![scores],
         );
-        let proj = matmul_layer(&mut b, &format!("{prefix}.proj"), 1, h, h, LayerKind::Fc, true, vec![context_l]);
-        let ffn1 = matmul_layer(&mut b, &format!("{prefix}.ffn1"), 1, h, 4 * h, LayerKind::Fc, true, vec![proj]);
-        prev = matmul_layer(&mut b, &format!("{prefix}.ffn2"), 1, 4 * h, h, LayerKind::Fc, true, vec![ffn1]);
+        let proj = matmul_layer(
+            &mut b,
+            &format!("{prefix}.proj"),
+            1,
+            h,
+            h,
+            LayerKind::Fc,
+            true,
+            vec![context_l],
+        );
+        let ffn1 = matmul_layer(
+            &mut b,
+            &format!("{prefix}.ffn1"),
+            1,
+            h,
+            4 * h,
+            LayerKind::Fc,
+            true,
+            vec![proj],
+        );
+        prev = matmul_layer(
+            &mut b,
+            &format!("{prefix}.ffn2"),
+            1,
+            4 * h,
+            h,
+            LayerKind::Fc,
+            true,
+            vec![ffn1],
+        );
     }
     b.build(name).expect("decode graph is valid")
 }
@@ -316,8 +358,16 @@ mod tests {
         let g = gpt2_decode(GptSize::Small, 1024);
         let out = compile(&g, 12, &cfg, &CompileOptions::default()).unwrap();
         // Footprints include the KV buffers and still fit the tiles.
-        assert!(out.programs.iter().all(|p| p.footprint_bytes <= cfg.scratchpad_bytes));
-        let max_fp = out.programs.iter().map(|p| p.footprint_bytes).max().unwrap();
+        assert!(out
+            .programs
+            .iter()
+            .all(|p| p.footprint_bytes <= cfg.scratchpad_bytes));
+        let max_fp = out
+            .programs
+            .iter()
+            .map(|p| p.footprint_bytes)
+            .max()
+            .unwrap();
         assert!(max_fp > 1 << 20, "KV state must appear in footprints");
     }
 

@@ -225,8 +225,14 @@ mod tests {
 
     #[test]
     fn program_counts() {
-        assert_eq!(broadcast_noc(kernels::matmul_128m_128k_128n(), 3, 1).len(), 4);
+        assert_eq!(
+            broadcast_noc(kernels::matmul_128m_128k_128n(), 3, 1).len(),
+            4
+        );
         assert_eq!(reduce_noc(kernels::matmul_128m_128k_128n(), 3, 1).len(), 4);
-        assert_eq!(allreduce_ring(kernels::matmul_128m_128k_128n(), 4, 1).len(), 4);
+        assert_eq!(
+            allreduce_ring(kernels::matmul_128m_128k_128n(), 4, 1).len(),
+            4
+        );
     }
 }

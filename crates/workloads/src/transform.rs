@@ -124,7 +124,10 @@ pub fn split_for_stages(graph: &ModelGraph, target_stages: u32, cfg: &SocConfig)
     let mut layers: Vec<Layer> = graph.layers().to_vec();
     let budget = 3 * target_stages as usize + 8; // split attempts bound
     for _ in 0..budget {
-        let costs: Vec<u64> = layers.iter().map(|l| kernel_cycles(cfg, &l.kernel)).collect();
+        let costs: Vec<u64> = layers
+            .iter()
+            .map(|l| kernel_cycles(cfg, &l.kernel))
+            .collect();
         let total: u64 = costs.iter().sum();
         let fair = total / u64::from(target_stages.max(1)) + 1;
         // Find the heaviest splittable layer.
@@ -161,7 +164,10 @@ fn split_at(layers: &[Layer], idx: usize, d: u64) -> Vec<Layer> {
     let (ka, kb, weights) = split_kernel(&layers[idx].kernel, d);
     let old = &layers[idx];
     let (wa, wb) = match weights {
-        WeightMode::Halve => (old.weight_bytes / 2, old.weight_bytes - old.weight_bytes / 2),
+        WeightMode::Halve => (
+            old.weight_bytes / 2,
+            old.weight_bytes - old.weight_bytes / 2,
+        ),
         WeightMode::Replicate => (old.weight_bytes, old.weight_bytes),
     };
     let half_a = Layer {
@@ -200,20 +206,13 @@ fn split_at(layers: &[Layer], idx: usize, d: u64) -> Vec<Layer> {
         for &d in &l.deps {
             deps.extend(remap(d));
         }
-        out.push(Layer {
-            deps,
-            ..l.clone()
-        });
+        out.push(Layer { deps, ..l.clone() });
     }
     out
 }
 
 /// The ratio by which splitting reduced the heaviest layer, for reports.
-pub fn bottleneck_reduction(
-    original: &ModelGraph,
-    split: &ModelGraph,
-    cfg: &SocConfig,
-) -> f64 {
+pub fn bottleneck_reduction(original: &ModelGraph, split: &ModelGraph, cfg: &SocConfig) -> f64 {
     let max_of = |g: &ModelGraph| {
         g.layers()
             .iter()

@@ -17,20 +17,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The hypervisor buddy-allocates 96 MB and maps whole blocks as ranges.
     let vm = hypervisor.create_vnpu(VnpuRequest::mesh(2, 2).mem_bytes(96 << 20))?;
     let vnpu = hypervisor.vnpu(vm)?;
-    println!("guest memory plan ({} RTT entries):", vnpu.rtt_entries().len());
+    println!(
+        "guest memory plan ({} RTT entries):",
+        vnpu.rtt_entries().len()
+    );
     for e in vnpu.rtt_entries() {
-        println!("  va {} -> pa {}  {:>4} MiB  {}", e.va, e.pa, e.size >> 20, e.perm);
+        println!(
+            "  va {} -> pa {}  {:>4} MiB  {}",
+            e.va,
+            e.pa,
+            e.size >> 20,
+            e.perm
+        );
     }
 
     // Build both translators over the same plan and replay the same
     // weight-streaming access pattern (3 iterations over 16 tensors).
     let costs = TranslationCosts::default();
     let mut vchunk = build_translator(vnpu.rtt_entries(), MemMode::vchunk(), costs)?;
-    let mut iotlb = build_translator(
-        vnpu.rtt_entries(),
-        MemMode::Page { tlb_entries: 32 },
-        costs,
-    )?;
+    let mut iotlb = build_translator(vnpu.rtt_entries(), MemMode::Page { tlb_entries: 32 }, costs)?;
     let base = vnpu.va_base();
     for _iteration in 0..3 {
         for tensor in 0..16u64 {

@@ -31,7 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (
             "detector",
             models::yolo_lite(),
-            VnpuRequest::mesh(3, 3).mem_bytes(128 << 20).noc_isolation(true),
+            VnpuRequest::mesh(3, 3)
+                .mem_bytes(128 << 20)
+                .noc_isolation(true),
         ),
     ];
 

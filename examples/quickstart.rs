@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vnpu.core_count(),
         vnpu.mapping().edit_distance(),
         vnpu.routing_table().entry_count(),
-        if vnpu.routing_table().entry_count() == 1 { "y" } else { "ies" },
+        if vnpu.routing_table().entry_count() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
     );
 
     // 3. Compile YOLO-Lite as a 9-stage pipeline for the virtual cores.

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = SocConfig::sim();
 
     for (label, strategy) in [
-        ("Straightforward (zig-zag) mapping", Strategy::straightforward()),
+        (
+            "Straightforward (zig-zag) mapping",
+            Strategy::straightforward(),
+        ),
         (
             "Similar-topology mapping (min edit distance)",
             Strategy::similar_topology().threads(4).candidate_cap(4000),
@@ -44,13 +47,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut hypervisor = Hypervisor::new(cfg.clone());
         // Pre-occupy the two corners (the red nodes of Figure 17/18).
         let mut corners = Topology::empty(8);
-        for (a, b) in [(0u32, 1), (0, 2), (1, 3), (2, 3), (4, 5), (4, 6), (5, 7), (6, 7)] {
+        for (a, b) in [
+            (0u32, 1),
+            (0, 2),
+            (1, 3),
+            (2, 3),
+            (4, 5),
+            (4, 6),
+            (5, 7),
+            (6, 7),
+        ] {
             corners.add_edge(a.into(), b.into())?;
         }
         let blocker = hypervisor.create_vnpu(
-            VnpuRequest::custom(corners)
-                .mem_bytes(1 << 20)
-                .strategy(Strategy::similar_topology().allow_disconnected(true).candidate_cap(2000)),
+            VnpuRequest::custom(corners).mem_bytes(1 << 20).strategy(
+                Strategy::similar_topology()
+                    .allow_disconnected(true)
+                    .candidate_cap(2000),
+            ),
         )?;
         let occupied: Vec<u32> = hypervisor
             .vnpu(blocker)?

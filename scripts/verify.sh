@@ -15,7 +15,16 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
 echo "== cargo bench --bench micro_criterion -- --quick =="
 cargo bench --bench micro_criterion -- --quick
+
+echo "== cargo bench --bench serving_churn -- --quick =="
+cargo bench --bench serving_churn -- --quick
 
 echo "verify: OK"

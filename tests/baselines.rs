@@ -88,7 +88,8 @@ fn noc_isolation_does_not_cost_performance_on_regular_allocations() {
                     tenant,
                     v as u32,
                     p.clone(),
-                    vnpu.services_with(vcore, MemMode::vchunk(), policy).unwrap(),
+                    vnpu.services_with(vcore, MemMode::vchunk(), policy)
+                        .unwrap(),
                 )
                 .unwrap();
         }

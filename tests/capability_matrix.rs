@@ -32,8 +32,12 @@ fn instruction_virtualization_guests_see_virtual_ids() {
 #[test]
 fn memory_virtualization_guests_cannot_escape_their_ranges() {
     let mut hv = Hypervisor::new(SocConfig::sim());
-    let vm_a = hv.create_vnpu(VnpuRequest::mesh(2, 2).mem_bytes(64 << 20)).unwrap();
-    let vm_b = hv.create_vnpu(VnpuRequest::mesh(2, 2).mem_bytes(64 << 20)).unwrap();
+    let vm_a = hv
+        .create_vnpu(VnpuRequest::mesh(2, 2).mem_bytes(64 << 20))
+        .unwrap();
+    let vm_b = hv
+        .create_vnpu(VnpuRequest::mesh(2, 2).mem_bytes(64 << 20))
+        .unwrap();
     let a = hv.vnpu(vm_a).unwrap();
     let b = hv.vnpu(vm_b).unwrap();
     // Physical ranges are disjoint.
@@ -115,7 +119,9 @@ fn full_virtualization_guest_programs_are_design_agnostic() {
     // memory services without modification (guests are unaware of the
     // virtualization mechanism — "full virtualization").
     let mut hv = Hypervisor::new(SocConfig::sim());
-    let vm = hv.create_vnpu(VnpuRequest::mesh(2, 2).mem_bytes(64 << 20)).unwrap();
+    let vm = hv
+        .create_vnpu(VnpuRequest::mesh(2, 2).mem_bytes(64 << 20))
+        .unwrap();
     let vnpu = hv.vnpu(vm).unwrap();
     for mode in [
         MemMode::Physical,
@@ -128,7 +134,10 @@ fn full_virtualization_guest_programs_are_design_agnostic() {
         if mode == MemMode::Physical {
             continue; // identity translator accepts anything
         }
-        let t = s.translator.translate(vnpu.va_base(), 2048, Perm::R).unwrap();
+        let t = s
+            .translator
+            .translate(vnpu.va_base(), 2048, Perm::R)
+            .unwrap();
         // Both real translators agree on the physical mapping.
         assert_eq!(
             t.pa,

@@ -175,7 +175,10 @@ fn vnpu_bench_router(cfg: &SocConfig, v2p: Vec<u32>) -> impl vnpu_sim::noc::NocR
             self.v2p
                 .get(dst as usize)
                 .map(|&p| (p, 0))
-                .ok_or(vnpu_sim::SimError::RouteFault { core: u32::MAX, dst })
+                .ok_or(vnpu_sim::SimError::RouteFault {
+                    core: u32::MAX,
+                    dst,
+                })
         }
         fn path(&self, src: u32, dst: u32) -> vnpu_sim::Result<Vec<u32>> {
             vnpu_topo::route::dor_path(&self.topo, vnpu_topo::NodeId(src), vnpu_topo::NodeId(dst))
@@ -227,7 +230,13 @@ fn virtualization_overhead_is_tiny() {
                 }
             };
             machine
-                .bind_with(vnpu.phys_core(vcore).unwrap(), tenant, v as u32, p.clone(), services)
+                .bind_with(
+                    vnpu.phys_core(vcore).unwrap(),
+                    tenant,
+                    v as u32,
+                    p.clone(),
+                    services,
+                )
                 .unwrap();
         }
         machine.run().unwrap().fps(tenant)

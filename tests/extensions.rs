@@ -17,11 +17,20 @@ fn hybrid_cores_trade_matrix_for_vector_throughput() {
         let mut m = Machine::new(cfg.clone());
         let t = m.add_tenant("k");
         m.set_core_scales(0, matrix_pct, vector_pct).unwrap();
-        m.bind(0, t, 0, Program::looped(vec![], vec![Instr::Compute(kernel)], 8))
-            .unwrap();
+        m.bind(
+            0,
+            t,
+            0,
+            Program::looped(vec![], vec![Instr::Compute(kernel)], 8),
+        )
+        .unwrap();
         m.run().unwrap().makespan()
     };
-    let mm = Kernel::Matmul { m: 512, k: 512, n: 512 };
+    let mm = Kernel::Matmul {
+        m: 512,
+        k: 512,
+        n: 512,
+    };
     let vec_k = Kernel::Vector { elems: 1_000_000 };
     // Matrix-optimized core: matmuls ~2x faster, vectors ~2x slower.
     assert!(run(50, 200, mm) < run(100, 100, mm) * 6 / 10);
@@ -109,7 +118,9 @@ fn kv_decode_runs_on_a_virtual_npu() {
     };
     let out = compile(&model, 12, &cfg, &opts).unwrap();
     let mut hv = Hypervisor::new(cfg.clone());
-    let vm = hv.create_vnpu(VnpuRequest::cores(12).mem_bytes(1 << 30)).unwrap();
+    let vm = hv
+        .create_vnpu(VnpuRequest::cores(12).mem_bytes(1 << 30))
+        .unwrap();
     let vnpu = hv.vnpu(vm).unwrap();
     let mut machine = Machine::new(cfg.clone());
     let tenant = machine.add_tenant("decode");
@@ -147,11 +158,19 @@ fn gnn_tenant_should_choose_page_mode() {
         .unwrap();
     let vnpu = hv.vnpu(vm).unwrap();
     let mut range = vnpu
-        .services_with(VirtCoreId(0), MemMode::Range { tlb_entries: 4 }, vnpu.route_policy())
+        .services_with(
+            VirtCoreId(0),
+            MemMode::Range { tlb_entries: 4 },
+            vnpu.route_policy(),
+        )
         .unwrap()
         .translator;
     let mut page = vnpu
-        .services_with(VirtCoreId(0), MemMode::Page { tlb_entries: 32 }, vnpu.route_policy())
+        .services_with(
+            VirtCoreId(0),
+            MemMode::Page { tlb_entries: 32 },
+            vnpu.route_policy(),
+        )
         .unwrap()
         .translator;
     let mut state = 0xabcdefu64;

@@ -115,7 +115,10 @@ fn cycle_limit_aborts_infinite_workloads() {
         Program::looped(vec![], vec![Instr::Delay { cycles: 1000 }], 1000),
     )
     .unwrap();
-    assert!(matches!(m.run(), Err(SimError::CycleLimit { limit: 50_000 })));
+    assert!(matches!(
+        m.run(),
+        Err(SimError::CycleLimit { limit: 50_000 })
+    ));
 }
 
 #[test]
@@ -129,7 +132,9 @@ fn hypervisor_rejects_impossible_topologies() {
     assert!(r.is_err());
     // But a flexible request still fits.
     assert!(hv
-        .create_vnpu(VnpuRequest::cores(9).strategy(Strategy::similar_topology().candidate_cap(500)))
+        .create_vnpu(
+            VnpuRequest::cores(9).strategy(Strategy::similar_topology().candidate_cap(500))
+        )
         .is_ok());
 }
 

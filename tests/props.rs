@@ -4,6 +4,8 @@
 //! proptest-based suite; the first seven run 64 cases, the end-to-end
 //! compile-and-run property 16 (it simulates whole pipelines per case).
 
+use vnpu::admission::AdmissionPolicy;
+use vnpu::{Hypervisor, VmId, VnpuRequest};
 use vnpu_mem::buddy::BuddyAllocator;
 use vnpu_mem::page::{PageTable, PageTranslator};
 use vnpu_mem::proptest_lite::{check, range, vec_of};
@@ -320,6 +322,122 @@ fn compile_and_run_arbitrary_chains() {
             let a = run();
             prop_assert!(a > 0);
             prop_assert_eq!(a, run(), "determinism");
+            Ok(())
+        },
+    );
+}
+
+/// Buddy-allocator + hypervisor churn invariant: any random interleaving
+/// of vNPU creates and destroys (mixed shapes, sizes and admission
+/// policies) ends — after destroying the survivors — with every core
+/// free, all HBM returned, and the buddy fully coalesced back into its
+/// maximal block. No cores or memory may leak through any interleaving.
+#[test]
+fn hypervisor_churn_leaves_no_residue() {
+    use vnpu_sim::SocConfig;
+    check(
+        "hypervisor_churn_leaves_no_residue",
+        64,
+        (
+            vec_of((range(0u32..8), range(0u32..4)), 4..40),
+            range(0u32..3),
+        ),
+        |(ops, policy_pick)| {
+            let hbm = 2 << 30;
+            let mut hv = Hypervisor::with_hbm_bytes(SocConfig::sim(), hbm);
+            hv.set_admission_policy(match policy_pick {
+                0 => AdmissionPolicy::Fifo,
+                1 => AdmissionPolicy::SmallestFirst,
+                _ => AdmissionPolicy::RetryAfterFree,
+            });
+            let total_cores = hv.config().core_count();
+            let free_hbm_at_start = hv.hbm_free_bytes();
+            let mut live: Vec<VmId> = Vec::new();
+            for &(shape, action) in ops {
+                if action == 0 && !live.is_empty() {
+                    // Destroy the oldest live vNPU (deterministic pick).
+                    let vm = live.remove(0);
+                    hv.destroy_vnpu(vm).expect("destroy live vnpu");
+                    continue;
+                }
+                let req = match shape {
+                    0 => VnpuRequest::mesh(1, 1).mem_bytes(8 << 20),
+                    1 => VnpuRequest::mesh(2, 2).mem_bytes(48 << 20),
+                    2 => VnpuRequest::mesh(2, 3).mem_bytes(96 << 20),
+                    3 => VnpuRequest::mesh(3, 3).mem_bytes(160 << 20),
+                    4 => VnpuRequest::cores(5).mem_bytes(24 << 20),
+                    5 => VnpuRequest::cores(7).mem_bytes(72 << 20),
+                    6 => VnpuRequest::mesh(4, 2).mem_bytes(33 << 20),
+                    _ => VnpuRequest::mesh(1, 3).mem_bytes(130 << 20),
+                };
+                // Placement may legitimately fail under fragmentation;
+                // the invariant is that failures change nothing and
+                // successes are fully reversible.
+                if let Ok(vm) = hv.create_vnpu(req) {
+                    live.push(vm);
+                }
+                // Bookkeeping sanity every step: used + free == total.
+                prop_assert!(hv.free_core_count() <= total_cores);
+                prop_assert!(hv.hbm_free_bytes() <= free_hbm_at_start);
+            }
+            for vm in live {
+                hv.destroy_vnpu(vm).expect("drain");
+            }
+            prop_assert_eq!(hv.free_core_count(), total_cores, "no leaked cores");
+            prop_assert_eq!(hv.hbm_free_bytes(), free_hbm_at_start, "no leaked HBM");
+            let frag = hv.fragmentation();
+            prop_assert_eq!(
+                frag.hbm_largest_free_block,
+                free_hbm_at_start,
+                "buddy must fully coalesce"
+            );
+            prop_assert_eq!(frag.free_components, 1, "free region is whole again");
+            Ok(())
+        },
+    );
+}
+
+/// Differential test for the mapping cache: on any free set, a cache hit
+/// must return a placement identical to the uncached
+/// `Strategy::similar_topology` result (successes *and* failures), and
+/// the second lookup must actually be a hit.
+#[test]
+fn mapping_cache_matches_uncached_similar_topology() {
+    use vnpu_topo::cache::{FreeSet, MappingCache};
+    check(
+        "mapping_cache_matches_uncached_similar_topology",
+        64,
+        (vec_of(range(0u32..36), 0..24), range(0u32..5)),
+        |(occupied, shape)| {
+            let phys = Topology::mesh2d(6, 6);
+            let mut free = FreeSet::all_free(36);
+            for &c in occupied {
+                free.occupy(NodeId(c));
+            }
+            let req = match shape {
+                0 => Topology::mesh2d(2, 2),
+                1 => Topology::mesh2d(2, 3),
+                2 => Topology::mesh2d(3, 3),
+                3 => Topology::line(4),
+                _ => Topology::line(6),
+            };
+            let strategy = Strategy::similar_topology().threads(1).candidate_cap(300);
+            let mapper = Mapper::new(&phys);
+            let uncached = mapper.map_in(&free, &req, &strategy);
+            let mut cache = MappingCache::default();
+            let cold = mapper.map_cached(&free, &req, &strategy, &mut cache);
+            let hot = mapper.map_cached(&free, &req, &strategy, &mut cache);
+            prop_assert_eq!(&cold, &uncached, "cold pass equals uncached");
+            prop_assert_eq!(&hot, &uncached, "cache hit equals uncached");
+            prop_assert_eq!(cache.stats().hits, 1, "second lookup must hit");
+            if let Ok(m) = &hot {
+                // Hit placements must still be valid for this free set.
+                let mut seen = std::collections::HashSet::new();
+                for n in m.phys_nodes() {
+                    prop_assert!(free.contains(*n), "placement uses only free cores");
+                    prop_assert!(seen.insert(*n), "placement is injective");
+                }
+            }
             Ok(())
         },
     );

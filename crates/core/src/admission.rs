@@ -68,6 +68,12 @@ pub struct AdmissionEvent {
     pub id: RequestId,
     /// What happened to it.
     pub outcome: AdmissionOutcome,
+    /// The hypervisor's cumulative meta-table configuration cycle counter
+    /// ([`crate::Hypervisor::total_config_cycles`]) at the instant this
+    /// decision was made, so a scheduler can stamp each placement with
+    /// only the configuration work accrued *up to that event* rather than
+    /// charging every admission in a tick for the whole tick's work.
+    pub config_cycles_total: u64,
 }
 
 #[derive(Debug)]

@@ -24,7 +24,7 @@ use vnpu_mem::buddy::{Block, BuddyAllocator};
 use vnpu_mem::rtt::RttEntry;
 use vnpu_mem::{Perm, PhysAddr, VirtAddr};
 use vnpu_sim::SocConfig;
-use vnpu_topo::cache::{CacheStats, FreeSet, MappingCache};
+use vnpu_topo::cache::{labeled_hash, CacheStats, FreeSet, MappingCache};
 use vnpu_topo::mapping::Mapper;
 use vnpu_topo::{NodeId, Topology};
 
@@ -44,6 +44,9 @@ pub const MAX_BLOCK_BYTES: u64 = 256 << 20;
 pub struct Hypervisor {
     cfg: SocConfig,
     topo: Arc<Topology>,
+    /// The chip's `labeled_hash` fingerprint, computed once so per-request
+    /// mappers don't re-hash the whole topology before a cache lookup.
+    phys_key: u64,
     core_users: Vec<u32>,
     /// The free-core region (`core_users[i] == 0`), maintained
     /// incrementally so the mapping hot path never rebuilds it.
@@ -80,8 +83,10 @@ impl Hypervisor {
         let mut mmio = MmioSpace::new();
         mmio.write_pf(Requester::Hypervisor, PfReg::HyperEnable, 1)
             .expect("hypervisor owns the PF");
+        let phys_key = labeled_hash(&topo);
         Hypervisor {
             topo: Arc::new(topo),
+            phys_key,
             core_users: vec![0; n],
             free_set: FreeSet::all_free(n),
             buddy: BuddyAllocator::new(PhysAddr(0x8_0000_0000), hbm_bytes, MIN_BLOCK_BYTES),
@@ -259,7 +264,7 @@ impl Hypervisor {
             None
         };
         let available = widened.as_ref().unwrap_or(&self.free_set);
-        let mapper = Mapper::new(&self.topo);
+        let mapper = Mapper::with_phys_key(&self.topo, self.phys_key);
         let mapping = mapper.map_cached(
             available,
             req.topology(),
@@ -478,6 +483,7 @@ impl Hypervisor {
                     events.push(AdmissionEvent {
                         id,
                         outcome: AdmissionOutcome::Admitted(vm),
+                        config_cycles_total: self.config_cycles,
                     });
                 }
                 Err(err) => {
@@ -487,6 +493,7 @@ impl Hypervisor {
                         events.push(AdmissionEvent {
                             id,
                             outcome: AdmissionOutcome::Rejected(err),
+                            config_cycles_total: self.config_cycles,
                         });
                     } else if self.admissions.blocks_on_failure() {
                         break;
@@ -889,6 +896,23 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].id, id);
         assert!(matches!(events[0].outcome, AdmissionOutcome::Admitted(_)));
+    }
+
+    #[test]
+    fn admission_events_stamp_config_cycles_incrementally() {
+        let mut h = hv();
+        h.submit(VnpuRequest::mesh(2, 2));
+        h.submit(VnpuRequest::mesh(2, 2));
+        let before = h.total_config_cycles();
+        let events = h.process_admissions();
+        let after = h.total_config_cycles();
+        assert_eq!(events.len(), 2);
+        // Each placement deploys its own meta-tables, so the per-event
+        // cumulative counters are strictly increasing and the first
+        // admission's stamp must not include the second's work.
+        assert!(before < events[0].config_cycles_total);
+        assert!(events[0].config_cycles_total < events[1].config_cycles_total);
+        assert_eq!(events[1].config_cycles_total, after);
     }
 
     #[test]

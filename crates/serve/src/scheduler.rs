@@ -9,7 +9,9 @@
 //! live tenant's per-core program into the machine and executes the
 //! epoch. Placement latency is measured in *controller cycles*: a fixed
 //! per-tick scheduling overhead plus the meta-table configuration cycles
-//! the hypervisor actually spends (the Figure 11 cost model).
+//! the hypervisor actually spends (the Figure 11 cost model), accrued
+//! incrementally so each placement is charged only the configuration
+//! work done up to its own admission decision.
 
 use crate::arrivals::{Arrival, ArrivalGenerator, TrafficConfig};
 use crate::report::{percentile, FragSample, ServeReport};
@@ -186,6 +188,15 @@ impl ServeRuntime {
         for vm in expired {
             self.retire(vm)?;
         }
+        // Departures may spend configuration cycles (meta-table
+        // teardown); fold them into the controller clock *before* this
+        // tick's arrivals are stamped, so pre-admission work never
+        // inflates their measured placement latency. Nothing between here
+        // and the admission pass touches the hypervisor's config-cycle
+        // counter, so `config_base` is also the pass's starting point.
+        let config_base = self.hv.total_config_cycles();
+        self.controller_cycles += config_base - self.accounted_config_cycles;
+        self.accounted_config_cycles = config_base;
 
         // 2. Arrivals enter the admission queue.
         let arrivals: Vec<Arrival> = self.generator.arrivals_for_tick(tick);
@@ -195,13 +206,15 @@ impl ServeRuntime {
             self.submitted_at.insert(id, self.controller_cycles);
         }
 
-        // 3. One admission pass; configuration cycles the hypervisor
-        //    spent deploying meta-tables are added to the controller
-        //    clock before stamping placements.
+        // 3. One admission pass. Configuration cycles are accounted
+        //    incrementally: every decision carries the hypervisor's
+        //    cumulative config-cycle counter at the moment it was made, so
+        //    each placement is stamped with only the configuration work
+        //    accrued up to *that* event — charging every admission in a
+        //    tick for the whole tick's meta-table deployments would
+        //    inflate p50/p99 time-to-placement whenever several
+        //    placements land on one tick.
         let events = self.hv.process_admissions();
-        let config_now = self.hv.total_config_cycles();
-        self.controller_cycles += config_now - self.accounted_config_cycles;
-        self.accounted_config_cycles = config_now;
         for event in events {
             let lifetime = self
                 .queued_lifetimes
@@ -214,8 +227,9 @@ impl ServeRuntime {
             match event.outcome {
                 AdmissionOutcome::Admitted(vm) => {
                     self.accepted += 1;
-                    self.placement_cycles
-                        .push(self.controller_cycles.saturating_sub(stamp));
+                    let decided_at =
+                        self.controller_cycles + (event.config_cycles_total - config_base);
+                    self.placement_cycles.push(decided_at.saturating_sub(stamp));
                     let name = format!("vm{}", vm.0);
                     let tenant = self.machine.add_tenant(&name);
                     self.live.insert(
@@ -232,6 +246,9 @@ impl ServeRuntime {
                 }
             }
         }
+        let config_now = self.hv.total_config_cycles();
+        self.controller_cycles += config_now - config_base;
+        self.accounted_config_cycles = config_now;
 
         // 4. Fragmentation sample (after admissions, before execution).
         let frag = self.hv.fragmentation();

@@ -114,6 +114,11 @@ impl CoreState {
     }
 }
 
+/// Minimum number of finished-epoch summaries [`Machine`] retains; see
+/// [`Machine::epoch_history`]. Bounded so a serving runtime driving one
+/// machine through millions of epochs does not accumulate memory.
+pub const EPOCH_HISTORY_CAP: usize = 4_096;
+
 /// The simulated NPU machine.
 pub struct Machine {
     cfg: SocConfig,
@@ -334,7 +339,11 @@ impl Machine {
         self.epoch_index
     }
 
-    /// Summaries of every finished epoch, oldest first.
+    /// Summaries of recently finished epochs, oldest first. Retention is
+    /// bounded — at least the most recent [`EPOCH_HISTORY_CAP`] epochs are
+    /// kept (at most twice that) — so a long-lived serving machine does
+    /// not grow memory with uptime; [`Machine::epoch_index`] still counts
+    /// every epoch ever finished.
     pub fn epoch_history(&self) -> &[EpochSummary] {
         &self.epoch_history
     }
@@ -361,6 +370,11 @@ impl Machine {
             .max()
             .unwrap_or(0)
             .max(self.epoch.now);
+        // Drop the oldest half in one batch (amortized O(1) per epoch)
+        // rather than shifting the whole vector on every finish.
+        if self.epoch_history.len() >= 2 * EPOCH_HISTORY_CAP {
+            self.epoch_history.drain(..EPOCH_HISTORY_CAP);
+        }
         self.epoch_history.push(EpochSummary {
             index: self.epoch_index,
             makespan,
@@ -879,6 +893,29 @@ mod tests {
         assert_eq!(fresh, reused, "epoch reuse must not leak timing state");
         assert_eq!(m.epoch_history().len(), 4);
         assert!(m.epoch_history().iter().all(|e| e.makespan == fresh));
+    }
+
+    #[test]
+    fn epoch_history_retention_is_bounded() {
+        let mut m = Machine::new(fpga());
+        let total = 2 * EPOCH_HISTORY_CAP + 5;
+        for _ in 0..total {
+            m.finish_epoch(); // empty epochs: summaries only
+        }
+        assert_eq!(m.epoch_index(), total as u64, "every epoch is counted");
+        let history = m.epoch_history();
+        assert!(history.len() <= 2 * EPOCH_HISTORY_CAP);
+        assert!(history.len() >= EPOCH_HISTORY_CAP, "recent epochs retained");
+        assert_eq!(
+            history.last().unwrap().index,
+            total as u64 - 1,
+            "the newest summary survives trimming"
+        );
+        // Contiguous, oldest first.
+        let first = history.first().unwrap().index;
+        for (i, e) in history.iter().enumerate() {
+            assert_eq!(e.index, first + i as u64);
+        }
     }
 
     #[test]

@@ -20,10 +20,16 @@
 //!   require an exhaustion proof over the candidate space).
 //!
 //! A hit returns a placement byte-identical to what the uncached strategy
-//! would produce on the same free set — the key includes a
-//! *label-sensitive* request hash precisely so two isomorphic but
+//! would produce on the same free set — the key includes a *label- and
+//! attribute-sensitive* request hash precisely so two isomorphic but
 //! differently-numbered requests can never alias (their virtual→physical
-//! assignments differ even when their canonical keys agree).
+//! assignments differ even when their canonical keys agree), and neither
+//! can two structurally-identical requests whose node or edge attributes
+//! (and therefore edit costs under the default cost model) differ. As a
+//! final guard, a hit is only trusted after every physical node of the
+//! cached placement is re-checked against the *current* free set, so a
+//! 64-bit fingerprint collision degrades to a cache miss instead of a
+//! silently double-allocated core.
 
 use crate::canonical::{canonical_key, CanonicalKey};
 use crate::mapping::{Mapping, Strategy};
@@ -176,13 +182,16 @@ impl FreeSet {
 /// Key of one memoized mapping attempt.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
-    /// Label-sensitive fingerprint of the *physical* topology, so one
-    /// cache shared across chips never aliases their entries.
+    /// Label- and attribute-sensitive fingerprint of the *physical*
+    /// topology, so one cache shared across chips never aliases their
+    /// entries.
     phys: u64,
     /// Isomorphism-class key of the request topology.
     canonical: CanonicalKey,
-    /// Label-sensitive request hash (adjacency in node order), so
-    /// isomorphic-but-relabeled requests never alias.
+    /// Label- and attribute-sensitive request hash (adjacency, node
+    /// attributes and edge costs in node order), so neither
+    /// isomorphic-but-relabeled requests nor cost-only variants ever
+    /// alias.
     labeled: u64,
     /// Strategy discriminant (kind, cap, disconnected mode).
     strategy: u64,
@@ -289,9 +298,23 @@ impl MappingCache {
         })
     }
 
-    /// Looks up a memoized result.
-    pub fn get(&mut self, key: &CacheKey) -> Option<Result<Mapping>> {
+    /// Looks up a memoized result, validating any cached *placement*
+    /// against the current free set.
+    ///
+    /// The free-region fingerprint in the key is a 64-bit XOR fold: a
+    /// collision is negligible per lookup but its failure mode — handing
+    /// out a placement over cores that are actually occupied, which the
+    /// hypervisor would then silently double-allocate — is state
+    /// corruption, not just a wrong score. So a successful mapping is
+    /// only returned when every one of its physical nodes is still free
+    /// (O(k) bitmask probes); a mismatch is treated as a miss, and the
+    /// recomputed result overwrites the colliding entry.
+    pub fn get(&mut self, key: &CacheKey, free: &FreeSet) -> Option<Result<Mapping>> {
         match self.entries.get(key) {
+            Some(Ok(m)) if !m.phys_nodes().iter().all(|&n| free.contains(n)) => {
+                self.stats.misses += 1;
+                None
+            }
             Some(r) => {
                 self.stats.hits += 1;
                 Some(r.clone())
@@ -343,16 +366,23 @@ impl MappingCache {
     }
 }
 
-/// Label-sensitive topology hash: node count, per-node kind, and adjacency
-/// lists in node order. Distinguishes relabelings that `canonical_key`
-/// deliberately identifies.
+/// Label- and attribute-sensitive topology hash: node count, per-node
+/// attributes (kind *and* memory distance), and adjacency lists with
+/// per-edge attributes (cost) in node order. Distinguishes relabelings
+/// that `canonical_key` deliberately identifies — and, just as
+/// importantly, attribute-only variants: the default cacheable
+/// [`crate::ged::UniformCosts`] charges `EdgeAttr.cost` on edge edits, so
+/// two requests differing only in edge costs (e.g. the traffic-scaled
+/// costs of a compiled workload's communication topology) produce
+/// different mappings and must never share a cache entry.
 pub fn labeled_hash(t: &Topology) -> u64 {
     let mut h = DefaultHasher::new();
     t.node_count().hash(&mut h);
     for n in t.nodes() {
-        (t.node_attr(n).kind as u64).hash(&mut h);
+        t.node_attr(n).hash(&mut h);
         for &v in t.neighbors(n) {
             v.0.hash(&mut h);
+            t.edge_attr(n, v).unwrap_or_default().hash(&mut h);
         }
         u32::MAX.hash(&mut h); // adjacency-list separator
     }
@@ -432,6 +462,114 @@ mod tests {
         // And identical to the uncached result on the same free set.
         let uncached = mapper.map_in(&free, &req, &strategy).unwrap();
         assert_eq!(first, uncached);
+    }
+
+    #[test]
+    fn requests_differing_only_in_edge_costs_do_not_alias() {
+        // Same structure, same labels — only the edge costs differ (the
+        // shape a compiled workload's comm_topology produces). Under the
+        // default UniformCosts the edit distance depends on those costs,
+        // so the two requests must occupy distinct cache entries and each
+        // must match its own uncached result.
+        let cheap = line_with_costs(&[1, 1]);
+        let dear = line_with_costs(&[1, 5]);
+        assert_ne!(labeled_hash(&cheap), labeled_hash(&dear));
+
+        let phys = Topology::mesh2d(3, 3);
+        let mapper = Mapper::new(&phys);
+        let strategy = Strategy::similar_topology().threads(1);
+        let free = FreeSet::from_free_nodes(9, &[0, 1, 2, 3, 5].map(NodeId));
+        let mut cache = MappingCache::default();
+        let got_cheap = mapper
+            .map_cached(&free, &cheap, &strategy, &mut cache)
+            .unwrap();
+        let got_dear = mapper
+            .map_cached(&free, &dear, &strategy, &mut cache)
+            .unwrap();
+        assert_eq!(cache.stats().hits, 0, "cost variants must not alias");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(got_cheap, mapper.map_in(&free, &cheap, &strategy).unwrap());
+        assert_eq!(got_dear, mapper.map_in(&free, &dear, &strategy).unwrap());
+    }
+
+    #[test]
+    fn requests_differing_only_in_node_attrs_do_not_alias() {
+        let plain = Topology::line(3);
+        let mut far = Topology::line(3);
+        far.node_attr_mut(NodeId(2)).mem_distance = 7;
+        assert_ne!(labeled_hash(&plain), labeled_hash(&far));
+    }
+
+    /// A 3-node line whose two edges carry the given deletion costs.
+    fn line_with_costs(costs: &[u64; 2]) -> Topology {
+        let mut t = Topology::empty(3);
+        for (i, &cost) in costs.iter().enumerate() {
+            t.add_edge_with(
+                NodeId(i as u32),
+                NodeId(i as u32 + 1),
+                crate::EdgeAttr { cost },
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn fingerprint_collision_reads_as_miss_not_stale_placement() {
+        // A hit is only trusted after its placement is re-checked against
+        // the live free set: simulate a 64-bit fingerprint collision by
+        // presenting the cached key alongside a free set in which the
+        // cached placement's cores are occupied.
+        let phys = Topology::mesh2d(3, 3);
+        let mapper = Mapper::new(&phys);
+        let req = Topology::line(2);
+        let strategy = Strategy::similar_topology().threads(1);
+        let mut cache = MappingCache::default();
+        let free = FreeSet::all_free(9);
+        let placed = mapper
+            .map_cached(&free, &req, &strategy, &mut cache)
+            .unwrap();
+        let key = cache
+            .key_for(labeled_hash(&phys), &req, &strategy, &free)
+            .unwrap();
+        assert!(
+            cache.get(&key, &free).is_some(),
+            "sanity: the entry hits against its own free set"
+        );
+        let mut collided = free.clone();
+        collided.occupy_all(placed.phys_nodes());
+        assert!(
+            cache.get(&key, &collided).is_none(),
+            "a placement over occupied cores must degrade to a miss"
+        );
+    }
+
+    #[test]
+    fn mismatched_free_set_does_not_poison_the_cache() {
+        // The free-region fingerprint is capacity-independent, so a
+        // 4-node all-free set aliases the 9-node region {0,1,2,3}. The
+        // mismatch must error before the cache is touched — memoizing it
+        // would permanently reject the valid region it aliases.
+        let phys = Topology::mesh2d(3, 3);
+        let mapper = Mapper::new(&phys);
+        let req = Topology::line(2);
+        let strategy = Strategy::similar_topology().threads(1);
+        let mut cache = MappingCache::default();
+        let wrong = FreeSet::all_free(4);
+        let valid = FreeSet::from_free_nodes(9, &[0, 1, 2, 3].map(NodeId));
+        assert_eq!(wrong.fingerprint(), valid.fingerprint());
+        assert!(matches!(
+            mapper.map_cached(&wrong, &req, &strategy, &mut cache),
+            Err(crate::TopoError::FreeSetMismatch {
+                set: 4,
+                topology: 9
+            })
+        ));
+        assert!(cache.is_empty(), "the mismatch must not be memoized");
+        let placed = mapper
+            .map_cached(&valid, &req, &strategy, &mut cache)
+            .unwrap();
+        assert_eq!(placed, mapper.map_in(&valid, &req, &strategy).unwrap());
     }
 
     #[test]

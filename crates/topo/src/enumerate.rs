@@ -59,6 +59,14 @@ pub fn enumerate_connected(
 /// the occupancy mask is reused as-is instead of being rebuilt from a node
 /// list — the hot-path entry point for online serving, where the free set
 /// changes by small deltas between requests.
+///
+/// # Panics
+///
+/// Panics when `free` tracks a different node count than `topo` — the
+/// mask is indexed by physical node id, so a mismatched set is a caller
+/// bug, not an enumerable state. [`crate::mapping::Mapper::map_in`]
+/// surfaces the same condition gracefully as
+/// [`crate::TopoError::FreeSetMismatch`].
 pub fn enumerate_connected_in(
     topo: &Topology,
     free: &FreeSet,
@@ -66,6 +74,11 @@ pub fn enumerate_connected_in(
     cap: usize,
     mut visit: impl FnMut(&[NodeId]) -> Visit,
 ) -> usize {
+    assert_eq!(
+        free.capacity(),
+        topo.node_count(),
+        "free set sized for a different topology"
+    );
     if k == 0 || free.free_count() < k {
         return 0;
     }
@@ -193,12 +206,21 @@ pub fn mesh_rectangles(
 }
 
 /// [`mesh_rectangles`] over a prebuilt [`FreeSet`] (no mask rebuild).
+///
+/// # Panics
+///
+/// As for [`enumerate_connected_in`]: `free` must be sized for `topo`.
 pub fn mesh_rectangles_in(
     topo: &Topology,
     free: &FreeSet,
     req_w: u32,
     req_h: u32,
 ) -> Option<Vec<Vec<NodeId>>> {
+    assert_eq!(
+        free.capacity(),
+        topo.node_count(),
+        "free set sized for a different topology"
+    );
     let shape = topo.mesh_shape()?;
     let is_free = free.mask();
     let mut out = Vec::new();

@@ -85,6 +85,13 @@ pub enum TopoError {
     },
     /// No candidate satisfying the constraints (e.g. connectivity) exists.
     NoCandidate,
+    /// A free set sized for a different topology was supplied to a mapper.
+    FreeSetMismatch {
+        /// Nodes tracked by the free set.
+        set: usize,
+        /// Nodes in the physical topology.
+        topology: usize,
+    },
     /// The requested mesh dimensions were degenerate (zero-sized).
     EmptyMesh,
     /// A routing path was requested between nodes that are not connected
@@ -112,6 +119,10 @@ impl fmt::Display for TopoError {
                 "requested {requested} nodes but only {available} are free"
             ),
             TopoError::NoCandidate => write!(f, "no candidate topology satisfies the constraints"),
+            TopoError::FreeSetMismatch { set, topology } => write!(
+                f,
+                "free set tracks {set} nodes but the topology has {topology}"
+            ),
             TopoError::EmptyMesh => write!(f, "mesh dimensions must be non-zero"),
             TopoError::Unroutable { src, dst } => {
                 write!(

@@ -222,10 +222,22 @@ pub struct Mapper<'a> {
 impl<'a> Mapper<'a> {
     /// Creates a mapper over the given physical topology.
     pub fn new(phys: &'a Topology) -> Self {
-        Mapper {
-            phys,
-            phys_key: crate::cache::labeled_hash(phys),
-        }
+        Self::with_phys_key(phys, crate::cache::labeled_hash(phys))
+    }
+
+    /// Creates a mapper with a precomputed physical-topology fingerprint,
+    /// so long-lived callers admitting requests in a loop don't re-hash
+    /// the whole chip (O(nodes + edges)) on every attempt just to consult
+    /// the cache. `phys_key` must equal
+    /// [`crate::cache::labeled_hash`]`(phys)` — a wrong key silently
+    /// aliases cache entries across chips.
+    pub fn with_phys_key(phys: &'a Topology, phys_key: u64) -> Self {
+        Mapper { phys, phys_key }
+    }
+
+    /// The physical topology's [`crate::cache::labeled_hash`] fingerprint.
+    pub fn phys_key(&self) -> u64 {
+        self.phys_key
     }
 
     /// Allocates physical nodes for the requested virtual topology `req`
@@ -247,8 +259,17 @@ impl<'a> Mapper<'a> {
     ///
     /// # Errors
     ///
-    /// As for [`Mapper::map`].
+    /// As for [`Mapper::map`], plus [`TopoError::FreeSetMismatch`] when
+    /// `free` tracks a different node count than the physical topology
+    /// (the candidate enumerators index the mask by physical node id, so
+    /// an undersized set would otherwise panic).
     pub fn map_in(&self, free: &FreeSet, req: &Topology, strategy: &Strategy) -> Result<Mapping> {
+        if free.capacity() != self.phys.node_count() {
+            return Err(TopoError::FreeSetMismatch {
+                set: free.capacity(),
+                topology: self.phys.node_count(),
+            });
+        }
         let k = req.node_count();
         if free.free_count() < k {
             return Err(TopoError::InsufficientNodes {
@@ -281,7 +302,7 @@ impl<'a> Mapper<'a> {
     ///
     /// # Errors
     ///
-    /// As for [`Mapper::map`] (memoized errors replay identically).
+    /// As for [`Mapper::map_in`] (memoized errors replay identically).
     pub fn map_cached(
         &self,
         free: &FreeSet,
@@ -289,10 +310,21 @@ impl<'a> Mapper<'a> {
         strategy: &Strategy,
         cache: &mut MappingCache,
     ) -> Result<Mapping> {
+        // Checked before the cache is touched: the free-region fingerprint
+        // is capacity-independent, so a wrong-capacity set would alias the
+        // correctly-sized region with the same free membership — memoizing
+        // the mismatch error (or replaying a placement) under that key
+        // would poison it for valid callers.
+        if free.capacity() != self.phys.node_count() {
+            return Err(TopoError::FreeSetMismatch {
+                set: free.capacity(),
+                topology: self.phys.node_count(),
+            });
+        }
         let Some(key) = cache.key_for(self.phys_key, req, strategy, free) else {
             return self.map_in(free, req, strategy);
         };
-        if let Some(result) = cache.get(&key) {
+        if let Some(result) = cache.get(&key, free) {
             return result;
         }
         let result = self.map_in(free, req, strategy);
@@ -550,6 +582,33 @@ mod tests {
 
     fn free_except(t: &Topology, taken: &[u32]) -> Vec<NodeId> {
         t.nodes().filter(|n| !taken.contains(&n.0)).collect()
+    }
+
+    #[test]
+    fn mismatched_free_set_is_an_error_not_a_panic() {
+        // The enumerators index the free mask by physical node id, so a
+        // set sized for a different chip must be rejected up front.
+        let phys = Topology::mesh2d(3, 3);
+        let mapper = Mapper::new(&phys);
+        let small = FreeSet::all_free(4);
+        let err = mapper
+            .map_in(&small, &Topology::line(2), &Strategy::similar_topology())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TopoError::FreeSetMismatch {
+                set: 4,
+                topology: 9
+            }
+        ));
+    }
+
+    #[test]
+    fn with_phys_key_matches_new() {
+        let phys = Topology::mesh2d(3, 3);
+        let from_new = Mapper::new(&phys);
+        let precomputed = Mapper::with_phys_key(&phys, crate::cache::labeled_hash(&phys));
+        assert_eq!(from_new.phys_key(), precomputed.phys_key());
     }
 
     #[test]

@@ -12,14 +12,24 @@
 //! transactional (a failed placement changes nothing, exactly as a failed
 //! [`Hypervisor::create_vnpu`] rolls back its partial allocations).
 //!
+//! [`AdmissionPolicy`] is an open, object-safe trait — NeuroVM-style
+//! dynamic virtualization layers want pluggable allocation policies, not
+//! a closed enum. Five implementations ship: [`Fifo`], [`SmallestFirst`],
+//! [`RetryAfterFree`], [`Backfill`] (conservative backfilling past a
+//! blocked head) and [`Aging`] (smallest-first with head-of-line
+//! reservation for starved requests). The legacy closed enum survives as
+//! the deprecated [`AdmissionPolicyKind`] shim.
+//!
 //! [`Hypervisor::submit`]: crate::Hypervisor::submit
 //! [`Hypervisor::process_admissions`]: crate::Hypervisor::process_admissions
+//! [`Hypervisor::create_vnpu`]: crate::Hypervisor::create_vnpu
 
 use crate::ids::VmId;
 use crate::vnpu::VnpuRequest;
 use crate::VnpuError;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a queued admission request (dense, starting at 0).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -31,23 +41,259 @@ impl fmt::Display for RequestId {
     }
 }
 
+/// Read-only snapshot of one queued request, handed to
+/// [`AdmissionPolicy`] implementations. `RequestId`s are assigned in
+/// arrival order, so `id` doubles as the arrival rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingView {
+    /// The request's queue identifier (arrival-ordered).
+    pub id: RequestId,
+    /// Cores the request asks for.
+    pub cores: u32,
+    /// Guest-memory bytes the request asks for.
+    pub memory_bytes: u64,
+    /// Whether the request accepts temporal sharing (§7): placement may
+    /// widen onto busy cores, so core-availability filters must not
+    /// assume `cores` free cores are required.
+    pub temporal_sharing: bool,
+    /// Failed placement attempts so far.
+    pub attempts: u32,
+    /// Value of the free-event counter at the last failed attempt
+    /// (`None` until the first failure).
+    pub last_failure_at_free_event: Option<u64>,
+}
+
+/// What the admission engine does after a queued request fails to place
+/// (non-terminally) during a tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureAction {
+    /// Stop the tick — head-of-line blocking.
+    Block,
+    /// Keep attempting the remaining requests in order.
+    Continue,
+    /// Keep going, but only for requests strictly smaller (fewer cores)
+    /// than the given bound — backfilling: small requests may slip past
+    /// the blocked head. There is no capacity reservation, so backfilled
+    /// requests *can* consume cores the head is waiting for and delay it;
+    /// pair with an attempt budget or an aging policy when head
+    /// starvation matters.
+    BackfillBelow(u32),
+}
+
 /// How the admission queue orders and retries placement attempts.
+///
+/// Object-safe so deployments can ship their own policies; the queue
+/// holds policies as `Arc<dyn AdmissionPolicy>` and never mutates them —
+/// a policy's decisions must be pure functions of the queue snapshot, or
+/// determinism (and report reproducibility) breaks.
+pub trait AdmissionPolicy: fmt::Debug + Send + Sync {
+    /// Short name for reports and debugging.
+    fn name(&self) -> &'static str;
+
+    /// The requests to attempt this tick, in order. `pending` is the
+    /// queue in arrival order; `free_events` is the owner's monotone
+    /// resource-freeing counter (drives retry-after-free style policies).
+    /// IDs not currently queued are ignored by the engine.
+    fn attempt_order(&self, pending: &[PendingView], free_events: u64) -> Vec<RequestId>;
+
+    /// Called after `failed` (attempt count already updated) failed
+    /// non-terminally; decides whether the tick continues.
+    fn after_failure(&self, failed: &PendingView) -> FailureAction;
+}
+
+/// Strict arrival order with head-of-line blocking: a tick stops at the
+/// first request that fails to place.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl AdmissionPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn attempt_order(&self, pending: &[PendingView], _free_events: u64) -> Vec<RequestId> {
+        pending.iter().map(|p| p.id).collect()
+    }
+
+    fn after_failure(&self, _failed: &PendingView) -> FailureAction {
+        FailureAction::Block
+    }
+}
+
+/// Attempt the smallest (fewest-core) request first each tick, skipping
+/// over failures — trades head-of-line blocking for possible starvation
+/// of large requests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SmallestFirst;
+
+impl AdmissionPolicy for SmallestFirst {
+    fn name(&self) -> &'static str {
+        "smallest-first"
+    }
+
+    fn attempt_order(&self, pending: &[PendingView], _free_events: u64) -> Vec<RequestId> {
+        let mut ids: Vec<(u32, RequestId)> = pending.iter().map(|p| (p.cores, p.id)).collect();
+        // Stable under equal sizes: arrival order breaks ties because
+        // `RequestId`s are assigned in arrival order.
+        ids.sort();
+        ids.into_iter().map(|(_, id)| id).collect()
+    }
+
+    fn after_failure(&self, _failed: &PendingView) -> FailureAction {
+        FailureAction::Continue
+    }
+}
+
+/// Arrival order, but a request that has already failed is only
+/// re-attempted after at least one resource-freeing event since its last
+/// attempt (nothing was freed, so retrying would burn an enumeration for
+/// the same answer — though the mapping cache would memoize it anyway).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RetryAfterFree;
+
+impl AdmissionPolicy for RetryAfterFree {
+    fn name(&self) -> &'static str {
+        "retry-after-free"
+    }
+
+    fn attempt_order(&self, pending: &[PendingView], free_events: u64) -> Vec<RequestId> {
+        pending
+            .iter()
+            .filter(|p| match p.last_failure_at_free_event {
+                None => true,
+                Some(at) => free_events > at,
+            })
+            .map(|p| p.id)
+            .collect()
+    }
+
+    fn after_failure(&self, _failed: &PendingView) -> FailureAction {
+        FailureAction::Block
+    }
+}
+
+/// Backfilling: arrival order, and when a request fails the tick
+/// continues only for *strictly smaller* requests — they slip into the
+/// gaps the blocked head cannot use right now (same-or-larger requests
+/// are held back). No capacity is *reserved* for the head, so a steady
+/// stream of small arrivals can still delay or starve it; cap the
+/// damage with [`AdmissionQueue::set_max_attempts`] or switch to
+/// [`Aging`], whose reservation threshold exists for exactly this.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Backfill;
+
+impl AdmissionPolicy for Backfill {
+    fn name(&self) -> &'static str {
+        "backfill"
+    }
+
+    fn attempt_order(&self, pending: &[PendingView], _free_events: u64) -> Vec<RequestId> {
+        pending.iter().map(|p| p.id).collect()
+    }
+
+    fn after_failure(&self, failed: &PendingView) -> FailureAction {
+        FailureAction::BackfillBelow(failed.cores)
+    }
+}
+
+/// Smallest-first with aging: every failed attempt shrinks a request's
+/// *effective* size by [`Aging::boost_per_attempt`], so a starved large
+/// request eventually sorts ahead of fresh small ones; once it has
+/// failed [`Aging::reserve_after_attempts`] times it additionally gains
+/// head-of-line reservation (its failure blocks the tick, so younger
+/// requests can no longer eat every departure ahead of it).
+#[derive(Debug, Clone, Copy)]
+pub struct Aging {
+    /// Effective-size discount per failed attempt (cores).
+    pub boost_per_attempt: u32,
+    /// Failed attempts after which the request blocks the tick on
+    /// failure, reserving freed capacity for itself.
+    pub reserve_after_attempts: u32,
+}
+
+impl Default for Aging {
+    fn default() -> Self {
+        Aging {
+            boost_per_attempt: 1,
+            reserve_after_attempts: 8,
+        }
+    }
+}
+
+impl AdmissionPolicy for Aging {
+    fn name(&self) -> &'static str {
+        "aging"
+    }
+
+    fn attempt_order(&self, pending: &[PendingView], _free_events: u64) -> Vec<RequestId> {
+        let mut ids: Vec<(u32, RequestId)> = pending
+            .iter()
+            .map(|p| {
+                (
+                    p.cores
+                        .saturating_sub(p.attempts.saturating_mul(self.boost_per_attempt)),
+                    p.id,
+                )
+            })
+            .collect();
+        // Ties (equal effective size) break by arrival order via the ID.
+        ids.sort();
+        ids.into_iter().map(|(_, id)| id).collect()
+    }
+
+    fn after_failure(&self, failed: &PendingView) -> FailureAction {
+        if failed.attempts >= self.reserve_after_attempts {
+            FailureAction::Block
+        } else {
+            FailureAction::Continue
+        }
+    }
+}
+
+/// The legacy closed policy enum. `AdmissionPolicy` now names the open
+/// trait, so pre-redesign call sites migrate by renaming the type —
+/// `set_admission_policy(AdmissionPolicy::Fifo)` becomes
+/// `set_admission_policy(AdmissionPolicyKind::Fifo)` — and the
+/// (deprecated) [`crate::Hypervisor::set_admission_policy`] shim keeps
+/// the method itself working. New code should construct trait objects
+/// ([`Fifo`], [`SmallestFirst`], [`RetryAfterFree`], [`Backfill`],
+/// [`Aging`], or its own [`AdmissionPolicy`] impl) directly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum AdmissionPolicy {
-    /// Strict arrival order with head-of-line blocking: a tick stops at
-    /// the first request that fails to place.
+pub enum AdmissionPolicyKind {
+    /// See [`Fifo`].
     #[default]
     Fifo,
-    /// Attempt the smallest (fewest-core) request first each tick,
-    /// skipping over failures — trades head-of-line blocking for possible
-    /// starvation of large requests.
+    /// See [`SmallestFirst`].
     SmallestFirst,
-    /// Arrival order, but a request that has already failed is only
-    /// re-attempted after at least one vNPU has been destroyed since its
-    /// last attempt (nothing was freed, so retrying would burn an
-    /// enumeration for the same answer — though the mapping cache would
-    /// memoize it anyway).
+    /// See [`RetryAfterFree`].
     RetryAfterFree,
+}
+
+impl AdmissionPolicyKind {
+    /// The trait-object equivalent of this legacy variant.
+    pub fn to_policy(self) -> Arc<dyn AdmissionPolicy> {
+        match self {
+            AdmissionPolicyKind::Fifo => Arc::new(Fifo),
+            AdmissionPolicyKind::SmallestFirst => Arc::new(SmallestFirst),
+            AdmissionPolicyKind::RetryAfterFree => Arc::new(RetryAfterFree),
+        }
+    }
+}
+
+/// The largest request shape that would place *right now*, attached to
+/// terminal rejections so a tenant (or an auto-scaling client) can
+/// resubmit something that fits instead of blindly retrying. Probed
+/// through the mapping cache, so repeated rejections against an
+/// unchanged free region reuse the memoized exhaustion proofs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FitHint {
+    /// Cores of the fitting shape.
+    pub cores: u32,
+    /// Mesh width of the probed near-square shape.
+    pub width: u32,
+    /// Mesh height of the probed near-square shape (`width × height ≥
+    /// cores`; the last row may be partial for awkward counts).
+    pub height: u32,
 }
 
 /// Terminal outcome of one queued request during an admission tick.
@@ -74,6 +320,12 @@ pub struct AdmissionEvent {
     /// only the configuration work accrued *up to that event* rather than
     /// charging every admission in a tick for the whole tick's work.
     pub config_cycles_total: u64,
+    /// On a terminal rejection for want of a candidate
+    /// ([`VnpuError::Mapping`] with
+    /// [`vnpu_topo::TopoError::NoCandidate`]): the largest request shape
+    /// that *would* currently fit, if any. `None` on admissions and on
+    /// rejections with other causes.
+    pub fit_hint: Option<FitHint>,
 }
 
 #[derive(Debug)]
@@ -86,24 +338,37 @@ pub(crate) struct PendingRequest {
     pub last_failure_at_free_event: Option<u64>,
 }
 
+impl PendingRequest {
+    pub(crate) fn view(&self) -> PendingView {
+        PendingView {
+            id: self.id,
+            cores: self.req.core_count(),
+            memory_bytes: self.req.memory_bytes(),
+            temporal_sharing: self.req.wants_temporal_sharing(),
+            attempts: self.attempts,
+            last_failure_at_free_event: self.last_failure_at_free_event,
+        }
+    }
+}
+
 /// The pending-request queue with its policy and attempt budget.
 #[derive(Debug)]
 pub struct AdmissionQueue {
     pending: VecDeque<PendingRequest>,
-    policy: AdmissionPolicy,
+    policy: Arc<dyn AdmissionPolicy>,
     max_attempts: Option<u32>,
     next_id: u64,
 }
 
 impl Default for AdmissionQueue {
     fn default() -> Self {
-        Self::new(AdmissionPolicy::default())
+        Self::new(Arc::new(Fifo))
     }
 }
 
 impl AdmissionQueue {
     /// An empty queue under `policy` with an unlimited attempt budget.
-    pub fn new(policy: AdmissionPolicy) -> Self {
+    pub fn new(policy: Arc<dyn AdmissionPolicy>) -> Self {
         AdmissionQueue {
             pending: VecDeque::new(),
             policy,
@@ -119,12 +384,12 @@ impl AdmissionQueue {
     }
 
     /// The active ordering policy.
-    pub fn policy(&self) -> AdmissionPolicy {
-        self.policy
+    pub fn policy(&self) -> &Arc<dyn AdmissionPolicy> {
+        &self.policy
     }
 
     /// Replaces the ordering policy (queued requests are kept).
-    pub fn set_policy(&mut self, policy: AdmissionPolicy) {
+    pub fn set_policy(&mut self, policy: Arc<dyn AdmissionPolicy>) {
         self.policy = policy;
     }
 
@@ -141,6 +406,11 @@ impl AdmissionQueue {
     /// IDs currently queued, in arrival order.
     pub fn queued_ids(&self) -> Vec<RequestId> {
         self.pending.iter().map(|p| p.id).collect()
+    }
+
+    /// Snapshots of the queued requests, in arrival order.
+    pub fn views(&self) -> Vec<PendingView> {
+        self.pending.iter().map(|p| p.view()).collect()
     }
 
     /// The attempt budget.
@@ -160,41 +430,19 @@ impl AdmissionQueue {
         id
     }
 
-    /// The IDs to attempt this tick, in policy order. `free_events` is the
-    /// hypervisor's monotone destroy counter (drives `RetryAfterFree`).
+    /// The IDs to attempt this tick, in policy order. `free_events` is
+    /// the owner's monotone resource-freeing counter.
     pub(crate) fn attempt_order(&self, free_events: u64) -> Vec<RequestId> {
-        match self.policy {
-            AdmissionPolicy::Fifo => self.pending.iter().map(|p| p.id).collect(),
-            AdmissionPolicy::SmallestFirst => {
-                let mut ids: Vec<(u32, RequestId)> = self
-                    .pending
-                    .iter()
-                    .map(|p| (p.req.core_count(), p.id))
-                    .collect();
-                // Stable under equal sizes: arrival order breaks ties
-                // because `RequestId`s are assigned in arrival order.
-                ids.sort();
-                ids.into_iter().map(|(_, id)| id).collect()
-            }
-            AdmissionPolicy::RetryAfterFree => self
-                .pending
-                .iter()
-                .filter(|p| match p.last_failure_at_free_event {
-                    None => true,
-                    Some(at) => free_events > at,
-                })
-                .map(|p| p.id)
-                .collect(),
-        }
+        self.policy.attempt_order(&self.views(), free_events)
     }
 
-    /// Whether a failed attempt under this policy ends the tick
-    /// (head-of-line blocking).
-    pub(crate) fn blocks_on_failure(&self) -> bool {
-        matches!(
-            self.policy,
-            AdmissionPolicy::Fifo | AdmissionPolicy::RetryAfterFree
-        )
+    /// The policy's verdict on continuing the tick after `id` failed
+    /// non-terminally (call after [`AdmissionQueue::mark_failed`]).
+    pub(crate) fn failure_action(&self, id: RequestId) -> FailureAction {
+        match self.request(id) {
+            Some(p) => self.policy.after_failure(&p.view()),
+            None => FailureAction::Continue,
+        }
     }
 
     pub(crate) fn request(&self, id: RequestId) -> Option<&PendingRequest> {
@@ -215,6 +463,70 @@ impl AdmissionQueue {
         p.attempts += 1;
         p.last_failure_at_free_event = Some(free_events);
         self.max_attempts.is_some_and(|m| p.attempts >= m)
+    }
+}
+
+/// What the shared tick engine decided about a request whose placement
+/// attempt just failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TickVerdict {
+    /// Terminal: the request was removed from the queue; the caller
+    /// emits a rejection event.
+    Reject,
+    /// The request stays queued; the tick keeps attempting others.
+    Defer,
+    /// The request stays queued and the tick ends now (head-of-line
+    /// blocking).
+    EndTick,
+}
+
+/// Per-tick bookkeeping shared by the single-chip
+/// ([`crate::Hypervisor::process_admissions`]) and cluster
+/// ([`crate::cluster::Cluster::process_admissions`]) admission engines,
+/// so their semantics cannot diverge: backfill narrowing, attempt
+/// accounting, terminal/budget rejection, and [`FailureAction`]
+/// dispatch all live here. The callers own only what genuinely differs —
+/// where a request is attempted and what a rejection event carries.
+#[derive(Debug, Default)]
+pub(crate) struct AdmissionTick {
+    /// Once a policy answers [`FailureAction::BackfillBelow`], only
+    /// strictly smaller requests are attempted for the rest of the tick
+    /// (the bound only ever tightens).
+    backfill_limit: Option<u32>,
+}
+
+impl AdmissionTick {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether backfill narrowing skips this request outright.
+    pub(crate) fn skips(&self, view: &PendingView) -> bool {
+        self.backfill_limit.is_some_and(|limit| view.cores >= limit)
+    }
+
+    /// Accounts a failed attempt and decides how the tick proceeds; on
+    /// [`TickVerdict::Reject`] the request has been removed.
+    pub(crate) fn on_failure(
+        &mut self,
+        queue: &mut AdmissionQueue,
+        id: RequestId,
+        free_events: u64,
+        terminal: bool,
+    ) -> TickVerdict {
+        let budget_spent = queue.mark_failed(id, free_events);
+        if terminal || budget_spent {
+            queue.remove(id);
+            return TickVerdict::Reject;
+        }
+        match queue.failure_action(id) {
+            FailureAction::Block => TickVerdict::EndTick,
+            FailureAction::Continue => TickVerdict::Defer,
+            FailureAction::BackfillBelow(limit) => {
+                self.backfill_limit = Some(self.backfill_limit.map_or(limit, |l| l.min(limit)));
+                TickVerdict::Defer
+            }
+        }
     }
 }
 
@@ -246,33 +558,33 @@ pub struct FragmentationStats {
 mod tests {
     use super::*;
 
-    fn q(policy: AdmissionPolicy) -> AdmissionQueue {
+    fn q(policy: Arc<dyn AdmissionPolicy>) -> AdmissionQueue {
         AdmissionQueue::new(policy)
     }
 
     #[test]
-    fn fifo_orders_by_arrival() {
-        let mut queue = q(AdmissionPolicy::Fifo);
+    fn fifo_orders_by_arrival_and_blocks() {
+        let mut queue = q(Arc::new(Fifo));
         let a = queue.push(VnpuRequest::mesh(3, 3));
         let b = queue.push(VnpuRequest::mesh(1, 1));
         assert_eq!(queue.attempt_order(0), vec![a, b]);
-        assert!(queue.blocks_on_failure());
+        assert_eq!(queue.failure_action(a), FailureAction::Block);
     }
 
     #[test]
     fn smallest_first_orders_by_core_count_then_arrival() {
-        let mut queue = q(AdmissionPolicy::SmallestFirst);
+        let mut queue = q(Arc::new(SmallestFirst));
         let big = queue.push(VnpuRequest::mesh(3, 3));
         let small_a = queue.push(VnpuRequest::mesh(1, 2));
         let small_b = queue.push(VnpuRequest::mesh(2, 1));
         // 2-core requests first (arrival order between them), then 9-core.
         assert_eq!(queue.attempt_order(0), vec![small_a, small_b, big]);
-        assert!(!queue.blocks_on_failure());
+        assert_eq!(queue.failure_action(small_a), FailureAction::Continue);
     }
 
     #[test]
     fn retry_after_free_skips_until_a_destroy() {
-        let mut queue = q(AdmissionPolicy::RetryAfterFree);
+        let mut queue = q(Arc::new(RetryAfterFree));
         let a = queue.push(VnpuRequest::mesh(2, 2));
         assert_eq!(queue.attempt_order(0), vec![a]);
         assert!(!queue.mark_failed(a, 0));
@@ -283,8 +595,41 @@ mod tests {
     }
 
     #[test]
+    fn backfill_lets_only_smaller_requests_past_a_blocked_head() {
+        let mut queue = q(Arc::new(Backfill));
+        let big = queue.push(VnpuRequest::mesh(3, 3));
+        let same = queue.push(VnpuRequest::mesh(3, 3));
+        let small = queue.push(VnpuRequest::mesh(1, 2));
+        assert_eq!(queue.attempt_order(0), vec![big, same, small]);
+        queue.mark_failed(big, 0);
+        // The engine narrows to requests strictly below the failed size.
+        assert_eq!(queue.failure_action(big), FailureAction::BackfillBelow(9));
+    }
+
+    #[test]
+    fn aging_promotes_starved_requests_and_eventually_reserves() {
+        let aging = Aging {
+            boost_per_attempt: 2,
+            reserve_after_attempts: 3,
+        };
+        let mut queue = q(Arc::new(aging));
+        let big = queue.push(VnpuRequest::mesh(2, 3)); // 6 cores
+        let small = queue.push(VnpuRequest::mesh(2, 2)); // 4 cores
+        assert_eq!(queue.attempt_order(0), vec![small, big]);
+        // Two failures discount the big request to an effective 2 cores:
+        // it now sorts ahead of the fresh 4-core request.
+        queue.mark_failed(big, 0);
+        queue.mark_failed(big, 0);
+        assert_eq!(queue.attempt_order(0), vec![big, small]);
+        assert_eq!(queue.failure_action(big), FailureAction::Continue);
+        // A third failure reaches the reservation threshold.
+        queue.mark_failed(big, 0);
+        assert_eq!(queue.failure_action(big), FailureAction::Block);
+    }
+
+    #[test]
     fn attempt_budget_trips_after_max() {
-        let mut queue = q(AdmissionPolicy::Fifo);
+        let mut queue = q(Arc::new(Fifo));
         queue.set_max_attempts(Some(2));
         let a = queue.push(VnpuRequest::mesh(2, 2));
         assert!(!queue.mark_failed(a, 0));
@@ -294,5 +639,18 @@ mod tests {
         );
         queue.remove(a).unwrap();
         assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn legacy_kinds_map_to_trait_objects() {
+        assert_eq!(AdmissionPolicyKind::Fifo.to_policy().name(), "fifo");
+        assert_eq!(
+            AdmissionPolicyKind::SmallestFirst.to_policy().name(),
+            "smallest-first"
+        );
+        assert_eq!(
+            AdmissionPolicyKind::RetryAfterFree.to_policy().name(),
+            "retry-after-free"
+        );
     }
 }

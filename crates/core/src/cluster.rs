@@ -1,0 +1,817 @@
+//! The cluster facade: several [`Hypervisor`]-managed chips behind one
+//! admission queue — the fleet shape datacenter accelerator serving
+//! actually takes (pods of chips, not a chip).
+//!
+//! The paper virtualizes one inter-core-connected NPU; its admission and
+//! mapping machinery is chip-local. A [`Cluster`] lifts that to N chips
+//! (heterogeneous [`SocConfig`]s allowed) with three pieces:
+//!
+//! * a **cluster-level admission queue** reusing the same open
+//!   [`AdmissionPolicy`] trait objects the single-chip path uses — one
+//!   policy orders requests across the whole fleet;
+//! * a [`ChipPlacement`] trait deciding *which chip* each request maps
+//!   onto ([`FirstFit`], [`BestFitFragmentation`], [`LeastLoaded`] ship);
+//! * a **shared [`MappingCache`]**: every chip's placements are memoized
+//!   in one table. Entries never alias across chips because each key
+//!   carries the chip's `labeled_hash` topology fingerprint and its
+//!   reconfiguration generation — two identical free regions on two
+//!   identical chip models *do* share entries, which is the point.
+//!   After reconfigs, soundness relies on the generation reflecting the
+//!   actual hardware state: the serve layer mirrors the machine's
+//!   reconfig hash chain ([`Hypervisor::set_topology_generation`]), so
+//!   identical models share only while their reconfig histories match;
+//!   the bare [`Hypervisor::bump_topology_generation`] counter is only
+//!   appropriate for chips that don't share a cache with same-model
+//!   peers (see its docs).
+//!
+//! Placement attempts stay transactional per chip (a failed
+//! [`Hypervisor::create_vnpu_in`] changes nothing), so cluster admission
+//! inherits the single-chip leak-freedom invariants.
+
+use crate::admission::{
+    AdmissionPolicy, AdmissionQueue, AdmissionTick, FitHint, FragmentationStats, PendingView,
+    RequestId, TickVerdict,
+};
+use crate::hypervisor::Hypervisor;
+use crate::ids::VmId;
+use crate::vnpu::{VirtualNpu, VnpuRequest};
+use crate::{Result, VnpuError};
+use std::fmt;
+use std::sync::Arc;
+use vnpu_sim::SocConfig;
+use vnpu_topo::cache::{CacheStats, MappingCache};
+use vnpu_topo::TopoError;
+
+/// A virtual NPU's cluster-wide identity: which chip it lives on, and
+/// its VM id *on that chip* (chips number their VMs independently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClusterVmId {
+    /// Index of the owning chip within the cluster.
+    pub chip: usize,
+    /// The chip-local VM id.
+    pub vm: VmId,
+}
+
+impl fmt::Display for ClusterVmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chip{}/{}", self.chip, self.vm)
+    }
+}
+
+/// A point-in-time picture of one chip, handed to [`ChipPlacement`]
+/// implementations (derived from [`Hypervisor::fragmentation`] plus the
+/// static capacities).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipSnapshot {
+    /// Index of the chip within the cluster.
+    pub chip: usize,
+    /// Physical cores on the chip.
+    pub total_cores: u32,
+    /// Currently free cores.
+    pub free_cores: u32,
+    /// Size of the largest connected free component.
+    pub largest_free_component: usize,
+    /// Largest free component over all free cores, in `[0, 1]`.
+    pub free_connectivity: f64,
+    /// Free HBM bytes.
+    pub hbm_free_bytes: u64,
+    /// Total HBM bytes.
+    pub hbm_total_bytes: u64,
+    /// Buddy external fragmentation, in `[0, 1]`.
+    pub hbm_external_fragmentation: f64,
+    /// Live virtual NPUs on the chip.
+    pub live_vnpus: usize,
+}
+
+impl ChipSnapshot {
+    /// Whether the chip's capacity can possibly host `req` (count checks
+    /// only — the topology mapper has the final word). Temporal-sharing
+    /// requests (§7 over-provisioning) may widen onto busy cores, so for
+    /// them only the chip's *total* core count gates; HBM is never
+    /// time-shared and must be free either way.
+    pub fn fits(&self, req: &PendingView) -> bool {
+        let cores_ok = if req.temporal_sharing {
+            self.total_cores >= req.cores
+        } else {
+            self.free_cores >= req.cores
+        };
+        cores_ok && self.hbm_free_bytes >= req.memory_bytes
+    }
+}
+
+/// Decides which chips a request is attempted on, and in what order.
+///
+/// Object-safe for the same reason [`AdmissionPolicy`] is: deployments
+/// bring their own placement logic (power capping, tenancy affinity,
+/// failure domains) without this crate enumerating it. Implementations
+/// must be deterministic functions of their inputs or cluster runs stop
+/// being reproducible.
+pub trait ChipPlacement: fmt::Debug + Send + Sync {
+    /// Short name for reports and debugging.
+    fn name(&self) -> &'static str;
+
+    /// Chip indices to attempt for `req`, in preference order; chips not
+    /// listed are not attempted this round. Returning an empty vector
+    /// makes the attempt fail (the request stays queued under its
+    /// admission policy's rules).
+    fn chip_order(&self, req: &PendingView, chips: &[ChipSnapshot]) -> Vec<usize>;
+}
+
+/// Attempt chips in index order, skipping only those that cannot fit the
+/// request's raw core/memory counts. The baseline: deterministic, cheap,
+/// and it concentrates load on low-index chips (keeping high-index chips
+/// drained for large requests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstFit;
+
+impl ChipPlacement for FirstFit {
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+
+    fn chip_order(&self, req: &PendingView, chips: &[ChipSnapshot]) -> Vec<usize> {
+        chips
+            .iter()
+            .filter(|c| c.fits(req))
+            .map(|c| c.chip)
+            .collect()
+    }
+}
+
+/// Prefer the chip whose largest connected free component is the
+/// *tightest* window still big enough for the request — filling snug
+/// windows first preserves the other chips' large windows against
+/// topology lock-in (§4.3 writ fleet-wide). Chips whose largest window
+/// is too small are still attempted last (temporal sharing or
+/// disconnected-mode strategies may yet place there).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestFitFragmentation;
+
+impl ChipPlacement for BestFitFragmentation {
+    fn name(&self) -> &'static str {
+        "best-fit-fragmentation"
+    }
+
+    fn chip_order(&self, req: &PendingView, chips: &[ChipSnapshot]) -> Vec<usize> {
+        let mut fitting: Vec<&ChipSnapshot> = chips.iter().filter(|c| c.fits(req)).collect();
+        fitting.sort_by_key(|c| {
+            let window = c.largest_free_component as u32;
+            // Chips with a window big enough sort by window slack
+            // (tightest first); window-deficient chips go after all of
+            // them, least-deficient first.
+            let deficit = req.cores.saturating_sub(window);
+            let slack = window.saturating_sub(req.cores);
+            (deficit, slack, c.chip)
+        });
+        fitting.into_iter().map(|c| c.chip).collect()
+    }
+}
+
+/// Prefer the chip with the most free cores (ties: more free HBM, then
+/// lower index) — spreads load evenly across the fleet, minimizing
+/// per-chip NoC/HBM contention at the cost of fragmenting every chip a
+/// little.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoaded;
+
+impl ChipPlacement for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn chip_order(&self, req: &PendingView, chips: &[ChipSnapshot]) -> Vec<usize> {
+        let mut fitting: Vec<&ChipSnapshot> = chips.iter().filter(|c| c.fits(req)).collect();
+        fitting.sort_by(|a, b| {
+            b.free_cores
+                .cmp(&a.free_cores)
+                .then(b.hbm_free_bytes.cmp(&a.hbm_free_bytes))
+                .then(a.chip.cmp(&b.chip))
+        });
+        fitting.into_iter().map(|c| c.chip).collect()
+    }
+}
+
+/// Terminal outcome of one cluster-queued request during an admission
+/// tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterAdmissionOutcome {
+    /// Placed on a chip; the virtual NPU is live.
+    Admitted(ClusterVmId),
+    /// Permanently rejected (fits no chip in the fleet, or attempt
+    /// budget spent). Carries the error from the *last* chip attempted.
+    Rejected(VnpuError),
+}
+
+/// One terminal cluster admission decision, as returned by
+/// [`Cluster::process_admissions`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterAdmissionEvent {
+    /// The request this decision is about.
+    pub id: RequestId,
+    /// What happened to it.
+    pub outcome: ClusterAdmissionOutcome,
+    /// The cluster-wide cumulative configuration-cycle counter
+    /// ([`Cluster::total_config_cycles`]) at the instant of this
+    /// decision (same incremental-stamping contract as the single-chip
+    /// [`crate::admission::AdmissionEvent::config_cycles_total`]).
+    pub config_cycles_total: u64,
+    /// On a terminal no-candidate rejection: the largest request shape
+    /// that would currently fit on *some* chip (the fleet-wide best
+    /// hint), probed through the shared cache.
+    pub fit_hint: Option<FitHint>,
+}
+
+/// N hypervisor-managed chips behind one admission queue, one placement
+/// policy, and one shared mapping cache.
+#[derive(Debug)]
+pub struct Cluster {
+    chips: Vec<Hypervisor>,
+    cache: MappingCache,
+    /// Dedicated cache for fit-hint probes, so advisory probing never
+    /// distorts the shared placement cache's hit-rate statistics.
+    hint_cache: MappingCache,
+    admissions: AdmissionQueue,
+    placement: Arc<dyn ChipPlacement>,
+}
+
+impl Cluster {
+    /// A cluster over the given chip models (heterogeneous configs
+    /// welcome), each with the default HBM capacity, FIFO admission and
+    /// [`FirstFit`] placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `configs` is empty — a cluster owns at least one chip.
+    pub fn new(configs: Vec<SocConfig>) -> Self {
+        Self::with_chips(configs.into_iter().map(Hypervisor::new).collect())
+    }
+
+    /// A cluster over pre-built hypervisors (use this for per-chip HBM
+    /// sizes or pre-reserved cores).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chips` is empty.
+    pub fn with_chips(chips: Vec<Hypervisor>) -> Self {
+        assert!(!chips.is_empty(), "a cluster owns at least one chip");
+        Cluster {
+            chips,
+            cache: MappingCache::default(),
+            hint_cache: MappingCache::default(),
+            admissions: AdmissionQueue::default(),
+            placement: Arc::new(FirstFit),
+        }
+    }
+
+    /// Number of chips.
+    pub fn chip_count(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// The chip at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn chip(&self, index: usize) -> &Hypervisor {
+        &self.chips[index]
+    }
+
+    /// Mutable access to the chip at `index` — administrative operations
+    /// (reserving cores, adopting a reconfiguration generation). Chips
+    /// stay self-consistent under any such operation. One caveat for
+    /// clusters with *identical* chip models: their cache keys share a
+    /// `phys_key`, so after a hardware reconfig use
+    /// [`Hypervisor::set_topology_generation`] with a value derived from
+    /// the actual hardware state (as the serve layer does) rather than
+    /// the bare [`Hypervisor::bump_topology_generation`] counter — two
+    /// same-model chips bumped the same number of times after
+    /// *different* reconfigs would otherwise alias (see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn chip_mut(&mut self, index: usize) -> &mut Hypervisor {
+        &mut self.chips[index]
+    }
+
+    /// The chips, in index order.
+    pub fn chips(&self) -> impl Iterator<Item = &Hypervisor> {
+        self.chips.iter()
+    }
+
+    /// Replaces the cluster admission ordering policy (queued requests
+    /// are kept).
+    pub fn set_admission_policy(&mut self, policy: Arc<dyn AdmissionPolicy>) {
+        self.admissions.set_policy(policy);
+    }
+
+    /// Replaces the chip-placement policy.
+    pub fn set_placement(&mut self, placement: Arc<dyn ChipPlacement>) {
+        self.placement = placement;
+    }
+
+    /// The active chip-placement policy.
+    pub fn placement(&self) -> &Arc<dyn ChipPlacement> {
+        &self.placement
+    }
+
+    /// Caps placement attempts per queued request.
+    pub fn set_max_attempts(&mut self, max_attempts: Option<u32>) {
+        self.admissions.set_max_attempts(max_attempts);
+    }
+
+    /// Queues a create request for the next admission tick.
+    pub fn submit(&mut self, req: VnpuRequest) -> RequestId {
+        self.admissions.push(req)
+    }
+
+    /// Number of requests waiting for placement.
+    pub fn pending_count(&self) -> usize {
+        self.admissions.len()
+    }
+
+    /// The cluster admission queue (policy, attempt budget, queued IDs).
+    pub fn admissions(&self) -> &AdmissionQueue {
+        &self.admissions
+    }
+
+    /// Shared mapping-cache counters (all chips fold into one table).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Cluster-wide monotone resource-freeing counter: the sum of every
+    /// chip's [`Hypervisor::free_events`].
+    pub fn free_events(&self) -> u64 {
+        self.chips.iter().map(Hypervisor::free_events).sum()
+    }
+
+    /// Cluster-wide cumulative meta-table configuration cycles.
+    pub fn total_config_cycles(&self) -> u64 {
+        self.chips.iter().map(Hypervisor::total_config_cycles).sum()
+    }
+
+    /// Live virtual NPUs across all chips.
+    pub fn live_count(&self) -> usize {
+        self.chips.iter().map(Hypervisor::vnpu_count).sum()
+    }
+
+    /// Total physical cores across all chips.
+    pub fn total_cores(&self) -> u32 {
+        self.chips.iter().map(|h| h.config().core_count()).sum()
+    }
+
+    /// Free cores across all chips.
+    pub fn free_cores(&self) -> u32 {
+        self.chips.iter().map(Hypervisor::free_core_count).sum()
+    }
+
+    /// Per-chip fragmentation pictures, in chip order.
+    pub fn fragmentation(&self) -> Vec<FragmentationStats> {
+        self.chips.iter().map(Hypervisor::fragmentation).collect()
+    }
+
+    /// Per-chip placement snapshots, in chip order.
+    pub fn snapshots(&self) -> Vec<ChipSnapshot> {
+        (0..self.chips.len()).map(|i| self.snapshot_of(i)).collect()
+    }
+
+    /// The placement snapshot of one chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn snapshot_of(&self, index: usize) -> ChipSnapshot {
+        let h = &self.chips[index];
+        let frag = h.fragmentation();
+        ChipSnapshot {
+            chip: index,
+            total_cores: h.config().core_count(),
+            free_cores: frag.free_cores,
+            largest_free_component: frag.largest_free_component,
+            free_connectivity: frag.free_connectivity,
+            hbm_free_bytes: frag.hbm_free_bytes,
+            hbm_total_bytes: h.hbm_total_bytes(),
+            hbm_external_fragmentation: frag.hbm_external_fragmentation,
+            live_vnpus: h.vnpu_count(),
+        }
+    }
+
+    /// Provisions a virtual NPU on a specific chip, through the shared
+    /// cache — the direct (queue-bypassing) path.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Hypervisor::create_vnpu`]; additionally
+    /// [`VnpuError::UnknownVm`] is never returned here, and an
+    /// out-of-range chip index panics.
+    pub fn create_on(&mut self, chip: usize, req: VnpuRequest) -> Result<ClusterVmId> {
+        let vm = self.chips[chip].create_vnpu_in(req, &mut self.cache)?;
+        Ok(ClusterVmId { chip, vm })
+    }
+
+    /// Looks up a live virtual NPU.
+    ///
+    /// # Errors
+    ///
+    /// [`VnpuError::UnknownChip`] for an out-of-range chip index,
+    /// [`VnpuError::UnknownVm`] for stale IDs.
+    pub fn vnpu(&self, id: ClusterVmId) -> Result<&VirtualNpu> {
+        self.chips
+            .get(id.chip)
+            .ok_or(VnpuError::UnknownChip {
+                chip: id.chip,
+                count: self.chips.len(),
+            })?
+            .vnpu(id.vm)
+    }
+
+    /// Tears down a virtual NPU, releasing its chip's cores and memory.
+    ///
+    /// # Errors
+    ///
+    /// [`VnpuError::UnknownChip`] for an out-of-range chip index,
+    /// otherwise as for [`Hypervisor::destroy_vnpu`].
+    pub fn destroy(&mut self, id: ClusterVmId) -> Result<()> {
+        let count = self.chips.len();
+        self.chips
+            .get_mut(id.chip)
+            .ok_or(VnpuError::UnknownChip {
+                chip: id.chip,
+                count,
+            })?
+            .destroy_vnpu(id.vm)
+    }
+
+    /// The fleet-wide fit hint: the largest shape that would currently
+    /// place on *some* chip, probed through the cluster's dedicated hint
+    /// cache (the shared placement cache's statistics stay untouched).
+    /// Chips are probed biggest-island-first and pruned once no remaining
+    /// chip's largest free island can beat the best hint found.
+    pub fn fit_hint(&mut self) -> Option<FitHint> {
+        let mut order: Vec<(std::cmp::Reverse<usize>, usize)> = self
+            .chips
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                (
+                    std::cmp::Reverse(h.fragmentation().largest_free_component),
+                    i,
+                )
+            })
+            .collect();
+        order.sort_unstable();
+        let mut best: Option<FitHint> = None;
+        for (std::cmp::Reverse(island), i) in order {
+            if best.is_some_and(|b| island as u32 <= b.cores) {
+                break; // sorted descending: nothing further can beat it
+            }
+            if let Some(hint) = self.chips[i].fit_hint_in_bounded(&mut self.hint_cache, island) {
+                if best.is_none_or(|b| hint.cores > b.cores) {
+                    best = Some(hint);
+                }
+            }
+        }
+        best
+    }
+
+    /// Runs one cluster admission tick: requests in (cluster) policy
+    /// order, each attempted on the chips the placement policy nominates,
+    /// in order, through the shared mapping cache. Returns the tick's
+    /// terminal decisions; requests that stay queued produce no event.
+    ///
+    /// A request is terminally rejected when it cannot fit *any* chip
+    /// even idle, or when its attempt budget is spent. Non-terminal
+    /// failures defer to the admission policy's
+    /// [`crate::admission::FailureAction`],
+    /// exactly as on a single chip.
+    pub fn process_admissions(&mut self) -> Vec<ClusterAdmissionEvent> {
+        let mut events = Vec::new();
+        let free_events_at_start = self.free_events();
+        let mut tick = AdmissionTick::new();
+        // Chip snapshots only change when a placement succeeds (failed
+        // attempts are transactional), so compute them once per tick and
+        // refresh only the placed chip's after each admission.
+        let mut snapshots = self.snapshots();
+        for id in self.admissions.attempt_order(free_events_at_start) {
+            let Some(pending) = self.admissions.request(id) else {
+                continue;
+            };
+            let view = pending.view();
+            if tick.skips(&view) {
+                continue;
+            }
+            let request = pending.req.clone();
+            // Terminal = impossible fleet-wide: no chip's raw capacity
+            // covers the request even when idle.
+            let terminal = view.cores == 0
+                || view.memory_bytes == 0
+                || self.chips.iter().all(|h| {
+                    view.cores > h.config().core_count() || view.memory_bytes > h.hbm_total_bytes()
+                });
+            let order = self.placement.chip_order(&view, &snapshots);
+            let mut last_err: Option<VnpuError> = None;
+            // Whether *any* chip rejected for want of a candidate this
+            // attempt — the fleet hint must not depend on which chip the
+            // placement policy happened to try last.
+            let mut saw_no_candidate = false;
+            let mut placed: Option<ClusterVmId> = None;
+            for chip in order {
+                let Some(hv) = self.chips.get_mut(chip) else {
+                    continue;
+                };
+                match hv.create_vnpu_in(request.clone(), &mut self.cache) {
+                    Ok(vm) => {
+                        placed = Some(ClusterVmId { chip, vm });
+                        break;
+                    }
+                    Err(err) => {
+                        saw_no_candidate |=
+                            matches!(err, VnpuError::Mapping(TopoError::NoCandidate));
+                        last_err = Some(err);
+                    }
+                }
+            }
+            match placed {
+                Some(cvm) => {
+                    self.admissions.remove(id);
+                    snapshots[cvm.chip] = self.snapshot_of(cvm.chip);
+                    events.push(ClusterAdmissionEvent {
+                        id,
+                        outcome: ClusterAdmissionOutcome::Admitted(cvm),
+                        config_cycles_total: self.total_config_cycles(),
+                        fit_hint: None,
+                    });
+                }
+                None => {
+                    // No chip was nominated, or every nominated chip
+                    // failed. An empty nomination means no chip's free
+                    // capacity covers the request right now — blame the
+                    // resource that actually blocks: cores if no chip has
+                    // enough of them free, otherwise memory.
+                    let err = last_err.unwrap_or_else(|| {
+                        let cores_feasible = self
+                            .chips
+                            .iter()
+                            .any(|h| h.free_core_count() >= view.cores || view.temporal_sharing);
+                        if cores_feasible {
+                            VnpuError::Memory(vnpu_mem::MemError::OutOfMemory {
+                                requested: view.memory_bytes,
+                            })
+                        } else {
+                            VnpuError::Mapping(TopoError::InsufficientNodes {
+                                requested: view.cores as usize,
+                                available: self
+                                    .chips
+                                    .iter()
+                                    .map(|h| h.free_core_count() as usize)
+                                    .max()
+                                    .unwrap_or(0),
+                            })
+                        }
+                    });
+                    let free_events_now = self.free_events();
+                    match tick.on_failure(&mut self.admissions, id, free_events_now, terminal) {
+                        TickVerdict::Reject => {
+                            let fit_hint = if saw_no_candidate {
+                                self.fit_hint()
+                            } else {
+                                None
+                            };
+                            events.push(ClusterAdmissionEvent {
+                                id,
+                                outcome: ClusterAdmissionOutcome::Rejected(err),
+                                config_cycles_total: self.total_config_cycles(),
+                                fit_hint,
+                            });
+                        }
+                        TickVerdict::Defer => {}
+                        TickVerdict::EndTick => break,
+                    }
+                }
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::{Backfill, SmallestFirst};
+
+    fn sim_chip() -> SocConfig {
+        SocConfig::sim() // 6x6
+    }
+
+    fn small_chip() -> SocConfig {
+        SocConfig {
+            mesh_width: 4,
+            mesh_height: 4,
+            ..SocConfig::sim()
+        }
+    }
+
+    fn two_chip_cluster() -> Cluster {
+        Cluster::new(vec![sim_chip(), small_chip()])
+    }
+
+    #[test]
+    fn first_fit_concentrates_on_chip_zero() {
+        let mut cl = two_chip_cluster();
+        for _ in 0..3 {
+            cl.submit(VnpuRequest::mesh(2, 2));
+        }
+        let events = cl.process_admissions();
+        assert_eq!(events.len(), 3);
+        for e in &events {
+            match e.outcome {
+                ClusterAdmissionOutcome::Admitted(cvm) => assert_eq!(cvm.chip, 0),
+                ref o => panic!("expected admission, got {o:?}"),
+            }
+        }
+        assert_eq!(cl.chip(0).vnpu_count(), 3);
+        assert_eq!(cl.chip(1).vnpu_count(), 0);
+    }
+
+    #[test]
+    fn least_loaded_spreads_across_chips() {
+        // Two identical chips: least-loaded alternates between them
+        // (every placement makes the other chip the emptier one).
+        let mut cl = Cluster::new(vec![sim_chip(), sim_chip()]);
+        cl.set_placement(Arc::new(LeastLoaded));
+        for _ in 0..4 {
+            cl.submit(VnpuRequest::mesh(2, 2));
+        }
+        let events = cl.process_admissions();
+        assert_eq!(events.len(), 4);
+        assert_eq!(cl.chip(0).vnpu_count(), 2);
+        assert_eq!(
+            cl.chip(1).vnpu_count(),
+            2,
+            "least-loaded must alternate between equal chips"
+        );
+    }
+
+    #[test]
+    fn spillover_when_the_preferred_chip_is_full() {
+        let mut cl = two_chip_cluster();
+        cl.create_on(0, VnpuRequest::mesh(6, 6)).unwrap(); // fill chip 0
+        cl.submit(VnpuRequest::mesh(3, 3));
+        let events = cl.process_admissions();
+        assert_eq!(events.len(), 1);
+        match events[0].outcome {
+            ClusterAdmissionOutcome::Admitted(cvm) => assert_eq!(cvm.chip, 1),
+            ref o => panic!("expected spillover admission, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn fleet_impossible_requests_reject_immediately() {
+        let mut cl = two_chip_cluster();
+        let id = cl.submit(VnpuRequest::mesh(7, 7)); // 49 > 36 > 16
+        let events = cl.process_admissions();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].id, id);
+        assert!(matches!(
+            events[0].outcome,
+            ClusterAdmissionOutcome::Rejected(_)
+        ));
+        // ...but a request that fits only the *larger* chip is not
+        // terminal for the fleet.
+        cl.submit(VnpuRequest::mesh(5, 5)); // 25 ≤ 36, > 16
+        let events = cl.process_admissions();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0].outcome,
+            ClusterAdmissionOutcome::Admitted(ClusterVmId { chip: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn shared_cache_hits_for_identical_chip_models() {
+        // Two identical chips: the second chip's first placement of a
+        // popular shape reuses the first chip's cached mapping (same
+        // phys_key, same free fingerprint).
+        let mut cl = Cluster::new(vec![sim_chip(), sim_chip()]);
+        cl.create_on(0, VnpuRequest::mesh(2, 2)).unwrap();
+        assert_eq!(cl.cache_stats().misses, 1);
+        cl.create_on(1, VnpuRequest::mesh(2, 2)).unwrap();
+        let stats = cl.cache_stats();
+        assert_eq!(stats.hits, 1, "identical chips share mapping work");
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn heterogeneous_chips_never_share_entries() {
+        let mut cl = two_chip_cluster();
+        let a = cl.create_on(0, VnpuRequest::mesh(2, 2)).unwrap();
+        let b = cl.create_on(1, VnpuRequest::mesh(2, 2)).unwrap();
+        assert_eq!(
+            cl.cache_stats().hits,
+            0,
+            "different phys_keys must not alias"
+        );
+        assert_eq!(cl.cache_stats().misses, 2);
+        // Both placements are valid on their own chips.
+        for (id, cores) in [(a, 36u32), (b, 16u32)] {
+            for n in cl.vnpu(id).unwrap().mapping().phys_nodes() {
+                assert!(n.0 < cores, "{id}: node {n} outside its chip");
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_destroy_and_leak_accounting() {
+        let mut cl = two_chip_cluster();
+        let a = cl.create_on(0, VnpuRequest::mesh(3, 3)).unwrap();
+        let b = cl.create_on(1, VnpuRequest::mesh(2, 2)).unwrap();
+        assert_eq!(cl.live_count(), 2);
+        cl.destroy(a).unwrap();
+        cl.destroy(b).unwrap();
+        assert_eq!(cl.live_count(), 0);
+        assert_eq!(cl.free_cores(), cl.total_cores());
+        assert!(cl.destroy(a).is_err(), "double destroy is an error");
+    }
+
+    #[test]
+    fn cluster_policies_order_across_chips() {
+        let mut cl = two_chip_cluster();
+        // Fill both chips except small islands.
+        cl.create_on(0, VnpuRequest::mesh(6, 5)).unwrap(); // 6 free on chip 0
+        cl.create_on(1, VnpuRequest::mesh(4, 3)).unwrap(); // 4 free on chip 1
+        let big = cl.submit(VnpuRequest::mesh(3, 3)); // fits nothing now
+        let small = cl.submit(VnpuRequest::mesh(1, 2));
+        // FIFO blocks behind the big request.
+        assert!(cl.process_admissions().is_empty());
+        cl.set_admission_policy(Arc::new(SmallestFirst));
+        let events = cl.process_admissions();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].id, small);
+        // Backfill also gets the small one past the big head.
+        let small2 = cl.submit(VnpuRequest::mesh(1, 2));
+        cl.set_admission_policy(Arc::new(Backfill));
+        let events = cl.process_admissions();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].id, small2);
+        let _ = big;
+    }
+
+    #[test]
+    fn best_fit_prefers_the_tightest_window() {
+        // Chip 0 idle (36-core window), chip 1 idle (16-core window): a
+        // 2x2 request should land on chip 1 under best-fit (tightest
+        // window that still fits), not chip 0.
+        let mut cl = two_chip_cluster();
+        cl.set_placement(Arc::new(BestFitFragmentation));
+        cl.submit(VnpuRequest::mesh(2, 2));
+        let events = cl.process_admissions();
+        assert_eq!(events.len(), 1);
+        match events[0].outcome {
+            ClusterAdmissionOutcome::Admitted(cvm) => assert_eq!(cvm.chip, 1),
+            ref o => panic!("expected admission, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn temporal_sharing_requests_reach_full_chips() {
+        // Regression: ChipSnapshot::fits used to require free cores even
+        // for temporal-sharing requests, so a fully loaded fleet made
+        // them unplaceable through the cluster path although the
+        // single-chip hypervisor admits them by widening onto busy cores.
+        let mut cl = Cluster::new(vec![sim_chip()]);
+        cl.create_on(0, VnpuRequest::mesh(6, 6)).unwrap(); // full chip
+        cl.submit(VnpuRequest::mesh(2, 2).temporal_sharing(true));
+        let events = cl.process_admissions();
+        assert_eq!(events.len(), 1);
+        assert!(
+            matches!(
+                events[0].outcome,
+                ClusterAdmissionOutcome::Admitted(ClusterVmId { chip: 0, .. })
+            ),
+            "temporal sharing must place on busy cores: {:?}",
+            events[0].outcome
+        );
+        // A strict request on the same full chip still cannot place.
+        cl.submit(VnpuRequest::mesh(2, 2));
+        assert!(cl.process_admissions().is_empty());
+    }
+
+    #[test]
+    fn per_chip_generation_bump_only_invalidates_that_chip() {
+        let mut cl = Cluster::new(vec![sim_chip(), sim_chip()]);
+        let a = cl.create_on(0, VnpuRequest::mesh(2, 2)).unwrap();
+        cl.destroy(a).unwrap();
+        let b = cl.create_on(1, VnpuRequest::mesh(2, 2)).unwrap();
+        cl.destroy(b).unwrap();
+        assert_eq!(cl.cache_stats().hits, 1);
+        // Reconfig chip 0: its next identical request misses; chip 1's
+        // still hits.
+        cl.chip_mut(0).bump_topology_generation();
+        cl.create_on(0, VnpuRequest::mesh(2, 2)).unwrap();
+        assert_eq!(cl.cache_stats().misses, 2, "chip 0 re-maps after reconfig");
+        cl.create_on(1, VnpuRequest::mesh(2, 2)).unwrap();
+        assert_eq!(cl.cache_stats().hits, 2, "chip 1's entry survives");
+    }
+}

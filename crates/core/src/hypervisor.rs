@@ -9,8 +9,8 @@
 //! would cost (the Figure 11 configuration overhead).
 
 use crate::admission::{
-    AdmissionEvent, AdmissionOutcome, AdmissionPolicy, AdmissionQueue, FragmentationStats,
-    RequestId,
+    AdmissionEvent, AdmissionOutcome, AdmissionPolicy, AdmissionPolicyKind, AdmissionQueue,
+    AdmissionTick, FitHint, FragmentationStats, RequestId, TickVerdict,
 };
 use crate::ids::{VirtCoreId, VmId};
 use crate::meta::MetaZoneLayout;
@@ -25,8 +25,13 @@ use vnpu_mem::rtt::RttEntry;
 use vnpu_mem::{Perm, PhysAddr, VirtAddr};
 use vnpu_sim::SocConfig;
 use vnpu_topo::cache::{labeled_hash, CacheStats, FreeSet, MappingCache};
-use vnpu_topo::mapping::Mapper;
+use vnpu_topo::mapping::{Mapper, Strategy};
 use vnpu_topo::{NodeId, Topology};
+
+/// Candidate-enumeration cap for [`Hypervisor::fit_hint_in`] probes:
+/// hints are advisory, so the probe budget stays well below a real
+/// placement attempt's.
+const FIT_PROBE_CANDIDATE_CAP: usize = 200;
 
 /// Default HBM capacity managed by the hypervisor (the paper's SIM config
 /// pairs the chip with tens of GB of HBM).
@@ -62,6 +67,17 @@ pub struct Hypervisor {
     admissions: AdmissionQueue,
     /// Monotone count of vNPU destructions (drives retry-after-free).
     free_events: u64,
+    /// Memoized *fit-hint probe* results, kept separate from the
+    /// placement cache so advisory probes never inflate the
+    /// placement-memoization statistics ([`Hypervisor::cache_stats`])
+    /// that serving reports and benches assert on.
+    hint_cache: MappingCache,
+    /// Reconfiguration generation, folded into every mapping-cache key:
+    /// hardware changes the topology fingerprint cannot see (hybrid-core
+    /// scaling alters heterogeneous match costs) bump this counter so
+    /// previously cached strategies expire instead of replaying stale
+    /// placements.
+    topo_generation: u64,
 }
 
 impl Hypervisor {
@@ -97,8 +113,16 @@ impl Hypervisor {
             cache: MappingCache::default(),
             admissions: AdmissionQueue::default(),
             free_events: 0,
+            hint_cache: MappingCache::default(),
+            topo_generation: 0,
             cfg,
         }
+    }
+
+    /// The mapper for this chip, bound to the precomputed topology
+    /// fingerprint and the current reconfiguration generation.
+    fn mapper(&self) -> Mapper<'_> {
+        Mapper::with_phys_key(&self.topo, self.phys_key).at_generation(self.topo_generation)
     }
 
     /// Takes one user reference on a core, updating the free region when
@@ -205,6 +229,44 @@ impl Hypervisor {
         self.config_cycles
     }
 
+    /// The reconfiguration generation mapping-cache keys are bound to.
+    pub fn topology_generation(&self) -> u64 {
+        self.topo_generation
+    }
+
+    /// Declares a hardware reconfiguration the topology fingerprint
+    /// cannot see — hybrid-core scaling
+    /// ([`vnpu_sim::machine::Machine::set_core_scales`]) changes
+    /// heterogeneous match costs without touching the graph. Every
+    /// mapping memoized before the bump silently expires (its key carries
+    /// the old generation).
+    ///
+    /// The bare increment is sound for this hypervisor's own cache. When
+    /// several *identical-model* chips share one cache, two chips bumped
+    /// the same number of times after *different* reconfigs would alias —
+    /// chips paired with a machine should instead mirror the machine's
+    /// hardware-state hash chain via
+    /// [`Hypervisor::set_topology_generation`] (the serve layer's
+    /// `set_core_scales` does).
+    pub fn bump_topology_generation(&mut self) {
+        self.topo_generation += 1;
+    }
+
+    /// Adopts an externally tracked reconfiguration counter — when the
+    /// chip is paired with a [`vnpu_sim::machine::Machine`], its
+    /// [`vnpu_sim::machine::Machine::topology_generation`] is the ground
+    /// truth (it is bumped inside `set_core_scales` itself and cannot
+    /// drift), and the pairing layer mirrors it here after every
+    /// reconfig.
+    pub fn set_topology_generation(&mut self, generation: u64) {
+        self.topo_generation = generation;
+    }
+
+    /// Number of live virtual NPUs.
+    pub fn vnpu_count(&self) -> usize {
+        self.vnpus.len()
+    }
+
     /// Live virtual NPUs, ascending by VM ID.
     pub fn vnpus(&self) -> impl Iterator<Item = (&VmId, &VirtualNpu)> {
         self.vnpus.iter()
@@ -220,7 +282,11 @@ impl Hypervisor {
     }
 
     /// Provisions a virtual NPU: maps cores, allocates memory, builds and
-    /// "deploys" the routing and range-translation tables.
+    /// "deploys" the routing and range-translation tables. Mapping goes
+    /// through this hypervisor's own [`MappingCache`]; chips managed by a
+    /// [`crate::cluster::Cluster`] use
+    /// [`Hypervisor::create_vnpu_in`] with the cluster's shared cache
+    /// instead.
     ///
     /// # Errors
     ///
@@ -230,6 +296,22 @@ impl Hypervisor {
     ///   [`vnpu_topo::mapping::Strategy::exact_only`]).
     /// * [`VnpuError::Memory`] — HBM exhausted.
     pub fn create_vnpu(&mut self, req: VnpuRequest) -> Result<VmId> {
+        let mut cache = std::mem::take(&mut self.cache);
+        let result = self.create_vnpu_in(req, &mut cache);
+        self.cache = cache;
+        result
+    }
+
+    /// [`Hypervisor::create_vnpu`] with an explicit (possibly shared)
+    /// [`MappingCache`]. A [`crate::cluster::Cluster`] passes one cache to
+    /// every chip it owns; entries cannot alias across chips because the
+    /// key carries each chip's topology fingerprint and reconfiguration
+    /// generation.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Hypervisor::create_vnpu`].
+    pub fn create_vnpu_in(&mut self, req: VnpuRequest, cache: &mut MappingCache) -> Result<VmId> {
         if req.core_count() == 0 || req.memory_bytes() == 0 {
             return Err(VnpuError::EmptyRequest);
         }
@@ -264,13 +346,9 @@ impl Hypervisor {
             None
         };
         let available = widened.as_ref().unwrap_or(&self.free_set);
-        let mapper = Mapper::with_phys_key(&self.topo, self.phys_key);
-        let mapping = mapper.map_cached(
-            available,
-            req.topology(),
-            req.strategy_ref(),
-            &mut self.cache,
-        )?;
+        let mapping =
+            self.mapper()
+                .map_cached(available, req.topology(), req.strategy_ref(), cache)?;
 
         // 2. Guest memory: buddy blocks mapped 1:1 into RTT entries.
         let (entries, blocks) = self.allocate_memory(req.memory_bytes())?;
@@ -437,9 +515,23 @@ impl Hypervisor {
         &self.admissions
     }
 
-    /// Replaces the admission ordering policy.
-    pub fn set_admission_policy(&mut self, policy: AdmissionPolicy) {
+    /// Replaces the admission ordering policy with a trait object —
+    /// any [`AdmissionPolicy`] implementation, including ones defined
+    /// outside this crate.
+    pub fn set_admission_policy_obj(&mut self, policy: std::sync::Arc<dyn AdmissionPolicy>) {
         self.admissions.set_policy(policy);
+    }
+
+    /// Replaces the admission ordering policy from the legacy closed
+    /// enum — a shim over [`Hypervisor::set_admission_policy_obj`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "admission policies are open trait objects now; \
+                use `set_admission_policy_obj` with `Fifo`, `SmallestFirst`, \
+                `RetryAfterFree`, `Backfill`, `Aging`, or a custom impl"
+    )]
+    pub fn set_admission_policy(&mut self, policy: AdmissionPolicyKind) {
+        self.admissions.set_policy(policy.to_policy());
     }
 
     /// Caps placement attempts per queued request (see
@@ -457,15 +549,31 @@ impl Hypervisor {
     ///
     /// Rejection happens when a request cannot possibly fit the chip
     /// (cores or memory exceed the hardware) or when its attempt budget is
-    /// exhausted. Under head-of-line policies (FIFO, retry-after-free) the
-    /// tick stops at the first deferral.
+    /// exhausted. What happens after a non-terminal failure is the
+    /// policy's call ([`FailureAction`]): head-of-line policies stop the
+    /// tick, skip-ahead policies continue, backfill policies continue for
+    /// strictly smaller requests only.
     pub fn process_admissions(&mut self) -> Vec<AdmissionEvent> {
+        let mut cache = std::mem::take(&mut self.cache);
+        let events = self.process_admissions_in(&mut cache);
+        self.cache = cache;
+        events
+    }
+
+    /// [`Hypervisor::process_admissions`] with an explicit (possibly
+    /// shared) [`MappingCache`] — the form a
+    /// [`crate::cluster::Cluster`]-managed chip uses.
+    pub fn process_admissions_in(&mut self, cache: &mut MappingCache) -> Vec<AdmissionEvent> {
         let mut events = Vec::new();
+        let mut tick = AdmissionTick::new();
         for id in self.admissions.attempt_order(self.free_events) {
-            let req = self
-                .admissions
-                .request(id)
-                .expect("attempt_order returns queued ids");
+            let Some(req) = self.admissions.request(id) else {
+                // A policy may return stale or duplicate IDs; ignore them.
+                continue;
+            };
+            if tick.skips(&req.view()) {
+                continue;
+            }
             // A failure is terminal (reject now, never retry) when the
             // request can't fit the hardware even on an idle chip. The
             // classification only applies to *failed* attempts: if a
@@ -477,31 +585,104 @@ impl Hypervisor {
                 || req.req.core_count() > self.cfg.core_count()
                 || req.req.memory_bytes() > self.buddy.total_bytes();
             let request = req.req.clone();
-            match self.create_vnpu(request) {
+            match self.create_vnpu_in(request, cache) {
                 Ok(vm) => {
                     self.admissions.remove(id);
                     events.push(AdmissionEvent {
                         id,
                         outcome: AdmissionOutcome::Admitted(vm),
                         config_cycles_total: self.config_cycles,
+                        fit_hint: None,
                     });
                 }
                 Err(err) => {
-                    let budget_spent = self.admissions.mark_failed(id, self.free_events);
-                    if terminal || budget_spent {
-                        self.admissions.remove(id);
-                        events.push(AdmissionEvent {
-                            id,
-                            outcome: AdmissionOutcome::Rejected(err),
-                            config_cycles_total: self.config_cycles,
-                        });
-                    } else if self.admissions.blocks_on_failure() {
-                        break;
+                    match tick.on_failure(&mut self.admissions, id, self.free_events, terminal) {
+                        TickVerdict::Reject => {
+                            let fit_hint = match &err {
+                                VnpuError::Mapping(vnpu_topo::TopoError::NoCandidate) => {
+                                    self.fit_hint()
+                                }
+                                _ => None,
+                            };
+                            events.push(AdmissionEvent {
+                                id,
+                                outcome: AdmissionOutcome::Rejected(err),
+                                config_cycles_total: self.config_cycles,
+                                fit_hint,
+                            });
+                        }
+                        TickVerdict::Defer => {}
+                        TickVerdict::EndTick => break,
                     }
                 }
             }
         }
         events
+    }
+
+    /// The largest request shape that would place on the *current* free
+    /// region, probed largest-first with near-square mesh shapes through
+    /// the given cache — so repeated rejections against an unchanged
+    /// free region replay the memoized exhaustion proofs instead of
+    /// re-enumerating. `None` when nothing fits (no free cores, or every
+    /// probe fails).
+    ///
+    /// Pass a *dedicated* hint cache (as [`Hypervisor::fit_hint`] and the
+    /// cluster do), not the placement cache: probes are advisory and
+    /// would otherwise distort the placement-memoization hit rate.
+    pub fn fit_hint_in(&self, cache: &mut MappingCache) -> Option<FitHint> {
+        // Probes enumerate *connected* candidates, so nothing larger than
+        // the largest connected free component can succeed — start there
+        // instead of burning guaranteed-failure enumerations from the
+        // total free count.
+        let largest_island = self.fragmentation().largest_free_component;
+        self.fit_hint_in_bounded(cache, largest_island)
+    }
+
+    /// [`Hypervisor::fit_hint_in`] with the chip's largest connected free
+    /// component already known (callers that just computed
+    /// [`Hypervisor::fragmentation`] pass it in to avoid a second
+    /// free-region scan). Probing starts at `largest_island` because
+    /// larger connected candidates cannot exist.
+    pub fn fit_hint_in_bounded(
+        &self,
+        cache: &mut MappingCache,
+        largest_island: usize,
+    ) -> Option<FitHint> {
+        let free = self.free_set.free_count() as u32;
+        if free == 0 || largest_island == 0 {
+            return None;
+        }
+        let mapper = self.mapper();
+        let strategy = Strategy::similar_topology()
+            .threads(1)
+            .candidate_cap(FIT_PROBE_CANDIDATE_CAP);
+        for cores in (1..=(largest_island as u32).min(free)).rev() {
+            let probe = crate::vnpu::near_mesh_topology(cores);
+            if mapper
+                .map_cached(&self.free_set, &probe, &strategy, cache)
+                .is_ok()
+            {
+                let width = probe
+                    .mesh_shape()
+                    .map_or_else(|| (cores as f64).sqrt().ceil() as u32, |shape| shape.width);
+                return Some(FitHint {
+                    cores,
+                    width,
+                    height: cores.div_ceil(width.max(1)),
+                });
+            }
+        }
+        None
+    }
+
+    /// [`Hypervisor::fit_hint_in`] against this hypervisor's own
+    /// dedicated hint cache (placement-cache statistics stay untouched).
+    pub fn fit_hint(&mut self) -> Option<FitHint> {
+        let mut cache = std::mem::take(&mut self.hint_cache);
+        let hint = self.fit_hint_in(&mut cache);
+        self.hint_cache = cache;
+        hint
     }
 
     /// The per-tick fragmentation picture: free-core connectivity and
@@ -588,8 +769,9 @@ impl Hypervisor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::admission::{Backfill, RetryAfterFree, SmallestFirst};
     use crate::vchunk::MemMode;
-    use vnpu_topo::mapping::Strategy;
+    use std::sync::Arc;
 
     fn hv() -> Hypervisor {
         Hypervisor::new(SocConfig::sim()) // 6x6
@@ -871,7 +1053,7 @@ mod tests {
         h.create_vnpu(VnpuRequest::mesh(6, 5)).unwrap();
         let big = h.submit(VnpuRequest::mesh(3, 3));
         let small = h.submit(VnpuRequest::mesh(1, 2));
-        h.set_admission_policy(AdmissionPolicy::SmallestFirst);
+        h.set_admission_policy_obj(Arc::new(SmallestFirst));
         let events = h.process_admissions();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].id, small);
@@ -884,7 +1066,7 @@ mod tests {
     fn admission_retry_after_free_waits_for_departure() {
         let mut h = hv();
         let resident = h.create_vnpu(VnpuRequest::mesh(6, 6)).unwrap(); // full chip
-        h.set_admission_policy(AdmissionPolicy::RetryAfterFree);
+        h.set_admission_policy_obj(Arc::new(RetryAfterFree));
         let id = h.submit(VnpuRequest::mesh(2, 2));
         assert!(h.process_admissions().is_empty());
         // Without a destroy, the next tick does not even attempt it.
@@ -933,6 +1115,93 @@ mod tests {
         assert_eq!(events[0].id, starved);
         assert!(matches!(events[0].outcome, AdmissionOutcome::Rejected(_)));
         assert_eq!(h.pending_count(), 0);
+    }
+
+    #[test]
+    fn admission_backfill_skips_only_smaller_requests() {
+        let mut h = hv();
+        h.create_vnpu(VnpuRequest::mesh(6, 5)).unwrap(); // 6 cores left
+        let big = h.submit(VnpuRequest::mesh(3, 3)); // blocked head (9)
+        let same = h.submit(VnpuRequest::mesh(3, 3)); // same size: held back
+        let small = h.submit(VnpuRequest::mesh(1, 2)); // backfills
+        h.set_admission_policy_obj(Arc::new(Backfill));
+        let events = h.process_admissions();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].id, small);
+        assert!(matches!(events[0].outcome, AdmissionOutcome::Admitted(_)));
+        assert_eq!(h.pending_count(), 2, "both 3x3 requests stay queued");
+        let _ = (big, same);
+    }
+
+    #[test]
+    fn legacy_enum_policy_shim_still_works() {
+        let mut h = hv();
+        h.create_vnpu(VnpuRequest::mesh(6, 5)).unwrap();
+        h.submit(VnpuRequest::mesh(3, 3));
+        let small = h.submit(VnpuRequest::mesh(1, 2));
+        #[allow(deprecated)]
+        h.set_admission_policy(AdmissionPolicyKind::SmallestFirst);
+        let events = h.process_admissions();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].id, small);
+    }
+
+    #[test]
+    fn reconfig_generation_invalidates_mapping_cache() {
+        // Regression for the ROADMAP's "mapping-cache invalidation on
+        // reconfig" hazard: a hybrid-core rescale between two identical
+        // requests must miss the cache — the memoized strategy was costed
+        // against the old hardware.
+        let mut h = hv();
+        let vm = h.create_vnpu(VnpuRequest::mesh(2, 2)).unwrap();
+        h.destroy_vnpu(vm).unwrap();
+        assert_eq!(h.cache_stats().misses, 1);
+        h.bump_topology_generation();
+        let vm = h.create_vnpu(VnpuRequest::mesh(2, 2)).unwrap();
+        h.destroy_vnpu(vm).unwrap();
+        let stats = h.cache_stats();
+        assert_eq!(stats.hits, 0, "post-reconfig lookup must not hit");
+        assert_eq!(stats.misses, 2);
+        // Without another reconfig the new generation's entry hits.
+        h.create_vnpu(VnpuRequest::mesh(2, 2)).unwrap();
+        assert_eq!(h.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn terminal_no_candidate_rejection_carries_fit_hint() {
+        // Two free islands — a 3x2 block (6 cores) and a 2x2 block (4
+        // cores), 10 free total. A 3x3 request (9 cores) passes the count
+        // check but has no *connected* candidate → NoCandidate; with a
+        // budget of one attempt it is terminally rejected. The event must
+        // offer the largest shape that does fit: the whole 6-core island.
+        let mut h = hv();
+        let keep_free = [0u32, 1, 2, 6, 7, 8, 28, 29, 34, 35];
+        let taken: Vec<u32> = (0..36).filter(|c| !keep_free.contains(c)).collect();
+        h.reserve_cores(&taken).unwrap();
+        h.set_admission_max_attempts(Some(1));
+        let id = h.submit(VnpuRequest::mesh(3, 3));
+        let events = h.process_admissions();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].id, id);
+        assert!(matches!(
+            events[0].outcome,
+            AdmissionOutcome::Rejected(VnpuError::Mapping(vnpu_topo::TopoError::NoCandidate))
+        ));
+        let hint = events[0].fit_hint.expect("a 6-core island fits");
+        assert_eq!(hint.cores, 6, "largest fitting shape fills the big island");
+        assert_eq!((hint.width, hint.height), (3, 2));
+        // Admitted events never carry a hint.
+        let mut h2 = hv();
+        h2.submit(VnpuRequest::mesh(2, 2));
+        let ev = h2.process_admissions();
+        assert!(ev[0].fit_hint.is_none());
+    }
+
+    #[test]
+    fn fit_hint_is_none_on_a_full_chip() {
+        let mut h = hv();
+        h.create_vnpu(VnpuRequest::mesh(6, 6)).unwrap();
+        assert_eq!(h.fit_hint(), None);
     }
 
     #[test]

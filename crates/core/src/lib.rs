@@ -25,6 +25,15 @@
 //! NPUs without interconnect virtualization), plus the [`hwcost`] model
 //! reproducing the Figure 19 FPGA resource analysis.
 //!
+//! Above the single chip, [`cluster`] scales the same machinery to a
+//! fleet: a [`cluster::Cluster`] owns N hypervisors (heterogeneous chip
+//! models allowed) behind one admission queue, with pluggable
+//! [`cluster::ChipPlacement`] policies and a mapping cache shared across
+//! chips (keys carry each chip's topology fingerprint, so entries never
+//! alias). Admission ordering itself is the open
+//! [`admission::AdmissionPolicy`] trait — FIFO, smallest-first,
+//! retry-after-free, backfill and aging ship in-crate.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -46,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod cluster;
 pub mod hwcost;
 pub mod hypervisor;
 pub mod meta;
@@ -60,8 +70,13 @@ pub mod vrouter;
 mod ids;
 
 pub use admission::{
-    AdmissionEvent, AdmissionOutcome, AdmissionPolicy, AdmissionQueue, FragmentationStats,
-    RequestId,
+    AdmissionEvent, AdmissionOutcome, AdmissionPolicy, AdmissionPolicyKind, AdmissionQueue, Aging,
+    Backfill, FailureAction, Fifo, FitHint, FragmentationStats, PendingView, RequestId,
+    RetryAfterFree, SmallestFirst,
+};
+pub use cluster::{
+    BestFitFragmentation, ChipPlacement, ChipSnapshot, Cluster, ClusterAdmissionEvent,
+    ClusterAdmissionOutcome, ClusterVmId, FirstFit, LeastLoaded,
 };
 pub use hypervisor::Hypervisor;
 pub use ids::{PhysCoreId, VirtCoreId, VmId};
@@ -86,6 +101,13 @@ pub enum VnpuError {
     Sim(SimError),
     /// Referenced virtual NPU does not exist.
     UnknownVm(VmId),
+    /// A cluster operation referenced a chip index outside the fleet.
+    UnknownChip {
+        /// The offending chip index.
+        chip: usize,
+        /// Chips in the cluster.
+        count: usize,
+    },
     /// A virtual core ID outside the virtual NPU was referenced.
     VirtCoreOutOfRange {
         /// The offending virtual core.
@@ -126,6 +148,9 @@ impl fmt::Display for VnpuError {
             VnpuError::Memory(e) => write!(f, "memory virtualization failed: {e}"),
             VnpuError::Sim(e) => write!(f, "simulation error: {e}"),
             VnpuError::UnknownVm(vm) => write!(f, "unknown virtual NPU {vm}"),
+            VnpuError::UnknownChip { chip, count } => {
+                write!(f, "chip index {chip} out of range ({count} chips)")
+            }
             VnpuError::VirtCoreOutOfRange { vcore, count } => {
                 write!(f, "virtual core {vcore} out of range ({count} cores)")
             }

@@ -3,25 +3,33 @@
 //! The paper evaluates topology-aware virtualization statically: vNPUs
 //! are provisioned once, run, and the chip is torn down. This crate adds
 //! the regime a production NPU pool actually operates in — *continuous
-//! churn*: requests arrive over time, virtual NPUs are created and
+//! churn* over a *fleet*: requests arrive over time, a
+//! [`vnpu::cluster::Cluster`] of hypervisor-managed chips places them
+//! (heterogeneous chip models allowed), virtual NPUs are created and
 //! destroyed under fragmentation, mappings are recomputed (or, mostly,
-//! *remembered*) per arrival, and execution interleaves with placement.
+//! *remembered* via the cluster's shared
+//! [`vnpu_topo::cache::MappingCache`]) per arrival, and execution
+//! interleaves with placement.
 //!
 //! Three modules implement the loop:
 //!
 //! * [`arrivals`] — a deterministic seeded traffic model: Poisson-ish
 //!   inter-arrival gaps, a weighted mix of virtual-topology shapes
 //!   (meshes, chains, awkward core counts) and geometric lifetimes.
-//! * [`scheduler`] — the runtime itself: per tick it retires expired
-//!   tenants, submits arrivals to the hypervisor's admission queue
-//!   ([`vnpu::admission`]), runs one admission pass (through the
-//!   [`vnpu_topo::cache::MappingCache`] hot path), samples fragmentation,
-//!   and executes one machine epoch with every live tenant's programs
-//!   bound ([`vnpu_sim::machine::Machine::run_epoch`]).
+//! * [`scheduler`] — the runtime itself, **step-driven**: each
+//!   [`ServeRuntime::step`] retires expired tenants, submits arrivals to
+//!   the cluster admission queue ([`vnpu::admission`]), runs one
+//!   admission pass under the configured [`vnpu::AdmissionPolicy`] and
+//!   [`vnpu::ChipPlacement`] trait objects, samples fragmentation, and
+//!   executes one machine epoch per loaded chip
+//!   ([`vnpu_sim::machine::Machine::run_epoch`]). Callers interleave
+//!   inspection and policy swaps between steps;
+//!   [`ServeRuntime::run`] is the thin batch loop over `step` + drain.
 //! * [`report`] — the [`ServeReport`]: accepted/rejected/queued counts,
-//!   p50/p99 time-to-placement in controller cycles, mapping-cache hit
-//!   rate, the fragmentation trajectory, and leak accounting (a correct
-//!   run ends with zero cores and zero HBM bytes still allocated).
+//!   p50/p99 time-to-placement in controller cycles, shared-cache hit
+//!   rate, the fragmentation trajectory, per-chip breakdowns
+//!   ([`ChipReport`]), and leak accounting (a correct run ends with zero
+//!   cores and zero HBM bytes still allocated on every chip).
 //!
 //! # Example
 //!
@@ -34,6 +42,31 @@
 //! assert_eq!(report.leaked_cores, 0);
 //! assert_eq!(report.leaked_hbm_bytes, 0);
 //! ```
+//!
+//! Step-driven, over two heterogeneous chips, with a mid-run policy
+//! swap:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vnpu::admission::SmallestFirst;
+//! use vnpu::cluster::LeastLoaded;
+//! use vnpu_serve::{ServeConfig, ServeRuntime};
+//! use vnpu_sim::SocConfig;
+//!
+//! let small = SocConfig { mesh_width: 4, mesh_height: 4, ..SocConfig::sim() };
+//! let cfg = ServeConfig::cluster(7, 20, vec![SocConfig::sim(), small]);
+//! let mut rt = ServeRuntime::new(cfg);
+//! for _ in 0..10 {
+//!     rt.step().expect("tick");
+//! }
+//! rt.set_admission_policy(Arc::new(SmallestFirst));
+//! rt.set_placement(Arc::new(LeastLoaded));
+//! for _ in 0..10 {
+//!     rt.step().expect("tick");
+//! }
+//! rt.drain().expect("drain");
+//! assert_eq!(rt.report().leaked_cores, 0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,5 +76,5 @@ pub mod report;
 pub mod scheduler;
 
 pub use arrivals::{Arrival, ArrivalGenerator, Shape, TrafficConfig};
-pub use report::{FragSample, ServeReport};
-pub use scheduler::{ServeConfig, ServeRuntime};
+pub use report::{ChipReport, FragSample, ServeReport};
+pub use scheduler::{ChipSpec, ServeConfig, ServeRuntime, TickEvents};

@@ -1,25 +1,49 @@
 //! The churn-run report: admission outcomes, placement latency
-//! percentiles, mapping-cache effectiveness, fragmentation trajectory and
-//! leak accounting, with hand-rolled JSON output (the offline workspace
-//! has no serde).
+//! percentiles, mapping-cache effectiveness, fragmentation trajectory,
+//! per-chip breakdowns and leak accounting, with hand-rolled JSON output
+//! (the offline workspace has no serde).
 
 use vnpu_topo::cache::CacheStats;
 
-/// One per-tick fragmentation sample.
+/// One per-tick fragmentation sample, aggregated across the cluster's
+/// chips (sums for counts, free-core-weighted means for ratios).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FragSample {
     /// Tick (= epoch) index.
     pub tick: u64,
-    /// Free physical cores.
+    /// Free physical cores across all chips.
     pub free_cores: u32,
-    /// Connected components of the free region.
+    /// Connected components of the free regions, summed over chips.
     pub free_components: usize,
-    /// Largest free component over all free cores (1.0 = one island).
+    /// Free-core-weighted mean connectivity (1.0 when nothing is free).
     pub free_connectivity: f64,
-    /// Buddy external fragmentation (`1 − largest block / free bytes`).
+    /// Mean buddy external fragmentation across chips.
     pub hbm_external_fragmentation: f64,
-    /// Live virtual NPUs after this tick's admissions.
+    /// Live virtual NPUs across all chips after this tick's admissions.
     pub live_vnpus: usize,
+}
+
+/// Per-chip section of a [`ServeReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChipReport {
+    /// Chip index within the cluster.
+    pub chip: usize,
+    /// Mesh width of the chip.
+    pub mesh_width: u32,
+    /// Mesh height of the chip.
+    pub mesh_height: u32,
+    /// Requests placed onto this chip.
+    pub accepted: u64,
+    /// Tenants destroyed on this chip over the run.
+    pub departed: u64,
+    /// Machine epochs executed on this chip.
+    pub executed_epochs: u64,
+    /// Simulated machine cycles on this chip.
+    pub machine_cycles: u64,
+    /// Cores still marked used at report time (0 after a drain).
+    pub leaked_cores: u32,
+    /// HBM bytes still allocated at report time (0 after a drain).
+    pub leaked_hbm_bytes: u64,
 }
 
 /// Summary of one serving churn run.
@@ -45,20 +69,25 @@ pub struct ServeReport {
     pub p99_placement_cycles: u64,
     /// Worst observed time-to-placement in controller cycles.
     pub max_placement_cycles: u64,
-    /// Mapping-cache counters accumulated by the hypervisor.
+    /// Mapping-cache counters (the cluster's shared cache).
     pub cache: CacheStats,
-    /// Fragmentation trajectory, one sample per tick.
+    /// Fragmentation trajectory, one aggregated sample per tick.
     pub fragmentation: Vec<FragSample>,
-    /// Machine epochs actually executed (0 when execution is disabled).
+    /// Machine epochs executed, summed over chips (0 when execution is
+    /// disabled).
     pub executed_epochs: u64,
-    /// Total simulated machine cycles across executed epochs.
+    /// Total simulated machine cycles across chips and epochs.
     pub machine_cycles: u64,
     /// Controller cycles consumed over the run (ticks + configuration).
     pub controller_cycles: u64,
-    /// Cores still marked used after the final drain (must be 0).
+    /// Cores still marked used across all chips (must be 0 after the
+    /// final drain).
     pub leaked_cores: u32,
-    /// HBM bytes still allocated after the final drain (must be 0).
+    /// HBM bytes still allocated across all chips (must be 0 after the
+    /// final drain).
     pub leaked_hbm_bytes: u64,
+    /// Per-chip breakdowns, in chip order.
+    pub per_chip: Vec<ChipReport>,
 }
 
 impl ServeReport {
@@ -87,13 +116,16 @@ impl ServeReport {
             / self.fragmentation.len() as f64
     }
 
-    /// A compact human-readable summary block.
+    /// A compact human-readable summary block (cluster-level line plus
+    /// one line per chip).
     pub fn summary(&self) -> String {
-        format!(
-            "serve: {} epochs, {} submitted | accepted {} ({:.1}%), rejected {}, \
-             queued {} | placement cycles p50 {} p99 {} max {} | cache hits {} \
-             misses {} (hit rate {:.1}%) | mean free-connectivity {:.3} | \
-             executed {} machine epochs ({} cycles) | leaks: {} cores, {} HBM bytes",
+        let mut out = format!(
+            "serve: {} chips, {} epochs, {} submitted | accepted {} ({:.1}%), \
+             rejected {}, queued {} | placement cycles p50 {} p99 {} max {} | \
+             cache hits {} misses {} (hit rate {:.1}%) | mean \
+             free-connectivity {:.3} | executed {} machine epochs ({} cycles) \
+             | leaks: {} cores, {} HBM bytes",
+            self.per_chip.len(),
             self.epochs,
             self.submitted,
             self.accepted,
@@ -111,7 +143,23 @@ impl ServeReport {
             self.machine_cycles,
             self.leaked_cores,
             self.leaked_hbm_bytes,
-        )
+        );
+        for c in &self.per_chip {
+            out.push_str(&format!(
+                "\n  chip{} ({}x{}): accepted {}, departed {}, {} epochs \
+                 ({} cycles), leaks: {} cores, {} HBM bytes",
+                c.chip,
+                c.mesh_width,
+                c.mesh_height,
+                c.accepted,
+                c.departed,
+                c.executed_epochs,
+                c.machine_cycles,
+                c.leaked_cores,
+                c.leaked_hbm_bytes,
+            ));
+        }
+        out
     }
 
     /// Serializes the report as a JSON object (fragmentation trajectory
@@ -139,6 +187,27 @@ impl ServeReport {
             ));
         }
         frag.push(']');
+        let mut chips = String::from("[");
+        for (i, c) in self.per_chip.iter().enumerate() {
+            if i > 0 {
+                chips.push(',');
+            }
+            chips.push_str(&format!(
+                "{{\"chip\":{},\"mesh\":\"{}x{}\",\"accepted\":{},\
+                 \"departed\":{},\"executed_epochs\":{},\"machine_cycles\":{},\
+                 \"leaked_cores\":{},\"leaked_hbm_bytes\":{}}}",
+                c.chip,
+                c.mesh_width,
+                c.mesh_height,
+                c.accepted,
+                c.departed,
+                c.executed_epochs,
+                c.machine_cycles,
+                c.leaked_cores,
+                c.leaked_hbm_bytes,
+            ));
+        }
+        chips.push(']');
         format!(
             "{{\n  \"seed\": {},\n  \"epochs\": {},\n  \"submitted\": {},\n  \
              \"accepted\": {},\n  \"rejected\": {},\n  \"queued_at_end\": {},\n  \
@@ -148,7 +217,8 @@ impl ServeReport {
              \"cache_hit_rate\": {:.4},\n  \"cache_evictions\": {},\n  \
              \"executed_epochs\": {},\n  \"machine_cycles\": {},\n  \
              \"controller_cycles\": {},\n  \"leaked_cores\": {},\n  \
-             \"leaked_hbm_bytes\": {},\n  \"fragmentation\": {}\n}}",
+             \"leaked_hbm_bytes\": {},\n  \"chips\": {},\n  \
+             \"fragmentation\": {}\n}}",
             self.seed,
             self.epochs,
             self.submitted,
@@ -168,6 +238,7 @@ impl ServeReport {
             self.controller_cycles,
             self.leaked_cores,
             self.leaked_hbm_bytes,
+            chips,
             frag,
         )
     }
@@ -224,12 +295,25 @@ mod tests {
             controller_cycles: 99,
             leaked_cores: 0,
             leaked_hbm_bytes: 0,
+            per_chip: vec![ChipReport {
+                chip: 0,
+                mesh_width: 6,
+                mesh_height: 6,
+                accepted: 2,
+                departed: 2,
+                executed_epochs: 2,
+                machine_cycles: 1000,
+                leaked_cores: 0,
+                leaked_hbm_bytes: 0,
+            }],
         };
         let json = r.to_json(usize::MAX);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"cache_hit_rate\""));
+        assert!(json.contains("\"chips\": [{"));
         assert!(json.contains("\"fragmentation\": [{"));
         assert!(!r.summary().is_empty());
+        assert!(r.summary().contains("chip0 (6x6)"));
     }
 }

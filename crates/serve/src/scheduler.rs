@@ -1,40 +1,63 @@
-//! The serving loop: departures → arrivals → admission tick → execution
-//! epoch, repeated, with every step deterministic under the seed.
+//! The serving loop: departures → arrivals → cluster admission tick →
+//! execution epochs, repeated, with every step deterministic under the
+//! seed.
 //!
-//! Each *tick* of the runtime is one machine epoch. The scheduler first
-//! retires tenants whose lifetime expired (destroying their vNPUs frees
-//! cores and HBM — the fragmentation churn of §4.3), then submits the
-//! tick's arrivals to the hypervisor's admission queue, runs one
-//! admission pass under the configured policy, and finally binds every
-//! live tenant's per-core program into the machine and executes the
-//! epoch. Placement latency is measured in *controller cycles*: a fixed
-//! per-tick scheduling overhead plus the meta-table configuration cycles
-//! the hypervisor actually spends (the Figure 11 cost model), accrued
+//! Each *tick* of the runtime is one machine epoch per loaded chip. The
+//! scheduler first retires tenants whose lifetime expired (destroying
+//! their vNPUs frees cores and HBM — the fragmentation churn of §4.3),
+//! then submits the tick's arrivals to the cluster's admission queue,
+//! runs one admission pass under the configured [`AdmissionPolicy`] and
+//! [`ChipPlacement`], and finally binds every live tenant's per-core
+//! program into its chip's machine and executes the epoch. Placement
+//! latency is measured in *controller cycles*: a fixed per-tick
+//! scheduling overhead plus the meta-table configuration cycles the
+//! hypervisors actually spend (the Figure 11 cost model), accrued
 //! incrementally so each placement is charged only the configuration
 //! work done up to its own admission decision.
+//!
+//! The runtime is **step-driven**: [`ServeRuntime::step`] advances one
+//! tick and returns its [`TickEvents`], so callers can interleave
+//! inspection, policy swaps ([`ServeRuntime::set_admission_policy`],
+//! [`ServeRuntime::set_placement`]) and hardware reconfiguration
+//! ([`ServeRuntime::set_core_scales`]) at epoch boundaries — the natural
+//! hook points for the migration and defragmentation passes to come.
+//! [`ServeRuntime::run`] remains as the thin batch loop: step through
+//! the configured epochs, [`ServeRuntime::drain`], report.
 
 use crate::arrivals::{Arrival, ArrivalGenerator, TrafficConfig};
-use crate::report::{percentile, FragSample, ServeReport};
+use crate::report::{percentile, ChipReport, FragSample, ServeReport};
 use std::collections::{BTreeMap, HashMap};
-use vnpu::admission::{AdmissionOutcome, AdmissionPolicy, RequestId};
-use vnpu::{Hypervisor, VirtCoreId, VmId};
+use std::sync::Arc;
+use vnpu::admission::{AdmissionPolicy, Fifo, FitHint, RequestId};
+use vnpu::cluster::{ChipPlacement, Cluster, ClusterAdmissionOutcome, ClusterVmId, FirstFit};
+use vnpu::{Hypervisor, VirtCoreId};
 use vnpu_sim::isa::{Instr, Program};
 use vnpu_sim::machine::{Machine, TenantId};
 use vnpu_sim::SocConfig;
 
+/// One chip of a serving deployment: its SoC model and HBM capacity.
+#[derive(Debug, Clone)]
+pub struct ChipSpec {
+    /// The chip model.
+    pub soc: SocConfig,
+    /// HBM capacity managed by the chip's hypervisor.
+    pub hbm_bytes: u64,
+}
+
 /// Configuration of one serving run.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// The chip model.
-    pub soc: SocConfig,
-    /// HBM capacity managed by the hypervisor.
-    pub hbm_bytes: u64,
-    /// Ticks (= machine epochs) to simulate.
+    /// The chips behind the front door (heterogeneous models allowed;
+    /// at least one).
+    pub chips: Vec<ChipSpec>,
+    /// Ticks (= machine epochs) [`ServeRuntime::run`] simulates.
     pub epochs: u64,
     /// The seeded traffic model.
     pub traffic: TrafficConfig,
-    /// Admission ordering policy.
-    pub policy: AdmissionPolicy,
+    /// Admission ordering policy (cluster-wide).
+    pub policy: Arc<dyn AdmissionPolicy>,
+    /// Chip-placement policy.
+    pub placement: Arc<dyn ChipPlacement>,
     /// Placement attempts per request before rejection (`None` = forever).
     pub max_attempts: Option<u32>,
     /// Whether to bind and execute tenant programs each epoch (off =
@@ -42,20 +65,34 @@ pub struct ServeConfig {
     pub execute_epochs: bool,
     /// Controller cycles charged per scheduling tick (queue scan, MMIO
     /// doorbells); configuration cycles are accounted on top from the
-    /// hypervisor's own meta-table cost model.
+    /// hypervisors' own meta-table cost model.
     pub tick_cycles: u64,
 }
 
 impl ServeConfig {
-    /// A standard churn scenario on the paper's 6×6 SIM chip: modest HBM
-    /// (so memory churn matters), execution on, FIFO admission.
+    /// A standard churn scenario on one of the paper's 6×6 SIM chips:
+    /// modest HBM (so memory churn matters), execution on, FIFO
+    /// admission, first-fit placement.
     pub fn standard(seed: u64, epochs: u64) -> Self {
+        Self::cluster(seed, epochs, vec![SocConfig::sim()])
+    }
+
+    /// A churn scenario over an explicit set of chip models (each with
+    /// the standard 4 GiB serving HBM), FIFO admission, first-fit
+    /// placement.
+    pub fn cluster(seed: u64, epochs: u64, socs: Vec<SocConfig>) -> Self {
         ServeConfig {
-            soc: SocConfig::sim(),
-            hbm_bytes: 4 << 30,
+            chips: socs
+                .into_iter()
+                .map(|soc| ChipSpec {
+                    soc,
+                    hbm_bytes: 4 << 30,
+                })
+                .collect(),
             epochs,
             traffic: TrafficConfig::standard(seed),
-            policy: AdmissionPolicy::Fifo,
+            policy: Arc::new(Fifo),
+            placement: Arc::new(FirstFit),
             max_attempts: Some(24),
             execute_epochs: true,
             tick_cycles: 1_000,
@@ -63,22 +100,52 @@ impl ServeConfig {
     }
 }
 
+/// What one [`ServeRuntime::step`] did, for callers steering the loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickEvents {
+    /// The tick that just ran.
+    pub tick: u64,
+    /// Requests that arrived (and were submitted) this tick.
+    pub arrivals: u64,
+    /// Virtual NPUs placed this tick, in admission order.
+    pub admitted: Vec<ClusterVmId>,
+    /// Requests terminally rejected this tick, each with the fleet's fit
+    /// hint (the largest shape that *would* have placed) when the
+    /// rejection was for want of a candidate.
+    pub rejected: Vec<(RequestId, Option<FitHint>)>,
+    /// Tenants retired this tick.
+    pub departed: u64,
+    /// Requests still queued after the admission pass.
+    pub queued: u64,
+    /// Chips that executed a machine epoch this tick.
+    pub executed_chips: u32,
+}
+
 #[derive(Debug)]
 struct LiveVnpu {
-    vm: VmId,
+    id: ClusterVmId,
     tenant: TenantId,
     expires_at_epoch: u64,
 }
 
-/// The serving runtime: one hypervisor + one machine driven through
-/// continuous churn.
+/// Per-chip running counters folded into the final [`ChipReport`]s.
+#[derive(Debug, Default, Clone, Copy)]
+struct ChipCounters {
+    accepted: u64,
+    departed: u64,
+    executed_epochs: u64,
+    machine_cycles: u64,
+}
+
+/// The serving runtime: a [`Cluster`] of hypervisor-managed chips, one
+/// [`Machine`] per chip, driven through continuous churn.
 #[derive(Debug)]
 pub struct ServeRuntime {
     cfg: ServeConfig,
-    hv: Hypervisor,
-    machine: Machine,
+    cluster: Cluster,
+    machines: Vec<Machine>,
     generator: ArrivalGenerator,
-    live: BTreeMap<VmId, LiveVnpu>,
+    live: BTreeMap<ClusterVmId, LiveVnpu>,
     /// Lifetime (epochs) of each queued request, by admission ID.
     queued_lifetimes: HashMap<RequestId, u64>,
     /// Controller-cycle stamp of each submission.
@@ -89,22 +156,38 @@ pub struct ServeRuntime {
     accepted: u64,
     rejected: u64,
     departed: u64,
-    executed_epochs: u64,
-    machine_cycles: u64,
     fragmentation: Vec<FragSample>,
+    per_chip: Vec<ChipCounters>,
+    tick: u64,
 }
 
 impl ServeRuntime {
-    /// Builds the runtime (hypervisor, machine and traffic stream).
+    /// Builds the runtime (cluster, machines and traffic stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the config lists no chips.
     pub fn new(cfg: ServeConfig) -> Self {
-        let mut hv = Hypervisor::with_hbm_bytes(cfg.soc.clone(), cfg.hbm_bytes);
-        hv.set_admission_policy(cfg.policy);
-        hv.set_admission_max_attempts(cfg.max_attempts);
-        let machine = Machine::new(cfg.soc.clone());
+        assert!(!cfg.chips.is_empty(), "a serving runtime needs chips");
+        let mut cluster = Cluster::with_chips(
+            cfg.chips
+                .iter()
+                .map(|c| Hypervisor::with_hbm_bytes(c.soc.clone(), c.hbm_bytes))
+                .collect(),
+        );
+        cluster.set_admission_policy(Arc::clone(&cfg.policy));
+        cluster.set_placement(Arc::clone(&cfg.placement));
+        cluster.set_max_attempts(cfg.max_attempts);
+        let machines = cfg
+            .chips
+            .iter()
+            .map(|c| Machine::new(c.soc.clone()))
+            .collect();
         let generator = ArrivalGenerator::new(cfg.traffic.clone());
+        let per_chip = vec![ChipCounters::default(); cfg.chips.len()];
         ServeRuntime {
-            hv,
-            machine,
+            cluster,
+            machines,
             generator,
             live: BTreeMap::new(),
             queued_lifetimes: HashMap::new(),
@@ -115,9 +198,9 @@ impl ServeRuntime {
             accepted: 0,
             rejected: 0,
             departed: 0,
-            executed_epochs: 0,
-            machine_cycles: 0,
             fragmentation: Vec::new(),
+            per_chip,
+            tick: 0,
             cfg,
         }
     }
@@ -127,95 +210,138 @@ impl ServeRuntime {
         self.live.len()
     }
 
-    /// The hypervisor (for inspection).
-    pub fn hypervisor(&self) -> &Hypervisor {
-        &self.hv
+    /// The next tick [`ServeRuntime::step`] will run.
+    pub fn tick_index(&self) -> u64 {
+        self.tick
+    }
+
+    /// The cluster (for inspection: per-chip hypervisors, queue state,
+    /// shared-cache statistics).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Swaps the cluster admission policy — safe at any epoch boundary;
+    /// queued requests are kept.
+    pub fn set_admission_policy(&mut self, policy: Arc<dyn AdmissionPolicy>) {
+        self.cluster.set_admission_policy(policy);
+    }
+
+    /// Swaps the chip-placement policy — safe at any epoch boundary.
+    pub fn set_placement(&mut self, placement: Arc<dyn ChipPlacement>) {
+        self.cluster.set_placement(placement);
+    }
+
+    /// Reconfigures a hybrid core (§7) on one chip, keeping the mapping
+    /// cache honest: the machine bumps its own
+    /// [`Machine::topology_generation`] inside `set_core_scales`, and the
+    /// chip's hypervisor adopts that counter as the ground truth — so
+    /// placements memoized against the old hardware expire instead of
+    /// replaying (the ROADMAP's "mapping-cache invalidation on reconfig"
+    /// hazard), and the two counters cannot drift.
+    ///
+    /// # Errors
+    ///
+    /// [`vnpu::VnpuError::UnknownChip`] for a bad chip index,
+    /// [`vnpu::VnpuError::Sim`] for a bad core index.
+    pub fn set_core_scales(
+        &mut self,
+        chip: usize,
+        core: u32,
+        matrix_pct: u32,
+        vector_pct: u32,
+    ) -> Result<(), vnpu::VnpuError> {
+        let count = self.machines.len();
+        let machine = self
+            .machines
+            .get_mut(chip)
+            .ok_or(vnpu::VnpuError::UnknownChip { chip, count })?;
+        machine
+            .set_core_scales(core, matrix_pct, vector_pct)
+            .map_err(vnpu::VnpuError::Sim)?;
+        let generation = machine.topology_generation();
+        self.cluster
+            .chip_mut(chip)
+            .set_topology_generation(generation);
+        Ok(())
     }
 
     /// Runs the configured number of epochs, drains all remaining
-    /// tenants, and returns the report.
+    /// tenants, and returns the report — the batch form of the
+    /// step-driven API.
     ///
     /// # Errors
     ///
     /// Propagates simulator failures (deadlock, cycle limit) — these
     /// indicate a runtime bug, not load; placement failures are data.
     pub fn run(mut self) -> Result<ServeReport, vnpu::VnpuError> {
-        for tick in 0..self.cfg.epochs {
-            self.tick(tick)?;
+        while self.tick < self.cfg.epochs {
+            self.step()?;
         }
-        // Drain: retire every remaining tenant so leak accounting is
-        // meaningful (a correct run ends with a pristine chip).
-        let remaining: Vec<VmId> = self.live.keys().copied().collect();
-        for vm in remaining {
-            self.retire(vm)?;
-        }
-        let leaked_cores = self.cfg.soc.core_count() - self.hv.free_core_count();
-        let leaked_hbm = self.hv.hbm_total_bytes() - self.hv.hbm_free_bytes();
-        let mut sorted = self.placement_cycles.clone();
-        sorted.sort_unstable();
-        Ok(ServeReport {
-            seed: self.cfg.traffic.seed,
-            epochs: self.cfg.epochs,
-            submitted: self.generator.generated(),
-            accepted: self.accepted,
-            rejected: self.rejected,
-            queued_at_end: self.hv.pending_count() as u64,
-            departed: self.departed,
-            p50_placement_cycles: percentile(&sorted, 50),
-            p99_placement_cycles: percentile(&sorted, 99),
-            max_placement_cycles: sorted.last().copied().unwrap_or(0),
-            cache: self.hv.cache_stats(),
-            fragmentation: self.fragmentation,
-            executed_epochs: self.executed_epochs,
-            machine_cycles: self.machine_cycles,
-            controller_cycles: self.controller_cycles,
-            leaked_cores,
-            leaked_hbm_bytes: leaked_hbm,
-        })
+        self.drain()?;
+        Ok(self.report())
     }
 
-    fn tick(&mut self, tick: u64) -> Result<(), vnpu::VnpuError> {
+    /// Advances one tick: departures, arrivals, one cluster admission
+    /// pass, a fragmentation sample, and (when enabled) one machine
+    /// epoch on every chip with live tenants. Steps past
+    /// `cfg.epochs` keep working — the bound only applies to
+    /// [`ServeRuntime::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures; placement failures are data.
+    pub fn step(&mut self) -> Result<TickEvents, vnpu::VnpuError> {
+        let tick = self.tick;
+        self.tick += 1;
         self.controller_cycles += self.cfg.tick_cycles;
+        let mut events = TickEvents {
+            tick,
+            arrivals: 0,
+            admitted: Vec::new(),
+            rejected: Vec::new(),
+            departed: 0,
+            queued: 0,
+            executed_chips: 0,
+        };
 
         // 1. Departures: tenants whose lifetime expired leave first,
         //    freeing cores/HBM for this tick's admissions.
-        let expired: Vec<VmId> = self
+        let expired: Vec<ClusterVmId> = self
             .live
             .values()
             .filter(|l| l.expires_at_epoch <= tick)
-            .map(|l| l.vm)
+            .map(|l| l.id)
             .collect();
-        for vm in expired {
-            self.retire(vm)?;
+        for id in expired {
+            self.retire(id)?;
+            events.departed += 1;
         }
         // Departures may spend configuration cycles (meta-table
         // teardown); fold them into the controller clock *before* this
         // tick's arrivals are stamped, so pre-admission work never
         // inflates their measured placement latency. Nothing between here
-        // and the admission pass touches the hypervisor's config-cycle
-        // counter, so `config_base` is also the pass's starting point.
-        let config_base = self.hv.total_config_cycles();
+        // and the admission pass touches the hypervisors' config-cycle
+        // counters, so `config_base` is also the pass's starting point.
+        let config_base = self.cluster.total_config_cycles();
         self.controller_cycles += config_base - self.accounted_config_cycles;
         self.accounted_config_cycles = config_base;
 
-        // 2. Arrivals enter the admission queue.
+        // 2. Arrivals enter the cluster admission queue.
         let arrivals: Vec<Arrival> = self.generator.arrivals_for_tick(tick);
         for arrival in arrivals {
-            let id = self.hv.submit(arrival.request);
+            let id = self.cluster.submit(arrival.request);
             self.queued_lifetimes.insert(id, arrival.lifetime_epochs);
             self.submitted_at.insert(id, self.controller_cycles);
+            events.arrivals += 1;
         }
 
-        // 3. One admission pass. Configuration cycles are accounted
-        //    incrementally: every decision carries the hypervisor's
-        //    cumulative config-cycle counter at the moment it was made, so
-        //    each placement is stamped with only the configuration work
-        //    accrued up to *that* event — charging every admission in a
-        //    tick for the whole tick's meta-table deployments would
-        //    inflate p50/p99 time-to-placement whenever several
-        //    placements land on one tick.
-        let events = self.hv.process_admissions();
-        for event in events {
+        // 3. One cluster admission pass. Configuration cycles are
+        //    accounted incrementally: every decision carries the
+        //    cluster-wide cumulative config-cycle counter at the moment
+        //    it was made, so each placement is stamped with only the
+        //    configuration work accrued up to *that* event.
+        for event in self.cluster.process_admissions() {
             let lifetime = self
                 .queued_lifetimes
                 .remove(&event.id)
@@ -225,61 +351,163 @@ impl ServeRuntime {
                 .remove(&event.id)
                 .expect("every queued id has a submit stamp");
             match event.outcome {
-                AdmissionOutcome::Admitted(vm) => {
+                ClusterAdmissionOutcome::Admitted(id) => {
                     self.accepted += 1;
+                    self.per_chip[id.chip].accepted += 1;
                     let decided_at =
                         self.controller_cycles + (event.config_cycles_total - config_base);
                     self.placement_cycles.push(decided_at.saturating_sub(stamp));
-                    let name = format!("vm{}", vm.0);
-                    let tenant = self.machine.add_tenant(&name);
+                    let name = format!("chip{}vm{}", id.chip, id.vm.0);
+                    let tenant = self.machines[id.chip].add_tenant(&name);
                     self.live.insert(
-                        vm,
+                        id,
                         LiveVnpu {
-                            vm,
+                            id,
                             tenant,
                             expires_at_epoch: tick + lifetime.max(1),
                         },
                     );
+                    events.admitted.push(id);
                 }
-                AdmissionOutcome::Rejected(_) => {
+                ClusterAdmissionOutcome::Rejected(_) => {
                     self.rejected += 1;
+                    events.rejected.push((event.id, event.fit_hint));
                 }
             }
         }
-        let config_now = self.hv.total_config_cycles();
+        let config_now = self.cluster.total_config_cycles();
         self.controller_cycles += config_now - config_base;
         self.accounted_config_cycles = config_now;
+        events.queued = self.cluster.pending_count() as u64;
 
-        // 4. Fragmentation sample (after admissions, before execution).
-        let frag = self.hv.fragmentation();
+        // 4. Fragmentation sample (after admissions, before execution),
+        //    aggregated across chips.
+        let frags = self.cluster.fragmentation();
+        let free_cores: u32 = frags.iter().map(|f| f.free_cores).sum();
+        let weighted_conn: f64 = frags
+            .iter()
+            .map(|f| f.free_connectivity * f64::from(f.free_cores))
+            .sum();
         self.fragmentation.push(FragSample {
             tick,
-            free_cores: frag.free_cores,
-            free_components: frag.free_components,
-            free_connectivity: frag.free_connectivity,
-            hbm_external_fragmentation: frag.hbm_external_fragmentation,
+            free_cores,
+            free_components: frags.iter().map(|f| f.free_components).sum(),
+            free_connectivity: if free_cores == 0 {
+                1.0
+            } else {
+                weighted_conn / f64::from(free_cores)
+            },
+            hbm_external_fragmentation: frags
+                .iter()
+                .map(|f| f.hbm_external_fragmentation)
+                .sum::<f64>()
+                / frags.len().max(1) as f64,
             live_vnpus: self.live.len(),
         });
 
-        // 5. Execution epoch: every live tenant runs its ring workload.
+        // 5. Execution epochs: every chip with live tenants runs them.
         if self.cfg.execute_epochs && !self.live.is_empty() {
-            for l in self.live.values() {
-                bind_ring_workload(&mut self.machine, &self.hv, l.vm, l.tenant)?;
+            for chip in 0..self.machines.len() {
+                let residents: Vec<(ClusterVmId, TenantId)> = self
+                    .live
+                    .values()
+                    .filter(|l| l.id.chip == chip)
+                    .map(|l| (l.id, l.tenant))
+                    .collect();
+                if residents.is_empty() {
+                    continue;
+                }
+                for (id, tenant) in residents {
+                    bind_ring_workload(
+                        &mut self.machines[chip],
+                        self.cluster.chip(chip),
+                        id,
+                        tenant,
+                    )?;
+                }
+                let report = self.machines[chip]
+                    .run_epoch()
+                    .map_err(vnpu::VnpuError::Sim)?;
+                self.per_chip[chip].executed_epochs += 1;
+                self.per_chip[chip].machine_cycles += report.makespan();
+                events.executed_chips += 1;
             }
-            let report = self.machine.run_epoch().map_err(vnpu::VnpuError::Sim)?;
-            self.executed_epochs += 1;
-            self.machine_cycles += report.makespan();
         }
-        Ok(())
+        Ok(events)
     }
 
-    fn retire(&mut self, vm: VmId) -> Result<(), vnpu::VnpuError> {
-        let live = self.live.remove(&vm).expect("retire() only on live vms");
-        self.hv.destroy_vnpu(vm)?;
-        self.machine
+    /// Retires every remaining tenant so leak accounting is meaningful
+    /// (a correct run ends with pristine chips). Returns the number of
+    /// tenants drained.
+    ///
+    /// # Errors
+    ///
+    /// Propagates teardown failures.
+    pub fn drain(&mut self) -> Result<u64, vnpu::VnpuError> {
+        let remaining: Vec<ClusterVmId> = self.live.keys().copied().collect();
+        let count = remaining.len() as u64;
+        for id in remaining {
+            self.retire(id)?;
+        }
+        Ok(count)
+    }
+
+    /// A snapshot report of the run so far. Leak accounting reflects the
+    /// *current* occupancy — call [`ServeRuntime::drain`] first (as
+    /// [`ServeRuntime::run`] does) for the end-of-run invariant that
+    /// leaks must be zero.
+    pub fn report(&self) -> ServeReport {
+        let mut sorted = self.placement_cycles.clone();
+        sorted.sort_unstable();
+        let per_chip: Vec<ChipReport> = self
+            .cluster
+            .chips()
+            .enumerate()
+            .map(|(i, hv)| {
+                let counters = &self.per_chip[i];
+                ChipReport {
+                    chip: i,
+                    mesh_width: hv.config().mesh_width,
+                    mesh_height: hv.config().mesh_height,
+                    accepted: counters.accepted,
+                    departed: counters.departed,
+                    executed_epochs: counters.executed_epochs,
+                    machine_cycles: counters.machine_cycles,
+                    leaked_cores: hv.config().core_count() - hv.free_core_count(),
+                    leaked_hbm_bytes: hv.hbm_total_bytes() - hv.hbm_free_bytes(),
+                }
+            })
+            .collect();
+        ServeReport {
+            seed: self.cfg.traffic.seed,
+            epochs: self.tick,
+            submitted: self.generator.generated(),
+            accepted: self.accepted,
+            rejected: self.rejected,
+            queued_at_end: self.cluster.pending_count() as u64,
+            departed: self.departed,
+            p50_placement_cycles: percentile(&sorted, 50),
+            p99_placement_cycles: percentile(&sorted, 99),
+            max_placement_cycles: sorted.last().copied().unwrap_or(0),
+            cache: self.cluster.cache_stats(),
+            fragmentation: self.fragmentation.clone(),
+            executed_epochs: per_chip.iter().map(|c| c.executed_epochs).sum(),
+            machine_cycles: per_chip.iter().map(|c| c.machine_cycles).sum(),
+            controller_cycles: self.controller_cycles,
+            leaked_cores: per_chip.iter().map(|c| c.leaked_cores).sum(),
+            leaked_hbm_bytes: per_chip.iter().map(|c| c.leaked_hbm_bytes).sum(),
+            per_chip,
+        }
+    }
+
+    fn retire(&mut self, id: ClusterVmId) -> Result<(), vnpu::VnpuError> {
+        let live = self.live.remove(&id).expect("retire() only on live vms");
+        self.cluster.destroy(id)?;
+        self.machines[id.chip]
             .remove_tenant(live.tenant)
             .map_err(vnpu::VnpuError::Sim)?;
         self.departed += 1;
+        self.per_chip[id.chip].departed += 1;
         Ok(())
     }
 }
@@ -291,14 +519,14 @@ impl ServeRuntime {
 fn bind_ring_workload(
     machine: &mut Machine,
     hv: &Hypervisor,
-    vm: VmId,
+    id: ClusterVmId,
     tenant: TenantId,
 ) -> Result<(), vnpu::VnpuError> {
-    let vnpu = hv.vnpu(vm)?;
+    let vnpu = hv.vnpu(id.vm)?;
     let n = vnpu.core_count();
     for v in 0..n {
         let phys = vnpu.phys_core(VirtCoreId(v))?;
-        let services = hv.services(vm, VirtCoreId(v))?;
+        let services = hv.services(id.vm, VirtCoreId(v))?;
         let body = if n == 1 {
             vec![Instr::matmul(16, 16, 16)]
         } else {
@@ -320,9 +548,22 @@ fn bind_ring_workload(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vnpu::admission::{Aging, Backfill, RetryAfterFree, SmallestFirst};
+    use vnpu::cluster::{BestFitFragmentation, LeastLoaded};
 
     fn quick_cfg(seed: u64) -> ServeConfig {
         let mut cfg = ServeConfig::standard(seed, 80);
+        cfg.traffic.candidate_cap = 200;
+        cfg
+    }
+
+    fn quick_cluster_cfg(seed: u64) -> ServeConfig {
+        let small = SocConfig {
+            mesh_width: 4,
+            mesh_height: 4,
+            ..SocConfig::sim()
+        };
+        let mut cfg = ServeConfig::cluster(seed, 80, vec![SocConfig::sim(), small]);
         cfg.traffic.candidate_cap = 200;
         cfg
     }
@@ -348,6 +589,65 @@ mod tests {
         assert!(a.departed >= a.accepted.saturating_sub(36), "tenants churn");
         assert!(a.executed_epochs > 0);
         assert!(a.machine_cycles > 0);
+        assert_eq!(a.per_chip.len(), 1);
+        assert_eq!(a.per_chip[0].accepted, a.accepted);
+    }
+
+    #[test]
+    fn cluster_churn_spreads_and_stays_leak_free() {
+        let mut cfg = quick_cluster_cfg(17);
+        cfg.placement = Arc::new(LeastLoaded);
+        let r = ServeRuntime::new(cfg).run().unwrap();
+        assert_eq!(r.leaked_cores, 0);
+        assert_eq!(r.leaked_hbm_bytes, 0);
+        assert_eq!(r.per_chip.len(), 2);
+        assert!(
+            r.per_chip.iter().all(|c| c.accepted > 0),
+            "least-loaded must use both chips: {:?}",
+            r.per_chip
+        );
+        assert_eq!(
+            r.per_chip.iter().map(|c| c.accepted).sum::<u64>(),
+            r.accepted
+        );
+        assert_eq!(
+            r.per_chip.iter().map(|c| c.departed).sum::<u64>(),
+            r.departed
+        );
+    }
+
+    #[test]
+    fn step_api_matches_batch_run() {
+        // Driving the loop manually must reproduce run() exactly.
+        let batch = ServeRuntime::new(quick_cfg(11)).run().unwrap();
+        let mut rt = ServeRuntime::new(quick_cfg(11));
+        let mut total_arrivals = 0;
+        for _ in 0..80 {
+            let ev = rt.step().unwrap();
+            total_arrivals += ev.arrivals;
+        }
+        rt.drain().unwrap();
+        let stepped = rt.report();
+        assert_eq!(batch, stepped);
+        assert_eq!(total_arrivals, stepped.submitted);
+    }
+
+    #[test]
+    fn mid_run_policy_swap_keeps_running_and_queue() {
+        let mut rt = ServeRuntime::new(quick_cfg(7));
+        for _ in 0..40 {
+            rt.step().unwrap();
+        }
+        rt.set_admission_policy(Arc::new(SmallestFirst));
+        rt.set_placement(Arc::new(BestFitFragmentation));
+        for _ in 0..40 {
+            rt.step().unwrap();
+        }
+        rt.drain().unwrap();
+        let r = rt.report();
+        assert_eq!(r.leaked_cores, 0);
+        assert_eq!(r.leaked_hbm_bytes, 0);
+        assert!(r.accepted > 0);
     }
 
     #[test]
@@ -387,17 +687,21 @@ mod tests {
 
     #[test]
     fn policies_all_run_leak_free() {
-        for policy in [
-            AdmissionPolicy::Fifo,
-            AdmissionPolicy::SmallestFirst,
-            AdmissionPolicy::RetryAfterFree,
-        ] {
+        let policies: Vec<Arc<dyn AdmissionPolicy>> = vec![
+            Arc::new(Fifo),
+            Arc::new(SmallestFirst),
+            Arc::new(RetryAfterFree),
+            Arc::new(Backfill),
+            Arc::new(Aging::default()),
+        ];
+        for policy in policies {
+            let name = policy.name();
             let mut cfg = quick_cfg(21);
             cfg.policy = policy;
             let r = ServeRuntime::new(cfg).run().unwrap();
-            assert_eq!(r.leaked_cores, 0, "{policy:?}");
-            assert_eq!(r.leaked_hbm_bytes, 0, "{policy:?}");
-            assert!(r.accepted > 0, "{policy:?}");
+            assert_eq!(r.leaked_cores, 0, "{name}");
+            assert_eq!(r.leaked_hbm_bytes, 0, "{name}");
+            assert!(r.accepted > 0, "{name}");
         }
     }
 
@@ -409,5 +713,30 @@ mod tests {
         assert_eq!(r.executed_epochs, 0);
         assert_eq!(r.machine_cycles, 0);
         assert!(r.accepted > 0);
+    }
+
+    #[test]
+    fn set_core_scales_syncs_machine_and_cache_generation() {
+        // The serve-layer reconfig entry point must bump the chip's
+        // mapping-cache generation in lockstep with the machine's scales,
+        // so identical requests across the reconfig miss the cache.
+        let mut rt = ServeRuntime::new(quick_cfg(4));
+        assert_eq!(rt.cluster().chip(0).topology_generation(), 0);
+        rt.set_core_scales(0, 3, 50, 200).unwrap();
+        let generation = rt.cluster().chip(0).topology_generation();
+        assert_ne!(generation, 0, "reconfig must change the generation");
+        assert!(
+            matches!(
+                rt.set_core_scales(9, 0, 50, 200),
+                Err(vnpu::VnpuError::UnknownChip { chip: 9, count: 1 })
+            ),
+            "bad chip index names the chip, not the core"
+        );
+        assert!(rt.set_core_scales(0, 999, 50, 200).is_err(), "bad core");
+        assert_eq!(
+            rt.cluster().chip(0).topology_generation(),
+            generation,
+            "failed reconfigs must not change the generation"
+        );
     }
 }

@@ -135,6 +135,15 @@ pub struct Machine {
     pub(crate) epoch: EpochState,
     epoch_index: u64,
     epoch_history: Vec<EpochSummary>,
+    /// Hardware-reconfiguration fingerprint, evolved as a hash chain by
+    /// [`Machine::set_core_scales`]: virtualization layers fold this into
+    /// their mapping-cache keys so strategies costed against the old
+    /// hardware expire on reconfig. A hash chain (not a bare counter) so
+    /// two identically-modeled chips reconfigured *differently* can never
+    /// collide on "same number of reconfigs" — only chips that applied
+    /// the same reconfig sequence (and therefore have the same hardware
+    /// state) share a value. 0 = pristine.
+    topology_generation: u64,
 }
 
 impl std::fmt::Debug for Machine {
@@ -164,8 +173,21 @@ impl Machine {
             epoch: EpochState::new(n),
             epoch_index: 0,
             epoch_history: Vec::new(),
+            topology_generation: 0,
             cfg,
         }
+    }
+
+    /// Hardware-reconfiguration fingerprint (0 until the first
+    /// [`Machine::set_core_scales`]; afterwards a deterministic hash
+    /// chain over the applied reconfig sequence). Mapping caches keyed on
+    /// the chip's graph fingerprint alone cannot see reconfigs — pair
+    /// this value with the fingerprint when memoizing cost-annotated
+    /// placements. Equal values imply the same reconfig history (up to
+    /// hash collision), so identically-reconfigured identical chips may
+    /// soundly share cache entries while divergent ones cannot.
+    pub fn topology_generation(&self) -> u64 {
+        self.topology_generation
     }
 
     /// The machine's configuration.
@@ -243,6 +265,16 @@ impl Machine {
             })?;
         state.matrix_scale = matrix_pct.max(1);
         state.vector_scale = vector_pct.max(1);
+        // A reconfig invalidates anything costed against the old scales
+        // (heterogeneous match costs, cached mapping strategies). Chain
+        // the reconfig parameters into the fingerprint — see the
+        // `topology_generation` field docs for why this is a hash chain
+        // rather than a counter. `| 1` keeps 0 reserved for "pristine".
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.topology_generation.hash(&mut h);
+        (core, matrix_pct.max(1), vector_pct.max(1)).hash(&mut h);
+        self.topology_generation = h.finish() | 1;
         Ok(())
     }
 
@@ -952,6 +984,32 @@ mod tests {
             m.remove_tenant(drop_me),
             Err(SimError::UnknownTenant(_))
         ));
+    }
+
+    #[test]
+    fn set_core_scales_evolves_the_topology_generation() {
+        let mut m = Machine::new(fpga());
+        assert_eq!(m.topology_generation(), 0, "pristine machines are 0");
+        m.set_core_scales(0, 50, 200).unwrap();
+        let after_one = m.topology_generation();
+        assert_ne!(after_one, 0);
+        m.set_core_scales(1, 200, 50).unwrap();
+        assert_ne!(m.topology_generation(), after_one);
+        // A failed reconfig changes nothing.
+        let before = m.topology_generation();
+        assert!(m.set_core_scales(999, 50, 50).is_err());
+        assert_eq!(m.topology_generation(), before);
+        // Deterministic, sequence-sensitive: the same reconfig sequence
+        // reproduces the same fingerprint; a different sequence (same
+        // count) must not collide — that is what lets identical chips
+        // share mapping-cache entries only when their hardware states
+        // actually match.
+        let mut twin = Machine::new(fpga());
+        twin.set_core_scales(0, 50, 200).unwrap();
+        assert_eq!(twin.topology_generation(), after_one);
+        let mut other = Machine::new(fpga());
+        other.set_core_scales(0, 200, 50).unwrap();
+        assert_ne!(other.topology_generation(), after_one);
     }
 
     #[test]

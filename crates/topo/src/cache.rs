@@ -186,6 +186,13 @@ pub struct CacheKey {
     /// topology, so one cache shared across chips never aliases their
     /// entries.
     phys: u64,
+    /// The chip's reconfiguration generation. Hardware reconfiguration
+    /// that the topology fingerprint cannot see — hybrid-core scaling
+    /// (`set_core_scales`) changes heterogeneous match costs without
+    /// touching the graph — bumps this counter, so every strategy cached
+    /// before the reconfig silently expires instead of replaying
+    /// placements costed against stale hardware.
+    generation: u64,
     /// Isomorphism-class key of the request topology.
     canonical: CanonicalKey,
     /// Label- and attribute-sensitive request hash (adjacency, node
@@ -264,14 +271,16 @@ impl MappingCache {
         }
     }
 
-    /// Builds the key for a `(physical chip, request, strategy,
-    /// free-region)` tuple, or `None` when the strategy is uncacheable
-    /// (custom match costs carry state the key cannot see). `phys_key` is
-    /// the physical topology's [`labeled_hash`] — [`crate::Mapper`]
-    /// precomputes it.
+    /// Builds the key for a `(physical chip, reconfig generation, request,
+    /// strategy, free-region)` tuple, or `None` when the strategy is
+    /// uncacheable (custom match costs carry state the key cannot see).
+    /// `phys_key` is the physical topology's [`labeled_hash`] —
+    /// [`crate::Mapper`] precomputes it; `generation` is the chip's
+    /// reconfiguration counter (see [`CacheKey`]).
     pub fn key_for(
         &mut self,
         phys_key: u64,
+        generation: u64,
         req: &Topology,
         strategy: &Strategy,
         free: &FreeSet,
@@ -291,6 +300,7 @@ impl MappingCache {
             .clone();
         Some(CacheKey {
             phys: phys_key,
+            generation,
             canonical,
             labeled,
             strategy: tag,
@@ -530,7 +540,7 @@ mod tests {
             .map_cached(&free, &req, &strategy, &mut cache)
             .unwrap();
         let key = cache
-            .key_for(labeled_hash(&phys), &req, &strategy, &free)
+            .key_for(labeled_hash(&phys), 0, &req, &strategy, &free)
             .unwrap();
         assert!(
             cache.get(&key, &free).is_some(),
@@ -570,6 +580,31 @@ mod tests {
             .map_cached(&valid, &req, &strategy, &mut cache)
             .unwrap();
         assert_eq!(placed, mapper.map_in(&valid, &req, &strategy).unwrap());
+    }
+
+    #[test]
+    fn generations_do_not_alias() {
+        // A reconfig (e.g. hybrid-core scaling) bumps the generation;
+        // identical (request, strategy, free region) tuples from before
+        // and after must occupy distinct entries — the second lookup is a
+        // miss, never a hit against a stale cost-annotated strategy.
+        let phys = Topology::mesh2d(3, 3);
+        let req = Topology::mesh2d(2, 2);
+        let strategy = Strategy::similar_topology().threads(1);
+        let free = FreeSet::all_free(9);
+        let mut cache = MappingCache::default();
+        let before = Mapper::new(&phys)
+            .map_cached(&free, &req, &strategy, &mut cache)
+            .unwrap();
+        let after = Mapper::new(&phys)
+            .at_generation(1)
+            .map_cached(&free, &req, &strategy, &mut cache)
+            .unwrap();
+        assert_eq!(cache.stats().hits, 0, "reconfig must invalidate");
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 2);
+        // Same hardware model here, so the recomputed result agrees.
+        assert_eq!(before, after);
     }
 
     #[test]
@@ -675,7 +710,7 @@ mod tests {
         let mut cache = MappingCache::default();
         let free = FreeSet::all_free(4);
         assert!(cache
-            .key_for(0, &Topology::mesh2d(2, 2), &strategy, &free)
+            .key_for(0, 0, &Topology::mesh2d(2, 2), &strategy, &free)
             .is_none());
         assert_eq!(cache.stats().uncacheable, 1);
     }

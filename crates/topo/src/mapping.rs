@@ -217,6 +217,10 @@ pub struct Mapper<'a> {
     /// lookups can bind their keys to the chip without re-hashing the
     /// whole graph per request.
     phys_key: u64,
+    /// The chip's reconfiguration generation, folded into every cache
+    /// key: hardware changes the topology fingerprint cannot see (hybrid
+    /// core scaling) bump this so stale cost-annotated strategies expire.
+    generation: u64,
 }
 
 impl<'a> Mapper<'a> {
@@ -232,12 +236,30 @@ impl<'a> Mapper<'a> {
     /// [`crate::cache::labeled_hash`]`(phys)` — a wrong key silently
     /// aliases cache entries across chips.
     pub fn with_phys_key(phys: &'a Topology, phys_key: u64) -> Self {
-        Mapper { phys, phys_key }
+        Mapper {
+            phys,
+            phys_key,
+            generation: 0,
+        }
+    }
+
+    /// Binds the mapper to a reconfiguration generation: cached lookups
+    /// from different generations never alias, so bumping the counter
+    /// after a hardware reconfig (e.g. hybrid-core scaling) invalidates
+    /// every previously memoized strategy for this chip.
+    pub fn at_generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self
     }
 
     /// The physical topology's [`crate::cache::labeled_hash`] fingerprint.
     pub fn phys_key(&self) -> u64 {
         self.phys_key
+    }
+
+    /// The reconfiguration generation cache keys are bound to.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Allocates physical nodes for the requested virtual topology `req`
@@ -321,7 +343,7 @@ impl<'a> Mapper<'a> {
                 topology: self.phys.node_count(),
             });
         }
-        let Some(key) = cache.key_for(self.phys_key, req, strategy, free) else {
+        let Some(key) = cache.key_for(self.phys_key, self.generation, req, strategy, free) else {
             return self.map_in(free, req, strategy);
         };
         if let Some(result) = cache.get(&key, free) {

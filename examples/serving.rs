@@ -20,7 +20,7 @@ fn main() {
     let cfg = ServeConfig::standard(2026, 60);
     println!(
         "serving on a {}x{} chip, {} epochs, seed {}\n",
-        cfg.soc.mesh_width, cfg.soc.mesh_height, cfg.epochs, cfg.traffic.seed
+        cfg.chips[0].soc.mesh_width, cfg.chips[0].soc.mesh_height, cfg.epochs, cfg.traffic.seed
     );
     let report = ServeRuntime::new(cfg).run().expect("serving run completes");
 

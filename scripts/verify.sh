@@ -27,4 +27,10 @@ cargo bench --bench micro_criterion -- --quick
 echo "== cargo bench --bench serving_churn -- --quick =="
 cargo bench --bench serving_churn -- --quick
 
+echo "== cargo bench --bench cluster_churn -- --quick =="
+cargo bench --bench cluster_churn -- --quick
+
+echo "== cargo run --release --example cluster_serving =="
+cargo run --release --example cluster_serving
+
 echo "verify: OK"

@@ -95,6 +95,11 @@ fn smoke_serving_churn() {
     figs::serving_churn::run(true);
 }
 
+#[test]
+fn smoke_cluster_churn() {
+    figs::cluster_churn::run(true);
+}
+
 /// The micro-benchmark harness itself, in quick mode: the same bench
 /// functions `benches/micro_criterion.rs` registers must measure and
 /// record without panicking.

@@ -1,0 +1,251 @@
+//! Cross-crate integration tests for the cluster layer: multi-chip
+//! placement determinism, shared-mapping-cache isolation across
+//! heterogeneous chips, and the step-driven serve loop over a fleet.
+
+use std::sync::Arc;
+use vnpu::admission::{Backfill, SmallestFirst};
+use vnpu::cluster::{
+    BestFitFragmentation, ChipPlacement, Cluster, ClusterAdmissionOutcome, ClusterVmId, FirstFit,
+    LeastLoaded,
+};
+use vnpu::{Hypervisor, VnpuRequest};
+use vnpu_serve::{ServeConfig, ServeRuntime};
+use vnpu_sim::SocConfig;
+use vnpu_topo::cache::FreeSet;
+use vnpu_topo::mapping::Mapper;
+use vnpu_topo::NodeId;
+
+fn small_soc() -> SocConfig {
+    SocConfig {
+        mesh_width: 4,
+        mesh_height: 4,
+        ..SocConfig::sim()
+    }
+}
+
+fn hetero_cluster() -> Cluster {
+    Cluster::new(vec![SocConfig::sim(), small_soc()])
+}
+
+/// The deterministic request mix used by the placement-trace tests.
+fn request_mix(i: u64) -> VnpuRequest {
+    match i % 5 {
+        0 => VnpuRequest::mesh(2, 2).mem_bytes(32 << 20),
+        1 => VnpuRequest::mesh(2, 3).mem_bytes(64 << 20),
+        2 => VnpuRequest::mesh(3, 3).mem_bytes(48 << 20),
+        3 => VnpuRequest::cores(5).mem_bytes(16 << 20),
+        _ => VnpuRequest::mesh(1, 2).mem_bytes(24 << 20),
+    }
+}
+
+/// Runs a fixed create/destroy script against a fresh cluster and
+/// returns the full placement trace (chip + physical cores per request).
+fn placement_trace(placement: Arc<dyn ChipPlacement>) -> Vec<(usize, Vec<u32>)> {
+    let mut cl = hetero_cluster();
+    cl.set_placement(placement);
+    let mut trace = Vec::new();
+    let mut live: Vec<ClusterVmId> = Vec::new();
+    for i in 0..60u64 {
+        cl.submit(request_mix(i));
+        for ev in cl.process_admissions() {
+            if let ClusterAdmissionOutcome::Admitted(id) = ev.outcome {
+                let cores: Vec<u32> = cl
+                    .vnpu(id)
+                    .unwrap()
+                    .mapping()
+                    .phys_nodes()
+                    .iter()
+                    .map(|n| n.0)
+                    .collect();
+                trace.push((id.chip, cores));
+                live.push(id);
+            }
+        }
+        // Deterministic churn: every third step retires the oldest.
+        if i % 3 == 2 && !live.is_empty() {
+            let id = live.remove(0);
+            cl.destroy(id).unwrap();
+        }
+    }
+    for id in live {
+        cl.destroy(id).unwrap();
+    }
+    assert_eq!(cl.free_cores(), cl.total_cores(), "no leaked cores");
+    trace
+}
+
+#[test]
+fn first_fit_placement_trace_is_deterministic() {
+    let a = placement_trace(Arc::new(FirstFit));
+    let b = placement_trace(Arc::new(FirstFit));
+    assert_eq!(a, b, "same script, same policy: identical placements");
+    assert!(!a.is_empty());
+}
+
+#[test]
+fn swapping_placement_changes_distribution_not_determinism() {
+    let first_fit = placement_trace(Arc::new(FirstFit));
+    let least_loaded = placement_trace(Arc::new(LeastLoaded));
+    let least_loaded2 = placement_trace(Arc::new(LeastLoaded));
+    assert_eq!(least_loaded, least_loaded2, "each policy is deterministic");
+    let on_chip1 = |t: &[(usize, Vec<u32>)]| t.iter().filter(|(c, _)| *c == 1).count();
+    assert_ne!(
+        on_chip1(&first_fit),
+        on_chip1(&least_loaded),
+        "policies must distribute placements differently"
+    );
+}
+
+#[test]
+fn shared_cache_never_serves_hits_across_heterogeneous_chips() {
+    // Alternate identical requests across a 6x6 and a 4x4 chip on idle
+    // free regions: with distinct phys_keys the shared cache must keep
+    // the chips apart, and every placement must be byte-identical to the
+    // chip's own uncached mapping (a cross-chip leak would hand the 4x4
+    // chip a 6x6 placement with out-of-range or misrouted cores).
+    let mut cl = hetero_cluster();
+    for round in 0..3 {
+        let mut ids = Vec::new();
+        for chip in 0..2 {
+            let req = VnpuRequest::mesh(2, 2).mem_bytes(32 << 20);
+            let id = cl.create_on(chip, req).unwrap();
+            ids.push(id);
+        }
+        for id in ids {
+            let hv = cl.chip(id.chip);
+            let placed: Vec<NodeId> = cl.vnpu(id).unwrap().mapping().phys_nodes().to_vec();
+            // Recompute directly on this chip's topology with the same
+            // free region (the vNPU's own cores released first).
+            let mut free = FreeSet::from_free_nodes(
+                hv.config().core_count() as usize,
+                &hv.free_cores()
+                    .iter()
+                    .map(|&c| NodeId(c))
+                    .collect::<Vec<_>>(),
+            );
+            free.release_all(&placed);
+            let direct = Mapper::new(hv.topology())
+                .map_in(
+                    &free,
+                    cl.vnpu(id).unwrap().virt_topology(),
+                    &vnpu_topo::mapping::Strategy::similar_topology().threads(1),
+                )
+                .unwrap();
+            assert_eq!(
+                direct.phys_nodes(),
+                placed.as_slice(),
+                "round {round}: {id} placement must equal the chip-local mapping"
+            );
+            for n in &placed {
+                assert!(
+                    n.0 < cl.chip(id.chip).config().core_count(),
+                    "{id}: core {n} outside its chip"
+                );
+            }
+        }
+        // Identical chips would have shared; heterogeneous must not:
+        // after round 0 each chip legitimately hits its *own* entry (two
+        // hits per later round), and nothing more.
+        assert_eq!(
+            cl.cache_stats().hits,
+            2 * round,
+            "round {round}: no cross-chip hit may occur"
+        );
+        for id in [0, 1] {
+            let vms: Vec<_> = cl.chip(id).vnpus().map(|(vm, _)| *vm).collect();
+            for vm in vms {
+                cl.destroy(ClusterVmId { chip: id, vm }).unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn cluster_serve_runs_are_deterministic_with_first_fit() {
+    let cfg = || {
+        let mut c = ServeConfig::cluster(31, 60, vec![SocConfig::sim(), small_soc()]);
+        c.traffic.candidate_cap = 200;
+        c
+    };
+    let a = ServeRuntime::new(cfg()).run().unwrap();
+    let b = ServeRuntime::new(cfg()).run().unwrap();
+    assert_eq!(a, b, "seeded cluster runs must reproduce exactly");
+    assert_eq!(a.per_chip.len(), 2);
+    assert_eq!(a.leaked_cores, 0);
+    assert_eq!(a.leaked_hbm_bytes, 0);
+    assert!(a.accepted > 0);
+}
+
+#[test]
+fn step_driven_cluster_loop_with_policy_swaps_matches_itself() {
+    let cfg = || {
+        let mut c = ServeConfig::cluster(13, 0, vec![SocConfig::sim(), small_soc()]);
+        c.traffic.candidate_cap = 200;
+        c
+    };
+    let drive = || {
+        let mut rt = ServeRuntime::new(cfg());
+        for _ in 0..30 {
+            rt.step().unwrap();
+        }
+        rt.set_admission_policy(Arc::new(Backfill));
+        rt.set_placement(Arc::new(BestFitFragmentation));
+        for _ in 0..30 {
+            rt.step().unwrap();
+        }
+        rt.set_admission_policy(Arc::new(SmallestFirst));
+        for _ in 0..20 {
+            rt.step().unwrap();
+        }
+        rt.drain().unwrap();
+        rt.report()
+    };
+    let a = drive();
+    let b = drive();
+    assert_eq!(a, b, "policy swaps at epoch boundaries stay deterministic");
+    assert_eq!(a.leaked_cores, 0);
+    assert_eq!(a.leaked_hbm_bytes, 0);
+    assert_eq!(a.epochs, 80);
+}
+
+#[test]
+fn identical_chip_models_share_mapping_work() {
+    // The shared cache is the point of the cluster: two chips of the
+    // same model hit each other's entries for identical (request, free
+    // region) tuples.
+    let mut cl = Cluster::new(vec![SocConfig::sim(), SocConfig::sim()]);
+    cl.create_on(0, VnpuRequest::mesh(3, 3)).unwrap();
+    cl.create_on(1, VnpuRequest::mesh(3, 3)).unwrap();
+    let stats = cl.cache_stats();
+    assert_eq!(stats.misses, 1, "only the first placement maps");
+    assert_eq!(stats.hits, 1, "the twin chip reuses it");
+}
+
+#[test]
+fn reconfig_on_one_chip_does_not_invalidate_the_fleet() {
+    let mut cl = Cluster::new(vec![SocConfig::sim(), SocConfig::sim()]);
+    let a = cl.create_on(0, VnpuRequest::mesh(2, 2)).unwrap();
+    cl.destroy(a).unwrap();
+    let b = cl.create_on(1, VnpuRequest::mesh(2, 2)).unwrap();
+    cl.destroy(b).unwrap();
+    let hits_before = cl.cache_stats().hits;
+    cl.chip_mut(0).bump_topology_generation();
+    // Chip 0 must re-map; chip 1 must still hit.
+    cl.create_on(0, VnpuRequest::mesh(2, 2)).unwrap();
+    assert_eq!(cl.cache_stats().hits, hits_before);
+    cl.create_on(1, VnpuRequest::mesh(2, 2)).unwrap();
+    assert_eq!(cl.cache_stats().hits, hits_before + 1);
+}
+
+#[test]
+fn heterogeneous_hypervisors_with_custom_hbm() {
+    // with_chips accepts pre-built hypervisors with per-chip HBM sizes.
+    let cl = Cluster::with_chips(vec![
+        Hypervisor::with_hbm_bytes(SocConfig::sim(), 8 << 30),
+        Hypervisor::with_hbm_bytes(small_soc(), 2 << 30),
+    ]);
+    assert_eq!(cl.chip_count(), 2);
+    assert_eq!(cl.chip(0).hbm_total_bytes(), 8 << 30);
+    assert_eq!(cl.chip(1).hbm_total_bytes(), 2 << 30);
+    assert_eq!(cl.total_cores(), 36 + 16);
+}

@@ -4,7 +4,7 @@
 //! proptest-based suite; the first seven run 64 cases, the end-to-end
 //! compile-and-run property 16 (it simulates whole pipelines per case).
 
-use vnpu::admission::AdmissionPolicy;
+use vnpu::admission::{AdmissionPolicy, Fifo, RetryAfterFree, SmallestFirst};
 use vnpu::{Hypervisor, VmId, VnpuRequest};
 use vnpu_mem::buddy::BuddyAllocator;
 use vnpu_mem::page::{PageTable, PageTranslator};
@@ -345,11 +345,12 @@ fn hypervisor_churn_leaves_no_residue() {
         |(ops, policy_pick)| {
             let hbm = 2 << 30;
             let mut hv = Hypervisor::with_hbm_bytes(SocConfig::sim(), hbm);
-            hv.set_admission_policy(match policy_pick {
-                0 => AdmissionPolicy::Fifo,
-                1 => AdmissionPolicy::SmallestFirst,
-                _ => AdmissionPolicy::RetryAfterFree,
-            });
+            let policy: std::sync::Arc<dyn AdmissionPolicy> = match policy_pick {
+                0 => std::sync::Arc::new(Fifo),
+                1 => std::sync::Arc::new(SmallestFirst),
+                _ => std::sync::Arc::new(RetryAfterFree),
+            };
+            hv.set_admission_policy_obj(policy);
             let total_cores = hv.config().core_count();
             let free_hbm_at_start = hv.hbm_free_bytes();
             let mut live: Vec<VmId> = Vec::new();

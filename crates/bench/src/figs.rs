@@ -18,6 +18,7 @@ pub mod ablation_hybrid_cores;
 pub mod ablation_noc_isolation;
 pub mod ablation_tlb_sweep;
 pub mod cluster_churn;
+pub mod defrag_churn;
 pub mod fig03_utilization;
 pub mod fig06_mem_trace;
 pub mod fig11_rt_config;

@@ -1,0 +1,217 @@
+//! **Defrag churn** — the background-defragmentation scenario on top of
+//! the serving runtime: ≥1,000 vNPU create/destroy requests streamed
+//! through one 6×6 chip, run twice — once bare and once with the
+//! [`GreedyDefrag`] policy committing live migrations through the
+//! transactional placement-plan API every tick.
+//!
+//! Asserted invariants (both modes):
+//!
+//! * both runs are deterministic under the seed (whole
+//!   [`vnpu_serve::ServeReport`]s reproduce byte-for-byte);
+//! * the defragmenter actually migrates, and every migration's paid
+//!   [`vnpu::plan::ReconfigCost`] is accounted in the report
+//!   (meta-table cycles, moved bytes, paused-tenant time);
+//! * the defragmented run ends with *strictly lower* terminal buddy
+//!   external fragmentation than the identical run without defrag;
+//! * a placement plan staled mid-flight (generation injected between
+//!   plan and commit) commits nothing — the hypervisor's state digest is
+//!   bit-identical before and after the failed commit.
+
+use std::sync::Arc;
+use vnpu::plan::{GreedyDefrag, PlanOp, ReconfigCost};
+use vnpu::{Hypervisor, VnpuError, VnpuRequest};
+use vnpu_serve::{ServeConfig, ServeReport, ServeRuntime};
+use vnpu_sim::SocConfig;
+
+/// Fixed seed: the whole request stream, admission trace, migration
+/// schedule and report are reproducible from this value.
+const SEED: u64 = 0xDEF4_A611;
+
+fn churn_config(quick: bool, defrag: bool) -> ServeConfig {
+    let epochs = if quick { 1_300 } else { 4_000 };
+    let mut cfg = ServeConfig::standard(SEED, epochs);
+    // ~1 arrival per tick: a 1,300-epoch quick run comfortably clears
+    // 1,000 requests while staying CI-fast.
+    cfg.traffic.mean_interarrival_ticks = 1;
+    cfg.traffic.candidate_cap = if quick { 200 } else { 400 };
+    // Tight HBM (1 GiB against a stream of 16–128 MiB tenants) so buddy
+    // external fragmentation is real memory pressure, not the structural
+    // half-space split of an oversized allocator.
+    cfg.chips[0].hbm_bytes = 1 << 30;
+    if defrag {
+        cfg.defrag = Some(Arc::new(GreedyDefrag {
+            max_memory_moves: 1,
+            ..GreedyDefrag::default()
+        }));
+        cfg.defrag_interval = 1;
+    }
+    cfg
+}
+
+fn assert_churn_invariants(r: &ServeReport, label: &str) {
+    assert!(
+        r.submitted >= 1_000,
+        "{label}: churn must exceed 1,000 requests, got {}",
+        r.submitted
+    );
+    assert_eq!(r.leaked_cores, 0, "{label}: no cores may leak");
+    assert_eq!(r.leaked_hbm_bytes, 0, "{label}: no HBM may leak");
+    assert_eq!(
+        r.accepted + r.rejected + r.queued_at_end,
+        r.submitted,
+        "{label}: every request accounted exactly once"
+    );
+}
+
+/// The terminal buddy external fragmentation of a run: the mean over
+/// the final 100 samples. A single end-tick sample swings with whichever
+/// tenant happened to depart last; the windowed terminal is the steady
+/// state the chip settles into.
+fn terminal_hbm_fragmentation(r: &ServeReport) -> f64 {
+    let window = r.fragmentation.len().min(100);
+    assert!(window > 0, "runs produce samples");
+    let tail = &r.fragmentation[r.fragmentation.len() - window..];
+    tail.iter()
+        .map(|s| s.hbm_external_fragmentation)
+        .sum::<f64>()
+        / window as f64
+}
+
+/// Demonstrates the transactional guarantee the serving loop relies on:
+/// a plan staled between plan and commit provably mutates nothing.
+fn assert_stale_commit_mutates_nothing() {
+    let mut hv = Hypervisor::new(SocConfig::sim());
+    hv.create_vnpu(VnpuRequest::mesh(2, 2))
+        .expect("seed tenant");
+    let txn = hv
+        .plan(&[PlanOp::Create(VnpuRequest::mesh(3, 3))])
+        .expect("plannable create");
+    // Inject staleness mid-plan: the generation chain advances under
+    // the outstanding transaction.
+    hv.invalidate_plans();
+    let digest = hv.state_digest();
+    let vnpus = hv.vnpu_count();
+    let free = hv.free_core_count();
+    let hbm = hv.hbm_free_bytes();
+    assert!(
+        matches!(hv.commit(&txn), Err(VnpuError::StalePlan { .. })),
+        "a staled plan must be rejected"
+    );
+    assert_eq!(hv.state_digest(), digest, "failed commit mutates nothing");
+    assert_eq!(hv.vnpu_count(), vnpus);
+    assert_eq!(hv.free_core_count(), free);
+    assert_eq!(hv.hbm_free_bytes(), hbm);
+    println!("stale-commit probe: rejected, state digest unchanged\n");
+}
+
+/// Runs the churn scenario with and without the defragmenter.
+///
+/// # Panics
+///
+/// Panics when any invariant fails — the bench doubles as the
+/// acceptance gate for the defragmentation stack.
+pub fn run(quick: bool) {
+    println!("== defrag_churn: background defragmentation under load ==\n");
+
+    assert_stale_commit_mutates_nothing();
+
+    // --- Baseline, twice: byte-identical reports or bust. ---
+    let baseline = ServeRuntime::new(churn_config(quick, false))
+        .run()
+        .expect("baseline churn run completes");
+    let baseline_again = ServeRuntime::new(churn_config(quick, false))
+        .run()
+        .expect("baseline rerun completes");
+    assert_eq!(
+        baseline, baseline_again,
+        "same seed must reproduce the baseline report"
+    );
+    assert_churn_invariants(&baseline, "baseline");
+    assert_eq!(baseline.migrations, 0, "no defragmenter, no migrations");
+    assert_eq!(baseline.reconfig, ReconfigCost::default());
+    println!("[no defrag]\n{}\n", baseline.summary());
+
+    // --- Defragmented, twice: determinism under migrations too. ---
+    let defragged = ServeRuntime::new(churn_config(quick, true))
+        .run()
+        .expect("defrag churn run completes");
+    let defragged_again = ServeRuntime::new(churn_config(quick, true))
+        .run()
+        .expect("defrag rerun completes");
+    assert_eq!(
+        defragged, defragged_again,
+        "same seed must reproduce the defrag report, migrations included"
+    );
+    assert_churn_invariants(&defragged, "defrag");
+    assert_eq!(
+        defragged.submitted, baseline.submitted,
+        "the defragmenter must not perturb the arrival stream"
+    );
+
+    // --- Every migration's cost is accounted. ---
+    assert!(
+        defragged.migrations > 0,
+        "churn fragments the chip; the defragmenter must act"
+    );
+    assert!(
+        defragged.reconfig.config_cycles() > 0,
+        "migrations pay meta-table re-deployment"
+    );
+    assert!(
+        defragged.reconfig.data_move_bytes > 0,
+        "migrations move tenant state"
+    );
+    assert!(
+        defragged.reconfig.paused_cycles >= defragged.reconfig.config_cycles(),
+        "the pause covers at least the meta-table rewrites"
+    );
+    assert_eq!(
+        defragged.per_chip.iter().map(|c| c.migrations).sum::<u64>(),
+        defragged.migrations,
+        "per-chip sections cover every migration"
+    );
+    assert!(
+        defragged.frag_windows_recovered > 0 || defragged.hbm_frag_recovered > 0.0,
+        "committed passes must book recovered fragmentation"
+    );
+
+    // --- The headline claim: lower terminal buddy fragmentation. ---
+    let base_frag = terminal_hbm_fragmentation(&baseline);
+    let defrag_frag = terminal_hbm_fragmentation(&defragged);
+    let mean = |r: &ServeReport| {
+        r.fragmentation
+            .iter()
+            .map(|s| s.hbm_external_fragmentation)
+            .sum::<f64>()
+            / r.fragmentation.len().max(1) as f64
+    };
+    println!(
+        "buddy external fragmentation: baseline terminal {base_frag:.4} \
+         mean {:.4}, defragmented terminal {defrag_frag:.4} mean {:.4}",
+        mean(&baseline),
+        mean(&defragged),
+    );
+    assert!(
+        defrag_frag < base_frag,
+        "the defragmenter must strictly reduce terminal buddy external \
+         fragmentation (baseline {base_frag:.4} vs defrag {defrag_frag:.4})"
+    );
+    assert!(
+        mean(&defragged) < mean(&baseline),
+        "the whole-run mean must drop too"
+    );
+    println!("\n[defrag]\n{}\n", defragged.summary());
+
+    // --- JSON report via the existing harness conventions. ---
+    if let Some(dir) = crate::harness::report_dir() {
+        let name = if quick {
+            "defrag_churn.report.quick.json"
+        } else {
+            "defrag_churn.report.json"
+        };
+        let path = dir.join(name);
+        if std::fs::write(&path, defragged.to_json(64)).is_ok() {
+            println!("defrag report written to {}\n", path.display());
+        }
+    }
+}

@@ -17,8 +17,10 @@
 //! a closed enum. Five implementations ship: [`Fifo`], [`SmallestFirst`],
 //! [`RetryAfterFree`], [`Backfill`] (conservative backfilling past a
 //! blocked head) and [`Aging`] (smallest-first with head-of-line
-//! reservation for starved requests). The legacy closed enum survives as
-//! the deprecated [`AdmissionPolicyKind`] shim.
+//! reservation for starved requests). The legacy closed
+//! `AdmissionPolicyKind` enum and its deprecated
+//! `Hypervisor::set_admission_policy` shim have been removed — construct
+//! the trait objects directly.
 //!
 //! [`Hypervisor::submit`]: crate::Hypervisor::submit
 //! [`Hypervisor::process_admissions`]: crate::Hypervisor::process_admissions
@@ -246,36 +248,6 @@ impl AdmissionPolicy for Aging {
             FailureAction::Block
         } else {
             FailureAction::Continue
-        }
-    }
-}
-
-/// The legacy closed policy enum. `AdmissionPolicy` now names the open
-/// trait, so pre-redesign call sites migrate by renaming the type —
-/// `set_admission_policy(AdmissionPolicy::Fifo)` becomes
-/// `set_admission_policy(AdmissionPolicyKind::Fifo)` — and the
-/// (deprecated) [`crate::Hypervisor::set_admission_policy`] shim keeps
-/// the method itself working. New code should construct trait objects
-/// ([`Fifo`], [`SmallestFirst`], [`RetryAfterFree`], [`Backfill`],
-/// [`Aging`], or its own [`AdmissionPolicy`] impl) directly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum AdmissionPolicyKind {
-    /// See [`Fifo`].
-    #[default]
-    Fifo,
-    /// See [`SmallestFirst`].
-    SmallestFirst,
-    /// See [`RetryAfterFree`].
-    RetryAfterFree,
-}
-
-impl AdmissionPolicyKind {
-    /// The trait-object equivalent of this legacy variant.
-    pub fn to_policy(self) -> Arc<dyn AdmissionPolicy> {
-        match self {
-            AdmissionPolicyKind::Fifo => Arc::new(Fifo),
-            AdmissionPolicyKind::SmallestFirst => Arc::new(SmallestFirst),
-            AdmissionPolicyKind::RetryAfterFree => Arc::new(RetryAfterFree),
         }
     }
 }
@@ -639,18 +611,5 @@ mod tests {
         );
         queue.remove(a).unwrap();
         assert!(queue.is_empty());
-    }
-
-    #[test]
-    fn legacy_kinds_map_to_trait_objects() {
-        assert_eq!(AdmissionPolicyKind::Fifo.to_policy().name(), "fifo");
-        assert_eq!(
-            AdmissionPolicyKind::SmallestFirst.to_policy().name(),
-            "smallest-first"
-        );
-        assert_eq!(
-            AdmissionPolicyKind::RetryAfterFree.to_policy().name(),
-            "retry-after-free"
-        );
     }
 }

@@ -34,6 +34,7 @@ use crate::admission::{
 };
 use crate::hypervisor::Hypervisor;
 use crate::ids::VmId;
+use crate::plan::{CommitReceipt, Defragmenter, PlanOp, ReconfigBudget, ReconfigCost};
 use crate::vnpu::{VirtualNpu, VnpuRequest};
 use crate::{Result, VnpuError};
 use std::fmt;
@@ -69,6 +70,8 @@ pub struct ChipSnapshot {
     pub total_cores: u32,
     /// Currently free cores.
     pub free_cores: u32,
+    /// Connected components of the free-core region.
+    pub free_components: usize,
     /// Size of the largest connected free component.
     pub largest_free_component: usize,
     /// Largest free component over all free cores, in `[0, 1]`.
@@ -77,6 +80,8 @@ pub struct ChipSnapshot {
     pub hbm_free_bytes: u64,
     /// Total HBM bytes.
     pub hbm_total_bytes: u64,
+    /// Largest single free buddy block.
+    pub hbm_largest_free_block: u64,
     /// Buddy external fragmentation, in `[0, 1]`.
     pub hbm_external_fragmentation: f64,
     /// Live virtual NPUs on the chip.
@@ -96,6 +101,22 @@ impl ChipSnapshot {
             self.free_cores >= req.cores
         };
         cores_ok && self.hbm_free_bytes >= req.memory_bytes
+    }
+
+    /// The snapshot re-expressed as the per-chip [`FragmentationStats`] —
+    /// one free-region scan serves admission, fit-hint probing, the
+    /// serving layer's fragmentation sample *and* defragmentation (the
+    /// pieces that previously each re-scanned).
+    pub fn fragmentation_stats(&self) -> FragmentationStats {
+        FragmentationStats {
+            free_cores: self.free_cores,
+            free_components: self.free_components,
+            largest_free_component: self.largest_free_component,
+            free_connectivity: self.free_connectivity,
+            hbm_free_bytes: self.hbm_free_bytes,
+            hbm_largest_free_block: self.hbm_largest_free_block,
+            hbm_external_fragmentation: self.hbm_external_fragmentation,
+        }
     }
 }
 
@@ -389,10 +410,12 @@ impl Cluster {
             chip: index,
             total_cores: h.config().core_count(),
             free_cores: frag.free_cores,
+            free_components: frag.free_components,
             largest_free_component: frag.largest_free_component,
             free_connectivity: frag.free_connectivity,
             hbm_free_bytes: frag.hbm_free_bytes,
             hbm_total_bytes: h.hbm_total_bytes(),
+            hbm_largest_free_block: frag.hbm_largest_free_block,
             hbm_external_fragmentation: frag.hbm_external_fragmentation,
             live_vnpus: h.vnpu_count(),
         }
@@ -450,16 +473,24 @@ impl Cluster {
     /// Chips are probed biggest-island-first and pruned once no remaining
     /// chip's largest free island can beat the best hint found.
     pub fn fit_hint(&mut self) -> Option<FitHint> {
-        let mut order: Vec<(std::cmp::Reverse<usize>, usize)> = self
+        let islands: Vec<usize> = self
             .chips
             .iter()
+            .map(|h| h.fragmentation().largest_free_component)
+            .collect();
+        self.fit_hint_bounded(&islands)
+    }
+
+    /// [`Cluster::fit_hint`] with every chip's largest connected free
+    /// component already known — the admission tick passes the islands
+    /// from its per-tick [`ChipSnapshot`]s, so fit-hint probing shares
+    /// the tick's single free-region scan instead of re-running one per
+    /// chip.
+    fn fit_hint_bounded(&mut self, islands: &[usize]) -> Option<FitHint> {
+        let mut order: Vec<(std::cmp::Reverse<usize>, usize)> = islands
+            .iter()
             .enumerate()
-            .map(|(i, h)| {
-                (
-                    std::cmp::Reverse(h.fragmentation().largest_free_component),
-                    i,
-                )
-            })
+            .map(|(i, &island)| (std::cmp::Reverse(island), i))
             .collect();
         order.sort_unstable();
         let mut best: Option<FitHint> = None;
@@ -487,6 +518,18 @@ impl Cluster {
     /// [`crate::admission::FailureAction`],
     /// exactly as on a single chip.
     pub fn process_admissions(&mut self) -> Vec<ClusterAdmissionEvent> {
+        self.process_admissions_with_snapshots().0
+    }
+
+    /// [`Cluster::process_admissions`] returning the per-chip
+    /// [`ChipSnapshot`]s as they stood *after* the tick's placements —
+    /// the serving layer reuses them for its fragmentation sample and
+    /// its defragmentation pass, so one free-region scan per chip serves
+    /// the whole tick (admission filtering, fit-hint bounding, sampling
+    /// and defrag all included).
+    pub fn process_admissions_with_snapshots(
+        &mut self,
+    ) -> (Vec<ClusterAdmissionEvent>, Vec<ChipSnapshot>) {
         let mut events = Vec::new();
         let free_events_at_start = self.free_events();
         let mut tick = AdmissionTick::new();
@@ -575,7 +618,12 @@ impl Cluster {
                     match tick.on_failure(&mut self.admissions, id, free_events_now, terminal) {
                         TickVerdict::Reject => {
                             let fit_hint = if saw_no_candidate {
-                                self.fit_hint()
+                                // Reuse the tick's snapshots for the
+                                // island bounds instead of re-scanning
+                                // every chip's free region.
+                                let islands: Vec<usize> =
+                                    snapshots.iter().map(|s| s.largest_free_component).collect();
+                                self.fit_hint_bounded(&islands)
                             } else {
                                 None
                             };
@@ -592,7 +640,157 @@ impl Cluster {
                 }
             }
         }
-        events
+        (events, snapshots)
+    }
+
+    /// Runs one background-defragmentation pass on one chip: the policy
+    /// proposes migrations from `stats` (pass the tick's snapshot stats —
+    /// [`ChipSnapshot::fragmentation_stats`] — to share the per-tick
+    /// scan), the chip prices them through
+    /// [`Hypervisor::plan_budgeted_in`] against the shared mapping cache
+    /// (dropping everything past `budget`) and commits the affordable
+    /// prefix atomically. Probing goes through the cluster's dedicated
+    /// hint cache so advisory probes never distort placement-cache
+    /// statistics. Returns the receipt (empty when the policy proposed
+    /// nothing or nothing was affordable).
+    ///
+    /// # Errors
+    ///
+    /// [`VnpuError::UnknownChip`] for a bad index; otherwise as for
+    /// [`Hypervisor::plan_in`] / [`Hypervisor::commit_in`] (a failed
+    /// commit leaves the chip untouched).
+    pub fn defrag_chip(
+        &mut self,
+        chip: usize,
+        defrag: &dyn Defragmenter,
+        budget: &ReconfigBudget,
+        stats: &FragmentationStats,
+    ) -> Result<CommitReceipt> {
+        let count = self.chips.len();
+        let Cluster {
+            chips,
+            cache,
+            hint_cache,
+            ..
+        } = self;
+        let hv = chips
+            .get_mut(chip)
+            .ok_or(VnpuError::UnknownChip { chip, count })?;
+        let ops: Vec<PlanOp> = defrag.plan(hv, stats, budget, hint_cache);
+        if ops.is_empty() {
+            return Ok(CommitReceipt::default());
+        }
+        // Proposals are advisory: a policy whose ops cannot be planned
+        // (a tenant departed under it, a target stopped fitting) skips
+        // this pass instead of failing the caller's serving tick.
+        let Ok(txn) = hv.plan_budgeted_in(&ops, budget, cache) else {
+            return Ok(CommitReceipt::default());
+        };
+        // Nothing to do when every affordable op resolved to a no-op
+        // migration — committing would pay a full rollback-snapshot
+        // clone (and transient buddy churn) to change nothing.
+        let all_noop_migrations = txn
+            .ops()
+            .iter()
+            .all(|p| matches!(p.op, PlanOp::Migrate { .. }) && p.cost.is_zero());
+        if txn.is_empty() || all_noop_migrations {
+            return Ok(CommitReceipt::default());
+        }
+        hv.commit_in(&txn, cache)
+    }
+
+    /// Live-migrates a virtual NPU across chips: the tenant is recreated
+    /// on `to_chip` through the shared cache (a transactional create) and
+    /// destroyed on its source chip only after the create succeeds — a
+    /// failure leaves the source untouched. The returned cost is
+    /// dominated by the data-movement term: unlike an intra-chip move,
+    /// the tenant's entire guest HBM crosses chips on top of its per-core
+    /// scratchpad state.
+    ///
+    /// Same-chip "migrations" (`to_chip == id.chip`) are planned as a
+    /// remap-under-pin transaction instead, which may be a free no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`VnpuError::UnknownChip`] / [`VnpuError::UnknownVm`] for bad IDs;
+    /// otherwise as for [`Hypervisor::plan_in`] /
+    /// [`Hypervisor::commit_in`] on the target chip.
+    pub fn migrate_to_chip(
+        &mut self,
+        id: ClusterVmId,
+        to_chip: usize,
+    ) -> Result<(ClusterVmId, ReconfigCost)> {
+        let count = self.chips.len();
+        if to_chip >= count {
+            return Err(VnpuError::UnknownChip {
+                chip: to_chip,
+                count,
+            });
+        }
+        let src = self.chips.get(id.chip).ok_or(VnpuError::UnknownChip {
+            chip: id.chip,
+            count,
+        })?;
+        let vnpu = src.vnpu(id.vm)?;
+        if to_chip == id.chip {
+            // A same-chip "migration" is a remap-under-pin transaction —
+            // under the tenant's own mapping strategy, so an exact-only
+            // tenant keeps its edit-distance-0 guarantee.
+            let ops = [PlanOp::Migrate {
+                vm: id.vm,
+                to: crate::plan::MigrationTarget::Remap(vnpu.mapping_strategy().clone()),
+            }];
+            let hv = &mut self.chips[id.chip];
+            let txn = hv.plan_in(&ops, &mut self.cache)?;
+            let receipt = hv.commit_in(&txn, &mut self.cache)?;
+            let cost = receipt
+                .migrated
+                .first()
+                .map(|(_, c)| *c)
+                .unwrap_or_default();
+            return Ok((id, cost));
+        }
+        // Rebuild the tenant's request faithfully: the landed copy keeps
+        // every policy-level attribute of the original, including its
+        // mapping strategy and temporal-sharing semantics.
+        let mut req = VnpuRequest::custom(vnpu.virt_topology().clone())
+            .mem_bytes(vnpu.mem_bytes())
+            .mem_mode(vnpu.memory_mode())
+            .noc_isolation(vnpu.has_noc_isolation())
+            .temporal_sharing(vnpu.wants_temporal_sharing())
+            .strategy(vnpu.mapping_strategy().clone());
+        if let Some(cap) = vnpu.bandwidth_cap_bytes() {
+            req = req.bandwidth_cap(cap);
+        }
+        // Cross-chip state: every byte of guest HBM plus each core's
+        // scratchpad working set moves over the inter-chip fabric.
+        let data_move =
+            vnpu.mem_bytes() + u64::from(vnpu.core_count()) * src.config().scratchpad_bytes;
+        // The landed copy goes through the full provisioning pipeline
+        // (not a planned create) so temporal-sharing tenants keep their
+        // §7 over-provisioning path onto busy cores; create_vnpu_in is
+        // itself all-or-nothing, and the source is only torn down after
+        // the copy stands.
+        let new_vm = self.chips[to_chip].create_vnpu_in(req, &mut self.cache)?;
+        let landed = self.chips[to_chip].vnpu(new_vm).expect("just created");
+        let routing_cycles = landed.routing_table().config_cycles();
+        let rtt_cycles = vnpu_mem::rtt::rtt_deploy_cycles(landed.rtt_entries().len());
+        if let Err(e) = self.chips[id.chip].destroy_vnpu(id.vm) {
+            // Unwind the landed copy so a failed source teardown leaves
+            // the fleet exactly as it was.
+            self.chips[to_chip]
+                .destroy_vnpu(new_vm)
+                .expect("freshly created vm tears down");
+            return Err(e);
+        }
+        let cost = ReconfigCost::for_move(routing_cycles, rtt_cycles, data_move);
+        Ok((
+            ClusterVmId {
+                chip: to_chip,
+                vm: new_vm,
+            },
+            cost,
+        ))
     }
 }
 
@@ -796,6 +994,137 @@ mod tests {
         // A strict request on the same full chip still cannot place.
         cl.submit(VnpuRequest::mesh(2, 2));
         assert!(cl.process_admissions().is_empty());
+    }
+
+    #[test]
+    fn cross_chip_migration_moves_tenant_and_costs_data_movement() {
+        let mut cl = Cluster::new(vec![sim_chip(), sim_chip()]);
+        let a = cl
+            .create_on(0, VnpuRequest::mesh(2, 2).mem_bytes(64 << 20))
+            .unwrap();
+        let (b, cost) = cl.migrate_to_chip(a, 1).unwrap();
+        assert_eq!(b.chip, 1);
+        assert!(cl.vnpu(a).is_err(), "the source copy is gone");
+        assert_eq!(cl.vnpu(b).unwrap().core_count(), 4);
+        assert_eq!(cl.chip(0).vnpu_count(), 0);
+        assert_eq!(cl.chip(0).free_core_count(), 36);
+        assert_eq!(cl.chip(1).vnpu_count(), 1);
+        // The data-movement term (guest HBM + scratchpad state) dwarfs
+        // the meta-table cycles for a cross-chip move.
+        assert!(cost.data_move_bytes >= 64 << 20);
+        assert!(cost.paused_cycles > (cost.routing_cycles + cost.rtt_cycles) * 100);
+        cl.destroy(b).unwrap();
+        assert_eq!(cl.free_cores(), cl.total_cores(), "no cores leak");
+    }
+
+    #[test]
+    fn cross_chip_migration_is_transactional_on_failure() {
+        let mut cl = two_chip_cluster();
+        let a = cl.create_on(0, VnpuRequest::mesh(5, 5)).unwrap(); // 25 > 16
+        assert!(cl.migrate_to_chip(a, 1).is_err(), "target cannot host it");
+        assert!(cl.vnpu(a).is_ok(), "failed migration leaves the tenant");
+        assert_eq!(cl.chip(1).vnpu_count(), 0, "no half-landed copy");
+        assert!(matches!(
+            cl.migrate_to_chip(a, 9),
+            Err(VnpuError::UnknownChip { chip: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn defrag_chip_opens_a_larger_window() {
+        use crate::plan::{GreedyDefrag, ReconfigBudget};
+        // Fill a 6x6 with four 3x3 quadrant tenants, then free the two
+        // diagonal ones: two 9-core islands remain. Moving one surviving
+        // quadrant into a freed one merges the free region into an
+        // 18-core window.
+        let mut cl = Cluster::new(vec![sim_chip()]);
+        let mut vms = Vec::new();
+        for _ in 0..4 {
+            vms.push(cl.create_on(0, VnpuRequest::mesh(3, 3)).unwrap());
+        }
+        cl.destroy(vms[0]).unwrap();
+        cl.destroy(vms[3]).unwrap();
+        let before = cl.snapshot_of(0);
+        assert_eq!(before.free_components, 2);
+        assert_eq!(before.largest_free_component, 9);
+        let receipt = cl
+            .defrag_chip(
+                0,
+                &GreedyDefrag::default(),
+                &ReconfigBudget::default(),
+                &before.fragmentation_stats(),
+            )
+            .unwrap();
+        assert!(receipt.migration_count() >= 1, "a window-opening move runs");
+        let (_, cost) = receipt.migrated[0];
+        assert!(cost.routing_cycles > 0);
+        assert!(cost.data_move_bytes > 0);
+        let after = cl.snapshot_of(0);
+        assert_eq!(
+            after.largest_free_component, 18,
+            "the exact-match window re-opens"
+        );
+        // An exact 3x6 request now places where it previously could not.
+        assert!(cl.create_on(0, VnpuRequest::mesh(3, 6)).is_ok());
+    }
+
+    #[test]
+    fn cross_chip_migration_preserves_tenant_semantics() {
+        // Regression: migrate_to_chip used to rebuild the request
+        // without the temporal-sharing flag (and with the default
+        // strategy), so a §7 over-provisioned tenant silently became a
+        // dedicated-core tenant — and could not even land on a full
+        // chip that its original semantics would share.
+        let mut cl = Cluster::new(vec![sim_chip(), sim_chip()]);
+        cl.create_on(1, VnpuRequest::mesh(6, 6)).unwrap(); // chip 1 full
+        let a = cl
+            .create_on(0, VnpuRequest::mesh(2, 2).temporal_sharing(true))
+            .unwrap();
+        let (b, _) = cl
+            .migrate_to_chip(a, 1)
+            .expect("temporal sharing must carry over and widen onto busy cores");
+        let landed = cl.vnpu(b).unwrap();
+        assert!(landed.wants_temporal_sharing(), "flag survives migration");
+        assert_eq!(landed.core_count(), 4);
+        assert_eq!(cl.chip(0).vnpu_count(), 0);
+    }
+
+    #[test]
+    fn defrag_chip_absorbs_unplannable_proposals() {
+        use crate::admission::FragmentationStats;
+        use crate::plan::{Defragmenter, MigrationTarget, ReconfigBudget};
+        use vnpu_topo::cache::MappingCache;
+        use vnpu_topo::mapping::Strategy;
+
+        // A policy that always proposes moving a tenant that does not
+        // exist: advisory proposals must skip the pass, not error it.
+        #[derive(Debug)]
+        struct Bogus;
+        impl Defragmenter for Bogus {
+            fn name(&self) -> &'static str {
+                "bogus"
+            }
+            fn plan(
+                &self,
+                _hv: &Hypervisor,
+                _stats: &FragmentationStats,
+                _budget: &ReconfigBudget,
+                _cache: &mut MappingCache,
+            ) -> Vec<PlanOp> {
+                vec![PlanOp::Migrate {
+                    vm: crate::ids::VmId(9_999),
+                    to: MigrationTarget::Remap(Strategy::similar_topology().threads(1)),
+                }]
+            }
+        }
+        let mut cl = Cluster::new(vec![sim_chip()]);
+        cl.create_on(0, VnpuRequest::mesh(2, 2)).unwrap();
+        let stats = cl.snapshot_of(0).fragmentation_stats();
+        let receipt = cl
+            .defrag_chip(0, &Bogus, &ReconfigBudget::default(), &stats)
+            .expect("unplannable advisory proposals skip the pass");
+        assert_eq!(receipt.migration_count(), 0);
+        assert_eq!(cl.chip(0).vnpu_count(), 1, "nothing was touched");
     }
 
     #[test]

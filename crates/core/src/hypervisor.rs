@@ -9,23 +9,28 @@
 //! would cost (the Figure 11 configuration overhead).
 
 use crate::admission::{
-    AdmissionEvent, AdmissionOutcome, AdmissionPolicy, AdmissionPolicyKind, AdmissionQueue,
-    AdmissionTick, FitHint, FragmentationStats, RequestId, TickVerdict,
+    AdmissionEvent, AdmissionOutcome, AdmissionPolicy, AdmissionQueue, AdmissionTick, FitHint,
+    FragmentationStats, RequestId, TickVerdict,
 };
 use crate::ids::{VirtCoreId, VmId};
 use crate::meta::MetaZoneLayout;
 use crate::mmio::{MmioSpace, PfReg, Requester};
+use crate::plan::{
+    CommitReceipt, MigrationTarget, PlacementTxn, PlanOp, PlannedOp, ReconfigBudget, ReconfigCost,
+};
 use crate::routing_table::RoutingTable;
 use crate::vnpu::{VirtualNpu, VnpuRequest, GUEST_VA_BASE};
 use crate::{Result, VnpuError};
-use std::collections::BTreeMap;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use vnpu_mem::buddy::{Block, BuddyAllocator};
-use vnpu_mem::rtt::RttEntry;
+use vnpu_mem::rtt::{rtt_deploy_cycles, RttEntry};
 use vnpu_mem::{Perm, PhysAddr, VirtAddr};
 use vnpu_sim::SocConfig;
 use vnpu_topo::cache::{labeled_hash, CacheStats, FreeSet, MappingCache};
-use vnpu_topo::mapping::{Mapper, Strategy};
+use vnpu_topo::mapping::{Mapper, Mapping, Strategy};
 use vnpu_topo::{NodeId, Topology};
 
 /// Candidate-enumeration cap for [`Hypervisor::fit_hint_in`] probes:
@@ -78,6 +83,12 @@ pub struct Hypervisor {
     /// previously cached strategies expire instead of replaying stale
     /// placements.
     topo_generation: u64,
+    /// Plan-generation hash chain: every committed [`PlacementTxn`] (and
+    /// every [`Hypervisor::invalidate_plans`]) advances it, so a
+    /// transaction planned before another commit can never apply against
+    /// state it did not see — [`Hypervisor::commit`] rejects it as
+    /// [`VnpuError::StalePlan`]. 0 = no commit yet.
+    plan_generation: u64,
 }
 
 impl Hypervisor {
@@ -115,6 +126,7 @@ impl Hypervisor {
             free_events: 0,
             hint_cache: MappingCache::default(),
             topo_generation: 0,
+            plan_generation: 0,
             cfg,
         }
     }
@@ -357,7 +369,7 @@ impl Hypervisor {
         // 3. Routing table: compact form when the allocation is an exact
         //    axis-aligned mesh window, standard otherwise.
         let vm = VmId(self.next_vm);
-        let routing_table = self.build_routing_table(vm, &req, &mapping);
+        let routing_table = self.build_routing_table(vm, req.topology(), &mapping);
 
         // 4. Meta-zone budget check per core.
         let layout = MetaZoneLayout {
@@ -382,20 +394,17 @@ impl Hypervisor {
             self.acquire_core(n.0);
         }
         self.config_cycles += routing_table.config_cycles();
-        self.config_cycles += entries.len() as u64 * 22; // RTT entry writes
+        self.config_cycles += rtt_deploy_cycles(entries.len());
         self.next_vm += 1;
         let vnpu = VirtualNpu::new(
             vm,
-            req.topology().clone(),
             Arc::clone(&self.topo),
             mapping,
             routing_table,
             entries,
             blocks,
             mem_bytes,
-            req.memory_mode(),
-            req.wants_noc_isolation(),
-            req.bandwidth_cap_bytes(),
+            &req,
         );
         self.vnpus.insert(vm, vnpu);
         Ok(vm)
@@ -520,18 +529,6 @@ impl Hypervisor {
     /// outside this crate.
     pub fn set_admission_policy_obj(&mut self, policy: std::sync::Arc<dyn AdmissionPolicy>) {
         self.admissions.set_policy(policy);
-    }
-
-    /// Replaces the admission ordering policy from the legacy closed
-    /// enum — a shim over [`Hypervisor::set_admission_policy_obj`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "admission policies are open trait objects now; \
-                use `set_admission_policy_obj` with `Fifo`, `SmallestFirst`, \
-                `RetryAfterFree`, `Backfill`, `Aging`, or a custom impl"
-    )]
-    pub fn set_admission_policy(&mut self, policy: AdmissionPolicyKind) {
-        self.admissions.set_policy(policy.to_policy());
     }
 
     /// Caps placement attempts per queued request (see
@@ -714,29 +711,507 @@ impl Hypervisor {
         }
     }
 
-    fn allocate_memory(&mut self, bytes: u64) -> Result<(Vec<RttEntry>, Vec<Block>)> {
-        let mut entries: Vec<RttEntry> = Vec::new();
-        let mut blocks: Vec<Block> = Vec::new();
-        let mut va = VirtAddr(GUEST_VA_BASE);
-        let mut remaining = bytes;
-        while remaining > 0 {
-            let ask = remaining.clamp(MIN_BLOCK_BYTES, MAX_BLOCK_BYTES);
-            let block = match self.buddy.alloc(ask) {
-                Ok(b) => b,
-                Err(e) => {
-                    // Roll back partial allocations.
-                    for b in &blocks {
-                        let _ = self.buddy.free(b.addr);
+    // ------------------------------------------------------------------
+    // Transactional placement plans (see [`crate::plan`]).
+    // ------------------------------------------------------------------
+
+    /// The plan-generation chain [`PlacementTxn`]s validate against; see
+    /// [`Hypervisor::commit`]. Advanced by every successful commit and by
+    /// [`Hypervisor::invalidate_plans`].
+    pub fn plan_generation(&self) -> u64 {
+        self.plan_generation
+    }
+
+    /// Administratively advances the plan-generation chain, rendering
+    /// every outstanding [`PlacementTxn`] stale. Use when hypervisor
+    /// state is about to change outside the transaction engine (e.g. a
+    /// maintenance drain) and half-planned reshapes must not land on it.
+    pub fn invalidate_plans(&mut self) {
+        self.advance_plan_generation(0xDEAD_BEEF);
+    }
+
+    fn advance_plan_generation(&mut self, salt: u64) {
+        let mut h = DefaultHasher::new();
+        self.plan_generation.hash(&mut h);
+        self.next_vm.hash(&mut h);
+        self.free_set.fingerprint().hash(&mut h);
+        salt.hash(&mut h);
+        // `| 1` keeps 0 reserved for "no commit yet".
+        self.plan_generation = h.finish() | 1;
+    }
+
+    /// An order-sensitive digest of every observable piece of hypervisor
+    /// state the transaction engine may touch: core user counts, the
+    /// free region, HBM occupancy, every live vNPU's placement and
+    /// memory plan, VM numbering, configuration-cycle and free-event
+    /// counters, and both generation chains. Two calls return the same
+    /// value iff the state is identical — the "failed commit mutates
+    /// nothing" invariant is asserted by comparing digests.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.core_users.hash(&mut h);
+        self.free_set.fingerprint().hash(&mut h);
+        self.free_set.free_count().hash(&mut h);
+        self.buddy.free_bytes().hash(&mut h);
+        self.buddy.largest_free_block().hash(&mut h);
+        for (vm, vnpu) in &self.vnpus {
+            vm.0.hash(&mut h);
+            for n in vnpu.mapping().phys_nodes() {
+                n.0.hash(&mut h);
+            }
+            for e in vnpu.rtt_entries() {
+                (e.va.value(), e.pa.value(), e.size).hash(&mut h);
+            }
+            for b in vnpu.memory_blocks() {
+                (b.addr.value(), b.size).hash(&mut h);
+            }
+            vnpu.mem_bytes().hash(&mut h);
+            vnpu.routing_table().entry_count().hash(&mut h);
+        }
+        self.next_vm.hash(&mut h);
+        self.config_cycles.hash(&mut h);
+        self.free_events.hash(&mut h);
+        self.topo_generation.hash(&mut h);
+        self.plan_generation.hash(&mut h);
+        h.finish()
+    }
+
+    /// Probes a remap-under-pin for `vm` against an explicit free region:
+    /// the tenant's own cores are treated as free (it vacates them by
+    /// moving) within `free`. Defragmentation policies call this with
+    /// their *simulated* free region so successive accepted moves see the
+    /// compacted state; pass a dedicated hint cache so advisory probes
+    /// never distort placement-cache statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`VnpuError::UnknownVm`] for stale IDs, otherwise as for
+    /// [`vnpu_topo::mapping::Mapper::map_in`].
+    pub fn probe_remap_in(
+        &self,
+        vm: VmId,
+        strategy: &Strategy,
+        free: &FreeSet,
+        cache: &mut MappingCache,
+    ) -> Result<Mapping> {
+        let vnpu = self.vnpu(vm)?;
+        let widened = free.with_released(vnpu.mapping().phys_nodes());
+        Ok(self
+            .mapper()
+            .map_cached(&widened, vnpu.virt_topology(), strategy, cache)?)
+    }
+
+    /// Plans a transaction over this hypervisor's own cache — see
+    /// [`Hypervisor::plan_in`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Hypervisor::plan_in`].
+    pub fn plan(&mut self, ops: &[PlanOp]) -> Result<PlacementTxn> {
+        let mut cache = std::mem::take(&mut self.cache);
+        let result = self.plan_in(ops, &mut cache);
+        self.cache = cache;
+        result
+    }
+
+    /// Evaluates `ops` against a snapshot of the chip without mutating
+    /// anything: every op is resolved (mappings computed through `cache`,
+    /// memory splits simulated on a buddy clone, meta-zone budgets
+    /// checked) and priced with a [`ReconfigCost`]. Ops apply to the
+    /// snapshot in order, so a plan may destroy one tenant and create
+    /// into the freed region. The returned [`PlacementTxn`] commits
+    /// atomically via [`Hypervisor::commit_in`].
+    ///
+    /// Planned `Create` ops do not widen onto busy cores — temporal
+    /// sharing (§7 over-provisioning) remains a direct
+    /// [`Hypervisor::create_vnpu`] concern.
+    ///
+    /// # Errors
+    ///
+    /// The first op that cannot be planned fails the whole plan:
+    /// [`VnpuError::EmptyRequest`], [`VnpuError::Mapping`],
+    /// [`VnpuError::Memory`], [`VnpuError::MetaZoneOverflow`] or
+    /// [`VnpuError::UnknownVm`] (also for VMs destroyed earlier in the
+    /// same plan).
+    pub fn plan_in(&self, ops: &[PlanOp], cache: &mut MappingCache) -> Result<PlacementTxn> {
+        self.plan_with(ops, None, cache)
+    }
+
+    /// [`Hypervisor::plan_in`] under a [`ReconfigBudget`]: migration ops
+    /// are planned in order until the next one would exceed the budget,
+    /// at which point planning stops and the affordable prefix is
+    /// returned (possibly empty). Create/destroy ops are not budgeted.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Hypervisor::plan_in`].
+    pub fn plan_budgeted_in(
+        &self,
+        ops: &[PlanOp],
+        budget: &ReconfigBudget,
+        cache: &mut MappingCache,
+    ) -> Result<PlacementTxn> {
+        self.plan_with(ops, Some(budget), cache)
+    }
+
+    /// Computes a remap-under-pin for one tenant against an explicit
+    /// free region: the new mapping, its routing table and its cost, or
+    /// `None` when the best mapping is the current one. This is the
+    /// *single* source of migration mapping/cost logic —
+    /// [`Hypervisor::plan_with`] runs it against the plan's simulated
+    /// free region and [`Hypervisor::migrate_vnpu_in`] against the live
+    /// one, so the simulate and apply paths cannot drift.
+    fn plan_remap(
+        &self,
+        vm: VmId,
+        virt: &Topology,
+        own: &[NodeId],
+        strategy: &Strategy,
+        free: &FreeSet,
+        cache: &mut MappingCache,
+    ) -> Result<Option<(Mapping, RoutingTable, ReconfigCost)>> {
+        let widened = free.with_released(own);
+        let mapping = self.mapper().map_cached(&widened, virt, strategy, cache)?;
+        if mapping.phys_nodes() == own {
+            return Ok(None);
+        }
+        let routing = self.build_routing_table(vm, virt, &mapping);
+        let data = own.len() as u64 * self.cfg.scratchpad_bytes;
+        let cost = ReconfigCost::for_move(routing.config_cycles(), 0, data);
+        Ok(Some((mapping, routing, cost)))
+    }
+
+    fn plan_with(
+        &self,
+        ops: &[PlanOp],
+        budget: Option<&ReconfigBudget>,
+        cache: &mut MappingCache,
+    ) -> Result<PlacementTxn> {
+        let mut sim = SimCores {
+            users: self.core_users.clone(),
+            free: self.free_set.clone(),
+        };
+        let mut sim_buddy = self.buddy.clone();
+        let mut sim_next_vm = self.next_vm;
+        // Positions of tenants as evolved by earlier ops in this plan.
+        let mut moved_cores: HashMap<VmId, Vec<NodeId>> = HashMap::new();
+        let mut moved_blocks: HashMap<VmId, Vec<Block>> = HashMap::new();
+        let mut destroyed: HashSet<VmId> = HashSet::new();
+        let mut planned: Vec<PlannedOp> = Vec::new();
+        let mut total = ReconfigCost::default();
+        let mut migrations = 0usize;
+
+        let live = |vm: VmId, destroyed: &HashSet<VmId>| -> Result<&VirtualNpu> {
+            if destroyed.contains(&vm) {
+                return Err(VnpuError::UnknownVm(vm));
+            }
+            self.vnpus.get(&vm).ok_or(VnpuError::UnknownVm(vm))
+        };
+
+        for op in ops {
+            let cost = match op {
+                PlanOp::Create(req) => {
+                    if req.core_count() == 0 || req.memory_bytes() == 0 {
+                        return Err(VnpuError::EmptyRequest);
                     }
-                    return Err(VnpuError::Memory(e));
+                    let mapping = self.mapper().map_cached(
+                        &sim.free,
+                        req.topology(),
+                        req.strategy_ref(),
+                        cache,
+                    )?;
+                    let (entries, _blocks) =
+                        allocate_memory_from(&mut sim_buddy, req.memory_bytes())?;
+                    let routing =
+                        self.build_routing_table(VmId(sim_next_vm), req.topology(), &mapping);
+                    let layout = MetaZoneLayout {
+                        noc_rt_entries: u64::from(req.core_count()),
+                        direction_entries: if req.wants_noc_isolation() {
+                            u64::from(req.core_count()) * u64::from(req.core_count())
+                        } else {
+                            0
+                        },
+                        rtt_entries: entries.len() as u64,
+                    };
+                    layout.check(self.cfg.scratchpad_bytes)?;
+                    for &n in mapping.phys_nodes() {
+                        sim.acquire(n);
+                    }
+                    sim_next_vm += 1;
+                    ReconfigCost {
+                        routing_cycles: routing.config_cycles(),
+                        rtt_cycles: rtt_deploy_cycles(entries.len()),
+                        data_move_bytes: 0,
+                        paused_cycles: 0,
+                    }
+                }
+                PlanOp::Destroy(vm) => {
+                    let vnpu = live(*vm, &destroyed)?;
+                    let cores = moved_cores
+                        .get(vm)
+                        .cloned()
+                        .unwrap_or_else(|| vnpu.mapping().phys_nodes().to_vec());
+                    let blocks = moved_blocks
+                        .get(vm)
+                        .cloned()
+                        .unwrap_or_else(|| vnpu.memory_blocks().to_vec());
+                    for &n in &cores {
+                        sim.release(n)?;
+                    }
+                    for b in &blocks {
+                        sim_buddy
+                            .free(b.addr)
+                            .expect("planned teardown frees live blocks");
+                    }
+                    destroyed.insert(*vm);
+                    ReconfigCost::default()
+                }
+                PlanOp::Migrate {
+                    vm,
+                    to: MigrationTarget::Remap(strategy),
+                } => {
+                    let vnpu = live(*vm, &destroyed)?;
+                    let own = moved_cores
+                        .get(vm)
+                        .cloned()
+                        .unwrap_or_else(|| vnpu.mapping().phys_nodes().to_vec());
+                    match self.plan_remap(
+                        *vm,
+                        vnpu.virt_topology(),
+                        &own,
+                        strategy,
+                        &sim.free,
+                        cache,
+                    )? {
+                        None => ReconfigCost::default(),
+                        Some((mapping, _routing, cost)) => {
+                            for &n in &own {
+                                sim.release(n)?;
+                            }
+                            for &n in mapping.phys_nodes() {
+                                sim.acquire(n);
+                            }
+                            moved_cores.insert(*vm, mapping.phys_nodes().to_vec());
+                            cost
+                        }
+                    }
+                }
+                PlanOp::Migrate {
+                    vm,
+                    to: MigrationTarget::CompactMemory,
+                } => {
+                    let vnpu = live(*vm, &destroyed)?;
+                    let old = moved_blocks
+                        .get(vm)
+                        .cloned()
+                        .unwrap_or_else(|| vnpu.memory_blocks().to_vec());
+                    match plan_compaction(&mut sim_buddy, &old)? {
+                        None => ReconfigCost::default(),
+                        Some((new_blocks, _entries, cost)) => {
+                            moved_blocks.insert(*vm, new_blocks);
+                            cost
+                        }
+                    }
                 }
             };
-            entries.push(RttEntry::new(va, block.addr, block.size, Perm::RW));
-            va = va.offset(block.size);
-            remaining = remaining.saturating_sub(block.size);
-            blocks.push(block);
+            if let Some(b) = budget {
+                if matches!(op, PlanOp::Migrate { .. }) && !cost.is_zero() {
+                    if !b.admits(&total, migrations, &cost) {
+                        break;
+                    }
+                    migrations += 1;
+                }
+            }
+            total = total.plus(cost);
+            planned.push(PlannedOp {
+                op: op.clone(),
+                cost,
+            });
         }
-        Ok((entries, blocks))
+        Ok(PlacementTxn {
+            ops: planned,
+            free_fingerprint: self.free_set.fingerprint(),
+            free_count: self.free_set.free_count(),
+            hbm_free_bytes: self.buddy.free_bytes(),
+            next_vm: self.next_vm,
+            plan_generation: self.plan_generation,
+            total,
+        })
+    }
+
+    /// Commits a transaction through this hypervisor's own cache — see
+    /// [`Hypervisor::commit_in`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Hypervisor::commit_in`].
+    pub fn commit(&mut self, txn: &PlacementTxn) -> Result<CommitReceipt> {
+        let mut cache = std::mem::take(&mut self.cache);
+        let result = self.commit_in(txn, &mut cache);
+        self.cache = cache;
+        result
+    }
+
+    /// Atomically applies a planned transaction: first validates that the
+    /// chip still looks exactly as it did at plan time (free-region
+    /// fingerprint and count, HBM occupancy, VM numbering, and the
+    /// plan-generation chain), then applies every op in order — creating
+    /// through the normal provisioning pipeline, re-mapping migrated
+    /// tenants via the shared [`MappingCache`], re-deploying routing and
+    /// RTT state, releasing old cores. On success the plan-generation
+    /// chain advances (outstanding plans become stale). On *any* failure
+    /// — staleness or a mid-apply error — the hypervisor's observable
+    /// state is byte-identical to before the call
+    /// ([`Hypervisor::state_digest`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`VnpuError::StalePlan`] — the chip changed since the plan.
+    /// * Any provisioning error from an op (the commit rolls back).
+    pub fn commit_in(
+        &mut self,
+        txn: &PlacementTxn,
+        cache: &mut MappingCache,
+    ) -> Result<CommitReceipt> {
+        if txn.plan_generation != self.plan_generation {
+            return Err(VnpuError::StalePlan {
+                detail: "plan generation advanced since planning",
+            });
+        }
+        if txn.free_fingerprint != self.free_set.fingerprint()
+            || txn.free_count != self.free_set.free_count()
+        {
+            return Err(VnpuError::StalePlan {
+                detail: "free region changed since planning",
+            });
+        }
+        if txn.hbm_free_bytes != self.buddy.free_bytes() {
+            return Err(VnpuError::StalePlan {
+                detail: "HBM occupancy changed since planning",
+            });
+        }
+        if txn.next_vm != self.next_vm {
+            return Err(VnpuError::StalePlan {
+                detail: "VM numbering advanced since planning",
+            });
+        }
+        let snapshot = (
+            self.core_users.clone(),
+            self.free_set.clone(),
+            self.buddy.clone(),
+            self.vnpus.clone(),
+            self.next_vm,
+            self.config_cycles,
+            self.free_events,
+        );
+        let mut receipt = CommitReceipt::default();
+        let mut apply = || -> Result<()> {
+            for p in &txn.ops {
+                match &p.op {
+                    PlanOp::Create(req) => {
+                        let vm = self.create_vnpu_in(req.clone(), cache)?;
+                        receipt.created.push(vm);
+                        receipt.total = receipt.total.plus(p.cost);
+                    }
+                    PlanOp::Destroy(vm) => {
+                        self.destroy_vnpu(*vm)?;
+                        receipt.destroyed.push(*vm);
+                    }
+                    PlanOp::Migrate { vm, to } => {
+                        let moved = match to {
+                            MigrationTarget::Remap(strategy) => {
+                                self.migrate_vnpu_in(*vm, strategy, cache)?
+                            }
+                            MigrationTarget::CompactMemory => self.compact_vnpu_memory(*vm)?,
+                        };
+                        if let Some(cost) = moved {
+                            receipt.migrated.push((*vm, cost));
+                            receipt.total = receipt.total.plus(cost);
+                        }
+                    }
+                }
+            }
+            Ok(())
+        };
+        match apply() {
+            Ok(()) => {
+                self.advance_plan_generation(txn.ops.len() as u64);
+                Ok(receipt)
+            }
+            Err(e) => {
+                let (core_users, free_set, buddy, vnpus, next_vm, config_cycles, free_events) =
+                    snapshot;
+                self.core_users = core_users;
+                self.free_set = free_set;
+                self.buddy = buddy;
+                self.vnpus = vnpus;
+                self.next_vm = next_vm;
+                self.config_cycles = config_cycles;
+                self.free_events = free_events;
+                Err(e)
+            }
+        }
+    }
+
+    /// Live-migrates `vm`'s cores: re-maps its virtual topology under pin
+    /// (own cores count as free), releases the old cores, acquires the
+    /// new ones and re-deploys the routing table, charging the
+    /// configuration cycles. Returns `None` when the best mapping is the
+    /// current one (nothing moves, nothing is charged). Only called from
+    /// [`Hypervisor::commit_in`], whose snapshot guarantees atomicity.
+    fn migrate_vnpu_in(
+        &mut self,
+        vm: VmId,
+        strategy: &Strategy,
+        cache: &mut MappingCache,
+    ) -> Result<Option<ReconfigCost>> {
+        let vnpu = self.vnpus.get(&vm).ok_or(VnpuError::UnknownVm(vm))?;
+        if let Some(n) = vnpu
+            .mapping()
+            .phys_nodes()
+            .iter()
+            .find(|n| self.core_users[n.index()] == 0)
+        {
+            return Err(VnpuError::OverRelease { core: n.0 });
+        }
+        let own: Vec<NodeId> = vnpu.mapping().phys_nodes().to_vec();
+        let virt = vnpu.virt_topology().clone();
+        let Some((mapping, routing, cost)) =
+            self.plan_remap(vm, &virt, &own, strategy, &self.free_set, cache)?
+        else {
+            return Ok(None);
+        };
+        for &n in &own {
+            self.release_core(n.0).expect("validated above");
+        }
+        for &n in mapping.phys_nodes() {
+            self.acquire_core(n.0);
+        }
+        self.config_cycles += cost.routing_cycles;
+        let vnpu = self.vnpus.get_mut(&vm).expect("looked up above");
+        vnpu.redeploy_cores(mapping, routing);
+        Ok(Some(cost))
+    }
+
+    /// Compacts `vm`'s HBM: frees its buddy blocks, re-allocates the same
+    /// sizes (the allocator hands out lowest addresses first, so holes
+    /// squeeze out) and re-deploys its RTT, charging the entry writes.
+    /// Returns `None` when the allocator hands back the identical blocks.
+    /// Only called from [`Hypervisor::commit_in`] (snapshot atomicity).
+    fn compact_vnpu_memory(&mut self, vm: VmId) -> Result<Option<ReconfigCost>> {
+        let vnpu = self.vnpus.get(&vm).ok_or(VnpuError::UnknownVm(vm))?;
+        let old: Vec<Block> = vnpu.memory_blocks().to_vec();
+        let Some((new_blocks, entries, cost)) = plan_compaction(&mut self.buddy, &old)? else {
+            return Ok(None);
+        };
+        self.config_cycles += cost.rtt_cycles;
+        let vnpu = self.vnpus.get_mut(&vm).expect("looked up above");
+        vnpu.redeploy_memory(entries, new_blocks);
+        Ok(Some(cost))
+    }
+
+    fn allocate_memory(&mut self, bytes: u64) -> Result<(Vec<RttEntry>, Vec<Block>)> {
+        allocate_memory_from(&mut self.buddy, bytes)
     }
 
     /// Detects an axis-aligned window allocation and emits the compact
@@ -744,12 +1219,12 @@ impl Hypervisor {
     fn build_routing_table(
         &self,
         vm: VmId,
-        req: &VnpuRequest,
-        mapping: &vnpu_topo::mapping::Mapping,
+        virt_topology: &Topology,
+        mapping: &Mapping,
     ) -> RoutingTable {
         let v2p: Vec<u32> = mapping.phys_nodes().iter().map(|n| n.0).collect();
         if mapping.edit_distance() == 0 {
-            if let Some(shape) = req.topology().mesh_shape() {
+            if let Some(shape) = virt_topology.mesh_shape() {
                 let w = self.cfg.mesh_width;
                 let origin = v2p[0];
                 let window = v2p.iter().enumerate().all(|(v, &p)| {
@@ -764,6 +1239,111 @@ impl Hypervisor {
         }
         RoutingTable::from_dense(vm, &v2p)
     }
+}
+
+/// Splits a guest-memory request into buddy blocks mapped 1:1 into RTT
+/// entries, rolling back partial allocations on exhaustion. Works on any
+/// allocator so [`Hypervisor::plan_in`] can simulate the exact split on a
+/// clone.
+fn allocate_memory_from(
+    buddy: &mut BuddyAllocator,
+    bytes: u64,
+) -> Result<(Vec<RttEntry>, Vec<Block>)> {
+    let mut entries: Vec<RttEntry> = Vec::new();
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut va = VirtAddr(GUEST_VA_BASE);
+    let mut remaining = bytes;
+    while remaining > 0 {
+        let ask = remaining.clamp(MIN_BLOCK_BYTES, MAX_BLOCK_BYTES);
+        let block = match buddy.alloc(ask) {
+            Ok(b) => b,
+            Err(e) => {
+                // Roll back partial allocations.
+                for b in &blocks {
+                    let _ = buddy.free(b.addr);
+                }
+                return Err(VnpuError::Memory(e));
+            }
+        };
+        entries.push(RttEntry::new(va, block.addr, block.size, Perm::RW));
+        va = va.offset(block.size);
+        remaining = remaining.saturating_sub(block.size);
+        blocks.push(block);
+    }
+    Ok((entries, blocks))
+}
+
+/// Plan-time simulation of the hypervisor's core bookkeeping: user
+/// counts plus the derived free region, mirroring
+/// `acquire_core`/`release_core` *exactly* — including temporal sharing,
+/// where a shared core stays occupied until its last user leaves. The
+/// plan must evolve the same way the commit will, or a plan could
+/// succeed whose commit fails with no intervening state change.
+struct SimCores {
+    users: Vec<u32>,
+    free: FreeSet,
+}
+
+impl SimCores {
+    fn acquire(&mut self, n: NodeId) {
+        let users = &mut self.users[n.index()];
+        *users += 1;
+        if *users == 1 {
+            self.free.occupy(n);
+        }
+    }
+
+    fn release(&mut self, n: NodeId) -> Result<()> {
+        let users = &mut self.users[n.index()];
+        if *users == 0 {
+            return Err(VnpuError::OverRelease { core: n.0 });
+        }
+        *users -= 1;
+        if *users == 0 {
+            self.free.release(n);
+        }
+        Ok(())
+    }
+}
+
+/// Frees a tenant's buddy blocks and re-allocates the same sizes in
+/// order (lowest-address-first, squeezing holes out), returning the new
+/// blocks, the rebuilt guest-VA-contiguous RTT entries and the cost — or
+/// `None` when the allocator hands back the identical blocks (net
+/// no-op). The single source of compaction logic:
+/// [`Hypervisor::plan_with`] runs it on the plan's buddy clone,
+/// `Hypervisor::compact_vnpu_memory` on the live allocator (where the
+/// mutation *is* the apply; commit's snapshot rolls back on error).
+///
+/// Block sizes are non-increasing (the allocation split is), so each
+/// size still has a free region at least as large as the slot it just
+/// vacated; an allocation failure here is a buddy bug.
+/// What a (non-no-op) compaction resolves to: the re-allocated blocks,
+/// the rebuilt RTT entries, and the price.
+type CompactionPlan = (Vec<Block>, Vec<RttEntry>, ReconfigCost);
+
+fn plan_compaction(buddy: &mut BuddyAllocator, old: &[Block]) -> Result<Option<CompactionPlan>> {
+    for b in old {
+        buddy
+            .free(b.addr)
+            .expect("hypervisor-owned block frees cleanly");
+    }
+    let mut new_blocks = Vec::with_capacity(old.len());
+    for b in old {
+        new_blocks.push(buddy.alloc(b.size).map_err(VnpuError::Memory)?);
+    }
+    if new_blocks == old {
+        return Ok(None);
+    }
+    let mut entries = Vec::with_capacity(new_blocks.len());
+    let mut va = VirtAddr(GUEST_VA_BASE);
+    for b in &new_blocks {
+        entries.push(RttEntry::new(va, b.addr, b.size, Perm::RW));
+        va = va.offset(b.size);
+    }
+    let bytes: u64 = new_blocks.iter().map(|b| b.size).sum();
+    let cost = ReconfigCost::for_move(0, rtt_deploy_cycles(entries.len()), bytes);
+    Ok(Some((new_blocks, entries, cost)))
 }
 
 #[cfg(test)]
@@ -1134,16 +1714,309 @@ mod tests {
     }
 
     #[test]
-    fn legacy_enum_policy_shim_still_works() {
+    fn plan_and_commit_create_destroy_roundtrip() {
         let mut h = hv();
-        h.create_vnpu(VnpuRequest::mesh(6, 5)).unwrap();
-        h.submit(VnpuRequest::mesh(3, 3));
-        let small = h.submit(VnpuRequest::mesh(1, 2));
-        #[allow(deprecated)]
-        h.set_admission_policy(AdmissionPolicyKind::SmallestFirst);
-        let events = h.process_admissions();
-        assert_eq!(events.len(), 1);
-        assert_eq!(events[0].id, small);
+        let resident = h.create_vnpu(VnpuRequest::mesh(2, 2)).unwrap();
+        let ops = vec![
+            PlanOp::Destroy(resident),
+            PlanOp::Create(VnpuRequest::mesh(3, 3)),
+        ];
+        let txn = h.plan(&ops).unwrap();
+        assert_eq!(txn.len(), 2);
+        assert_eq!(
+            txn.ops()[0].cost,
+            ReconfigCost::default(),
+            "destroys are free"
+        );
+        assert!(txn.ops()[1].cost.routing_cycles > 0);
+        assert!(txn.ops()[1].cost.rtt_cycles > 0);
+        let receipt = h.commit(&txn).unwrap();
+        assert_eq!(receipt.destroyed, vec![resident]);
+        assert_eq!(receipt.created.len(), 1);
+        assert!(h.vnpu(resident).is_err());
+        assert_eq!(h.vnpu(receipt.created[0]).unwrap().core_count(), 9);
+        assert_eq!(h.free_core_count(), 27);
+    }
+
+    #[test]
+    fn plan_sees_freed_resources_of_earlier_ops() {
+        // A full chip: Create alone cannot be planned, but Destroy →
+        // Create in one plan can — ops apply to the snapshot in order.
+        let mut h = hv();
+        let resident = h.create_vnpu(VnpuRequest::mesh(6, 6)).unwrap();
+        assert!(h.plan(&[PlanOp::Create(VnpuRequest::mesh(2, 2))]).is_err());
+        let txn = h
+            .plan(&[
+                PlanOp::Destroy(resident),
+                PlanOp::Create(VnpuRequest::mesh(2, 2)),
+            ])
+            .unwrap();
+        let receipt = h.commit(&txn).unwrap();
+        assert_eq!(receipt.created.len(), 1);
+    }
+
+    #[test]
+    fn stale_plan_commits_nothing() {
+        let mut h = hv();
+        let vm = h.create_vnpu(VnpuRequest::mesh(2, 2)).unwrap();
+        let txn = h.plan(&[PlanOp::Create(VnpuRequest::mesh(2, 2))]).unwrap();
+        // The chip changes between plan and commit: the plan is stale.
+        h.destroy_vnpu(vm).unwrap();
+        let digest = h.state_digest();
+        assert!(matches!(h.commit(&txn), Err(VnpuError::StalePlan { .. })));
+        assert_eq!(h.state_digest(), digest, "failed commit must not mutate");
+        // Injected staleness (the generation chain) is caught even when
+        // the free region happens to look identical.
+        let txn = h.plan(&[PlanOp::Create(VnpuRequest::mesh(2, 2))]).unwrap();
+        h.invalidate_plans();
+        let digest = h.state_digest();
+        assert!(matches!(h.commit(&txn), Err(VnpuError::StalePlan { .. })));
+        assert_eq!(h.state_digest(), digest);
+        // A fresh plan against the new generation commits fine.
+        let txn = h.plan(&[PlanOp::Create(VnpuRequest::mesh(2, 2))]).unwrap();
+        assert_eq!(h.commit(&txn).unwrap().created.len(), 1);
+    }
+
+    #[test]
+    fn commit_advances_the_plan_generation_chain() {
+        let mut h = hv();
+        assert_eq!(h.plan_generation(), 0);
+        let a = h.plan(&[PlanOp::Create(VnpuRequest::mesh(2, 2))]).unwrap();
+        let b = h.plan(&[PlanOp::Create(VnpuRequest::mesh(2, 2))]).unwrap();
+        h.commit(&a).unwrap();
+        assert_ne!(h.plan_generation(), 0);
+        // b was planned against the pre-commit generation: stale now.
+        assert!(matches!(h.commit(&b), Err(VnpuError::StalePlan { .. })));
+    }
+
+    #[test]
+    fn failed_mid_commit_rolls_back_byte_identically() {
+        // Plans referencing a VM twice after its destroy are rejected at
+        // plan time already.
+        let mut h = hv();
+        let victim = h.create_vnpu(VnpuRequest::mesh(1, 1)).unwrap();
+        assert!(matches!(
+            h.plan(&[PlanOp::Destroy(victim), PlanOp::Destroy(victim)]),
+            Err(VnpuError::UnknownVm(_))
+        ));
+        h.destroy_vnpu(victim).unwrap();
+
+        // A genuine mid-apply failure: plan a full-chip turnover, then
+        // sneak an administrative reservation onto one of the victim's
+        // cores. The free region, HBM occupancy and VM numbering all
+        // look untouched (the core was already occupied), so the
+        // staleness checks pass — but the destroy no longer frees that
+        // core and the create fails halfway through the commit.
+        let resident = h.create_vnpu(VnpuRequest::mesh(6, 6)).unwrap();
+        let txn = h
+            .plan(&[
+                PlanOp::Destroy(resident),
+                PlanOp::Create(VnpuRequest::mesh(6, 6)),
+            ])
+            .unwrap();
+        let core = h.vnpu(resident).unwrap().mapping().phys_nodes()[0].0;
+        h.reserve_cores(&[core]).unwrap();
+        let digest = h.state_digest();
+        assert!(h.commit(&txn).is_err());
+        assert_eq!(
+            h.state_digest(),
+            digest,
+            "mid-commit failure must roll everything back"
+        );
+        assert!(
+            h.vnpu(resident).is_ok(),
+            "the destroyed-then-rolled-back tenant survives"
+        );
+        assert_eq!(h.free_core_count(), 0);
+    }
+
+    #[test]
+    fn migrate_remap_under_pin_moves_the_tenant() {
+        // Occupy a 6x5 block, then a 1x6 bottom row tenant; free the big
+        // block so a migration can recompact the row tenant anywhere.
+        let mut h = hv();
+        let big = h.create_vnpu(VnpuRequest::mesh(6, 5)).unwrap();
+        let row = h
+            .create_vnpu(VnpuRequest::custom(Topology::line(6)))
+            .unwrap();
+        let before: Vec<u32> = h
+            .vnpu(row)
+            .unwrap()
+            .mapping()
+            .phys_nodes()
+            .iter()
+            .map(|n| n.0)
+            .collect();
+        h.destroy_vnpu(big).unwrap();
+        let txn = h
+            .plan(&[PlanOp::Migrate {
+                vm: row,
+                to: MigrationTarget::Remap(Strategy::similar_topology().threads(1)),
+            }])
+            .unwrap();
+        let receipt = h.commit(&txn).unwrap();
+        assert_eq!(receipt.migration_count(), 1);
+        let (vm, cost) = receipt.migrated[0];
+        assert_eq!(vm, row);
+        assert!(cost.routing_cycles > 0, "routing re-deployment is paid");
+        assert!(cost.data_move_bytes > 0, "scratchpad state moves");
+        assert!(cost.paused_cycles > cost.routing_cycles);
+        let after: Vec<u32> = h
+            .vnpu(row)
+            .unwrap()
+            .mapping()
+            .phys_nodes()
+            .iter()
+            .map(|n| n.0)
+            .collect();
+        assert_ne!(before, after, "the tenant must actually move");
+        // Core accounting stays exact: 6 cores used, 30 free.
+        assert_eq!(h.free_core_count(), 30);
+        // The routing table resolves every virtual core to the new cores.
+        for v in 0..6 {
+            let p = h
+                .vnpu(row)
+                .unwrap()
+                .routing_table()
+                .lookup(VirtCoreId(v))
+                .unwrap();
+            assert!(after.contains(&p.0));
+        }
+        h.destroy_vnpu(row).unwrap();
+        assert_eq!(h.free_core_count(), 36, "no cores leak through migration");
+    }
+
+    #[test]
+    fn plan_accounts_temporal_sharing_user_counts() {
+        // Regression: the plan used to mark a destroyed tenant's cores
+        // free outright, while the commit's release_core keeps a shared
+        // core occupied until its *last* user leaves — so a plan could
+        // succeed whose commit failed with no intervening state change.
+        let mut h = hv();
+        let resident = h.create_vnpu(VnpuRequest::mesh(6, 6)).unwrap();
+        let shared = h
+            .create_vnpu(VnpuRequest::mesh(2, 2).temporal_sharing(true))
+            .unwrap();
+        // Destroying only the shared tenant frees nothing (its cores are
+        // still the resident's), so the follow-up create cannot be
+        // planned — and therefore cannot fail at commit either.
+        assert!(h
+            .plan(&[
+                PlanOp::Destroy(shared),
+                PlanOp::Create(VnpuRequest::mesh(2, 2)),
+            ])
+            .is_err());
+        let txn = h.plan(&[PlanOp::Destroy(shared)]).unwrap();
+        h.commit(&txn).unwrap();
+        assert_eq!(h.free_core_count(), 0, "shared cores stay occupied");
+        // Destroying the resident in the same plan as a create works:
+        // the simulation frees exactly what the commit frees.
+        let txn = h
+            .plan(&[
+                PlanOp::Destroy(resident),
+                PlanOp::Create(VnpuRequest::mesh(2, 2)),
+            ])
+            .unwrap();
+        let receipt = h.commit(&txn).unwrap();
+        assert_eq!(receipt.created.len(), 1);
+        assert_eq!(h.free_core_count(), 32);
+    }
+
+    #[test]
+    fn migrate_to_same_spot_is_a_no_op() {
+        let mut h = hv();
+        let vm = h.create_vnpu(VnpuRequest::mesh(2, 2)).unwrap();
+        let txn = h
+            .plan(&[PlanOp::Migrate {
+                vm,
+                to: MigrationTarget::Remap(Strategy::similar_topology().threads(1)),
+            }])
+            .unwrap();
+        assert!(txn.total().is_zero(), "best mapping is the current one");
+        let receipt = h.commit(&txn).unwrap();
+        assert_eq!(receipt.migration_count(), 0);
+        assert!(receipt.total.is_zero());
+    }
+
+    #[test]
+    fn compact_memory_grows_the_largest_free_block() {
+        // Three tenants with interleaved memory; destroying the middle one
+        // leaves a hole that compaction squeezes out.
+        let mut h = Hypervisor::with_hbm_bytes(SocConfig::sim(), 1 << 30);
+        let a = h
+            .create_vnpu(VnpuRequest::mesh(1, 1).mem_bytes(256 << 20))
+            .unwrap();
+        let b = h
+            .create_vnpu(VnpuRequest::mesh(1, 2).mem_bytes(256 << 20))
+            .unwrap();
+        let c = h
+            .create_vnpu(VnpuRequest::mesh(2, 1).mem_bytes(256 << 20))
+            .unwrap();
+        h.destroy_vnpu(b).unwrap();
+        let frag_before = h.fragmentation().hbm_external_fragmentation;
+        assert!(frag_before > 0.0, "the hole fragments free HBM");
+        let txn = h
+            .plan(&[PlanOp::Migrate {
+                vm: c,
+                to: MigrationTarget::CompactMemory,
+            }])
+            .unwrap();
+        assert!(txn.total().rtt_cycles > 0);
+        assert_eq!(txn.total().data_move_bytes, 256 << 20);
+        let receipt = h.commit(&txn).unwrap();
+        assert_eq!(receipt.migration_count(), 1);
+        let frag_after = h.fragmentation().hbm_external_fragmentation;
+        assert!(
+            frag_after < frag_before,
+            "compaction must reduce buddy external fragmentation \
+             ({frag_before} -> {frag_after})"
+        );
+        // The tenant's RTT still covers its whole VA window contiguously.
+        let v = h.vnpu(c).unwrap();
+        let mut va = GUEST_VA_BASE;
+        for e in v.rtt_entries() {
+            assert_eq!(e.va.value(), va);
+            va += e.size;
+        }
+        h.destroy_vnpu(a).unwrap();
+        h.destroy_vnpu(c).unwrap();
+        assert_eq!(h.hbm_free_bytes(), 1 << 30, "no HBM leaks");
+    }
+
+    #[test]
+    fn budgeted_plan_keeps_the_affordable_prefix() {
+        let mut h = hv();
+        // Fragment the chip: two tenants in opposite corners.
+        let keep_free = [0u32, 1, 2, 6, 7, 8, 28, 29, 34, 35];
+        let taken: Vec<u32> = (0..36).filter(|c| !keep_free.contains(c)).collect();
+        h.reserve_cores(&taken).unwrap();
+        let a = h.create_vnpu(VnpuRequest::mesh(2, 1)).unwrap();
+        let b = h.create_vnpu(VnpuRequest::mesh(1, 2)).unwrap();
+        let ops = vec![
+            PlanOp::Migrate {
+                vm: a,
+                to: MigrationTarget::Remap(Strategy::similar_topology().threads(1)),
+            },
+            PlanOp::Migrate {
+                vm: b,
+                to: MigrationTarget::Remap(Strategy::similar_topology().threads(1)),
+            },
+        ];
+        let unbudgeted = h.plan(&ops).unwrap();
+        let moves = unbudgeted
+            .ops()
+            .iter()
+            .filter(|p| !p.cost.is_zero())
+            .count();
+        let budget = ReconfigBudget {
+            max_migrations: 1,
+            ..ReconfigBudget::default()
+        };
+        let mut cache = MappingCache::default();
+        let budgeted = h.plan_budgeted_in(&ops, &budget, &mut cache).unwrap();
+        let budgeted_moves = budgeted.ops().iter().filter(|p| !p.cost.is_zero()).count();
+        assert!(budgeted_moves <= 1, "budget caps migrations");
+        assert!(budgeted_moves <= moves);
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod hypervisor;
 pub mod meta;
 pub mod mig;
 pub mod mmio;
+pub mod plan;
 pub mod routing_table;
 pub mod uvm;
 pub mod vchunk;
@@ -70,9 +71,9 @@ pub mod vrouter;
 mod ids;
 
 pub use admission::{
-    AdmissionEvent, AdmissionOutcome, AdmissionPolicy, AdmissionPolicyKind, AdmissionQueue, Aging,
-    Backfill, FailureAction, Fifo, FitHint, FragmentationStats, PendingView, RequestId,
-    RetryAfterFree, SmallestFirst,
+    AdmissionEvent, AdmissionOutcome, AdmissionPolicy, AdmissionQueue, Aging, Backfill,
+    FailureAction, Fifo, FitHint, FragmentationStats, PendingView, RequestId, RetryAfterFree,
+    SmallestFirst,
 };
 pub use cluster::{
     BestFitFragmentation, ChipPlacement, ChipSnapshot, Cluster, ClusterAdmissionEvent,
@@ -80,6 +81,10 @@ pub use cluster::{
 };
 pub use hypervisor::Hypervisor;
 pub use ids::{PhysCoreId, VirtCoreId, VmId};
+pub use plan::{
+    CommitReceipt, Defragmenter, GreedyDefrag, MigrationTarget, PlacementTxn, PlanOp, PlannedOp,
+    ReconfigBudget, ReconfigCost,
+};
 pub use routing_table::RoutingTable;
 pub use vnpu::{VirtualNpu, VnpuRequest};
 pub use vrouter::VRouterNoc;
@@ -117,6 +122,14 @@ pub enum VnpuError {
     },
     /// The request asked for zero cores or zero memory.
     EmptyRequest,
+    /// A [`plan::PlacementTxn`] no longer matches the live hypervisor
+    /// state (the free region, HBM occupancy, VM numbering or the
+    /// plan-generation chain changed between plan and commit). The
+    /// commit applied nothing.
+    StalePlan {
+        /// Which validation failed.
+        detail: &'static str,
+    },
     /// A core was released more times than it was acquired (double
     /// release) — previously masked by a saturating subtraction.
     OverRelease {
@@ -155,6 +168,9 @@ impl fmt::Display for VnpuError {
                 write!(f, "virtual core {vcore} out of range ({count} cores)")
             }
             VnpuError::EmptyRequest => write!(f, "request must ask for at least one core and byte"),
+            VnpuError::StalePlan { detail } => {
+                write!(f, "placement plan is stale ({detail}); nothing was applied")
+            }
             VnpuError::OverRelease { core } => {
                 write!(f, "core {core} released more times than it was acquired")
             }

@@ -210,36 +210,41 @@ pub struct VirtualNpu {
     mem_mode: MemMode,
     noc_isolation: bool,
     bandwidth_cap: Option<u64>,
+    temporal_sharing: bool,
+    strategy: Strategy,
     translation_costs: TranslationCosts,
 }
 
 impl VirtualNpu {
+    /// Builds the deployed vNPU; policy-level attributes (memory mode,
+    /// isolation, bandwidth cap, temporal sharing, mapping strategy) are
+    /// retained from the request so migrations can reconstruct it
+    /// faithfully.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         vm: VmId,
-        virt_topology: Topology,
         phys_topology: Arc<Topology>,
         mapping: Mapping,
         routing_table: RoutingTable,
         rtt_entries: Vec<RttEntry>,
         blocks: Vec<Block>,
         mem_bytes: u64,
-        mem_mode: MemMode,
-        noc_isolation: bool,
-        bandwidth_cap: Option<u64>,
+        req: &VnpuRequest,
     ) -> Self {
         VirtualNpu {
             vm,
-            virt_topology,
+            virt_topology: req.topology().clone(),
             phys_topology,
             mapping,
             routing_table,
             rtt_entries,
             blocks,
             mem_bytes,
-            mem_mode,
-            noc_isolation,
-            bandwidth_cap,
+            mem_mode: req.memory_mode(),
+            noc_isolation: req.wants_noc_isolation(),
+            bandwidth_cap: req.bandwidth_cap_bytes(),
+            temporal_sharing: req.wants_temporal_sharing(),
+            strategy: req.strategy_ref().clone(),
             translation_costs: TranslationCosts::default(),
         }
     }
@@ -293,6 +298,46 @@ impl VirtualNpu {
     /// Buddy blocks backing the guest memory (for hypervisor teardown).
     pub(crate) fn blocks(&self) -> &[Block] {
         &self.blocks
+    }
+
+    /// The buddy blocks backing this virtual NPU's guest memory, in
+    /// guest-VA order — what defragmentation policies inspect to decide
+    /// which tenants' memory sits highest in HBM.
+    pub fn memory_blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The bandwidth cap this virtual NPU was created with, if any.
+    pub fn bandwidth_cap_bytes(&self) -> Option<u64> {
+        self.bandwidth_cap
+    }
+
+    /// Whether this virtual NPU was created with temporal sharing (§7
+    /// over-provisioning) — migrations must preserve the semantics.
+    pub fn wants_temporal_sharing(&self) -> bool {
+        self.temporal_sharing
+    }
+
+    /// The core-allocation strategy this virtual NPU was created with.
+    pub fn mapping_strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// Re-deploys this virtual NPU onto new physical cores after a live
+    /// migration: the mapping and routing table are replaced wholesale.
+    /// Caller (the hypervisor's transaction engine) owns the core
+    /// bookkeeping.
+    pub(crate) fn redeploy_cores(&mut self, mapping: Mapping, routing_table: RoutingTable) {
+        self.mapping = mapping;
+        self.routing_table = routing_table;
+    }
+
+    /// Re-deploys this virtual NPU's memory plan after an HBM compaction:
+    /// same guest-VA window, new physical blocks and RTT entries. Caller
+    /// owns the buddy bookkeeping.
+    pub(crate) fn redeploy_memory(&mut self, rtt_entries: Vec<RttEntry>, blocks: Vec<Block>) {
+        self.rtt_entries = rtt_entries;
+        self.blocks = blocks;
     }
 
     /// Guest-VA window start.

@@ -25,6 +25,18 @@ use crate::{MemError, Perm, PhysAddr, Result, VirtAddr};
 /// perm 4 + last_v 8 + valid 4), matching the paper's "144 bits for each".
 pub const RANGE_TLB_ENTRY_BITS: u32 = 144;
 
+/// Controller cycles to write one RTT entry into a core's meta-zone (the
+/// Figure 11 configuration-path cost per range).
+pub const RTT_ENTRY_WRITE_CYCLES: u64 = 22;
+
+/// Controller cycles to deploy (or re-deploy, after a live migration or a
+/// memory compaction) a table of `entries` RTT entries. Every entry is a
+/// meta-zone write; re-deployment costs the same as the initial deploy
+/// because the hyper-mode controller rewrites the whole table.
+pub fn rtt_deploy_cycles(entries: usize) -> u64 {
+    entries as u64 * RTT_ENTRY_WRITE_CYCLES
+}
+
 /// One entry of the range translation table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RttEntry {

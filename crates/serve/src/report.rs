@@ -3,6 +3,7 @@
 //! per-chip breakdowns and leak accounting, with hand-rolled JSON output
 //! (the offline workspace has no serde).
 
+use vnpu::plan::ReconfigCost;
 use vnpu_topo::cache::CacheStats;
 
 /// One per-tick fragmentation sample, aggregated across the cluster's
@@ -36,6 +37,8 @@ pub struct ChipReport {
     pub accepted: u64,
     /// Tenants destroyed on this chip over the run.
     pub departed: u64,
+    /// Live migrations committed on this chip by defragmentation.
+    pub migrations: u64,
     /// Machine epochs executed on this chip.
     pub executed_epochs: u64,
     /// Simulated machine cycles on this chip.
@@ -69,6 +72,17 @@ pub struct ServeReport {
     pub p99_placement_cycles: u64,
     /// Worst observed time-to-placement in controller cycles.
     pub max_placement_cycles: u64,
+    /// Live migrations committed by the defragmentation phase.
+    pub migrations: u64,
+    /// Summed [`ReconfigCost`] every migration paid (routing/RTT
+    /// re-deployment cycles, data-movement bytes, paused-tenant time).
+    pub reconfig: ReconfigCost,
+    /// Cumulative growth of largest free-core windows achieved by defrag
+    /// passes (cores).
+    pub frag_windows_recovered: u64,
+    /// Cumulative reduction of buddy external fragmentation achieved by
+    /// defrag passes (sum of per-pass deltas, each in `[0, 1]`).
+    pub hbm_frag_recovered: f64,
     /// Mapping-cache counters (the cluster's shared cache).
     pub cache: CacheStats,
     /// Fragmentation trajectory, one aggregated sample per tick.
@@ -122,6 +136,8 @@ impl ServeReport {
         let mut out = format!(
             "serve: {} chips, {} epochs, {} submitted | accepted {} ({:.1}%), \
              rejected {}, queued {} | placement cycles p50 {} p99 {} max {} | \
+             migrations {} (reconfig {} cycles, {} B moved, {} paused; \
+             windows +{} cores, hbm frag -{:.3}) | \
              cache hits {} misses {} (hit rate {:.1}%) | mean \
              free-connectivity {:.3} | executed {} machine epochs ({} cycles) \
              | leaks: {} cores, {} HBM bytes",
@@ -135,6 +151,12 @@ impl ServeReport {
             self.p50_placement_cycles,
             self.p99_placement_cycles,
             self.max_placement_cycles,
+            self.migrations,
+            self.reconfig.config_cycles(),
+            self.reconfig.data_move_bytes,
+            self.reconfig.paused_cycles,
+            self.frag_windows_recovered,
+            self.hbm_frag_recovered,
             self.cache.hits,
             self.cache.misses,
             100.0 * self.cache_hit_rate(),
@@ -146,13 +168,14 @@ impl ServeReport {
         );
         for c in &self.per_chip {
             out.push_str(&format!(
-                "\n  chip{} ({}x{}): accepted {}, departed {}, {} epochs \
-                 ({} cycles), leaks: {} cores, {} HBM bytes",
+                "\n  chip{} ({}x{}): accepted {}, departed {}, migrated {}, \
+                 {} epochs ({} cycles), leaks: {} cores, {} HBM bytes",
                 c.chip,
                 c.mesh_width,
                 c.mesh_height,
                 c.accepted,
                 c.departed,
+                c.migrations,
                 c.executed_epochs,
                 c.machine_cycles,
                 c.leaked_cores,
@@ -194,13 +217,15 @@ impl ServeReport {
             }
             chips.push_str(&format!(
                 "{{\"chip\":{},\"mesh\":\"{}x{}\",\"accepted\":{},\
-                 \"departed\":{},\"executed_epochs\":{},\"machine_cycles\":{},\
+                 \"departed\":{},\"migrations\":{},\"executed_epochs\":{},\
+                 \"machine_cycles\":{},\
                  \"leaked_cores\":{},\"leaked_hbm_bytes\":{}}}",
                 c.chip,
                 c.mesh_width,
                 c.mesh_height,
                 c.accepted,
                 c.departed,
+                c.migrations,
                 c.executed_epochs,
                 c.machine_cycles,
                 c.leaked_cores,
@@ -213,6 +238,11 @@ impl ServeReport {
              \"accepted\": {},\n  \"rejected\": {},\n  \"queued_at_end\": {},\n  \
              \"departed\": {},\n  \"p50_placement_cycles\": {},\n  \
              \"p99_placement_cycles\": {},\n  \"max_placement_cycles\": {},\n  \
+             \"migrations\": {},\n  \"reconfig_config_cycles\": {},\n  \
+             \"reconfig_data_move_bytes\": {},\n  \
+             \"reconfig_paused_cycles\": {},\n  \
+             \"frag_windows_recovered\": {},\n  \
+             \"hbm_frag_recovered\": {:.4},\n  \
              \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
              \"cache_hit_rate\": {:.4},\n  \"cache_evictions\": {},\n  \
              \"executed_epochs\": {},\n  \"machine_cycles\": {},\n  \
@@ -229,6 +259,12 @@ impl ServeReport {
             self.p50_placement_cycles,
             self.p99_placement_cycles,
             self.max_placement_cycles,
+            self.migrations,
+            self.reconfig.config_cycles(),
+            self.reconfig.data_move_bytes,
+            self.reconfig.paused_cycles,
+            self.frag_windows_recovered,
+            self.hbm_frag_recovered,
             self.cache.hits,
             self.cache.misses,
             self.cache_hit_rate(),
@@ -281,6 +317,15 @@ mod tests {
             p50_placement_cycles: 10,
             p99_placement_cycles: 20,
             max_placement_cycles: 30,
+            migrations: 1,
+            reconfig: ReconfigCost {
+                routing_cycles: 100,
+                rtt_cycles: 44,
+                data_move_bytes: 4096,
+                paused_cycles: 656,
+            },
+            frag_windows_recovered: 9,
+            hbm_frag_recovered: 0.25,
             cache: CacheStats::default(),
             fragmentation: vec![FragSample {
                 tick: 0,
@@ -301,6 +346,7 @@ mod tests {
                 mesh_height: 6,
                 accepted: 2,
                 departed: 2,
+                migrations: 1,
                 executed_epochs: 2,
                 machine_cycles: 1000,
                 leaked_cores: 0,
@@ -311,9 +357,13 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"cache_hit_rate\""));
+        assert!(json.contains("\"migrations\": 1"));
+        assert!(json.contains("\"reconfig_paused_cycles\": 656"));
+        assert!(json.contains("\"frag_windows_recovered\": 9"));
         assert!(json.contains("\"chips\": [{"));
         assert!(json.contains("\"fragmentation\": [{"));
         assert!(!r.summary().is_empty());
         assert!(r.summary().contains("chip0 (6x6)"));
+        assert!(r.summary().contains("migrations 1"));
     }
 }

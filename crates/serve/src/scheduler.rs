@@ -30,6 +30,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use vnpu::admission::{AdmissionPolicy, Fifo, FitHint, RequestId};
 use vnpu::cluster::{ChipPlacement, Cluster, ClusterAdmissionOutcome, ClusterVmId, FirstFit};
+use vnpu::plan::{Defragmenter, ReconfigBudget, ReconfigCost};
 use vnpu::{Hypervisor, VirtCoreId};
 use vnpu_sim::isa::{Instr, Program};
 use vnpu_sim::machine::{Machine, TenantId};
@@ -67,6 +68,14 @@ pub struct ServeConfig {
     /// doorbells); configuration cycles are accounted on top from the
     /// hypervisors' own meta-table cost model.
     pub tick_cycles: u64,
+    /// Background defragmentation policy, run as an optional phase of
+    /// every [`ServeRuntime::step`]; `None` disables the phase.
+    pub defrag: Option<Arc<dyn Defragmenter>>,
+    /// Reconfiguration budget per defragmentation pass (per chip).
+    pub defrag_budget: ReconfigBudget,
+    /// Run the defragmenter every N ticks (0 disables even when a
+    /// policy is configured).
+    pub defrag_interval: u64,
 }
 
 impl ServeConfig {
@@ -96,6 +105,9 @@ impl ServeConfig {
             max_attempts: Some(24),
             execute_epochs: true,
             tick_cycles: 1_000,
+            defrag: None,
+            defrag_budget: ReconfigBudget::default(),
+            defrag_interval: 1,
         }
     }
 }
@@ -117,6 +129,8 @@ pub struct TickEvents {
     pub departed: u64,
     /// Requests still queued after the admission pass.
     pub queued: u64,
+    /// Live migrations committed by this tick's defragmentation phase.
+    pub migrations: u64,
     /// Chips that executed a machine epoch this tick.
     pub executed_chips: u32,
 }
@@ -133,6 +147,7 @@ struct LiveVnpu {
 struct ChipCounters {
     accepted: u64,
     departed: u64,
+    migrations: u64,
     executed_epochs: u64,
     machine_cycles: u64,
 }
@@ -156,6 +171,15 @@ pub struct ServeRuntime {
     accepted: u64,
     rejected: u64,
     departed: u64,
+    migrations: u64,
+    /// Summed [`ReconfigCost`] paid by every committed migration.
+    reconfig: ReconfigCost,
+    /// Cumulative growth of largest free windows achieved by defrag
+    /// passes (cores).
+    frag_windows_recovered: u64,
+    /// Cumulative reduction of buddy external fragmentation achieved by
+    /// defrag passes (sum of per-pass deltas).
+    hbm_frag_recovered: f64,
     fragmentation: Vec<FragSample>,
     per_chip: Vec<ChipCounters>,
     tick: u64,
@@ -198,6 +222,10 @@ impl ServeRuntime {
             accepted: 0,
             rejected: 0,
             departed: 0,
+            migrations: 0,
+            reconfig: ReconfigCost::default(),
+            frag_windows_recovered: 0,
+            hbm_frag_recovered: 0.0,
             fragmentation: Vec::new(),
             per_chip,
             tick: 0,
@@ -283,8 +311,10 @@ impl ServeRuntime {
     }
 
     /// Advances one tick: departures, arrivals, one cluster admission
-    /// pass, a fragmentation sample, and (when enabled) one machine
-    /// epoch on every chip with live tenants. Steps past
+    /// pass, an optional defragmentation phase (when
+    /// [`ServeConfig::defrag`] is set), a fragmentation sample, and
+    /// (when enabled) one machine epoch on every chip with live
+    /// tenants. Steps past
     /// `cfg.epochs` keep working — the bound only applies to
     /// [`ServeRuntime::run`].
     ///
@@ -302,6 +332,7 @@ impl ServeRuntime {
             rejected: Vec::new(),
             departed: 0,
             queued: 0,
+            migrations: 0,
             executed_chips: 0,
         };
 
@@ -340,8 +371,12 @@ impl ServeRuntime {
         //    accounted incrementally: every decision carries the
         //    cluster-wide cumulative config-cycle counter at the moment
         //    it was made, so each placement is stamped with only the
-        //    configuration work accrued up to *that* event.
-        for event in self.cluster.process_admissions() {
+        //    configuration work accrued up to *that* event. The pass
+        //    hands back its per-chip snapshots so the defrag phase and
+        //    the fragmentation sample reuse the tick's single
+        //    free-region scan.
+        let (admission_events, mut snapshots) = self.cluster.process_admissions_with_snapshots();
+        for event in admission_events {
             let lifetime = self
                 .queued_lifetimes
                 .remove(&event.id)
@@ -375,37 +410,91 @@ impl ServeRuntime {
                 }
             }
         }
+        events.queued = self.cluster.pending_count() as u64;
+
+        // 4. Optional defragmentation phase: the configured policy
+        //    proposes migrations per chip from the snapshot stats, the
+        //    cluster plans them under the budget and commits atomically,
+        //    and each migrated tenant's machine pause lands on its
+        //    next-epoch threads. Committed passes refresh the chip's
+        //    snapshot and book the recovered fragmentation.
+        if let Some(defrag) = self.cfg.defrag.clone() {
+            if self.cfg.defrag_interval > 0 && tick % self.cfg.defrag_interval == 0 {
+                // Indexed loop: the body replaces `snapshots[chip]` and
+                // borrows the cluster mutably, so no iterator borrow can
+                // live across it.
+                #[allow(clippy::needless_range_loop)]
+                for chip in 0..self.cluster.chip_count() {
+                    let stats = snapshots[chip].fragmentation_stats();
+                    let receipt = self.cluster.defrag_chip(
+                        chip,
+                        defrag.as_ref(),
+                        &self.cfg.defrag_budget,
+                        &stats,
+                    )?;
+                    if receipt.migration_count() == 0 {
+                        continue;
+                    }
+                    for (vm, cost) in &receipt.migrated {
+                        let id = ClusterVmId { chip, vm: *vm };
+                        if let Some(live) = self.live.get(&id) {
+                            self.machines[chip]
+                                .migrate_tenant(live.tenant, cost.paused_cycles)
+                                .map_err(vnpu::VnpuError::Sim)?;
+                        }
+                        self.migrations += 1;
+                        self.per_chip[chip].migrations += 1;
+                        self.reconfig = self.reconfig.plus(*cost);
+                        events.migrations += 1;
+                    }
+                    let before = &snapshots[chip];
+                    let (window_before, hbm_before) = (
+                        before.largest_free_component,
+                        before.hbm_external_fragmentation,
+                    );
+                    snapshots[chip] = self.cluster.snapshot_of(chip);
+                    let after = &snapshots[chip];
+                    self.frag_windows_recovered +=
+                        after.largest_free_component.saturating_sub(window_before) as u64;
+                    let delta = hbm_before - after.hbm_external_fragmentation;
+                    if delta > 0.0 {
+                        self.hbm_frag_recovered += delta;
+                    }
+                }
+            }
+        }
+        // Fold the pass's configuration work (admissions *and* defrag
+        // re-deployments) into the controller clock.
         let config_now = self.cluster.total_config_cycles();
         self.controller_cycles += config_now - config_base;
         self.accounted_config_cycles = config_now;
-        events.queued = self.cluster.pending_count() as u64;
 
-        // 4. Fragmentation sample (after admissions, before execution),
-        //    aggregated across chips.
-        let frags = self.cluster.fragmentation();
-        let free_cores: u32 = frags.iter().map(|f| f.free_cores).sum();
-        let weighted_conn: f64 = frags
+        // 5. Fragmentation sample (after admissions and defrag, before
+        //    execution), aggregated across chips from the tick's shared
+        //    snapshots — no extra free-region scan.
+        let free_cores: u32 = snapshots.iter().map(|s| s.free_cores).sum();
+        let weighted_conn: f64 = snapshots
             .iter()
-            .map(|f| f.free_connectivity * f64::from(f.free_cores))
+            .map(|s| s.free_connectivity * f64::from(s.free_cores))
             .sum();
         self.fragmentation.push(FragSample {
             tick,
             free_cores,
-            free_components: frags.iter().map(|f| f.free_components).sum(),
+            free_components: snapshots.iter().map(|s| s.free_components).sum(),
             free_connectivity: if free_cores == 0 {
                 1.0
             } else {
                 weighted_conn / f64::from(free_cores)
             },
-            hbm_external_fragmentation: frags
+            hbm_external_fragmentation: snapshots
                 .iter()
-                .map(|f| f.hbm_external_fragmentation)
+                .map(|s| s.hbm_external_fragmentation)
                 .sum::<f64>()
-                / frags.len().max(1) as f64,
+                / snapshots.len().max(1) as f64,
             live_vnpus: self.live.len(),
         });
 
-        // 5. Execution epochs: every chip with live tenants runs them.
+        // 6. Execution epochs: every chip with live tenants runs them.
         if self.cfg.execute_epochs && !self.live.is_empty() {
             for chip in 0..self.machines.len() {
                 let residents: Vec<(ClusterVmId, TenantId)> = self
@@ -471,6 +560,7 @@ impl ServeRuntime {
                     mesh_height: hv.config().mesh_height,
                     accepted: counters.accepted,
                     departed: counters.departed,
+                    migrations: counters.migrations,
                     executed_epochs: counters.executed_epochs,
                     machine_cycles: counters.machine_cycles,
                     leaked_cores: hv.config().core_count() - hv.free_core_count(),
@@ -489,6 +579,10 @@ impl ServeRuntime {
             p50_placement_cycles: percentile(&sorted, 50),
             p99_placement_cycles: percentile(&sorted, 99),
             max_placement_cycles: sorted.last().copied().unwrap_or(0),
+            migrations: self.migrations,
+            reconfig: self.reconfig,
+            frag_windows_recovered: self.frag_windows_recovered,
+            hbm_frag_recovered: self.hbm_frag_recovered,
             cache: self.cluster.cache_stats(),
             fragmentation: self.fragmentation.clone(),
             executed_epochs: per_chip.iter().map(|c| c.executed_epochs).sum(),
@@ -713,6 +807,45 @@ mod tests {
         assert_eq!(r.executed_epochs, 0);
         assert_eq!(r.machine_cycles, 0);
         assert!(r.accepted > 0);
+    }
+
+    #[test]
+    fn defrag_phase_pays_costed_migrations_and_recovers_fragmentation() {
+        use vnpu::plan::GreedyDefrag;
+        let baseline = ServeRuntime::new(quick_cfg(13)).run().unwrap();
+        assert_eq!(baseline.migrations, 0, "no defragmenter, no migrations");
+        assert_eq!(baseline.reconfig, ReconfigCost::default());
+
+        let mut cfg = quick_cfg(13);
+        cfg.defrag = Some(Arc::new(GreedyDefrag::default()));
+        let defragged = ServeRuntime::new(cfg.clone()).run().unwrap();
+        let again = ServeRuntime::new(cfg).run().unwrap();
+        assert_eq!(defragged, again, "defrag runs must stay deterministic");
+        assert!(
+            defragged.migrations > 0,
+            "churn fragments the chip; the defragmenter must act"
+        );
+        // Every migration's cost is accounted: migrations imply paid
+        // reconfiguration (meta-table cycles, moved bytes, pause time).
+        assert!(defragged.reconfig.config_cycles() > 0);
+        assert!(defragged.reconfig.data_move_bytes > 0);
+        assert!(
+            defragged.reconfig.paused_cycles >= defragged.reconfig.config_cycles(),
+            "the pause covers at least the meta-table rewrites"
+        );
+        assert!(
+            defragged.frag_windows_recovered > 0 || defragged.hbm_frag_recovered > 0.0,
+            "committed passes must book recovered fragmentation"
+        );
+        assert_eq!(
+            defragged.per_chip.iter().map(|c| c.migrations).sum::<u64>(),
+            defragged.migrations,
+            "per-chip sections cover every migration"
+        );
+        // Same arrival stream, same leak-freedom.
+        assert_eq!(defragged.submitted, baseline.submitted);
+        assert_eq!(defragged.leaked_cores, 0);
+        assert_eq!(defragged.leaked_hbm_bytes, 0);
     }
 
     #[test]

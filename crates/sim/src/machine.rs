@@ -22,7 +22,7 @@
 use crate::config::SocConfig;
 use crate::epoch::{EpochState, EpochSummary, Phase, ThreadState};
 use crate::hbm::Hbm;
-use crate::isa::Program;
+use crate::isa::{Instr, Program};
 use crate::noc::{DorRouter, Noc, NocRouter};
 use crate::stats::Report;
 use crate::{Result, SimError};
@@ -135,6 +135,14 @@ pub struct Machine {
     pub(crate) epoch: EpochState,
     epoch_index: u64,
     epoch_history: Vec<EpochSummary>,
+    /// Pause debt from epoch-boundary live migrations
+    /// ([`Machine::migrate_tenant`]): every thread the tenant binds in the
+    /// *next* epoch starts this many cycles late (its cores were being
+    /// drained, moved and re-deployed). Cleared by
+    /// [`Machine::finish_epoch`].
+    pending_migration_pause: HashMap<TenantId, u64>,
+    migrations: u64,
+    migration_pause_cycles: u64,
     /// Hardware-reconfiguration fingerprint, evolved as a hash chain by
     /// [`Machine::set_core_scales`]: virtualization layers fold this into
     /// their mapping-cache keys so strategies costed against the old
@@ -173,6 +181,9 @@ impl Machine {
             epoch: EpochState::new(n),
             epoch_index: 0,
             epoch_history: Vec::new(),
+            pending_migration_pause: HashMap::new(),
+            migrations: 0,
+            migration_pause_cycles: 0,
             topology_generation: 0,
             cfg,
         }
@@ -239,6 +250,45 @@ impl Machine {
     /// Registered tenant count.
     pub fn tenant_count(&self) -> usize {
         self.tenant_names.len()
+    }
+
+    /// Declares that `tenant` was live-migrated between epochs: its cores
+    /// were drained, its state moved and its meta-tables re-deployed,
+    /// which pauses the tenant for `pause_cycles`. Epoch boundaries are
+    /// the only legal migration points — the event loop has no notion of
+    /// moving a thread mid-flight — so the call is refused while the
+    /// tenant has threads bound in the current epoch. The pause is
+    /// charged to every thread the tenant binds in the next epoch (they
+    /// all start late by `pause_cycles`, prepended as a prelude delay);
+    /// repeated migrations before the next epoch accumulate.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownTenant`] — never registered or already
+    ///   removed.
+    /// * [`SimError::TenantBusy`] — threads are bound in the current
+    ///   epoch; finish it first.
+    pub fn migrate_tenant(&mut self, tenant: TenantId, pause_cycles: u64) -> Result<()> {
+        if !self.tenant_names.contains_key(&tenant) {
+            return Err(SimError::UnknownTenant(tenant));
+        }
+        if self.epoch.tenant_threads.get(&tenant).copied().unwrap_or(0) > 0 {
+            return Err(SimError::TenantBusy(tenant));
+        }
+        *self.pending_migration_pause.entry(tenant).or_insert(0) += pause_cycles;
+        self.migrations += 1;
+        self.migration_pause_cycles += pause_cycles;
+        Ok(())
+    }
+
+    /// Live migrations declared over this machine's lifetime.
+    pub fn migration_count(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Total pause cycles charged to migrated tenants so far.
+    pub fn migration_pause_cycles(&self) -> u64 {
+        self.migration_pause_cycles
     }
 
     /// Enables per-chunk global-memory access tracing (Figure 6).
@@ -328,6 +378,14 @@ impl Machine {
         if !self.tenant_names.contains_key(&tenant) {
             return Err(SimError::UnknownTenant(tenant));
         }
+        // A tenant migrated since the last epoch starts every thread late:
+        // its cores were drained and its state moved during the boundary.
+        let mut program = program;
+        if let Some(&pause) = self.pending_migration_pause.get(&tenant) {
+            if pause > 0 {
+                program.prelude.insert(0, Instr::Delay { cycles: pause });
+            }
+        }
         let core = &mut self.cores[phys_core as usize];
         if program.footprint_bytes > self.cfg.scratchpad_bytes {
             return Err(SimError::ScratchpadOverflow {
@@ -416,6 +474,8 @@ impl Machine {
         self.epoch_index += 1;
         self.epoch = EpochState::new(self.cfg.core_count() as usize);
         self.services.clear();
+        // Migration pauses apply to exactly one epoch's bindings.
+        self.pending_migration_pause.clear();
         for core in &mut self.cores {
             core.reset_epoch();
         }
@@ -1010,6 +1070,41 @@ mod tests {
         let mut other = Machine::new(fpga());
         other.set_core_scales(0, 200, 50).unwrap();
         assert_ne!(other.topology_generation(), after_one);
+    }
+
+    #[test]
+    fn migrate_tenant_pauses_next_epoch_only() {
+        let mut m = Machine::new(fpga());
+        let t = m.add_tenant("mover");
+        // Mid-epoch migration is refused: the tenant has bound threads.
+        m.bind(0, t, 0, Program::once(vec![Instr::matmul(16, 16, 16)]))
+            .unwrap();
+        assert!(matches!(
+            m.migrate_tenant(t, 500),
+            Err(SimError::TenantBusy(_))
+        ));
+        let baseline = m.run_epoch().unwrap().makespan();
+        // At the epoch boundary the migration is legal and the pause is
+        // charged to the next epoch's threads.
+        m.migrate_tenant(t, 10_000).unwrap();
+        assert_eq!(m.migration_count(), 1);
+        assert_eq!(m.migration_pause_cycles(), 10_000);
+        m.bind(0, t, 0, Program::once(vec![Instr::matmul(16, 16, 16)]))
+            .unwrap();
+        let paused = m.run_epoch().unwrap().makespan();
+        assert!(
+            paused >= baseline + 10_000,
+            "migration pause must delay the epoch: {paused} vs {baseline}"
+        );
+        // The pause is consumed: the epoch after runs at full speed.
+        m.bind(0, t, 0, Program::once(vec![Instr::matmul(16, 16, 16)]))
+            .unwrap();
+        assert_eq!(m.run_epoch().unwrap().makespan(), baseline);
+        // Unknown tenants are rejected.
+        assert!(matches!(
+            m.migrate_tenant(999, 1),
+            Err(SimError::UnknownTenant(999))
+        ));
     }
 
     #[test]

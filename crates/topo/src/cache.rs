@@ -143,6 +143,18 @@ impl FreeSet {
         }
     }
 
+    /// A copy of this set with `nodes` additionally free — the
+    /// *remap-under-pin* region: when re-placing a live tenant, its own
+    /// current cores count as available (it vacates them by moving), so a
+    /// migration planner maps the tenant's topology against
+    /// `free.with_released(own_cores)`. Already-free nodes are ignored, so
+    /// the widened set's fingerprint stays consistent with its membership.
+    pub fn with_released(&self, nodes: &[NodeId]) -> FreeSet {
+        let mut widened = self.clone();
+        widened.release_all(nodes);
+        widened
+    }
+
     /// Occupies every node in `nodes` (already-occupied ones are ignored).
     pub fn occupy_all(&mut self, nodes: &[NodeId]) {
         for &n in nodes {

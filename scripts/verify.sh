@@ -30,7 +30,13 @@ cargo bench --bench serving_churn -- --quick
 echo "== cargo bench --bench cluster_churn -- --quick =="
 cargo bench --bench cluster_churn -- --quick
 
+echo "== cargo bench --bench defrag_churn -- --quick =="
+cargo bench --bench defrag_churn -- --quick
+
 echo "== cargo run --release --example cluster_serving =="
 cargo run --release --example cluster_serving
+
+echo "== cargo run --release --example defrag_serving =="
+cargo run --release --example defrag_serving
 
 echo "verify: OK"

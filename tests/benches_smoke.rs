@@ -100,6 +100,11 @@ fn smoke_cluster_churn() {
     figs::cluster_churn::run(true);
 }
 
+#[test]
+fn smoke_defrag_churn() {
+    figs::defrag_churn::run(true);
+}
+
 /// The micro-benchmark harness itself, in quick mode: the same bench
 /// functions `benches/micro_criterion.rs` registers must measure and
 /// record without panicking.

@@ -398,6 +398,113 @@ fn hypervisor_churn_leaves_no_residue() {
     );
 }
 
+/// Transactional-plan churn invariant: any random interleaving of
+/// creates, destroys, core migrations and memory compactions — all
+/// driven through `Hypervisor::plan`/`commit` — leaks nothing and ends
+/// fully coalesced at quiescence, and every deliberately staled commit
+/// leaves the hypervisor byte-identical (`state_digest` compare).
+#[test]
+fn placement_plan_churn_is_transactional_and_leak_free() {
+    use vnpu::plan::{MigrationTarget, PlanOp};
+    use vnpu::VnpuError;
+    use vnpu_sim::SocConfig;
+    check(
+        "placement_plan_churn_is_transactional_and_leak_free",
+        48,
+        vec_of((range(0u32..8), range(0u32..5)), 4..32),
+        |ops| {
+            let hbm = 2 << 30;
+            let mut hv = Hypervisor::with_hbm_bytes(SocConfig::sim(), hbm);
+            let total_cores = hv.config().core_count();
+            let free_hbm_at_start = hv.hbm_free_bytes();
+            let remap = || MigrationTarget::Remap(Strategy::similar_topology().threads(1));
+            let mut live: Vec<VmId> = Vec::new();
+            for &(shape, action) in ops {
+                match action {
+                    0 if !live.is_empty() => {
+                        // Destroy the oldest tenant, transactionally.
+                        let vm = live.remove(0);
+                        let txn = hv.plan(&[PlanOp::Destroy(vm)]).expect("plan destroy");
+                        let receipt = hv.commit(&txn).expect("commit destroy");
+                        prop_assert_eq!(receipt.destroyed.len(), 1);
+                    }
+                    1 if !live.is_empty() => {
+                        // Migrate the oldest tenant's cores under pin.
+                        let vm = live[0];
+                        let txn = hv
+                            .plan(&[PlanOp::Migrate { vm, to: remap() }])
+                            .expect("remap-under-pin always has its own spot");
+                        hv.commit(&txn).expect("commit migrate");
+                    }
+                    2 if !live.is_empty() => {
+                        // Compact the oldest tenant's HBM blocks.
+                        let vm = live[0];
+                        let txn = hv
+                            .plan(&[PlanOp::Migrate {
+                                vm,
+                                to: MigrationTarget::CompactMemory,
+                            }])
+                            .expect("compaction re-allocates freed space");
+                        hv.commit(&txn).expect("commit compaction");
+                    }
+                    _ => {
+                        let req = match shape {
+                            0 => VnpuRequest::mesh(1, 1).mem_bytes(8 << 20),
+                            1 => VnpuRequest::mesh(2, 2).mem_bytes(48 << 20),
+                            2 => VnpuRequest::mesh(2, 3).mem_bytes(96 << 20),
+                            3 => VnpuRequest::mesh(3, 3).mem_bytes(160 << 20),
+                            4 => VnpuRequest::cores(5).mem_bytes(24 << 20),
+                            5 => VnpuRequest::cores(7).mem_bytes(72 << 20),
+                            6 => VnpuRequest::mesh(4, 2).mem_bytes(33 << 20),
+                            _ => VnpuRequest::mesh(1, 3).mem_bytes(130 << 20),
+                        };
+                        // Placement may legitimately fail under
+                        // fragmentation; planned failures change nothing.
+                        let Ok(txn) = hv.plan(&[PlanOp::Create(req.clone())]) else {
+                            continue;
+                        };
+                        // Stale the plan on purpose: the failed commit
+                        // must leave the hypervisor byte-identical.
+                        hv.invalidate_plans();
+                        let digest = hv.state_digest();
+                        prop_assert!(
+                            matches!(hv.commit(&txn), Err(VnpuError::StalePlan { .. })),
+                            "a staled plan must be rejected"
+                        );
+                        prop_assert_eq!(
+                            hv.state_digest(),
+                            digest,
+                            "failed commit must be byte-identical"
+                        );
+                        // Re-plan against the new generation and land it.
+                        let txn = hv.plan(&[PlanOp::Create(req)]).expect("replan");
+                        let receipt = hv.commit(&txn).expect("commit create");
+                        live.push(receipt.created[0]);
+                    }
+                }
+                prop_assert!(hv.free_core_count() <= total_cores);
+                prop_assert!(hv.hbm_free_bytes() <= free_hbm_at_start);
+            }
+            // Drain every survivor in one transaction.
+            if !live.is_empty() {
+                let drain: Vec<PlanOp> = live.drain(..).map(PlanOp::Destroy).collect();
+                let txn = hv.plan(&drain).expect("plan drain");
+                hv.commit(&txn).expect("commit drain");
+            }
+            prop_assert_eq!(hv.free_core_count(), total_cores, "no leaked cores");
+            prop_assert_eq!(hv.hbm_free_bytes(), free_hbm_at_start, "no leaked HBM");
+            let frag = hv.fragmentation();
+            prop_assert_eq!(
+                frag.hbm_largest_free_block,
+                free_hbm_at_start,
+                "buddy must fully coalesce at quiescence"
+            );
+            prop_assert_eq!(frag.free_components, 1, "free region is whole again");
+            Ok(())
+        },
+    );
+}
+
 /// Differential test for the mapping cache: on any free set, a cache hit
 /// must return a placement identical to the uncached
 /// `Strategy::similar_topology` result (successes *and* failures), and

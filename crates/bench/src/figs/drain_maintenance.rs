@@ -1,0 +1,248 @@
+//! **Drain maintenance** — whole-chip evacuation under live serving: a
+//! two-chip fleet takes churn traffic, then chip 0 goes into a
+//! maintenance drain. The maintenance phase must evacuate it to zero
+//! tenants under a per-epoch [`ReconfigBudget`] while serving continues
+//! on chip 1, and `undrain` must hand the chip back with byte-identical
+//! schedulability.
+//!
+//! Asserted invariants (both modes):
+//!
+//! * the whole driver is deterministic under the seed (two runs produce
+//!   byte-identical [`vnpu_serve::ServeReport`]s, drain progress
+//!   included);
+//! * the loaded chip reaches **zero tenants** within the budgeted
+//!   window, never exceeding the per-epoch migration budget;
+//! * **no request is ever placed on the draining chip**, and no fleet
+//!   [`vnpu::admission::FitHint`] ever advertises a window the
+//!   schedulable chip cannot supply (i.e. no hint names the draining
+//!   chip);
+//! * every evacuation's [`vnpu::plan::ReconfigCost`] is accounted in the
+//!   report (meta-table cycles, moved bytes, paused-tenant time,
+//!   per-chip evacuated/received counts);
+//! * after `complete_drain` + `undrain` the chip's snapshot is
+//!   byte-identical to a fresh idle chip's and placements land on it
+//!   again;
+//! * zero leaked cores and HBM bytes after the end-of-run drain.
+
+use std::sync::Arc;
+use vnpu::cluster::LeastLoaded;
+use vnpu::drain::ChipSchedState;
+use vnpu::plan::ReconfigBudget;
+use vnpu_serve::{ServeConfig, ServeReport, ServeRuntime};
+use vnpu_sim::SocConfig;
+
+/// Fixed seed: the whole request stream, drain schedule and report are
+/// reproducible from this value.
+const SEED: u64 = 0xD8A1_4011;
+
+/// Per-epoch evacuation budget: at most 2 tenants move per tick, so a
+/// loaded chip provably takes several epochs to drain.
+const DRAIN_BUDGET: ReconfigBudget = ReconfigBudget {
+    max_migrations: 2,
+    max_paused_cycles: 50_000_000,
+    max_data_move_bytes: 1 << 30,
+};
+
+fn config(quick: bool) -> ServeConfig {
+    let epochs = if quick { 300 } else { 1_200 };
+    let mut cfg = ServeConfig::cluster(SEED, epochs, vec![SocConfig::sim(), SocConfig::sim()]);
+    cfg.traffic.candidate_cap = if quick { 200 } else { 400 };
+    cfg.traffic.mean_interarrival_ticks = 2;
+    cfg.traffic.mean_lifetime_epochs = 10;
+    cfg.placement = Arc::new(LeastLoaded);
+    cfg.drain_budget = DRAIN_BUDGET;
+    cfg
+}
+
+/// One full maintenance scenario: warm → drain chip 0 → maintenance
+/// window → undrain → serve on. Returns the end-of-run report plus the
+/// drain phase's observables for the claim assertions.
+struct Outcome {
+    report: ServeReport,
+    evacuated: u64,
+    drain_ticks: u64,
+    readmitted_on_zero: bool,
+}
+
+fn scenario(quick: bool) -> Outcome {
+    let cfg = config(quick);
+    let epochs = cfg.epochs;
+    let mut rt = ServeRuntime::new(cfg);
+
+    // --- Warm phase: load both chips until chip 0 carries a real
+    //     population (≥ 4 tenants). ---
+    let mut warm_ticks = 0u64;
+    while rt.cluster().chip(0).vnpu_count() < 4 {
+        rt.step().expect("warm tick");
+        warm_ticks += 1;
+        assert!(warm_ticks < epochs / 2, "traffic must load chip 0");
+    }
+
+    // --- Drain phase: budgeted evacuation while serving continues. ---
+    rt.begin_drain(0).expect("begin_drain");
+    assert_eq!(rt.drain_state(0), Ok(ChipSchedState::Draining));
+    let mut evacuated = 0u64;
+    let mut drain_ticks = 0u64;
+    while rt.cluster().chip(0).vnpu_count() > 0 {
+        let ev = rt.step().expect("drain tick");
+        assert!(
+            ev.drain_migrations <= DRAIN_BUDGET.max_migrations as u64,
+            "the per-epoch budget caps evacuations: {}",
+            ev.drain_migrations
+        );
+        assert!(
+            ev.admitted.iter().all(|id| id.chip != 0),
+            "no request may ever be placed on the draining chip"
+        );
+        evacuated += ev.drain_migrations;
+        drain_ticks += 1;
+        // The fleet hint must come from the schedulable chip alone: as
+        // chip 0 empties, its (never-advertised) window grows past
+        // anything loaded chip 1 can offer, so a leak through the mask
+        // would show up as a hint exceeding chip 1's largest island.
+        if let Some(hint) = rt.fleet_fit_hint() {
+            let island = rt.cluster().snapshot_of(1).largest_free_component as u32;
+            assert!(
+                hint.cores <= island,
+                "a fit hint named the draining chip: {} > {island}",
+                hint.cores
+            );
+        }
+        assert!(
+            drain_ticks < epochs,
+            "the drain must converge within the run"
+        );
+    }
+    assert!(evacuated > 0, "a loaded chip drains by moving tenants");
+    assert!(
+        drain_ticks >= evacuated.div_ceil(DRAIN_BUDGET.max_migrations as u64),
+        "budgeted evacuation takes its epochs"
+    );
+
+    // --- Maintenance window: the chip stays masked while drained. ---
+    rt.complete_drain(0).expect("evacuated chip completes");
+    assert_eq!(rt.drain_state(0), Ok(ChipSchedState::Drained));
+    for _ in 0..5 {
+        let ev = rt.step().expect("maintenance tick");
+        assert!(
+            ev.admitted.iter().all(|id| id.chip != 0),
+            "a drained chip must stay masked until undrain"
+        );
+    }
+
+    // --- Hand-back: byte-identical schedulability. ---
+    rt.undrain(0).expect("undrain");
+    assert_eq!(rt.drain_state(0), Ok(ChipSchedState::Schedulable));
+    let restored = rt.cluster().snapshot_of(0);
+    // An idle reference fleet with the serve config's chip models *and*
+    // HBM sizes (4 GiB serving HBM, not the bare-hypervisor default).
+    let fresh = vnpu::cluster::Cluster::with_chips(vec![
+        vnpu::Hypervisor::with_hbm_bytes(SocConfig::sim(), 4 << 30),
+        vnpu::Hypervisor::with_hbm_bytes(SocConfig::sim(), 4 << 30),
+    ])
+    .snapshot_of(0);
+    assert_eq!(
+        restored, fresh,
+        "an undrained chip's snapshot is byte-identical to a fresh idle chip's"
+    );
+    let mut readmitted_on_zero = false;
+    while rt.tick_index() < epochs {
+        let ev = rt.step().expect("post-drain tick");
+        readmitted_on_zero |= ev.admitted.iter().any(|id| id.chip == 0);
+    }
+    rt.drain().expect("end-of-run drain");
+    Outcome {
+        report: rt.report(),
+        evacuated,
+        drain_ticks,
+        readmitted_on_zero,
+    }
+}
+
+/// Runs the maintenance scenario twice and asserts every claim.
+///
+/// # Panics
+///
+/// Panics when any invariant fails — the bench doubles as the acceptance
+/// gate for the drain-for-maintenance stack.
+pub fn run(quick: bool) {
+    println!("== drain_maintenance: whole-chip evacuation under live serving ==\n");
+
+    let a = scenario(quick);
+    let b = scenario(quick);
+    assert_eq!(
+        a.report, b.report,
+        "same seed must reproduce the whole report, drain progress included"
+    );
+    assert_eq!(a.evacuated, b.evacuated);
+    assert_eq!(a.drain_ticks, b.drain_ticks);
+
+    let r = &a.report;
+    println!(
+        "drained chip 0 in {} budgeted epochs ({} tenants evacuated, \
+         ≤ {} per epoch)\n",
+        a.drain_ticks, a.evacuated, DRAIN_BUDGET.max_migrations
+    );
+    println!("{}\n", r.summary());
+
+    // --- Serving continued and resumed. ---
+    assert!(r.accepted > 0, "serving continued through the drain");
+    assert!(
+        a.readmitted_on_zero,
+        "after undrain, placements must land on chip 0 again"
+    );
+
+    // --- Every evacuation's cost is accounted. ---
+    assert_eq!(
+        r.drain_migrations, a.evacuated,
+        "the report covers every move"
+    );
+    assert_eq!(
+        r.per_chip[0].drain_evacuated, a.evacuated,
+        "per-chip drain progress: evacuated"
+    );
+    assert_eq!(
+        r.per_chip[1].drain_received, a.evacuated,
+        "per-chip drain progress: received"
+    );
+    assert!(
+        r.drain_reconfig.config_cycles() > 0,
+        "evacuations pay meta-table re-deployment"
+    );
+    // Every serving tenant carries at least 16 MiB of guest HBM, and a
+    // cross-chip move also carries per-core scratchpad state.
+    assert!(
+        r.drain_reconfig.data_move_bytes >= a.evacuated * (16 << 20),
+        "the data-movement term dominates cross-chip evacuation"
+    );
+    assert!(
+        r.drain_reconfig.paused_cycles >= r.drain_reconfig.config_cycles(),
+        "the pause covers at least the meta-table rewrites"
+    );
+
+    // --- Pristine fleet at the end. ---
+    assert_eq!(r.leaked_cores, 0, "no cores may leak through a drain");
+    assert_eq!(r.leaked_hbm_bytes, 0, "no HBM may leak through a drain");
+    for c in &r.per_chip {
+        assert_eq!(c.residual_vnpus, 0, "chip{} drained clean", c.chip);
+        assert!(c.schedulable, "chip{} back in service", c.chip);
+    }
+    assert_eq!(
+        r.accepted + r.rejected + r.queued_at_end,
+        r.submitted,
+        "every request accounted exactly once"
+    );
+
+    // --- JSON report via the existing harness conventions. ---
+    if let Some(dir) = crate::harness::report_dir() {
+        let name = if quick {
+            "drain_maintenance.report.quick.json"
+        } else {
+            "drain_maintenance.report.json"
+        };
+        let path = dir.join(name);
+        if std::fs::write(&path, r.to_json(64)).is_ok() {
+            println!("drain report written to {}\n", path.display());
+        }
+    }
+}

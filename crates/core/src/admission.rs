@@ -222,6 +222,20 @@ impl Default for Aging {
     }
 }
 
+impl Aging {
+    /// A request's discounted effective size, saturating at a floor of
+    /// **1 core**: a pathological attempt count (or a huge
+    /// `boost_per_attempt`) discounts any request at most down to the
+    /// size of the smallest possible request, so an aged giant ties with
+    /// — never underflows past — genuinely smaller queued requests (ties
+    /// still break by arrival order).
+    pub fn effective_cores(&self, p: &PendingView) -> u32 {
+        p.cores
+            .saturating_sub(p.attempts.saturating_mul(self.boost_per_attempt))
+            .max(1)
+    }
+}
+
 impl AdmissionPolicy for Aging {
     fn name(&self) -> &'static str {
         "aging"
@@ -230,13 +244,7 @@ impl AdmissionPolicy for Aging {
     fn attempt_order(&self, pending: &[PendingView], _free_events: u64) -> Vec<RequestId> {
         let mut ids: Vec<(u32, RequestId)> = pending
             .iter()
-            .map(|p| {
-                (
-                    p.cores
-                        .saturating_sub(p.attempts.saturating_mul(self.boost_per_attempt)),
-                    p.id,
-                )
-            })
+            .map(|p| (self.effective_cores(p), p.id))
             .collect();
         // Ties (equal effective size) break by arrival order via the ID.
         ids.sort();
@@ -597,6 +605,30 @@ mod tests {
         // A third failure reaches the reservation threshold.
         queue.mark_failed(big, 0);
         assert_eq!(queue.failure_action(big), FailureAction::Block);
+    }
+
+    #[test]
+    fn aging_discount_floors_at_one_core() {
+        // Regression: a pathological attempt count used to discount a
+        // request's effective size to 0 cores, sorting an aged giant
+        // strictly ahead of genuinely smaller (even 1-core) requests.
+        // The discount now floors at 1 core, so the giant *ties* with the
+        // smallest possible request and arrival order breaks the tie.
+        let aging = Aging {
+            boost_per_attempt: u32::MAX,
+            reserve_after_attempts: 8,
+        };
+        let mut queue = q(Arc::new(aging));
+        let tiny = queue.push(VnpuRequest::mesh(1, 1)); // 1 core, arrives first
+        let giant = queue.push(VnpuRequest::mesh(3, 3)); // 9 cores
+
+        // One attempt × u32::MAX boost saturates the discount. Effective
+        // sizes: tiny = 1 (fresh), giant = max(1, 9 − sat) = 1 — equal,
+        // so arrival order keeps tiny first.
+        queue.mark_failed(giant, 0);
+        assert_eq!(queue.attempt_order(0), vec![tiny, giant]);
+        let view = queue.request(giant).unwrap().view();
+        assert_eq!(aging.effective_cores(&view), 1, "floor, not underflow");
     }
 
     #[test]

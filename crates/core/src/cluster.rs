@@ -32,6 +32,7 @@ use crate::admission::{
     AdmissionPolicy, AdmissionQueue, AdmissionTick, FitHint, FragmentationStats, PendingView,
     RequestId, TickVerdict,
 };
+use crate::drain::{ChipSchedState, DrainMove, DrainPolicy, DrainStep};
 use crate::hypervisor::Hypervisor;
 use crate::ids::VmId;
 use crate::plan::{CommitReceipt, Defragmenter, PlanOp, ReconfigBudget, ReconfigCost};
@@ -86,6 +87,12 @@ pub struct ChipSnapshot {
     pub hbm_external_fragmentation: f64,
     /// Live virtual NPUs on the chip.
     pub live_vnpus: usize,
+    /// Whether the chip may be nominated for placements — `false` while
+    /// it is draining for (or under) maintenance. Drained chips are never
+    /// nominated by the shipped [`ChipPlacement`] policies (they gate on
+    /// [`ChipSnapshot::fits`]) and never advertised by the fleet
+    /// [`Cluster::fit_hint`].
+    pub schedulable: bool,
 }
 
 impl ChipSnapshot {
@@ -93,14 +100,22 @@ impl ChipSnapshot {
     /// only — the topology mapper has the final word). Temporal-sharing
     /// requests (§7 over-provisioning) may widen onto busy cores, so for
     /// them only the chip's *total* core count gates; HBM is never
-    /// time-shared and must be free either way.
+    /// time-shared and must be free either way. Unschedulable (draining)
+    /// chips fit nothing — the fleet-wide schedulability mask.
     pub fn fits(&self, req: &PendingView) -> bool {
-        let cores_ok = if req.temporal_sharing {
-            self.total_cores >= req.cores
+        self.schedulable && self.fits_raw(req.cores, req.memory_bytes, req.temporal_sharing)
+    }
+
+    /// The raw capacity check behind [`ChipSnapshot::fits`], *without*
+    /// the schedulability gate — drain policies use it to size up
+    /// destination chips they already know to be schedulable.
+    pub fn fits_raw(&self, cores: u32, memory_bytes: u64, temporal_sharing: bool) -> bool {
+        let cores_ok = if temporal_sharing {
+            self.total_cores >= cores
         } else {
-            self.free_cores >= req.cores
+            self.free_cores >= cores
         };
-        cores_ok && self.hbm_free_bytes >= req.memory_bytes
+        cores_ok && self.hbm_free_bytes >= memory_bytes
     }
 
     /// The snapshot re-expressed as the per-chip [`FragmentationStats`] —
@@ -253,6 +268,8 @@ pub struct Cluster {
     hint_cache: MappingCache,
     admissions: AdmissionQueue,
     placement: Arc<dyn ChipPlacement>,
+    /// Per-chip schedulability / drain lifecycle state, in chip order.
+    sched: Vec<ChipSchedState>,
 }
 
 impl Cluster {
@@ -275,12 +292,14 @@ impl Cluster {
     /// Panics when `chips` is empty.
     pub fn with_chips(chips: Vec<Hypervisor>) -> Self {
         assert!(!chips.is_empty(), "a cluster owns at least one chip");
+        let sched = vec![ChipSchedState::Schedulable; chips.len()];
         Cluster {
             chips,
             cache: MappingCache::default(),
             hint_cache: MappingCache::default(),
             admissions: AdmissionQueue::default(),
             placement: Arc::new(FirstFit),
+            sched,
         }
     }
 
@@ -418,7 +437,209 @@ impl Cluster {
             hbm_largest_free_block: frag.hbm_largest_free_block,
             hbm_external_fragmentation: frag.hbm_external_fragmentation,
             live_vnpus: h.vnpu_count(),
+            schedulable: self.sched[index] == ChipSchedState::Schedulable,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Drain-for-maintenance (see [`crate::drain`]).
+    // ------------------------------------------------------------------
+
+    /// The chip's position in the drain lifecycle.
+    ///
+    /// # Errors
+    ///
+    /// [`VnpuError::UnknownChip`] for an out-of-range index.
+    pub fn drain_state(&self, chip: usize) -> Result<ChipSchedState> {
+        self.sched.get(chip).copied().ok_or(VnpuError::UnknownChip {
+            chip,
+            count: self.chips.len(),
+        })
+    }
+
+    /// Whether the chip may currently be nominated for placements.
+    /// Out-of-range indices are simply not schedulable.
+    pub fn is_schedulable(&self, chip: usize) -> bool {
+        self.sched.get(chip) == Some(&ChipSchedState::Schedulable)
+    }
+
+    /// Takes a chip out of service for maintenance: from this call on it
+    /// is never nominated by the placement policy, never advertised by
+    /// the fleet [`Cluster::fit_hint`], and refuses direct placements
+    /// ([`Cluster::create_on`]) and inbound migrations. Its live tenants
+    /// keep running and are moved off by budgeted
+    /// [`Cluster::drain_step`]s. Outstanding placement plans against the
+    /// chip are staled ([`Hypervisor::invalidate_plans`]) so half-planned
+    /// reshapes cannot land mid-drain.
+    ///
+    /// # Errors
+    ///
+    /// [`VnpuError::UnknownChip`] for a bad index; [`VnpuError::Drain`]
+    /// when the chip is already draining or drained.
+    pub fn begin_drain(&mut self, chip: usize) -> Result<()> {
+        let state = self.drain_state(chip)?;
+        if state != ChipSchedState::Schedulable {
+            return Err(VnpuError::Drain {
+                chip,
+                detail: "chip is already draining or drained",
+            });
+        }
+        self.sched[chip] = ChipSchedState::Draining;
+        self.chips[chip].invalidate_plans();
+        Ok(())
+    }
+
+    /// Runs one budgeted evacuation step on a draining chip: the policy
+    /// proposes this epoch's `(tenant, destination)` set within `budget`
+    /// (destinations are the schedulable chips' snapshots), and each
+    /// proposal is applied through the transactional
+    /// [`Cluster::migrate_to_chip`] — create-before-destroy, so a failed
+    /// move leaves the tenant on the source chip. Proposals that no
+    /// longer apply (tenant departed, destination stopped fitting,
+    /// destination no longer schedulable) are skipped, not errors: the
+    /// tenants stay for a later step.
+    ///
+    /// # Errors
+    ///
+    /// [`VnpuError::UnknownChip`] for a bad index; [`VnpuError::Drain`]
+    /// when the chip is not draining.
+    pub fn drain_step(
+        &mut self,
+        chip: usize,
+        policy: &dyn DrainPolicy,
+        budget: &ReconfigBudget,
+    ) -> Result<DrainStep> {
+        if self.drain_state(chip)? != ChipSchedState::Draining {
+            return Err(VnpuError::Drain {
+                chip,
+                detail: "drain_step requires begin_drain first",
+            });
+        }
+        let destinations: Vec<ChipSnapshot> = (0..self.chips.len())
+            .filter(|&i| i != chip && self.is_schedulable(i))
+            .map(|i| self.snapshot_of(i))
+            .collect();
+        self.drain_step_inner(chip, policy, budget, &destinations)
+    }
+
+    /// [`Cluster::drain_step`] with the per-chip [`ChipSnapshot`]s
+    /// already known — the serve loop passes the tick's snapshots (in
+    /// chip order) so the maintenance phase shares the tick's single
+    /// free-region scan instead of re-scanning every destination. Stale
+    /// destination entries only cause skipped proposals (each move is
+    /// transactional), never bad state.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::drain_step`].
+    pub fn drain_step_with_snapshots(
+        &mut self,
+        chip: usize,
+        policy: &dyn DrainPolicy,
+        budget: &ReconfigBudget,
+        snapshots: &[ChipSnapshot],
+    ) -> Result<DrainStep> {
+        if self.drain_state(chip)? != ChipSchedState::Draining {
+            return Err(VnpuError::Drain {
+                chip,
+                detail: "drain_step requires begin_drain first",
+            });
+        }
+        let destinations: Vec<ChipSnapshot> = snapshots
+            .iter()
+            .filter(|s| s.chip != chip && s.schedulable)
+            .cloned()
+            .collect();
+        self.drain_step_inner(chip, policy, budget, &destinations)
+    }
+
+    fn drain_step_inner(
+        &mut self,
+        chip: usize,
+        policy: &dyn DrainPolicy,
+        budget: &ReconfigBudget,
+        destinations: &[ChipSnapshot],
+    ) -> Result<DrainStep> {
+        let proposals = policy.plan_step(&self.chips[chip], destinations, budget);
+        let total_proposals = proposals.len();
+        let mut step = DrainStep::default();
+        for (applied, (vm, dest)) in proposals.into_iter().enumerate() {
+            // Proposals are advisory; the budget is a hard per-step cap
+            // even for non-conforming policies. Admission gates on the
+            // tenant's *estimated* cost (the landed copy's meta-tables
+            // may price slightly differently), so the post-move check
+            // below bounds any estimate overshoot to a single move.
+            let affordable = self.chips[chip].vnpu(vm).is_ok_and(|v| {
+                let estimate = crate::drain::estimated_move_cost(&self.chips[chip], v);
+                budget.admits(&step.total, step.moved.len(), &estimate)
+            });
+            if !affordable {
+                step.skipped += 1;
+                continue;
+            }
+            let from = ClusterVmId { chip, vm };
+            match self.migrate_to_chip(from, dest) {
+                Ok((to, cost)) => {
+                    step.total = step.total.plus(cost);
+                    step.moved.push(DrainMove { from, to, cost });
+                    // Paid costs reached (or overshot) a budget cap: no
+                    // further proposal can be admitted this step.
+                    if !budget.admits(&step.total, step.moved.len(), &ReconfigCost::default()) {
+                        step.skipped += total_proposals - applied - 1;
+                        break;
+                    }
+                }
+                Err(_) => step.skipped += 1,
+            }
+        }
+        step.remaining = self.chips[chip].vnpu_count();
+        Ok(step)
+    }
+
+    /// Declares the evacuation finished: the chip must hold zero tenants.
+    /// It stays unschedulable (the maintenance window is open) until
+    /// [`Cluster::undrain`] hands it back.
+    ///
+    /// # Errors
+    ///
+    /// [`VnpuError::UnknownChip`] for a bad index; [`VnpuError::Drain`]
+    /// when the chip is not draining or still has residents.
+    pub fn complete_drain(&mut self, chip: usize) -> Result<()> {
+        if self.drain_state(chip)? != ChipSchedState::Draining {
+            return Err(VnpuError::Drain {
+                chip,
+                detail: "complete_drain requires an active drain",
+            });
+        }
+        if self.chips[chip].vnpu_count() > 0 {
+            return Err(VnpuError::Drain {
+                chip,
+                detail: "chip still has resident tenants",
+            });
+        }
+        self.sched[chip] = ChipSchedState::Drained;
+        Ok(())
+    }
+
+    /// Hands a draining or drained chip back to the schedulers: it is
+    /// nominated and advertised again exactly as before the drain. The
+    /// cluster's hint cache is dropped so no pre-drain exhaustion proof
+    /// can shadow the chip's post-maintenance free region.
+    ///
+    /// # Errors
+    ///
+    /// [`VnpuError::UnknownChip`] for a bad index; [`VnpuError::Drain`]
+    /// when the chip was not draining or drained.
+    pub fn undrain(&mut self, chip: usize) -> Result<()> {
+        if self.drain_state(chip)? == ChipSchedState::Schedulable {
+            return Err(VnpuError::Drain {
+                chip,
+                detail: "chip is not draining or drained",
+            });
+        }
+        self.sched[chip] = ChipSchedState::Schedulable;
+        self.hint_cache.clear();
+        Ok(())
     }
 
     /// Provisions a virtual NPU on a specific chip, through the shared
@@ -427,9 +648,17 @@ impl Cluster {
     /// # Errors
     ///
     /// As for [`Hypervisor::create_vnpu`]; additionally
+    /// [`VnpuError::Drain`] when the chip is draining or drained (even
+    /// the queue-bypassing path honours the maintenance mask),
     /// [`VnpuError::UnknownVm`] is never returned here, and an
     /// out-of-range chip index panics.
     pub fn create_on(&mut self, chip: usize, req: VnpuRequest) -> Result<ClusterVmId> {
+        if chip < self.chips.len() && !self.is_schedulable(chip) {
+            return Err(VnpuError::Drain {
+                chip,
+                detail: "cannot place on a draining chip",
+            });
+        }
         let vm = self.chips[chip].create_vnpu_in(req, &mut self.cache)?;
         Ok(ClusterVmId { chip, vm })
     }
@@ -468,8 +697,9 @@ impl Cluster {
     }
 
     /// The fleet-wide fit hint: the largest shape that would currently
-    /// place on *some* chip, probed through the cluster's dedicated hint
-    /// cache (the shared placement cache's statistics stay untouched).
+    /// place on *some* schedulable chip, probed through the cluster's
+    /// dedicated hint cache (the shared placement cache's statistics stay
+    /// untouched). Draining and drained chips are never advertised.
     /// Chips are probed biggest-island-first and pruned once no remaining
     /// chip's largest free island can beat the best hint found.
     pub fn fit_hint(&mut self) -> Option<FitHint> {
@@ -497,6 +727,9 @@ impl Cluster {
         for (std::cmp::Reverse(island), i) in order {
             if best.is_some_and(|b| island as u32 <= b.cores) {
                 break; // sorted descending: nothing further can beat it
+            }
+            if !self.is_schedulable(i) {
+                continue; // a draining chip's window must not be advertised
             }
             if let Some(hint) = self.chips[i].fit_hint_in_bounded(&mut self.hint_cache, island) {
                 if best.is_none_or(|b| hint.cores > b.cores) {
@@ -561,6 +794,13 @@ impl Cluster {
             let mut saw_no_candidate = false;
             let mut placed: Option<ClusterVmId> = None;
             for chip in order {
+                // Defense in depth against custom placement policies: a
+                // draining chip is never attempted even when nominated
+                // (the shipped policies already filter on the snapshot's
+                // schedulability mask).
+                if !self.is_schedulable(chip) {
+                    continue;
+                }
                 let Some(hv) = self.chips.get_mut(chip) else {
                     continue;
                 };
@@ -594,9 +834,16 @@ impl Cluster {
                     // resource that actually blocks: cores if no chip has
                     // enough of them free, otherwise memory.
                     let err = last_err.unwrap_or_else(|| {
-                        let cores_feasible = self
-                            .chips
-                            .iter()
+                        // Only schedulable chips count as capacity — a
+                        // draining chip's free cores are not on offer.
+                        let schedulable = || {
+                            self.chips
+                                .iter()
+                                .enumerate()
+                                .filter(|(i, _)| self.sched[*i] == ChipSchedState::Schedulable)
+                                .map(|(_, h)| h)
+                        };
+                        let cores_feasible = schedulable()
                             .any(|h| h.free_core_count() >= view.cores || view.temporal_sharing);
                         if cores_feasible {
                             VnpuError::Memory(vnpu_mem::MemError::OutOfMemory {
@@ -605,9 +852,7 @@ impl Cluster {
                         } else {
                             VnpuError::Mapping(TopoError::InsufficientNodes {
                                 requested: view.cores as usize,
-                                available: self
-                                    .chips
-                                    .iter()
+                                available: schedulable()
                                     .map(|h| h.free_core_count() as usize)
                                     .max()
                                     .unwrap_or(0),
@@ -713,7 +958,9 @@ impl Cluster {
     /// # Errors
     ///
     /// [`VnpuError::UnknownChip`] / [`VnpuError::UnknownVm`] for bad IDs;
-    /// otherwise as for [`Hypervisor::plan_in`] /
+    /// [`VnpuError::Drain`] when the destination chip is draining or
+    /// drained (evacuations move *off* maintenance chips, never onto
+    /// them); otherwise as for [`Hypervisor::plan_in`] /
     /// [`Hypervisor::commit_in`] on the target chip.
     pub fn migrate_to_chip(
         &mut self,
@@ -725,6 +972,12 @@ impl Cluster {
             return Err(VnpuError::UnknownChip {
                 chip: to_chip,
                 count,
+            });
+        }
+        if !self.is_schedulable(to_chip) {
+            return Err(VnpuError::Drain {
+                chip: to_chip,
+                detail: "cannot migrate onto a draining chip",
             });
         }
         let src = self.chips.get(id.chip).ok_or(VnpuError::UnknownChip {
@@ -763,9 +1016,9 @@ impl Cluster {
             req = req.bandwidth_cap(cap);
         }
         // Cross-chip state: every byte of guest HBM plus each core's
-        // scratchpad working set moves over the inter-chip fabric.
-        let data_move =
-            vnpu.mem_bytes() + u64::from(vnpu.core_count()) * src.config().scratchpad_bytes;
+        // scratchpad working set moves over the inter-chip fabric (the
+        // same formula the drain estimate prices against).
+        let data_move = crate::drain::cross_chip_data_bytes(src, vnpu);
         // The landed copy goes through the full provisioning pipeline
         // (not a planned create) so temporal-sharing tenants keep their
         // §7 over-provisioning path onto busy cores; create_vnpu_in is
@@ -1125,6 +1378,156 @@ mod tests {
             .expect("unplannable advisory proposals skip the pass");
         assert_eq!(receipt.migration_count(), 0);
         assert_eq!(cl.chip(0).vnpu_count(), 1, "nothing was touched");
+    }
+
+    #[test]
+    fn cross_chip_migration_rolls_back_on_destroy_failure() {
+        // Regression: the destination create commits first
+        // (create-before-destroy); if the source-chip destroy then fails,
+        // the landed copy must be unwound — a tenant can never exist on
+        // two chips. Inject the failure by administratively stripping one
+        // of the tenant's cores, which makes destroy_vnpu refuse with
+        // OverRelease.
+        let mut cl = Cluster::new(vec![sim_chip(), sim_chip()]);
+        let a = cl.create_on(0, VnpuRequest::mesh(2, 2)).unwrap();
+        let core = cl.vnpu(a).unwrap().mapping().phys_nodes()[0].0;
+        cl.chip_mut(0).release_cores(&[core]).unwrap(); // misuse
+        let err = cl.migrate_to_chip(a, 1);
+        assert!(
+            matches!(err, Err(VnpuError::OverRelease { .. })),
+            "the failed source teardown surfaces: {err:?}"
+        );
+        assert!(cl.vnpu(a).is_ok(), "the tenant still lives on the source");
+        assert_eq!(cl.chip(0).vnpu_count(), 1);
+        assert_eq!(
+            cl.chip(1).vnpu_count(),
+            0,
+            "the landed copy must be rolled back — never two live copies"
+        );
+        assert_eq!(
+            cl.chip(1).free_core_count(),
+            36,
+            "the rollback releases every destination core"
+        );
+        assert_eq!(
+            cl.chip(1).hbm_free_bytes(),
+            cl.chip(1).hbm_total_bytes(),
+            "the rollback releases the destination HBM"
+        );
+        // Restore the stolen reference; the migration then succeeds.
+        cl.chip_mut(0).reserve_cores(&[core]).unwrap();
+        let (b, _) = cl.migrate_to_chip(a, 1).unwrap();
+        assert_eq!(b.chip, 1);
+        assert_eq!(cl.chip(0).vnpu_count(), 0);
+    }
+
+    #[test]
+    fn drain_lifecycle_masks_and_restores_schedulability() {
+        use crate::drain::{CheapestFirstDrain, ChipSchedState};
+        use crate::plan::ReconfigBudget;
+        let mut cl = Cluster::new(vec![sim_chip(), sim_chip()]);
+        for _ in 0..3 {
+            cl.create_on(0, VnpuRequest::mesh(2, 2)).unwrap();
+        }
+        assert_eq!(cl.drain_state(0), Ok(ChipSchedState::Schedulable));
+        cl.begin_drain(0).unwrap();
+        assert_eq!(cl.drain_state(0), Ok(ChipSchedState::Draining));
+        assert!(
+            matches!(cl.begin_drain(0), Err(VnpuError::Drain { chip: 0, .. })),
+            "double begin is a lifecycle error"
+        );
+        // The mask: snapshots say unschedulable, direct placement and
+        // inbound migration refuse, admission lands elsewhere.
+        assert!(!cl.snapshot_of(0).schedulable);
+        assert!(!cl.snapshot_of(0).fits(&PendingView {
+            id: RequestId(0),
+            cores: 1,
+            memory_bytes: 1,
+            temporal_sharing: false,
+            attempts: 0,
+            last_failure_at_free_event: None,
+        }));
+        assert!(matches!(
+            cl.create_on(0, VnpuRequest::mesh(1, 1)),
+            Err(VnpuError::Drain { chip: 0, .. })
+        ));
+        let elsewhere = cl.create_on(1, VnpuRequest::mesh(1, 1)).unwrap();
+        assert!(matches!(
+            cl.migrate_to_chip(elsewhere, 0),
+            Err(VnpuError::Drain { chip: 0, .. })
+        ));
+        cl.submit(VnpuRequest::mesh(2, 2));
+        let events = cl.process_admissions();
+        assert!(matches!(
+            events[0].outcome,
+            ClusterAdmissionOutcome::Admitted(ClusterVmId { chip: 1, .. })
+        ));
+        // Budgeted evacuation: two moves per step empties three tenants
+        // in two steps.
+        let budget = ReconfigBudget {
+            max_migrations: 2,
+            ..ReconfigBudget::default()
+        };
+        let step1 = cl.drain_step(0, &CheapestFirstDrain, &budget).unwrap();
+        assert_eq!(step1.moved.len(), 2, "budget caps the per-epoch moves");
+        assert_eq!(step1.remaining, 1);
+        assert!(
+            step1.total.data_move_bytes > 0,
+            "evacuations pay data movement"
+        );
+        assert!(
+            matches!(cl.complete_drain(0), Err(VnpuError::Drain { chip: 0, .. })),
+            "complete_drain refuses while residents remain"
+        );
+        let step2 = cl.drain_step(0, &CheapestFirstDrain, &budget).unwrap();
+        assert!(step2.is_evacuated());
+        assert_eq!(cl.chip(0).vnpu_count(), 0);
+        assert_eq!(cl.chip(1).vnpu_count(), 5, "every tenant landed on chip 1");
+        cl.complete_drain(0).unwrap();
+        assert_eq!(cl.drain_state(0), Ok(ChipSchedState::Drained));
+        assert!(
+            cl.drain_step(0, &CheapestFirstDrain, &budget).is_err(),
+            "drained chips no longer step"
+        );
+        // Hand-back restores schedulability byte-for-byte: the chip is
+        // empty and nominated again.
+        cl.undrain(0).unwrap();
+        assert_eq!(cl.drain_state(0), Ok(ChipSchedState::Schedulable));
+        let fresh = Cluster::new(vec![sim_chip(), sim_chip()]);
+        assert_eq!(
+            cl.snapshot_of(0),
+            fresh.snapshot_of(0),
+            "an evacuated, undrained chip looks exactly like a fresh one"
+        );
+        cl.submit(VnpuRequest::mesh(6, 6));
+        let events = cl.process_admissions();
+        assert!(matches!(
+            events[0].outcome,
+            ClusterAdmissionOutcome::Admitted(ClusterVmId { chip: 0, .. })
+        ));
+        assert!(
+            matches!(cl.undrain(0), Err(VnpuError::Drain { chip: 0, .. })),
+            "undraining a schedulable chip is a lifecycle error"
+        );
+    }
+
+    #[test]
+    fn drain_step_skips_unplaceable_tenants() {
+        use crate::drain::CheapestFirstDrain;
+        use crate::plan::ReconfigBudget;
+        // Chip 0 hosts a 5x5 tenant no other chip can take (chip 1 is
+        // 4x4): the step moves what it can and reports the residual.
+        let mut cl = two_chip_cluster();
+        cl.create_on(0, VnpuRequest::mesh(5, 5)).unwrap();
+        cl.create_on(0, VnpuRequest::mesh(1, 2)).unwrap();
+        cl.begin_drain(0).unwrap();
+        let step = cl
+            .drain_step(0, &CheapestFirstDrain, &ReconfigBudget::default())
+            .unwrap();
+        assert_eq!(step.moved.len(), 1, "only the small tenant fits chip 1");
+        assert_eq!(step.remaining, 1, "the 5x5 tenant stays resident");
+        assert!(!step.is_evacuated());
+        assert_eq!(cl.chip(1).vnpu_count(), 1);
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Drain-for-maintenance: whole-chip evacuation as a budgeted plan
+//! pipeline.
+//!
+//! Datacenter accelerator fleets treat maintenance drains as routine —
+//! firmware rollouts, cooling work, board swaps — and a dynamic
+//! virtualization layer must make evacuate-and-restore a scheduler
+//! primitive, not an operator script. This module composes the existing
+//! machinery into exactly that:
+//!
+//! * a [`DrainPolicy`] decides *which* tenants leave the draining chip
+//!   this epoch and *where* they land, within a per-epoch
+//!   [`ReconfigBudget`] — the shipped [`CheapestFirstDrain`] moves the
+//!   cheapest tenants first (by estimated [`ReconfigCost`], dominated by
+//!   the cross-chip data-movement term) onto the least-loaded
+//!   schedulable destination that fits;
+//! * [`crate::cluster::Cluster::begin_drain`] marks the chip
+//!   unschedulable (placement policies stop nominating it, the fleet
+//!   [`crate::admission::FitHint`] stops advertising it) and stales its
+//!   outstanding placement plans;
+//! * [`crate::cluster::Cluster::drain_step`] runs one budgeted
+//!   evacuation step through [`crate::cluster::Cluster::migrate_to_chip`]
+//!   — create-before-destroy, so a failed move leaves the tenant on the
+//!   source chip and a tenant can never exist on two chips;
+//! * [`crate::cluster::Cluster::complete_drain`] validates the chip is
+//!   empty (maintenance may start);
+//!   [`crate::cluster::Cluster::undrain`] hands the chip back to the
+//!   schedulers with byte-identical schedulability.
+
+use crate::cluster::{ChipSnapshot, ClusterVmId};
+use crate::hypervisor::Hypervisor;
+use crate::ids::VmId;
+use crate::plan::{ReconfigBudget, ReconfigCost};
+use crate::vnpu::VirtualNpu;
+use std::fmt;
+use vnpu_mem::rtt::rtt_deploy_cycles;
+
+/// Whether a chip may be nominated for placements, and where it is in
+/// the drain lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChipSchedState {
+    /// In service: placement policies nominate it, fit hints advertise
+    /// it.
+    Schedulable,
+    /// Being evacuated: no new placements, budgeted
+    /// [`crate::cluster::Cluster::drain_step`]s move its tenants off.
+    Draining,
+    /// Evacuated and under maintenance: empty, unschedulable, waiting
+    /// for [`crate::cluster::Cluster::undrain`].
+    Drained,
+}
+
+impl fmt::Display for ChipSchedState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChipSchedState::Schedulable => write!(f, "schedulable"),
+            ChipSchedState::Draining => write!(f, "draining"),
+            ChipSchedState::Drained => write!(f, "drained"),
+        }
+    }
+}
+
+/// One tenant moved off a draining chip by a
+/// [`crate::cluster::Cluster::drain_step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainMove {
+    /// The tenant's identity on the draining chip (now stale).
+    pub from: ClusterVmId,
+    /// Its identity on the destination chip.
+    pub to: ClusterVmId,
+    /// The paid cross-chip migration cost.
+    pub cost: ReconfigCost,
+}
+
+/// What one budgeted drain step did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DrainStep {
+    /// Tenants moved this step, in migration order.
+    pub moved: Vec<DrainMove>,
+    /// Proposals that could not be applied this step (destination
+    /// stopped fitting, tenant departed under the policy) — the tenants
+    /// stay on the draining chip for a later step.
+    pub skipped: usize,
+    /// Tenants still resident on the draining chip after this step
+    /// (the residual occupancy; 0 means the chip is ready for
+    /// [`crate::cluster::Cluster::complete_drain`]).
+    pub remaining: usize,
+    /// The summed cost every move this step actually paid.
+    pub total: ReconfigCost,
+}
+
+impl DrainStep {
+    /// Whether the step left the chip empty.
+    pub fn is_evacuated(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+/// The bytes a cross-chip move of `vnpu` carries over the inter-chip
+/// fabric: its entire guest HBM plus each core's scratchpad working set.
+/// The single source of the data-movement formula — both the drain
+/// estimate ([`estimated_move_cost`]) and the charge
+/// [`crate::cluster::Cluster::migrate_to_chip`] actually pays call it,
+/// so the budget can never admit moves priced by a stale formula.
+pub fn cross_chip_data_bytes(hv: &Hypervisor, vnpu: &VirtualNpu) -> u64 {
+    vnpu.mem_bytes() + u64::from(vnpu.core_count()) * hv.config().scratchpad_bytes
+}
+
+/// The estimated cross-chip move price of one live tenant: its routing
+/// table and RTT re-deploy on the destination, and its data movement
+/// ([`cross_chip_data_bytes`]). The data term — the dominant one — is
+/// exactly what [`crate::cluster::Cluster::migrate_to_chip`] charges;
+/// the meta-table terms are priced from the *source* tables and may
+/// differ slightly on the landed copy (a tenant landing non-exact gets
+/// a costlier table), so budget gating on this estimate bounds, rather
+/// than exactly equals, the paid cost.
+pub fn estimated_move_cost(hv: &Hypervisor, vnpu: &VirtualNpu) -> ReconfigCost {
+    ReconfigCost::for_move(
+        vnpu.routing_table().config_cycles(),
+        rtt_deploy_cycles(vnpu.rtt_entries().len()),
+        cross_chip_data_bytes(hv, vnpu),
+    )
+}
+
+/// Decides which tenants leave a draining chip this epoch, and where
+/// they land.
+///
+/// Object-safe for the same reason [`crate::admission::AdmissionPolicy`]
+/// and [`crate::plan::Defragmenter`] are: deployments bring their own
+/// evacuation logic (tenant priority tiers, anti-affinity, rack-level
+/// spreading) without this crate enumerating it. Implementations must be
+/// deterministic functions of their inputs — serve reports are asserted
+/// byte-identical across runs. Proposals are advisory: the driver
+/// applies each through the transactional
+/// [`crate::cluster::Cluster::migrate_to_chip`] and skips (rather than
+/// fails on) proposals that no longer apply.
+pub trait DrainPolicy: fmt::Debug + Send + Sync {
+    /// Short name for reports and debugging.
+    fn name(&self) -> &'static str;
+
+    /// Proposes this step's evacuation set for the draining chip as
+    /// `(tenant, destination chip)` pairs, within `budget`. `hv` is the
+    /// draining chip's hypervisor; `destinations` are the snapshots of
+    /// every *schedulable* chip the tenants may land on (the draining
+    /// chip itself is never among them). Tenants not proposed stay for a
+    /// later step.
+    fn plan_step(
+        &self,
+        hv: &Hypervisor,
+        destinations: &[ChipSnapshot],
+        budget: &ReconfigBudget,
+    ) -> Vec<(VmId, usize)>;
+}
+
+/// The reference drain policy: cheapest-tenant-first.
+///
+/// Tenants are ordered by their estimated cross-chip
+/// [`ReconfigCost`] ([`estimated_move_cost`] — ascending data movement,
+/// then pause, then VM id for determinism) so each budgeted epoch
+/// evacuates as many tenants as the budget allows and the expensive
+/// movers go last, when departures may have emptied them for free. Each
+/// tenant lands on the least-loaded destination that fits it (most free
+/// cores, ties broken toward more free HBM then the lower chip index);
+/// the working snapshots are debited as proposals accumulate so one
+/// step's proposals never oversubscribe a destination.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheapestFirstDrain;
+
+impl DrainPolicy for CheapestFirstDrain {
+    fn name(&self) -> &'static str {
+        "cheapest-first"
+    }
+
+    fn plan_step(
+        &self,
+        hv: &Hypervisor,
+        destinations: &[ChipSnapshot],
+        budget: &ReconfigBudget,
+    ) -> Vec<(VmId, usize)> {
+        let mut tenants: Vec<(u64, u64, u32, ReconfigCost)> = hv
+            .vnpus()
+            .map(|(vm, v)| {
+                let cost = estimated_move_cost(hv, v);
+                (cost.data_move_bytes, cost.paused_cycles, vm.0, cost)
+            })
+            .collect();
+        tenants.sort_unstable_by_key(|&(data, paused, vm, _)| (data, paused, vm));
+        let mut dests: Vec<ChipSnapshot> = destinations.to_vec();
+        let mut proposals: Vec<(VmId, usize)> = Vec::new();
+        let mut total = ReconfigCost::default();
+        for (_, _, vm, cost) in tenants {
+            let vm = VmId(vm);
+            if proposals.len() >= budget.max_migrations {
+                break;
+            }
+            // The sort is by data movement (the dominant term), but the
+            // budget also caps paused cycles, which carry non-monotone
+            // meta-table terms — so an unaffordable tenant is skipped,
+            // not a stopping point: a later one may still fit.
+            if !budget.admits(&total, proposals.len(), &cost) {
+                continue;
+            }
+            let vnpu = hv.vnpu(vm).expect("listed vm is live");
+            let cores = vnpu.core_count();
+            let mem = vnpu.mem_bytes();
+            let temporal = vnpu.wants_temporal_sharing();
+            let Some(dest) = dests
+                .iter_mut()
+                .filter(|d| d.fits_raw(cores, mem, temporal))
+                .min_by_key(|d| {
+                    (
+                        std::cmp::Reverse(d.free_cores),
+                        std::cmp::Reverse(d.hbm_free_bytes),
+                        d.chip,
+                    )
+                })
+            else {
+                // No destination fits right now; the tenant stays for a
+                // later step (departures elsewhere may open room).
+                continue;
+            };
+            dest.free_cores = dest.free_cores.saturating_sub(cores);
+            dest.hbm_free_bytes = dest.hbm_free_bytes.saturating_sub(mem);
+            dest.live_vnpus += 1;
+            let chip = dest.chip;
+            total = total.plus(cost);
+            proposals.push((vm, chip));
+        }
+        proposals
+    }
+}

@@ -32,7 +32,10 @@
 //! chips (keys carry each chip's topology fingerprint, so entries never
 //! alias). Admission ordering itself is the open
 //! [`admission::AdmissionPolicy`] trait — FIFO, smallest-first,
-//! retry-after-free, backfill and aging ship in-crate.
+//! retry-after-free, backfill and aging ship in-crate. Fleet operations
+//! compose on top: [`plan`] makes every mutation a costed, atomically
+//! committable transaction, and [`drain`] turns whole-chip maintenance
+//! evacuation into a budgeted pipeline over those transactions.
 //!
 //! # Quickstart
 //!
@@ -56,6 +59,7 @@
 
 pub mod admission;
 pub mod cluster;
+pub mod drain;
 pub mod hwcost;
 pub mod hypervisor;
 pub mod meta;
@@ -79,6 +83,7 @@ pub use cluster::{
     BestFitFragmentation, ChipPlacement, ChipSnapshot, Cluster, ClusterAdmissionEvent,
     ClusterAdmissionOutcome, ClusterVmId, FirstFit, LeastLoaded,
 };
+pub use drain::{CheapestFirstDrain, ChipSchedState, DrainMove, DrainPolicy, DrainStep};
 pub use hypervisor::Hypervisor;
 pub use ids::{PhysCoreId, VirtCoreId, VmId};
 pub use plan::{
@@ -143,6 +148,15 @@ pub enum VnpuError {
         /// Bytes available.
         capacity: u64,
     },
+    /// A drain-lifecycle rule was violated: placing on (or migrating
+    /// onto) a draining chip, or an operation invalid for the chip's
+    /// current [`drain::ChipSchedState`].
+    Drain {
+        /// The chip the operation was about.
+        chip: usize,
+        /// Which rule was violated.
+        detail: &'static str,
+    },
     /// No MIG partition is free.
     NoPartition,
     /// An MMIO access violated the PF/VF protection rules (§5.1).
@@ -179,6 +193,9 @@ impl fmt::Display for VnpuError {
                     f,
                     "meta-zone overflow: need {required} bytes, have {capacity}"
                 )
+            }
+            VnpuError::Drain { chip, detail } => {
+                write!(f, "drain lifecycle violation on chip {chip}: {detail}")
             }
             VnpuError::NoPartition => write!(f, "no free MIG partition"),
             VnpuError::MmioDenied { vm, offset } => {

@@ -39,6 +39,18 @@ pub struct ChipReport {
     pub departed: u64,
     /// Live migrations committed on this chip by defragmentation.
     pub migrations: u64,
+    /// Tenants evacuated *off* this chip by the maintenance phase while
+    /// it drained.
+    pub drain_evacuated: u64,
+    /// Tenants this chip received from other chips' drains.
+    pub drain_received: u64,
+    /// Whether the chip was schedulable at report time (`false` while
+    /// draining or under maintenance).
+    pub schedulable: bool,
+    /// Live virtual NPUs at report time — the residual occupancy of a
+    /// draining chip (0 once its evacuation completed, and 0 for every
+    /// chip after the end-of-run drain).
+    pub residual_vnpus: u64,
     /// Machine epochs executed on this chip.
     pub executed_epochs: u64,
     /// Simulated machine cycles on this chip.
@@ -74,6 +86,11 @@ pub struct ServeReport {
     pub max_placement_cycles: u64,
     /// Live migrations committed by the defragmentation phase.
     pub migrations: u64,
+    /// Tenants evacuated off draining chips by the maintenance phase.
+    pub drain_migrations: u64,
+    /// Summed [`ReconfigCost`] every drain evacuation paid (the
+    /// cross-chip data-movement term dominates).
+    pub drain_reconfig: ReconfigCost,
     /// Summed [`ReconfigCost`] every migration paid (routing/RTT
     /// re-deployment cycles, data-movement bytes, paused-tenant time).
     pub reconfig: ReconfigCost,
@@ -138,6 +155,7 @@ impl ServeReport {
              rejected {}, queued {} | placement cycles p50 {} p99 {} max {} | \
              migrations {} (reconfig {} cycles, {} B moved, {} paused; \
              windows +{} cores, hbm frag -{:.3}) | \
+             drain: {} evacuated ({} cycles, {} B moved, {} paused) | \
              cache hits {} misses {} (hit rate {:.1}%) | mean \
              free-connectivity {:.3} | executed {} machine epochs ({} cycles) \
              | leaks: {} cores, {} HBM bytes",
@@ -157,6 +175,10 @@ impl ServeReport {
             self.reconfig.paused_cycles,
             self.frag_windows_recovered,
             self.hbm_frag_recovered,
+            self.drain_migrations,
+            self.drain_reconfig.config_cycles(),
+            self.drain_reconfig.data_move_bytes,
+            self.drain_reconfig.paused_cycles,
             self.cache.hits,
             self.cache.misses,
             100.0 * self.cache_hit_rate(),
@@ -168,14 +190,21 @@ impl ServeReport {
         );
         for c in &self.per_chip {
             out.push_str(&format!(
-                "\n  chip{} ({}x{}): accepted {}, departed {}, migrated {}, \
-                 {} epochs ({} cycles), leaks: {} cores, {} HBM bytes",
+                "\n  chip{} ({}x{}{}): accepted {}, departed {}, migrated {}, \
+                 drain -{}/+{} (residual {}), {} epochs ({} cycles), \
+                 leaks: {} cores, {} HBM bytes",
                 c.chip,
                 c.mesh_width,
                 c.mesh_height,
+                // `schedulable` cannot distinguish Draining from
+                // Drained, so the label stays neutral.
+                if c.schedulable { "" } else { ", unschedulable" },
                 c.accepted,
                 c.departed,
                 c.migrations,
+                c.drain_evacuated,
+                c.drain_received,
+                c.residual_vnpus,
                 c.executed_epochs,
                 c.machine_cycles,
                 c.leaked_cores,
@@ -217,7 +246,10 @@ impl ServeReport {
             }
             chips.push_str(&format!(
                 "{{\"chip\":{},\"mesh\":\"{}x{}\",\"accepted\":{},\
-                 \"departed\":{},\"migrations\":{},\"executed_epochs\":{},\
+                 \"departed\":{},\"migrations\":{},\
+                 \"drain_evacuated\":{},\"drain_received\":{},\
+                 \"schedulable\":{},\"residual_vnpus\":{},\
+                 \"executed_epochs\":{},\
                  \"machine_cycles\":{},\
                  \"leaked_cores\":{},\"leaked_hbm_bytes\":{}}}",
                 c.chip,
@@ -226,6 +258,10 @@ impl ServeReport {
                 c.accepted,
                 c.departed,
                 c.migrations,
+                c.drain_evacuated,
+                c.drain_received,
+                c.schedulable,
+                c.residual_vnpus,
                 c.executed_epochs,
                 c.machine_cycles,
                 c.leaked_cores,
@@ -241,6 +277,10 @@ impl ServeReport {
              \"migrations\": {},\n  \"reconfig_config_cycles\": {},\n  \
              \"reconfig_data_move_bytes\": {},\n  \
              \"reconfig_paused_cycles\": {},\n  \
+             \"drain_migrations\": {},\n  \
+             \"drain_reconfig_config_cycles\": {},\n  \
+             \"drain_reconfig_data_move_bytes\": {},\n  \
+             \"drain_reconfig_paused_cycles\": {},\n  \
              \"frag_windows_recovered\": {},\n  \
              \"hbm_frag_recovered\": {:.4},\n  \
              \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
@@ -263,6 +303,10 @@ impl ServeReport {
             self.reconfig.config_cycles(),
             self.reconfig.data_move_bytes,
             self.reconfig.paused_cycles,
+            self.drain_migrations,
+            self.drain_reconfig.config_cycles(),
+            self.drain_reconfig.data_move_bytes,
+            self.drain_reconfig.paused_cycles,
             self.frag_windows_recovered,
             self.hbm_frag_recovered,
             self.cache.hits,
@@ -318,6 +362,13 @@ mod tests {
             p99_placement_cycles: 20,
             max_placement_cycles: 30,
             migrations: 1,
+            drain_migrations: 2,
+            drain_reconfig: ReconfigCost {
+                routing_cycles: 10,
+                rtt_cycles: 4,
+                data_move_bytes: 1 << 20,
+                paused_cycles: 131_086,
+            },
             reconfig: ReconfigCost {
                 routing_cycles: 100,
                 rtt_cycles: 44,
@@ -347,6 +398,10 @@ mod tests {
                 accepted: 2,
                 departed: 2,
                 migrations: 1,
+                drain_evacuated: 2,
+                drain_received: 0,
+                schedulable: false,
+                residual_vnpus: 0,
                 executed_epochs: 2,
                 machine_cycles: 1000,
                 leaked_cores: 0,
@@ -359,11 +414,16 @@ mod tests {
         assert!(json.contains("\"cache_hit_rate\""));
         assert!(json.contains("\"migrations\": 1"));
         assert!(json.contains("\"reconfig_paused_cycles\": 656"));
+        assert!(json.contains("\"drain_migrations\": 2"));
+        assert!(json.contains("\"drain_reconfig_paused_cycles\": 131086"));
+        assert!(json.contains("\"drain_evacuated\":2"));
+        assert!(json.contains("\"schedulable\":false"));
         assert!(json.contains("\"frag_windows_recovered\": 9"));
         assert!(json.contains("\"chips\": [{"));
         assert!(json.contains("\"fragmentation\": [{"));
         assert!(!r.summary().is_empty());
-        assert!(r.summary().contains("chip0 (6x6)"));
+        assert!(r.summary().contains("chip0 (6x6, unschedulable)"));
         assert!(r.summary().contains("migrations 1"));
+        assert!(r.summary().contains("drain: 2 evacuated"));
     }
 }

@@ -281,6 +281,25 @@ impl Machine {
         Ok(())
     }
 
+    /// Registers a tenant that was live-migrated *onto* this machine
+    /// from another chip — a maintenance evacuation landing. The tenant
+    /// begins its residency paused for `pause_cycles` (its state crossed
+    /// the inter-chip fabric and its meta-tables were re-deployed):
+    /// every thread it binds in its first epoch here starts that many
+    /// cycles late, exactly as an intra-chip
+    /// [`Machine::migrate_tenant`]'s pause lands at the next epoch
+    /// boundary. Counted as a migration in
+    /// [`Machine::migration_count`] / [`Machine::migration_pause_cycles`].
+    pub fn adopt_tenant(&mut self, name: &str, pause_cycles: u64) -> TenantId {
+        let tenant = self.add_tenant(name);
+        // A fresh tenant has no bound threads, so the epoch-boundary
+        // precondition of `migrate_tenant` holds by construction.
+        *self.pending_migration_pause.entry(tenant).or_insert(0) += pause_cycles;
+        self.migrations += 1;
+        self.migration_pause_cycles += pause_cycles;
+        tenant
+    }
+
     /// Live migrations declared over this machine's lifetime.
     pub fn migration_count(&self) -> u64 {
         self.migrations
@@ -1105,6 +1124,34 @@ mod tests {
             m.migrate_tenant(999, 1),
             Err(SimError::UnknownTenant(999))
         ));
+    }
+
+    #[test]
+    fn adopted_tenant_starts_its_first_epoch_paused() {
+        // An evacuated tenant landing from another chip pays its
+        // cross-chip pause on the threads of its *first* epoch here.
+        let mut reference = Machine::new(fpga());
+        let r = reference.add_tenant("local");
+        reference
+            .bind(0, r, 0, Program::once(vec![Instr::matmul(16, 16, 16)]))
+            .unwrap();
+        let baseline = reference.run_epoch().unwrap().makespan();
+
+        let mut m = Machine::new(fpga());
+        let t = m.adopt_tenant("evacuee", 25_000);
+        assert_eq!(m.migration_count(), 1, "an adoption is a migration");
+        assert_eq!(m.migration_pause_cycles(), 25_000);
+        m.bind(0, t, 0, Program::once(vec![Instr::matmul(16, 16, 16)]))
+            .unwrap();
+        let paused = m.run_epoch().unwrap().makespan();
+        assert!(
+            paused >= baseline + 25_000,
+            "the landing pause must delay the first epoch: {paused} vs {baseline}"
+        );
+        // The pause is consumed; the second epoch runs at full speed.
+        m.bind(0, t, 0, Program::once(vec![Instr::matmul(16, 16, 16)]))
+            .unwrap();
+        assert_eq!(m.run_epoch().unwrap().makespan(), baseline);
     }
 
     #[test]

@@ -33,10 +33,16 @@ cargo bench --bench cluster_churn -- --quick
 echo "== cargo bench --bench defrag_churn -- --quick =="
 cargo bench --bench defrag_churn -- --quick
 
+echo "== cargo bench --bench drain_maintenance -- --quick =="
+cargo bench --bench drain_maintenance -- --quick
+
 echo "== cargo run --release --example cluster_serving =="
 cargo run --release --example cluster_serving
 
 echo "== cargo run --release --example defrag_serving =="
 cargo run --release --example defrag_serving
+
+echo "== cargo run --release --example drain_serving =="
+cargo run --release --example drain_serving
 
 echo "verify: OK"

@@ -105,6 +105,11 @@ fn smoke_defrag_churn() {
     figs::defrag_churn::run(true);
 }
 
+#[test]
+fn smoke_drain_maintenance() {
+    figs::drain_maintenance::run(true);
+}
+
 /// The micro-benchmark harness itself, in quick mode: the same bench
 /// functions `benches/micro_criterion.rs` registers must measure and
 /// record without panicking.

@@ -249,3 +249,95 @@ fn heterogeneous_hypervisors_with_custom_hbm() {
     assert_eq!(cl.chip(1).hbm_total_bytes(), 2 << 30);
     assert_eq!(cl.total_cores(), 36 + 16);
 }
+
+#[test]
+fn fleet_fit_hint_skips_drained_chips_and_recovers_on_undrain() {
+    // Satellite coverage: under a partial drain the fleet hint must
+    // never advertise a window on the unschedulable chip, and the hint
+    // cache must not replay pre-drain exhaustion proofs once the chip
+    // comes back bigger.
+    let mut cl = hetero_cluster(); // chip 0: 6x6 (36), chip 1: 4x4 (16)
+    assert_eq!(
+        cl.fit_hint().map(|h| h.cores),
+        Some(36),
+        "idle fleet: the big chip's full window is the hint"
+    );
+    // Load chip 0 down to a small window, so its pre-drain hints (and
+    // exhaustion proofs for everything larger) enter the hint cache.
+    let resident = cl.create_on(0, VnpuRequest::mesh(6, 5)).unwrap(); // 6 free
+    let pre_drain = cl.fit_hint().expect("something still fits");
+    assert!(pre_drain.cores <= 16, "chip 1's idle window wins now");
+
+    cl.begin_drain(0).unwrap();
+    let during = cl.fit_hint().expect("chip 1 is still schedulable");
+    assert!(
+        during.cores <= 16,
+        "a draining chip's window must never be advertised: {during:?}"
+    );
+    // Fill chip 1 almost completely: the only remaining fleet hint is
+    // tiny — and must still never name drained chip 0's 6-core island.
+    let filler = cl.create_on(1, VnpuRequest::mesh(4, 3)).unwrap();
+    let tiny = cl.fit_hint().expect("4 cores remain on chip 1");
+    assert!(
+        tiny.cores <= 4,
+        "the hint is bounded by the schedulable chip: {tiny:?}"
+    );
+
+    // Evacuate chip 0 (its tenant is too big for chip 1, so destroy it —
+    // an operator cancelling the tenant — and complete the drain).
+    cl.destroy(resident).unwrap();
+    cl.complete_drain(0).unwrap();
+    assert_eq!(cl.fit_hint().map(|h| h.cores), Some(4), "still masked");
+
+    // Hand the chip back: the fleet hint must immediately reflect the
+    // *post-drain* free region (36 cores), not any pre-drain proof that
+    // only 6 cores fit there.
+    cl.undrain(0).unwrap();
+    assert_eq!(
+        cl.fit_hint().map(|h| h.cores),
+        Some(36),
+        "undrain restores the full window — stale exhaustion proofs must not shadow it"
+    );
+    cl.destroy(filler).unwrap();
+    assert_eq!(cl.free_cores(), cl.total_cores(), "no leaks");
+}
+
+#[test]
+fn serve_runtime_rejections_carry_no_drained_chip_hints() {
+    // A serving fleet with one chip draining: every fit hint attached to
+    // a rejection (and every probe of the fleet hint) stays within the
+    // schedulable chips' capacity.
+    let mut cfg = ServeConfig::cluster(31, 60, vec![SocConfig::sim(), small_soc()]);
+    cfg.traffic.candidate_cap = 200;
+    let mut rt = ServeRuntime::new(cfg);
+    for _ in 0..10 {
+        rt.step().unwrap();
+    }
+    rt.begin_drain(0).unwrap();
+    for _ in 0..50 {
+        let ev = rt.step().unwrap();
+        assert!(
+            ev.admitted.iter().all(|id| id.chip != 0),
+            "no placement may land on the draining chip"
+        );
+        for (_, hint) in &ev.rejected {
+            if let Some(h) = hint {
+                assert!(
+                    h.cores <= 16,
+                    "a rejection hint must not advertise the draining 6x6 chip: {h:?}"
+                );
+            }
+        }
+        if let Some(h) = rt.fleet_fit_hint() {
+            assert!(h.cores <= 16, "fleet probe must skip the draining chip");
+        }
+    }
+    rt.drain().unwrap();
+    let r = rt.report();
+    assert_eq!(r.leaked_cores, 0);
+    assert_eq!(r.leaked_hbm_bytes, 0);
+    assert!(
+        !r.per_chip[0].schedulable,
+        "chip 0 still draining at report"
+    );
+}

@@ -505,6 +505,79 @@ fn placement_plan_churn_is_transactional_and_leak_free() {
     );
 }
 
+/// The `Aging` policy's effective-size discount saturates at a floor of
+/// one core: for *any* combination of request size, attempt count and
+/// per-attempt boost — including pathological ones whose product
+/// saturates `u32` — the attempt order equals sorting by
+/// `(max(1, cores − attempts × boost), arrival)`, effective sizes never
+/// reach zero, and an aged request never sorts strictly ahead of an
+/// older request of the minimal size.
+#[test]
+fn aging_effective_size_floors_at_one_core() {
+    use vnpu::admission::{Aging, PendingView, RequestId};
+    check(
+        "aging_effective_size_floors_at_one_core",
+        64,
+        (
+            vec_of((range(1u32..64), range(0u32..u32::MAX)), 1..12),
+            range(0u32..u32::MAX),
+        ),
+        |(reqs, boost)| {
+            let aging = Aging {
+                boost_per_attempt: *boost,
+                reserve_after_attempts: 8,
+            };
+            let pending: Vec<PendingView> = reqs
+                .iter()
+                .enumerate()
+                .map(|(i, &(cores, attempts))| PendingView {
+                    id: RequestId(i as u64),
+                    cores,
+                    memory_bytes: 1,
+                    temporal_sharing: false,
+                    attempts,
+                    last_failure_at_free_event: None,
+                })
+                .collect();
+            for p in &pending {
+                let eff = aging.effective_cores(p);
+                prop_assert!(eff >= 1, "the discount floors at one core");
+                prop_assert!(eff <= p.cores.max(1), "discounts never inflate");
+            }
+            let order = aging.attempt_order(&pending, 0);
+            let mut reference: Vec<(u32, RequestId)> = pending
+                .iter()
+                .map(|p| (aging.effective_cores(p), p.id))
+                .collect();
+            reference.sort();
+            prop_assert_eq!(
+                &order,
+                &reference.iter().map(|&(_, id)| id).collect::<Vec<_>>(),
+                "order is exactly the floored-discount sort"
+            );
+            // The floor's point: an aged giant may *tie* with, but never
+            // overtake, an older minimal (1-core, fresh) request.
+            for minimal in pending.iter().filter(|p| p.cores == 1 && p.attempts == 0) {
+                let min_pos = order.iter().position(|id| *id == minimal.id).unwrap();
+                for other in pending.iter().filter(|o| o.id < minimal.id) {
+                    let other_pos = order.iter().position(|id| *id == other.id).unwrap();
+                    // An older request may precede the minimal one only
+                    // by tying at the 1-core floor (arrival order), never
+                    // by discounting *below* it.
+                    if other_pos < min_pos {
+                        prop_assert_eq!(
+                            aging.effective_cores(other),
+                            1,
+                            "only a floored tie may precede a minimal request"
+                        );
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
 /// Differential test for the mapping cache: on any free set, a cache hit
 /// must return a placement identical to the uncached
 /// `Strategy::similar_topology` result (successes *and* failures), and

@@ -1,0 +1,380 @@
+//! Fleet invariant auditor: the whole-[`Cluster`] post-tick audit.
+//!
+//! Each serve-loop tick mutates placement state through many layers —
+//! admissions, migrations, defragmentation, drains. [`audit_chip`]
+//! cross-checks one chip's ground truth after the dust settles:
+//! per-core user counts against the tenants claiming each core, the
+//! free set (membership, count *and* fingerprint) against occupancy,
+//! HBM byte conservation against the tenants' buddy blocks, and
+//! drained-chip emptiness — plus the full [`crate::routing`] pass over
+//! the chip's resident routing tables. [`audit_cluster`] runs it over
+//! every chip; the stateful [`FleetAuditor`] additionally proves the
+//! per-chip cache generation never regresses between audits.
+//!
+//! All passes are read-only: auditing a clean fleet leaves behavior,
+//! reports and cache statistics byte-identical to not auditing it.
+
+use crate::routing::{audit_routing, collect_tenant_routes};
+use crate::{AuditFinding, Rule};
+use std::collections::BTreeMap;
+use vnpu::cluster::Cluster;
+use vnpu::drain::ChipSchedState;
+use vnpu::{Hypervisor, VmId};
+use vnpu_topo::{FreeSet, NodeId};
+
+/// Audits one chip's resource-accounting invariants. `sched` is the
+/// chip's drain-lifecycle state (pass [`ChipSchedState::Schedulable`]
+/// for a standalone hypervisor). Findings carry no chip index — the
+/// cluster-level entry points tag it.
+pub fn audit_chip(hv: &Hypervisor, sched: ChipSchedState) -> Vec<AuditFinding> {
+    let mut findings = Vec::new();
+    let users = hv.core_users();
+    let n = users.len();
+
+    // Ownership ground truth: which tenants claim each physical core.
+    let mut owners: BTreeMap<u32, Vec<VmId>> = BTreeMap::new();
+    for (&vm, v) in hv.vnpus() {
+        for node in v.mapping().phys_nodes() {
+            owners.entry(node.0).or_default().push(vm);
+        }
+    }
+
+    // FLEET-OWN: user counts must equal the tenant claims, core by core.
+    // (A count above the claims also covers cores pinned via
+    // `Hypervisor::reserve_cores` without a tenant — a reservation the
+    // serving path never issues, and exactly the kind of residue this
+    // audit exists to surface.)
+    for core in 0..n as u32 {
+        let claimed = owners.get(&core).map_or(0, |o| o.len()) as u32;
+        let counted = users[core as usize];
+        if claimed != counted {
+            let mut f = AuditFinding::error(
+                Rule::FleetCoreOwnership,
+                format!("user count is {counted} but {claimed} tenant(s) claim the core"),
+            )
+            .core(core);
+            if let Some(o) = owners.get(&core) {
+                if let Some(&vm) = o.first() {
+                    f = f.vm(vm);
+                }
+            }
+            findings.push(f);
+        }
+    }
+    for node in owners.keys().filter(|&&c| c as usize >= n) {
+        findings.push(
+            AuditFinding::error(
+                Rule::FleetCoreOwnership,
+                "a tenant mapping names a core outside the mesh".to_string(),
+            )
+            .core(*node),
+        );
+    }
+
+    // FLEET-SHARE: multi-owner cores require unanimous temporal sharing.
+    for (&core, vms) in &owners {
+        if vms.len() < 2 {
+            continue;
+        }
+        let opted_out: Vec<VmId> = vms
+            .iter()
+            .filter(|&&vm| {
+                hv.vnpu(vm)
+                    .map(|v| !v.wants_temporal_sharing())
+                    .unwrap_or(true)
+            })
+            .copied()
+            .collect();
+        if let Some(&vm) = opted_out.first() {
+            let names: Vec<String> = vms.iter().map(|v| v.to_string()).collect();
+            findings.push(
+                AuditFinding::error(
+                    Rule::FleetSharedCore,
+                    format!(
+                        "core shared by {} but {} tenant(s) never opted into temporal sharing",
+                        names.join(", "),
+                        opted_out.len()
+                    ),
+                )
+                .vm(vm)
+                .core(core),
+            );
+        }
+    }
+
+    // FLEET-FREE: the free set must mirror `users == 0` exactly.
+    let free = hv.free_set();
+    let mut truly_free: Vec<NodeId> = Vec::new();
+    for core in 0..n as u32 {
+        let vacant = users[core as usize] == 0;
+        if vacant {
+            truly_free.push(NodeId(core));
+        }
+        if free.contains(NodeId(core)) != vacant {
+            findings.push(
+                AuditFinding::error(
+                    Rule::FleetFreeSetDrift,
+                    if vacant {
+                        "core has no users but the free set marks it occupied".to_string()
+                    } else {
+                        "core has users but the free set marks it free".to_string()
+                    },
+                )
+                .core(core),
+            );
+        }
+    }
+    if free.free_count() != truly_free.len() {
+        findings.push(AuditFinding::error(
+            Rule::FleetFreeSetDrift,
+            format!(
+                "free set counts {} cores but {} have zero users",
+                free.free_count(),
+                truly_free.len()
+            ),
+        ));
+    }
+    let expected_fp = FreeSet::from_free_nodes(n, &truly_free).fingerprint();
+    if free.fingerprint() != expected_fp {
+        findings.push(AuditFinding::error(
+            Rule::FleetFreeSetDrift,
+            format!(
+                "free-set fingerprint {:#x} does not match occupancy fingerprint {:#x}",
+                free.fingerprint(),
+                expected_fp
+            ),
+        ));
+    }
+
+    // FLEET-HBM: allocated bytes must be exactly the tenants' blocks.
+    let allocated = hv.hbm_total_bytes() - hv.hbm_free_bytes();
+    let tenant_bytes: u64 = hv
+        .vnpus()
+        .map(|(_, v)| v.memory_blocks().iter().map(|b| b.size).sum::<u64>())
+        .sum();
+    if allocated != tenant_bytes {
+        findings.push(AuditFinding::error(
+            Rule::FleetHbmAccounting,
+            format!(
+                "buddy allocator holds {allocated} bytes but tenant blocks sum to \
+                 {tenant_bytes} — {} byte(s) leaked or double-counted",
+                allocated.abs_diff(tenant_bytes)
+            ),
+        ));
+    }
+
+    // FLEET-DRAIN: maintenance requires an empty chip.
+    if sched == ChipSchedState::Drained && hv.vnpu_count() > 0 {
+        let mut f = AuditFinding::error(
+            Rule::FleetDrainedResidue,
+            format!(
+                "chip is drained (under maintenance) but still holds {} tenant(s)",
+                hv.vnpu_count()
+            ),
+        );
+        if let Some((&vm, _)) = hv.vnpus().next() {
+            f = f.vm(vm);
+        }
+        findings.push(f);
+    }
+
+    // The routing pass over this chip's resident tables.
+    findings.extend(audit_routing(
+        hv.topology(),
+        &collect_tenant_routes(hv),
+        false,
+    ));
+
+    findings
+}
+
+/// Audits every chip of a cluster, tagging findings with the chip
+/// index. Stateless — for the cache-generation monotonicity rule use a
+/// [`FleetAuditor`].
+pub fn audit_cluster(cluster: &Cluster) -> Vec<AuditFinding> {
+    let mut findings = Vec::new();
+    for i in 0..cluster.chip_count() {
+        let sched = cluster
+            .drain_state(i)
+            .unwrap_or(ChipSchedState::Schedulable);
+        findings.extend(
+            audit_chip(cluster.chip(i), sched)
+                .into_iter()
+                .map(|f| f.on_chip(i)),
+        );
+    }
+    findings
+}
+
+/// Stateful cluster auditor: everything [`audit_cluster`] checks, plus
+/// cross-audit invariants — each chip's reconfiguration (mapping-cache)
+/// generation must be monotone between successive audits, or cached
+/// placements could replay against hardware state they never saw.
+#[derive(Debug, Default)]
+pub struct FleetAuditor {
+    /// Last observed topology generation, per chip index.
+    last_topo_gen: BTreeMap<usize, u64>,
+}
+
+impl FleetAuditor {
+    /// A fresh auditor with no generation history.
+    pub fn new() -> Self {
+        FleetAuditor::default()
+    }
+
+    /// Runs the full fleet audit and advances the generation history.
+    pub fn audit(&mut self, cluster: &Cluster) -> Vec<AuditFinding> {
+        let mut findings = audit_cluster(cluster);
+        for i in 0..cluster.chip_count() {
+            let gen = cluster.chip(i).topology_generation();
+            if let Some(&last) = self.last_topo_gen.get(&i) {
+                if gen < last {
+                    findings.push(
+                        AuditFinding::error(
+                            Rule::FleetGenerationRegressed,
+                            format!(
+                                "reconfiguration generation went backwards: {last} \u{2192} {gen}"
+                            ),
+                        )
+                        .on_chip(i),
+                    );
+                }
+            }
+            self.last_topo_gen.insert(i, gen);
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnpu::VnpuRequest;
+    use vnpu_sim::SocConfig;
+
+    fn rules(findings: &[AuditFinding]) -> Vec<Rule> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    fn busy_chip() -> Hypervisor {
+        let mut hv = Hypervisor::new(SocConfig::sim());
+        hv.create_vnpu(VnpuRequest::mesh(2, 2)).unwrap();
+        hv.create_vnpu(VnpuRequest::mesh(3, 2).mem_bytes(32 << 20))
+            .unwrap();
+        hv.create_vnpu(VnpuRequest::cores(1)).unwrap();
+        hv
+    }
+
+    #[test]
+    fn healthy_chip_audits_clean() {
+        let findings = audit_chip(&busy_chip(), ChipSchedState::Schedulable);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn chip_stays_clean_across_churn() {
+        let mut hv = busy_chip();
+        let vm = hv.create_vnpu(VnpuRequest::mesh(2, 2)).unwrap();
+        hv.destroy_vnpu(vm).unwrap();
+        let findings = audit_chip(&hv, ChipSchedState::Schedulable);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn temporal_sharing_tenants_do_not_trip_the_share_rule() {
+        let mut hv = Hypervisor::new(SocConfig::sim());
+        // Fill the chip, then over-provision with temporal sharing.
+        let (w, h) = {
+            let s = hv.topology().mesh_shape().unwrap();
+            (s.width, s.height)
+        };
+        hv.create_vnpu(VnpuRequest::mesh(w, h)).unwrap();
+        hv.create_vnpu(VnpuRequest::mesh(2, 2).temporal_sharing(true))
+            .unwrap();
+        let findings = audit_chip(&hv, ChipSchedState::Schedulable);
+        // The exclusive first tenant shares cores with the opted-in
+        // second: that is exactly a broken exclusivity promise.
+        assert!(
+            rules(&findings).contains(&Rule::FleetSharedCore),
+            "{findings:?}"
+        );
+        // But two tenants that BOTH opted in are fine.
+        let mut hv2 = Hypervisor::new(SocConfig::sim());
+        hv2.create_vnpu(VnpuRequest::mesh(w, h).temporal_sharing(true))
+            .unwrap();
+        hv2.create_vnpu(VnpuRequest::mesh(2, 2).temporal_sharing(true))
+            .unwrap();
+        let findings = audit_chip(&hv2, ChipSchedState::Schedulable);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn reserved_cores_surface_as_ownership_findings() {
+        let mut hv = Hypervisor::new(SocConfig::sim());
+        hv.reserve_cores(&[0, 1]).unwrap();
+        let findings = audit_chip(&hv, ChipSchedState::Schedulable);
+        let own: Vec<&AuditFinding> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::FleetCoreOwnership)
+            .collect();
+        assert_eq!(own.len(), 2, "{findings:?}");
+        assert_eq!(own[0].core, Some(0));
+        assert_eq!(own[1].core, Some(1));
+    }
+
+    #[test]
+    fn drained_residue_is_flagged() {
+        let hv = busy_chip();
+        let findings = audit_chip(&hv, ChipSchedState::Drained);
+        assert!(
+            rules(&findings).contains(&Rule::FleetDrainedResidue),
+            "{findings:?}"
+        );
+        // The same tenants on a merely *draining* chip are fine.
+        let findings = audit_chip(&hv, ChipSchedState::Draining);
+        assert!(
+            !rules(&findings).contains(&Rule::FleetDrainedResidue),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn cluster_audit_tags_the_chip() {
+        let mut cluster = Cluster::new(vec![SocConfig::sim(), SocConfig::sim()]);
+        cluster.create_on(1, VnpuRequest::mesh(2, 2)).unwrap();
+        cluster.begin_drain(1).unwrap();
+        // Force the drained state with residue by auditing chip 1 as
+        // drained directly through the cluster path: drain it for real.
+        let findings = audit_cluster(&cluster);
+        assert!(
+            findings.is_empty(),
+            "draining with tenants is legal: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn fleet_auditor_accepts_monotone_generations() {
+        let mut cluster = Cluster::new(vec![SocConfig::sim()]);
+        let mut auditor = FleetAuditor::new();
+        assert!(auditor.audit(&cluster).is_empty());
+        let id = cluster.create_on(0, VnpuRequest::mesh(2, 2)).unwrap();
+        assert!(auditor.audit(&cluster).is_empty());
+        cluster.destroy(id).unwrap();
+        assert!(auditor.audit(&cluster).is_empty());
+    }
+
+    #[test]
+    fn fleet_auditor_flags_generation_regression() {
+        let cluster = Cluster::new(vec![SocConfig::sim()]);
+        let mut auditor = FleetAuditor::new();
+        // Seed history with a fabricated future generation, then audit
+        // the real (lower) one: the regression must be reported.
+        auditor.last_topo_gen.insert(0, u64::MAX);
+        let findings = auditor.audit(&cluster);
+        let hit = findings
+            .iter()
+            .find(|f| f.rule == Rule::FleetGenerationRegressed)
+            .expect("regression must be reported");
+        assert_eq!(hit.chip, Some(0));
+    }
+}

@@ -1,0 +1,313 @@
+//! **vnpu_audit** — static analysis over the vNPU stack's safety
+//! invariants.
+//!
+//! The paper's core promise is *safe* multi-tenant sharing of an
+//! inter-core connected NPU: tenants spatially isolated, routing tables
+//! consistent, reconfiguration atomic. After the transactional-plan,
+//! live-migration, defragmentation and drain layers, those invariants
+//! are upheld by construction — but nothing *checks* them. This crate is
+//! the checker: three read-only passes that never mutate the structures
+//! they audit and never panic, reporting violations as structured
+//! [`AuditFinding`]s instead.
+//!
+//! * [`linter`] — lints a [`vnpu::plan::PlacementTxn`] *before* commit:
+//!   double-booked cores, use-after-destroy ordering hazards, cost-sum
+//!   mismatches, budget violations, stale plan generations, plans
+//!   targeting a draining chip.
+//! * [`routing`] — rebuilds every resident tenant's physical routes from
+//!   its routing table and route policy, then proves NoC deadlock
+//!   freedom over the channel-dependency graph and checks inter-tenant
+//!   link isolation.
+//! * [`fleet`] — the whole-[`vnpu::cluster::Cluster`] post-tick audit:
+//!   core-ownership and free-set consistency, HBM byte conservation,
+//!   drained-chip residue, cache-generation monotonicity (via the
+//!   stateful [`FleetAuditor`]).
+//!
+//! The fleet pass is wired into the serving loop behind
+//! `ServeConfig::audit` (off by default — zero cost) and into the
+//! serving benches' quick modes as a hard gate. It is also the safety
+//! net for the ROADMAP's parallel-cluster-tick refactor: the invariants
+//! a sharded tick must preserve are exactly the rules below.
+//!
+//! # Rule catalogue
+//!
+//! | Rule id | Invariant | Layer |
+//! |---|---|---|
+//! | `PLAN-GEN` | plan generation matches the live chain | plan |
+//! | `PLAN-SNAP` | plan snapshot matches the live free region / HBM | plan |
+//! | `PLAN-COST` | declared total equals the sum of per-op costs | plan |
+//! | `PLAN-ORDER` | no op uses a VM a previous op destroys | plan |
+//! | `PLAN-VM` | every named VM is live on the chip | plan |
+//! | `PLAN-CORE` | no physical core acquired twice without release | plan |
+//! | `PLAN-FREE` | no op releases an already-free core | plan |
+//! | `PLAN-HBM` | created guest memory fits the snapshot's free HBM | plan |
+//! | `PLAN-BUDGET` | migrations stay inside the reconfiguration budget | plan |
+//! | `PLAN-DRAIN` | no create/migrate lands on an unschedulable chip | plan |
+//! | `ROUTE-TABLE` | routing-table entries agree with the core mapping | routing |
+//! | `ROUTE-CONF` | confined tenants' routes stay inside their cores | routing |
+//! | `ROUTE-ISO` | no link shared with a NoC-isolated tenant | routing |
+//! | `ROUTE-SHARE` | (strict) no two tenants share any physical link | routing |
+//! | `ROUTE-CDG` | the channel-dependency graph is acyclic | routing |
+//! | `FLEET-OWN` | per-core user counts equal the sum of tenant claims | fleet |
+//! | `FLEET-SHARE` | shared cores only between temporal-sharing tenants | fleet |
+//! | `FLEET-FREE` | free-set membership/fingerprint match occupancy | fleet |
+//! | `FLEET-HBM` | allocated HBM equals the sum of tenant blocks | fleet |
+//! | `FLEET-DRAIN` | a drained chip holds zero tenants | fleet |
+//! | `FLEET-GEN` | the mapping-cache generation never regresses | fleet |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use vnpu::VmId;
+
+pub mod fleet;
+pub mod linter;
+pub mod routing;
+
+pub use fleet::{audit_chip, audit_cluster, FleetAuditor};
+pub use linter::{lint_plan, lint_view, OpKindView, OpView, PlanSnapshotView, PlanView};
+pub use routing::{audit_routing, collect_tenant_routes, Link, TenantRoutes};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A diagnostic worth knowing (e.g. two best-effort tenants sharing
+    /// a NoC link under plain dimension-order routing) — not a broken
+    /// guarantee.
+    Warning,
+    /// A violated invariant: committing the plan (or running the fleet
+    /// as-is) is unsafe.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The machine-checkable invariants this crate enforces. Every rule has
+/// a stable string id (see the crate-level catalogue) used in reports
+/// and CI gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum Rule {
+    /// The plan's generation no longer matches the hypervisor's chain.
+    PlanStaleGeneration,
+    /// The plan's free-region/HBM snapshot drifted from the live chip.
+    PlanSnapshotDrift,
+    /// The declared total cost is not the sum of the per-op costs.
+    PlanCostMismatch,
+    /// An op names a VM that an earlier op in the same plan destroys.
+    PlanUseAfterDestroy,
+    /// An op names a VM that is not live on the chip.
+    PlanUnknownVm,
+    /// A physical core is acquired while already occupied.
+    PlanDoubleBooked,
+    /// An op releases a core that is already free.
+    PlanOverRelease,
+    /// Created guest memory exceeds the snapshot's free HBM.
+    PlanHbmOvercommit,
+    /// A migration op exceeds the reconfiguration budget.
+    PlanBudgetExceeded,
+    /// A create/migrate op targets a draining or drained chip.
+    PlanUnschedulableChip,
+    /// A routing-table entry disagrees with the tenant's core mapping.
+    RouteTableMismatch,
+    /// A confined (NoC-isolated) tenant's route leaves its own cores.
+    RouteEscapedRegion,
+    /// A physical link is shared with a tenant that was promised NoC
+    /// isolation.
+    RouteIsolationLeak,
+    /// (Strict mode only.) Two tenants' routes share a physical link.
+    RouteSharedLink,
+    /// The channel-dependency graph over all resident routes has a
+    /// cycle — deadlock freedom is not provable.
+    RouteDeadlockCycle,
+    /// A core's user count disagrees with the tenants claiming it.
+    FleetCoreOwnership,
+    /// A core is shared by tenants that did not all opt into temporal
+    /// sharing.
+    FleetSharedCore,
+    /// The free set (membership, count or fingerprint) disagrees with
+    /// per-core occupancy.
+    FleetFreeSetDrift,
+    /// Allocated HBM bytes differ from the sum of tenant blocks.
+    FleetHbmAccounting,
+    /// A drained chip still holds tenants.
+    FleetDrainedResidue,
+    /// A chip's mapping-cache (topology) generation went backwards.
+    FleetGenerationRegressed,
+}
+
+impl Rule {
+    /// The stable rule id used in reports and the README catalogue.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::PlanStaleGeneration => "PLAN-GEN",
+            Rule::PlanSnapshotDrift => "PLAN-SNAP",
+            Rule::PlanCostMismatch => "PLAN-COST",
+            Rule::PlanUseAfterDestroy => "PLAN-ORDER",
+            Rule::PlanUnknownVm => "PLAN-VM",
+            Rule::PlanDoubleBooked => "PLAN-CORE",
+            Rule::PlanOverRelease => "PLAN-FREE",
+            Rule::PlanHbmOvercommit => "PLAN-HBM",
+            Rule::PlanBudgetExceeded => "PLAN-BUDGET",
+            Rule::PlanUnschedulableChip => "PLAN-DRAIN",
+            Rule::RouteTableMismatch => "ROUTE-TABLE",
+            Rule::RouteEscapedRegion => "ROUTE-CONF",
+            Rule::RouteIsolationLeak => "ROUTE-ISO",
+            Rule::RouteSharedLink => "ROUTE-SHARE",
+            Rule::RouteDeadlockCycle => "ROUTE-CDG",
+            Rule::FleetCoreOwnership => "FLEET-OWN",
+            Rule::FleetSharedCore => "FLEET-SHARE",
+            Rule::FleetFreeSetDrift => "FLEET-FREE",
+            Rule::FleetHbmAccounting => "FLEET-HBM",
+            Rule::FleetDrainedResidue => "FLEET-DRAIN",
+            Rule::FleetGenerationRegressed => "FLEET-GEN",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One violated (or noteworthy) invariant, with enough context to name
+/// the offender: rule, severity, chip/VM/core where applicable, and a
+/// human-readable explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditFinding {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Offending chip index, when the audit ran over a cluster.
+    pub chip: Option<usize>,
+    /// Offending tenant, when one is identifiable.
+    pub vm: Option<VmId>,
+    /// Offending physical core, when one is identifiable.
+    pub core: Option<u32>,
+    /// Human-readable explanation (exact link, tenant pair, expected vs
+    /// observed value, ...).
+    pub detail: String,
+}
+
+impl AuditFinding {
+    pub(crate) fn error(rule: Rule, detail: String) -> Self {
+        AuditFinding {
+            rule,
+            severity: Severity::Error,
+            chip: None,
+            vm: None,
+            core: None,
+            detail,
+        }
+    }
+
+    pub(crate) fn warning(rule: Rule, detail: String) -> Self {
+        AuditFinding {
+            rule,
+            severity: Severity::Warning,
+            chip: None,
+            vm: None,
+            core: None,
+            detail,
+        }
+    }
+
+    pub(crate) fn vm(mut self, vm: VmId) -> Self {
+        self.vm = Some(vm);
+        self
+    }
+
+    pub(crate) fn core(mut self, core: u32) -> Self {
+        self.core = Some(core);
+        self
+    }
+
+    pub(crate) fn on_chip(mut self, chip: usize) -> Self {
+        self.chip = Some(chip);
+        self
+    }
+}
+
+impl fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.severity)?;
+        if let Some(chip) = self.chip {
+            write!(f, " chip{chip}")?;
+        }
+        if let Some(vm) = self.vm {
+            write!(f, " {vm}")?;
+        }
+        if let Some(core) = self.core {
+            write!(f, " core{core}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finding_display_names_the_offender() {
+        let f = AuditFinding::error(Rule::FleetSharedCore, "two exclusive owners".into())
+            .on_chip(1)
+            .vm(VmId(3))
+            .core(7);
+        let s = f.to_string();
+        assert!(s.contains("[FLEET-SHARE]"), "{s}");
+        assert!(s.contains("error"), "{s}");
+        assert!(s.contains("chip1"), "{s}");
+        assert!(s.contains("core7"), "{s}");
+        assert!(s.contains("two exclusive owners"), "{s}");
+    }
+
+    #[test]
+    fn rule_ids_are_unique_and_stable() {
+        let rules = [
+            Rule::PlanStaleGeneration,
+            Rule::PlanSnapshotDrift,
+            Rule::PlanCostMismatch,
+            Rule::PlanUseAfterDestroy,
+            Rule::PlanUnknownVm,
+            Rule::PlanDoubleBooked,
+            Rule::PlanOverRelease,
+            Rule::PlanHbmOvercommit,
+            Rule::PlanBudgetExceeded,
+            Rule::PlanUnschedulableChip,
+            Rule::RouteTableMismatch,
+            Rule::RouteEscapedRegion,
+            Rule::RouteIsolationLeak,
+            Rule::RouteSharedLink,
+            Rule::RouteDeadlockCycle,
+            Rule::FleetCoreOwnership,
+            Rule::FleetSharedCore,
+            Rule::FleetFreeSetDrift,
+            Rule::FleetHbmAccounting,
+            Rule::FleetDrainedResidue,
+            Rule::FleetGenerationRegressed,
+        ];
+        let ids: std::collections::BTreeSet<&str> = rules.iter().map(|r| r.id()).collect();
+        assert_eq!(ids.len(), rules.len(), "duplicate rule id");
+        for id in ids {
+            let (layer, _) = id.split_once('-').expect("ids are LAYER-NAME");
+            assert!(matches!(layer, "PLAN" | "ROUTE" | "FLEET"), "{id}");
+        }
+    }
+
+    #[test]
+    fn severity_orders_warning_below_error() {
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+}

@@ -1,0 +1,469 @@
+//! NoC routing static analysis: deadlock freedom and inter-tenant link
+//! isolation, proven from the resident tenants' routing tables and the
+//! physical mesh link graph.
+//!
+//! The pass reconstructs the exact per-flow paths the vRouters would
+//! take — dimension-order (X-then-Y) for plain tenants, confined
+//! shortest paths (with the router's documented DOR fallback) for
+//! tenants that requested NoC isolation — and then checks three
+//! properties:
+//!
+//! * **Table soundness** — every routing-table entry resolves to the
+//!   physical core the tenant's mapping actually granted (`ROUTE-TABLE`).
+//! * **Isolation** — no physical link carries traffic of two tenants
+//!   when either of them was promised NoC isolation (`ROUTE-ISO`), and
+//!   no confined tenant's path escapes its own cores (`ROUTE-CONF`).
+//!   Strict mode additionally reports *any* cross-tenant link sharing
+//!   (`ROUTE-SHARE`, warning): ordinary DOR fleets share links by
+//!   design, so that rule is informational.
+//! * **Deadlock freedom** — the channel-dependency graph over directed
+//!   mesh links (one edge per consecutive hop pair of any flow) is
+//!   acyclic (`ROUTE-CDG`). X-then-Y routing is provably acyclic; the
+//!   check covers confined direction-override paths, where a cycle is a
+//!   genuine wormhole-deadlock hazard.
+
+use crate::{AuditFinding, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use vnpu::{Hypervisor, VirtCoreId, VmId};
+use vnpu_topo::route::{confined_path, dor_path};
+use vnpu_topo::{NodeId, Topology};
+
+/// A directed physical mesh link `from → to` (adjacent cores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Link {
+    /// Upstream core.
+    pub from: u32,
+    /// Downstream core.
+    pub to: u32,
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}\u{2192}p{}", self.from, self.to)
+    }
+}
+
+/// One tenant's routing facts, as extracted from the hypervisor (or
+/// hand-built by tests). All fields are public so property tests can
+/// construct corrupted instances directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantRoutes {
+    /// The tenant.
+    pub vm: VmId,
+    /// Whether the tenant was promised NoC isolation (confined routing).
+    pub isolated: bool,
+    /// Physical core backing each virtual core, in virtual-core order,
+    /// *as the routing table resolves it* — what packets actually target.
+    pub table_cores: Vec<u32>,
+    /// Physical cores the tenant's mapping grants, in virtual-core
+    /// order — the ownership ground truth the table must agree with.
+    pub owned_cores: Vec<u32>,
+}
+
+/// Extracts [`TenantRoutes`] for every resident tenant of a chip, in
+/// VM-ID order. Virtual cores whose routing-table lookup fails are
+/// dropped from `table_cores`, which [`audit_routing`] reports as a
+/// table/mapping mismatch.
+pub fn collect_tenant_routes(hv: &Hypervisor) -> Vec<TenantRoutes> {
+    hv.vnpus()
+        .map(|(&vm, v)| TenantRoutes {
+            vm,
+            isolated: v.has_noc_isolation(),
+            table_cores: (0..v.core_count())
+                .filter_map(|i| v.routing_table().lookup(VirtCoreId(i)).map(|p| p.0))
+                .collect(),
+            owned_cores: v.mapping().phys_nodes().iter().map(|n| n.0).collect(),
+        })
+        .collect()
+}
+
+/// The paths this tenant's all-pairs traffic takes on the physical
+/// mesh, as node-ID sequences. Unroutable pairs are skipped (the
+/// confined router's DOR fallback is modeled, so an isolated tenant
+/// with a disconnected region yields DOR paths — which the escape rule
+/// then flags).
+fn tenant_paths(topo: &Topology, t: &TenantRoutes) -> Vec<Vec<u32>> {
+    let owned: Vec<NodeId> = t.owned_cores.iter().map(|&c| NodeId(c)).collect();
+    let mut paths = Vec::new();
+    for &src in &t.table_cores {
+        for &dst in &t.table_cores {
+            if src == dst {
+                continue;
+            }
+            let path = if t.isolated {
+                confined_path(topo, &owned, NodeId(src), NodeId(dst))
+                    .or_else(|_| dor_path(topo, NodeId(src), NodeId(dst)))
+            } else {
+                dor_path(topo, NodeId(src), NodeId(dst))
+            };
+            if let Ok(p) = path {
+                paths.push(p.iter().map(|n| n.0).collect());
+            }
+        }
+    }
+    paths
+}
+
+/// The directed links a path traverses.
+fn path_links(path: &[u32]) -> impl Iterator<Item = Link> + '_ {
+    path.windows(2).map(|w| Link {
+        from: w[0],
+        to: w[1],
+    })
+}
+
+/// Searches the channel-dependency graph of the given paths for a
+/// cycle. Nodes are directed links; every consecutive hop pair of a
+/// path contributes a dependency edge. Returns one witness cycle (as
+/// the link sequence, first link repeated at the end) or `None` when
+/// the graph is acyclic — i.e. the routing function is deadlock-free
+/// for these flows.
+pub fn find_cdg_cycle(paths: &[Vec<u32>]) -> Option<Vec<Link>> {
+    let mut deps: BTreeMap<Link, BTreeSet<Link>> = BTreeMap::new();
+    for path in paths {
+        let links: Vec<Link> = path_links(path).collect();
+        for w in links.windows(2) {
+            deps.entry(w[0]).or_default().insert(w[1]);
+            deps.entry(w[1]).or_default();
+        }
+        for &l in &links {
+            deps.entry(l).or_default();
+        }
+    }
+    // Iterative three-color DFS with an explicit parent stack so a
+    // witness cycle can be reconstructed.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: BTreeMap<Link, Color> = deps.keys().map(|&l| (l, Color::White)).collect();
+    let nodes: Vec<Link> = deps.keys().copied().collect();
+    for &start in &nodes {
+        if color[&start] != Color::White {
+            continue;
+        }
+        // Stack of (node, next-neighbor-index); `trail` mirrors the gray
+        // chain for cycle extraction.
+        let mut stack: Vec<(Link, usize)> = vec![(start, 0)];
+        color.insert(start, Color::Gray);
+        let mut trail: Vec<Link> = vec![start];
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            let succs: Vec<Link> = deps[&node].iter().copied().collect();
+            if *idx < succs.len() {
+                let next = succs[*idx];
+                *idx += 1;
+                match color[&next] {
+                    Color::White => {
+                        color.insert(next, Color::Gray);
+                        stack.push((next, 0));
+                        trail.push(next);
+                    }
+                    Color::Gray => {
+                        // Found a back edge: the cycle is the trail from
+                        // `next` onward, closed with `next` again.
+                        let from = trail.iter().position(|&l| l == next).unwrap_or(0);
+                        let mut cycle: Vec<Link> = trail[from..].to_vec();
+                        cycle.push(next);
+                        return Some(cycle);
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color.insert(node, Color::Black);
+                stack.pop();
+                trail.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Runs the routing static analysis over a set of tenants on the given
+/// physical topology. With `strict` set, any cross-tenant link sharing
+/// is additionally reported as a warning (`ROUTE-SHARE`) — useful when
+/// characterizing interference, noise when auditing a plain DOR fleet.
+pub fn audit_routing(topo: &Topology, tenants: &[TenantRoutes], strict: bool) -> Vec<AuditFinding> {
+    let mut findings = Vec::new();
+
+    // ROUTE-TABLE: the table must resolve exactly the granted cores.
+    for t in tenants {
+        if t.table_cores != t.owned_cores {
+            let mismatch = t
+                .table_cores
+                .iter()
+                .zip(&t.owned_cores)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| t.table_cores.len().min(t.owned_cores.len()));
+            let mut f = AuditFinding::error(
+                Rule::RouteTableMismatch,
+                format!(
+                    "routing table resolves {} cores {:?} but the mapping grants {} cores \
+                     {:?} (first divergence at virtual core {mismatch})",
+                    t.table_cores.len(),
+                    t.table_cores,
+                    t.owned_cores.len(),
+                    t.owned_cores
+                ),
+            )
+            .vm(t.vm);
+            if let Some(&c) = t.table_cores.get(mismatch) {
+                f = f.core(c);
+            }
+            findings.push(f);
+        }
+    }
+
+    // Reconstruct every tenant's flows once.
+    let tenant_flows: Vec<(VmId, bool, Vec<Vec<u32>>)> = tenants
+        .iter()
+        .map(|t| (t.vm, t.isolated, tenant_paths(topo, t)))
+        .collect();
+
+    // ROUTE-CONF: a confined tenant's traffic must stay on its own cores.
+    for (t, (_, _, flows)) in tenants.iter().zip(&tenant_flows) {
+        if !t.isolated {
+            continue;
+        }
+        let owned: BTreeSet<u32> = t.owned_cores.iter().copied().collect();
+        let mut escaped: BTreeSet<u32> = BTreeSet::new();
+        for path in flows {
+            for &node in path {
+                if !owned.contains(&node) {
+                    escaped.insert(node);
+                }
+            }
+        }
+        for core in escaped {
+            findings.push(
+                AuditFinding::error(
+                    Rule::RouteEscapedRegion,
+                    "confined route crosses a core outside the tenant's allocation \
+                     (DOR fallback in effect — isolation not actually deployed)"
+                        .to_string(),
+                )
+                .vm(t.vm)
+                .core(core),
+            );
+        }
+    }
+
+    // Link occupancy: which tenants put traffic on each directed link.
+    let mut link_users: BTreeMap<Link, BTreeSet<VmId>> = BTreeMap::new();
+    let isolated: BTreeSet<VmId> = tenants
+        .iter()
+        .filter(|t| t.isolated)
+        .map(|t| t.vm)
+        .collect();
+    for (vm, _, flows) in &tenant_flows {
+        for path in flows {
+            for link in path_links(path) {
+                link_users.entry(link).or_default().insert(*vm);
+            }
+        }
+    }
+    for (link, users) in &link_users {
+        if users.len() < 2 {
+            continue;
+        }
+        let vms: Vec<VmId> = users.iter().copied().collect();
+        if let Some(&iso) = vms.iter().find(|vm| isolated.contains(vm)) {
+            let others: Vec<String> = vms
+                .iter()
+                .filter(|&&vm| vm != iso)
+                .map(|vm| vm.to_string())
+                .collect();
+            findings.push(
+                AuditFinding::error(
+                    Rule::RouteIsolationLeak,
+                    format!(
+                        "link {link} carries traffic of isolated tenant {iso} and of {} — \
+                         NoC isolation violated",
+                        others.join(", ")
+                    ),
+                )
+                .vm(iso)
+                .core(link.from),
+            );
+        } else if strict {
+            let names: Vec<String> = vms.iter().map(|vm| vm.to_string()).collect();
+            findings.push(
+                AuditFinding::warning(
+                    Rule::RouteSharedLink,
+                    format!("link {link} is shared by {}", names.join(", ")),
+                )
+                .core(link.from),
+            );
+        }
+    }
+
+    // ROUTE-CDG: the union of all flows must be deadlock-free.
+    let all_paths: Vec<Vec<u32>> = tenant_flows
+        .iter()
+        .flat_map(|(_, _, flows)| flows.iter().cloned())
+        .collect();
+    if let Some(cycle) = find_cdg_cycle(&all_paths) {
+        let chain: Vec<String> = cycle.iter().map(|l| l.to_string()).collect();
+        findings.push(AuditFinding::error(
+            Rule::RouteDeadlockCycle,
+            format!(
+                "channel-dependency cycle: {} — wormhole deadlock possible",
+                chain.join(" \u{2192} ")
+            ),
+        ));
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnpu::{Hypervisor, VnpuRequest};
+    use vnpu_sim::SocConfig;
+
+    fn rules(findings: &[AuditFinding]) -> Vec<Rule> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    fn tenant(vm: u32, isolated: bool, cores: &[u32]) -> TenantRoutes {
+        TenantRoutes {
+            vm: VmId(vm),
+            isolated,
+            table_cores: cores.to_vec(),
+            owned_cores: cores.to_vec(),
+        }
+    }
+
+    #[test]
+    fn dor_fleet_shares_links_without_default_findings() {
+        let topo = Topology::mesh2d(6, 6);
+        // Two plain tenants in the same rows: DOR traffic overlaps.
+        let tenants = vec![tenant(0, false, &[0, 1, 2]), tenant(1, false, &[3, 4, 5])];
+        assert!(audit_routing(&topo, &tenants, false).is_empty());
+        // Strict mode surfaces the sharing as warnings only.
+        let strict = audit_routing(&topo, &tenants, true);
+        assert!(strict.iter().all(|f| f.rule == Rule::RouteSharedLink));
+    }
+
+    #[test]
+    fn overlapped_tables_name_the_shared_link() {
+        let topo = Topology::mesh2d(6, 6);
+        // An isolated tenant and a plain tenant whose (corrupted) table
+        // routes straight through the isolated region.
+        let iso = tenant(0, true, &[7, 8, 13, 14]);
+        let crossing = tenant(1, false, &[6, 9]); // DOR 6->7->8->9
+        let findings = audit_routing(&topo, &[iso, crossing], false);
+        let leak = findings
+            .iter()
+            .find(|f| f.rule == Rule::RouteIsolationLeak)
+            .expect("isolation leak must be reported");
+        assert_eq!(leak.vm, Some(VmId(0)));
+        assert!(
+            leak.detail.contains("p7\u{2192}p8"),
+            "the exact link must be named: {}",
+            leak.detail
+        );
+        assert!(
+            leak.detail.contains("vm1"),
+            "the other tenant must be named: {}",
+            leak.detail
+        );
+    }
+
+    #[test]
+    fn single_core_tenants_are_trivially_clean() {
+        let topo = Topology::mesh2d(6, 6);
+        let tenants = vec![tenant(0, true, &[0]), tenant(1, true, &[35])];
+        assert!(audit_routing(&topo, &tenants, true).is_empty());
+    }
+
+    #[test]
+    fn mesh_wrap_pair_is_clean_under_dor_but_escapes_when_confined() {
+        let topo = Topology::mesh2d(6, 6);
+        // Cores 5 and 6 are consecutive IDs but NOT mesh-adjacent (5 ends
+        // row 0, 6 starts row 1): DOR legally crosses the row.
+        let plain = vec![tenant(0, false, &[5, 6])];
+        assert!(audit_routing(&topo, &plain, false).is_empty());
+        // The same wrap pair promised isolation has no confined path, so
+        // the router falls back to DOR — the audit must expose that the
+        // promise is not actually kept.
+        let confined = vec![tenant(0, true, &[5, 6])];
+        let findings = audit_routing(&topo, &confined, false);
+        assert!(
+            rules(&findings).contains(&Rule::RouteEscapedRegion),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn adjacent_disjoint_rectangles_audit_clean() {
+        let topo = Topology::mesh2d(6, 6);
+        // Two isolated 2x2 rectangles sharing a border but no cores.
+        let left = tenant(0, true, &[0, 1, 6, 7]);
+        let right = tenant(1, true, &[2, 3, 8, 9]);
+        let findings = audit_routing(&topo, &[left, right], false);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn table_mapping_mismatch_is_flagged() {
+        let topo = Topology::mesh2d(6, 6);
+        let mut t = tenant(0, false, &[0, 1, 2, 3]);
+        t.table_cores[2] = 14; // table points somewhere the mapping never granted
+        let findings = audit_routing(&topo, &[t], false);
+        let hit = findings
+            .iter()
+            .find(|f| f.rule == Rule::RouteTableMismatch)
+            .expect("mismatch must be reported");
+        assert_eq!(hit.vm, Some(VmId(0)));
+        assert_eq!(hit.core, Some(14));
+    }
+
+    #[test]
+    fn crafted_turn_cycle_is_a_deadlock_finding() {
+        // Four L-shaped flows around the 2x2 block {0,1,6,7} of a 6-wide
+        // mesh, each turning into the next — the textbook CDG cycle.
+        let paths = vec![vec![0, 1, 7], vec![1, 7, 6], vec![7, 6, 0], vec![6, 0, 1]];
+        let cycle = find_cdg_cycle(&paths).expect("cycle must be found");
+        assert!(cycle.len() >= 4);
+        assert_eq!(cycle.first(), cycle.last());
+        // And through the full audit it surfaces as ROUTE-CDG: a tenant
+        // whose table order induces those flows cannot exist via the
+        // shortest-path router, so drive the checker directly.
+        let topo = Topology::mesh2d(6, 6);
+        let t = tenant(0, true, &[0, 1, 6, 7]);
+        let findings = audit_routing(&topo, &[t], false);
+        assert!(
+            !rules(&findings).contains(&Rule::RouteDeadlockCycle),
+            "the real confined router must remain deadlock-free: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn dor_is_deadlock_free_by_construction() {
+        let topo = Topology::mesh2d(6, 6);
+        let everyone = tenant(0, false, &(0..36).collect::<Vec<u32>>());
+        let findings = audit_routing(&topo, &[everyone], false);
+        assert!(
+            !rules(&findings).contains(&Rule::RouteDeadlockCycle),
+            "X-then-Y routing is provably acyclic: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn live_hypervisor_fleet_collects_and_audits_clean() {
+        let mut hv = Hypervisor::new(SocConfig::sim());
+        hv.create_vnpu(VnpuRequest::mesh(2, 2)).unwrap();
+        hv.create_vnpu(VnpuRequest::mesh(3, 2).noc_isolation(true))
+            .unwrap();
+        hv.create_vnpu(VnpuRequest::cores(1)).unwrap();
+        let tenants = collect_tenant_routes(&hv);
+        assert_eq!(tenants.len(), 3);
+        assert!(tenants.iter().all(|t| t.table_cores == t.owned_cores));
+        let findings = audit_routing(hv.topology(), &tenants, false);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

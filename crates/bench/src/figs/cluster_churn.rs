@@ -10,7 +10,10 @@
 //! cache gets hits, the drained fleet ends with zero leaked cores and
 //! zero leaked HBM bytes on every chip — and swapping the
 //! [`ChipPlacement`] policy changes the placement distribution without
-//! breaking determinism.
+//! breaking determinism. A third run repeats the first-fit scenario with
+//! [`vnpu_serve::ServeConfig::audit`] enabled: the per-tick fleet
+//! auditor must report zero findings and, auditing being read-only, the
+//! report must come out byte-identical to the unaudited run's.
 
 use std::sync::Arc;
 use vnpu::cluster::{ChipPlacement, FirstFit, LeastLoaded};
@@ -97,6 +100,29 @@ pub fn run(quick: bool) {
     );
     assert_fleet_invariants(&first_fit, "first-fit");
     println!("[first-fit]\n{}\n", first_fit.summary());
+
+    // --- Audited first-fit: the fleet auditor runs after every tick and
+    //     must stay silent, and because auditing is read-only the report
+    //     is byte-identical to the unaudited run's. ---
+    let mut audited_cfg = churn_config(quick, Arc::new(FirstFit));
+    audited_cfg.audit = true;
+    let audited = ServeRuntime::new(audited_cfg)
+        .run()
+        .expect("audited churn run completes");
+    assert_eq!(
+        audited.audit_findings, 0,
+        "a healthy serving fleet audits clean on every tick"
+    );
+    assert_eq!(
+        audited, first_fit,
+        "auditing is read-only: the audited report is byte-identical"
+    );
+    assert_eq!(
+        audited.to_json(64),
+        first_fit.to_json(64),
+        "auditing must not perturb the serialized report either"
+    );
+    println!("[first-fit, audited] zero findings, report byte-identical\n");
 
     // --- Least-loaded: same stream, different distribution. ---
     let least_loaded = ServeRuntime::new(churn_config(quick, Arc::new(LeastLoaded)))

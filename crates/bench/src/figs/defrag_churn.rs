@@ -15,7 +15,10 @@
 //!   external fragmentation than the identical run without defrag;
 //! * a placement plan staled mid-flight (generation injected between
 //!   plan and commit) commits nothing — the hypervisor's state digest is
-//!   bit-identical before and after the failed commit.
+//!   bit-identical before and after the failed commit;
+//! * a third defragmented run with [`vnpu_serve::ServeConfig::audit`]
+//!   enabled reports zero fleet-audit findings and produces a
+//!   byte-identical report (auditing is read-only).
 
 use std::sync::Arc;
 use vnpu::plan::{GreedyDefrag, PlanOp, ReconfigCost};
@@ -147,6 +150,24 @@ pub fn run(quick: bool) {
         defragged.submitted, baseline.submitted,
         "the defragmenter must not perturb the arrival stream"
     );
+
+    // --- Audited defrag run: live migrations every tick are exactly the
+    //     churn the fleet auditor exists to police. Zero findings, and a
+    //     byte-identical report because auditing is read-only. ---
+    let mut audited_cfg = churn_config(quick, true);
+    audited_cfg.audit = true;
+    let audited = ServeRuntime::new(audited_cfg)
+        .run()
+        .expect("audited defrag run completes");
+    assert_eq!(
+        audited.audit_findings, 0,
+        "a defragmenting fleet audits clean on every tick"
+    );
+    assert_eq!(
+        audited, defragged,
+        "auditing is read-only: the audited report is byte-identical"
+    );
+    println!("[defrag, audited] zero findings, report byte-identical\n");
 
     // --- Every migration's cost is accounted. ---
     assert!(

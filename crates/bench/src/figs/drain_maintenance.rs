@@ -22,7 +22,9 @@
 //! * after `complete_drain` + `undrain` the chip's snapshot is
 //!   byte-identical to a fresh idle chip's and placements land on it
 //!   again;
-//! * zero leaked cores and HBM bytes after the end-of-run drain.
+//! * zero leaked cores and HBM bytes after the end-of-run drain;
+//! * the whole lifecycle runs with [`vnpu_serve::ServeConfig::audit`]
+//!   enabled and accumulates zero fleet-audit findings.
 
 use std::sync::Arc;
 use vnpu::cluster::LeastLoaded;
@@ -51,6 +53,10 @@ fn config(quick: bool) -> ServeConfig {
     cfg.traffic.mean_lifetime_epochs = 10;
     cfg.placement = Arc::new(LeastLoaded);
     cfg.drain_budget = DRAIN_BUDGET;
+    // The whole maintenance lifecycle runs audited: every tick of the
+    // warm / drain / masked / hand-back phases must leave the fleet in a
+    // state the invariant auditor signs off on.
+    cfg.audit = true;
     cfg
 }
 
@@ -221,11 +227,15 @@ pub fn run(quick: bool) {
     );
 
     // --- Pristine fleet at the end. ---
+    assert_eq!(
+        r.audit_findings, 0,
+        "every tick of the drain lifecycle audits clean"
+    );
     assert_eq!(r.leaked_cores, 0, "no cores may leak through a drain");
     assert_eq!(r.leaked_hbm_bytes, 0, "no HBM may leak through a drain");
     for c in &r.per_chip {
         assert_eq!(c.residual_vnpus, 0, "chip{} drained clean", c.chip);
-        assert!(c.schedulable, "chip{} back in service", c.chip);
+        assert!(c.schedulable(), "chip{} back in service", c.chip);
     }
     assert_eq!(
         r.accepted + r.rejected + r.queued_at_end,

@@ -203,6 +203,15 @@ impl Hypervisor {
         &self.free_set
     }
 
+    /// Per-core user counts, indexed by physical core ID: 0 = free,
+    /// 1 = exclusively owned, ≥ 2 = temporally shared (or reserved on
+    /// top of an owner via [`Hypervisor::reserve_cores`]). Read-only —
+    /// this is the occupancy ground truth the `vnpu_audit` fleet
+    /// auditor cross-checks against tenant mappings and the free set.
+    pub fn core_users(&self) -> &[u32] {
+        &self.core_users
+    }
+
     /// Number of free cores.
     pub fn free_core_count(&self) -> u32 {
         self.free_set.free_count() as u32
@@ -547,7 +556,8 @@ impl Hypervisor {
     /// Rejection happens when a request cannot possibly fit the chip
     /// (cores or memory exceed the hardware) or when its attempt budget is
     /// exhausted. What happens after a non-terminal failure is the
-    /// policy's call ([`FailureAction`]): head-of-line policies stop the
+    /// policy's call ([`crate::admission::FailureAction`]): head-of-line
+    /// policies stop the
     /// tick, skip-ahead policies continue, backfill policies continue for
     /// strictly smaller requests only.
     pub fn process_admissions(&mut self) -> Vec<AdmissionEvent> {

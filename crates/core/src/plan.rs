@@ -209,6 +209,30 @@ impl PlacementTxn {
     pub fn planned_at_generation(&self) -> u64 {
         self.plan_generation
     }
+
+    /// The free-region fingerprint captured at plan time — the snapshot
+    /// value [`crate::Hypervisor::commit`] validates against the live
+    /// free set. Exposed read-only so static analyzers (the
+    /// `vnpu_audit` plan linter) can detect stale plans *before* a
+    /// commit attempt.
+    pub fn snapshot_free_fingerprint(&self) -> u64 {
+        self.free_fingerprint
+    }
+
+    /// The free-core count captured at plan time.
+    pub fn snapshot_free_count(&self) -> usize {
+        self.free_count
+    }
+
+    /// The free HBM bytes captured at plan time.
+    pub fn snapshot_hbm_free_bytes(&self) -> u64 {
+        self.hbm_free_bytes
+    }
+
+    /// The VM-numbering watermark captured at plan time.
+    pub fn snapshot_next_vm(&self) -> u32 {
+        self.next_vm
+    }
 }
 
 /// What a successful [`crate::Hypervisor::commit`] actually did.

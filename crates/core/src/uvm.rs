@@ -1,7 +1,7 @@
 //! The UVM-based virtual NPU baseline (§6.1, §6.3.1).
 //!
 //! Prior NPU virtualization work (AuRORA, V10) builds on unified virtual
-//! memory and "lack[s] interconnection support": virtual cores exchange
+//! memory and "lack\[s\] interconnection support": virtual cores exchange
 //! intermediate results through *global memory synchronization* instead of
 //! the NoC, and translate with page tables + IOTLBs. This module provides
 //! that configuration: page-based services and a program rewriter that

@@ -3,6 +3,7 @@
 //! per-chip breakdowns and leak accounting, with hand-rolled JSON output
 //! (the offline workspace has no serde).
 
+use vnpu::drain::ChipSchedState;
 use vnpu::plan::ReconfigCost;
 use vnpu_topo::cache::CacheStats;
 
@@ -44,9 +45,10 @@ pub struct ChipReport {
     pub drain_evacuated: u64,
     /// Tenants this chip received from other chips' drains.
     pub drain_received: u64,
-    /// Whether the chip was schedulable at report time (`false` while
-    /// draining or under maintenance).
-    pub schedulable: bool,
+    /// The chip's drain-lifecycle state at report time — distinguishes a
+    /// chip still being evacuated ([`ChipSchedState::Draining`]) from one
+    /// already under maintenance ([`ChipSchedState::Drained`]).
+    pub sched: ChipSchedState,
     /// Live virtual NPUs at report time — the residual occupancy of a
     /// draining chip (0 once its evacuation completed, and 0 for every
     /// chip after the end-of-run drain).
@@ -59,6 +61,14 @@ pub struct ChipReport {
     pub leaked_cores: u32,
     /// HBM bytes still allocated at report time (0 after a drain).
     pub leaked_hbm_bytes: u64,
+}
+
+impl ChipReport {
+    /// Whether the chip was schedulable at report time (`false` while
+    /// draining or under maintenance).
+    pub fn schedulable(&self) -> bool {
+        self.sched == ChipSchedState::Schedulable
+    }
 }
 
 /// Summary of one serving churn run.
@@ -117,6 +127,11 @@ pub struct ServeReport {
     /// HBM bytes still allocated across all chips (must be 0 after the
     /// final drain).
     pub leaked_hbm_bytes: u64,
+    /// Invariant violations reported by the post-tick fleet audit over
+    /// the whole run (always 0 when auditing is disabled — and a healthy
+    /// audited fleet reports 0 too, so a clean audited run's report is
+    /// byte-identical to the unaudited one).
+    pub audit_findings: u64,
     /// Per-chip breakdowns, in chip order.
     pub per_chip: Vec<ChipReport>,
 }
@@ -158,7 +173,7 @@ impl ServeReport {
              drain: {} evacuated ({} cycles, {} B moved, {} paused) | \
              cache hits {} misses {} (hit rate {:.1}%) | mean \
              free-connectivity {:.3} | executed {} machine epochs ({} cycles) \
-             | leaks: {} cores, {} HBM bytes",
+             | leaks: {} cores, {} HBM bytes | audit findings {}",
             self.per_chip.len(),
             self.epochs,
             self.submitted,
@@ -187,6 +202,7 @@ impl ServeReport {
             self.machine_cycles,
             self.leaked_cores,
             self.leaked_hbm_bytes,
+            self.audit_findings,
         );
         for c in &self.per_chip {
             out.push_str(&format!(
@@ -196,9 +212,10 @@ impl ServeReport {
                 c.chip,
                 c.mesh_width,
                 c.mesh_height,
-                // `schedulable` cannot distinguish Draining from
-                // Drained, so the label stays neutral.
-                if c.schedulable { "" } else { ", unschedulable" },
+                match c.sched {
+                    ChipSchedState::Schedulable => String::new(),
+                    s => format!(", {s}"),
+                },
                 c.accepted,
                 c.departed,
                 c.migrations,
@@ -248,7 +265,7 @@ impl ServeReport {
                 "{{\"chip\":{},\"mesh\":\"{}x{}\",\"accepted\":{},\
                  \"departed\":{},\"migrations\":{},\
                  \"drain_evacuated\":{},\"drain_received\":{},\
-                 \"schedulable\":{},\"residual_vnpus\":{},\
+                 \"schedulable\":{},\"sched_state\":\"{}\",\"residual_vnpus\":{},\
                  \"executed_epochs\":{},\
                  \"machine_cycles\":{},\
                  \"leaked_cores\":{},\"leaked_hbm_bytes\":{}}}",
@@ -260,7 +277,8 @@ impl ServeReport {
                 c.migrations,
                 c.drain_evacuated,
                 c.drain_received,
-                c.schedulable,
+                c.schedulable(),
+                c.sched,
                 c.residual_vnpus,
                 c.executed_epochs,
                 c.machine_cycles,
@@ -287,7 +305,8 @@ impl ServeReport {
              \"cache_hit_rate\": {:.4},\n  \"cache_evictions\": {},\n  \
              \"executed_epochs\": {},\n  \"machine_cycles\": {},\n  \
              \"controller_cycles\": {},\n  \"leaked_cores\": {},\n  \
-             \"leaked_hbm_bytes\": {},\n  \"chips\": {},\n  \
+             \"leaked_hbm_bytes\": {},\n  \"audit_findings\": {},\n  \
+             \"chips\": {},\n  \
              \"fragmentation\": {}\n}}",
             self.seed,
             self.epochs,
@@ -318,6 +337,7 @@ impl ServeReport {
             self.controller_cycles,
             self.leaked_cores,
             self.leaked_hbm_bytes,
+            self.audit_findings,
             chips,
             frag,
         )
@@ -391,6 +411,7 @@ mod tests {
             controller_cycles: 99,
             leaked_cores: 0,
             leaked_hbm_bytes: 0,
+            audit_findings: 0,
             per_chip: vec![ChipReport {
                 chip: 0,
                 mesh_width: 6,
@@ -400,7 +421,7 @@ mod tests {
                 migrations: 1,
                 drain_evacuated: 2,
                 drain_received: 0,
-                schedulable: false,
+                sched: ChipSchedState::Draining,
                 residual_vnpus: 0,
                 executed_epochs: 2,
                 machine_cycles: 1000,
@@ -418,12 +439,42 @@ mod tests {
         assert!(json.contains("\"drain_reconfig_paused_cycles\": 131086"));
         assert!(json.contains("\"drain_evacuated\":2"));
         assert!(json.contains("\"schedulable\":false"));
+        assert!(json.contains("\"sched_state\":\"draining\""));
+        assert!(json.contains("\"audit_findings\": 0"));
         assert!(json.contains("\"frag_windows_recovered\": 9"));
         assert!(json.contains("\"chips\": [{"));
         assert!(json.contains("\"fragmentation\": [{"));
         assert!(!r.summary().is_empty());
-        assert!(r.summary().contains("chip0 (6x6, unschedulable)"));
+        assert!(r.summary().contains("chip0 (6x6, draining)"));
         assert!(r.summary().contains("migrations 1"));
         assert!(r.summary().contains("drain: 2 evacuated"));
+        assert!(r.summary().contains("audit findings 0"));
+        assert!(!r.per_chip[0].schedulable());
+    }
+
+    #[test]
+    fn chip_report_distinguishes_draining_from_drained() {
+        let base = ChipReport {
+            chip: 1,
+            mesh_width: 4,
+            mesh_height: 4,
+            accepted: 0,
+            departed: 0,
+            migrations: 0,
+            drain_evacuated: 0,
+            drain_received: 0,
+            sched: ChipSchedState::Drained,
+            residual_vnpus: 0,
+            executed_epochs: 0,
+            machine_cycles: 0,
+            leaked_cores: 0,
+            leaked_hbm_bytes: 0,
+        };
+        assert!(!base.schedulable());
+        let schedulable = ChipReport {
+            sched: ChipSchedState::Schedulable,
+            ..base.clone()
+        };
+        assert!(schedulable.schedulable());
     }
 }

@@ -33,6 +33,7 @@ use vnpu::cluster::{ChipPlacement, Cluster, ClusterAdmissionOutcome, ClusterVmId
 use vnpu::drain::{CheapestFirstDrain, ChipSchedState, DrainPolicy};
 use vnpu::plan::{Defragmenter, ReconfigBudget, ReconfigCost};
 use vnpu::{Hypervisor, VirtCoreId};
+use vnpu_audit::{AuditFinding, FleetAuditor};
 use vnpu_sim::isa::{Instr, Program};
 use vnpu_sim::machine::{Machine, TenantId};
 use vnpu_sim::SocConfig;
@@ -85,6 +86,14 @@ pub struct ServeConfig {
     pub drain_policy: Arc<dyn DrainPolicy>,
     /// Reconfiguration budget per drain step (per chip, per epoch).
     pub drain_budget: ReconfigBudget,
+    /// Run the [`vnpu_audit`] fleet invariant audit after every tick.
+    /// Off by default — disabled, the phase costs nothing; enabled on a
+    /// healthy fleet, the audit is read-only and leaves the run's report
+    /// byte-identical. Findings accumulate on the runtime
+    /// ([`ServeRuntime::audit_findings`]) and are counted in
+    /// [`TickEvents::audit_findings`] and
+    /// [`crate::report::ServeReport::audit_findings`].
+    pub audit: bool,
 }
 
 impl ServeConfig {
@@ -119,6 +128,7 @@ impl ServeConfig {
             defrag_interval: 1,
             drain_policy: Arc::new(CheapestFirstDrain),
             drain_budget: ReconfigBudget::default(),
+            audit: false,
         }
     }
 }
@@ -147,6 +157,9 @@ pub struct TickEvents {
     pub drain_migrations: u64,
     /// Chips that executed a machine epoch this tick.
     pub executed_chips: u32,
+    /// Invariant violations the post-tick fleet audit reported (always 0
+    /// when [`ServeConfig::audit`] is off).
+    pub audit_findings: u64,
 }
 
 #[derive(Debug)]
@@ -206,6 +219,11 @@ pub struct ServeRuntime {
     fragmentation: Vec<FragSample>,
     per_chip: Vec<ChipCounters>,
     tick: u64,
+    /// Stateful fleet auditor (generation-monotonicity history); only
+    /// consulted when [`ServeConfig::audit`] is on.
+    auditor: FleetAuditor,
+    /// Every finding the post-tick audits reported, in tick order.
+    audit_findings: Vec<AuditFinding>,
 }
 
 impl ServeRuntime {
@@ -255,6 +273,8 @@ impl ServeRuntime {
             fragmentation: Vec::new(),
             per_chip,
             tick: 0,
+            auditor: FleetAuditor::new(),
+            audit_findings: Vec::new(),
             cfg,
         }
     }
@@ -410,6 +430,7 @@ impl ServeRuntime {
             migrations: 0,
             drain_migrations: 0,
             executed_chips: 0,
+            audit_findings: 0,
         };
 
         // 1. Departures: tenants whose lifetime expired leave first,
@@ -672,7 +693,24 @@ impl ServeRuntime {
                 events.executed_chips += 1;
             }
         }
+
+        // 8. Optional post-tick fleet audit: every invariant the tick's
+        //    phases were supposed to preserve, cross-checked read-only.
+        //    Findings are data, not errors — callers (and the report)
+        //    decide how hard to fail on them.
+        if self.cfg.audit {
+            let findings = self.auditor.audit(&self.cluster);
+            events.audit_findings = findings.len() as u64;
+            self.audit_findings.extend(findings);
+        }
         Ok(events)
+    }
+
+    /// Every finding the post-tick fleet audits have reported so far, in
+    /// tick order (empty unless [`ServeConfig::audit`] is on — and empty
+    /// on a healthy fleet even then).
+    pub fn audit_findings(&self) -> &[AuditFinding] {
+        &self.audit_findings
     }
 
     /// Retires every remaining tenant so leak accounting is meaningful
@@ -713,7 +751,10 @@ impl ServeRuntime {
                     migrations: counters.migrations,
                     drain_evacuated: counters.drain_evacuated,
                     drain_received: counters.drain_received,
-                    schedulable: self.cluster.is_schedulable(i),
+                    sched: self
+                        .cluster
+                        .drain_state(i)
+                        .unwrap_or(ChipSchedState::Schedulable),
                     residual_vnpus: hv.vnpu_count() as u64,
                     executed_epochs: counters.executed_epochs,
                     machine_cycles: counters.machine_cycles,
@@ -746,6 +787,7 @@ impl ServeRuntime {
             controller_cycles: self.controller_cycles,
             leaked_cores: per_chip.iter().map(|c| c.leaked_cores).sum(),
             leaked_hbm_bytes: per_chip.iter().map(|c| c.leaked_hbm_bytes).sum(),
+            audit_findings: self.audit_findings.len() as u64,
             per_chip,
         }
     }
@@ -1122,8 +1164,18 @@ mod tests {
             evacuated > 0,
             "the maintenance phase must actually move tenants"
         );
+        assert_eq!(
+            rt.report().per_chip[0].sched,
+            ChipSchedState::Draining,
+            "a mid-evacuation report names the draining state"
+        );
         rt.complete_drain(0).unwrap();
         assert_eq!(rt.drain_state(0), Ok(ChipSchedState::Drained));
+        assert_eq!(
+            rt.report().per_chip[0].sched,
+            ChipSchedState::Drained,
+            "a maintenance-window report names the drained state"
+        );
         for _ in 0..10 {
             let ev = rt.step().unwrap();
             assert!(ev.admitted.iter().all(|id| id.chip != 0));
@@ -1154,7 +1206,67 @@ mod tests {
         );
         assert_eq!(r.per_chip[1].drain_received, evacuated);
         assert_eq!(r.per_chip[0].residual_vnpus, 0);
-        assert!(r.per_chip[0].schedulable, "undrained at report time");
+        assert_eq!(r.per_chip[0].sched, ChipSchedState::Schedulable);
+        assert!(r.per_chip[0].schedulable(), "undrained at report time");
+    }
+
+    #[test]
+    fn audited_run_is_clean_and_byte_identical_to_unaudited() {
+        use vnpu::plan::GreedyDefrag;
+        // Heavy churn with defrag on, audited: the post-tick fleet audit
+        // must find nothing, and because it is read-only the report must
+        // be byte-identical to the unaudited run.
+        let mut cfg = quick_cfg(13);
+        cfg.defrag = Some(Arc::new(GreedyDefrag::default()));
+        let plain = ServeRuntime::new(cfg.clone()).run().unwrap();
+        cfg.audit = true;
+        let mut rt = ServeRuntime::new(cfg);
+        for _ in 0..80 {
+            let ev = rt.step().unwrap();
+            assert_eq!(ev.audit_findings, 0, "tick {} dirty", ev.tick);
+        }
+        rt.drain().unwrap();
+        assert!(rt.audit_findings().is_empty());
+        let audited = rt.report();
+        assert_eq!(audited, plain);
+        assert_eq!(audited.summary(), plain.summary());
+        assert_eq!(
+            audited.to_json(usize::MAX),
+            plain.to_json(usize::MAX),
+            "auditing a healthy fleet must not perturb the run"
+        );
+    }
+
+    #[test]
+    fn audit_runs_through_a_full_drain_cycle() {
+        let mut cfg = ServeConfig::cluster(23, 60, vec![SocConfig::sim(), SocConfig::sim()]);
+        cfg.traffic.candidate_cap = 200;
+        cfg.traffic.mean_interarrival_ticks = 2;
+        cfg.placement = Arc::new(LeastLoaded);
+        cfg.audit = true;
+        let mut rt = ServeRuntime::new(cfg);
+        let mut warm = 0;
+        while rt.cluster().chip(0).vnpu_count() == 0 {
+            rt.step().unwrap();
+            warm += 1;
+            assert!(warm < 200, "traffic must load chip 0");
+        }
+        rt.begin_drain(0).unwrap();
+        let mut ticks = 0;
+        while rt.cluster().chip(0).vnpu_count() > 0 {
+            rt.step().unwrap();
+            ticks += 1;
+            assert!(ticks < 200, "the drain must converge");
+        }
+        rt.complete_drain(0).unwrap();
+        rt.step().unwrap();
+        rt.undrain(0).unwrap();
+        rt.step().unwrap();
+        assert!(
+            rt.audit_findings().is_empty(),
+            "draining, drained and undrained fleets all audit clean: {:?}",
+            rt.audit_findings()
+        );
     }
 
     #[test]

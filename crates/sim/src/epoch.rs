@@ -1,7 +1,7 @@
 //! The per-epoch half of the machine: bound threads, in-flight events,
 //! flow/flag/barrier bookkeeping, and the deterministic event loop.
 //!
-//! A [`Machine`](crate::machine::Machine) is split in two layers so a
+//! A [`crate::machine::Machine`] is split in two layers so a
 //! serving runtime can interleave tenant arrivals with execution:
 //!
 //! * **persistent chip state** (`machine.rs`) — configuration, per-core

@@ -34,6 +34,9 @@ fn main() {
     // Busy front door: ~2 arrivals per tick keeps both chips loaded.
     cfg.traffic.mean_interarrival_ticks = 1;
     cfg.traffic.mean_lifetime_epochs = 8;
+    // Run the fleet invariant auditor after every tick: a healthy fleet
+    // must produce zero findings across both policy regimes.
+    cfg.audit = true;
     println!(
         "cluster serving: {} chips ({}), {} epochs, seed {}\n",
         cfg.chips.len(),
@@ -86,5 +89,12 @@ fn main() {
     );
     assert_eq!(report.leaked_cores, 0, "drained fleet must hold no cores");
     assert_eq!(report.leaked_hbm_bytes, 0, "drained fleet must hold no HBM");
-    println!("no leaked cores, no leaked HBM — both chips pristine after drain");
+    assert_eq!(
+        report.audit_findings, 0,
+        "the per-tick fleet auditor must stay silent on a healthy fleet"
+    );
+    println!(
+        "no leaked cores, no leaked HBM, zero audit findings — both chips \
+         pristine after drain"
+    );
 }

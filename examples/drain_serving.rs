@@ -103,7 +103,7 @@ fn main() {
     assert_eq!(report.leaked_cores, 0, "no cores leak through a drain");
     assert_eq!(report.leaked_hbm_bytes, 0, "no HBM leaks through a drain");
     assert!(
-        report.per_chip.iter().all(|c| c.schedulable),
+        report.per_chip.iter().all(|c| c.schedulable()),
         "the whole fleet is back in service"
     );
     println!("\nno leaks, fleet back in service — drains are fully reversible");

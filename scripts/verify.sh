@@ -21,6 +21,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== cargo doc --no-deps (warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "== cargo bench --bench micro_criterion -- --quick =="
 cargo bench --bench micro_criterion -- --quick
 

@@ -8,6 +8,7 @@ use vnpu::cluster::{
     BestFitFragmentation, ChipPlacement, Cluster, ClusterAdmissionOutcome, ClusterVmId, FirstFit,
     LeastLoaded,
 };
+use vnpu::drain::ChipSchedState;
 use vnpu::{Hypervisor, VnpuRequest};
 use vnpu_serve::{ServeConfig, ServeRuntime};
 use vnpu_sim::SocConfig;
@@ -336,8 +337,9 @@ fn serve_runtime_rejections_carry_no_drained_chip_hints() {
     let r = rt.report();
     assert_eq!(r.leaked_cores, 0);
     assert_eq!(r.leaked_hbm_bytes, 0);
-    assert!(
-        !r.per_chip[0].schedulable,
+    assert_eq!(
+        r.per_chip[0].sched,
+        ChipSchedState::Draining,
         "chip 0 still draining at report"
     );
 }

@@ -11,8 +11,10 @@
 //!   policy orders requests across the whole fleet;
 //! * a [`ChipPlacement`] trait deciding *which chip* each request maps
 //!   onto ([`FirstFit`], [`BestFitFragmentation`], [`LeastLoaded`] ship);
-//! * a **shared [`MappingCache`]**: every chip's placements are memoized
-//!   in one table. Entries never alias across chips because each key
+//! * a **shared [`ShardedMappingCache`]**: every chip's placements are
+//!   memoized in one table (sharded by key hash so pool workers can
+//!   probe it concurrently; per-chip [`MappingCache`]s serve only
+//!   advisory fit hints). Entries never alias across chips because each key
 //!   carries the chip's `labeled_hash` topology fingerprint and its
 //!   reconfiguration generation — two identical free regions on two
 //!   identical chip models *do* share entries, which is the point.
@@ -36,12 +38,14 @@ use crate::drain::{ChipSchedState, DrainMove, DrainPolicy, DrainStep};
 use crate::hypervisor::Hypervisor;
 use crate::ids::VmId;
 use crate::plan::{CommitReceipt, Defragmenter, PlanOp, ReconfigBudget, ReconfigCost};
+use crate::pool::WorkerPool;
 use crate::vnpu::{VirtualNpu, VnpuRequest};
 use crate::{Result, VnpuError};
 use std::fmt;
 use std::sync::Arc;
 use vnpu_sim::SocConfig;
-use vnpu_topo::cache::{CacheStats, MappingCache};
+use vnpu_topo::cache::{CacheStats, MappingCache, ShardedMappingCache};
+use vnpu_topo::mapping::{Mapper, Mapping, ProbedCache};
 use vnpu_topo::TopoError;
 
 /// A virtual NPU's cluster-wide identity: which chip it lives on, and
@@ -262,14 +266,32 @@ pub struct ClusterAdmissionEvent {
 #[derive(Debug)]
 pub struct Cluster {
     chips: Vec<Hypervisor>,
-    cache: MappingCache,
-    /// Dedicated cache for fit-hint probes, so advisory probing never
-    /// distorts the shared placement cache's hit-rate statistics.
-    hint_cache: MappingCache,
+    /// The shared placement cache, sharded behind per-shard locks so the
+    /// admission workers' speculative probes never serialize on it. All
+    /// *mutating* cache traffic (`get`/`insert` with statistics) still
+    /// flows through the sequential merge, so contents and counters are
+    /// identical at every worker count.
+    cache: Arc<ShardedMappingCache>,
+    /// Dedicated per-chip caches for fit-hint and defrag probes, so
+    /// advisory probing never distorts the shared placement cache's
+    /// hit-rate statistics — and so per-chip planning phases can run on
+    /// the worker pool without sharing a hint table. Hint values are
+    /// deterministic pure functions of the owning chip's state, so
+    /// isolating them per chip changes no planned outcome.
+    hint_caches: Vec<MappingCache>,
     admissions: AdmissionQueue,
     placement: Arc<dyn ChipPlacement>,
     /// Per-chip schedulability / drain lifecycle state, in chip order.
     sched: Vec<ChipSchedState>,
+    /// The worker pool the parallel phases (admission probing, drain and
+    /// defrag planning) fan out on. The default single-worker pool runs
+    /// everything inline — the exact sequential path.
+    pool: Arc<WorkerPool>,
+    /// Memoized per-chip snapshots (`None` = dirty): every mutating path
+    /// invalidates the touched chip, so a tick's snapshot vector is
+    /// assembled from cached entries instead of re-scanning every chip's
+    /// free region each tick.
+    snap_cache: Vec<Option<ChipSnapshot>>,
 }
 
 impl Cluster {
@@ -292,15 +314,32 @@ impl Cluster {
     /// Panics when `chips` is empty.
     pub fn with_chips(chips: Vec<Hypervisor>) -> Self {
         assert!(!chips.is_empty(), "a cluster owns at least one chip");
-        let sched = vec![ChipSchedState::Schedulable; chips.len()];
+        let count = chips.len();
+        let sched = vec![ChipSchedState::Schedulable; count];
         Cluster {
             chips,
-            cache: MappingCache::default(),
-            hint_cache: MappingCache::default(),
+            cache: Arc::new(ShardedMappingCache::default()),
+            hint_caches: (0..count).map(|_| MappingCache::default()).collect(),
             admissions: AdmissionQueue::default(),
             placement: Arc::new(FirstFit),
             sched,
+            pool: Arc::new(WorkerPool::new(1)),
+            snap_cache: vec![None; count],
         }
+    }
+
+    /// Installs the worker pool the cluster's parallel phases (admission
+    /// candidate probing, drain and defrag planning) fan out on. The
+    /// serve layer shares one pool between the cluster and its machine
+    /// epochs. A single-worker pool (the default) runs everything inline
+    /// on the caller's thread — the exact sequential path.
+    pub fn set_worker_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = pool;
+    }
+
+    /// Worker threads the cluster's parallel phases may use.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
     }
 
     /// Number of chips.
@@ -332,6 +371,8 @@ impl Cluster {
     ///
     /// Panics when `index` is out of range.
     pub fn chip_mut(&mut self, index: usize) -> &mut Hypervisor {
+        // The caller may mutate anything; the memoized snapshot is stale.
+        self.mark_dirty(index);
         &mut self.chips[index]
     }
 
@@ -441,6 +482,53 @@ impl Cluster {
         }
     }
 
+    /// Marks one chip's memoized snapshot stale. Every mutating path
+    /// (placements, teardowns, migrations, drain-lifecycle transitions,
+    /// [`Cluster::chip_mut`]) calls this, so [`Cluster::tick_snapshots`]
+    /// re-scans only the chips that actually changed.
+    fn mark_dirty(&mut self, chip: usize) {
+        if let Some(slot) = self.snap_cache.get_mut(chip) {
+            *slot = None;
+        }
+    }
+
+    /// The per-chip snapshots, in chip order, served from the memoized
+    /// store — only chips touched since the last call are re-scanned.
+    /// This is the tick-rate entry point; [`Cluster::snapshots`] stays
+    /// the always-fresh (read-only) form for audits and tests.
+    pub fn tick_snapshots(&mut self) -> Vec<ChipSnapshot> {
+        (0..self.chips.len())
+            .map(|i| self.snapshot_cached(i))
+            .collect()
+    }
+
+    /// One chip's snapshot from the memoized store (re-scanned only when
+    /// stale).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn snapshot_cached(&mut self, index: usize) -> ChipSnapshot {
+        if self.snap_cache[index].is_none() {
+            self.snap_cache[index] = Some(self.snapshot_of(index));
+        }
+        self.snap_cache[index].clone().expect("just filled")
+    }
+
+    /// Recomputes one chip's snapshot and refreshes the memoized store —
+    /// the serve loop uses this for chips its drain/defrag bookkeeping
+    /// just touched, keeping the tick at one free-region scan per
+    /// *changed* chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn snapshot_refresh(&mut self, index: usize) -> ChipSnapshot {
+        let snap = self.snapshot_of(index);
+        self.snap_cache[index] = Some(snap.clone());
+        snap
+    }
+
     // ------------------------------------------------------------------
     // Drain-for-maintenance (see [`crate::drain`]).
     // ------------------------------------------------------------------
@@ -486,6 +574,7 @@ impl Cluster {
         }
         self.sched[chip] = ChipSchedState::Draining;
         self.chips[chip].invalidate_plans();
+        self.mark_dirty(chip);
         Ok(())
     }
 
@@ -561,6 +650,108 @@ impl Cluster {
         destinations: &[ChipSnapshot],
     ) -> Result<DrainStep> {
         let proposals = policy.plan_step(&self.chips[chip], destinations, budget);
+        Ok(self.apply_drain_proposals(chip, proposals, budget))
+    }
+
+    /// Runs the maintenance phase for *every* draining chip in one call:
+    /// each chip's evacuation step is planned read-only (on the worker
+    /// pool when it is wider than one and more than one chip drains),
+    /// then the plans are applied transactionally in chip order. Returns
+    /// `(chip, step)` pairs in chip order.
+    ///
+    /// Plan-then-apply is used at every worker count, so results are
+    /// byte-identical regardless of parallelism. With a single draining
+    /// chip (the common maintenance scenario) it is also exactly
+    /// [`Cluster::drain_step_with_snapshots`]; with several, every plan
+    /// sees the tick's snapshots rather than its predecessors' moves —
+    /// a proposal staled by an earlier chip's evacuation is skipped by
+    /// the transactional apply, never applied wrongly.
+    ///
+    /// # Errors
+    ///
+    /// [`VnpuError::Drain`] is never returned (only draining chips are
+    /// selected); errors propagate as for [`Cluster::drain_step`].
+    pub fn drain_tick(
+        &mut self,
+        policy: &Arc<dyn DrainPolicy>,
+        budget: &ReconfigBudget,
+        snapshots: &[ChipSnapshot],
+    ) -> Result<Vec<(usize, DrainStep)>> {
+        let draining: Vec<usize> = (0..self.chips.len())
+            .filter(|&c| self.sched[c] == ChipSchedState::Draining)
+            .collect();
+        if draining.is_empty() {
+            return Ok(Vec::new());
+        }
+        let destinations_for = |chip: usize| -> Vec<ChipSnapshot> {
+            snapshots
+                .iter()
+                .filter(|s| s.chip != chip && s.schedulable)
+                .cloned()
+                .collect()
+        };
+        let plans: Vec<(usize, Vec<(VmId, usize)>)> =
+            if draining.len() > 1 && self.pool.workers() > 1 {
+                // Fan the read-only planning out: each job owns its
+                // chip's hypervisor for the duration and hands it back
+                // with the proposals, restored in chip order below.
+                let mut slots: Vec<Option<Hypervisor>> = std::mem::take(&mut self.chips)
+                    .into_iter()
+                    .map(Some)
+                    .collect();
+                let jobs: Vec<_> = draining
+                    .iter()
+                    .map(|&chip| {
+                        let hv = slots[chip].take().expect("draining chips are distinct");
+                        let policy = Arc::clone(policy);
+                        let budget = *budget;
+                        let destinations = destinations_for(chip);
+                        move || {
+                            let proposals = policy.plan_step(&hv, &destinations, &budget);
+                            (hv, proposals)
+                        }
+                    })
+                    .collect();
+                let results = self.pool.run(jobs);
+                let mut plans = Vec::with_capacity(draining.len());
+                for (&chip, (hv, proposals)) in draining.iter().zip(results) {
+                    slots[chip] = Some(hv);
+                    plans.push((chip, proposals));
+                }
+                self.chips = slots
+                    .into_iter()
+                    .map(|s| s.expect("every chip restored"))
+                    .collect();
+                plans
+            } else {
+                draining
+                    .iter()
+                    .map(|&chip| {
+                        let destinations = destinations_for(chip);
+                        (
+                            chip,
+                            policy.plan_step(&self.chips[chip], &destinations, budget),
+                        )
+                    })
+                    .collect()
+            };
+        let mut steps = Vec::with_capacity(plans.len());
+        for (chip, proposals) in plans {
+            let step = self.apply_drain_proposals(chip, proposals, budget);
+            steps.push((chip, step));
+        }
+        Ok(steps)
+    }
+
+    /// Applies one chip's drain proposals under the budget — the
+    /// sequential half of a drain step, shared by the one-chip and
+    /// whole-tick entry points.
+    fn apply_drain_proposals(
+        &mut self,
+        chip: usize,
+        proposals: Vec<(VmId, usize)>,
+        budget: &ReconfigBudget,
+    ) -> DrainStep {
         let total_proposals = proposals.len();
         let mut step = DrainStep::default();
         for (applied, (vm, dest)) in proposals.into_iter().enumerate() {
@@ -593,7 +784,7 @@ impl Cluster {
             }
         }
         step.remaining = self.chips[chip].vnpu_count();
-        Ok(step)
+        step
     }
 
     /// Declares the evacuation finished: the chip must hold zero tenants.
@@ -618,6 +809,7 @@ impl Cluster {
             });
         }
         self.sched[chip] = ChipSchedState::Drained;
+        self.mark_dirty(chip);
         Ok(())
     }
 
@@ -638,7 +830,10 @@ impl Cluster {
             });
         }
         self.sched[chip] = ChipSchedState::Schedulable;
-        self.hint_cache.clear();
+        for cache in &mut self.hint_caches {
+            cache.clear();
+        }
+        self.mark_dirty(chip);
         Ok(())
     }
 
@@ -659,7 +854,10 @@ impl Cluster {
                 detail: "cannot place on a draining chip",
             });
         }
-        let vm = self.chips[chip].create_vnpu_in(req, &mut self.cache)?;
+        let cache = Arc::clone(&self.cache);
+        let mut shared = &*cache;
+        let vm = self.chips[chip].create_vnpu_in(req, &mut shared)?;
+        self.mark_dirty(chip);
         Ok(ClusterVmId { chip, vm })
     }
 
@@ -693,7 +891,9 @@ impl Cluster {
                 chip: id.chip,
                 count,
             })?
-            .destroy_vnpu(id.vm)
+            .destroy_vnpu(id.vm)?;
+        self.mark_dirty(id.chip);
+        Ok(())
     }
 
     /// The fleet-wide fit hint: the largest shape that would currently
@@ -731,7 +931,8 @@ impl Cluster {
             if !self.is_schedulable(i) {
                 continue; // a draining chip's window must not be advertised
             }
-            if let Some(hint) = self.chips[i].fit_hint_in_bounded(&mut self.hint_cache, island) {
+            if let Some(hint) = self.chips[i].fit_hint_in_bounded(&mut self.hint_caches[i], island)
+            {
                 if best.is_none_or(|b| hint.cores > b.cores) {
                     best = Some(hint);
                 }
@@ -767,9 +968,10 @@ impl Cluster {
         let free_events_at_start = self.free_events();
         let mut tick = AdmissionTick::new();
         // Chip snapshots only change when a placement succeeds (failed
-        // attempts are transactional), so compute them once per tick and
-        // refresh only the placed chip's after each admission.
-        let mut snapshots = self.snapshots();
+        // attempts are transactional), so serve them from the memoized
+        // per-chip store and refresh only the placed chip's after each
+        // admission.
+        let mut snapshots = self.tick_snapshots();
         for id in self.admissions.attempt_order(free_events_at_start) {
             let Some(pending) = self.admissions.request(id) else {
                 continue;
@@ -793,33 +995,100 @@ impl Cluster {
             // placement policy happened to try last.
             let mut saw_no_candidate = false;
             let mut placed: Option<ClusterVmId> = None;
-            for chip in order {
-                // Defense in depth against custom placement policies: a
-                // draining chip is never attempted even when nominated
-                // (the shipped policies already filter on the snapshot's
-                // schedulability mask).
-                if !self.is_schedulable(chip) {
-                    continue;
-                }
-                let Some(hv) = self.chips.get_mut(chip) else {
-                    continue;
+            // Nominated chips are attempted in *waves* of the pool's
+            // width: workers speculatively probe every chip in the wave
+            // concurrently (read-only — a stats-free cache peek, else a
+            // fresh mapping attempt against the chip's current free set),
+            // then the sequential merge replays the canonical
+            // cache-get/insert protocol per chip in nomination order,
+            // consuming a probe's result only where the merge-time lookup
+            // misses. The first success in nomination order wins — the
+            // same winner the sequential loop picks, with the same cache
+            // contents and counters, at any worker count. A single-worker
+            // pool degenerates to waves of one with no probe phase: the
+            // exact sequential path.
+            let wave_width = self.pool.workers().max(1);
+            'waves: for wave in order.chunks(wave_width) {
+                let probes: Vec<Option<std::result::Result<Mapping, TopoError>>> = if wave.len() > 1
+                {
+                    let jobs: Vec<_> = wave
+                        .iter()
+                        .map(|&chip| {
+                            // Within one request, a chip's free set
+                            // cannot change between probe and merge
+                            // (failed creates are transactional), so
+                            // a probe always matches what the merge
+                            // would compute inline.
+                            let chip_state = if self.is_schedulable(chip) {
+                                self.chips.get(chip).map(|hv| {
+                                    (
+                                        hv.topology_arc(),
+                                        hv.phys_key(),
+                                        hv.topology_generation(),
+                                        hv.availability_for(&request),
+                                    )
+                                })
+                            } else {
+                                None
+                            };
+                            let cache = Arc::clone(&self.cache);
+                            let req_topo = request.topology().clone();
+                            let strategy = request.strategy_ref().clone();
+                            move || -> Option<std::result::Result<Mapping, TopoError>> {
+                                let (topo, phys_key, generation, free) = chip_state?;
+                                if cache
+                                    .peek(phys_key, generation, &req_topo, &strategy, &free)
+                                    .is_some()
+                                {
+                                    // A valid entry exists: the
+                                    // merge-time `get` hits (or, if an
+                                    // earlier merge evicted it,
+                                    // recomputes inline) — nothing to
+                                    // precompute.
+                                    return None;
+                                }
+                                Some(
+                                    Mapper::with_phys_key(&topo, phys_key)
+                                        .at_generation(generation)
+                                        .map_in(&free, &req_topo, &strategy),
+                                )
+                            }
+                        })
+                        .collect();
+                    self.pool.run(jobs)
+                } else {
+                    (0..wave.len()).map(|_| None).collect()
                 };
-                match hv.create_vnpu_in(request.clone(), &mut self.cache) {
-                    Ok(vm) => {
-                        placed = Some(ClusterVmId { chip, vm });
-                        break;
+                for (&chip, probe) in wave.iter().zip(probes) {
+                    // Defense in depth against custom placement policies:
+                    // a draining chip is never attempted even when
+                    // nominated (the shipped policies already filter on
+                    // the snapshot's schedulability mask).
+                    if !self.is_schedulable(chip) {
+                        continue;
                     }
-                    Err(err) => {
-                        saw_no_candidate |=
-                            matches!(err, VnpuError::Mapping(TopoError::NoCandidate));
-                        last_err = Some(err);
+                    let Some(hv) = self.chips.get_mut(chip) else {
+                        continue;
+                    };
+                    let mut probed = ProbedCache::new(&self.cache, probe);
+                    match hv.create_vnpu_in(request.clone(), &mut probed) {
+                        Ok(vm) => {
+                            placed = Some(ClusterVmId { chip, vm });
+                            break 'waves;
+                        }
+                        Err(err) => {
+                            saw_no_candidate |=
+                                matches!(err, VnpuError::Mapping(TopoError::NoCandidate));
+                            last_err = Some(err);
+                        }
                     }
                 }
             }
             match placed {
                 Some(cvm) => {
                     self.admissions.remove(id);
-                    snapshots[cvm.chip] = self.snapshot_of(cvm.chip);
+                    self.mark_dirty(cvm.chip);
+                    snapshots[cvm.chip] = self.snapshot_cached(cvm.chip);
                     events.push(ClusterAdmissionEvent {
                         id,
                         outcome: ClusterAdmissionOutcome::Admitted(cvm),
@@ -913,22 +1182,122 @@ impl Cluster {
     ) -> Result<CommitReceipt> {
         let count = self.chips.len();
         let Cluster {
-            chips,
-            cache,
-            hint_cache,
-            ..
+            chips, hint_caches, ..
         } = self;
         let hv = chips
             .get_mut(chip)
             .ok_or(VnpuError::UnknownChip { chip, count })?;
-        let ops: Vec<PlanOp> = defrag.plan(hv, stats, budget, hint_cache);
+        let ops: Vec<PlanOp> = defrag.plan(hv, stats, budget, &mut hint_caches[chip]);
+        self.apply_defrag_ops(chip, ops, budget)
+    }
+
+    /// Runs one defragmentation pass over *every* schedulable chip: the
+    /// policy's per-chip planning (which reads only the owning chip and
+    /// its dedicated hint cache) fans out on the worker pool, then the
+    /// plans are priced and committed through the shared cache in chip
+    /// order — the same shared-cache operation sequence the sequential
+    /// per-chip loop performs, so reports stay byte-identical at any
+    /// worker count. `snapshots` are the tick's per-chip snapshots (in
+    /// chip order); each chip's [`FragmentationStats`] are taken from its
+    /// entry. Returns `(chip, receipt)` pairs in chip order, one per
+    /// schedulable chip (empty receipts included).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::defrag_chip`] on the first failing chip.
+    pub fn defrag_pass(
+        &mut self,
+        defrag: &Arc<dyn Defragmenter>,
+        budget: &ReconfigBudget,
+        snapshots: &[ChipSnapshot],
+    ) -> Result<Vec<(usize, CommitReceipt)>> {
+        let targets: Vec<usize> = (0..self.chips.len())
+            .filter(|&c| self.is_schedulable(c))
+            .collect();
+        if targets.is_empty() {
+            return Ok(Vec::new());
+        }
+        let plans: Vec<(usize, Vec<PlanOp>)> = if targets.len() > 1 && self.pool.workers() > 1 {
+            // Fan the planning out: each job owns its chip's hypervisor
+            // and hint cache for the duration and hands both back.
+            let mut slots: Vec<Option<Hypervisor>> = std::mem::take(&mut self.chips)
+                .into_iter()
+                .map(Some)
+                .collect();
+            let mut hint_slots: Vec<MappingCache> = std::mem::take(&mut self.hint_caches);
+            let jobs: Vec<_> = targets
+                .iter()
+                .map(|&chip| {
+                    let hv = slots[chip].take().expect("target chips are distinct");
+                    let mut hint = std::mem::take(&mut hint_slots[chip]);
+                    let defrag = Arc::clone(defrag);
+                    let budget = *budget;
+                    let stats = snapshots[chip].fragmentation_stats();
+                    move || {
+                        let ops = defrag.plan(&hv, &stats, &budget, &mut hint);
+                        (hv, hint, ops)
+                    }
+                })
+                .collect();
+            let results = self.pool.run(jobs);
+            let mut plans = Vec::with_capacity(targets.len());
+            for (&chip, (hv, hint, ops)) in targets.iter().zip(results) {
+                slots[chip] = Some(hv);
+                hint_slots[chip] = hint;
+                plans.push((chip, ops));
+            }
+            self.chips = slots
+                .into_iter()
+                .map(|s| s.expect("every chip restored"))
+                .collect();
+            self.hint_caches = hint_slots;
+            plans
+        } else {
+            targets
+                .iter()
+                .map(|&chip| {
+                    let stats = snapshots[chip].fragmentation_stats();
+                    let Cluster {
+                        chips, hint_caches, ..
+                    } = self;
+                    (
+                        chip,
+                        defrag.plan(&chips[chip], &stats, budget, &mut hint_caches[chip]),
+                    )
+                })
+                .collect()
+        };
+        let mut receipts = Vec::with_capacity(plans.len());
+        for (chip, ops) in plans {
+            let receipt = self.apply_defrag_ops(chip, ops, budget)?;
+            receipts.push((chip, receipt));
+        }
+        Ok(receipts)
+    }
+
+    /// Prices and commits one chip's defrag proposals through the shared
+    /// cache — the sequential half of a defrag pass, shared by the
+    /// one-chip and whole-fleet entry points.
+    fn apply_defrag_ops(
+        &mut self,
+        chip: usize,
+        ops: Vec<PlanOp>,
+        budget: &ReconfigBudget,
+    ) -> Result<CommitReceipt> {
         if ops.is_empty() {
             return Ok(CommitReceipt::default());
         }
+        let count = self.chips.len();
+        let cache = Arc::clone(&self.cache);
+        let mut shared = &*cache;
+        let hv = self
+            .chips
+            .get_mut(chip)
+            .ok_or(VnpuError::UnknownChip { chip, count })?;
         // Proposals are advisory: a policy whose ops cannot be planned
         // (a tenant departed under it, a target stopped fitting) skips
         // this pass instead of failing the caller's serving tick.
-        let Ok(txn) = hv.plan_budgeted_in(&ops, budget, cache) else {
+        let Ok(txn) = hv.plan_budgeted_in(&ops, budget, &mut shared) else {
             return Ok(CommitReceipt::default());
         };
         // Nothing to do when every affordable op resolved to a no-op
@@ -941,7 +1310,9 @@ impl Cluster {
         if txn.is_empty() || all_noop_migrations {
             return Ok(CommitReceipt::default());
         }
-        hv.commit_in(&txn, cache)
+        let receipt = hv.commit_in(&txn, &mut shared)?;
+        self.mark_dirty(chip);
+        Ok(receipt)
     }
 
     /// Live-migrates a virtual NPU across chips: the tenant is recreated
@@ -993,14 +1364,17 @@ impl Cluster {
                 vm: id.vm,
                 to: crate::plan::MigrationTarget::Remap(vnpu.mapping_strategy().clone()),
             }];
+            let cache = Arc::clone(&self.cache);
+            let mut shared = &*cache;
             let hv = &mut self.chips[id.chip];
-            let txn = hv.plan_in(&ops, &mut self.cache)?;
-            let receipt = hv.commit_in(&txn, &mut self.cache)?;
+            let txn = hv.plan_in(&ops, &mut shared)?;
+            let receipt = hv.commit_in(&txn, &mut shared)?;
             let cost = receipt
                 .migrated
                 .first()
                 .map(|(_, c)| *c)
                 .unwrap_or_default();
+            self.mark_dirty(id.chip);
             return Ok((id, cost));
         }
         // Rebuild the tenant's request faithfully: the landed copy keeps
@@ -1024,7 +1398,9 @@ impl Cluster {
         // §7 over-provisioning path onto busy cores; create_vnpu_in is
         // itself all-or-nothing, and the source is only torn down after
         // the copy stands.
-        let new_vm = self.chips[to_chip].create_vnpu_in(req, &mut self.cache)?;
+        let cache = Arc::clone(&self.cache);
+        let mut shared = &*cache;
+        let new_vm = self.chips[to_chip].create_vnpu_in(req, &mut shared)?;
         let landed = self.chips[to_chip].vnpu(new_vm).expect("just created");
         let routing_cycles = landed.routing_table().config_cycles();
         let rtt_cycles = vnpu_mem::rtt::rtt_deploy_cycles(landed.rtt_entries().len());
@@ -1037,6 +1413,8 @@ impl Cluster {
             return Err(e);
         }
         let cost = ReconfigCost::for_move(routing_cycles, rtt_cycles, data_move);
+        self.mark_dirty(id.chip);
+        self.mark_dirty(to_chip);
         Ok((
             ClusterVmId {
                 chip: to_chip,

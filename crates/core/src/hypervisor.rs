@@ -30,7 +30,7 @@ use vnpu_mem::rtt::{rtt_deploy_cycles, RttEntry};
 use vnpu_mem::{Perm, PhysAddr, VirtAddr};
 use vnpu_sim::SocConfig;
 use vnpu_topo::cache::{labeled_hash, CacheStats, FreeSet, MappingCache};
-use vnpu_topo::mapping::{Mapper, Mapping, Strategy};
+use vnpu_topo::mapping::{Mapper, Mapping, PlacementCache, Strategy};
 use vnpu_topo::{NodeId, Topology};
 
 /// Candidate-enumeration cap for [`Hypervisor::fit_hint_in`] probes:
@@ -332,7 +332,11 @@ impl Hypervisor {
     /// # Errors
     ///
     /// As for [`Hypervisor::create_vnpu`].
-    pub fn create_vnpu_in(&mut self, req: VnpuRequest, cache: &mut MappingCache) -> Result<VmId> {
+    pub fn create_vnpu_in<C: PlacementCache>(
+        &mut self,
+        req: VnpuRequest,
+        cache: &mut C,
+    ) -> Result<VmId> {
         if req.core_count() == 0 || req.memory_bytes() == 0 {
             return Err(VnpuError::EmptyRequest);
         }
@@ -344,32 +348,14 @@ impl Hypervisor {
         //    time-division-multiplexed with this one. The widened set is
         //    its own cacheable region — its fingerprint differs from the
         //    plain free set's.
-        let widened: Option<FreeSet> = if req.wants_temporal_sharing()
-            && self.free_set.free_count() < req.core_count() as usize
-        {
-            let mut set = self.free_set.clone();
-            let mut busy: Vec<(u32, u32)> = self
-                .core_users
-                .iter()
-                .enumerate()
-                .filter(|(_, &u)| u > 0)
-                .map(|(i, &u)| (u, i as u32))
-                .collect();
-            busy.sort_unstable();
-            for (_, core) in busy {
-                if set.free_count() >= req.core_count() as usize {
-                    break;
-                }
-                set.release(NodeId(core));
-            }
-            Some(set)
-        } else {
-            None
-        };
+        let widened = self.widened_for(&req);
         let available = widened.as_ref().unwrap_or(&self.free_set);
-        let mapping =
-            self.mapper()
-                .map_cached(available, req.topology(), req.strategy_ref(), cache)?;
+        let mapping = cache.map(
+            &self.mapper(),
+            available,
+            req.topology(),
+            req.strategy_ref(),
+        )?;
 
         // 2. Guest memory: buddy blocks mapped 1:1 into RTT entries.
         let (entries, blocks) = self.allocate_memory(req.memory_bytes())?;
@@ -417,6 +403,57 @@ impl Hypervisor {
         );
         self.vnpus.insert(vm, vnpu);
         Ok(vm)
+    }
+
+    /// The temporal-sharing widening of the free set for `req`: when the
+    /// request opts into §7 over-provisioning and the plain free region is
+    /// too small, the least-loaded busy cores are treated as additionally
+    /// available (their tenants will be time-division-multiplexed).
+    /// `None` when the plain free set is the region to map against.
+    fn widened_for(&self, req: &VnpuRequest) -> Option<FreeSet> {
+        if req.wants_temporal_sharing() && self.free_set.free_count() < req.core_count() as usize {
+            let mut set = self.free_set.clone();
+            let mut busy: Vec<(u32, u32)> = self
+                .core_users
+                .iter()
+                .enumerate()
+                .filter(|(_, &u)| u > 0)
+                .map(|(i, &u)| (u, i as u32))
+                .collect();
+            busy.sort_unstable();
+            for (_, core) in busy {
+                if set.free_count() >= req.core_count() as usize {
+                    break;
+                }
+                set.release(NodeId(core));
+            }
+            Some(set)
+        } else {
+            None
+        }
+    }
+
+    /// The exact free region a [`Hypervisor::create_vnpu_in`] for `req`
+    /// would map against right now — the plain free set, or its
+    /// temporal-sharing widening. Speculative admission probes clone this
+    /// so an off-thread `map_in` computes precisely the value the
+    /// sequential merge would.
+    pub fn availability_for(&self, req: &VnpuRequest) -> FreeSet {
+        self.widened_for(req)
+            .unwrap_or_else(|| self.free_set.clone())
+    }
+
+    /// A clone of the shared physical-topology handle — cheap
+    /// (`Arc`-bump), so worker threads can own the topology a probe maps
+    /// against without copying the graph.
+    pub fn topology_arc(&self) -> Arc<Topology> {
+        Arc::clone(&self.topo)
+    }
+
+    /// The chip's precomputed [`labeled_hash`] fingerprint (the `phys`
+    /// component of every cache key for this chip).
+    pub fn phys_key(&self) -> u64 {
+        self.phys_key
     }
 
     /// Administratively reserves specific physical cores (hyper-mode
@@ -843,7 +880,11 @@ impl Hypervisor {
     /// [`VnpuError::Memory`], [`VnpuError::MetaZoneOverflow`] or
     /// [`VnpuError::UnknownVm`] (also for VMs destroyed earlier in the
     /// same plan).
-    pub fn plan_in(&self, ops: &[PlanOp], cache: &mut MappingCache) -> Result<PlacementTxn> {
+    pub fn plan_in<C: PlacementCache>(
+        &self,
+        ops: &[PlanOp],
+        cache: &mut C,
+    ) -> Result<PlacementTxn> {
         self.plan_with(ops, None, cache)
     }
 
@@ -855,11 +896,11 @@ impl Hypervisor {
     /// # Errors
     ///
     /// As for [`Hypervisor::plan_in`].
-    pub fn plan_budgeted_in(
+    pub fn plan_budgeted_in<C: PlacementCache>(
         &self,
         ops: &[PlanOp],
         budget: &ReconfigBudget,
-        cache: &mut MappingCache,
+        cache: &mut C,
     ) -> Result<PlacementTxn> {
         self.plan_with(ops, Some(budget), cache)
     }
@@ -871,17 +912,17 @@ impl Hypervisor {
     /// [`Hypervisor::plan_with`] runs it against the plan's simulated
     /// free region and [`Hypervisor::migrate_vnpu_in`] against the live
     /// one, so the simulate and apply paths cannot drift.
-    fn plan_remap(
+    fn plan_remap<C: PlacementCache>(
         &self,
         vm: VmId,
         virt: &Topology,
         own: &[NodeId],
         strategy: &Strategy,
         free: &FreeSet,
-        cache: &mut MappingCache,
+        cache: &mut C,
     ) -> Result<Option<(Mapping, RoutingTable, ReconfigCost)>> {
         let widened = free.with_released(own);
-        let mapping = self.mapper().map_cached(&widened, virt, strategy, cache)?;
+        let mapping = cache.map(&self.mapper(), &widened, virt, strategy)?;
         if mapping.phys_nodes() == own {
             return Ok(None);
         }
@@ -891,11 +932,11 @@ impl Hypervisor {
         Ok(Some((mapping, routing, cost)))
     }
 
-    fn plan_with(
+    fn plan_with<C: PlacementCache>(
         &self,
         ops: &[PlanOp],
         budget: Option<&ReconfigBudget>,
-        cache: &mut MappingCache,
+        cache: &mut C,
     ) -> Result<PlacementTxn> {
         let mut sim = SimCores {
             users: self.core_users.clone(),
@@ -924,11 +965,11 @@ impl Hypervisor {
                     if req.core_count() == 0 || req.memory_bytes() == 0 {
                         return Err(VnpuError::EmptyRequest);
                     }
-                    let mapping = self.mapper().map_cached(
+                    let mapping = cache.map(
+                        &self.mapper(),
                         &sim.free,
                         req.topology(),
                         req.strategy_ref(),
-                        cache,
                     )?;
                     let (entries, _blocks) =
                         allocate_memory_from(&mut sim_buddy, req.memory_bytes())?;
@@ -1078,10 +1119,10 @@ impl Hypervisor {
     ///
     /// * [`VnpuError::StalePlan`] — the chip changed since the plan.
     /// * Any provisioning error from an op (the commit rolls back).
-    pub fn commit_in(
+    pub fn commit_in<C: PlacementCache>(
         &mut self,
         txn: &PlacementTxn,
-        cache: &mut MappingCache,
+        cache: &mut C,
     ) -> Result<CommitReceipt> {
         if txn.plan_generation != self.plan_generation {
             return Err(VnpuError::StalePlan {
@@ -1169,11 +1210,11 @@ impl Hypervisor {
     /// configuration cycles. Returns `None` when the best mapping is the
     /// current one (nothing moves, nothing is charged). Only called from
     /// [`Hypervisor::commit_in`], whose snapshot guarantees atomicity.
-    fn migrate_vnpu_in(
+    fn migrate_vnpu_in<C: PlacementCache>(
         &mut self,
         vm: VmId,
         strategy: &Strategy,
-        cache: &mut MappingCache,
+        cache: &mut C,
     ) -> Result<Option<ReconfigCost>> {
         let vnpu = self.vnpus.get(&vm).ok_or(VnpuError::UnknownVm(vm))?;
         if let Some(n) = vnpu

@@ -66,6 +66,7 @@ pub mod meta;
 pub mod mig;
 pub mod mmio;
 pub mod plan;
+pub mod pool;
 pub mod routing_table;
 pub mod uvm;
 pub mod vchunk;

@@ -1,0 +1,247 @@
+//! An in-repo worker pool for sharding per-chip serve work.
+//!
+//! Same offline-first spirit as `vnpu_mem::proptest_lite`: plain
+//! `std::thread` workers draining a shared channel — no external crates,
+//! no scoped-thread tricks, no unsafe. Jobs are `'static` closures, so
+//! callers *move* owned per-chip state (a `Machine`, a `Hypervisor`, a
+//! hint cache) into each job and take it back out of the result, which is
+//! exactly the shape the deterministic serve-loop merge wants: fan work
+//! out by chip, collect results **in submission-index order**, reduce
+//! sequentially.
+//!
+//! Determinism contract: [`WorkerPool::run`] returns results in the same
+//! order as the submitted jobs regardless of which worker ran what or in
+//! what order jobs finished. A pool with `workers == 1` never spawns a
+//! thread at all — `run` executes jobs inline on the caller's thread, so
+//! the single-worker configuration is *exactly* the sequential path, not
+//! a one-thread simulation of it.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::{self, JoinHandle};
+
+/// A unit of work shipped to a worker thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of persistent worker threads.
+///
+/// Workers are spawned once at construction and live until the pool is
+/// dropped (the job channel closes and each worker joins), so the
+/// per-tick cost of fanning out is two channel hops per job, not a
+/// thread spawn.
+#[derive(Debug)]
+pub struct WorkerPool {
+    workers: usize,
+    /// `None` for the inline single-worker pool (no threads to feed).
+    tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Creates a pool of `workers` threads (clamped to at least 1).
+    ///
+    /// `workers == 1` creates the *inline* pool: no thread is spawned and
+    /// [`WorkerPool::run`] executes jobs directly on the caller's thread.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        if workers == 1 {
+            return WorkerPool {
+                workers,
+                tx: None,
+                handles: Vec::new(),
+            };
+        }
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                thread::spawn(move || worker_loop(&rx))
+            })
+            .collect();
+        WorkerPool {
+            workers,
+            tx: Some(tx),
+            handles,
+        }
+    }
+
+    /// Number of workers this pool was built with.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every job and returns their results **in job order**.
+    ///
+    /// Jobs execute concurrently on the pool's workers (inline on the
+    /// caller's thread for a single-worker pool, or when there is at most
+    /// one job). The caller blocks until all results are in.
+    ///
+    /// # Panics
+    ///
+    /// A panicking job does not poison the pool: the panic is caught on
+    /// the worker, every remaining result is still collected, and the
+    /// first panicking job's payload (in job order) is re-raised on the
+    /// caller's thread.
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let Some(tx) = self.tx.as_ref().filter(|_| jobs.len() > 1) else {
+            return jobs.into_iter().map(|f| f()).collect();
+        };
+        let n = jobs.len();
+        let (result_tx, result_rx) = channel::<(usize, thread::Result<T>)>();
+        for (i, job) in jobs.into_iter().enumerate() {
+            let result_tx = result_tx.clone();
+            let boxed: Job = Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(job));
+                // The receiver only disappears if `run` itself unwound;
+                // dropping the result is then the right thing.
+                let _ = result_tx.send((i, outcome));
+            });
+            tx.send(boxed).expect("worker pool is alive while owned");
+        }
+        drop(result_tx);
+        let mut slots: Vec<Option<thread::Result<T>>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, outcome) = result_rx
+                .recv()
+                .expect("every submitted job reports exactly once");
+            slots[i] = Some(outcome);
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut panic_payload = None;
+        for slot in slots {
+            match slot.expect("all slots filled") {
+                Ok(v) => out.push(v),
+                Err(p) => {
+                    // Keep the first panic in job order; later ones are
+                    // secondary casualties of the same tick.
+                    panic_payload.get_or_insert(p);
+                }
+            }
+        }
+        if let Some(p) = panic_payload {
+            resume_unwind(p);
+        }
+        out
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's recv loop.
+        self.tx = None;
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Drains jobs until the channel closes. The receiver lock is held only
+/// for the `recv`, so a long job never blocks other workers from picking
+/// up the next one.
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        let job = rx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .recv()
+            .ok();
+        match job {
+            Some(job) => job(),
+            None => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        for workers in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            assert_eq!(pool.workers(), workers);
+            let jobs: Vec<_> = (0..32u64)
+                .map(|i| {
+                    move || {
+                        // Finish out of order on purpose.
+                        if i % 3 == 0 {
+                            thread::yield_now();
+                        }
+                        i * i
+                    }
+                })
+                .collect();
+            let got = pool.run(jobs);
+            let want: Vec<u64> = (0..32).map(|i| i * i).collect();
+            assert_eq!(got, want, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn owned_state_moves_through_and_back() {
+        // The serve loop's idiom: move owned per-chip state into jobs,
+        // get it back in chip order.
+        let pool = WorkerPool::new(3);
+        let chips: Vec<Vec<u32>> = (0..6).map(|c| vec![c; 4]).collect();
+        let returned = pool.run(
+            chips
+                .into_iter()
+                .map(|mut chip| {
+                    move || {
+                        chip.push(99);
+                        chip
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        for (c, chip) in returned.iter().enumerate() {
+            assert_eq!(chip.len(), 5);
+            assert_eq!(chip[0], c as u32);
+            assert_eq!(chip[4], 99);
+        }
+    }
+
+    #[test]
+    fn single_job_runs_inline_even_on_a_wide_pool() {
+        let pool = WorkerPool::new(4);
+        let caller = thread::current().id();
+        let ran_on = pool.run(vec![move || thread::current().id()]);
+        assert_eq!(ran_on, vec![caller], "one job must not pay a channel hop");
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_inline() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        assert_eq!(pool.run(vec![|| 7]), vec![7]);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let pool = WorkerPool::new(4);
+        let out: Vec<u32> = pool.run(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn a_panicking_job_resurfaces_without_poisoning_the_pool() {
+        let pool = WorkerPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(
+                (0..4)
+                    .map(|i| move || if i == 2 { panic!("job 2 died") } else { i })
+                    .collect::<Vec<_>>(),
+            )
+        }));
+        assert!(caught.is_err(), "the job's panic must reach the caller");
+        // The pool still works afterwards.
+        assert_eq!(pool.run(vec![|| 1, || 2]), vec![1, 2]);
+    }
+}

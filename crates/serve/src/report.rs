@@ -61,6 +61,11 @@ pub struct ChipReport {
     pub leaked_cores: u32,
     /// HBM bytes still allocated at report time (0 after a drain).
     pub leaked_hbm_bytes: u64,
+    /// Wall-clock spent in this chip's machine epochs, in nanoseconds
+    /// (always 0 unless the run collected phase timing —
+    /// `ServeConfig::time_phases` — so untimed reports stay
+    /// deterministic).
+    pub exec_nanos: u64,
 }
 
 impl ChipReport {
@@ -132,6 +137,24 @@ pub struct ServeReport {
     /// audited fleet reports 0 too, so a clean audited run's report is
     /// byte-identical to the unaudited one).
     pub audit_findings: u64,
+    /// Worker threads the run's parallel phases used (1 = the exact
+    /// sequential path). The only report field that varies with the
+    /// thread count — strip its JSON line (`grep -v '"workers"'`) to
+    /// byte-compare runs across worker counts.
+    pub workers: usize,
+    /// Wall-clock spent in the admission phase, in nanoseconds (0
+    /// unless the run collected phase timing — `ServeConfig::time_phases`
+    /// — so untimed reports stay deterministic).
+    pub admission_nanos: u64,
+    /// Wall-clock spent in the drain/maintenance phase, in nanoseconds
+    /// (0 unless phase timing was on).
+    pub drain_nanos: u64,
+    /// Wall-clock spent in the defragmentation phase, in nanoseconds (0
+    /// unless phase timing was on).
+    pub defrag_nanos: u64,
+    /// Wall-clock spent in the execution phase, in nanoseconds (0
+    /// unless phase timing was on).
+    pub execution_nanos: u64,
     /// Per-chip breakdowns, in chip order.
     pub per_chip: Vec<ChipReport>,
 }
@@ -173,7 +196,7 @@ impl ServeReport {
              drain: {} evacuated ({} cycles, {} B moved, {} paused) | \
              cache hits {} misses {} (hit rate {:.1}%) | mean \
              free-connectivity {:.3} | executed {} machine epochs ({} cycles) \
-             | leaks: {} cores, {} HBM bytes | audit findings {}",
+             | leaks: {} cores, {} HBM bytes | audit findings {} | workers {}",
             self.per_chip.len(),
             self.epochs,
             self.submitted,
@@ -203,7 +226,20 @@ impl ServeReport {
             self.leaked_cores,
             self.leaked_hbm_bytes,
             self.audit_findings,
+            self.workers,
         );
+        let timed_nanos =
+            self.admission_nanos + self.drain_nanos + self.defrag_nanos + self.execution_nanos;
+        if timed_nanos > 0 {
+            out.push_str(&format!(
+                "\n  phase wall-clock: admission {:.2} ms, drain {:.2} ms, \
+                 defrag {:.2} ms, execution {:.2} ms",
+                self.admission_nanos as f64 / 1e6,
+                self.drain_nanos as f64 / 1e6,
+                self.defrag_nanos as f64 / 1e6,
+                self.execution_nanos as f64 / 1e6,
+            ));
+        }
         for c in &self.per_chip {
             out.push_str(&format!(
                 "\n  chip{} ({}x{}{}): accepted {}, departed {}, migrated {}, \
@@ -268,7 +304,8 @@ impl ServeReport {
                  \"schedulable\":{},\"sched_state\":\"{}\",\"residual_vnpus\":{},\
                  \"executed_epochs\":{},\
                  \"machine_cycles\":{},\
-                 \"leaked_cores\":{},\"leaked_hbm_bytes\":{}}}",
+                 \"leaked_cores\":{},\"leaked_hbm_bytes\":{},\
+                 \"exec_nanos\":{}}}",
                 c.chip,
                 c.mesh_width,
                 c.mesh_height,
@@ -284,6 +321,7 @@ impl ServeReport {
                 c.machine_cycles,
                 c.leaked_cores,
                 c.leaked_hbm_bytes,
+                c.exec_nanos,
             ));
         }
         chips.push(']');
@@ -306,6 +344,9 @@ impl ServeReport {
              \"executed_epochs\": {},\n  \"machine_cycles\": {},\n  \
              \"controller_cycles\": {},\n  \"leaked_cores\": {},\n  \
              \"leaked_hbm_bytes\": {},\n  \"audit_findings\": {},\n  \
+             \"workers\": {},\n  \
+             \"admission_nanos\": {},\n  \"drain_nanos\": {},\n  \
+             \"defrag_nanos\": {},\n  \"execution_nanos\": {},\n  \
              \"chips\": {},\n  \
              \"fragmentation\": {}\n}}",
             self.seed,
@@ -338,6 +379,11 @@ impl ServeReport {
             self.leaked_cores,
             self.leaked_hbm_bytes,
             self.audit_findings,
+            self.workers,
+            self.admission_nanos,
+            self.drain_nanos,
+            self.defrag_nanos,
+            self.execution_nanos,
             chips,
             frag,
         )
@@ -412,6 +458,11 @@ mod tests {
             leaked_cores: 0,
             leaked_hbm_bytes: 0,
             audit_findings: 0,
+            workers: 4,
+            admission_nanos: 1_500_000,
+            drain_nanos: 0,
+            defrag_nanos: 0,
+            execution_nanos: 2_500_000,
             per_chip: vec![ChipReport {
                 chip: 0,
                 mesh_width: 6,
@@ -427,6 +478,7 @@ mod tests {
                 machine_cycles: 1000,
                 leaked_cores: 0,
                 leaked_hbm_bytes: 0,
+                exec_nanos: 2_500_000,
             }],
         };
         let json = r.to_json(usize::MAX);
@@ -442,6 +494,10 @@ mod tests {
         assert!(json.contains("\"sched_state\":\"draining\""));
         assert!(json.contains("\"audit_findings\": 0"));
         assert!(json.contains("\"frag_windows_recovered\": 9"));
+        assert!(json.contains("\"workers\": 4"));
+        assert!(json.contains("\"admission_nanos\": 1500000"));
+        assert!(json.contains("\"execution_nanos\": 2500000"));
+        assert!(json.contains("\"exec_nanos\":2500000"));
         assert!(json.contains("\"chips\": [{"));
         assert!(json.contains("\"fragmentation\": [{"));
         assert!(!r.summary().is_empty());
@@ -449,6 +505,8 @@ mod tests {
         assert!(r.summary().contains("migrations 1"));
         assert!(r.summary().contains("drain: 2 evacuated"));
         assert!(r.summary().contains("audit findings 0"));
+        assert!(r.summary().contains("workers 4"));
+        assert!(r.summary().contains("phase wall-clock: admission 1.50 ms"));
         assert!(!r.per_chip[0].schedulable());
     }
 
@@ -469,6 +527,7 @@ mod tests {
             machine_cycles: 0,
             leaked_cores: 0,
             leaked_hbm_bytes: 0,
+            exec_nanos: 0,
         };
         assert!(!base.schedulable());
         let schedulable = ChipReport {

@@ -28,10 +28,12 @@ use crate::arrivals::{Arrival, ArrivalGenerator, TrafficConfig};
 use crate::report::{percentile, ChipReport, FragSample, ServeReport};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+use std::time::Instant;
 use vnpu::admission::{AdmissionPolicy, Fifo, FitHint, RequestId};
 use vnpu::cluster::{ChipPlacement, Cluster, ClusterAdmissionOutcome, ClusterVmId, FirstFit};
 use vnpu::drain::{CheapestFirstDrain, ChipSchedState, DrainPolicy};
 use vnpu::plan::{Defragmenter, ReconfigBudget, ReconfigCost};
+use vnpu::pool::WorkerPool;
 use vnpu::{Hypervisor, VirtCoreId};
 use vnpu_audit::{AuditFinding, FleetAuditor};
 use vnpu_sim::isa::{Instr, Program};
@@ -94,6 +96,18 @@ pub struct ServeConfig {
     /// [`TickEvents::audit_findings`] and
     /// [`crate::report::ServeReport::audit_findings`].
     pub audit: bool,
+    /// Worker threads for the tick's parallel phases (admission
+    /// candidate evaluation, drain/defrag planning, machine epochs).
+    /// `1` — the default — is *exactly* the sequential path (no pool
+    /// thread is ever spawned), and every value produces byte-identical
+    /// reports; see the README's "Parallel fleet tick" section for the
+    /// determinism contract.
+    pub workers: usize,
+    /// Collect per-phase wall-clock (admission / drain / defrag /
+    /// execution) into the report via [`std::time::Instant`]. Off by
+    /// default so reports stay fully deterministic run-to-run; the
+    /// bench layer flips it on for perf trajectories.
+    pub time_phases: bool,
 }
 
 impl ServeConfig {
@@ -129,6 +143,8 @@ impl ServeConfig {
             drain_policy: Arc::new(CheapestFirstDrain),
             drain_budget: ReconfigBudget::default(),
             audit: false,
+            workers: 1,
+            time_phases: false,
         }
     }
 }
@@ -179,6 +195,20 @@ struct ChipCounters {
     drain_received: u64,
     executed_epochs: u64,
     machine_cycles: u64,
+    /// Wall-clock spent in this chip's machine epochs (nanos); stays 0
+    /// unless [`ServeConfig::time_phases`] is on.
+    exec_nanos: u64,
+}
+
+/// Per-phase wall-clock accumulators (nanoseconds) — all zero unless
+/// [`ServeConfig::time_phases`] is on, so timed and untimed runs differ
+/// only in these fields.
+#[derive(Debug, Default, Clone, Copy)]
+struct PhaseNanos {
+    admission: u64,
+    drain: u64,
+    defrag: u64,
+    execution: u64,
 }
 
 /// The serving runtime: a [`Cluster`] of hypervisor-managed chips, one
@@ -224,6 +254,12 @@ pub struct ServeRuntime {
     auditor: FleetAuditor,
     /// Every finding the post-tick audits reported, in tick order.
     audit_findings: Vec<AuditFinding>,
+    /// The worker pool backing the tick's parallel phases (shared with
+    /// the cluster; one worker = inline sequential execution).
+    pool: Arc<WorkerPool>,
+    /// Per-phase wall-clock, populated only under
+    /// [`ServeConfig::time_phases`].
+    phase_nanos: PhaseNanos,
 }
 
 impl ServeRuntime {
@@ -243,6 +279,8 @@ impl ServeRuntime {
         cluster.set_admission_policy(Arc::clone(&cfg.policy));
         cluster.set_placement(Arc::clone(&cfg.placement));
         cluster.set_max_attempts(cfg.max_attempts);
+        let pool = Arc::new(WorkerPool::new(cfg.workers));
+        cluster.set_worker_pool(Arc::clone(&pool));
         let machines = cfg
             .chips
             .iter()
@@ -275,8 +313,16 @@ impl ServeRuntime {
             tick: 0,
             auditor: FleetAuditor::new(),
             audit_findings: Vec::new(),
+            pool,
+            phase_nanos: PhaseNanos::default(),
             cfg,
         }
+    }
+
+    /// Starts a phase stopwatch — `None` (free) unless
+    /// [`ServeConfig::time_phases`] is on.
+    fn phase_clock(&self) -> Option<Instant> {
+        self.cfg.time_phases.then(Instant::now)
     }
 
     /// Live virtual NPUs right now.
@@ -472,6 +518,7 @@ impl ServeRuntime {
         //    hands back its per-chip snapshots so the defrag phase and
         //    the fragmentation sample reuse the tick's single
         //    free-region scan.
+        let t_admission = self.phase_clock();
         let (admission_events, mut snapshots) = self.cluster.process_admissions_with_snapshots();
         for event in admission_events {
             let lifetime = self
@@ -511,27 +558,21 @@ impl ServeRuntime {
         if self.first_admission_tick.is_none() && !events.admitted.is_empty() {
             self.first_admission_tick = Some(tick);
         }
+        self.phase_nanos.admission += elapsed_nanos(t_admission);
 
         // 4. Maintenance phase: every chip under an active drain gets one
-        //    budgeted evacuation step. Moved tenants keep their identity
-        //    in the serving loop (lifetime, accounting) but land on the
-        //    destination chip's machine, where the paid pause is charged
-        //    to their next-epoch threads — the same epoch-boundary
-        //    semantics as a defrag migration.
-        let draining: Vec<usize> = (0..self.cluster.chip_count())
-            .filter(|&c| self.cluster.drain_state(c) == Ok(ChipSchedState::Draining))
-            .collect();
-        for chip in draining {
-            let policy = Arc::clone(&self.cfg.drain_policy);
-            // The tick's snapshots stand in for fresh destination scans;
-            // chips touched by this step are refreshed below, so a later
-            // draining chip (and the defrag phase) see current state.
-            let step = self.cluster.drain_step_with_snapshots(
-                chip,
-                policy.as_ref(),
-                &self.cfg.drain_budget,
-                &snapshots,
-            )?;
+        //    budgeted evacuation step — planned against the tick's
+        //    snapshots for every draining chip (in parallel when the pool
+        //    is wider than one), then applied in chip order. Moved
+        //    tenants keep their identity in the serving loop (lifetime,
+        //    accounting) but land on the destination chip's machine,
+        //    where the paid pause is charged to their next-epoch threads
+        //    — the same epoch-boundary semantics as a defrag migration.
+        let t_drain = self.phase_clock();
+        let drain_steps =
+            self.cluster
+                .drain_tick(&self.cfg.drain_policy, &self.cfg.drain_budget, &snapshots)?;
+        for (chip, step) in drain_steps {
             for m in &step.moved {
                 let live = self
                     .live
@@ -560,15 +601,16 @@ impl ServeRuntime {
             // destinations that received a tenant) — the tick keeps its
             // one-free-region-scan-per-chip budget.
             if !step.moved.is_empty() {
-                snapshots[chip] = self.cluster.snapshot_of(chip);
+                snapshots[chip] = self.cluster.snapshot_refresh(chip);
                 let mut touched: Vec<usize> = step.moved.iter().map(|m| m.to.chip).collect();
                 touched.sort_unstable();
                 touched.dedup();
                 for dest in touched {
-                    snapshots[dest] = self.cluster.snapshot_of(dest);
+                    snapshots[dest] = self.cluster.snapshot_refresh(dest);
                 }
             }
         }
+        self.phase_nanos.drain += elapsed_nanos(t_drain);
 
         // 5. Optional defragmentation phase: the configured policy
         //    proposes migrations per chip from the snapshot stats, the
@@ -584,24 +626,17 @@ impl ServeRuntime {
             && self
                 .first_admission_tick
                 .is_some_and(|t0| tick >= t0 && (tick - t0) % self.cfg.defrag_interval == 0);
+        let t_defrag = self.phase_clock();
         if let Some(defrag) = self.cfg.defrag.clone() {
             if defrag_due {
-                // Indexed loop: the body replaces `snapshots[chip]` and
-                // borrows the cluster mutably, so no iterator borrow can
-                // live across it.
-                #[allow(clippy::needless_range_loop)]
-                for chip in 0..self.cluster.chip_count() {
-                    if !self.cluster.is_schedulable(chip) {
-                        // A draining chip is being emptied, not compacted.
-                        continue;
-                    }
-                    let stats = snapshots[chip].fragmentation_stats();
-                    let receipt = self.cluster.defrag_chip(
-                        chip,
-                        defrag.as_ref(),
-                        &self.cfg.defrag_budget,
-                        &stats,
-                    )?;
+                // A draining chip is being emptied, not compacted —
+                // defrag_pass targets schedulable chips only, planning
+                // (in parallel when the pool is wider than one) from the
+                // tick's snapshots and committing in chip order.
+                let receipts =
+                    self.cluster
+                        .defrag_pass(&defrag, &self.cfg.defrag_budget, &snapshots)?;
+                for (chip, receipt) in receipts {
                     if receipt.migration_count() == 0 {
                         continue;
                     }
@@ -622,7 +657,7 @@ impl ServeRuntime {
                         before.largest_free_component,
                         before.hbm_external_fragmentation,
                     );
-                    snapshots[chip] = self.cluster.snapshot_of(chip);
+                    snapshots[chip] = self.cluster.snapshot_refresh(chip);
                     let after = &snapshots[chip];
                     self.frag_windows_recovered +=
                         after.largest_free_component.saturating_sub(window_before) as u64;
@@ -633,6 +668,7 @@ impl ServeRuntime {
                 }
             }
         }
+        self.phase_nanos.defrag += elapsed_nanos(t_defrag);
         // Fold the pass's configuration work (admissions, drain
         // evacuations *and* defrag re-deployments) into the controller
         // clock.
@@ -666,18 +702,22 @@ impl ServeRuntime {
         });
 
         // 7. Execution epochs: every chip with live tenants runs them.
+        //    Machine epochs are chip-independent — embarrassingly
+        //    parallel — so after a sequential bind pass the loaded
+        //    machines fan out on the worker pool, and outcomes are
+        //    folded back (first error raised) in chip order either way.
+        let t_exec = self.phase_clock();
         if self.cfg.execute_epochs && !self.live.is_empty() {
-            for chip in 0..self.machines.len() {
-                let residents: Vec<(ClusterVmId, TenantId)> = self
-                    .live
-                    .values()
-                    .filter(|l| l.id.chip == chip)
-                    .map(|l| (l.id, l.tenant))
-                    .collect();
-                if residents.is_empty() {
-                    continue;
-                }
-                for (id, tenant) in residents {
+            let mut residents_by_chip: Vec<Vec<(ClusterVmId, TenantId)>> =
+                vec![Vec::new(); self.machines.len()];
+            for l in self.live.values() {
+                residents_by_chip[l.id.chip].push((l.id, l.tenant));
+            }
+            let loaded: Vec<usize> = (0..self.machines.len())
+                .filter(|&c| !residents_by_chip[c].is_empty())
+                .collect();
+            for &chip in &loaded {
+                for &(id, tenant) in &residents_by_chip[chip] {
                     bind_ring_workload(
                         &mut self.machines[chip],
                         self.cluster.chip(chip),
@@ -685,14 +725,45 @@ impl ServeRuntime {
                         tenant,
                     )?;
                 }
-                let report = self.machines[chip]
-                    .run_epoch()
-                    .map_err(vnpu::VnpuError::Sim)?;
+            }
+            // Each job owns its chip's machine for the epoch and hands it
+            // back alongside the outcome.
+            let mut slots: Vec<Option<Machine>> = std::mem::take(&mut self.machines)
+                .into_iter()
+                .map(Some)
+                .collect();
+            let jobs: Vec<_> = loaded
+                .iter()
+                .map(|&chip| {
+                    let mut machine = slots[chip].take().expect("loaded chips are distinct");
+                    move || {
+                        let t0 = Instant::now();
+                        let outcome = machine.run_epoch();
+                        (machine, outcome, t0.elapsed().as_nanos() as u64)
+                    }
+                })
+                .collect();
+            let results = self.pool.run(jobs);
+            let mut outcomes = Vec::with_capacity(loaded.len());
+            for (&chip, (machine, outcome, nanos)) in loaded.iter().zip(results) {
+                slots[chip] = Some(machine);
+                outcomes.push((chip, outcome, nanos));
+            }
+            self.machines = slots
+                .into_iter()
+                .map(|s| s.expect("every machine restored"))
+                .collect();
+            for (chip, outcome, nanos) in outcomes {
+                let report = outcome.map_err(vnpu::VnpuError::Sim)?;
                 self.per_chip[chip].executed_epochs += 1;
                 self.per_chip[chip].machine_cycles += report.makespan();
+                if self.cfg.time_phases {
+                    self.per_chip[chip].exec_nanos += nanos;
+                }
                 events.executed_chips += 1;
             }
         }
+        self.phase_nanos.execution += elapsed_nanos(t_exec);
 
         // 8. Optional post-tick fleet audit: every invariant the tick's
         //    phases were supposed to preserve, cross-checked read-only.
@@ -760,6 +831,7 @@ impl ServeRuntime {
                     machine_cycles: counters.machine_cycles,
                     leaked_cores: hv.config().core_count() - hv.free_core_count(),
                     leaked_hbm_bytes: hv.hbm_total_bytes() - hv.hbm_free_bytes(),
+                    exec_nanos: counters.exec_nanos,
                 }
             })
             .collect();
@@ -788,6 +860,11 @@ impl ServeRuntime {
             leaked_cores: per_chip.iter().map(|c| c.leaked_cores).sum(),
             leaked_hbm_bytes: per_chip.iter().map(|c| c.leaked_hbm_bytes).sum(),
             audit_findings: self.audit_findings.len() as u64,
+            workers: self.cfg.workers,
+            admission_nanos: self.phase_nanos.admission,
+            drain_nanos: self.phase_nanos.drain,
+            defrag_nanos: self.phase_nanos.defrag,
+            execution_nanos: self.phase_nanos.execution,
             per_chip,
         }
     }
@@ -802,6 +879,11 @@ impl ServeRuntime {
         self.per_chip[id.chip].departed += 1;
         Ok(())
     }
+}
+
+/// Nanoseconds read off a phase stopwatch (0 when timing is off).
+fn elapsed_nanos(clock: Option<Instant>) -> u64 {
+    clock.map_or(0, |t| t.elapsed().as_nanos() as u64)
 }
 
 /// Binds one live vNPU's epoch workload: each virtual core computes and

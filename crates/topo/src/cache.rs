@@ -243,6 +243,18 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Folds `other` into `self`. Every counter is an order-independent
+    /// sum, so merging per-shard (or per-worker) statistics in any order
+    /// yields the same aggregate — the property the byte-identical report
+    /// assertions in the churn benches rely on.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.uncacheable += other.uncacheable;
+    }
 }
 
 /// A bounded memo table for complete mapping results.
@@ -348,19 +360,72 @@ impl MappingCache {
         }
     }
 
-    /// Memoizes a result, evicting the oldest entry beyond capacity.
+    /// Memoizes a result. Eviction is FIFO and *batched*: when an insert
+    /// pushes the table past `capacity`, the oldest entries are drained in
+    /// one pass down to a low-water mark (`capacity - max(1, capacity/8)`),
+    /// so the amortized per-insert eviction cost is O(1) and — once the
+    /// cache is sharded behind per-shard locks — concurrent writers never
+    /// serialize on a long eviction scan. The capacity bound itself is
+    /// unchanged: `len() <= capacity` holds after every insert.
     pub fn insert(&mut self, key: CacheKey, result: Result<Mapping>) {
         if self.entries.insert(key.clone(), result).is_none() {
             self.order.push_back(key);
             self.stats.insertions += 1;
-            while self.entries.len() > self.capacity {
-                if let Some(old) = self.order.pop_front() {
-                    self.entries.remove(&old);
-                    self.stats.evictions += 1;
-                } else {
-                    break;
+            if self.entries.len() > self.capacity {
+                let low_water = (self.capacity - (self.capacity / 8).max(1)).max(1);
+                while self.entries.len() > low_water {
+                    if let Some(old) = self.order.pop_front() {
+                        self.entries.remove(&old);
+                        self.stats.evictions += 1;
+                    } else {
+                        break;
+                    }
                 }
             }
+        }
+    }
+
+    /// Builds a key like [`MappingCache::key_for`] but **without touching
+    /// any state**: no `uncacheable` counter bump, no canonical-key
+    /// memoization. Returns `None` when the strategy is uncacheable *or*
+    /// when the request's canonical key has not been memoized yet — the
+    /// permutation search behind `canonical_key` is exactly the cost a
+    /// speculative probe wants to avoid paying twice, and every entry that
+    /// exists in the table was inserted through `key_for`, which memoizes.
+    /// Sound for speculation: a `None` merely downgrades a would-be peek
+    /// hit to a recompute.
+    pub fn peek_key(
+        &self,
+        phys_key: u64,
+        generation: u64,
+        req: &Topology,
+        strategy: &Strategy,
+        free: &FreeSet,
+    ) -> Option<CacheKey> {
+        let tag = strategy.cache_tag()?;
+        let labeled = labeled_hash(req);
+        let canonical = self.canon_memo.get(&labeled)?.clone();
+        Some(CacheKey {
+            phys: phys_key,
+            generation,
+            canonical,
+            labeled,
+            strategy: tag,
+            free: (free.fingerprint(), free.free_count()),
+        })
+    }
+
+    /// Looks up a memoized result **without recording a hit or miss**,
+    /// with the same placement-vs-live-free-set validation as
+    /// [`MappingCache::get`]. This is the read-only half of the parallel
+    /// admission protocol: speculative workers peek, and only the
+    /// sequential merge replays the canonical `get`/`insert` sequence that
+    /// mutates contents and statistics.
+    pub fn peek(&self, key: &CacheKey, free: &FreeSet) -> Option<Result<Mapping>> {
+        match self.entries.get(key) {
+            Some(Ok(m)) if !m.phys_nodes().iter().all(|&n| free.contains(n)) => None,
+            Some(r) => Some(r.clone()),
+            None => None,
         }
     }
 
@@ -385,6 +450,126 @@ impl MappingCache {
     /// Effectiveness counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+}
+
+/// Default shard count for [`ShardedMappingCache`].
+///
+/// Deliberately a *fixed constant*, never derived from the worker count:
+/// the shard a key lands in decides which FIFO ring evicts it, so tying
+/// shard count to `workers` would make cache contents — and therefore
+/// reports — differ across thread counts. With a constant, the sequential
+/// merge replays the identical per-shard op sequence no matter how many
+/// workers probed.
+pub const DEFAULT_SHARD_COUNT: usize = 8;
+
+/// The concurrent form of [`MappingCache`]: entries sharded by the
+/// request's [`labeled_hash`] behind per-shard locks.
+///
+/// The determinism contract of the parallel serve loop is enforced by
+/// *protocol*, not by this type alone: speculative workers only call
+/// [`ShardedMappingCache::peek`] (stats-free, read-only), while the single
+/// coordinating thread performs every mutating `get`/`insert` through
+/// [`ShardedMappingCache::with_shard`] in the same order the sequential
+/// loop would. Sharding therefore only buys lock granularity for the
+/// concurrent peeks; contents and statistics stay byte-identical at any
+/// worker count because the mutation sequence is identical.
+#[derive(Debug)]
+pub struct ShardedMappingCache {
+    shards: Vec<std::sync::Mutex<MappingCache>>,
+}
+
+impl Default for ShardedMappingCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY, DEFAULT_SHARD_COUNT)
+    }
+}
+
+impl ShardedMappingCache {
+    /// A sharded cache bounding *total* live entries to roughly
+    /// `capacity`, split evenly over `shards` shards (each at least 1).
+    pub fn with_capacity(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = (capacity / shards).max(1);
+        ShardedMappingCache {
+            shards: (0..shards)
+                .map(|_| std::sync::Mutex::new(MappingCache::with_capacity(per_shard)))
+                .collect(),
+        }
+    }
+
+    /// Index of the shard owning `req`-keyed entries. All cache keys for a
+    /// given request share its labeled hash, so one request always maps to
+    /// one shard and the per-request `key_for`/`get`/`insert` sequence
+    /// runs under a single lock.
+    fn shard_index(&self, req: &Topology) -> usize {
+        (mix(labeled_hash(req)) % self.shards.len() as u64) as usize
+    }
+
+    /// Runs `f` with exclusive access to the shard owning `req`.
+    pub fn with_shard<R>(&self, req: &Topology, f: impl FnOnce(&mut MappingCache) -> R) -> R {
+        let mut guard = self.shards[self.shard_index(req)]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut guard)
+    }
+
+    /// Stats-free speculative lookup (see [`MappingCache::peek_key`] /
+    /// [`MappingCache::peek`]): `None` when the strategy is uncacheable,
+    /// the canonical key is not memoized yet, or the entry is absent or
+    /// fails placement validation. Safe to call from any worker thread.
+    pub fn peek(
+        &self,
+        phys_key: u64,
+        generation: u64,
+        req: &Topology,
+        strategy: &Strategy,
+        free: &FreeSet,
+    ) -> Option<Result<Mapping>> {
+        self.with_shard(req, |c| {
+            let key = c.peek_key(phys_key, generation, req, strategy, free)?;
+            c.peek(&key, free)
+        })
+    }
+
+    /// Merged effectiveness counters over all shards (order-independent
+    /// sums, so the aggregate is shard-layout-agnostic).
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let guard = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            total.merge(&guard.stats());
+        }
+        total
+    }
+
+    /// Total live entries over all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len()
+            })
+            .sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry in every shard, keeping statistics.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clear();
+        }
     }
 }
 
@@ -693,6 +878,156 @@ mod tests {
         }
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn batched_eviction_keeps_capacity_bound_and_stats_consistent() {
+        // Regression for the O(1)-amortized batched drain: the capacity
+        // bound must hold after *every* insert, the newest entry must
+        // always survive, and the stats identity
+        // `len == insertions - evictions` must hold throughout.
+        for capacity in [1usize, 2, 3, 8, 16, 64] {
+            let phys = Topology::mesh2d(8, 8);
+            let mapper = Mapper::new(&phys);
+            let req = Topology::mesh2d(2, 2);
+            let strategy = Strategy::similar_topology().threads(1);
+            let mut cache = MappingCache::with_capacity(capacity);
+            for i in 0..(3 * capacity as u32 + 5) {
+                let mut free = FreeSet::all_free(64);
+                free.occupy(NodeId(i % 60));
+                free.occupy(NodeId((i / 60) % 60));
+                let key = cache
+                    .key_for(labeled_hash(&phys), 0, &req, &strategy, &free)
+                    .unwrap();
+                if cache.get(&key, &free).is_none() {
+                    cache.insert(key.clone(), mapper.map_in(&free, &req, &strategy));
+                    assert!(
+                        cache.get(&key, &free).is_some(),
+                        "cap {capacity}: the just-inserted entry must survive eviction"
+                    );
+                }
+                assert!(
+                    cache.len() <= capacity,
+                    "cap {capacity}: bound violated, len {}",
+                    cache.len()
+                );
+                let s = cache.stats();
+                assert_eq!(
+                    cache.len() as u64,
+                    s.insertions - s.evictions,
+                    "cap {capacity}: len must equal insertions - evictions"
+                );
+            }
+            assert!(cache.stats().evictions > 0, "cap {capacity}: must evict");
+        }
+    }
+
+    #[test]
+    fn stats_merge_is_a_componentwise_sum() {
+        let a = CacheStats {
+            hits: 3,
+            misses: 5,
+            insertions: 5,
+            evictions: 1,
+            uncacheable: 2,
+        };
+        let b = CacheStats {
+            hits: 10,
+            misses: 1,
+            insertions: 1,
+            evictions: 0,
+            uncacheable: 4,
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is order-independent");
+        assert_eq!(ab.hits, 13);
+        assert_eq!(ab.misses, 6);
+        assert_eq!(ab.insertions, 6);
+        assert_eq!(ab.evictions, 1);
+        assert_eq!(ab.uncacheable, 6);
+    }
+
+    #[test]
+    fn peek_is_stats_free_and_validates_placement() {
+        let phys = Topology::mesh2d(3, 3);
+        let mapper = Mapper::new(&phys);
+        let req = Topology::line(2);
+        let strategy = Strategy::similar_topology().threads(1);
+        let free = FreeSet::all_free(9);
+        let mut cache = MappingCache::default();
+
+        // Before anything is cached: peek_key has no canonical memo yet.
+        assert!(cache
+            .peek_key(labeled_hash(&phys), 0, &req, &strategy, &free)
+            .is_none());
+
+        let placed = mapper
+            .map_cached(&free, &req, &strategy, &mut cache)
+            .unwrap();
+        let before = cache.stats();
+        let key = cache
+            .peek_key(labeled_hash(&phys), 0, &req, &strategy, &free)
+            .expect("canonical key memoized by the insert path");
+        assert_eq!(
+            cache.peek(&key, &free).unwrap().unwrap(),
+            placed,
+            "peek returns the memoized mapping"
+        );
+        let mut collided = free.clone();
+        collided.occupy_all(placed.phys_nodes());
+        assert!(
+            cache.peek(&key, &collided).is_none(),
+            "peek validates the placement against the live free set"
+        );
+        assert_eq!(
+            cache.stats(),
+            before,
+            "peeks must not perturb hit/miss statistics"
+        );
+    }
+
+    #[test]
+    fn sharded_cache_matches_protocol_and_merges_stats() {
+        let phys = Topology::mesh2d(5, 5);
+        let mapper = Mapper::new(&phys);
+        let strategy = Strategy::similar_topology().threads(1);
+        let sharded = ShardedMappingCache::with_capacity(64, 4);
+        let reqs = [
+            Topology::line(2),
+            Topology::line(3),
+            Topology::mesh2d(2, 2),
+            Topology::mesh2d(2, 3),
+        ];
+        let free = FreeSet::all_free(25);
+        for req in &reqs {
+            let direct = mapper.map_in(&free, req, &strategy).unwrap();
+            let via = sharded
+                .with_shard(req, |c| mapper.map_cached(&free, req, &strategy, c))
+                .unwrap();
+            assert_eq!(via, direct);
+            // Second pass hits; worker-side peek sees the entry.
+            sharded
+                .with_shard(req, |c| mapper.map_cached(&free, req, &strategy, c))
+                .unwrap();
+            assert_eq!(
+                sharded
+                    .peek(labeled_hash(&phys), 0, req, &strategy, &free)
+                    .unwrap()
+                    .unwrap(),
+                direct
+            );
+        }
+        let s = sharded.stats();
+        assert_eq!(s.hits, reqs.len() as u64);
+        assert_eq!(s.misses, reqs.len() as u64);
+        assert_eq!(s.insertions, reqs.len() as u64);
+        assert_eq!(sharded.len(), reqs.len());
+        sharded.clear();
+        assert!(sharded.is_empty());
+        assert_eq!(sharded.stats(), s, "clear keeps statistics");
     }
 
     #[test]

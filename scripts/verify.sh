@@ -33,6 +33,22 @@ cargo bench --bench serving_churn -- --quick
 echo "== cargo bench --bench cluster_churn -- --quick =="
 cargo bench --bench cluster_churn -- --quick
 
+echo "== parallel determinism gate: cluster_churn at 1 vs 4 workers =="
+# The same seeded churn must emit a byte-identical report JSON at any
+# worker-pool width; only the report's own "workers" field may differ.
+report="target/vnpu-bench/cluster_churn.report.quick.json"
+VNPU_WORKERS=1 cargo bench --bench cluster_churn -- --quick >/dev/null
+cp "$report" "${report}.w1"
+VNPU_WORKERS=4 cargo bench --bench cluster_churn -- --quick >/dev/null
+cp "$report" "${report}.w4"
+diff <(grep -v '"workers"' "${report}.w1") <(grep -v '"workers"' "${report}.w4") \
+  || { echo "verify: FAIL (cluster_churn reports diverge across workers)"; exit 1; }
+rm -f "${report}.w1" "${report}.w4"
+echo "cluster_churn reports byte-identical at 1 and 4 workers"
+
+echo "== cargo bench --bench parallel_tick -- --quick =="
+cargo bench --bench parallel_tick -- --quick
+
 echo "== cargo bench --bench defrag_churn -- --quick =="
 cargo bench --bench defrag_churn -- --quick
 

@@ -110,6 +110,11 @@ fn smoke_drain_maintenance() {
     figs::drain_maintenance::run(true);
 }
 
+#[test]
+fn smoke_parallel_tick() {
+    figs::parallel_tick::run(true);
+}
+
 /// The micro-benchmark harness itself, in quick mode: the same bench
 /// functions `benches/micro_criterion.rs` registers must measure and
 /// record without panicking.

@@ -623,3 +623,63 @@ fn mapping_cache_matches_uncached_similar_topology() {
         },
     );
 }
+
+/// The parallel fleet tick is deterministic by protocol, not by luck: the
+/// same seeded cluster churn — heterogeneous chips, defrag on, audited —
+/// must produce a byte-identical `ServeReport` JSON at every worker-pool
+/// width (modulo the report's own `workers` field) with zero fleet-audit
+/// findings. Four full runtimes per case, so the case count stays small.
+#[test]
+fn parallel_tick_reports_are_byte_identical_across_workers() {
+    use std::sync::Arc;
+    use vnpu::cluster::LeastLoaded;
+    use vnpu_serve::{ServeConfig, ServeRuntime};
+    use vnpu_sim::SocConfig;
+    check(
+        "parallel_tick_reports_are_byte_identical_across_workers",
+        4,
+        range(0u64..1 << 32),
+        |&seed| {
+            let config_for = |workers: usize| {
+                let small = SocConfig {
+                    mesh_width: 4,
+                    mesh_height: 4,
+                    ..SocConfig::sim()
+                };
+                let mut cfg =
+                    ServeConfig::cluster(seed, 60, vec![SocConfig::sim(), small, SocConfig::sim()]);
+                cfg.traffic.mean_interarrival_ticks = 1;
+                cfg.traffic.candidate_cap = 120;
+                cfg.placement = Arc::new(LeastLoaded);
+                cfg.defrag = Some(Arc::new(vnpu::plan::GreedyDefrag::default()));
+                cfg.defrag_interval = 7;
+                cfg.audit = true;
+                cfg.workers = workers;
+                cfg
+            };
+            let normalize = |json: String| {
+                json.lines()
+                    .filter(|l| !l.contains("\"workers\""))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            let baseline = ServeRuntime::new(config_for(1))
+                .run()
+                .expect("sequential run completes");
+            prop_assert_eq!(baseline.audit_findings, 0, "sequential run audits clean");
+            let expected = normalize(baseline.to_json(usize::MAX));
+            for workers in [2usize, 4, 8] {
+                let report = ServeRuntime::new(config_for(workers))
+                    .run()
+                    .expect("parallel run completes");
+                prop_assert_eq!(report.audit_findings, 0, "parallel run audits clean");
+                prop_assert_eq!(
+                    &normalize(report.to_json(usize::MAX)),
+                    &expected,
+                    "reports diverge across worker counts"
+                );
+            }
+            Ok(())
+        },
+    );
+}

@@ -54,6 +54,15 @@
 //! | `FLEET-HBM` | allocated HBM equals the sum of tenant blocks | fleet |
 //! | `FLEET-DRAIN` | a drained chip holds zero tenants | fleet |
 //! | `FLEET-GEN` | the mapping-cache generation never regresses | fleet |
+//! | `CONC-ORDER` | locks are acquired in declared rank/shard order | conc |
+//! | `CONC-HOLD` | no pool batch submitted while holding a lock | conc |
+//! | `CONC-SHARD` | shard choice is a pure function of the key hash | conc |
+//! | `CONC-DET` | phase digest chains agree across runs | conc |
+//!
+//! The `CONC-*` rules are produced by `vnpu_conc`'s trace analyses and
+//! determinism sanitizer (see that crate); [`AuditFinding`] implements
+//! `From<vnpu_conc::ConcFinding>` so concurrency findings flow through
+//! the same reporting channel as the passes above.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -142,6 +151,17 @@ pub enum Rule {
     FleetDrainedResidue,
     /// A chip's mapping-cache (topology) generation went backwards.
     FleetGenerationRegressed,
+    /// A lock was acquired against the declared rank/shard order, or
+    /// the observed acquisition graph has a cycle (potential deadlock).
+    ConcLockOrder,
+    /// A worker-pool batch was submitted while the submitting thread
+    /// held an instrumented lock.
+    ConcHoldAcrossSubmit,
+    /// A sharded lock's shard choice derived from worker identity or
+    /// pool width instead of the key hash.
+    ConcShardOrder,
+    /// Phase digest chains diverged between runs that must agree.
+    ConcDeterminism,
 }
 
 impl Rule {
@@ -169,6 +189,10 @@ impl Rule {
             Rule::FleetHbmAccounting => "FLEET-HBM",
             Rule::FleetDrainedResidue => "FLEET-DRAIN",
             Rule::FleetGenerationRegressed => "FLEET-GEN",
+            Rule::ConcLockOrder => "CONC-ORDER",
+            Rule::ConcHoldAcrossSubmit => "CONC-HOLD",
+            Rule::ConcShardOrder => "CONC-SHARD",
+            Rule::ConcDeterminism => "CONC-DET",
         }
     }
 }
@@ -238,6 +262,33 @@ impl AuditFinding {
     }
 }
 
+impl From<vnpu_conc::ConcFinding> for AuditFinding {
+    /// Lifts a concurrency finding into the audit channel: same rule id
+    /// (the `CONC-*` [`Rule`] variants), same severity, chip carried
+    /// over; concurrency findings never name a VM or core.
+    fn from(finding: vnpu_conc::ConcFinding) -> Self {
+        AuditFinding {
+            rule: match finding.rule {
+                vnpu_conc::ConcRule::LockOrder => Rule::ConcLockOrder,
+                vnpu_conc::ConcRule::HoldAcrossSubmit => Rule::ConcHoldAcrossSubmit,
+                vnpu_conc::ConcRule::ShardOrder => Rule::ConcShardOrder,
+                // `ConcRule` is non_exhaustive; a future rule defaults
+                // to the determinism bucket rather than being dropped.
+                vnpu_conc::ConcRule::Determinism => Rule::ConcDeterminism,
+                _ => Rule::ConcDeterminism,
+            },
+            severity: match finding.severity {
+                vnpu_conc::ConcSeverity::Warning => Severity::Warning,
+                vnpu_conc::ConcSeverity::Error => Severity::Error,
+            },
+            chip: finding.chip,
+            vm: None,
+            core: None,
+            detail: finding.detail,
+        }
+    }
+}
+
 impl fmt::Display for AuditFinding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{}] {}", self.rule, self.severity)?;
@@ -296,13 +347,46 @@ mod tests {
             Rule::FleetHbmAccounting,
             Rule::FleetDrainedResidue,
             Rule::FleetGenerationRegressed,
+            Rule::ConcLockOrder,
+            Rule::ConcHoldAcrossSubmit,
+            Rule::ConcShardOrder,
+            Rule::ConcDeterminism,
         ];
         let ids: std::collections::BTreeSet<&str> = rules.iter().map(|r| r.id()).collect();
         assert_eq!(ids.len(), rules.len(), "duplicate rule id");
         for id in ids {
             let (layer, _) = id.split_once('-').expect("ids are LAYER-NAME");
-            assert!(matches!(layer, "PLAN" | "ROUTE" | "FLEET"), "{id}");
+            assert!(matches!(layer, "PLAN" | "ROUTE" | "FLEET" | "CONC"), "{id}");
         }
+    }
+
+    #[test]
+    fn conc_findings_convert_losslessly() {
+        let cases = [
+            (vnpu_conc::ConcRule::LockOrder, "CONC-ORDER"),
+            (vnpu_conc::ConcRule::HoldAcrossSubmit, "CONC-HOLD"),
+            (vnpu_conc::ConcRule::ShardOrder, "CONC-SHARD"),
+            (vnpu_conc::ConcRule::Determinism, "CONC-DET"),
+        ];
+        for (conc_rule, id) in cases {
+            // The conc crate and the audit catalogue must agree on ids.
+            assert_eq!(conc_rule.id(), id);
+            let lifted: AuditFinding =
+                vnpu_conc::ConcFinding::error(conc_rule, "witness".into()).into();
+            assert_eq!(lifted.rule.id(), id);
+            assert_eq!(lifted.severity, Severity::Error);
+            assert_eq!(lifted.detail, "witness");
+        }
+        let warned: AuditFinding = vnpu_conc::ConcFinding::warning(
+            vnpu_conc::ConcRule::Determinism,
+            "tick 5 diverged".into(),
+        )
+        .on_chip(3)
+        .into();
+        assert_eq!(warned.severity, Severity::Warning);
+        assert_eq!(warned.chip, Some(3));
+        assert_eq!(warned.vm, None);
+        assert_eq!(warned.core, None);
     }
 
     #[test]

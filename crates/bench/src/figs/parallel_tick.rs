@@ -15,6 +15,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 use vnpu::cluster::LeastLoaded;
+use vnpu_conc::{ConcMode, DigestChain, Trace, TraceProbe};
 use vnpu_serve::{ServeConfig, ServeReport, ServeRuntime};
 use vnpu_sim::SocConfig;
 
@@ -99,6 +100,11 @@ pub fn run(quick: bool) {
          zero audit findings, {} accepted / {} submitted\n",
         baseline.accepted, baseline.submitted
     );
+
+    // --- Conc sanitizer pass (opt-in: VNPU_CONC_PROBE=1). ---
+    if std::env::var("VNPU_CONC_PROBE").as_deref() == Ok("1") {
+        conc_pass(quick, &baseline);
+    }
 
     // --- Wall-clock per width (timed runs, audit off). ---
     let reps = if quick { 1 } else { 2 };
@@ -191,4 +197,64 @@ pub fn run(quick: bool) {
              wall-clock above is informational"
         );
     }
+}
+
+/// Re-runs every width with a [`TraceProbe`] installed and phase digests
+/// on, then feeds the traces through the `vnpu_conc` analyses: the
+/// instrumented reports must stay byte-identical to the uninstrumented
+/// `baseline`, the lock traces must audit clean, and the per-phase
+/// digest chains must agree across all widths.
+///
+/// # Panics
+///
+/// Panics when any instrumented run diverges from the baseline, any
+/// `CONC-*` analysis reports a finding, or the digest chains disagree.
+fn conc_pass(quick: bool, baseline: &ServeReport) {
+    let mut traces: Vec<Trace> = Vec::new();
+    let mut chains: Vec<(String, DigestChain)> = Vec::new();
+    for workers in WIDTHS {
+        let probe = Arc::new(TraceProbe::new());
+        let mut cfg = fleet_config(quick, workers);
+        let epochs = cfg.epochs;
+        cfg.audit = true;
+        cfg.conc = ConcMode::probed(probe.clone());
+        // `run()` consumes the runtime, so drive the same loop by hand
+        // to read the digest chain out before the runtime drops.
+        let mut rt = ServeRuntime::new(cfg);
+        while rt.tick_index() < epochs {
+            rt.step().expect("instrumented fleet tick completes");
+        }
+        rt.drain().expect("instrumented fleet drains");
+        let report = rt.report();
+        assert_eq!(
+            report.audit_findings, 0,
+            "workers={workers}: instrumented fleet audits clean"
+        );
+        assert_eq!(
+            normalized_json(&report),
+            normalized_json(baseline),
+            "workers={workers}: the probe must not perturb the report"
+        );
+        chains.push((
+            format!("workers={workers}"),
+            rt.digest_chain().expect("digests were enabled").clone(),
+        ));
+        traces.push(probe.take_trace());
+    }
+    let lock_findings = vnpu_conc::analyze_all(&traces);
+    assert!(
+        lock_findings.is_empty(),
+        "shipped code must produce zero CONC findings: {lock_findings:?}"
+    );
+    let digest_findings = vnpu_conc::compare_all(&chains);
+    assert!(
+        digest_findings.is_empty(),
+        "phase digests must agree across widths: {digest_findings:?}"
+    );
+    let events: usize = traces.iter().map(Trace::len).sum();
+    println!(
+        "[conc] probe pass clean at workers = {WIDTHS:?}: {events} lock \
+         events traced, zero CONC findings, digest chains identical, \
+         reports byte-identical to the uninstrumented baseline\n"
+    );
 }

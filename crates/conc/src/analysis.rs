@@ -1,0 +1,431 @@
+//! Trace analyses: lock order, hold-across-submit, shard consistency.
+//!
+//! All three passes are pure functions over recorded [`Trace`]s — they
+//! never touch the live structures, never panic on malformed traces
+//! (unmatched releases are ignored), and report [`ConcFinding`]s under
+//! the stable `CONC-*` rule ids. The lock-order pass combines the
+//! static registry's rank declarations (intended order) with a dynamic
+//! acquisition graph built from the traces (observed order), so it
+//! catches both "this thread violated the declared order" and "two
+//! threads disagree about the order" even when no declared rank is
+//! violated.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::probe::{EventKind, Trace, TraceEvent};
+use crate::{ConcFinding, ConcRule};
+
+/// A held lock instance: `(site id, shard)` plus context for messages.
+#[derive(Debug, Clone, Copy)]
+struct Held {
+    site_id: u32,
+    shard: u32,
+    rank: u32,
+    label: &'static str,
+}
+
+type Node = (u32, u32);
+
+fn node_name(nodes: &BTreeMap<Node, &'static str>, node: Node) -> String {
+    let label = nodes.get(&node).copied().unwrap_or("?");
+    format!("{label}[{}]", node.1)
+}
+
+/// Checks every acquisition in `trace` against the declared rank order
+/// and against the acquisition graph the trace itself induces.
+///
+/// Findings (`CONC-ORDER`):
+/// - an acquisition whose site rank is **below** a lock already held by
+///   the same thread (declared-order inversion);
+/// - a same-site sharded acquisition whose shard index is not strictly
+///   ascending (shard-order inversion, the classic multi-shard deadlock);
+/// - a cycle in the cross-thread acquisition graph (two threads that
+///   take the same pair of locks in opposite orders), reported with the
+///   witnessing cycle path.
+pub fn analyze_lock_order(trace: &Trace) -> Vec<ConcFinding> {
+    let mut findings: Vec<ConcFinding> = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut push = |findings: &mut Vec<ConcFinding>, detail: String| {
+        if seen.insert(detail.clone()) {
+            findings.push(ConcFinding::error(ConcRule::LockOrder, detail));
+        }
+    };
+
+    // Per-thread held stacks, plus the union acquisition graph:
+    // an edge (A,a) -> (B,b) for every B acquired while A was held.
+    let mut held: BTreeMap<u64, Vec<Held>> = BTreeMap::new();
+    let mut edges: BTreeSet<(Node, Node)> = BTreeSet::new();
+    let mut nodes: BTreeMap<Node, &'static str> = BTreeMap::new();
+
+    for event in &trace.events {
+        match event.kind {
+            EventKind::Acquired => {
+                let stack = held.entry(event.thread).or_default();
+                let entering = Held {
+                    site_id: event.site.id.0,
+                    shard: event.shard,
+                    rank: event.site.rank,
+                    label: event.site.label,
+                };
+                let to = (entering.site_id, entering.shard);
+                nodes.insert(to, entering.label);
+                for holding in stack.iter() {
+                    let from = (holding.site_id, holding.shard);
+                    edges.insert((from, to));
+                    if entering.site_id == holding.site_id {
+                        if !event.site.sharded || entering.shard <= holding.shard {
+                            push(
+                                &mut findings,
+                                format!(
+                                    "thread {:#x} acquired {}[{}] while holding {}[{}]: \
+                                     same-site acquisitions must use strictly ascending shard order",
+                                    event.thread,
+                                    entering.label,
+                                    entering.shard,
+                                    holding.label,
+                                    holding.shard,
+                                ),
+                            );
+                        }
+                    } else if entering.rank < holding.rank {
+                        push(
+                            &mut findings,
+                            format!(
+                                "thread {:#x} acquired {} (rank {}) while holding {} (rank {}): \
+                                 declared lock order is ascending rank",
+                                event.thread,
+                                entering.label,
+                                entering.rank,
+                                holding.label,
+                                holding.rank,
+                            ),
+                        );
+                    }
+                }
+                stack.push(entering);
+            }
+            EventKind::Released => {
+                if let Some(stack) = held.get_mut(&event.thread) {
+                    if let Some(pos) = stack
+                        .iter()
+                        .rposition(|h| h.site_id == event.site.id.0 && h.shard == event.shard)
+                    {
+                        stack.remove(pos);
+                    }
+                }
+            }
+            EventKind::Submit => {}
+        }
+    }
+
+    if let Some(cycle) = find_cycle(&edges) {
+        let path: Vec<String> = cycle.iter().map(|&n| node_name(&nodes, n)).collect();
+        push(
+            &mut findings,
+            format!(
+                "acquisition graph has a cycle (threads disagree on lock order): {}",
+                path.join(" -> "),
+            ),
+        );
+    }
+
+    findings
+}
+
+/// DFS cycle detection over the acquisition graph; returns one
+/// witnessing cycle (closed path) if any exists.
+fn find_cycle(edges: &BTreeSet<(Node, Node)>) -> Option<Vec<Node>> {
+    let mut adjacency: BTreeMap<Node, Vec<Node>> = BTreeMap::new();
+    for &(from, to) in edges {
+        adjacency.entry(from).or_default().push(to);
+        adjacency.entry(to).or_default();
+    }
+    // 0 = unvisited, 1 = on the current DFS path, 2 = done.
+    let mut color: BTreeMap<Node, u8> = BTreeMap::new();
+    let mut path: Vec<Node> = Vec::new();
+
+    fn dfs(
+        node: Node,
+        adjacency: &BTreeMap<Node, Vec<Node>>,
+        color: &mut BTreeMap<Node, u8>,
+        path: &mut Vec<Node>,
+    ) -> Option<Vec<Node>> {
+        color.insert(node, 1);
+        path.push(node);
+        for &next in adjacency.get(&node).map(Vec::as_slice).unwrap_or(&[]) {
+            match color.get(&next).copied().unwrap_or(0) {
+                0 => {
+                    if let Some(cycle) = dfs(next, adjacency, color, path) {
+                        return Some(cycle);
+                    }
+                }
+                1 => {
+                    let start = path.iter().position(|&n| n == next).unwrap_or(0);
+                    let mut cycle = path[start..].to_vec();
+                    cycle.push(next);
+                    return Some(cycle);
+                }
+                _ => {}
+            }
+        }
+        path.pop();
+        color.insert(node, 2);
+        None
+    }
+
+    let starts: Vec<Node> = adjacency.keys().copied().collect();
+    for node in starts {
+        if color.get(&node).copied().unwrap_or(0) == 0 {
+            if let Some(cycle) = dfs(node, &adjacency, &mut color, &mut path) {
+                return Some(cycle);
+            }
+        }
+    }
+    None
+}
+
+/// Flags worker-pool batch submissions made while the submitting thread
+/// held any instrumented lock (`CONC-HOLD`). Workers that need the same
+/// lock would deadlock against the submitter waiting on results; at
+/// best the batch serializes behind the hold.
+pub fn analyze_hold_across_submit(trace: &Trace) -> Vec<ConcFinding> {
+    let mut findings = Vec::new();
+    let mut held: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
+    for event in &trace.events {
+        match event.kind {
+            EventKind::Acquired => held.entry(event.thread).or_default().push(event),
+            EventKind::Released => {
+                if let Some(stack) = held.get_mut(&event.thread) {
+                    if let Some(pos) = stack
+                        .iter()
+                        .rposition(|h| h.site.id == event.site.id && h.shard == event.shard)
+                    {
+                        stack.remove(pos);
+                    }
+                }
+            }
+            EventKind::Submit => {
+                if let Some(stack) = held.get(&event.thread) {
+                    if !stack.is_empty() {
+                        let holding: Vec<String> = stack
+                            .iter()
+                            .map(|h| format!("{}[{}]", h.site.label, h.shard))
+                            .collect();
+                        findings.push(ConcFinding::error(
+                            ConcRule::HoldAcrossSubmit,
+                            format!(
+                                "thread {:#x} submitted a pool batch of {} job(s) while holding {}",
+                                event.thread,
+                                event.tag.unwrap_or(0),
+                                holding.join(", "),
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Checks that for every sharded site, the shard a key maps to is a
+/// pure function of the key hash (`CONC-SHARD`). Takes *multiple*
+/// traces — the interesting drift (a shard count derived from the pool
+/// width) only shows up when the same key is observed under different
+/// worker counts, so callers record one trace per width and analyze
+/// them together.
+pub fn analyze_shard_order(traces: &[Trace]) -> Vec<ConcFinding> {
+    let mut findings = Vec::new();
+    // (site id, key tag) -> (shard, trace index it was first seen in).
+    let mut owner: BTreeMap<(u32, u64), (u32, usize)> = BTreeMap::new();
+    let mut flagged: BTreeSet<(u32, u64)> = BTreeSet::new();
+    for (trace_idx, trace) in traces.iter().enumerate() {
+        for event in &trace.events {
+            if event.kind != EventKind::Acquired || !event.site.sharded {
+                continue;
+            }
+            let Some(tag) = event.tag else { continue };
+            let key = (event.site.id.0, tag);
+            match owner.get(&key) {
+                None => {
+                    owner.insert(key, (event.shard, trace_idx));
+                }
+                Some(&(shard, first_idx)) if shard != event.shard => {
+                    if flagged.insert(key) {
+                        findings.push(ConcFinding::error(
+                            ConcRule::ShardOrder,
+                            format!(
+                                "{}: key {tag:#018x} mapped to shard {shard} (trace {first_idx}) \
+                                 but shard {} (trace {trace_idx}): shard choice must be a pure \
+                                 function of the key hash, independent of worker count",
+                                event.site.label, event.shard,
+                            ),
+                        ));
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    findings
+}
+
+/// Runs every trace analysis: lock order and hold-across-submit per
+/// trace, shard consistency across all traces. The one-stop entry the
+/// CI gate and benches call.
+pub fn analyze_all(traces: &[Trace]) -> Vec<ConcFinding> {
+    let mut findings = Vec::new();
+    for trace in traces {
+        findings.extend(analyze_lock_order(trace));
+        findings.extend(analyze_hold_across_submit(trace));
+    }
+    findings.extend(analyze_shard_order(traces));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{ConcProbe, TraceProbe};
+    use crate::sites::{CACHE_SHARD, HINT_CACHE, POOL_RX};
+
+    fn trace(build: impl FnOnce(&TraceProbe)) -> Trace {
+        let probe = TraceProbe::new();
+        build(&probe);
+        probe.take_trace()
+    }
+
+    #[test]
+    fn well_ordered_trace_is_clean() {
+        let t = trace(|p| {
+            p.on_acquired(&POOL_RX, 0, None);
+            p.on_release(&POOL_RX, 0);
+            p.on_acquired(&CACHE_SHARD, 1, Some(10));
+            p.on_acquired(&HINT_CACHE, 0, None);
+            p.on_release(&HINT_CACHE, 0);
+            p.on_release(&CACHE_SHARD, 1);
+            p.on_submit(4);
+        });
+        assert!(analyze_lock_order(&t).is_empty());
+        assert!(analyze_hold_across_submit(&t).is_empty());
+    }
+
+    #[test]
+    fn rank_inversion_is_flagged() {
+        let t = trace(|p| {
+            p.on_acquired(&HINT_CACHE, 0, None);
+            p.on_acquired(&CACHE_SHARD, 2, Some(9));
+            p.on_release(&CACHE_SHARD, 2);
+            p.on_release(&HINT_CACHE, 0);
+        });
+        let findings = analyze_lock_order(&t);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == ConcRule::LockOrder && f.detail.contains("rank")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn descending_shard_order_is_flagged_ascending_is_clean() {
+        let bad = trace(|p| {
+            p.on_acquired(&CACHE_SHARD, 5, Some(1));
+            p.on_acquired(&CACHE_SHARD, 2, Some(2));
+            p.on_release(&CACHE_SHARD, 2);
+            p.on_release(&CACHE_SHARD, 5);
+        });
+        assert!(!analyze_lock_order(&bad).is_empty());
+        let good = trace(|p| {
+            p.on_acquired(&CACHE_SHARD, 2, Some(2));
+            p.on_acquired(&CACHE_SHARD, 5, Some(1));
+            p.on_release(&CACHE_SHARD, 5);
+            p.on_release(&CACHE_SHARD, 2);
+        });
+        assert!(analyze_lock_order(&good).is_empty());
+    }
+
+    #[test]
+    fn opposite_order_across_threads_is_a_cycle() {
+        // Two threads, no declared-rank violation visible to either
+        // alone (same site, but acquired in opposite shard orders so
+        // the union graph has a cycle). Simulate two threads by
+        // recording from a spawned thread.
+        let probe = std::sync::Arc::new(TraceProbe::new());
+        probe.on_acquired(&HINT_CACHE, 0, None);
+        probe.on_acquired(&HINT_CACHE, 1, None);
+        probe.on_release(&HINT_CACHE, 1);
+        probe.on_release(&HINT_CACHE, 0);
+        let p = std::sync::Arc::clone(&probe);
+        std::thread::spawn(move || {
+            p.on_acquired(&HINT_CACHE, 1, None);
+            p.on_acquired(&HINT_CACHE, 0, None);
+            p.on_release(&HINT_CACHE, 0);
+            p.on_release(&HINT_CACHE, 1);
+        })
+        .join()
+        .unwrap();
+        let findings = analyze_lock_order(&probe.take_trace());
+        assert!(
+            findings.iter().any(|f| f.detail.contains("cycle"))
+                || findings.iter().any(|f| f.detail.contains("ascending")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn submit_under_lock_is_flagged() {
+        let t = trace(|p| {
+            p.on_acquired(&CACHE_SHARD, 0, Some(3));
+            p.on_submit(8);
+            p.on_release(&CACHE_SHARD, 0);
+        });
+        let findings = analyze_hold_across_submit(&t);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, ConcRule::HoldAcrossSubmit);
+        assert!(
+            findings[0].detail.contains("8 job(s)"),
+            "{}",
+            findings[0].detail
+        );
+    }
+
+    #[test]
+    fn submit_after_release_is_clean() {
+        let t = trace(|p| {
+            p.on_acquired(&CACHE_SHARD, 0, Some(3));
+            p.on_release(&CACHE_SHARD, 0);
+            p.on_submit(8);
+        });
+        assert!(analyze_hold_across_submit(&t).is_empty());
+    }
+
+    #[test]
+    fn shard_drift_across_traces_is_flagged() {
+        let width4 = trace(|p| {
+            p.on_acquired(&CACHE_SHARD, 3, Some(0xBEEF));
+            p.on_release(&CACHE_SHARD, 3);
+        });
+        let width8 = trace(|p| {
+            p.on_acquired(&CACHE_SHARD, 7, Some(0xBEEF));
+            p.on_release(&CACHE_SHARD, 7);
+        });
+        let findings = analyze_shard_order(&[width4.clone(), width8]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, ConcRule::ShardOrder);
+        assert!(analyze_shard_order(&[width4.clone(), width4]).is_empty());
+    }
+
+    #[test]
+    fn analyze_all_composes_every_pass() {
+        let t = trace(|p| {
+            p.on_acquired(&HINT_CACHE, 0, None);
+            p.on_submit(1);
+            p.on_release(&HINT_CACHE, 0);
+        });
+        let findings = analyze_all(&[t]);
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == ConcRule::HoldAcrossSubmit));
+    }
+}

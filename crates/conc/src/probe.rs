@@ -1,0 +1,223 @@
+//! The probe interface and the standard trace-recording probe.
+//!
+//! A [`ConcProbe`] is the observer every instrumented lock
+//! ([`crate::sync`]) and the worker pool report to. Production code
+//! holds `Option<Arc<dyn ConcProbe>>` fields that default to `None`;
+//! the instrumented paths are a single `Option` check when nothing is
+//! installed. [`TraceProbe`] is the standard implementation: it records
+//! a global, sequence-numbered event log which [`crate::analysis`]
+//! replays per thread.
+
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+use crate::sites::Site;
+
+/// What happened at an instrumented point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A lock at `site` (shard `shard`) was acquired.
+    Acquired,
+    /// The same lock was released.
+    Released,
+    /// A worker-pool batch was submitted by this thread. `shard` is
+    /// unused (0) and `tag` carries the job count.
+    Submit,
+}
+
+/// One recorded instrumentation event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Global sequence number (total order over all threads).
+    pub seq: u64,
+    /// Stable identity of the recording thread (hash of its
+    /// [`std::thread::ThreadId`]; stable within a process run).
+    pub thread: u64,
+    /// The lock site (or, for [`EventKind::Submit`], the pool site).
+    pub site: &'static Site,
+    /// Shard index for sharded sites; 0 otherwise.
+    pub shard: u32,
+    /// Optional payload: the key hash for sharded-cache acquisitions
+    /// (feeds `CONC-SHARD`), the job count for submissions.
+    pub tag: Option<u64>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// A completed recording: the event log of one run, in global sequence
+/// order.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Events in ascending `seq` order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// The observer interface instrumented code reports to. Implementations
+/// must be cheap and reentrancy-safe: they are called with the observed
+/// lock *held*, so they must not take instrumented locks themselves.
+pub trait ConcProbe: fmt::Debug + Send + Sync {
+    /// A lock at `site` / `shard` was acquired by the calling thread.
+    /// `tag` is the key hash for keyed (sharded-cache) acquisitions.
+    fn on_acquired(&self, site: &'static Site, shard: u32, tag: Option<u64>);
+
+    /// The matching release.
+    fn on_release(&self, site: &'static Site, shard: u32);
+
+    /// The calling thread submitted a worker-pool batch of `jobs` jobs.
+    fn on_submit(&self, jobs: usize);
+}
+
+fn thread_fingerprint() -> u64 {
+    let mut h = DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    h.finish()
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    next_seq: u64,
+    events: Vec<TraceEvent>,
+}
+
+/// The standard probe: records every event into a global
+/// sequence-numbered log. The log lives behind a plain `std` mutex —
+/// this probe exists only in instrumented runs, where its cost is the
+/// point, and keeping one total order over all threads is what lets the
+/// analyses reconstruct per-thread held-sets *and* cross-thread
+/// acquisition interleavings from one structure.
+#[derive(Debug, Default)]
+pub struct TraceProbe {
+    inner: Mutex<TraceInner>,
+}
+
+impl TraceProbe {
+    /// A fresh, empty probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn record(&self, site: &'static Site, shard: u32, tag: Option<u64>, kind: EventKind) {
+        let thread = thread_fingerprint();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.events.push(TraceEvent {
+            seq,
+            thread,
+            site,
+            shard,
+            tag,
+            kind,
+        });
+    }
+
+    /// Takes the recorded trace, leaving the probe empty for reuse.
+    pub fn take_trace(&self) -> Trace {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.next_seq = 0;
+        Trace {
+            events: std::mem::take(&mut inner.events),
+        }
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .events
+            .len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ConcProbe for TraceProbe {
+    fn on_acquired(&self, site: &'static Site, shard: u32, tag: Option<u64>) {
+        self.record(site, shard, tag, EventKind::Acquired);
+    }
+
+    fn on_release(&self, site: &'static Site, shard: u32) {
+        self.record(site, shard, None, EventKind::Released);
+    }
+
+    fn on_submit(&self, jobs: usize) {
+        self.record(
+            &crate::sites::POOL_RX,
+            0,
+            Some(jobs as u64),
+            EventKind::Submit,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sites::{CACHE_SHARD, POOL_RX};
+    use std::sync::Arc;
+
+    #[test]
+    fn trace_probe_records_in_sequence_order() {
+        let probe = TraceProbe::new();
+        probe.on_acquired(&CACHE_SHARD, 3, Some(42));
+        probe.on_release(&CACHE_SHARD, 3);
+        probe.on_submit(7);
+        let trace = probe.take_trace();
+        assert_eq!(trace.len(), 3);
+        let seqs: Vec<u64> = trace.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(trace.events[0].kind, EventKind::Acquired);
+        assert_eq!(trace.events[0].tag, Some(42));
+        assert_eq!(trace.events[2].kind, EventKind::Submit);
+        assert_eq!(trace.events[2].site.id, POOL_RX.id);
+        assert_eq!(trace.events[2].tag, Some(7));
+    }
+
+    #[test]
+    fn take_trace_resets_the_probe() {
+        let probe = TraceProbe::new();
+        probe.on_acquired(&POOL_RX, 0, None);
+        assert_eq!(probe.take_trace().len(), 1);
+        assert!(probe.is_empty());
+        probe.on_acquired(&POOL_RX, 0, None);
+        let again = probe.take_trace();
+        assert_eq!(again.events[0].seq, 0, "sequence restarts after take");
+    }
+
+    #[test]
+    fn threads_get_distinct_fingerprints() {
+        let probe = Arc::new(TraceProbe::new());
+        probe.on_acquired(&POOL_RX, 0, None);
+        let p = Arc::clone(&probe);
+        std::thread::spawn(move || p.on_acquired(&POOL_RX, 0, None))
+            .join()
+            .unwrap();
+        let trace = probe.take_trace();
+        assert_eq!(trace.len(), 2);
+        assert_ne!(trace.events[0].thread, trace.events[1].thread);
+    }
+}

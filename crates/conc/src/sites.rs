@@ -1,0 +1,125 @@
+//! The static lock-site registry.
+//!
+//! Every lock in the workspace is declared here with a stable label and
+//! a canonical acquisition **rank**. The intended global order is
+//! ascending rank; for a sharded site, ascending shard index within the
+//! site. The analyses in [`crate::analysis`] check observed traces
+//! against this registry, and the registry itself doubles as the static
+//! half of the lock-order pass: a site missing from here cannot be
+//! instrumented, so adding a lock without declaring it fails to
+//! compile.
+//!
+//! The workspace currently has exactly three lock sites:
+//!
+//! | site | rank | sharded | owner |
+//! |---|---|---|---|
+//! | `vnpu::pool::WorkerPool::rx` | 0 | no | worker pool shared receiver |
+//! | `vnpu_topo::cache::ShardedMappingCache::shard` | 10 | yes | per-shard mapping cache |
+//! | `vnpu::cluster::Cluster::hint_cache` | 20 | yes (by chip) | per-chip fit-hint cache |
+//!
+//! Ranks are spaced by 10 so future sites can slot between existing
+//! ones without renumbering.
+
+use std::fmt;
+
+/// Stable numeric identity of a lock site (index into the registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(pub u32);
+
+/// One declared lock site.
+#[derive(Debug)]
+pub struct Site {
+    /// Stable id (unique across the registry).
+    pub id: SiteId,
+    /// Human-readable label, `crate::path::field` style.
+    pub label: &'static str,
+    /// Canonical acquisition rank: locks must be taken in ascending
+    /// rank order; equal ranks only for distinct shards of the same
+    /// site, in ascending shard order.
+    pub rank: u32,
+    /// Whether the site is a family of shard locks (shard index is
+    /// meaningful) rather than a single lock.
+    pub sharded: bool,
+}
+
+impl PartialEq for Site {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Site {}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label)
+    }
+}
+
+/// The worker pool's shared job receiver (`vnpu::pool::WorkerPool`).
+/// Rank 0: it is only ever taken by idle workers that hold nothing.
+pub static POOL_RX: Site = Site {
+    id: SiteId(0),
+    label: "vnpu::pool::WorkerPool::rx",
+    rank: 0,
+    sharded: false,
+};
+
+/// A shard of `vnpu_topo::cache::ShardedMappingCache`. Sharded: the
+/// shard index must be a pure function of the key hash, never of the
+/// acquiring worker — [`crate::analysis::analyze_shard_order`] checks
+/// this via the key tags recorded at acquisition.
+pub static CACHE_SHARD: Site = Site {
+    id: SiteId(1),
+    label: "vnpu_topo::cache::ShardedMappingCache::shard",
+    rank: 10,
+    sharded: true,
+};
+
+/// A per-chip fit-hint cache (`vnpu::cluster::Cluster::hint_caches`).
+/// The shard index is the chip index. Highest rank: hint caches are
+/// leaf state and must never be held while taking a pool or cache lock.
+pub static HINT_CACHE: Site = Site {
+    id: SiteId(2),
+    label: "vnpu::cluster::Cluster::hint_cache",
+    rank: 20,
+    sharded: true,
+};
+
+/// Every declared lock site, the static half of the lock-order pass.
+pub fn registry() -> &'static [&'static Site] {
+    static REGISTRY: [&Site; 3] = [&POOL_RX, &CACHE_SHARD, &HINT_CACHE];
+    &REGISTRY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn registry_ids_ranks_and_labels_are_unique() {
+        let sites = registry();
+        let ids: BTreeSet<u32> = sites.iter().map(|s| s.id.0).collect();
+        let ranks: BTreeSet<u32> = sites.iter().map(|s| s.rank).collect();
+        let labels: BTreeSet<&str> = sites.iter().map(|s| s.label).collect();
+        assert_eq!(ids.len(), sites.len());
+        assert_eq!(ranks.len(), sites.len());
+        assert_eq!(labels.len(), sites.len());
+    }
+
+    #[test]
+    fn pool_rx_is_the_lowest_rank() {
+        for site in registry() {
+            if site.id != POOL_RX.id {
+                assert!(site.rank > POOL_RX.rank, "{}", site.label);
+            }
+        }
+    }
+
+    #[test]
+    fn site_equality_is_by_id() {
+        assert_eq!(&POOL_RX, &POOL_RX);
+        assert_ne!(&POOL_RX, &CACHE_SHARD);
+    }
+}

@@ -1,0 +1,281 @@
+//! Probe-aware synchronization wrappers.
+//!
+//! [`Mutex`] wraps `std::sync::Mutex` and [`Lock`] wraps a plain value
+//! whose exclusivity is already enforced by `&mut` (the hint caches,
+//! which are moved wholesale into pool jobs). Both carry their
+//! [`Site`] declaration, an optional shard index and an optional
+//! [`ConcProbe`]. With no probe installed the wrappers add exactly one
+//! `Option` load and branch per acquisition — no atomics, no
+//! allocation — so production code pays nothing for being
+//! instrumentable.
+//!
+//! **Poison semantics are "clear", explicitly:** [`Mutex::lock`]
+//! recovers the inner value from a poisoned `std` mutex
+//! (`PoisonError::into_inner`) instead of propagating the poison. The
+//! workspace's locks guard caches and job queues whose invariants are
+//! per-entry, so a panicked holder leaves them usable; callers that
+//! need refuse-semantics handle panics at the pool boundary
+//! (`WorkerPool::try_run`) instead.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, PoisonError};
+use std::{fmt, sync};
+
+use crate::probe::ConcProbe;
+use crate::sites::Site;
+
+/// A probe-aware `std::sync::Mutex`: same blocking behaviour, plus
+/// acquisition/release events to the installed [`ConcProbe`] (if any)
+/// and clear-on-poison recovery.
+pub struct Mutex<T> {
+    site: &'static Site,
+    shard: u32,
+    probe: Option<Arc<dyn ConcProbe>>,
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps `value` under the declared `site` (shard 0, no probe).
+    pub fn new(site: &'static Site, value: T) -> Self {
+        Mutex {
+            site,
+            shard: 0,
+            probe: None,
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Tags this lock as shard `shard` of its site (builder style).
+    #[must_use]
+    pub fn at_shard(mut self, shard: u32) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// Installs (or removes) the probe. Requires `&mut self`, so
+    /// installation happens while the structure is still exclusively
+    /// owned — there is no interior mutability to race on.
+    pub fn set_probe(&mut self, probe: Option<Arc<dyn ConcProbe>>) {
+        self.probe = probe;
+    }
+
+    /// The site this lock was declared under.
+    pub fn site(&self) -> &'static Site {
+        self.site
+    }
+
+    /// Acquires the lock, clearing poison if a previous holder
+    /// panicked. Records an untagged acquisition.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.lock_inner(None)
+    }
+
+    /// Acquires the lock, recording `tag` with the acquisition. The
+    /// sharded cache passes the key hash here so the `CONC-SHARD` pass
+    /// can check that shard choice is a pure function of the key.
+    pub fn lock_tagged(&self, tag: u64) -> MutexGuard<'_, T> {
+        self.lock_inner(Some(tag))
+    }
+
+    fn lock_inner(&self, tag: Option<u64>) -> MutexGuard<'_, T> {
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(probe) = &self.probe {
+            probe.on_acquired(self.site, self.shard, tag);
+        }
+        MutexGuard {
+            guard,
+            site: self.site,
+            shard: self.shard,
+            probe: self.probe.as_deref(),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value (clearing poison).
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex")
+            .field("site", &self.site.label)
+            .field("shard", &self.shard)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// RAII guard for [`Mutex`]; records the release when dropped.
+pub struct MutexGuard<'a, T> {
+    guard: sync::MutexGuard<'a, T>,
+    site: &'static Site,
+    shard: u32,
+    probe: Option<&'a dyn ConcProbe>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(probe) = self.probe {
+            probe.on_release(self.site, self.shard);
+        }
+    }
+}
+
+/// A traced exclusive cell for state whose exclusivity is already
+/// enforced by ownership (`&mut`), like the per-chip hint caches that
+/// are moved wholesale into pool jobs. Access goes through [`with`],
+/// which records the same acquisition/release events a [`Mutex`] would
+/// — so the lock-order analyses see hint-cache access windows without
+/// the cost or blocking semantics of a real lock.
+///
+/// [`with`]: Lock::with
+pub struct Lock<T> {
+    site: &'static Site,
+    shard: u32,
+    probe: Option<Arc<dyn ConcProbe>>,
+    value: T,
+}
+
+impl<T> Lock<T> {
+    /// Wraps `value` under the declared `site` (shard 0, no probe).
+    pub fn new(site: &'static Site, value: T) -> Self {
+        Lock {
+            site,
+            shard: 0,
+            probe: None,
+            value,
+        }
+    }
+
+    /// Tags this cell as shard `shard` of its site (builder style).
+    #[must_use]
+    pub fn at_shard(mut self, shard: u32) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// Installs (or removes) the probe.
+    pub fn set_probe(&mut self, probe: Option<Arc<dyn ConcProbe>>) {
+        self.probe = probe;
+    }
+
+    /// The site this cell was declared under.
+    pub fn site(&self) -> &'static Site {
+        self.site
+    }
+
+    /// Runs `f` over the value, recording the access window as an
+    /// acquisition/release pair.
+    pub fn with<R>(&mut self, f: impl FnOnce(&mut T) -> R) -> R {
+        if let Some(probe) = &self.probe {
+            probe.on_acquired(self.site, self.shard, None);
+        }
+        let out = f(&mut self.value);
+        if let Some(probe) = &self.probe {
+            probe.on_release(self.site, self.shard);
+        }
+        out
+    }
+
+    /// Reads the value without recording an access window. For
+    /// inspection paths (stats, len) that never feed back into
+    /// scheduling decisions.
+    pub fn peek(&self) -> &T {
+        &self.value
+    }
+
+    /// Consumes the cell, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Lock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Lock")
+            .field("site", &self.site.label)
+            .field("shard", &self.shard)
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{EventKind, TraceProbe};
+    use crate::sites::{CACHE_SHARD, HINT_CACHE, POOL_RX};
+
+    #[test]
+    fn uninstrumented_mutex_is_a_plain_mutex() {
+        let m = Mutex::new(&POOL_RX, 41);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn instrumented_mutex_records_acquire_and_release() {
+        let probe = Arc::new(TraceProbe::new());
+        let mut m = Mutex::new(&CACHE_SHARD, 0u32).at_shard(5);
+        m.set_probe(Some(probe.clone() as Arc<dyn ConcProbe>));
+        {
+            let mut g = m.lock_tagged(99);
+            *g += 1;
+        }
+        let trace = probe.take_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.events[0].kind, EventKind::Acquired);
+        assert_eq!(trace.events[0].shard, 5);
+        assert_eq!(trace.events[0].tag, Some(99));
+        assert_eq!(trace.events[1].kind, EventKind::Released);
+        assert_eq!(trace.events[1].shard, 5);
+    }
+
+    #[test]
+    fn poisoned_mutex_is_cleared_not_propagated() {
+        let m = Arc::new(Mutex::new(&POOL_RX, vec![1, 2, 3]));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        let g = m.lock();
+        assert_eq!(*g, vec![1, 2, 3], "value survives a panicked holder");
+    }
+
+    #[test]
+    fn lock_cell_records_access_windows() {
+        let probe = Arc::new(TraceProbe::new());
+        let mut cell = Lock::new(&HINT_CACHE, String::new()).at_shard(2);
+        cell.set_probe(Some(probe.clone() as Arc<dyn ConcProbe>));
+        let len = cell.with(|s| {
+            s.push_str("hi");
+            s.len()
+        });
+        assert_eq!(len, 2);
+        assert_eq!(cell.peek(), "hi");
+        let trace = probe.take_trace();
+        assert_eq!(trace.len(), 2, "peek records nothing, with records both");
+        assert_eq!(trace.events[0].site.id, HINT_CACHE.id);
+        assert_eq!(trace.events[0].shard, 2);
+    }
+}

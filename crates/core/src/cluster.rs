@@ -277,8 +277,12 @@ pub struct Cluster {
     /// hit-rate statistics — and so per-chip planning phases can run on
     /// the worker pool without sharing a hint table. Hint values are
     /// deterministic pure functions of the owning chip's state, so
-    /// isolating them per chip changes no planned outcome.
-    hint_caches: Vec<MappingCache>,
+    /// isolating them per chip changes no planned outcome. Each cache
+    /// sits in a [`vnpu_conc::sync::Lock`] cell (site `HINT_CACHE`,
+    /// shard = chip index): exclusivity is still enforced by ownership,
+    /// but every access window is visible to an installed concurrency
+    /// probe.
+    hint_caches: Vec<vnpu_conc::sync::Lock<MappingCache>>,
     admissions: AdmissionQueue,
     placement: Arc<dyn ChipPlacement>,
     /// Per-chip schedulability / drain lifecycle state, in chip order.
@@ -319,7 +323,15 @@ impl Cluster {
         Cluster {
             chips,
             cache: Arc::new(ShardedMappingCache::default()),
-            hint_caches: (0..count).map(|_| MappingCache::default()).collect(),
+            hint_caches: (0..count)
+                .map(|i| {
+                    vnpu_conc::sync::Lock::new(
+                        &vnpu_conc::sites::HINT_CACHE,
+                        MappingCache::default(),
+                    )
+                    .at_shard(i as u32)
+                })
+                .collect(),
             admissions: AdmissionQueue::default(),
             placement: Arc::new(FirstFit),
             sched,
@@ -335,6 +347,26 @@ impl Cluster {
     /// on the caller's thread — the exact sequential path.
     pub fn set_worker_pool(&mut self, pool: Arc<WorkerPool>) {
         self.pool = pool;
+    }
+
+    /// Installs (or removes) the concurrency probe on every lock the
+    /// cluster owns: the per-chip hint caches and — when the shared
+    /// mapping cache is not aliased elsewhere — its shard locks.
+    /// Returns `false` when the shared cache could not be reached
+    /// (another `Arc` clone of it is alive, e.g. mid-tick); callers
+    /// install the probe right after construction, where the cache
+    /// refcount is 1 and installation always succeeds.
+    pub fn set_conc_probe(&mut self, probe: Option<Arc<dyn vnpu_conc::ConcProbe>>) -> bool {
+        for cache in &mut self.hint_caches {
+            cache.set_probe(probe.clone());
+        }
+        match Arc::get_mut(&mut self.cache) {
+            Some(cache) => {
+                cache.set_probe(probe);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Worker threads the cluster's parallel phases may use.
@@ -831,7 +863,7 @@ impl Cluster {
         }
         self.sched[chip] = ChipSchedState::Schedulable;
         for cache in &mut self.hint_caches {
-            cache.clear();
+            cache.with(|hc| hc.clear());
         }
         self.mark_dirty(chip);
         Ok(())
@@ -924,15 +956,20 @@ impl Cluster {
             .collect();
         order.sort_unstable();
         let mut best: Option<FitHint> = None;
+        let Cluster {
+            chips,
+            hint_caches,
+            sched,
+            ..
+        } = self;
         for (std::cmp::Reverse(island), i) in order {
             if best.is_some_and(|b| island as u32 <= b.cores) {
                 break; // sorted descending: nothing further can beat it
             }
-            if !self.is_schedulable(i) {
+            if sched.get(i) != Some(&ChipSchedState::Schedulable) {
                 continue; // a draining chip's window must not be advertised
             }
-            if let Some(hint) = self.chips[i].fit_hint_in_bounded(&mut self.hint_caches[i], island)
-            {
+            if let Some(hint) = hint_caches[i].with(|hc| chips[i].fit_hint_in_bounded(hc, island)) {
                 if best.is_none_or(|b| hint.cores > b.cores) {
                     best = Some(hint);
                 }
@@ -1187,7 +1224,7 @@ impl Cluster {
         let hv = chips
             .get_mut(chip)
             .ok_or(VnpuError::UnknownChip { chip, count })?;
-        let ops: Vec<PlanOp> = defrag.plan(hv, stats, budget, &mut hint_caches[chip]);
+        let ops: Vec<PlanOp> = hint_caches[chip].with(|hc| defrag.plan(hv, stats, budget, hc));
         self.apply_defrag_ops(chip, ops, budget)
     }
 
@@ -1224,17 +1261,21 @@ impl Cluster {
                 .into_iter()
                 .map(Some)
                 .collect();
-            let mut hint_slots: Vec<MappingCache> = std::mem::take(&mut self.hint_caches);
+            let mut hint_slots: Vec<Option<vnpu_conc::sync::Lock<MappingCache>>> =
+                std::mem::take(&mut self.hint_caches)
+                    .into_iter()
+                    .map(Some)
+                    .collect();
             let jobs: Vec<_> = targets
                 .iter()
                 .map(|&chip| {
                     let hv = slots[chip].take().expect("target chips are distinct");
-                    let mut hint = std::mem::take(&mut hint_slots[chip]);
+                    let mut hint = hint_slots[chip].take().expect("target chips are distinct");
                     let defrag = Arc::clone(defrag);
                     let budget = *budget;
                     let stats = snapshots[chip].fragmentation_stats();
                     move || {
-                        let ops = defrag.plan(&hv, &stats, &budget, &mut hint);
+                        let ops = hint.with(|hc| defrag.plan(&hv, &stats, &budget, hc));
                         (hv, hint, ops)
                     }
                 })
@@ -1243,14 +1284,17 @@ impl Cluster {
             let mut plans = Vec::with_capacity(targets.len());
             for (&chip, (hv, hint, ops)) in targets.iter().zip(results) {
                 slots[chip] = Some(hv);
-                hint_slots[chip] = hint;
+                hint_slots[chip] = Some(hint);
                 plans.push((chip, ops));
             }
             self.chips = slots
                 .into_iter()
                 .map(|s| s.expect("every chip restored"))
                 .collect();
-            self.hint_caches = hint_slots;
+            self.hint_caches = hint_slots
+                .into_iter()
+                .map(|s| s.expect("every hint cache restored"))
+                .collect();
             plans
         } else {
             targets
@@ -1262,7 +1306,7 @@ impl Cluster {
                     } = self;
                     (
                         chip,
-                        defrag.plan(&chips[chip], &stats, budget, &mut hint_caches[chip]),
+                        hint_caches[chip].with(|hc| defrag.plan(&chips[chip], &stats, budget, hc)),
                     )
                 })
                 .collect()

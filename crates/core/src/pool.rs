@@ -15,14 +15,97 @@
 //! thread at all — `run` executes jobs inline on the caller's thread, so
 //! the single-worker configuration is *exactly* the sequential path, not
 //! a one-thread simulation of it.
+//!
+//! Concurrency sanitation ([`vnpu_conc`]): the shared receiver is a
+//! [`vnpu_conc::sync::Mutex`] under the `POOL_RX` site, batch
+//! submissions report to an installed [`ConcProbe`], and a
+//! [`ScheduleSeed`] turns the batch hand-off order into the
+//! *instrumented yield point* — under a seed, jobs are released (or
+//! executed inline) in a seeded permutation of the submission order, so
+//! K seeds explore K interleavings while results still come back in job
+//! order. All of it defaults to off: [`WorkerPool::new`] installs no
+//! probe and no schedule, and the hot path then checks two plain
+//! `Option`s — no atomics, no allocation (the schedule's batch counter
+//! only exists inside `Option<ScheduleState>`).
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
+
+use vnpu_conc::sched::permuted_indices;
+use vnpu_conc::sites::POOL_RX;
+use vnpu_conc::{ConcProbe, ScheduleSeed};
 
 /// A unit of work shipped to a worker thread.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Typed failure from [`WorkerPool::try_run`]: what went wrong, without
+/// unwinding through the caller. The pool itself stays usable after
+/// either variant — a panicked job never poisons the pool, and the
+/// clear-or-refuse contract is: `try_run` *clears* (reports and keeps
+/// serving), `run` *refuses* (re-raises the panic on the caller).
+#[derive(Debug)]
+pub enum PoolError {
+    /// A job panicked; `index` is its submission index and `message` the
+    /// stringified payload. Remaining jobs still ran to completion.
+    JobPanicked {
+        /// Submission index of the first panicking job (in job order).
+        index: usize,
+        /// The panic payload, stringified (`&str`/`String` payloads are
+        /// carried verbatim).
+        message: String,
+    },
+    /// A worker died without reporting (its result channel closed
+    /// early). `reported` of `expected` results arrived. This cannot
+    /// happen through panicking jobs — those are caught and reported —
+    /// so it indicates a torn-down pool.
+    WorkerLost {
+        /// Results that arrived before the channel closed.
+        reported: usize,
+        /// Results that were expected.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::JobPanicked { index, message } => {
+                write!(f, "pool job {index} panicked: {message}")
+            }
+            PoolError::WorkerLost { reported, expected } => write!(
+                f,
+                "pool worker lost: {reported} of {expected} job results reported"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("non-string panic payload")
+    }
+}
+
+/// Seeded schedule perturbation state; exists only when a
+/// [`ScheduleSeed`] was installed, so production pools carry no atomic.
+#[derive(Debug)]
+struct ScheduleState {
+    seed: ScheduleSeed,
+    /// Batches submitted so far — each batch gets its own permutation,
+    /// deterministically derived from `(seed, batch index)`. Batches
+    /// are submitted from the single coordinating thread in a
+    /// deterministic order, so the counter sequence is reproducible.
+    batch: AtomicU64,
+}
 
 /// A fixed-size pool of persistent worker threads.
 ///
@@ -36,24 +119,47 @@ pub struct WorkerPool {
     /// `None` for the inline single-worker pool (no threads to feed).
     tx: Option<Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
+    probe: Option<Arc<dyn ConcProbe>>,
+    schedule: Option<ScheduleState>,
 }
 
 impl WorkerPool {
-    /// Creates a pool of `workers` threads (clamped to at least 1).
+    /// Creates a pool of `workers` threads (clamped to at least 1),
+    /// uninstrumented: no probe, no schedule perturbation.
     ///
     /// `workers == 1` creates the *inline* pool: no thread is spawned and
     /// [`WorkerPool::run`] executes jobs directly on the caller's thread.
     pub fn new(workers: usize) -> Self {
+        Self::with_conc(workers, None, None)
+    }
+
+    /// Creates a pool with concurrency instrumentation. The probe is
+    /// baked into the shared receiver at construction (workers never
+    /// see a probe change mid-flight), and `schedule` selects the
+    /// seeded batch permutation, if any.
+    pub fn with_conc(
+        workers: usize,
+        probe: Option<Arc<dyn ConcProbe>>,
+        schedule: Option<ScheduleSeed>,
+    ) -> Self {
         let workers = workers.max(1);
+        let schedule = schedule.map(|seed| ScheduleState {
+            seed,
+            batch: AtomicU64::new(0),
+        });
         if workers == 1 {
             return WorkerPool {
                 workers,
                 tx: None,
                 handles: Vec::new(),
+                probe,
+                schedule,
             };
         }
         let (tx, rx) = channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
+        let mut shared = vnpu_conc::sync::Mutex::new(&POOL_RX, rx);
+        shared.set_probe(probe.clone());
+        let rx = Arc::new(shared);
         let handles = (0..workers)
             .map(|_| {
                 let rx = Arc::clone(&rx);
@@ -64,12 +170,35 @@ impl WorkerPool {
             workers,
             tx: Some(tx),
             handles,
+            probe,
+            schedule,
         }
     }
 
     /// Number of workers this pool was built with.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Reports a batch submission to the probe, if one is installed.
+    fn note_submit(&self, jobs: usize) {
+        if let Some(probe) = &self.probe {
+            probe.on_submit(jobs);
+        }
+    }
+
+    /// The hand-off order for a batch of `n` jobs: `None` (natural
+    /// order) without a schedule, a seeded permutation under one.
+    fn batch_order(&self, n: usize) -> Option<Vec<usize>> {
+        let state = self.schedule.as_ref()?;
+        let batch = state.batch.fetch_add(1, Ordering::Relaxed);
+        let seed = ScheduleSeed(
+            state
+                .seed
+                .0
+                .wrapping_add(batch.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        Some(permuted_indices(n, seed))
     }
 
     /// Runs every job and returns their results **in job order**.
@@ -83,51 +212,186 @@ impl WorkerPool {
     /// A panicking job does not poison the pool: the panic is caught on
     /// the worker, every remaining result is still collected, and the
     /// first panicking job's payload (in job order) is re-raised on the
-    /// caller's thread.
+    /// caller's thread. A vanished worker (see
+    /// [`PoolError::WorkerLost`]) also panics; use
+    /// [`WorkerPool::try_run`] for typed recovery instead.
     pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        self.note_submit(jobs.len());
         let Some(tx) = self.tx.as_ref().filter(|_| jobs.len() > 1) else {
-            return jobs.into_iter().map(|f| f()).collect();
+            let Some(order) = self.batch_order(jobs.len()) else {
+                // No schedule installed: *exactly* the sequential path —
+                // direct, uncaught, in submission order.
+                return jobs.into_iter().map(|f| f()).collect();
+            };
+            return collect_or_unwind(run_inline_permuted(jobs, &order));
         };
-        let n = jobs.len();
-        let (result_tx, result_rx) = channel::<(usize, thread::Result<T>)>();
-        for (i, job) in jobs.into_iter().enumerate() {
+        let order = self.batch_order(jobs.len());
+        match run_pooled(tx, jobs, order.as_deref()) {
+            Ok(slots) => collect_or_unwind(slots),
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Like [`WorkerPool::run`], but with clear-semantics on failure:
+    /// job panics and lost workers come back as typed [`PoolError`]s
+    /// and the pool stays usable — this method never unwinds for a job
+    /// failure and never hangs on a torn-down pool.
+    pub fn try_run<T, F>(&self, jobs: Vec<F>) -> Result<Vec<T>, PoolError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.note_submit(jobs.len());
+        let Some(tx) = self.tx.as_ref().filter(|_| jobs.len() > 1) else {
+            let n = jobs.len();
+            let order = self
+                .batch_order(n)
+                .unwrap_or_else(|| (0..n).collect::<Vec<_>>());
+            return collect_or_error(run_inline_permuted(jobs, &order));
+        };
+        let order = self.batch_order(jobs.len());
+        collect_or_error(run_pooled(tx, jobs, order.as_deref())?)
+    }
+}
+
+/// Executes `jobs` inline in the given permuted order, catching panics,
+/// and returns outcomes slotted back into job order.
+fn run_inline_permuted<T, F>(jobs: Vec<F>, order: &[usize]) -> Vec<thread::Result<T>>
+where
+    F: FnOnce() -> T,
+{
+    let mut pending: Vec<Option<F>> = jobs.into_iter().map(Some).collect();
+    let mut slots: Vec<Option<thread::Result<T>>> = (0..pending.len()).map(|_| None).collect();
+    for &i in order {
+        let job = pending[i].take().expect("each index appears once");
+        slots[i] = Some(catch_unwind(AssertUnwindSafe(job)));
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect()
+}
+
+/// Ships `jobs` to the pool (in `order`, when given) and collects every
+/// outcome in job order. `Err` only for a vanished worker — job panics
+/// are `Err` entries *inside* the `Ok` vector.
+fn run_pooled<T, F>(
+    tx: &Sender<Job>,
+    jobs: Vec<F>,
+    order: Option<&[usize]>,
+) -> Result<Vec<thread::Result<T>>, PoolError>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let n = jobs.len();
+    let (result_tx, result_rx) = channel::<(usize, thread::Result<T>)>();
+    let mut boxed: Vec<Option<Job>> = jobs
+        .into_iter()
+        .enumerate()
+        .map(|(i, job)| {
             let result_tx = result_tx.clone();
-            let boxed: Job = Box::new(move || {
+            let job: Job = Box::new(move || {
                 let outcome = catch_unwind(AssertUnwindSafe(job));
-                // The receiver only disappears if `run` itself unwound;
-                // dropping the result is then the right thing.
+                // The receiver only disappears if the caller itself
+                // unwound; dropping the result is then the right thing.
                 let _ = result_tx.send((i, outcome));
             });
-            tx.send(boxed).expect("worker pool is alive while owned");
-        }
-        drop(result_tx);
-        let mut slots: Vec<Option<thread::Result<T>>> = (0..n).map(|_| None).collect();
-        for _ in 0..n {
-            let (i, outcome) = result_rx
-                .recv()
-                .expect("every submitted job reports exactly once");
-            slots[i] = Some(outcome);
-        }
-        let mut out = Vec::with_capacity(n);
-        let mut panic_payload = None;
-        for slot in slots {
-            match slot.expect("all slots filled") {
-                Ok(v) => out.push(v),
-                Err(p) => {
-                    // Keep the first panic in job order; later ones are
-                    // secondary casualties of the same tick.
-                    panic_payload.get_or_insert(p);
-                }
+            Some(job)
+        })
+        .collect();
+    drop(result_tx);
+    let submit = |i: usize, boxed: &mut Vec<Option<Job>>| {
+        let job = boxed[i].take().expect("each index submitted once");
+        tx.send(job).expect("worker pool is alive while owned");
+    };
+    match order {
+        Some(order) => {
+            for &i in order {
+                submit(i, &mut boxed);
             }
         }
-        if let Some(p) = panic_payload {
-            resume_unwind(p);
+        None => {
+            for i in 0..n {
+                submit(i, &mut boxed);
+            }
         }
-        out
+    }
+    let mut slots: Vec<Option<thread::Result<T>>> = (0..n).map(|_| None).collect();
+    for reported in 0..n {
+        let Ok((i, outcome)) = result_rx.recv() else {
+            // A worker died without reporting. Jobs never do this
+            // (panics are caught above), so the pool is torn down —
+            // refuse with a typed error rather than hanging.
+            return Err(PoolError::WorkerLost {
+                reported,
+                expected: n,
+            });
+        };
+        slots[i] = Some(outcome);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect())
+}
+
+/// `run`'s reduction: values in job order, or re-raise the first panic
+/// (in job order; later ones are secondary casualties of the same tick).
+fn collect_or_unwind<T>(slots: Vec<thread::Result<T>>) -> Vec<T> {
+    let mut out = Vec::with_capacity(slots.len());
+    let mut panic_payload = None;
+    for slot in slots {
+        match slot {
+            Ok(v) => out.push(v),
+            Err(p) => {
+                panic_payload.get_or_insert(p);
+            }
+        }
+    }
+    if let Some(p) = panic_payload {
+        resume_unwind(p);
+    }
+    out
+}
+
+/// `try_run`'s reduction: values in job order, or the first panic (in
+/// job order) as a typed [`PoolError::JobPanicked`].
+fn collect_or_error<T>(slots: Vec<thread::Result<T>>) -> Result<Vec<T>, PoolError> {
+    let mut out = Vec::with_capacity(slots.len());
+    let mut first_panic: Option<PoolError> = None;
+    for (index, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Ok(v) => out.push(v),
+            Err(p) => {
+                first_panic.get_or_insert(PoolError::JobPanicked {
+                    index,
+                    message: payload_message(p.as_ref()),
+                });
+            }
+        }
+    }
+    match first_panic {
+        Some(err) => Err(err),
+        None => Ok(out),
+    }
+}
+
+/// Drains jobs until the channel closes. The receiver lock is held only
+/// for the `recv` — the guard drops before the job runs — so a long job
+/// never blocks other workers from picking up the next one, and lock
+/// traces never show jobs' own acquisitions nested under `POOL_RX`.
+fn worker_loop(rx: &vnpu_conc::sync::Mutex<Receiver<Job>>) {
+    loop {
+        let job = rx.lock().recv().ok();
+        match job {
+            Some(job) => job(),
+            None => break,
+        }
     }
 }
 
@@ -137,23 +401,6 @@ impl Drop for WorkerPool {
         self.tx = None;
         for h in self.handles.drain(..) {
             let _ = h.join();
-        }
-    }
-}
-
-/// Drains jobs until the channel closes. The receiver lock is held only
-/// for the `recv`, so a long job never blocks other workers from picking
-/// up the next one.
-fn worker_loop(rx: &Mutex<Receiver<Job>>) {
-    loop {
-        let job = rx
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .recv()
-            .ok();
-        match job {
-            Some(job) => job(),
-            None => break,
         }
     }
 }
@@ -243,5 +490,126 @@ mod tests {
         assert!(caught.is_err(), "the job's panic must reach the caller");
         // The pool still works afterwards.
         assert_eq!(pool.run(vec![|| 1, || 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn try_run_reports_the_first_panic_in_job_order_and_recovers() {
+        for workers in [1, 4] {
+            let pool = WorkerPool::new(workers);
+            let err = pool
+                .try_run(
+                    (0..6)
+                        .map(|i| {
+                            move || match i {
+                                4 => panic!("late casualty"),
+                                2 => panic!("job 2 died"),
+                                _ => i,
+                            }
+                        })
+                        .collect::<Vec<_>>(),
+                )
+                .expect_err("two jobs panicked");
+            match err {
+                PoolError::JobPanicked { index, message } => {
+                    assert_eq!(index, 2, "first panic in job order, workers={workers}");
+                    assert_eq!(message, "job 2 died");
+                }
+                other => panic!("unexpected error: {other}"),
+            }
+            // Clear semantics: the post-panic pool drains cleanly — the
+            // next batch runs to completion, no hang, no stale results.
+            assert_eq!(
+                pool.try_run((0..8).map(|i| move || i * 3).collect::<Vec<_>>())
+                    .expect("pool recovered"),
+                (0..8).map(|i| i * 3).collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    #[test]
+    fn try_run_succeeds_like_run() {
+        let pool = WorkerPool::new(3);
+        let got = pool
+            .try_run((0..10u64).map(|i| move || i + 1).collect::<Vec<_>>())
+            .unwrap();
+        assert_eq!(got, (1..=10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn pool_error_display_is_informative() {
+        let a = PoolError::JobPanicked {
+            index: 3,
+            message: "boom".into(),
+        };
+        assert_eq!(a.to_string(), "pool job 3 panicked: boom");
+        let b = PoolError::WorkerLost {
+            reported: 1,
+            expected: 4,
+        };
+        assert!(b.to_string().contains("1 of 4"), "{b}");
+    }
+
+    #[test]
+    fn seeded_schedule_preserves_result_order_at_every_width() {
+        for workers in [1, 2, 4] {
+            for seed in 0..4u64 {
+                let pool = WorkerPool::with_conc(workers, None, Some(ScheduleSeed(seed)));
+                let got = pool.run((0..16u64).map(|i| move || i * 7).collect::<Vec<_>>());
+                assert_eq!(
+                    got,
+                    (0..16).map(|i| i * 7).collect::<Vec<u64>>(),
+                    "workers={workers} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inline_schedule_permutes_execution_order() {
+        // workers == 1 + seed: execution order is the seeded permutation,
+        // observable through side effects — this is what lets the mutation
+        // suite drive a completion-order-sensitive merge deterministically.
+        let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let pool = WorkerPool::with_conc(1, None, Some(ScheduleSeed(1)));
+        let jobs: Vec<_> = (0..8usize)
+            .map(|i| {
+                let log = Arc::clone(&log);
+                move || {
+                    log.lock().unwrap().push(i);
+                    i
+                }
+            })
+            .collect();
+        let got = pool.run(jobs);
+        assert_eq!(got, (0..8).collect::<Vec<_>>(), "results stay in job order");
+        let order = log.lock().unwrap().clone();
+        assert_ne!(order, (0..8).collect::<Vec<_>>(), "execution was permuted");
+        assert_eq!(order, permuted_indices(8, ScheduleSeed(1)));
+    }
+
+    #[test]
+    fn probe_records_submissions_and_receiver_acquisitions() {
+        use vnpu_conc::{EventKind, TraceProbe};
+        let probe = Arc::new(TraceProbe::new());
+        let pool = WorkerPool::with_conc(2, Some(probe.clone() as Arc<dyn ConcProbe>), None);
+        let got = pool.run((0..4u32).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        drop(pool);
+        let trace = probe.take_trace();
+        let submits: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Submit)
+            .collect();
+        assert_eq!(submits.len(), 1);
+        assert_eq!(submits[0].tag, Some(4));
+        assert!(
+            trace
+                .events
+                .iter()
+                .any(|e| e.kind == EventKind::Acquired
+                    && e.site.id == vnpu_conc::sites::POOL_RX.id),
+            "worker receiver pickups are traced"
+        );
     }
 }

@@ -108,6 +108,14 @@ pub struct ServeConfig {
     /// default so reports stay fully deterministic run-to-run; the
     /// bench layer flips it on for perf trajectories.
     pub time_phases: bool,
+    /// Concurrency instrumentation ([`vnpu_conc::ConcMode`]): an
+    /// optional probe installed on every lock the runtime owns, an
+    /// optional seeded schedule perturbation for the worker pool, and
+    /// the per-phase determinism digest chain
+    /// ([`ServeRuntime::digest_chain`]). All off by default — the
+    /// production configuration, where every instrumented path is a
+    /// plain `Option` check.
+    pub conc: vnpu_conc::ConcMode,
 }
 
 impl ServeConfig {
@@ -145,6 +153,7 @@ impl ServeConfig {
             audit: false,
             workers: 1,
             time_phases: false,
+            conc: vnpu_conc::ConcMode::default(),
         }
     }
 }
@@ -260,6 +269,9 @@ pub struct ServeRuntime {
     /// Per-phase wall-clock, populated only under
     /// [`ServeConfig::time_phases`].
     phase_nanos: PhaseNanos,
+    /// The determinism digest chain, recorded only under
+    /// [`vnpu_conc::ConcMode::phase_digests`].
+    digests: Option<vnpu_conc::DigestChain>,
 }
 
 impl ServeRuntime {
@@ -279,8 +291,19 @@ impl ServeRuntime {
         cluster.set_admission_policy(Arc::clone(&cfg.policy));
         cluster.set_placement(Arc::clone(&cfg.placement));
         cluster.set_max_attempts(cfg.max_attempts);
-        let pool = Arc::new(WorkerPool::new(cfg.workers));
+        let pool = Arc::new(WorkerPool::with_conc(
+            cfg.workers,
+            cfg.conc.probe.clone(),
+            cfg.conc.schedule,
+        ));
         cluster.set_worker_pool(Arc::clone(&pool));
+        if cfg.conc.probe.is_some() {
+            let installed = cluster.set_conc_probe(cfg.conc.probe.clone());
+            debug_assert!(
+                installed,
+                "the shared cache is exclusively owned at construction"
+            );
+        }
         let machines = cfg
             .chips
             .iter()
@@ -315,8 +338,18 @@ impl ServeRuntime {
             audit_findings: Vec::new(),
             pool,
             phase_nanos: PhaseNanos::default(),
+            digests: cfg.conc.phase_digests.then(vnpu_conc::DigestChain::default),
             cfg,
         }
+    }
+
+    /// The per-phase determinism digest chain recorded so far, when
+    /// [`vnpu_conc::ConcMode::phase_digests`] is on (`None` otherwise).
+    /// Two runs that must agree — different worker counts, different
+    /// schedule seeds — are compared with [`vnpu_conc::compare_chains`],
+    /// which names the first divergent `(tick, phase, chip)`.
+    pub fn digest_chain(&self) -> Option<&vnpu_conc::DigestChain> {
+        self.digests.as_ref()
     }
 
     /// Starts a phase stopwatch — `None` (free) unless
@@ -520,6 +553,33 @@ impl ServeRuntime {
         //    free-region scan.
         let t_admission = self.phase_clock();
         let (admission_events, mut snapshots) = self.cluster.process_admissions_with_snapshots();
+        if let Some(chain) = self.digests.as_mut() {
+            // Fleet-level admission digest: the merged decision sequence
+            // in nomination order — exactly what a completion-order
+            // merge would scramble.
+            let mut d = vnpu_conc::Digest::new();
+            for event in &admission_events {
+                d.write_u64(event.id.0);
+                match &event.outcome {
+                    ClusterAdmissionOutcome::Admitted(id) => {
+                        d.write_u64(1);
+                        d.write_u64(id.chip as u64);
+                        d.write_u64(u64::from(id.vm.0));
+                    }
+                    ClusterAdmissionOutcome::Rejected(_) => d.write_u64(2),
+                }
+                d.write_u64(event.config_cycles_total);
+                match event.fit_hint {
+                    Some(hint) => {
+                        d.write_u64(u64::from(hint.cores));
+                        d.write_u64(u64::from(hint.width));
+                        d.write_u64(u64::from(hint.height));
+                    }
+                    None => d.write_u64(0),
+                }
+            }
+            chain.record(tick, vnpu_conc::Phase::Admission, None, d.finish());
+        }
         for event in admission_events {
             let lifetime = self
                 .queued_lifetimes
@@ -573,6 +633,24 @@ impl ServeRuntime {
             self.cluster
                 .drain_tick(&self.cfg.drain_policy, &self.cfg.drain_budget, &snapshots)?;
         for (chip, step) in drain_steps {
+            if let Some(chain) = self.digests.as_mut() {
+                // Per-chip drain digest: the applied moves in plan order
+                // plus the step's skip/remaining accounting.
+                let mut d = vnpu_conc::Digest::new();
+                for m in &step.moved {
+                    d.write_u64(m.from.chip as u64);
+                    d.write_u64(u64::from(m.from.vm.0));
+                    d.write_u64(m.to.chip as u64);
+                    d.write_u64(u64::from(m.to.vm.0));
+                    d.write_u64(m.cost.routing_cycles);
+                    d.write_u64(m.cost.rtt_cycles);
+                    d.write_u64(m.cost.data_move_bytes);
+                    d.write_u64(m.cost.paused_cycles);
+                }
+                d.write_u64(step.skipped as u64);
+                d.write_u64(step.remaining as u64);
+                chain.record(tick, vnpu_conc::Phase::Drain, Some(chip as u32), d.finish());
+            }
             for m in &step.moved {
                 let live = self
                     .live
@@ -637,6 +715,31 @@ impl ServeRuntime {
                     self.cluster
                         .defrag_pass(&defrag, &self.cfg.defrag_budget, &snapshots)?;
                 for (chip, receipt) in receipts {
+                    if let Some(chain) = self.digests.as_mut() {
+                        // Per-chip defrag digest: the committed receipt —
+                        // created/migrated/destroyed VMs and their costs
+                        // in commit order.
+                        let mut d = vnpu_conc::Digest::new();
+                        for vm in &receipt.created {
+                            d.write_u64(u64::from(vm.0));
+                        }
+                        for (vm, cost) in &receipt.migrated {
+                            d.write_u64(u64::from(vm.0));
+                            d.write_u64(cost.routing_cycles);
+                            d.write_u64(cost.rtt_cycles);
+                            d.write_u64(cost.data_move_bytes);
+                            d.write_u64(cost.paused_cycles);
+                        }
+                        for vm in &receipt.destroyed {
+                            d.write_u64(u64::from(vm.0));
+                        }
+                        chain.record(
+                            tick,
+                            vnpu_conc::Phase::Defrag,
+                            Some(chip as u32),
+                            d.finish(),
+                        );
+                    }
                     if receipt.migration_count() == 0 {
                         continue;
                     }
@@ -755,6 +858,19 @@ impl ServeRuntime {
                 .collect();
             for (chip, outcome, nanos) in outcomes {
                 let report = outcome.map_err(vnpu::VnpuError::Sim)?;
+                if let Some(chain) = self.digests.as_mut() {
+                    // Per-chip execution digest: the epoch's makespan
+                    // fold (wall-clock nanos deliberately excluded —
+                    // they are nondeterministic by nature).
+                    let mut d = vnpu_conc::Digest::new();
+                    d.write_u64(report.makespan());
+                    chain.record(
+                        tick,
+                        vnpu_conc::Phase::Execution,
+                        Some(chip as u32),
+                        d.finish(),
+                    );
+                }
                 self.per_chip[chip].executed_epochs += 1;
                 self.per_chip[chip].machine_cycles += report.makespan();
                 if self.cfg.time_phases {

@@ -235,8 +235,10 @@ pub struct CacheStats {
 
 impl CacheStats {
     /// Hits over total cacheable lookups, in `[0, 1]`; 0 when idle.
+    /// Saturating like [`CacheStats::merge`], so counters pinned at the
+    /// `u64` ceiling still yield a rate in range.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits.saturating_add(self.misses);
         if total == 0 {
             0.0
         } else {
@@ -245,15 +247,17 @@ impl CacheStats {
     }
 
     /// Folds `other` into `self`. Every counter is an order-independent
-    /// sum, so merging per-shard (or per-worker) statistics in any order
-    /// yields the same aggregate — the property the byte-identical report
-    /// assertions in the churn benches rely on.
+    /// *saturating* sum: merging per-shard (or per-worker) statistics in
+    /// any order yields the same aggregate — the property the
+    /// byte-identical report assertions in the churn benches rely on —
+    /// and a long soak run that approaches `u64::MAX` pins at the
+    /// ceiling instead of wrapping and breaking hit-rate asserts.
     pub fn merge(&mut self, other: &CacheStats) {
-        self.hits += other.hits;
-        self.misses += other.misses;
-        self.insertions += other.insertions;
-        self.evictions += other.evictions;
-        self.uncacheable += other.uncacheable;
+        self.hits = self.hits.saturating_add(other.hits);
+        self.misses = self.misses.saturating_add(other.misses);
+        self.insertions = self.insertions.saturating_add(other.insertions);
+        self.evictions = self.evictions.saturating_add(other.evictions);
+        self.uncacheable = self.uncacheable.saturating_add(other.uncacheable);
     }
 }
 
@@ -474,9 +478,17 @@ pub const DEFAULT_SHARD_COUNT: usize = 8;
 /// loop would. Sharding therefore only buys lock granularity for the
 /// concurrent peeks; contents and statistics stay byte-identical at any
 /// worker count because the mutation sequence is identical.
+///
+/// The per-shard locks are [`vnpu_conc::sync::Mutex`]es declared under
+/// the [`vnpu_conc::sites::CACHE_SHARD`] site: with no probe installed
+/// (the default) they behave exactly like `std` mutexes with
+/// clear-on-poison, and an installed [`vnpu_conc::ConcProbe`] records
+/// every shard acquisition tagged with the request's key hash so the
+/// `CONC-SHARD` pass can check that shard choice is a pure function of
+/// the key.
 #[derive(Debug)]
 pub struct ShardedMappingCache {
-    shards: Vec<std::sync::Mutex<MappingCache>>,
+    shards: Vec<vnpu_conc::sync::Mutex<MappingCache>>,
 }
 
 impl Default for ShardedMappingCache {
@@ -493,24 +505,42 @@ impl ShardedMappingCache {
         let per_shard = (capacity / shards).max(1);
         ShardedMappingCache {
             shards: (0..shards)
-                .map(|_| std::sync::Mutex::new(MappingCache::with_capacity(per_shard)))
+                .map(|i| {
+                    vnpu_conc::sync::Mutex::new(
+                        &vnpu_conc::sites::CACHE_SHARD,
+                        MappingCache::with_capacity(per_shard),
+                    )
+                    .at_shard(i as u32)
+                })
                 .collect(),
         }
     }
 
-    /// Index of the shard owning `req`-keyed entries. All cache keys for a
-    /// given request share its labeled hash, so one request always maps to
-    /// one shard and the per-request `key_for`/`get`/`insert` sequence
-    /// runs under a single lock.
-    fn shard_index(&self, req: &Topology) -> usize {
-        (mix(labeled_hash(req)) % self.shards.len() as u64) as usize
+    /// Installs (or removes) the concurrency probe on every shard lock.
+    /// Requires `&mut self`: installation happens while the cache is
+    /// still exclusively owned, so the hot shared path never checks
+    /// anything but a plain `Option`.
+    pub fn set_probe(&mut self, probe: Option<std::sync::Arc<dyn vnpu_conc::ConcProbe>>) {
+        for shard in &mut self.shards {
+            shard.set_probe(probe.clone());
+        }
     }
 
-    /// Runs `f` with exclusive access to the shard owning `req`.
+    /// Index of the shard owning entries keyed by `key` (the request's
+    /// [`labeled_hash`]). All cache keys for a given request share its
+    /// labeled hash, so one request always maps to one shard and the
+    /// per-request `key_for`/`get`/`insert` sequence runs under a single
+    /// lock.
+    fn shard_index(&self, key: u64) -> usize {
+        (mix(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Runs `f` with exclusive access to the shard owning `req`. The
+    /// acquisition is tagged with the request's key hash for the
+    /// `CONC-SHARD` consistency pass.
     pub fn with_shard<R>(&self, req: &Topology, f: impl FnOnce(&mut MappingCache) -> R) -> R {
-        let mut guard = self.shards[self.shard_index(req)]
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let key = labeled_hash(req);
+        let mut guard = self.shards[self.shard_index(key)].lock_tagged(key);
         f(&mut guard)
     }
 
@@ -537,24 +567,14 @@ impl ShardedMappingCache {
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
         for shard in &self.shards {
-            let guard = shard
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            total.merge(&guard.stats());
+            total.merge(&shard.lock().stats());
         }
         total
     }
 
     /// Total live entries over all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| {
-                s.lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .len()
-            })
-            .sum()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Whether every shard is empty.
@@ -565,10 +585,7 @@ impl ShardedMappingCache {
     /// Drops every entry in every shard, keeping statistics.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .clear();
+            shard.lock().clear();
         }
     }
 }
@@ -948,6 +965,61 @@ mod tests {
         assert_eq!(ab.insertions, 6);
         assert_eq!(ab.evictions, 1);
         assert_eq!(ab.uncacheable, 6);
+    }
+
+    #[test]
+    fn stats_merge_saturates_at_u64_boundaries() {
+        let near_max = CacheStats {
+            hits: u64::MAX,
+            misses: u64::MAX - 1,
+            insertions: u64::MAX / 2 + 1,
+            evictions: 0,
+            uncacheable: u64::MAX,
+        };
+        let more = CacheStats {
+            hits: 1,
+            misses: 2,
+            insertions: u64::MAX / 2 + 1,
+            evictions: u64::MAX,
+            uncacheable: u64::MAX,
+        };
+        let mut merged = near_max;
+        merged.merge(&more);
+        assert_eq!(merged.hits, u64::MAX, "hits pin instead of wrapping");
+        assert_eq!(merged.misses, u64::MAX, "misses pin instead of wrapping");
+        assert_eq!(merged.insertions, u64::MAX);
+        assert_eq!(merged.evictions, u64::MAX);
+        assert_eq!(merged.uncacheable, u64::MAX);
+        // Saturation keeps the hit-rate assert meaningful: the rate stays
+        // in [0, 1] instead of collapsing when a counter wraps to ~0.
+        assert!((0.0..=1.0).contains(&merged.hit_rate()));
+
+        let mut reversed = more;
+        reversed.merge(&near_max);
+        assert_eq!(merged, reversed, "saturating merge stays order-independent");
+    }
+
+    #[test]
+    fn sharded_cache_probe_tags_acquisitions_with_the_key_hash() {
+        use vnpu_conc::{ConcProbe, EventKind, TraceProbe};
+        let probe = std::sync::Arc::new(TraceProbe::new());
+        let mut cache = ShardedMappingCache::with_capacity(64, 4);
+        cache.set_probe(Some(probe.clone() as std::sync::Arc<dyn ConcProbe>));
+        let req = Topology::mesh2d(2, 2);
+        let expected_key = labeled_hash(&req);
+        cache.with_shard(&req, |_c| ());
+        cache.set_probe(None);
+        cache.with_shard(&req, |_c| ());
+        let trace = probe.take_trace();
+        assert_eq!(trace.len(), 2, "probe removal silences recording");
+        assert_eq!(trace.events[0].kind, EventKind::Acquired);
+        assert_eq!(trace.events[0].tag, Some(expected_key));
+        assert_eq!(
+            trace.events[0].site.id,
+            vnpu_conc::sites::CACHE_SHARD.id,
+            "shard locks are declared under the CACHE_SHARD site"
+        );
+        assert_eq!(trace.events[1].kind, EventKind::Released);
     }
 
     #[test]

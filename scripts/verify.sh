@@ -49,6 +49,19 @@ echo "cluster_churn reports byte-identical at 1 and 4 workers"
 echo "== cargo bench --bench parallel_tick -- --quick =="
 cargo bench --bench parallel_tick -- --quick
 
+echo "== concurrency sanitizer gate =="
+# Mutation suite: the three seeded mutants (completion-order merge,
+# worker-derived shard count, inverted lock pair) must each be flagged
+# under their CONC-* rule while the pristine doubles and the shipped
+# runtime audit clean.
+cargo test --test conc_mutations -q
+# Probe pass: rerun the 16-chip fleet with the TraceProbe installed and
+# phase digests on — the bench asserts zero CONC findings, agreeing
+# digest chains across widths 1/2/4/8, and reports byte-identical to
+# the uninstrumented baseline.
+VNPU_CONC_PROBE=1 cargo bench --bench parallel_tick -- --quick
+echo "conc gate: mutants flagged, shipped code clean under the probe"
+
 echo "== cargo bench --bench defrag_churn -- --quick =="
 cargo bench --bench defrag_churn -- --quick
 

@@ -102,11 +102,13 @@ pub fn audit_chip(hv: &Hypervisor, sched: ChipSchedState) -> Vec<AuditFinding> {
         }
     }
 
-    // FLEET-FREE: the free set must mirror `users == 0` exactly.
+    // FLEET-FREE: the free set must mirror `users == 0 && !faulted`
+    // exactly — a faulted core is pinned occupied regardless of users.
     let free = hv.free_set();
     let mut truly_free: Vec<NodeId> = Vec::new();
     for core in 0..n as u32 {
-        let vacant = users[core as usize] == 0;
+        let faulted = hv.core_faulted(core);
+        let vacant = users[core as usize] == 0 && !faulted;
         if vacant {
             truly_free.push(NodeId(core));
         }
@@ -116,6 +118,8 @@ pub fn audit_chip(hv: &Hypervisor, sched: ChipSchedState) -> Vec<AuditFinding> {
                     Rule::FleetFreeSetDrift,
                     if vacant {
                         "core has no users but the free set marks it occupied".to_string()
+                    } else if faulted {
+                        "core is faulted but the free set marks it free".to_string()
                     } else {
                         "core has users but the free set marks it free".to_string()
                     },
@@ -178,6 +182,58 @@ pub fn audit_chip(hv: &Hypervisor, sched: ChipSchedState) -> Vec<AuditFinding> {
         findings.push(f);
     }
 
+    // FAULT-MAP / FAULT-FREE: dead cores must be off-limits — no live
+    // tenant may (still) map one, and none may be advertised free. A
+    // tenant on a dead core is expected *transiently* while recovery is
+    // converging; persisting across audits means recovery stalled.
+    for core in hv.faulted_cores() {
+        if free.contains(NodeId(core)) {
+            findings.push(
+                AuditFinding::error(
+                    Rule::FaultFreeCore,
+                    "faulted core is advertised in the free region".to_string(),
+                )
+                .core(core),
+            );
+        }
+        for &vm in owners.get(&core).map_or(&[][..], |o| o.as_slice()) {
+            findings.push(
+                AuditFinding::error(
+                    Rule::FaultMappedCore,
+                    "live tenant still maps a faulted core".to_string(),
+                )
+                .vm(vm)
+                .core(core),
+            );
+        }
+    }
+
+    // FAULT-LINK: a tenant owning an endpoint of a dead link may still
+    // route around it, but its traffic terminates in the failed routers —
+    // worth surfacing while recovery decides whether to move it.
+    for (a, b) in hv.faulted_links() {
+        for (&vm, v) in hv.vnpus() {
+            let nodes = v.mapping().phys_nodes();
+            let endpoint = if nodes.contains(&NodeId(a)) {
+                Some(a)
+            } else if nodes.contains(&NodeId(b)) {
+                Some(b)
+            } else {
+                None
+            };
+            if let Some(core) = endpoint {
+                findings.push(
+                    AuditFinding::warning(
+                        Rule::FaultLinkEndpoint,
+                        format!("live tenant owns an endpoint of faulted link {a}\u{2013}{b}"),
+                    )
+                    .vm(vm)
+                    .core(core),
+                );
+            }
+        }
+    }
+
     // The routing pass over this chip's resident tables.
     findings.extend(audit_routing(
         hv.topology(),
@@ -208,12 +264,21 @@ pub fn audit_cluster(cluster: &Cluster) -> Vec<AuditFinding> {
 
 /// Stateful cluster auditor: everything [`audit_cluster`] checks, plus
 /// cross-audit invariants — each chip's reconfiguration (mapping-cache)
-/// generation must be monotone between successive audits, or cached
+/// generation must never *revert* between successive audits, or cached
 /// placements could replay against hardware state they never saw.
+///
+/// Generations are hash chains (reconfigs *and* fault events fold into
+/// them), so numeric order is meaningless; a regression is the chain
+/// returning to pristine (0) after history existed, or replaying any
+/// previously observed value — a healthy chain only ever extends.
 #[derive(Debug, Default)]
 pub struct FleetAuditor {
     /// Last observed topology generation, per chip index.
     last_topo_gen: BTreeMap<usize, u64>,
+    /// Every generation ever observed, per chip index — the replay
+    /// detector. Bounded by the number of reconfig/fault events in the
+    /// run, not by its length.
+    seen_topo_gens: BTreeMap<usize, std::collections::BTreeSet<u64>>,
 }
 
 impl FleetAuditor {
@@ -228,12 +293,18 @@ impl FleetAuditor {
         for i in 0..cluster.chip_count() {
             let gen = cluster.chip(i).topology_generation();
             if let Some(&last) = self.last_topo_gen.get(&i) {
-                if gen < last {
+                let replayed = gen != last
+                    && self
+                        .seen_topo_gens
+                        .get(&i)
+                        .is_some_and(|seen| seen.contains(&gen));
+                if (gen == 0 && last != 0) || replayed {
                     findings.push(
                         AuditFinding::error(
                             Rule::FleetGenerationRegressed,
                             format!(
-                                "reconfiguration generation went backwards: {last} \u{2192} {gen}"
+                                "reconfiguration generation reverted: {last} \u{2192} {gen} \
+                                 (previously observed state)"
                             ),
                         )
                         .on_chip(i),
@@ -241,6 +312,7 @@ impl FleetAuditor {
                 }
             }
             self.last_topo_gen.insert(i, gen);
+            self.seen_topo_gens.entry(i).or_default().insert(gen);
         }
         findings
     }
@@ -361,6 +433,88 @@ mod tests {
         assert!(auditor.audit(&cluster).is_empty());
         cluster.destroy(id).unwrap();
         assert!(auditor.audit(&cluster).is_empty());
+    }
+
+    #[test]
+    fn faulted_cores_surface_map_and_free_findings() {
+        let mut hv = Hypervisor::new(SocConfig::sim());
+        let vm = hv.create_vnpu(VnpuRequest::mesh(2, 2)).unwrap();
+        let owned = hv.vnpu(vm).unwrap().mapping().phys_nodes()[0].0;
+        // Fault an *owned* core: the tenant still maps it → FAULT-MAP,
+        // but the free set stays consistent (no FLEET/FAULT-FREE).
+        hv.set_core_faulted(owned, true).unwrap();
+        let findings = audit_chip(&hv, ChipSchedState::Schedulable);
+        assert_eq!(
+            rules(&findings),
+            vec![Rule::FaultMappedCore],
+            "{findings:?}"
+        );
+        assert_eq!(findings[0].vm, Some(vm));
+        assert_eq!(findings[0].core, Some(owned));
+        // After the tenant leaves, the dead core must stay masked; the
+        // hypervisor holds it occupied, so the audit is clean again.
+        hv.destroy_vnpu(vm).unwrap();
+        let findings = audit_chip(&hv, ChipSchedState::Schedulable);
+        assert!(findings.is_empty(), "{findings:?}");
+        // Repair: fully healthy.
+        hv.set_core_faulted(owned, false).unwrap();
+        let findings = audit_chip(&hv, ChipSchedState::Schedulable);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn faulted_link_endpoint_is_a_warning() {
+        let mut hv = Hypervisor::new(SocConfig::sim());
+        let vm = hv.create_vnpu(VnpuRequest::mesh(2, 1)).unwrap();
+        let nodes: Vec<u32> = hv
+            .vnpu(vm)
+            .unwrap()
+            .mapping()
+            .phys_nodes()
+            .iter()
+            .map(|n| n.0)
+            .collect();
+        hv.set_link_faulted(nodes[0], nodes[1], true);
+        let findings = audit_chip(&hv, ChipSchedState::Schedulable);
+        let hits: Vec<&AuditFinding> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::FaultLinkEndpoint)
+            .collect();
+        assert_eq!(hits.len(), 1, "{findings:?}");
+        assert_eq!(hits[0].severity, crate::Severity::Warning);
+        assert_eq!(hits[0].vm, Some(vm));
+        // A faulted link nobody touches reports nothing.
+        hv.set_link_faulted(nodes[0], nodes[1], false);
+        hv.set_link_faulted(34, 35, true);
+        let findings = audit_chip(&hv, ChipSchedState::Schedulable);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn fleet_auditor_accepts_fault_hash_chain_jumps() {
+        // Fault events evolve the generation hash chain in numerically
+        // arbitrary directions; the auditor must accept every fresh
+        // value and reject only reverts to an already-seen state.
+        let mut cluster = Cluster::new(vec![SocConfig::sim()]);
+        let mut auditor = FleetAuditor::new();
+        assert!(auditor.audit(&cluster).is_empty());
+        let mut seen = vec![cluster.chip(0).topology_generation()];
+        for core in 0..8 {
+            cluster.chip_mut(0).set_topology_generation(1_000 + core);
+            assert!(
+                auditor.audit(&cluster).is_empty(),
+                "fresh generations are never regressions"
+            );
+            seen.push(1_000 + core);
+        }
+        // Replaying an old generation is exactly the bug the rule exists
+        // to catch.
+        cluster.chip_mut(0).set_topology_generation(seen[3]);
+        let findings = auditor.audit(&cluster);
+        assert!(
+            rules(&findings).contains(&Rule::FleetGenerationRegressed),
+            "{findings:?}"
+        );
     }
 
     #[test]

@@ -54,6 +54,9 @@
 //! | `FLEET-HBM` | allocated HBM equals the sum of tenant blocks | fleet |
 //! | `FLEET-DRAIN` | a drained chip holds zero tenants | fleet |
 //! | `FLEET-GEN` | the mapping-cache generation never regresses | fleet |
+//! | `FAULT-MAP` | no live tenant maps a faulted core | fault |
+//! | `FAULT-FREE` | no faulted core is advertised free | fault |
+//! | `FAULT-LINK` | no live tenant owns an endpoint of a faulted link | fault |
 //! | `CONC-ORDER` | locks are acquired in declared rank/shard order | conc |
 //! | `CONC-HOLD` | no pool batch submitted while holding a lock | conc |
 //! | `CONC-SHARD` | shard choice is a pure function of the key hash | conc |
@@ -151,6 +154,18 @@ pub enum Rule {
     FleetDrainedResidue,
     /// A chip's mapping-cache (topology) generation went backwards.
     FleetGenerationRegressed,
+    /// A live tenant's mapping includes a core the fault layer marked
+    /// dead — recovery has not (yet) moved it off and the placement
+    /// machinery failed to exclude the core.
+    FaultMappedCore,
+    /// A faulted core is a member of the chip's free region — it could
+    /// be handed to the next placement.
+    FaultFreeCore,
+    /// A live tenant owns an endpoint core of a faulted NoC link: its
+    /// traffic terminates in (or originates from) the dead link's
+    /// routers. A warning — traffic may still route around the link —
+    /// but recovery should be moving the tenant.
+    FaultLinkEndpoint,
     /// A lock was acquired against the declared rank/shard order, or
     /// the observed acquisition graph has a cycle (potential deadlock).
     ConcLockOrder,
@@ -189,6 +204,9 @@ impl Rule {
             Rule::FleetHbmAccounting => "FLEET-HBM",
             Rule::FleetDrainedResidue => "FLEET-DRAIN",
             Rule::FleetGenerationRegressed => "FLEET-GEN",
+            Rule::FaultMappedCore => "FAULT-MAP",
+            Rule::FaultFreeCore => "FAULT-FREE",
+            Rule::FaultLinkEndpoint => "FAULT-LINK",
             Rule::ConcLockOrder => "CONC-ORDER",
             Rule::ConcHoldAcrossSubmit => "CONC-HOLD",
             Rule::ConcShardOrder => "CONC-SHARD",
@@ -347,6 +365,9 @@ mod tests {
             Rule::FleetHbmAccounting,
             Rule::FleetDrainedResidue,
             Rule::FleetGenerationRegressed,
+            Rule::FaultMappedCore,
+            Rule::FaultFreeCore,
+            Rule::FaultLinkEndpoint,
             Rule::ConcLockOrder,
             Rule::ConcHoldAcrossSubmit,
             Rule::ConcShardOrder,
@@ -356,7 +377,10 @@ mod tests {
         assert_eq!(ids.len(), rules.len(), "duplicate rule id");
         for id in ids {
             let (layer, _) = id.split_once('-').expect("ids are LAYER-NAME");
-            assert!(matches!(layer, "PLAN" | "ROUTE" | "FLEET" | "CONC"), "{id}");
+            assert!(
+                matches!(layer, "PLAN" | "ROUTE" | "FLEET" | "CONC" | "FAULT"),
+                "{id}"
+            );
         }
     }
 

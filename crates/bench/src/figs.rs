@@ -20,6 +20,7 @@ pub mod ablation_tlb_sweep;
 pub mod cluster_churn;
 pub mod defrag_churn;
 pub mod drain_maintenance;
+pub mod fault_recovery;
 pub mod fig03_utilization;
 pub mod fig06_mem_trace;
 pub mod fig11_rt_config;

@@ -74,6 +74,10 @@ impl Digest {
 /// runs them within a tick.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Phase {
+    /// Fault-recovery fold: onsets and repairs applied, affected tenants
+    /// detected, and each one's recovery resolution (remapped, replaced
+    /// cross-chip, pending or lost) per chip.
+    Recovery,
     /// Admission-wave merge: which requests landed where, in nomination
     /// order.
     Admission,
@@ -90,6 +94,7 @@ pub enum Phase {
 impl fmt::Display for Phase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
+            Phase::Recovery => "recovery",
             Phase::Admission => "admission",
             Phase::Drain => "drain",
             Phase::Defrag => "defrag",

@@ -75,6 +75,11 @@ pub struct ChipSnapshot {
     pub total_cores: u32,
     /// Currently free cores.
     pub free_cores: u32,
+    /// Cores currently masked out by the hardware-fault layer
+    /// ([`Hypervisor::set_core_faulted`]). Never part of `free_cores`,
+    /// and excluded from the capacity a temporal-sharing request may
+    /// widen onto.
+    pub faulted_cores: u32,
     /// Connected components of the free-core region.
     pub free_components: usize,
     /// Size of the largest connected free component.
@@ -115,7 +120,8 @@ impl ChipSnapshot {
     /// destination chips they already know to be schedulable.
     pub fn fits_raw(&self, cores: u32, memory_bytes: u64, temporal_sharing: bool) -> bool {
         let cores_ok = if temporal_sharing {
-            self.total_cores >= cores
+            // Dead cores cannot be time-shared either.
+            self.total_cores.saturating_sub(self.faulted_cores) >= cores
         } else {
             self.free_cores >= cores
         };
@@ -502,6 +508,7 @@ impl Cluster {
             chip: index,
             total_cores: h.config().core_count(),
             free_cores: frag.free_cores,
+            faulted_cores: h.faulted_core_count(),
             free_components: frag.free_components,
             largest_free_component: frag.largest_free_component,
             free_connectivity: frag.free_connectivity,
@@ -867,6 +874,90 @@ impl Cluster {
         }
         self.mark_dirty(chip);
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Hardware-fault lifecycle (the `vnpu_fault` layer's cluster hooks).
+    // ------------------------------------------------------------------
+
+    /// One chip's fault-mask transition plus the cluster-level cache
+    /// hygiene every such transition needs: the chip's free region just
+    /// changed shape in a way advisory probes cannot see, so (as in
+    /// [`Cluster::undrain`]) the dedicated hint caches are dropped —
+    /// a pre-fault fit hint or exhaustion proof must not shadow the
+    /// post-fault region — and the chip's memoized snapshot is marked
+    /// stale. The *placement* cache needs no flush: its keys carry the
+    /// chip's reconfiguration generation, which the fault layer evolves
+    /// on every onset/repair, so stale entries expire by key.
+    fn after_fault_transition(&mut self, chip: usize, changed: bool) {
+        if !changed {
+            return;
+        }
+        for cache in &mut self.hint_caches {
+            cache.with(|hc| hc.clear());
+        }
+        self.mark_dirty(chip);
+    }
+
+    /// Marks one core on one chip faulted. Returns whether the mask
+    /// changed (idempotent, like [`Hypervisor::set_core_faulted`]).
+    ///
+    /// # Errors
+    ///
+    /// [`VnpuError::UnknownChip`] for a bad chip index, else as for
+    /// [`Hypervisor::set_core_faulted`].
+    pub fn fault_core(&mut self, chip: usize, core: u32) -> Result<bool> {
+        self.set_core_fault_state(chip, core, true)
+    }
+
+    /// Repairs a previously faulted core: it rejoins the free region (if
+    /// unowned) and counts as a retry-after-free event.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::fault_core`].
+    pub fn repair_core(&mut self, chip: usize, core: u32) -> Result<bool> {
+        self.set_core_fault_state(chip, core, false)
+    }
+
+    fn set_core_fault_state(&mut self, chip: usize, core: u32, faulted: bool) -> Result<bool> {
+        let count = self.chips.len();
+        let changed = self
+            .chips
+            .get_mut(chip)
+            .ok_or(VnpuError::UnknownChip { chip, count })?
+            .set_core_faulted(core, faulted)?;
+        self.after_fault_transition(chip, changed);
+        Ok(changed)
+    }
+
+    /// Marks one undirected NoC link on one chip faulted.
+    ///
+    /// # Errors
+    ///
+    /// [`VnpuError::UnknownChip`] for a bad chip index.
+    pub fn fault_link(&mut self, chip: usize, a: u32, b: u32) -> Result<bool> {
+        self.set_link_fault_state(chip, a, b, true)
+    }
+
+    /// Repairs a previously faulted link.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::fault_link`].
+    pub fn repair_link(&mut self, chip: usize, a: u32, b: u32) -> Result<bool> {
+        self.set_link_fault_state(chip, a, b, false)
+    }
+
+    fn set_link_fault_state(&mut self, chip: usize, a: u32, b: u32, faulted: bool) -> Result<bool> {
+        let count = self.chips.len();
+        let changed = self
+            .chips
+            .get_mut(chip)
+            .ok_or(VnpuError::UnknownChip { chip, count })?
+            .set_link_faulted(a, b, faulted);
+        self.after_fault_transition(chip, changed);
+        Ok(changed)
     }
 
     /// Provisions a virtual NPU on a specific chip, through the shared
@@ -1357,6 +1448,54 @@ impl Cluster {
         let receipt = hv.commit_in(&txn, &mut shared)?;
         self.mark_dirty(chip);
         Ok(receipt)
+    }
+
+    /// Remaps a virtual NPU in place on its own chip under a
+    /// caller-supplied strategy — the fault layer's remap-under-pin
+    /// primitive. Unlike the same-chip arm of
+    /// [`Cluster::migrate_to_chip`] (which re-runs the tenant's *own*
+    /// strategy, preserving e.g. an exact-only guarantee), this lets a
+    /// recovery policy substitute a laxer strategy when the tenant must
+    /// escape a faulted core at any shape cost. The plan machinery never
+    /// re-offers a faulted node, so a successful remap provably leaves
+    /// every dead core behind. Works on draining chips too: recovery
+    /// outranks the maintenance mask because the alternative is a tenant
+    /// pinned to dead hardware.
+    ///
+    /// # Errors
+    ///
+    /// [`VnpuError::UnknownChip`] / [`VnpuError::UnknownVm`] for bad
+    /// IDs; otherwise as for [`Hypervisor::plan_in`] /
+    /// [`Hypervisor::commit_in`] (notably [`VnpuError::NoPartition`]
+    /// when no fault-free placement of the tenant's shape exists).
+    pub fn recover_in_place(
+        &mut self,
+        id: ClusterVmId,
+        strategy: &vnpu_topo::mapping::Strategy,
+    ) -> Result<ReconfigCost> {
+        let count = self.chips.len();
+        if id.chip >= count {
+            return Err(VnpuError::UnknownChip {
+                chip: id.chip,
+                count,
+            });
+        }
+        let ops = [PlanOp::Migrate {
+            vm: id.vm,
+            to: crate::plan::MigrationTarget::Remap(strategy.clone()),
+        }];
+        let cache = Arc::clone(&self.cache);
+        let mut shared = &*cache;
+        let hv = &mut self.chips[id.chip];
+        let txn = hv.plan_in(&ops, &mut shared)?;
+        let receipt = hv.commit_in(&txn, &mut shared)?;
+        let cost = receipt
+            .migrated
+            .first()
+            .map(|(_, c)| *c)
+            .unwrap_or_default();
+        self.mark_dirty(id.chip);
+        Ok(cost)
     }
 
     /// Live-migrates a virtual NPU across chips: the tenant is recreated

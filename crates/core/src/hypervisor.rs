@@ -22,7 +22,7 @@ use crate::routing_table::RoutingTable;
 use crate::vnpu::{VirtualNpu, VnpuRequest, GUEST_VA_BASE};
 use crate::{Result, VnpuError};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use vnpu_mem::buddy::{Block, BuddyAllocator};
@@ -89,6 +89,16 @@ pub struct Hypervisor {
     /// state it did not see — [`Hypervisor::commit`] rejects it as
     /// [`VnpuError::StalePlan`]. 0 = no commit yet.
     plan_generation: u64,
+    /// Per-core fault mask maintained by [`Hypervisor::set_core_faulted`]:
+    /// a faulted core is held *occupied* in the free region (so every
+    /// placement path — mapping, fit hints, snapshots, fragmentation —
+    /// excludes it automatically) without touching `core_users`, and a
+    /// tenant releasing it does not return it to the free pool.
+    faulted: Vec<bool>,
+    /// Undirected NoC links marked faulted (endpoints stored sorted).
+    /// Links carry no occupancy, but the audit layer cross-checks live
+    /// tenants against them and routing costs degrade while any is set.
+    faulted_links: BTreeSet<(u32, u32)>,
 }
 
 impl Hypervisor {
@@ -127,6 +137,8 @@ impl Hypervisor {
             hint_cache: MappingCache::default(),
             topo_generation: 0,
             plan_generation: 0,
+            faulted: vec![false; n],
+            faulted_links: BTreeSet::new(),
             cfg,
         }
     }
@@ -138,11 +150,13 @@ impl Hypervisor {
     }
 
     /// Takes one user reference on a core, updating the free region when
-    /// the core transitions free → used.
+    /// the core transitions free → used. A faulted core is already held
+    /// occupied by the fault mask, so the transition does not touch the
+    /// free region again.
     fn acquire_core(&mut self, core: u32) {
         let users = &mut self.core_users[core as usize];
         *users += 1;
-        if *users == 1 {
+        if *users == 1 && !self.faulted[core as usize] {
             self.free_set.occupy(NodeId(core));
         }
     }
@@ -161,12 +175,14 @@ impl Hypervisor {
             return Err(VnpuError::OverRelease { core });
         }
         *users -= 1;
-        if *users == 0 {
+        if *users == 0 && !self.faulted[core as usize] {
             self.free_set.release(NodeId(core));
             // Any used→free transition is a retry signal, whether it came
             // from destroy_vnpu or an administrative release_cores — a
             // retry-after-free request must not stall behind capacity
-            // freed outside a vNPU teardown.
+            // freed outside a vNPU teardown. A *faulted* core is neither:
+            // it stays out of the free region (and is no retry signal)
+            // until repaired.
             self.free_events += 1;
         }
         Ok(())
@@ -281,6 +297,127 @@ impl Hypervisor {
     /// reconfig.
     pub fn set_topology_generation(&mut self, generation: u64) {
         self.topo_generation = generation;
+    }
+
+    // ------------------------------------------------------------------
+    // Hardware-fault masking (the `vnpu_fault` layer's hypervisor hooks).
+    // ------------------------------------------------------------------
+
+    /// Marks a physical core faulted (or repairs it). A faulted core is
+    /// held *occupied* in the free region without touching user counts,
+    /// so every placement path — mapping candidates, fit hints,
+    /// snapshots, fragmentation — excludes it automatically; tenants
+    /// still pinned on it keep their user references until recovery
+    /// moves or retires them, and a release while faulted does not
+    /// return the core to the free pool. Repairing a core with no users
+    /// frees it and counts as a retry-after-free event. Either
+    /// transition invalidates outstanding placement plans (they were
+    /// costed against a differently-healthy chip). Returns whether the
+    /// mask changed (the call is idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VnpuError::VirtCoreOutOfRange`] for a core outside the
+    /// chip.
+    pub fn set_core_faulted(&mut self, core: u32, faulted: bool) -> Result<bool> {
+        let count = self.cfg.core_count();
+        if core >= count {
+            return Err(VnpuError::VirtCoreOutOfRange {
+                vcore: VirtCoreId(core),
+                count,
+            });
+        }
+        if self.faulted[core as usize] == faulted {
+            return Ok(false);
+        }
+        self.faulted[core as usize] = faulted;
+        if self.core_users[core as usize] == 0 {
+            if faulted {
+                self.free_set.occupy(NodeId(core));
+            } else {
+                self.free_set.release(NodeId(core));
+                self.free_events += 1;
+            }
+        }
+        self.invalidate_plans();
+        Ok(true)
+    }
+
+    /// Whether a core is currently marked faulted (out-of-range = false).
+    pub fn core_faulted(&self, core: u32) -> bool {
+        self.faulted.get(core as usize).copied().unwrap_or(false)
+    }
+
+    /// Currently faulted cores, ascending.
+    pub fn faulted_cores(&self) -> Vec<u32> {
+        self.faulted
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Number of currently faulted cores.
+    pub fn faulted_core_count(&self) -> u32 {
+        self.faulted.iter().filter(|&&f| f).count() as u32
+    }
+
+    /// Faulted cores currently *unowned* — held out of the free region by
+    /// the fault mask alone. Leak accounting subtracts these: they are
+    /// dead hardware, not leaked tenant state (an owned faulted core is
+    /// already accounted to its owner).
+    pub fn masked_core_count(&self) -> u32 {
+        self.faulted
+            .iter()
+            .zip(&self.core_users)
+            .filter(|&(&f, &users)| f && users == 0)
+            .count() as u32
+    }
+
+    /// Whether any core or link fault is currently active.
+    pub fn has_faults(&self) -> bool {
+        !self.faulted_links.is_empty() || self.faulted.iter().any(|&f| f)
+    }
+
+    /// Marks an undirected NoC link faulted (or repairs it). Links carry
+    /// no core occupancy — the mask exists so detection and audit can
+    /// cross-check live tenants against dead links; the paired
+    /// [`vnpu_sim::machine::Machine`] models the timing and packet-drop
+    /// consequences. Either transition invalidates outstanding plans.
+    /// Returns whether the mask changed.
+    pub fn set_link_faulted(&mut self, a: u32, b: u32, faulted: bool) -> bool {
+        let key = (a.min(b), a.max(b));
+        let changed = if faulted {
+            self.faulted_links.insert(key)
+        } else {
+            self.faulted_links.remove(&key)
+        };
+        if changed {
+            self.invalidate_plans();
+        }
+        changed
+    }
+
+    /// Whether the undirected link `a`–`b` is marked faulted.
+    pub fn link_faulted(&self, a: u32, b: u32) -> bool {
+        self.faulted_links.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Currently faulted undirected links, endpoints sorted, ascending.
+    pub fn faulted_links(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.faulted_links.iter().copied()
+    }
+
+    /// The faulted cores as [`NodeId`]s — the exclusion list remap
+    /// widening must never re-offer.
+    fn faulted_nodes(&self) -> Vec<NodeId> {
+        self.faulted
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
     }
 
     /// Number of live virtual NPUs.
@@ -417,7 +554,7 @@ impl Hypervisor {
                 .core_users
                 .iter()
                 .enumerate()
-                .filter(|(_, &u)| u > 0)
+                .filter(|&(i, &u)| u > 0 && !self.faulted[i])
                 .map(|(i, &u)| (u, i as u32))
                 .collect();
             busy.sort_unstable();
@@ -463,8 +600,9 @@ impl Hypervisor {
     ///
     /// # Errors
     ///
-    /// Returns [`VnpuError::VirtCoreOutOfRange`] if any index is outside
-    /// the chip.
+    /// * [`VnpuError::VirtCoreOutOfRange`] — an index outside the chip.
+    /// * [`VnpuError::Faulted`] — a core currently marked faulted; dead
+    ///   hardware cannot be reserved (nothing is reserved).
     pub fn reserve_cores(&mut self, cores: &[u32]) -> Result<()> {
         let count = self.cfg.core_count();
         for &c in cores {
@@ -473,6 +611,9 @@ impl Hypervisor {
                     vcore: VirtCoreId(c),
                     count,
                 });
+            }
+            if self.faulted[c as usize] {
+                return Err(VnpuError::Faulted { core: c });
             }
         }
         for &c in cores {
@@ -820,6 +961,8 @@ impl Hypervisor {
         self.free_events.hash(&mut h);
         self.topo_generation.hash(&mut h);
         self.plan_generation.hash(&mut h);
+        self.faulted.hash(&mut h);
+        self.faulted_links.hash(&mut h);
         h.finish()
     }
 
@@ -842,7 +985,7 @@ impl Hypervisor {
         cache: &mut MappingCache,
     ) -> Result<Mapping> {
         let vnpu = self.vnpu(vm)?;
-        let widened = free.with_released(vnpu.mapping().phys_nodes());
+        let widened = free.with_released_except(vnpu.mapping().phys_nodes(), &self.faulted_nodes());
         Ok(self
             .mapper()
             .map_cached(&widened, vnpu.virt_topology(), strategy, cache)?)
@@ -921,7 +1064,9 @@ impl Hypervisor {
         free: &FreeSet,
         cache: &mut C,
     ) -> Result<Option<(Mapping, RoutingTable, ReconfigCost)>> {
-        let widened = free.with_released(own);
+        // Remap-under-pin treats the tenant's own cores as free — except
+        // the faulted ones, which the move exists to escape.
+        let widened = free.with_released_except(own, &self.faulted_nodes());
         let mapping = cache.map(&self.mapper(), &widened, virt, strategy)?;
         if mapping.phys_nodes() == own {
             return Ok(None);
@@ -941,6 +1086,7 @@ impl Hypervisor {
         let mut sim = SimCores {
             users: self.core_users.clone(),
             free: self.free_set.clone(),
+            faulted: &self.faulted,
         };
         let mut sim_buddy = self.buddy.clone();
         let mut sim_next_vm = self.next_vm;
@@ -1330,16 +1476,20 @@ fn allocate_memory_from(
 /// where a shared core stays occupied until its last user leaves. The
 /// plan must evolve the same way the commit will, or a plan could
 /// succeed whose commit fails with no intervening state change.
-struct SimCores {
+struct SimCores<'a> {
     users: Vec<u32>,
     free: FreeSet,
+    /// The live fault mask: a faulted core is pinned occupied in the free
+    /// region exactly as `acquire_core`/`release_core` pin it, so a plan
+    /// can never free a dead core into its simulated region either.
+    faulted: &'a [bool],
 }
 
-impl SimCores {
+impl SimCores<'_> {
     fn acquire(&mut self, n: NodeId) {
         let users = &mut self.users[n.index()];
         *users += 1;
-        if *users == 1 {
+        if *users == 1 && !self.faulted[n.index()] {
             self.free.occupy(n);
         }
     }
@@ -1350,7 +1500,7 @@ impl SimCores {
             return Err(VnpuError::OverRelease { core: n.0 });
         }
         *users -= 1;
-        if *users == 0 {
+        if *users == 0 && !self.faulted[n.index()] {
             self.free.release(n);
         }
         Ok(())
@@ -2161,5 +2311,90 @@ mod tests {
         for n in v.mapping().phys_nodes() {
             assert!(n.0 >= 30, "free bottom row preferred, got {n}");
         }
+    }
+
+    #[test]
+    fn faulted_free_core_leaves_every_placement_path() {
+        let mut h = hv();
+        assert!(h.set_core_faulted(0, true).unwrap());
+        assert!(!h.set_core_faulted(0, true).unwrap(), "idempotent");
+        assert!(h.core_faulted(0));
+        assert_eq!(h.faulted_cores(), vec![0]);
+        assert_eq!(h.free_core_count(), 35);
+        assert_eq!(h.core_users()[0], 0, "fault masking never touches users");
+        // Placement routes around the dead core.
+        let vm = h.create_vnpu(VnpuRequest::mesh(6, 6 - 1)).unwrap();
+        assert!(!h
+            .vnpu(vm)
+            .unwrap()
+            .mapping()
+            .phys_nodes()
+            .contains(&NodeId(0)));
+        // Reservation refuses dead hardware outright.
+        assert!(matches!(
+            h.reserve_cores(&[0]),
+            Err(VnpuError::Faulted { core: 0 })
+        ));
+        assert!(matches!(
+            h.set_core_faulted(99, true),
+            Err(VnpuError::VirtCoreOutOfRange { .. })
+        ));
+        // Repair returns the core and signals retry-after-free.
+        let events = h.free_events();
+        assert!(h.set_core_faulted(0, false).unwrap());
+        assert_eq!(h.free_core_count(), 6);
+        assert_eq!(h.free_events(), events + 1);
+    }
+
+    #[test]
+    fn faulted_owned_core_is_not_freed_by_teardown() {
+        let mut h = hv();
+        let vm = h.create_vnpu(VnpuRequest::mesh(2, 2)).unwrap();
+        let dead = h.vnpu(vm).unwrap().mapping().phys_nodes()[0].0;
+        h.set_core_faulted(dead, true).unwrap();
+        assert_eq!(h.free_core_count(), 32, "owned core: free set unchanged");
+        let events = h.free_events();
+        h.destroy_vnpu(vm).unwrap();
+        // Three healthy cores came back; the dead one stayed out.
+        assert_eq!(h.free_core_count(), 35);
+        assert!(!h.free_set().contains(NodeId(dead)));
+        // destroy bumps once per vNPU + once per healthy used→free core.
+        assert_eq!(h.free_events(), events + 4);
+        h.set_core_faulted(dead, false).unwrap();
+        assert_eq!(h.free_core_count(), 36);
+    }
+
+    #[test]
+    fn fault_transitions_invalidate_outstanding_plans() {
+        let mut h = hv();
+        let txn = h.plan(&[PlanOp::Create(VnpuRequest::mesh(2, 2))]).unwrap();
+        h.set_core_faulted(7, true).unwrap();
+        assert!(matches!(h.commit(&txn), Err(VnpuError::StalePlan { .. })));
+        let txn = h.plan(&[PlanOp::Create(VnpuRequest::mesh(2, 2))]).unwrap();
+        assert!(h.set_link_faulted(0, 1, true));
+        assert!(!h.set_link_faulted(1, 0, true), "undirected, idempotent");
+        assert!(h.link_faulted(1, 0));
+        assert_eq!(h.faulted_links().collect::<Vec<_>>(), vec![(0, 1)]);
+        assert!(matches!(h.commit(&txn), Err(VnpuError::StalePlan { .. })));
+    }
+
+    #[test]
+    fn remap_under_pin_escapes_the_faulted_core() {
+        let mut h = hv();
+        let vm = h.create_vnpu(VnpuRequest::mesh(2, 2)).unwrap();
+        let dead = h.vnpu(vm).unwrap().mapping().phys_nodes()[0].0;
+        h.set_core_faulted(dead, true).unwrap();
+        let txn = h
+            .plan(&[PlanOp::Migrate {
+                vm,
+                to: MigrationTarget::Remap(Strategy::similar_topology().threads(1)),
+            }])
+            .unwrap();
+        let receipt = h.commit(&txn).unwrap();
+        assert_eq!(receipt.migrated.len(), 1, "a move must happen");
+        let nodes = h.vnpu(vm).unwrap().mapping().phys_nodes();
+        assert!(!nodes.contains(&NodeId(dead)), "dead core escaped");
+        assert_eq!(h.core_users()[dead as usize], 0);
+        assert!(!h.free_set().contains(NodeId(dead)), "still masked");
     }
 }

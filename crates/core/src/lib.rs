@@ -158,6 +158,13 @@ pub enum VnpuError {
         /// Which rule was violated.
         detail: &'static str,
     },
+    /// The operation touched a physical resource marked faulted by the
+    /// hardware-fault layer: the hypervisor refuses to hand out a dead
+    /// core until it is repaired.
+    Faulted {
+        /// The faulted physical core.
+        core: u32,
+    },
     /// No MIG partition is free.
     NoPartition,
     /// An MMIO access violated the PF/VF protection rules (§5.1).
@@ -197,6 +204,9 @@ impl fmt::Display for VnpuError {
             }
             VnpuError::Drain { chip, detail } => {
                 write!(f, "drain lifecycle violation on chip {chip}: {detail}")
+            }
+            VnpuError::Faulted { core } => {
+                write!(f, "physical core {core} is marked faulted")
             }
             VnpuError::NoPartition => write!(f, "no free MIG partition"),
             VnpuError::MmioDenied { vm, offset } => {

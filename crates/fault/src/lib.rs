@@ -1,0 +1,408 @@
+//! **vnpu_fault** — seeded hardware-fault injection and recovery policy
+//! for the vNPU serving stack.
+//!
+//! A production fleet serving millions of users must treat core and
+//! NoC-link failures as first-class events, not as impossibilities the
+//! topology-aware abstraction assumes away. This crate supplies the three
+//! pieces the serving runtime composes into a fault → detect → recover
+//! lifecycle:
+//!
+//! * [`FaultPlan`] — a deterministic, seedable schedule of
+//!   [`FaultEvent`]s (core or undirected-link failures, each with an
+//!   onset tick and an optional repair tick). The plan is pure data: the
+//!   serving runtime injects each event into the chip's
+//!   [`vnpu_sim::Machine`] and masks the resource in the hypervisor at
+//!   the onset tick, and undoes both at the repair tick.
+//! * [`FaultDetector`] — maps a failed resource to the tenants it
+//!   affects via the hypervisor's live ownership state (the routing
+//!   tables and core mappings the virtualization layer already
+//!   maintains). Detection is conservative for link faults: any tenant
+//!   owning an endpoint of a dead link is treated as affected, since its
+//!   NoC traffic terminates in the failed router.
+//! * [`RecoveryPolicy`] — how the hypervisor responds: remap-under-pin
+//!   around the dead resource where topology edit distance allows, else
+//!   an *emergency drain* of only the affected tenants (an unplanned,
+//!   unbudgeted variant of the maintenance-drain pipeline), declaring a
+//!   tenant lost after [`RecoveryPolicy::max_recovery_ticks`] ticks
+//!   without a landing spot.
+//!
+//! Everything is deterministic: the same seed reproduces the same fault
+//! schedule, and the recovery path runs through the same transactional
+//! plan machinery as every other placement mutation — so serving reports
+//! stay byte-identical across runs and worker-pool widths even with
+//! faults in flight.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use vnpu::{Hypervisor, VmId};
+use vnpu_topo::mapping::Strategy;
+use vnpu_topo::{NodeId, Topology};
+
+/// Which hardware resource failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// A physical core died: nothing can be bound to it and every tenant
+    /// mapping it loses compute.
+    Core {
+        /// The failed physical core.
+        core: u32,
+    },
+    /// An undirected NoC link died: packets crossing it (either
+    /// direction) fault, and both endpoint routers are suspect.
+    Link {
+        /// One endpoint core of the failed link.
+        a: u32,
+        /// The other endpoint core.
+        b: u32,
+    },
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::Core { core } => write!(f, "core {core}"),
+            FaultKind::Link { a, b } => write!(f, "link {a}\u{2013}{b}"),
+        }
+    }
+}
+
+/// One scheduled hardware failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The chip the failure lands on.
+    pub chip: usize,
+    /// What fails.
+    pub kind: FaultKind,
+    /// The serving tick at which the failure manifests.
+    pub onset_tick: u64,
+    /// The tick at which field service repairs the resource (`None` =
+    /// permanently dead for the run).
+    pub repair_tick: Option<u64>,
+}
+
+/// A deterministic schedule of hardware failures, injected into the
+/// serving loop tick by tick. Build one explicitly with
+/// [`FaultPlan::core_fault`] / [`FaultPlan::link_fault`] /
+/// [`FaultPlan::row_outage`], or sample one with [`FaultPlan::seeded`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no failures — the healthy-fleet baseline).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules one core failure.
+    pub fn core_fault(mut self, chip: usize, core: u32, onset: u64, repair: Option<u64>) -> Self {
+        self.events.push(FaultEvent {
+            chip,
+            kind: FaultKind::Core { core },
+            onset_tick: onset,
+            repair_tick: repair.filter(|&r| r > onset),
+        });
+        self
+    }
+
+    /// Schedules one undirected-link failure.
+    pub fn link_fault(
+        mut self,
+        chip: usize,
+        a: u32,
+        b: u32,
+        onset: u64,
+        repair: Option<u64>,
+    ) -> Self {
+        self.events.push(FaultEvent {
+            chip,
+            kind: FaultKind::Link { a, b },
+            onset_tick: onset,
+            repair_tick: repair.filter(|&r| r > onset),
+        });
+        self
+    }
+
+    /// Schedules the headline scenario: a chip loses one whole mesh row
+    /// of cores at once (cores `row*mesh_width .. (row+1)*mesh_width`) —
+    /// e.g. a shared power rail or row driver failing.
+    pub fn row_outage(
+        mut self,
+        chip: usize,
+        mesh_width: u32,
+        row: u32,
+        onset: u64,
+        repair: Option<u64>,
+    ) -> Self {
+        for core in row * mesh_width..(row + 1) * mesh_width {
+            self = self.core_fault(chip, core, onset, repair);
+        }
+        self
+    }
+
+    /// Samples a deterministic random plan: `count` failures spread
+    /// uniformly over `chips` (each described by its core count) and over
+    /// ticks `1..horizon`, with every failure repaired `repair_after`
+    /// ticks later (`None` = permanent). The same seed always produces
+    /// the same plan.
+    pub fn seeded(
+        seed: u64,
+        chips: &[u32],
+        count: usize,
+        horizon: u64,
+        repair_after: Option<u64>,
+    ) -> Self {
+        let mut plan = FaultPlan::new();
+        if chips.is_empty() || horizon < 2 {
+            return plan;
+        }
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next = || {
+            state = splitmix64(state);
+            state
+        };
+        for _ in 0..count {
+            let chip = (next() % chips.len() as u64) as usize;
+            let cores = chips[chip].max(1);
+            let core = (next() % u64::from(cores)) as u32;
+            let onset = 1 + next() % (horizon - 1);
+            plan = plan.core_fault(chip, core, onset, repair_after.map(|r| onset + r.max(1)));
+        }
+        plan
+    }
+
+    /// Every scheduled event, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Events whose failure manifests at `tick`, in insertion order.
+    pub fn onsets_at(&self, tick: u64) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(move |e| e.onset_tick == tick)
+    }
+
+    /// Events whose repair lands at `tick`, in insertion order.
+    pub fn repairs_at(&self, tick: u64) -> impl Iterator<Item = &FaultEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.repair_tick == Some(tick))
+    }
+
+    /// The last tick at which anything happens (0 for an empty plan).
+    pub fn horizon(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| e.repair_tick.unwrap_or(e.onset_tick))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The canonical splitmix64 step — the same generator the arrival
+/// streams use, re-implemented locally so the fault crate stays at the
+/// bottom of the dependency DAG.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Whether any dimension-order route between two of `nodes` crosses the
+/// undirected link `a`–`b`. The machine routes X-then-Y, so a tenant's
+/// NoC traffic can transit links between cores it does not own — a
+/// route-aware check is the only sound link-fault detector.
+fn routes_cross_link(topo: &Topology, nodes: &[NodeId], a: u32, b: u32) -> bool {
+    nodes.iter().any(|&s| {
+        nodes.iter().any(|&d| {
+            s != d
+                && vnpu_topo::route::dor_path(topo, s, d).is_ok_and(|p| {
+                    p.windows(2)
+                        .any(|w| (w[0].0 == a && w[1].0 == b) || (w[0].0 == b && w[1].0 == a))
+                })
+        })
+    })
+}
+
+/// Maps a failed resource to the tenants it affects, via the
+/// hypervisor's live ownership state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultDetector;
+
+impl FaultDetector {
+    /// The tenants a failure affects, in ascending [`VmId`] order (the
+    /// deterministic recovery order).
+    ///
+    /// * A core fault affects every tenant whose mapping includes the
+    ///   core.
+    /// * A link fault affects every tenant owning either endpoint core
+    ///   (its NoC traffic terminates in the failed link's routers) *or*
+    ///   whose dimension-order routes transit the link — routes are not
+    ///   confined to the cores a tenant owns.
+    pub fn affected_tenants(hv: &Hypervisor, kind: &FaultKind) -> Vec<VmId> {
+        let topo = hv.topology();
+        let touches = |nodes: &[NodeId]| match *kind {
+            FaultKind::Core { core } => nodes.contains(&NodeId(core)),
+            FaultKind::Link { a, b } => {
+                nodes.contains(&NodeId(a))
+                    || nodes.contains(&NodeId(b))
+                    || routes_cross_link(topo, nodes, a, b)
+            }
+        };
+        let mut affected: Vec<VmId> = hv
+            .vnpus()
+            .filter(|(_, v)| touches(v.mapping().phys_nodes()))
+            .map(|(&vm, _)| vm)
+            .collect();
+        affected.sort_unstable();
+        affected
+    }
+
+    /// Whether one tenant still touches *any* currently-faulted resource
+    /// on its chip — the recovery loop's convergence test. A tenant that
+    /// stopped being affected without moving (its fault was repaired, or
+    /// it was detected conservatively off a link endpoint that healed)
+    /// needs no recovery action at all.
+    pub fn tenant_affected(hv: &Hypervisor, vm: VmId) -> bool {
+        let Ok(vnpu) = hv.vnpu(vm) else {
+            return false;
+        };
+        let nodes = vnpu.mapping().phys_nodes();
+        let topo = hv.topology();
+        hv.faulted_cores()
+            .iter()
+            .any(|&c| nodes.contains(&NodeId(c)))
+            || hv.faulted_links().any(|(a, b)| {
+                nodes.contains(&NodeId(a))
+                    || nodes.contains(&NodeId(b))
+                    || routes_cross_link(topo, nodes, a, b)
+            })
+    }
+}
+
+/// How the hypervisor responds to a detected failure.
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Mapping strategy for the remap-under-pin attempt (the affected
+    /// tenant's virtual topology is re-placed against the free region
+    /// plus its own *healthy* cores).
+    pub remap_strategy: Strategy,
+    /// Ticks an affected tenant may stay pending (no remap window, no
+    /// other chip with room) before it is declared lost. Bounds MTTR.
+    pub max_recovery_ticks: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            remap_strategy: Strategy::similar_topology().threads(1).candidate_cap(200),
+            max_recovery_ticks: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnpu::VnpuRequest;
+    use vnpu_sim::SocConfig;
+
+    #[test]
+    fn plan_builders_schedule_and_query() {
+        let plan = FaultPlan::new()
+            .core_fault(0, 7, 10, Some(20))
+            .link_fault(1, 0, 1, 12, None)
+            .row_outage(0, 6, 2, 15, Some(30));
+        assert_eq!(plan.len(), 8, "a 6-wide row is 6 core faults");
+        assert_eq!(plan.onsets_at(10).count(), 1);
+        assert_eq!(plan.onsets_at(15).count(), 6);
+        assert_eq!(plan.repairs_at(20).count(), 1);
+        assert_eq!(plan.repairs_at(30).count(), 6);
+        assert_eq!(plan.onsets_at(11).count(), 0);
+        assert_eq!(plan.horizon(), 30);
+        let row_cores: Vec<u32> = plan
+            .onsets_at(15)
+            .map(|e| match e.kind {
+                FaultKind::Core { core } => core,
+                FaultKind::Link { .. } => unreachable!(),
+            })
+            .collect();
+        assert_eq!(row_cores, vec![12, 13, 14, 15, 16, 17]);
+    }
+
+    #[test]
+    fn repair_before_onset_is_dropped() {
+        let plan = FaultPlan::new().core_fault(0, 0, 10, Some(5));
+        assert_eq!(plan.events()[0].repair_tick, None);
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_in_range() {
+        let a = FaultPlan::seeded(42, &[36, 16], 10, 100, Some(20));
+        let b = FaultPlan::seeded(42, &[36, 16], 10, 100, Some(20));
+        assert_eq!(a, b, "same seed, same plan");
+        assert_ne!(a, FaultPlan::seeded(43, &[36, 16], 10, 100, Some(20)));
+        assert_eq!(a.len(), 10);
+        for e in a.events() {
+            assert!(e.chip < 2);
+            let FaultKind::Core { core } = e.kind else {
+                panic!("seeded plans are core faults");
+            };
+            assert!(core < [36, 16][e.chip]);
+            assert!(e.onset_tick >= 1 && e.onset_tick < 100);
+            assert_eq!(e.repair_tick, Some(e.onset_tick + 20));
+        }
+        assert!(FaultPlan::seeded(1, &[], 5, 100, None).is_empty());
+    }
+
+    #[test]
+    fn detector_names_affected_tenants_in_vm_order() {
+        let mut hv = Hypervisor::new(SocConfig::sim());
+        // 6x6 mesh: a 2x2 tenant lands on the first exact-match window.
+        let a = hv.create_vnpu(VnpuRequest::mesh(2, 2)).unwrap();
+        let b = hv.create_vnpu(VnpuRequest::cores(1)).unwrap();
+        let a_core = hv.vnpu(a).unwrap().mapping().phys_nodes()[0].0;
+        let b_core = hv.vnpu(b).unwrap().mapping().phys_nodes()[0].0;
+        assert_ne!(a_core, b_core);
+        let hit = FaultDetector::affected_tenants(&hv, &FaultKind::Core { core: a_core });
+        assert_eq!(hit, vec![a]);
+        let hit = FaultDetector::affected_tenants(&hv, &FaultKind::Core { core: b_core });
+        assert_eq!(hit, vec![b]);
+        // A link fault touching one of a's cores affects a only.
+        let second = hv.vnpu(a).unwrap().mapping().phys_nodes()[1].0;
+        let hit = FaultDetector::affected_tenants(
+            &hv,
+            &FaultKind::Link {
+                a: a_core,
+                b: second,
+            },
+        );
+        assert_eq!(hit, vec![a]);
+        // A fault on an unowned core affects nobody.
+        let free = (0..36)
+            .find(|&c| {
+                hv.vnpus()
+                    .all(|(_, v)| !v.mapping().phys_nodes().contains(&NodeId(c)))
+            })
+            .unwrap();
+        assert!(FaultDetector::affected_tenants(&hv, &FaultKind::Core { core: free }).is_empty());
+    }
+
+    #[test]
+    fn recovery_policy_default_is_bounded() {
+        let p = RecoveryPolicy::default();
+        assert!(p.max_recovery_ticks > 0);
+    }
+}

@@ -57,7 +57,26 @@ pub struct ChipReport {
     pub executed_epochs: u64,
     /// Simulated machine cycles on this chip.
     pub machine_cycles: u64,
-    /// Cores still marked used at report time (0 after a drain).
+    /// Hardware-fault onsets that landed on this chip over the run.
+    pub fault_onsets: u64,
+    /// Hardware faults repaired on this chip over the run.
+    pub fault_repairs: u64,
+    /// Affected tenants this chip recovered in place (remap-under-pin).
+    pub recoveries_remapped: u64,
+    /// Affected tenants evacuated *off* this chip by an emergency
+    /// cross-chip re-placement.
+    pub recoveries_replaced: u64,
+    /// Affected tenants on this chip declared lost (no landing spot
+    /// within the recovery deadline).
+    pub tenants_lost: u64,
+    /// Ticks this chip served in degraded mode (any core or link fault
+    /// active).
+    pub degraded_ticks: u64,
+    /// Cores still faulted at report time — dead hardware, excluded from
+    /// [`ChipReport::leaked_cores`].
+    pub faulted_cores: u64,
+    /// Cores still marked used at report time (0 after a drain; unowned
+    /// faulted cores are counted as dead hardware, not leaks).
     pub leaked_cores: u32,
     /// HBM bytes still allocated at report time (0 after a drain).
     pub leaked_hbm_bytes: u64,
@@ -137,14 +156,47 @@ pub struct ServeReport {
     /// audited fleet reports 0 too, so a clean audited run's report is
     /// byte-identical to the unaudited one).
     pub audit_findings: u64,
+    /// Hardware-fault onsets injected over the run (cores and links).
+    pub faults_injected: u64,
+    /// Hardware faults repaired over the run.
+    pub faults_repaired: u64,
+    /// Affected tenants recovered by an in-place remap-under-pin.
+    pub recoveries_remapped: u64,
+    /// Affected tenants recovered by an emergency cross-chip
+    /// re-placement.
+    pub recoveries_replaced: u64,
+    /// Affected tenants whose fault was repaired under them before any
+    /// recovery action landed.
+    pub recoveries_self_healed: u64,
+    /// Affected tenants declared lost (no landing spot within
+    /// `RecoveryPolicy::max_recovery_ticks` of detection). Lost tenants
+    /// are also counted in [`ServeReport::departed`].
+    pub tenants_lost: u64,
+    /// Affected tenants still awaiting recovery at report time (0 after
+    /// the end-of-run drain).
+    pub recoveries_pending: u64,
+    /// Summed [`ReconfigCost`] every recovery action paid (remaps and
+    /// emergency re-placements).
+    pub recovery_reconfig: ReconfigCost,
+    /// Chip-ticks served in degraded mode (the per-hop router penalty
+    /// active), summed over chips.
+    pub degraded_ticks: u64,
+    /// Summed ticks-to-recover over every recovered tenant (detection →
+    /// recovery; 0 = same tick).
+    pub mttr_total_ticks: u64,
+    /// Worst observed ticks-to-recover.
+    pub mttr_max_ticks: u64,
     /// Worker threads the run's parallel phases used (1 = the exact
     /// sequential path). The only report field that varies with the
     /// thread count — strip its JSON line (`grep -v '"workers"'`) to
     /// byte-compare runs across worker counts.
     pub workers: usize,
-    /// Wall-clock spent in the admission phase, in nanoseconds (0
+    /// Wall-clock spent in the fault-recovery phase, in nanoseconds (0
     /// unless the run collected phase timing — `ServeConfig::time_phases`
     /// — so untimed reports stay deterministic).
+    pub recovery_nanos: u64,
+    /// Wall-clock spent in the admission phase, in nanoseconds (0
+    /// unless phase timing was on).
     pub admission_nanos: u64,
     /// Wall-clock spent in the drain/maintenance phase, in nanoseconds
     /// (0 unless phase timing was on).
@@ -171,6 +223,24 @@ impl ServeReport {
             return 1.0;
         }
         self.accepted as f64 / self.submitted as f64
+    }
+
+    /// Tenants that recovered from a hardware fault by any path (remap,
+    /// emergency re-placement, or a repair landing under them).
+    pub fn recovered_tenants(&self) -> u64 {
+        self.recoveries_remapped + self.recoveries_replaced + self.recoveries_self_healed
+    }
+
+    /// Mean ticks-to-recover over every recovered tenant (0.0 when no
+    /// tenant needed recovery). Lost tenants are excluded — they never
+    /// recovered; [`ServeReport::mttr_max_ticks`] still bounds the
+    /// successful tail.
+    pub fn mean_mttr_ticks(&self) -> f64 {
+        let recovered = self.recovered_tenants();
+        if recovered == 0 {
+            return 0.0;
+        }
+        self.mttr_total_ticks as f64 / recovered as f64
     }
 
     /// Mean free-core connectivity over the trajectory (1.0 when empty).
@@ -228,12 +298,37 @@ impl ServeReport {
             self.audit_findings,
             self.workers,
         );
-        let timed_nanos =
-            self.admission_nanos + self.drain_nanos + self.defrag_nanos + self.execution_nanos;
+        if self.faults_injected > 0 || self.tenants_lost > 0 {
+            out.push_str(&format!(
+                "\n  faults: {} injected, {} repaired | recoveries: {} remapped, \
+                 {} replaced, {} self-healed, {} lost, {} pending | \
+                 mttr mean {:.2} max {} ticks | degraded {} chip-ticks | \
+                 recovery cost {} cycles, {} B moved, {} paused",
+                self.faults_injected,
+                self.faults_repaired,
+                self.recoveries_remapped,
+                self.recoveries_replaced,
+                self.recoveries_self_healed,
+                self.tenants_lost,
+                self.recoveries_pending,
+                self.mean_mttr_ticks(),
+                self.mttr_max_ticks,
+                self.degraded_ticks,
+                self.recovery_reconfig.config_cycles(),
+                self.recovery_reconfig.data_move_bytes,
+                self.recovery_reconfig.paused_cycles,
+            ));
+        }
+        let timed_nanos = self.recovery_nanos
+            + self.admission_nanos
+            + self.drain_nanos
+            + self.defrag_nanos
+            + self.execution_nanos;
         if timed_nanos > 0 {
             out.push_str(&format!(
-                "\n  phase wall-clock: admission {:.2} ms, drain {:.2} ms, \
-                 defrag {:.2} ms, execution {:.2} ms",
+                "\n  phase wall-clock: recovery {:.2} ms, admission {:.2} ms, \
+                 drain {:.2} ms, defrag {:.2} ms, execution {:.2} ms",
+                self.recovery_nanos as f64 / 1e6,
                 self.admission_nanos as f64 / 1e6,
                 self.drain_nanos as f64 / 1e6,
                 self.defrag_nanos as f64 / 1e6,
@@ -263,6 +358,19 @@ impl ServeReport {
                 c.leaked_cores,
                 c.leaked_hbm_bytes,
             ));
+            if c.fault_onsets > 0 || c.degraded_ticks > 0 {
+                out.push_str(&format!(
+                    ", faults {}on/{}rep (remapped {}, replaced {}, lost {}, \
+                     degraded {} ticks, {} cores dead)",
+                    c.fault_onsets,
+                    c.fault_repairs,
+                    c.recoveries_remapped,
+                    c.recoveries_replaced,
+                    c.tenants_lost,
+                    c.degraded_ticks,
+                    c.faulted_cores,
+                ));
+            }
         }
         out
     }
@@ -304,6 +412,10 @@ impl ServeReport {
                  \"schedulable\":{},\"sched_state\":\"{}\",\"residual_vnpus\":{},\
                  \"executed_epochs\":{},\
                  \"machine_cycles\":{},\
+                 \"fault_onsets\":{},\"fault_repairs\":{},\
+                 \"recoveries_remapped\":{},\"recoveries_replaced\":{},\
+                 \"tenants_lost\":{},\"degraded_ticks\":{},\
+                 \"faulted_cores\":{},\
                  \"leaked_cores\":{},\"leaked_hbm_bytes\":{},\
                  \"exec_nanos\":{}}}",
                 c.chip,
@@ -319,6 +431,13 @@ impl ServeReport {
                 c.residual_vnpus,
                 c.executed_epochs,
                 c.machine_cycles,
+                c.fault_onsets,
+                c.fault_repairs,
+                c.recoveries_remapped,
+                c.recoveries_replaced,
+                c.tenants_lost,
+                c.degraded_ticks,
+                c.faulted_cores,
                 c.leaked_cores,
                 c.leaked_hbm_bytes,
                 c.exec_nanos,
@@ -344,7 +463,17 @@ impl ServeReport {
              \"executed_epochs\": {},\n  \"machine_cycles\": {},\n  \
              \"controller_cycles\": {},\n  \"leaked_cores\": {},\n  \
              \"leaked_hbm_bytes\": {},\n  \"audit_findings\": {},\n  \
+             \"faults_injected\": {},\n  \"faults_repaired\": {},\n  \
+             \"recoveries_remapped\": {},\n  \"recoveries_replaced\": {},\n  \
+             \"recoveries_self_healed\": {},\n  \"tenants_lost\": {},\n  \
+             \"recoveries_pending\": {},\n  \
+             \"recovery_reconfig_config_cycles\": {},\n  \
+             \"recovery_reconfig_data_move_bytes\": {},\n  \
+             \"recovery_reconfig_paused_cycles\": {},\n  \
+             \"degraded_ticks\": {},\n  \
+             \"mttr_mean_ticks\": {:.4},\n  \"mttr_max_ticks\": {},\n  \
              \"workers\": {},\n  \
+             \"recovery_nanos\": {},\n  \
              \"admission_nanos\": {},\n  \"drain_nanos\": {},\n  \
              \"defrag_nanos\": {},\n  \"execution_nanos\": {},\n  \
              \"chips\": {},\n  \
@@ -379,7 +508,21 @@ impl ServeReport {
             self.leaked_cores,
             self.leaked_hbm_bytes,
             self.audit_findings,
+            self.faults_injected,
+            self.faults_repaired,
+            self.recoveries_remapped,
+            self.recoveries_replaced,
+            self.recoveries_self_healed,
+            self.tenants_lost,
+            self.recoveries_pending,
+            self.recovery_reconfig.config_cycles(),
+            self.recovery_reconfig.data_move_bytes,
+            self.recovery_reconfig.paused_cycles,
+            self.degraded_ticks,
+            self.mean_mttr_ticks(),
+            self.mttr_max_ticks,
             self.workers,
+            self.recovery_nanos,
             self.admission_nanos,
             self.drain_nanos,
             self.defrag_nanos,
@@ -458,7 +601,24 @@ mod tests {
             leaked_cores: 0,
             leaked_hbm_bytes: 0,
             audit_findings: 0,
+            faults_injected: 2,
+            faults_repaired: 1,
+            recoveries_remapped: 1,
+            recoveries_replaced: 1,
+            recoveries_self_healed: 0,
+            tenants_lost: 1,
+            recoveries_pending: 0,
+            recovery_reconfig: ReconfigCost {
+                routing_cycles: 20,
+                rtt_cycles: 8,
+                data_move_bytes: 2048,
+                paused_cycles: 300,
+            },
+            degraded_ticks: 3,
+            mttr_total_ticks: 4,
+            mttr_max_ticks: 3,
             workers: 4,
+            recovery_nanos: 0,
             admission_nanos: 1_500_000,
             drain_nanos: 0,
             defrag_nanos: 0,
@@ -476,6 +636,13 @@ mod tests {
                 residual_vnpus: 0,
                 executed_epochs: 2,
                 machine_cycles: 1000,
+                fault_onsets: 2,
+                fault_repairs: 1,
+                recoveries_remapped: 1,
+                recoveries_replaced: 1,
+                tenants_lost: 1,
+                degraded_ticks: 3,
+                faulted_cores: 1,
                 leaked_cores: 0,
                 leaked_hbm_bytes: 0,
                 exec_nanos: 2_500_000,
@@ -498,6 +665,20 @@ mod tests {
         assert!(json.contains("\"admission_nanos\": 1500000"));
         assert!(json.contains("\"execution_nanos\": 2500000"));
         assert!(json.contains("\"exec_nanos\":2500000"));
+        assert!(json.contains("\"faults_injected\": 2"));
+        assert!(json.contains("\"recoveries_remapped\": 1"));
+        assert!(json.contains("\"tenants_lost\": 1"));
+        assert!(json.contains("\"recovery_reconfig_paused_cycles\": 300"));
+        assert!(json.contains("\"degraded_ticks\": 3"));
+        assert!(
+            json.contains("\"mttr_mean_ticks\": 2.0000"),
+            "4 ticks / 2 recovered"
+        );
+        assert!(json.contains("\"mttr_max_ticks\": 3"));
+        assert!(json.contains("\"recovery_nanos\": 0"));
+        assert!(json.contains("\"fault_onsets\":2"));
+        assert!(json.contains("\"faulted_cores\":1"));
+        assert!(json.contains("\"degraded_ticks\":3"));
         assert!(json.contains("\"chips\": [{"));
         assert!(json.contains("\"fragmentation\": [{"));
         assert!(!r.summary().is_empty());
@@ -506,7 +687,14 @@ mod tests {
         assert!(r.summary().contains("drain: 2 evacuated"));
         assert!(r.summary().contains("audit findings 0"));
         assert!(r.summary().contains("workers 4"));
-        assert!(r.summary().contains("phase wall-clock: admission 1.50 ms"));
+        assert!(r.summary().contains("faults: 2 injected, 1 repaired"));
+        assert!(r.summary().contains("mttr mean 2.00 max 3 ticks"));
+        assert!(r.summary().contains("degraded 3 ticks, 1 cores dead"));
+        assert!(r
+            .summary()
+            .contains("phase wall-clock: recovery 0.00 ms, admission 1.50 ms"));
+        assert_eq!(r.recovered_tenants(), 2);
+        assert!((r.mean_mttr_ticks() - 2.0).abs() < 1e-9);
         assert!(!r.per_chip[0].schedulable());
     }
 
@@ -525,6 +713,13 @@ mod tests {
             residual_vnpus: 0,
             executed_epochs: 0,
             machine_cycles: 0,
+            fault_onsets: 0,
+            fault_repairs: 0,
+            recoveries_remapped: 0,
+            recoveries_replaced: 0,
+            tenants_lost: 0,
+            degraded_ticks: 0,
+            faulted_cores: 0,
             leaked_cores: 0,
             leaked_hbm_bytes: 0,
             exec_nanos: 0,

@@ -36,6 +36,7 @@ use vnpu::plan::{Defragmenter, ReconfigBudget, ReconfigCost};
 use vnpu::pool::WorkerPool;
 use vnpu::{Hypervisor, VirtCoreId};
 use vnpu_audit::{AuditFinding, FleetAuditor};
+use vnpu_fault::{FaultDetector, FaultEvent, FaultKind, FaultPlan, RecoveryPolicy};
 use vnpu_sim::isa::{Instr, Program};
 use vnpu_sim::machine::{Machine, TenantId};
 use vnpu_sim::SocConfig;
@@ -108,6 +109,15 @@ pub struct ServeConfig {
     /// default so reports stay fully deterministic run-to-run; the
     /// bench layer flips it on for perf trajectories.
     pub time_phases: bool,
+    /// The seeded hardware-fault schedule injected into the run
+    /// ([`vnpu_fault::FaultPlan`]); empty by default — the healthy-fleet
+    /// baseline, where the recovery phase costs one branch per tick.
+    pub fault_plan: FaultPlan,
+    /// How the recovery phase responds to detected failures:
+    /// remap-under-pin strategy and the pending-tenant deadline
+    /// ([`vnpu_fault::RecoveryPolicy::max_recovery_ticks`]) after which
+    /// an unplaceable tenant is declared lost.
+    pub recovery: RecoveryPolicy,
     /// Concurrency instrumentation ([`vnpu_conc::ConcMode`]): an
     /// optional probe installed on every lock the runtime owns, an
     /// optional seeded schedule perturbation for the worker pool, and
@@ -153,6 +163,8 @@ impl ServeConfig {
             audit: false,
             workers: 1,
             time_phases: false,
+            fault_plan: FaultPlan::new(),
+            recovery: RecoveryPolicy::default(),
             conc: vnpu_conc::ConcMode::default(),
         }
     }
@@ -185,6 +197,22 @@ pub struct TickEvents {
     /// Invariant violations the post-tick fleet audit reported (always 0
     /// when [`ServeConfig::audit`] is off).
     pub audit_findings: u64,
+    /// Hardware faults whose onset landed this tick.
+    pub fault_onsets: u64,
+    /// Hardware faults repaired this tick.
+    pub fault_repairs: u64,
+    /// Affected tenants recovered this tick by an in-place
+    /// remap-under-pin around the dead resource.
+    pub recoveries_remapped: u64,
+    /// Affected tenants recovered this tick by an emergency cross-chip
+    /// re-placement.
+    pub recoveries_replaced: u64,
+    /// Affected tenants still awaiting a landing spot after this tick's
+    /// recovery pass.
+    pub recoveries_pending: u64,
+    /// Affected tenants declared lost this tick (pending past the
+    /// [`vnpu_fault::RecoveryPolicy::max_recovery_ticks`] deadline).
+    pub tenants_lost: u64,
 }
 
 #[derive(Debug)]
@@ -204,6 +232,14 @@ struct ChipCounters {
     drain_received: u64,
     executed_epochs: u64,
     machine_cycles: u64,
+    fault_onsets: u64,
+    fault_repairs: u64,
+    recoveries_remapped: u64,
+    recoveries_replaced: u64,
+    tenants_lost: u64,
+    /// Ticks this chip spent in degraded mode (any core or link fault
+    /// active at the end of the tick's recovery phase).
+    degraded_ticks: u64,
     /// Wall-clock spent in this chip's machine epochs (nanos); stays 0
     /// unless [`ServeConfig::time_phases`] is on.
     exec_nanos: u64,
@@ -214,6 +250,7 @@ struct ChipCounters {
 /// only in these fields.
 #[derive(Debug, Default, Clone, Copy)]
 struct PhaseNanos {
+    recovery: u64,
     admission: u64,
     drain: u64,
     defrag: u64,
@@ -257,6 +294,28 @@ pub struct ServeRuntime {
     hbm_frag_recovered: f64,
     fragmentation: Vec<FragSample>,
     per_chip: Vec<ChipCounters>,
+    /// Tenants detected as fault-affected and not yet recovered, each
+    /// with the tick its outage was first detected. `BTreeMap` iteration
+    /// order *is* the deterministic recovery order.
+    pending_recovery: BTreeMap<ClusterVmId, u64>,
+    faults_injected: u64,
+    faults_repaired: u64,
+    recoveries_remapped: u64,
+    recoveries_replaced: u64,
+    /// Pending tenants whose fault was repaired under them before any
+    /// recovery action landed — recovered without moving.
+    recoveries_self_healed: u64,
+    tenants_lost: u64,
+    /// Summed [`ReconfigCost`] paid by every recovery action (remap or
+    /// emergency re-placement).
+    recovery_reconfig: ReconfigCost,
+    /// Chip-ticks spent in degraded mode, summed over chips.
+    degraded_ticks: u64,
+    /// Summed ticks-to-recover over every recovered tenant (0 = same
+    /// tick as the onset).
+    mttr_total_ticks: u64,
+    /// Worst observed ticks-to-recover.
+    mttr_max_ticks: u64,
     tick: u64,
     /// Stateful fleet auditor (generation-monotonicity history); only
     /// consulted when [`ServeConfig::audit`] is on.
@@ -333,6 +392,17 @@ impl ServeRuntime {
             hbm_frag_recovered: 0.0,
             fragmentation: Vec::new(),
             per_chip,
+            pending_recovery: BTreeMap::new(),
+            faults_injected: 0,
+            faults_repaired: 0,
+            recoveries_remapped: 0,
+            recoveries_replaced: 0,
+            recoveries_self_healed: 0,
+            tenants_lost: 0,
+            recovery_reconfig: ReconfigCost::default(),
+            degraded_ticks: 0,
+            mttr_total_ticks: 0,
+            mttr_max_ticks: 0,
             tick: 0,
             auditor: FleetAuditor::new(),
             audit_findings: Vec::new(),
@@ -510,6 +580,12 @@ impl ServeRuntime {
             drain_migrations: 0,
             executed_chips: 0,
             audit_findings: 0,
+            fault_onsets: 0,
+            fault_repairs: 0,
+            recoveries_remapped: 0,
+            recoveries_replaced: 0,
+            recoveries_pending: 0,
+            tenants_lost: 0,
         };
 
         // 1. Departures: tenants whose lifetime expired leave first,
@@ -524,12 +600,26 @@ impl ServeRuntime {
             self.retire(id)?;
             events.departed += 1;
         }
-        // Departures may spend configuration cycles (meta-table
-        // teardown); fold them into the controller clock *before* this
-        // tick's arrivals are stamped, so pre-admission work never
-        // inflates their measured placement latency. Nothing between here
-        // and the admission pass touches the hypervisors' config-cycle
-        // counters, so `config_base` is also the pass's starting point.
+        // 1b. Fault-recovery phase: this tick's scheduled onsets and
+        //     repairs land (machine and hypervisor in lockstep), affected
+        //     tenants are detected, and every pending tenant gets one
+        //     recovery attempt — remap-under-pin, else emergency
+        //     cross-chip re-placement, else it stays pending until the
+        //     policy deadline declares it lost. Runs before `config_base`
+        //     is read so recovery's configuration work folds into the
+        //     controller clock with the departures, never into admission
+        //     latency stamps.
+        let t_recovery = self.phase_clock();
+        self.recovery_phase(tick, &mut events)?;
+        self.phase_nanos.recovery += elapsed_nanos(t_recovery);
+
+        // Departures (and recovery) may spend configuration cycles
+        // (meta-table teardown); fold them into the controller clock
+        // *before* this tick's arrivals are stamped, so pre-admission
+        // work never inflates their measured placement latency. Nothing
+        // between here and the admission pass touches the hypervisors'
+        // config-cycle counters, so `config_base` is also the pass's
+        // starting point.
         let config_base = self.cluster.total_config_cycles();
         self.controller_cycles += config_base - self.accounted_config_cycles;
         self.accounted_config_cycles = config_base;
@@ -814,6 +904,19 @@ impl ServeRuntime {
             let mut residents_by_chip: Vec<Vec<(ClusterVmId, TenantId)>> =
                 vec![Vec::new(); self.machines.len()];
             for l in self.live.values() {
+                // A tenant awaiting recovery is stalled: it still maps
+                // dead hardware, so binding it would fault and its NoC
+                // traffic could cross a dead link. It resumes the epoch
+                // after its recovery (or never, if declared lost). A
+                // tenant admitted *this* tick (after the recovery phase
+                // ran) gets the same direct check — the next tick's
+                // sweep will queue it for recovery.
+                if self.pending_recovery.contains_key(&l.id)
+                    || (self.machines[l.id.chip].has_active_faults()
+                        && FaultDetector::tenant_affected(self.cluster.chip(l.id.chip), l.id.vm))
+                {
+                    continue;
+                }
                 residents_by_chip[l.id.chip].push((l.id, l.tenant));
             }
             let loaded: Vec<usize> = (0..self.machines.len())
@@ -893,6 +996,302 @@ impl ServeRuntime {
         Ok(events)
     }
 
+    /// Phase 1b of [`ServeRuntime::step`]: the fault → detect → recover
+    /// lifecycle.
+    ///
+    /// Onsets and repairs scheduled for `tick` land on the machine first
+    /// (it owns the topology-generation hash chain) and the hypervisor
+    /// adopts the machine's counter — the same lockstep rule as
+    /// [`ServeRuntime::set_core_scales`] — so placements memoized against
+    /// the pre-fault chip expire by key. Newly affected tenants join the
+    /// pending-recovery queue; every pending tenant then gets one
+    /// recovery attempt in deterministic [`ClusterVmId`] order:
+    /// remap-under-pin on its own chip under
+    /// [`RecoveryPolicy::remap_strategy`], else an emergency cross-chip
+    /// re-placement (chips in index order), else it stays pending until
+    /// [`RecoveryPolicy::max_recovery_ticks`] ticks after detection, when
+    /// it is retired as lost. A pending tenant whose fault is repaired
+    /// under it self-heals without moving.
+    fn recovery_phase(
+        &mut self,
+        tick: u64,
+        events: &mut TickEvents,
+    ) -> Result<(), vnpu::VnpuError> {
+        if self.cfg.fault_plan.is_empty() && self.pending_recovery.is_empty() {
+            return Ok(());
+        }
+        // Per-chip digest words for the tick's `Phase::Recovery` records
+        // (folded at the end; only touched chips record an entry).
+        let mut digest_words: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+        let chip_count = self.machines.len();
+
+        // Scheduled onsets land.
+        let onsets: Vec<FaultEvent> = self.cfg.fault_plan.onsets_at(tick).copied().collect();
+        for ev in onsets {
+            let chip = ev.chip;
+            let machine = self
+                .machines
+                .get_mut(chip)
+                .ok_or(vnpu::VnpuError::UnknownChip {
+                    chip,
+                    count: chip_count,
+                })?;
+            let changed = match ev.kind {
+                FaultKind::Core { core } => {
+                    let m = machine.fault_core(core).map_err(vnpu::VnpuError::Sim)?;
+                    self.cluster.fault_core(chip, core)?;
+                    m
+                }
+                FaultKind::Link { a, b } => {
+                    let m = machine.fault_link(a, b).map_err(vnpu::VnpuError::Sim)?;
+                    self.cluster.fault_link(chip, a, b)?;
+                    m
+                }
+            };
+            let generation = self.machines[chip].topology_generation();
+            self.cluster
+                .chip_mut(chip)
+                .set_topology_generation(generation);
+            if !changed {
+                continue; // duplicate onset: already faulted, nothing new
+            }
+            self.faults_injected += 1;
+            self.per_chip[chip].fault_onsets += 1;
+            events.fault_onsets += 1;
+            let words = digest_words.entry(chip).or_default();
+            words.push(1);
+            match ev.kind {
+                FaultKind::Core { core } => words.extend([u64::from(core), u64::MAX]),
+                FaultKind::Link { a, b } => words.extend([u64::from(a), u64::from(b)]),
+            }
+            for vm in FaultDetector::affected_tenants(self.cluster.chip(chip), &ev.kind) {
+                let id = ClusterVmId { chip, vm };
+                if self.live.contains_key(&id) {
+                    self.pending_recovery.entry(id).or_insert(tick);
+                }
+            }
+        }
+
+        // Scheduled repairs land (machine-first, same lockstep).
+        let repairs: Vec<FaultEvent> = self.cfg.fault_plan.repairs_at(tick).copied().collect();
+        for ev in repairs {
+            let chip = ev.chip;
+            let machine = self
+                .machines
+                .get_mut(chip)
+                .ok_or(vnpu::VnpuError::UnknownChip {
+                    chip,
+                    count: chip_count,
+                })?;
+            let changed = match ev.kind {
+                FaultKind::Core { core } => {
+                    let m = machine.repair_core(core).map_err(vnpu::VnpuError::Sim)?;
+                    self.cluster.repair_core(chip, core)?;
+                    m
+                }
+                FaultKind::Link { a, b } => {
+                    let m = machine.repair_link(a, b).map_err(vnpu::VnpuError::Sim)?;
+                    self.cluster.repair_link(chip, a, b)?;
+                    m
+                }
+            };
+            let generation = self.machines[chip].topology_generation();
+            self.cluster
+                .chip_mut(chip)
+                .set_topology_generation(generation);
+            if !changed {
+                continue;
+            }
+            self.faults_repaired += 1;
+            self.per_chip[chip].fault_repairs += 1;
+            events.fault_repairs += 1;
+            let words = digest_words.entry(chip).or_default();
+            words.push(2);
+            match ev.kind {
+                FaultKind::Core { core } => words.extend([u64::from(core), u64::MAX]),
+                FaultKind::Link { a, b } => words.extend([u64::from(a), u64::from(b)]),
+            }
+        }
+
+        // Sweep for tenants that became affected *after* the onset
+        // landed: admission only masks faulted cores, so a tenant placed
+        // while a link fault is active can route across the dead link
+        // without owning any faulted resource at onset time. Any live
+        // tenant on a chip with active faults goes back through the
+        // detector so nobody keeps executing across dead hardware.
+        let swept: Vec<ClusterVmId> = self
+            .live
+            .keys()
+            .copied()
+            .filter(|id| {
+                self.machines[id.chip].has_active_faults()
+                    && !self.pending_recovery.contains_key(id)
+                    && FaultDetector::tenant_affected(self.cluster.chip(id.chip), id.vm)
+            })
+            .collect();
+        for id in swept {
+            self.pending_recovery.insert(id, tick);
+        }
+
+        // One recovery attempt per pending tenant, in ClusterVmId order.
+        let pending: Vec<(ClusterVmId, u64)> = self
+            .pending_recovery
+            .iter()
+            .map(|(&id, &since)| (id, since))
+            .collect();
+        for (id, since) in pending {
+            // Departed while pending: the outage resolved itself.
+            if !self.live.contains_key(&id) {
+                self.pending_recovery.remove(&id);
+                continue;
+            }
+            let dt = tick - since;
+            let words_key = id.chip;
+            // Fault repaired under the tenant: self-healed in place.
+            if !FaultDetector::tenant_affected(self.cluster.chip(id.chip), id.vm) {
+                self.pending_recovery.remove(&id);
+                self.recoveries_self_healed += 1;
+                self.book_mttr(dt);
+                digest_words
+                    .entry(words_key)
+                    .or_default()
+                    .extend([3, u64::from(id.vm.0), dt]);
+                continue;
+            }
+            // (a) Remap-under-pin around the dead resource. The plan
+            //     machinery never re-offers a faulted *core*, so a
+            //     committed remap provably escapes core faults — but a
+            //     link-affected tenant's cores are all healthy, and the
+            //     remap may land right back on the dead link's
+            //     endpoints. Re-check before declaring victory; a paid
+            //     remap that failed to escape falls through to the
+            //     emergency re-placement.
+            let mut remap_cost = None;
+            if let Ok(cost) = self
+                .cluster
+                .recover_in_place(id, &self.cfg.recovery.remap_strategy)
+            {
+                let tenant = self.live.get(&id).expect("checked live").tenant;
+                self.machines[id.chip]
+                    .migrate_tenant(tenant, cost.paused_cycles)
+                    .map_err(vnpu::VnpuError::Sim)?;
+                self.recovery_reconfig = self.recovery_reconfig.plus(cost);
+                remap_cost = Some(cost);
+            }
+            if let Some(cost) = remap_cost
+                .filter(|_| !FaultDetector::tenant_affected(self.cluster.chip(id.chip), id.vm))
+            {
+                self.pending_recovery.remove(&id);
+                self.recoveries_remapped += 1;
+                self.per_chip[id.chip].recoveries_remapped += 1;
+                events.recoveries_remapped += 1;
+                self.book_mttr(dt);
+                digest_words.entry(words_key).or_default().extend([
+                    4,
+                    u64::from(id.vm.0),
+                    dt,
+                    cost.paused_cycles,
+                ]);
+                continue;
+            }
+            // (b) Emergency cross-chip re-placement, chips in index
+            //     order (the unplanned, unbudgeted cousin of a drain
+            //     evacuation).
+            let mut landed: Option<(ClusterVmId, ReconfigCost)> = None;
+            for dest in 0..chip_count {
+                if dest == id.chip {
+                    continue;
+                }
+                if let Ok(placed) = self.cluster.migrate_to_chip(id, dest) {
+                    landed = Some(placed);
+                    break;
+                }
+            }
+            if let Some((new_id, cost)) = landed {
+                let live = self.live.remove(&id).expect("checked live");
+                self.machines[id.chip]
+                    .remove_tenant(live.tenant)
+                    .map_err(vnpu::VnpuError::Sim)?;
+                let name = format!("chip{}vm{}", new_id.chip, new_id.vm.0);
+                let tenant = self.machines[new_id.chip].adopt_tenant(&name, cost.paused_cycles);
+                self.live.insert(
+                    new_id,
+                    LiveVnpu {
+                        id: new_id,
+                        tenant,
+                        expires_at_epoch: live.expires_at_epoch,
+                    },
+                );
+                self.pending_recovery.remove(&id);
+                self.recoveries_replaced += 1;
+                self.per_chip[id.chip].recoveries_replaced += 1;
+                self.recovery_reconfig = self.recovery_reconfig.plus(cost);
+                events.recoveries_replaced += 1;
+                self.book_mttr(dt);
+                digest_words.entry(words_key).or_default().extend([
+                    5,
+                    u64::from(id.vm.0),
+                    new_id.chip as u64,
+                    u64::from(new_id.vm.0),
+                    dt,
+                    cost.paused_cycles,
+                ]);
+                continue;
+            }
+            // (c) Nowhere to go: lost after the deadline, else pending.
+            if dt >= self.cfg.recovery.max_recovery_ticks {
+                self.pending_recovery.remove(&id);
+                self.retire(id)?;
+                self.tenants_lost += 1;
+                self.per_chip[id.chip].tenants_lost += 1;
+                events.tenants_lost += 1;
+                digest_words
+                    .entry(words_key)
+                    .or_default()
+                    .extend([6, u64::from(id.vm.0), dt]);
+            } else {
+                digest_words
+                    .entry(words_key)
+                    .or_default()
+                    .extend([7, u64::from(id.vm.0), dt]);
+            }
+        }
+        events.recoveries_pending = self.pending_recovery.len() as u64;
+
+        // Degraded-mode accounting: a chip with any active fault at the
+        // end of the phase serves this tick at the degraded router
+        // penalty.
+        for (chip, machine) in self.machines.iter().enumerate() {
+            if machine.has_active_faults() {
+                self.per_chip[chip].degraded_ticks += 1;
+                self.degraded_ticks += 1;
+            }
+        }
+
+        if let Some(chain) = self.digests.as_mut() {
+            for (chip, words) in &digest_words {
+                let mut d = vnpu_conc::Digest::new();
+                for &w in words {
+                    d.write_u64(w);
+                }
+                chain.record(
+                    tick,
+                    vnpu_conc::Phase::Recovery,
+                    Some(*chip as u32),
+                    d.finish(),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Books one recovered tenant's time-to-recover (ticks since its
+    /// outage was detected; 0 = recovered the same tick).
+    fn book_mttr(&mut self, dt: u64) {
+        self.mttr_total_ticks += dt;
+        self.mttr_max_ticks = self.mttr_max_ticks.max(dt);
+    }
+
     /// Every finding the post-tick fleet audits have reported so far, in
     /// tick order (empty unless [`ServeConfig::audit`] is on — and empty
     /// on a healthy fleet even then).
@@ -945,7 +1344,19 @@ impl ServeRuntime {
                     residual_vnpus: hv.vnpu_count() as u64,
                     executed_epochs: counters.executed_epochs,
                     machine_cycles: counters.machine_cycles,
-                    leaked_cores: hv.config().core_count() - hv.free_core_count(),
+                    fault_onsets: counters.fault_onsets,
+                    fault_repairs: counters.fault_repairs,
+                    recoveries_remapped: counters.recoveries_remapped,
+                    recoveries_replaced: counters.recoveries_replaced,
+                    tenants_lost: counters.tenants_lost,
+                    degraded_ticks: counters.degraded_ticks,
+                    faulted_cores: u64::from(hv.faulted_core_count()),
+                    // An unowned faulted core is dead hardware held out of
+                    // the free region by the fault mask — not leaked
+                    // tenant state.
+                    leaked_cores: hv.config().core_count()
+                        - hv.free_core_count()
+                        - hv.masked_core_count(),
                     leaked_hbm_bytes: hv.hbm_total_bytes() - hv.hbm_free_bytes(),
                     exec_nanos: counters.exec_nanos,
                 }
@@ -976,7 +1387,19 @@ impl ServeRuntime {
             leaked_cores: per_chip.iter().map(|c| c.leaked_cores).sum(),
             leaked_hbm_bytes: per_chip.iter().map(|c| c.leaked_hbm_bytes).sum(),
             audit_findings: self.audit_findings.len() as u64,
+            faults_injected: self.faults_injected,
+            faults_repaired: self.faults_repaired,
+            recoveries_remapped: self.recoveries_remapped,
+            recoveries_replaced: self.recoveries_replaced,
+            recoveries_self_healed: self.recoveries_self_healed,
+            tenants_lost: self.tenants_lost,
+            recoveries_pending: self.pending_recovery.len() as u64,
+            recovery_reconfig: self.recovery_reconfig,
+            degraded_ticks: self.degraded_ticks,
+            mttr_total_ticks: self.mttr_total_ticks,
+            mttr_max_ticks: self.mttr_max_ticks,
             workers: self.cfg.workers,
+            recovery_nanos: self.phase_nanos.recovery,
             admission_nanos: self.phase_nanos.admission,
             drain_nanos: self.phase_nanos.drain,
             defrag_nanos: self.phase_nanos.defrag,
@@ -1464,6 +1887,168 @@ mod tests {
             rt.audit_findings().is_empty(),
             "draining, drained and undrained fleets all audit clean: {:?}",
             rt.audit_findings()
+        );
+    }
+
+    #[test]
+    fn row_outage_recovers_affected_tenants_and_stays_leak_free() {
+        // The headline fault scenario: chip 0 loses a whole mesh row
+        // under load, with a twin chip holding spare capacity. Every
+        // affected tenant must be recovered (remapped, replaced or
+        // self-healed) or declared lost; the run must stay leak-free and
+        // byte-identical across repeats.
+        let mut cfg = ServeConfig::cluster(31, 120, vec![SocConfig::sim(), SocConfig::sim()]);
+        cfg.traffic.candidate_cap = 200;
+        cfg.traffic.mean_interarrival_ticks = 2;
+        cfg.traffic.mean_lifetime_epochs = 20;
+        cfg.placement = Arc::new(LeastLoaded);
+        cfg.fault_plan = FaultPlan::new().row_outage(0, 6, 1, 40, Some(70));
+        let mut rt = ServeRuntime::new(cfg.clone());
+        let mut onsets = 0;
+        let mut repairs = 0;
+        let mut recovered = 0;
+        let mut lost = 0;
+        for _ in 0..120 {
+            let ev = rt.step().unwrap();
+            onsets += ev.fault_onsets;
+            repairs += ev.fault_repairs;
+            recovered += ev.recoveries_remapped + ev.recoveries_replaced;
+            lost += ev.tenants_lost;
+            if ev.tick > 70 {
+                assert_eq!(
+                    ev.recoveries_pending, 0,
+                    "tick {}: recovery must have converged after the repair",
+                    ev.tick
+                );
+            }
+        }
+        rt.drain().unwrap();
+        let r = rt.report();
+        assert_eq!(onsets, 6, "one onset per core of the row");
+        assert_eq!(repairs, 6);
+        assert_eq!(r.faults_injected, 6);
+        assert_eq!(r.faults_repaired, 6);
+        assert!(
+            recovered > 0,
+            "a loaded chip losing a row must displace someone"
+        );
+        assert_eq!(r.recoveries_remapped + r.recoveries_replaced, recovered);
+        assert_eq!(r.tenants_lost, lost);
+        assert_eq!(r.recoveries_pending, 0);
+        assert_eq!(r.leaked_cores, 0);
+        assert_eq!(r.leaked_hbm_bytes, 0);
+        assert_eq!(
+            r.per_chip[0].degraded_ticks, 30,
+            "chip 0 is degraded exactly from onset to repair"
+        );
+        assert_eq!(r.per_chip[1].degraded_ticks, 0);
+        assert!(
+            r.mttr_max_ticks <= cfg.recovery.max_recovery_ticks,
+            "the recovery deadline bounds MTTR: {}",
+            r.mttr_max_ticks
+        );
+        assert!(
+            r.recovery_reconfig.paused_cycles > 0,
+            "recoveries are costed"
+        );
+        // The fleet audits clean once recovery has converged.
+        assert!(FleetAuditor::new().audit(rt.cluster()).is_empty());
+        // Same config, batch API: byte-identical report.
+        let again = ServeRuntime::new(cfg).run().unwrap();
+        assert_eq!(r, again);
+        assert_eq!(r.to_json(usize::MAX), again.to_json(usize::MAX));
+    }
+
+    #[test]
+    fn unplaceable_tenants_are_lost_at_the_deadline() {
+        // A single chip packed with long-lived tenants loses a row
+        // permanently: affected tenants have no remap window and no other
+        // chip, so after max_recovery_ticks they are declared lost. Dead
+        // cores are dead hardware, not leaks.
+        let mut cfg = ServeConfig::standard(47, 80);
+        cfg.traffic.candidate_cap = 200;
+        cfg.traffic.mean_interarrival_ticks = 1;
+        cfg.traffic.mean_lifetime_epochs = 10_000;
+        cfg.fault_plan = FaultPlan::new().row_outage(0, 6, 2, 30, None);
+        let mut rt = ServeRuntime::new(cfg.clone());
+        for _ in 0..80 {
+            rt.step().unwrap();
+        }
+        rt.drain().unwrap();
+        let r = rt.report();
+        assert!(
+            r.tenants_lost > 0,
+            "a packed single chip must lose someone: {}",
+            r.summary()
+        );
+        assert_eq!(r.recoveries_pending, 0, "the deadline clears the queue");
+        assert_eq!(r.per_chip[0].faulted_cores, 6, "the row stays dead");
+        assert_eq!(
+            r.leaked_cores, 0,
+            "masked dead cores are not leaked tenant state"
+        );
+        assert_eq!(r.leaked_hbm_bytes, 0);
+        assert!(r.degraded_ticks > 0);
+        assert!(
+            r.tenants_lost <= r.departed,
+            "lost tenants are a subset of departures"
+        );
+        let again = ServeRuntime::new(cfg).run().unwrap();
+        assert_eq!(r, again, "loss declarations are deterministic");
+    }
+
+    #[test]
+    fn fault_on_an_unowned_core_recovers_nobody() {
+        // Core 35 (the far mesh corner) faults before first-fit churn
+        // reaches it: nothing is affected, the chip just runs degraded
+        // until the repair, and the report carries the fault accounting.
+        let mut cfg = quick_cfg(3);
+        cfg.fault_plan = FaultPlan::new().core_fault(0, 35, 2, Some(6));
+        let r = ServeRuntime::new(cfg.clone()).run().unwrap();
+        assert_eq!(r.faults_injected, 1);
+        assert_eq!(r.faults_repaired, 1);
+        assert_eq!(r.recovered_tenants(), 0);
+        assert_eq!(r.tenants_lost, 0);
+        assert_eq!(r.degraded_ticks, 4, "degraded from onset to repair");
+        assert_eq!(r.leaked_cores, 0);
+        assert_eq!(r.leaked_hbm_bytes, 0);
+        // The baseline (no fault plan) differs only in fault accounting
+        // when nothing was displaced... but the degraded router penalty
+        // slows epochs, so machine cycles may legitimately differ.
+        let baseline = ServeRuntime::new(quick_cfg(3)).run().unwrap();
+        assert_eq!(r.submitted, baseline.submitted);
+        assert_eq!(r.accepted, baseline.accepted);
+    }
+
+    #[test]
+    fn recovery_phase_digests_are_recorded_per_touched_chip() {
+        let mut cfg = ServeConfig::cluster(31, 60, vec![SocConfig::sim(), SocConfig::sim()]);
+        cfg.traffic.candidate_cap = 200;
+        cfg.traffic.mean_interarrival_ticks = 2;
+        cfg.placement = Arc::new(LeastLoaded);
+        cfg.fault_plan = FaultPlan::new().row_outage(0, 6, 1, 20, Some(40));
+        cfg.conc.phase_digests = true;
+        let mut a = ServeRuntime::new(cfg.clone());
+        for _ in 0..60 {
+            a.step().unwrap();
+        }
+        let chain_a = a.digest_chain().expect("digests on").clone();
+        assert!(
+            chain_a
+                .entries
+                .iter()
+                .any(|e| e.phase == vnpu_conc::Phase::Recovery && e.chip == Some(0)),
+            "fault ticks must record recovery digests"
+        );
+        cfg.workers = 4;
+        let mut b = ServeRuntime::new(cfg);
+        for _ in 0..60 {
+            b.step().unwrap();
+        }
+        let chain_b = b.digest_chain().expect("digests on").clone();
+        assert!(
+            vnpu_conc::compare_chains("w1", &chain_a, "w4", &chain_b).is_none(),
+            "recovery must be phase-for-phase deterministic across workers"
         );
     }
 

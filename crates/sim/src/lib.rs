@@ -118,6 +118,20 @@ pub enum SimError {
     /// The tenant still has threads bound in the current epoch and cannot
     /// be removed until the epoch finishes.
     TenantBusy(u32),
+    /// A physical core is marked faulted (an injected hardware failure):
+    /// the operation touched dead hardware.
+    CoreFaulted {
+        /// The faulted physical core.
+        core: u32,
+    },
+    /// A NoC link is marked faulted (an injected hardware failure): a
+    /// packet tried to cross it.
+    LinkFaulted {
+        /// Link source core.
+        src: u32,
+        /// Link destination core.
+        dst: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -144,6 +158,12 @@ impl fmt::Display for SimError {
             SimError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
             SimError::TenantBusy(t) => {
                 write!(f, "tenant {t} still has bound threads in the current epoch")
+            }
+            SimError::CoreFaulted { core } => {
+                write!(f, "physical core {core} is faulted")
+            }
+            SimError::LinkFaulted { src, dst } => {
+                write!(f, "NoC link {src} \u{2192} {dst} is faulted")
             }
         }
     }

@@ -144,15 +144,31 @@ pub struct Machine {
     migrations: u64,
     migration_pause_cycles: u64,
     /// Hardware-reconfiguration fingerprint, evolved as a hash chain by
-    /// [`Machine::set_core_scales`]: virtualization layers fold this into
-    /// their mapping-cache keys so strategies costed against the old
-    /// hardware expire on reconfig. A hash chain (not a bare counter) so
-    /// two identically-modeled chips reconfigured *differently* can never
-    /// collide on "same number of reconfigs" — only chips that applied
-    /// the same reconfig sequence (and therefore have the same hardware
-    /// state) share a value. 0 = pristine.
+    /// [`Machine::set_core_scales`] and the fault-injection surface
+    /// ([`Machine::fault_core`] and friends): virtualization layers fold
+    /// this into their mapping-cache keys so strategies costed against
+    /// the old hardware expire on reconfig *and* on fault onset/repair. A
+    /// hash chain (not a bare counter) so two identically-modeled chips
+    /// reconfigured *differently* can never collide on "same number of
+    /// reconfigs" — only chips that applied the same reconfig sequence
+    /// (and therefore have the same hardware state) share a value. 0 =
+    /// pristine.
     topology_generation: u64,
+    /// Faulted physical cores (injected hardware failures). Faults model
+    /// hardware, so they survive epoch resets until explicitly repaired;
+    /// binding a program onto a faulted core errors with
+    /// [`SimError::CoreFaulted`].
+    faulted_cores: Vec<bool>,
+    faults_injected: u64,
+    faults_repaired: u64,
 }
+
+/// Extra per-hop NoC router cycles a chip pays while it has any active
+/// fault (core or link): the routers fall back to slower fault-tolerant
+/// arbitration until every fault is repaired. Charged automatically by
+/// [`Machine::fault_core`] / [`Machine::fault_link`] and lifted by the
+/// matching repairs.
+pub const DEGRADED_ROUTER_PENALTY: u64 = 4;
 
 impl std::fmt::Debug for Machine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -185,6 +201,9 @@ impl Machine {
             migrations: 0,
             migration_pause_cycles: 0,
             topology_generation: 0,
+            faulted_cores: vec![false; n],
+            faults_injected: 0,
+            faults_repaired: 0,
             cfg,
         }
     }
@@ -347,6 +366,150 @@ impl Machine {
         Ok(())
     }
 
+    /// Evolves the topology-generation hash chain with one fault event —
+    /// the same chain [`Machine::set_core_scales`] uses, so every cached
+    /// mapping (successes *and* exhaustion proofs) keyed on the old
+    /// generation expires when the hardware changes health.
+    fn chain_fault_event(&mut self, tag: u8, a: u32, b: u32, active: bool) {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.topology_generation.hash(&mut h);
+        (tag, a, b, active).hash(&mut h);
+        self.topology_generation = h.finish() | 1;
+    }
+
+    /// Re-derives the degraded-mode router penalty from the current fault
+    /// state: any active fault forces [`DEGRADED_ROUTER_PENALTY`].
+    fn refresh_degraded_mode(&mut self) {
+        let penalty = if self.has_active_faults() {
+            DEGRADED_ROUTER_PENALTY
+        } else {
+            0
+        };
+        self.noc.set_degraded_penalty(penalty);
+    }
+
+    /// Injects a hardware fault into a physical core. While faulted the
+    /// core refuses bindings ([`SimError::CoreFaulted`]) and the whole
+    /// chip runs degraded ([`DEGRADED_ROUTER_PENALTY`] extra cycles per
+    /// NoC hop). Faults model hardware: they survive epoch resets until
+    /// [`Machine::repair_core`]. Returns whether the state changed
+    /// (`false` = already faulted; the generation chain does not move).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CoreOutOfRange`] for bad core indices.
+    pub fn fault_core(&mut self, core: u32) -> Result<bool> {
+        let count = self.cfg.core_count();
+        let slot = self
+            .faulted_cores
+            .get_mut(core as usize)
+            .ok_or(SimError::CoreOutOfRange { core, count })?;
+        if *slot {
+            return Ok(false);
+        }
+        *slot = true;
+        self.faults_injected += 1;
+        self.chain_fault_event(0xFC, core, 0, true);
+        self.refresh_degraded_mode();
+        Ok(true)
+    }
+
+    /// Repairs a previously faulted core (the inverse of
+    /// [`Machine::fault_core`]). Returns whether the state changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CoreOutOfRange`] for bad core indices.
+    pub fn repair_core(&mut self, core: u32) -> Result<bool> {
+        let count = self.cfg.core_count();
+        let slot = self
+            .faulted_cores
+            .get_mut(core as usize)
+            .ok_or(SimError::CoreOutOfRange { core, count })?;
+        if !*slot {
+            return Ok(false);
+        }
+        *slot = false;
+        self.faults_repaired += 1;
+        self.chain_fault_event(0xFC, core, 0, false);
+        self.refresh_degraded_mode();
+        Ok(true)
+    }
+
+    /// Injects a hardware fault into the undirected NoC link between `a`
+    /// and `b`: packets routed across it (either direction) error with
+    /// [`SimError::LinkFaulted`], and the chip runs degraded until the
+    /// link is repaired. Returns whether the state changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RouteFault`] when the cores are not adjacent.
+    pub fn fault_link(&mut self, a: u32, b: u32) -> Result<bool> {
+        let changed = self.noc.set_link_faulted(a, b, true)?;
+        if changed {
+            self.faults_injected += 1;
+            self.chain_fault_event(0xF1, a, b, true);
+            self.refresh_degraded_mode();
+        }
+        Ok(changed)
+    }
+
+    /// Repairs a previously faulted link (the inverse of
+    /// [`Machine::fault_link`]). Returns whether the state changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RouteFault`] when the cores are not adjacent.
+    pub fn repair_link(&mut self, a: u32, b: u32) -> Result<bool> {
+        let changed = self.noc.set_link_faulted(a, b, false)?;
+        if changed {
+            self.faults_repaired += 1;
+            self.chain_fault_event(0xF1, a, b, false);
+            self.refresh_degraded_mode();
+        }
+        Ok(changed)
+    }
+
+    /// Whether a physical core is currently faulted (`false` for indices
+    /// outside the mesh).
+    pub fn core_faulted(&self, core: u32) -> bool {
+        self.faulted_cores
+            .get(core as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Currently faulted physical cores, ascending.
+    pub fn faulted_cores(&self) -> Vec<u32> {
+        self.faulted_cores
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Whether any core or link fault is currently active.
+    pub fn has_active_faults(&self) -> bool {
+        self.faulted_cores.iter().any(|&f| f) || self.noc.faulted_link_count() > 0
+    }
+
+    /// Hardware faults injected over the machine's lifetime.
+    pub fn fault_injection_count(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// Hardware faults repaired over the machine's lifetime.
+    pub fn fault_repair_count(&self) -> u64 {
+        self.faults_repaired
+    }
+
+    /// Currently faulted directed NoC links, in sorted order.
+    pub fn faulted_links(&self) -> Vec<(u32, u32)> {
+        self.noc.faulted_links().collect()
+    }
+
     /// Binds `program` as tenant `tenant`'s program-level core `prog_core`
     /// onto physical core `phys_core` with bare-metal services.
     ///
@@ -376,6 +539,8 @@ impl Machine {
     /// # Errors
     ///
     /// * [`SimError::CoreOutOfRange`] — bad physical core.
+    /// * [`SimError::CoreFaulted`] — the physical core carries an
+    ///   injected hardware fault.
     /// * [`SimError::UnknownTenant`] — unregistered tenant.
     /// * [`SimError::ScratchpadOverflow`] — a single program's footprint
     ///   exceeds the tile's scratchpad.
@@ -393,6 +558,9 @@ impl Machine {
                 core: phys_core,
                 count,
             });
+        }
+        if self.faulted_cores[phys_core as usize] {
+            return Err(SimError::CoreFaulted { core: phys_core });
         }
         if !self.tenant_names.contains_key(&tenant) {
             return Err(SimError::UnknownTenant(tenant));
@@ -1089,6 +1257,83 @@ mod tests {
         let mut other = Machine::new(fpga());
         other.set_core_scales(0, 200, 50).unwrap();
         assert_ne!(other.topology_generation(), after_one);
+    }
+
+    #[test]
+    fn core_faults_reject_bindings_and_evolve_the_generation() {
+        let mut m = Machine::new(fpga());
+        let t = m.add_tenant("t");
+        assert!(!m.has_active_faults());
+        assert!(m.fault_core(0).unwrap());
+        assert!(!m.fault_core(0).unwrap(), "double fault is a no-op");
+        let gen_after_fault = m.topology_generation();
+        assert_ne!(gen_after_fault, 0, "faults evolve the generation chain");
+        assert!(m.core_faulted(0));
+        assert_eq!(m.faulted_cores(), vec![0]);
+        assert!(m.has_active_faults());
+        assert_eq!(m.fault_injection_count(), 1);
+        assert!(matches!(
+            m.bind(0, t, 0, Program::once(vec![Instr::matmul(16, 16, 16)])),
+            Err(SimError::CoreFaulted { core: 0 })
+        ));
+        // Healthy cores still bind; the epoch completes normally.
+        m.bind(1, t, 0, Program::once(vec![Instr::matmul(16, 16, 16)]))
+            .unwrap();
+        m.run_epoch().unwrap();
+        assert!(m.core_faulted(0), "faults survive epoch resets");
+        assert!(m.repair_core(0).unwrap());
+        assert!(!m.repair_core(0).unwrap(), "double repair is a no-op");
+        assert_eq!(m.fault_repair_count(), 1);
+        assert!(!m.has_active_faults());
+        assert_ne!(
+            m.topology_generation(),
+            gen_after_fault,
+            "repair evolves the chain again"
+        );
+        m.bind(0, t, 0, Program::once(vec![Instr::matmul(16, 16, 16)]))
+            .unwrap();
+        m.run_epoch().unwrap();
+        assert!(m.fault_core(999).is_err());
+        assert!(m.repair_core(999).is_err());
+    }
+
+    #[test]
+    fn link_faults_degrade_then_repair_restores_timing() {
+        // Identical single-hop send on a healthy chip vs one with an
+        // unrelated faulted link: the degraded chip is strictly slower,
+        // and repair restores the healthy timing exactly.
+        let send_epoch = |m: &mut Machine| {
+            let t = m.add_tenant("s");
+            m.bind(0, t, 0, Program::once(vec![Instr::send(1, 2048, 0)]))
+                .unwrap();
+            m.bind(1, t, 1, Program::once(vec![Instr::recv(0, 2048, 0)]))
+                .unwrap();
+            let span = m.run_epoch().unwrap().makespan();
+            m.remove_tenant(t).unwrap();
+            span
+        };
+        let mut m = Machine::new(fpga());
+        let healthy = send_epoch(&mut m);
+        m.fault_link(2, 3).unwrap();
+        assert_eq!(m.faulted_links(), vec![(2, 3), (3, 2)]);
+        let degraded = send_epoch(&mut m);
+        assert!(
+            degraded > healthy,
+            "degraded mode must slow the NoC: {degraded} vs {healthy}"
+        );
+        m.repair_link(2, 3).unwrap();
+        assert_eq!(send_epoch(&mut m), healthy);
+        // A send across the faulted link itself errors, never hangs.
+        m.fault_link(0, 1).unwrap();
+        let t = m.add_tenant("x");
+        m.bind(0, t, 0, Program::once(vec![Instr::send(1, 2048, 0)]))
+            .unwrap();
+        m.bind(1, t, 1, Program::once(vec![Instr::recv(0, 2048, 0)]))
+            .unwrap();
+        assert!(matches!(
+            m.run(),
+            Err(SimError::LinkFaulted { .. } | SimError::Deadlock { .. })
+        ));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use crate::config::SocConfig;
 use crate::{Result, SimError};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use vnpu_topo::{route, NodeId, Topology};
 
 /// Resolves program-level destination core IDs and supplies NoC paths.
@@ -110,6 +110,15 @@ pub struct Noc {
     router_latency: u64,
     contention_cycles: u64,
     packets_sent: u64,
+    /// Faulted directed links (injected hardware failures). A packet
+    /// routed across one errors with [`SimError::LinkFaulted`]. Faults
+    /// model hardware, so — like the link graph — they survive
+    /// [`Noc::reset_epoch`] until explicitly repaired.
+    faulted: BTreeSet<(u32, u32)>,
+    /// Extra per-hop router cycles charged while the chip runs in
+    /// degraded mode (active faults anywhere on the chip force the
+    /// routers onto slower fault-tolerant arbitration). 0 = healthy.
+    degraded_penalty: u64,
 }
 
 /// Timing of one packet's traversal.
@@ -137,6 +146,8 @@ impl Noc {
             router_latency: cfg.router_latency,
             contention_cycles: 0,
             packets_sent: 0,
+            faulted: BTreeSet::new(),
+            degraded_penalty: 0,
         }
     }
 
@@ -144,23 +155,32 @@ impl Noc {
     /// `depart`. Returns the injection-done and arrival times.
     ///
     /// A single-node path (self-send) arrives after one router latency.
+    /// While the chip runs degraded (see [`Noc::set_degraded_penalty`]),
+    /// every hop pays the extra penalty on top of the router latency.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::RouteFault`] if the path uses a non-existent
-    /// link.
+    /// link, or [`SimError::LinkFaulted`] if it crosses a faulted one.
     pub fn send_packet(&mut self, path: &[u32], bytes: u64, depart: u64) -> Result<PacketTiming> {
         self.packets_sent += 1;
+        let hop_latency = self.router_latency + self.degraded_penalty;
         if path.len() < 2 {
             return Ok(PacketTiming {
                 injected_at: depart,
-                arrived_at: depart + self.router_latency,
+                arrived_at: depart + hop_latency,
             });
         }
         let ser = bytes.div_ceil(self.link_bw);
         let mut t = depart;
         let mut injected_at = None;
         for w in path.windows(2) {
+            if self.faulted.contains(&(w[0], w[1])) {
+                return Err(SimError::LinkFaulted {
+                    src: w[0],
+                    dst: w[1],
+                });
+            }
             let link = self
                 .links
                 .get_mut(&(w[0], w[1]))
@@ -175,7 +195,7 @@ impl Noc {
             if injected_at.is_none() {
                 injected_at = Some(start + ser);
             }
-            t = start + self.router_latency + ser;
+            t = start + hop_latency + ser;
         }
         Ok(PacketTiming {
             injected_at: injected_at.expect("path has at least one link"),
@@ -203,6 +223,52 @@ impl Noc {
     /// Total packets injected.
     pub fn packets_sent(&self) -> u64 {
         self.packets_sent
+    }
+
+    /// Marks (or repairs) the *undirected* link between `a` and `b` —
+    /// both directed entries change together, since a physical fault
+    /// takes out the whole wire. Returns whether the state changed
+    /// (`false` = the link was already in the requested state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RouteFault`] when `a` and `b` are not adjacent
+    /// in the mesh (there is no such link to fault).
+    pub fn set_link_faulted(&mut self, a: u32, b: u32, faulted: bool) -> Result<bool> {
+        if !self.links.contains_key(&(a, b)) || !self.links.contains_key(&(b, a)) {
+            return Err(SimError::RouteFault { core: a, dst: b });
+        }
+        let changed = if faulted {
+            self.faulted.insert((a, b)) | self.faulted.insert((b, a))
+        } else {
+            self.faulted.remove(&(a, b)) | self.faulted.remove(&(b, a))
+        };
+        Ok(changed)
+    }
+
+    /// Whether the directed link `src → dst` is currently faulted.
+    pub fn link_faulted(&self, src: u32, dst: u32) -> bool {
+        self.faulted.contains(&(src, dst))
+    }
+
+    /// Currently faulted directed links, in sorted order.
+    pub fn faulted_links(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.faulted.iter().copied()
+    }
+
+    /// Number of faulted directed links.
+    pub fn faulted_link_count(&self) -> usize {
+        self.faulted.len()
+    }
+
+    /// Sets the degraded-mode per-hop penalty (0 restores full speed).
+    pub fn set_degraded_penalty(&mut self, cycles: u64) {
+        self.degraded_penalty = cycles;
+    }
+
+    /// The current degraded-mode per-hop penalty.
+    pub fn degraded_penalty(&self) -> u64 {
+        self.degraded_penalty
     }
 
     /// Bytes carried per directed link, for utilization heat maps.
@@ -325,6 +391,41 @@ mod tests {
             last_arrival = t.arrived_at;
         }
         assert_eq!(last_arrival, 10 * 128 + 3);
+    }
+
+    #[test]
+    fn faulted_link_rejects_packets_and_survives_epoch_reset() {
+        let c = cfg();
+        let mut noc = Noc::new(&c);
+        assert!(noc.set_link_faulted(0, 1, true).unwrap());
+        assert!(!noc.set_link_faulted(0, 1, true).unwrap(), "idempotent");
+        assert!(noc.link_faulted(0, 1) && noc.link_faulted(1, 0));
+        assert!(matches!(
+            noc.send_packet(&[0, 1], 2048, 0),
+            Err(SimError::LinkFaulted { src: 0, dst: 1 })
+        ));
+        // Epoch resets rewind clocks, not hardware state.
+        noc.reset_epoch();
+        assert!(noc.link_faulted(0, 1));
+        assert_eq!(noc.faulted_link_count(), 2);
+        assert!(noc.set_link_faulted(0, 1, false).unwrap());
+        assert!(noc.send_packet(&[0, 1], 2048, 0).is_ok());
+        // Non-adjacent pairs cannot be faulted.
+        assert!(noc.set_link_faulted(0, 2, true).is_err());
+    }
+
+    #[test]
+    fn degraded_penalty_slows_every_hop() {
+        let c = cfg();
+        let mut noc = Noc::new(&c);
+        noc.set_degraded_penalty(5);
+        assert_eq!(noc.degraded_penalty(), 5);
+        let t = noc.send_packet(&[0, 1, 2], 2048, 0).unwrap();
+        assert_eq!(t.arrived_at, 2 * (128 + 3 + 5));
+        noc.set_degraded_penalty(0);
+        noc.reset_epoch();
+        let t = noc.send_packet(&[0, 1, 2], 2048, 0).unwrap();
+        assert_eq!(t.arrived_at, 2 * (128 + 3));
     }
 
     #[test]

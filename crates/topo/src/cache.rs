@@ -155,6 +155,21 @@ impl FreeSet {
         widened
     }
 
+    /// [`FreeSet::with_released`] minus an exclusion list: widens the set
+    /// by `nodes` *except* those also named in `except`. This is the
+    /// remap-under-pin candidate set in the presence of hardware faults —
+    /// a tenant's own cores are released for re-placement, but a faulted
+    /// core among them must stay out of the candidate enumeration.
+    pub fn with_released_except(&self, nodes: &[NodeId], except: &[NodeId]) -> FreeSet {
+        let mut widened = self.clone();
+        for &n in nodes {
+            if !except.contains(&n) {
+                widened.release(n);
+            }
+        }
+        widened
+    }
+
     /// Occupies every node in `nodes` (already-occupied ones are ignored).
     pub fn occupy_all(&mut self, nodes: &[NodeId]) {
         for &n in nodes {

@@ -68,6 +68,9 @@ cargo bench --bench defrag_churn -- --quick
 echo "== cargo bench --bench drain_maintenance -- --quick =="
 cargo bench --bench drain_maintenance -- --quick
 
+echo "== cargo bench --bench fault_recovery -- --quick =="
+cargo bench --bench fault_recovery -- --quick
+
 echo "== cargo run --release --example cluster_serving =="
 cargo run --release --example cluster_serving
 
@@ -76,5 +79,8 @@ cargo run --release --example defrag_serving
 
 echo "== cargo run --release --example drain_serving =="
 cargo run --release --example drain_serving
+
+echo "== cargo run --release --example fault_serving =="
+cargo run --release --example fault_serving
 
 echo "verify: OK"

@@ -111,6 +111,11 @@ fn smoke_drain_maintenance() {
 }
 
 #[test]
+fn smoke_fault_recovery() {
+    figs::fault_recovery::run(true);
+}
+
+#[test]
 fn smoke_parallel_tick() {
     figs::parallel_tick::run(true);
 }

@@ -343,3 +343,63 @@ fn serve_runtime_rejections_carry_no_drained_chip_hints() {
         "chip 0 still draining at report"
     );
 }
+
+#[test]
+fn fit_hints_and_snapshots_exclude_faulted_cores() {
+    // Satellite coverage for the fault layer: a dead core must vanish
+    // from every capacity surface — the chip snapshot, `fits`, the
+    // fleet fit hint and its cache — and come back whole on repair.
+    let mut cl = hetero_cluster(); // chip 0: 6x6 (36), chip 1: 4x4 (16)
+    assert_eq!(
+        cl.fit_hint().map(|h| h.cores),
+        Some(36),
+        "idle fleet: the big chip's full window is the hint"
+    );
+
+    // A whole row of chip 0 dies. Every surface must shrink at once.
+    for core in 6..12 {
+        assert!(cl.fault_core(0, core).unwrap(), "fresh fault");
+    }
+    let snap = cl.snapshot_of(0);
+    assert_eq!(snap.faulted_cores, 6, "the snapshot names the dead row");
+    assert_eq!(snap.free_cores, 30, "dead cores are not free");
+    assert!(
+        snap.largest_free_component <= 30,
+        "dead cores are not reachable free capacity"
+    );
+    assert!(
+        !snap.fits_raw(31, 0, false),
+        "a spatial request larger than the healthy region must not fit"
+    );
+    assert!(
+        !snap.fits_raw(31, 0, true),
+        "dead cores cannot be time-shared either"
+    );
+    assert!(snap.fits_raw(30, 0, false), "the healthy region still fits");
+    let wounded = cl.fit_hint().expect("the fleet still has windows");
+    assert!(
+        wounded.cores <= 30,
+        "no hint may advertise dead capacity: {wounded:?}"
+    );
+
+    // Placement respects the mask: a 6x6 mesh no longer fits anywhere.
+    assert!(
+        cl.create_on(0, VnpuRequest::mesh(6, 6)).is_err(),
+        "the full-chip request must bounce off the faulted row"
+    );
+
+    // Repair restores the full window immediately — fault-era
+    // exhaustion proofs must not shadow the healed capacity.
+    for core in 6..12 {
+        assert!(cl.repair_core(0, core).unwrap(), "fresh repair");
+    }
+    assert_eq!(cl.snapshot_of(0).faulted_cores, 0);
+    assert_eq!(
+        cl.fit_hint().map(|h| h.cores),
+        Some(36),
+        "repair restores the full window"
+    );
+    let healed = cl.create_on(0, VnpuRequest::mesh(6, 6)).unwrap();
+    cl.destroy(healed).unwrap();
+    assert_eq!(cl.free_cores(), cl.total_cores(), "no leaks");
+}

@@ -227,3 +227,116 @@ fn bandwidth_cap_throttles_but_never_wedges() {
         "cap must throttle: capped {slow} vs free {fast}"
     );
 }
+
+#[test]
+fn faulted_core_surfaces_typed_errors_at_every_layer() {
+    // Dead hardware is a typed refusal, never a hang: the hypervisor
+    // refuses to hand out a faulted core, and the machine refuses to
+    // bind one.
+    let cfg = SocConfig::sim();
+    let mut hv = Hypervisor::new(cfg.clone());
+    assert!(hv.set_core_faulted(0, true).unwrap(), "fresh fault");
+    match hv.reserve_cores(&[0]) {
+        Err(vnpu::VnpuError::Faulted { core: 0 }) => {}
+        other => panic!("expected Faulted, got {other:?}"),
+    }
+    assert!(
+        hv.set_core_faulted(999, true).is_err(),
+        "out-of-range cores are rejected, not masked"
+    );
+
+    let (hv, vm) = one_core_vnpu(&cfg);
+    let vnpu = hv.vnpu(vm).unwrap();
+    let phys = vnpu.phys_core(VirtCoreId(0)).unwrap();
+    let mut m = Machine::new(cfg);
+    let t = m.add_tenant("unlucky");
+    assert!(m.fault_core(phys).unwrap(), "fresh machine fault");
+    let program = Program::once(vec![Instr::dma_load(0, 64)]);
+    match m.bind_with(phys, t, 0, program, vnpu.services(VirtCoreId(0)).unwrap()) {
+        Err(SimError::CoreFaulted { core }) if core == phys => {}
+        other => panic!("expected CoreFaulted, got {other:?}"),
+    }
+}
+
+#[test]
+fn faulted_link_crossing_is_a_typed_error_not_a_hang() {
+    // A packet routed across a dead link errors immediately with the
+    // offending hop — no rerouting, no wedge.
+    let cfg = SocConfig::sim();
+    let (hv, vm) = one_core_vnpu(&cfg);
+    let vnpu = hv.vnpu(vm).unwrap();
+    let p0 = vnpu.phys_core(VirtCoreId(0)).unwrap();
+    let p1 = vnpu.phys_core(VirtCoreId(1)).unwrap();
+    let mut m = Machine::new(cfg);
+    let t = m.add_tenant("split");
+    m.bind_with(
+        p0,
+        t,
+        0,
+        Program::once(vec![Instr::send(1, 2048, 0)]),
+        vnpu.services(VirtCoreId(0)).unwrap(),
+    )
+    .unwrap();
+    m.bind_with(
+        p1,
+        t,
+        1,
+        Program::once(vec![Instr::recv(0, 2048, 0)]),
+        vnpu.services(VirtCoreId(1)).unwrap(),
+    )
+    .unwrap();
+    assert!(
+        m.fault_link(p0, p1).unwrap(),
+        "the 2x1 vNPU's cores are mesh-adjacent"
+    );
+    match m.run() {
+        Err(SimError::LinkFaulted { .. }) => {}
+        other => panic!("expected LinkFaulted, got {other:?}"),
+    }
+}
+
+#[test]
+fn fault_during_in_flight_migration_is_stale_plan_with_clean_rollback() {
+    // A fault landing between plan and commit must fail the commit as
+    // StalePlan (the plan was costed against a differently-healthy
+    // chip) and leave the hypervisor byte-identical — then a re-plan
+    // against the wounded chip goes through.
+    use vnpu::plan::{MigrationTarget, PlanOp};
+    let mut hv = Hypervisor::new(SocConfig::sim());
+    let vm = hv
+        .create_vnpu(VnpuRequest::mesh(2, 2).mem_bytes(16 << 20))
+        .unwrap();
+    let migrate = [PlanOp::Migrate {
+        vm,
+        to: MigrationTarget::Remap(Strategy::similar_topology().threads(1)),
+    }];
+    let txn = hv.plan(&migrate).expect("plan against the healthy chip");
+    // The fault strikes mid-flight (far corner, nobody owns it).
+    assert!(hv.set_core_faulted(35, true).unwrap());
+    let digest = hv.state_digest();
+    match hv.commit(&txn) {
+        Err(vnpu::VnpuError::StalePlan { .. }) => {}
+        other => panic!("expected StalePlan, got {other:?}"),
+    }
+    assert_eq!(
+        hv.state_digest(),
+        digest,
+        "a refused commit leaves the hypervisor byte-identical"
+    );
+    // Re-planned against the wounded chip, the migration commits — and
+    // never lands on the dead core.
+    let txn = hv.plan(&migrate).expect("re-plan sees the fault");
+    hv.commit(&txn).expect("commit against the wounded chip");
+    let nodes = hv.vnpu(vm).unwrap().mapping().phys_nodes().to_vec();
+    assert!(
+        !nodes.contains(&vnpu_topo::NodeId(35)),
+        "the remap must avoid the faulted core"
+    );
+    hv.destroy_vnpu(vm).unwrap();
+    hv.set_core_faulted(35, false).unwrap();
+    assert_eq!(
+        hv.free_core_count(),
+        hv.config().core_count(),
+        "no leaks through the fault window"
+    );
+}

@@ -766,3 +766,89 @@ fn schedule_exploration_leaves_the_report_invariant() {
         },
     );
 }
+
+/// Satellite property: the fault/recovery phase keeps the parallel tick
+/// deterministic. The same seeded 3-chip churn with a seeded mid-run
+/// fault plan (core faults sampled over the whole fleet, each repaired
+/// 9 ticks later) must produce byte-identical audited reports at
+/// `workers = 1, 2, 4, 8` (modulo the report's own `workers` field),
+/// leak nothing, converge its recovery queue, and leave a fleet the
+/// invariant auditor signs off on.
+#[test]
+fn fault_churn_reports_are_byte_identical_across_workers() {
+    use std::sync::Arc;
+    use vnpu::cluster::LeastLoaded;
+    use vnpu_fault::FaultPlan;
+    use vnpu_serve::{ServeConfig, ServeRuntime};
+    use vnpu_sim::SocConfig;
+    check(
+        "fault_churn_reports_are_byte_identical_across_workers",
+        4,
+        range(0u64..1 << 32),
+        |&seed| {
+            let config_for = |workers: usize| {
+                let small = SocConfig {
+                    mesh_width: 4,
+                    mesh_height: 4,
+                    ..SocConfig::sim()
+                };
+                let mut cfg =
+                    ServeConfig::cluster(seed, 80, vec![SocConfig::sim(), small, SocConfig::sim()]);
+                cfg.traffic.mean_interarrival_ticks = 1;
+                cfg.traffic.candidate_cap = 120;
+                cfg.placement = Arc::new(LeastLoaded);
+                // 5 core faults sampled over the fleet in ticks 1..50,
+                // each repaired 9 ticks after its onset — past the
+                // 8-tick recovery deadline, so the lost-tenant path is
+                // reachable alongside remap and cross-chip replacement.
+                cfg.fault_plan = FaultPlan::seeded(seed, &[36, 16, 36], 5, 50, Some(9));
+                cfg.workers = workers;
+                cfg
+            };
+            let normalize = |json: String| {
+                json.lines()
+                    .filter(|l| !l.contains("\"workers\""))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            let mut baseline = ServeRuntime::new(config_for(1));
+            for _ in 0..80 {
+                baseline.step().expect("sequential fault tick");
+            }
+            // Recovery must converge: every detected tenant is resolved
+            // (remapped, replaced, self-healed or lost) once the last
+            // repair lands, and the healed fleet audits clean.
+            prop_assert_eq!(
+                vnpu_audit::FleetAuditor::new()
+                    .audit(baseline.cluster())
+                    .len(),
+                0,
+                "healed fleet audits clean"
+            );
+            baseline.drain().expect("sequential drain");
+            let report = baseline.report();
+            prop_assert_eq!(report.recoveries_pending, 0, "recovery converged");
+            prop_assert_eq!(report.leaked_cores, 0, "no core leaks under faults");
+            prop_assert_eq!(report.leaked_hbm_bytes, 0, "no HBM leaks under faults");
+            prop_assert_eq!(
+                report.faults_injected,
+                report.faults_repaired,
+                "every sampled fault repairs on schedule"
+            );
+            let expected = normalize(report.to_json(usize::MAX));
+            for workers in [2usize, 4, 8] {
+                let mut rt = ServeRuntime::new(config_for(workers));
+                for _ in 0..80 {
+                    rt.step().expect("parallel fault tick");
+                }
+                rt.drain().expect("parallel drain");
+                prop_assert_eq!(
+                    &normalize(rt.report().to_json(usize::MAX)),
+                    &expected,
+                    "fault-recovery reports diverge across worker counts"
+                );
+            }
+            Ok(())
+        },
+    );
+}

@@ -61,11 +61,20 @@
 //! | `CONC-HOLD` | no pool batch submitted while holding a lock | conc |
 //! | `CONC-SHARD` | shard choice is a pure function of the key hash | conc |
 //! | `CONC-DET` | phase digest chains agree across runs | conc |
+//! | `TEMP-STARVE` | arrivals admitted or terminally rejected in bounded ticks | temporal |
+//! | `TEMP-DRAIN` | a silently stalled drain progresses or finishes in bounded ticks | temporal |
+//! | `TEMP-FAULT` | detected outages resolve by the recovery deadline | temporal |
+//! | `TEMP-COST` | per-event paid costs sum to the report's claims | temporal |
+//! | `TEMP-CACHE` | cache counters consistent and monotone | temporal |
+//! | `TEMP-LEAK` | quiescence implies a coalesced, leak-free free state | temporal |
+//! | `TEMP-HINT` | emitted fit hints fit the emitting admission snapshot | temporal |
 //!
 //! The `CONC-*` rules are produced by `vnpu_conc`'s trace analyses and
 //! determinism sanitizer (see that crate); [`AuditFinding`] implements
 //! `From<vnpu_conc::ConcFinding>` so concurrency findings flow through
-//! the same reporting channel as the passes above.
+//! the same reporting channel as the passes above. The `TEMP-*` rules
+//! are produced by `vnpu_temporal`'s streaming property checker over
+//! serve traces and lift into this channel the same way.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -177,6 +186,26 @@ pub enum Rule {
     ConcShardOrder,
     /// Phase digest chains diverged between runs that must agree.
     ConcDeterminism,
+    /// A queued request was neither admitted nor terminally rejected
+    /// within the admission policy's starvation bound.
+    TemporalStarvation,
+    /// A draining chip sat through silent drain steps (nothing moved,
+    /// nothing explicitly skipped) past the stall bound.
+    TemporalDrainConvergence,
+    /// A detected outage was not recovered, lost, or departed by the
+    /// recovery deadline.
+    TemporalFaultDeadline,
+    /// Per-event paid reconfiguration costs do not sum to the serve
+    /// report's claimed totals.
+    TemporalCostConservation,
+    /// Mapping-cache counters are inconsistent or regressed over time.
+    TemporalCacheConservation,
+    /// The fleet claimed quiescence while leaking cores/HBM or with an
+    /// uncoalesced free region on healthy hardware.
+    TemporalQuiescenceLeak,
+    /// An emitted fit hint exceeds the largest schedulable free island
+    /// at the start of its admission pass.
+    TemporalHintSoundness,
 }
 
 impl Rule {
@@ -211,6 +240,13 @@ impl Rule {
             Rule::ConcHoldAcrossSubmit => "CONC-HOLD",
             Rule::ConcShardOrder => "CONC-SHARD",
             Rule::ConcDeterminism => "CONC-DET",
+            Rule::TemporalStarvation => "TEMP-STARVE",
+            Rule::TemporalDrainConvergence => "TEMP-DRAIN",
+            Rule::TemporalFaultDeadline => "TEMP-FAULT",
+            Rule::TemporalCostConservation => "TEMP-COST",
+            Rule::TemporalCacheConservation => "TEMP-CACHE",
+            Rule::TemporalQuiescenceLeak => "TEMP-LEAK",
+            Rule::TemporalHintSoundness => "TEMP-HINT",
         }
     }
 }
@@ -372,13 +408,23 @@ mod tests {
             Rule::ConcHoldAcrossSubmit,
             Rule::ConcShardOrder,
             Rule::ConcDeterminism,
+            Rule::TemporalStarvation,
+            Rule::TemporalDrainConvergence,
+            Rule::TemporalFaultDeadline,
+            Rule::TemporalCostConservation,
+            Rule::TemporalCacheConservation,
+            Rule::TemporalQuiescenceLeak,
+            Rule::TemporalHintSoundness,
         ];
         let ids: std::collections::BTreeSet<&str> = rules.iter().map(|r| r.id()).collect();
         assert_eq!(ids.len(), rules.len(), "duplicate rule id");
         for id in ids {
             let (layer, _) = id.split_once('-').expect("ids are LAYER-NAME");
             assert!(
-                matches!(layer, "PLAN" | "ROUTE" | "FLEET" | "CONC" | "FAULT"),
+                matches!(
+                    layer,
+                    "PLAN" | "ROUTE" | "FLEET" | "CONC" | "FAULT" | "TEMP"
+                ),
                 "{id}"
             );
         }

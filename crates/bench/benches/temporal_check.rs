@@ -1,0 +1,8 @@
+//! Thin bench entry point; the scenario lives in
+//! [`vnpu_bench::figs::temporal_check`] so `tests/benches_smoke.rs`
+//! can run it at tiny scale under `cargo test`. Pass `-- --quick` for
+//! the same fast mode here.
+
+fn main() {
+    vnpu_bench::figs::temporal_check::run(vnpu_bench::harness::quick_from_env());
+}

@@ -34,3 +34,4 @@ pub mod fig19_hw_cost;
 pub mod parallel_tick;
 pub mod serving_churn;
 pub mod table3_vrouter_noc;
+pub mod temporal_check;

@@ -57,6 +57,11 @@ fn config(quick: bool) -> ServeConfig {
     // warm / drain / masked / hand-back phases must leave the fleet in a
     // state the invariant auditor signs off on.
     cfg.audit = true;
+    // `scripts/verify.sh` reruns the scenario with the streaming
+    // temporal checker on (`VNPU_TEMPORAL=1`): zero TEMP-* findings may
+    // surface and the report must stay byte-identical to the baseline
+    // pass — temporal checking is a read-only observer.
+    cfg.temporal = std::env::var("VNPU_TEMPORAL").as_deref() == Ok("1");
     cfg
 }
 
@@ -157,6 +162,12 @@ fn scenario(quick: bool) -> Outcome {
         readmitted_on_zero |= ev.admitted.iter().any(|id| id.chip == 0);
     }
     rt.drain().expect("end-of-run drain");
+    assert!(
+        rt.temporal_findings().is_empty(),
+        "the temporal checker (when enabled) must stay silent across the \
+         whole maintenance lifecycle: {:?}",
+        rt.temporal_findings()
+    );
     Outcome {
         report: rt.report(),
         evacuated,

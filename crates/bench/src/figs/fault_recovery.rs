@@ -64,6 +64,11 @@ fn config(quick: bool, workers: usize) -> ServeConfig {
     // fleet must audit clean once it has.
     cfg.audit = true;
     cfg.workers = workers;
+    // `scripts/verify.sh` reruns the scenario with the streaming
+    // temporal checker on (`VNPU_TEMPORAL=1`): zero TEMP-* findings may
+    // surface and the report must stay byte-identical to the baseline
+    // pass — temporal checking is a read-only observer.
+    cfg.temporal = std::env::var("VNPU_TEMPORAL").as_deref() == Ok("1");
     cfg
 }
 
@@ -128,6 +133,12 @@ fn scenario(quick: bool, workers: usize) -> Outcome {
         "the recovered fleet audits clean: {sweep:?}"
     );
     rt.drain().expect("end-of-run drain");
+    assert!(
+        rt.temporal_findings().is_empty(),
+        "the temporal checker (when enabled) must stay silent across the \
+         whole fault lifecycle: {:?}",
+        rt.temporal_findings()
+    );
     Outcome {
         report: rt.report(),
         onsets,

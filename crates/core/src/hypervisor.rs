@@ -848,6 +848,16 @@ impl Hypervisor {
                 .map_cached(&self.free_set, &probe, &strategy, cache)
                 .is_ok()
             {
+                // Soundness of the emitted hint, re-proved in debug
+                // builds: the advertised shape must map against the
+                // *current* free set through a fresh (cache-free)
+                // attempt, so a stale memoized success can never leak
+                // out as an unplaceable advice.
+                debug_assert!(
+                    mapper.map_in(&self.free_set, &probe, &strategy).is_ok(),
+                    "fit hint advertises {cores} cores but a fresh probe \
+                     cannot place that shape on the current free set"
+                );
                 let width = probe
                     .mesh_shape()
                     .map_or_else(|| (cores as f64).sqrt().ceil() as u32, |shape| shape.width);
@@ -2276,6 +2286,35 @@ mod tests {
         let mut h = hv();
         h.create_vnpu(VnpuRequest::mesh(6, 6)).unwrap();
         assert_eq!(h.fit_hint(), None);
+    }
+
+    #[test]
+    fn fit_hint_remains_sound_across_free_set_churn() {
+        // A hint is advice the caller may act on immediately: the probe
+        // that produced it must place on the *current* free set even
+        // when the dedicated hint cache still holds entries probed
+        // against a looser free region (the debug-build re-probe in
+        // `fit_hint_in_bounded` proves this on every emission; acting on
+        // the hint here proves it end to end).
+        let mut h = hv();
+        let vm = h.create_vnpu(VnpuRequest::mesh(2, 6)).unwrap();
+        let loose = h.fit_hint().expect("most of the chip is free");
+        assert!(loose.cores >= 24, "a big island must be advertised");
+        // Churn: release the block, then carve the free region up much
+        // more tightly — stale cache entries now describe shapes the
+        // current free set cannot hold.
+        h.destroy_vnpu(vm).unwrap();
+        let taken: Vec<u32> = (0..36).filter(|&c| c % 3 != 0 || c >= 18).collect();
+        h.reserve_cores(&taken).unwrap();
+        let tight = h.fit_hint().expect("free cores remain");
+        assert!(
+            tight.cores < loose.cores,
+            "the tighter free set must shrink the hint"
+        );
+        // Acting on the hint verbatim must succeed: the advertised core
+        // count rebuilds the exact near-mesh probe shape.
+        h.create_vnpu(VnpuRequest::cores(tight.cores))
+            .expect("a sound hint is placeable as advertised");
     }
 
     #[test]

@@ -31,6 +31,18 @@
 //!   ([`ChipReport`]), and leak accounting (a correct run ends with zero
 //!   cores and zero HBM bytes still allocated on every chip).
 //!
+//! Every state transition the loop commits is also emitted exactly once
+//! as a [`vnpu_temporal::TraceEvent`]: the report's run counters are
+//! folded from that stream (via [`vnpu_temporal::TraceFold`]), the
+//! streaming `TEMP-*` temporal checker consumes the same stream when
+//! [`ServeConfig::temporal`] is on
+//! ([`ServeRuntime::temporal_findings`]), and
+//! [`ServeConfig::record_trace`] records it for offline verification
+//! with [`vnpu_temporal::check_trace`]
+//! ([`ServeRuntime::trace`] / [`ServeRuntime::trace_with_claim`]).
+//! One stream, three consumers — the numbers the report claims and the
+//! temporal properties guarding them cannot drift apart.
+//!
 //! # Example
 //!
 //! ```

@@ -156,6 +156,12 @@ pub struct ServeReport {
     /// audited fleet reports 0 too, so a clean audited run's report is
     /// byte-identical to the unaudited one).
     pub audit_findings: u64,
+    /// Temporal-property violations the online checker
+    /// ([`vnpu_temporal`]) proved over the run (always 0 when
+    /// `ServeConfig::temporal` is off — and 0 on a healthy fleet even
+    /// with it on, so a checked run's report is byte-identical to the
+    /// unchecked one).
+    pub temporal_findings: u64,
     /// Hardware-fault onsets injected over the run (cores and links).
     pub faults_injected: u64,
     /// Hardware faults repaired over the run.
@@ -266,7 +272,8 @@ impl ServeReport {
              drain: {} evacuated ({} cycles, {} B moved, {} paused) | \
              cache hits {} misses {} (hit rate {:.1}%) | mean \
              free-connectivity {:.3} | executed {} machine epochs ({} cycles) \
-             | leaks: {} cores, {} HBM bytes | audit findings {} | workers {}",
+             | leaks: {} cores, {} HBM bytes | audit findings {} | \
+             temporal findings {} | workers {}",
             self.per_chip.len(),
             self.epochs,
             self.submitted,
@@ -296,6 +303,7 @@ impl ServeReport {
             self.leaked_cores,
             self.leaked_hbm_bytes,
             self.audit_findings,
+            self.temporal_findings,
             self.workers,
         );
         if self.faults_injected > 0 || self.tenants_lost > 0 {
@@ -463,6 +471,7 @@ impl ServeReport {
              \"executed_epochs\": {},\n  \"machine_cycles\": {},\n  \
              \"controller_cycles\": {},\n  \"leaked_cores\": {},\n  \
              \"leaked_hbm_bytes\": {},\n  \"audit_findings\": {},\n  \
+             \"temporal_findings\": {},\n  \
              \"faults_injected\": {},\n  \"faults_repaired\": {},\n  \
              \"recoveries_remapped\": {},\n  \"recoveries_replaced\": {},\n  \
              \"recoveries_self_healed\": {},\n  \"tenants_lost\": {},\n  \
@@ -508,6 +517,7 @@ impl ServeReport {
             self.leaked_cores,
             self.leaked_hbm_bytes,
             self.audit_findings,
+            self.temporal_findings,
             self.faults_injected,
             self.faults_repaired,
             self.recoveries_remapped,
@@ -601,6 +611,7 @@ mod tests {
             leaked_cores: 0,
             leaked_hbm_bytes: 0,
             audit_findings: 0,
+            temporal_findings: 0,
             faults_injected: 2,
             faults_repaired: 1,
             recoveries_remapped: 1,
@@ -660,6 +671,7 @@ mod tests {
         assert!(json.contains("\"schedulable\":false"));
         assert!(json.contains("\"sched_state\":\"draining\""));
         assert!(json.contains("\"audit_findings\": 0"));
+        assert!(json.contains("\"temporal_findings\": 0"));
         assert!(json.contains("\"frag_windows_recovered\": 9"));
         assert!(json.contains("\"workers\": 4"));
         assert!(json.contains("\"admission_nanos\": 1500000"));
@@ -686,6 +698,7 @@ mod tests {
         assert!(r.summary().contains("migrations 1"));
         assert!(r.summary().contains("drain: 2 evacuated"));
         assert!(r.summary().contains("audit findings 0"));
+        assert!(r.summary().contains("temporal findings 0"));
         assert!(r.summary().contains("workers 4"));
         assert!(r.summary().contains("faults: 2 injected, 1 repaired"));
         assert!(r.summary().contains("mttr mean 2.00 max 3 ticks"));

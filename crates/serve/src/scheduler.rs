@@ -40,6 +40,21 @@ use vnpu_fault::{FaultDetector, FaultEvent, FaultKind, FaultPlan, RecoveryPolicy
 use vnpu_sim::isa::{Instr, Program};
 use vnpu_sim::machine::{Machine, TenantId};
 use vnpu_sim::SocConfig;
+use vnpu_temporal::{
+    CheckerConfig, RecoveryKind, TemporalChecker, TemporalFinding, TraceEvent, TraceFold,
+};
+
+/// Ticks of slack granted per admission attempt when deriving the
+/// `TEMP-STARVE` bound from [`ServeConfig::max_attempts`]: a queued
+/// request may be passed over for whole ticks while deeper queues
+/// drain ahead of it, so the bound is per-attempt headroom, not a
+/// per-tick guarantee.
+const STARVE_SLACK_TICKS: u64 = 32;
+
+/// Silent drain steps (nothing moved, nothing explicitly skipped,
+/// residents remaining) tolerated before `TEMP-DRAIN` declares the
+/// drain stalled.
+const DRAIN_STALL_BOUND_TICKS: u64 = 16;
 
 /// One chip of a serving deployment: its SoC model and HBM capacity.
 #[derive(Debug, Clone)]
@@ -97,6 +112,27 @@ pub struct ServeConfig {
     /// [`TickEvents::audit_findings`] and
     /// [`crate::report::ServeReport::audit_findings`].
     pub audit: bool,
+    /// Include the tick's actual [`AuditFinding`]s in
+    /// [`TickEvents::audit_detail`] (only meaningful with
+    /// [`ServeConfig::audit`] on). Opt-in because the findings are
+    /// cloned per tick; off, `audit_detail` stays empty and reports are
+    /// byte-identical either way — the report only ever counts.
+    pub audit_detail: bool,
+    /// Run the [`vnpu_temporal`] online checker inside every step: the
+    /// tick's [`TraceEvent`] stream feeds the streaming `TEMP-*`
+    /// properties (liveness, convergence, conservation) as it is
+    /// emitted. Off by default — disabled, no observation event is even
+    /// computed; enabled on a healthy fleet, checking is read-only and
+    /// leaves the run's report byte-identical. Findings accumulate on
+    /// the runtime ([`ServeRuntime::temporal_findings`]) and are
+    /// counted in [`TickEvents::temporal_findings`] and
+    /// [`crate::report::ServeReport::temporal_findings`].
+    pub temporal: bool,
+    /// Record the run's full structured [`TraceEvent`] stream for
+    /// offline analysis ([`ServeRuntime::trace`],
+    /// [`vnpu_temporal::check_trace`]). Off by default — a long run's
+    /// trace is large.
+    pub record_trace: bool,
     /// Worker threads for the tick's parallel phases (admission
     /// candidate evaluation, drain/defrag planning, machine epochs).
     /// `1` — the default — is *exactly* the sequential path (no pool
@@ -161,11 +197,34 @@ impl ServeConfig {
             drain_policy: Arc::new(CheapestFirstDrain),
             drain_budget: ReconfigBudget::default(),
             audit: false,
+            audit_detail: false,
+            temporal: false,
+            record_trace: false,
             workers: 1,
             time_phases: false,
             fault_plan: FaultPlan::new(),
             recovery: RecoveryPolicy::default(),
             conc: vnpu_conc::ConcMode::default(),
+        }
+    }
+
+    /// The [`CheckerConfig`] this config's policies imply — the exact
+    /// rule bounds the online checker runs under, exposed so offline
+    /// re-checks of a recorded trace ([`vnpu_temporal::check_trace`])
+    /// judge it by the same policy the run was served under.
+    ///
+    /// `TEMP-STARVE` is bounded at [`ServeConfig::max_attempts`] ×
+    /// the per-attempt slack (32 ticks; disabled for unbounded retries
+    /// — no policy, no bound); `TEMP-FAULT` mirrors
+    /// [`vnpu_fault::RecoveryPolicy::max_recovery_ticks`].
+    pub fn temporal_checker_config(&self) -> CheckerConfig {
+        CheckerConfig {
+            starve_bound_ticks: self
+                .max_attempts
+                .map(|a| u64::from(a).saturating_mul(STARVE_SLACK_TICKS).max(1)),
+            drain_stall_ticks: DRAIN_STALL_BOUND_TICKS,
+            max_recovery_ticks: self.recovery.max_recovery_ticks,
+            check_hints: true,
         }
     }
 }
@@ -197,6 +256,14 @@ pub struct TickEvents {
     /// Invariant violations the post-tick fleet audit reported (always 0
     /// when [`ServeConfig::audit`] is off).
     pub audit_findings: u64,
+    /// The tick's actual audit findings, populated only under
+    /// [`ServeConfig::audit_detail`] (empty otherwise, even when
+    /// `audit_findings` counted some) — the structured form callers and
+    /// the temporal layer consume without re-running the audit.
+    pub audit_detail: Vec<AuditFinding>,
+    /// Temporal-property violations the online checker proved during
+    /// this step (always 0 when [`ServeConfig::temporal`] is off).
+    pub temporal_findings: u64,
     /// Hardware faults whose onset landed this tick.
     pub fault_onsets: u64,
     /// Hardware faults repaired this tick.
@@ -222,27 +289,41 @@ struct LiveVnpu {
     expires_at_epoch: u64,
 }
 
-/// Per-chip running counters folded into the final [`ChipReport`]s.
-#[derive(Debug, Default, Clone, Copy)]
-struct ChipCounters {
-    accepted: u64,
-    departed: u64,
-    migrations: u64,
-    drain_evacuated: u64,
-    drain_received: u64,
-    executed_epochs: u64,
-    machine_cycles: u64,
-    fault_onsets: u64,
-    fault_repairs: u64,
-    recoveries_remapped: u64,
-    recoveries_replaced: u64,
-    tenants_lost: u64,
-    /// Ticks this chip spent in degraded mode (any core or link fault
-    /// active at the end of the tick's recovery phase).
-    degraded_ticks: u64,
-    /// Wall-clock spent in this chip's machine epochs (nanos); stays 0
-    /// unless [`ServeConfig::time_phases`] is on.
-    exec_nanos: u64,
+/// The run's event channel: every state transition the loop commits is
+/// emitted here exactly once as a [`TraceEvent`]. The always-on
+/// [`TraceFold`] derives every run counter the report publishes from
+/// that stream — nothing is incremented inline anymore — and the
+/// optional online checker and trace recording consume the *same*
+/// stream, so the numbers the report claims and the temporal properties
+/// guarding them can never drift apart.
+#[derive(Debug)]
+struct TemporalSink {
+    /// Always on: the single source of the report's run counters.
+    fold: TraceFold,
+    /// The streaming `TEMP-*` checker, under [`ServeConfig::temporal`].
+    checker: Option<TemporalChecker>,
+    /// The recorded stream, under [`ServeConfig::record_trace`].
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl TemporalSink {
+    fn emit(&mut self, ev: TraceEvent) {
+        self.fold.observe(&ev);
+        if let Some(checker) = self.checker.as_mut() {
+            checker.observe(&ev);
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(ev);
+        }
+    }
+
+    /// Whether observation-only events (pass-start snapshots, fit
+    /// hints, cache samples, quiescence probes) have a consumer. The
+    /// fold ignores them, so when this is `false` the loop skips even
+    /// *computing* them — the disabled checker costs nothing.
+    fn wants_detail(&self) -> bool {
+        self.checker.is_some() || self.trace.is_some()
+    }
 }
 
 /// Per-phase wall-clock accumulators (nanoseconds) — all zero unless
@@ -273,49 +354,21 @@ pub struct ServeRuntime {
     controller_cycles: u64,
     accounted_config_cycles: u64,
     placement_cycles: Vec<u64>,
-    accepted: u64,
-    rejected: u64,
-    departed: u64,
-    migrations: u64,
-    /// Tenants moved off draining chips by the maintenance phase.
-    drain_migrations: u64,
-    /// Summed [`ReconfigCost`] paid by every drain evacuation.
-    drain_reconfig: ReconfigCost,
     /// Tick of the first completed admission — the anchor for
     /// [`ServeConfig::defrag_interval`] (`None` until something places).
     first_admission_tick: Option<u64>,
-    /// Summed [`ReconfigCost`] paid by every committed migration.
-    reconfig: ReconfigCost,
-    /// Cumulative growth of largest free windows achieved by defrag
-    /// passes (cores).
-    frag_windows_recovered: u64,
-    /// Cumulative reduction of buddy external fragmentation achieved by
-    /// defrag passes (sum of per-pass deltas).
-    hbm_frag_recovered: f64,
     fragmentation: Vec<FragSample>,
-    per_chip: Vec<ChipCounters>,
+    /// The event channel every run counter and temporal property folds
+    /// from; see [`TemporalSink`].
+    temporal: TemporalSink,
+    /// Per-chip wall-clock spent in machine epochs (nanos); stays 0
+    /// unless [`ServeConfig::time_phases`] is on. Kept outside the
+    /// event stream because wall-clock is nondeterministic.
+    exec_nanos: Vec<u64>,
     /// Tenants detected as fault-affected and not yet recovered, each
     /// with the tick its outage was first detected. `BTreeMap` iteration
     /// order *is* the deterministic recovery order.
     pending_recovery: BTreeMap<ClusterVmId, u64>,
-    faults_injected: u64,
-    faults_repaired: u64,
-    recoveries_remapped: u64,
-    recoveries_replaced: u64,
-    /// Pending tenants whose fault was repaired under them before any
-    /// recovery action landed — recovered without moving.
-    recoveries_self_healed: u64,
-    tenants_lost: u64,
-    /// Summed [`ReconfigCost`] paid by every recovery action (remap or
-    /// emergency re-placement).
-    recovery_reconfig: ReconfigCost,
-    /// Chip-ticks spent in degraded mode, summed over chips.
-    degraded_ticks: u64,
-    /// Summed ticks-to-recover over every recovered tenant (0 = same
-    /// tick as the onset).
-    mttr_total_ticks: u64,
-    /// Worst observed ticks-to-recover.
-    mttr_max_ticks: u64,
     tick: u64,
     /// Stateful fleet auditor (generation-monotonicity history); only
     /// consulted when [`ServeConfig::audit`] is on.
@@ -369,7 +422,14 @@ impl ServeRuntime {
             .map(|c| Machine::new(c.soc.clone()))
             .collect();
         let generator = ArrivalGenerator::new(cfg.traffic.clone());
-        let per_chip = vec![ChipCounters::default(); cfg.chips.len()];
+        let temporal = TemporalSink {
+            fold: TraceFold::new(cfg.chips.len()),
+            checker: cfg
+                .temporal
+                .then(|| TemporalChecker::standard(cfg.temporal_checker_config())),
+            trace: cfg.record_trace.then(Vec::new),
+        };
+        let exec_nanos = vec![0; cfg.chips.len()];
         ServeRuntime {
             cluster,
             machines,
@@ -380,29 +440,11 @@ impl ServeRuntime {
             controller_cycles: 0,
             accounted_config_cycles: 0,
             placement_cycles: Vec::new(),
-            accepted: 0,
-            rejected: 0,
-            departed: 0,
-            migrations: 0,
-            drain_migrations: 0,
-            drain_reconfig: ReconfigCost::default(),
             first_admission_tick: None,
-            reconfig: ReconfigCost::default(),
-            frag_windows_recovered: 0,
-            hbm_frag_recovered: 0.0,
             fragmentation: Vec::new(),
-            per_chip,
+            temporal,
+            exec_nanos,
             pending_recovery: BTreeMap::new(),
-            faults_injected: 0,
-            faults_repaired: 0,
-            recoveries_remapped: 0,
-            recoveries_replaced: 0,
-            recoveries_self_healed: 0,
-            tenants_lost: 0,
-            recovery_reconfig: ReconfigCost::default(),
-            degraded_ticks: 0,
-            mttr_total_ticks: 0,
-            mttr_max_ticks: 0,
             tick: 0,
             auditor: FleetAuditor::new(),
             audit_findings: Vec::new(),
@@ -580,6 +622,8 @@ impl ServeRuntime {
             drain_migrations: 0,
             executed_chips: 0,
             audit_findings: 0,
+            audit_detail: Vec::new(),
+            temporal_findings: 0,
             fault_onsets: 0,
             fault_repairs: 0,
             recoveries_remapped: 0,
@@ -587,6 +631,11 @@ impl ServeRuntime {
             recoveries_pending: 0,
             tenants_lost: 0,
         };
+        let findings_before = self
+            .temporal
+            .checker
+            .as_ref()
+            .map_or(0, |c| c.findings().len());
 
         // 1. Departures: tenants whose lifetime expired leave first,
         //    freeing cores/HBM for this tick's admissions.
@@ -597,7 +646,7 @@ impl ServeRuntime {
             .map(|l| l.id)
             .collect();
         for id in expired {
-            self.retire(id)?;
+            self.retire(id, tick)?;
             events.departed += 1;
         }
         // 1b. Fault-recovery phase: this tick's scheduled onsets and
@@ -630,6 +679,9 @@ impl ServeRuntime {
             let id = self.cluster.submit(arrival.request);
             self.queued_lifetimes.insert(id, arrival.lifetime_epochs);
             self.submitted_at.insert(id, self.controller_cycles);
+            if self.temporal.wants_detail() {
+                self.temporal.emit(TraceEvent::Arrival { tick, id: id.0 });
+            }
             events.arrivals += 1;
         }
 
@@ -642,6 +694,25 @@ impl ServeRuntime {
         //    the fragmentation sample reuse the tick's single
         //    free-region scan.
         let t_admission = self.phase_clock();
+        if self.temporal.wants_detail() {
+            // Pass-start snapshot of the largest schedulable island:
+            // the sound upper bound TEMP-HINT checks every fit hint
+            // against (free regions only shrink during the pass). The
+            // pass below reuses the same memoized snapshots, so this
+            // costs no extra free-region scan.
+            let largest_island = self
+                .cluster
+                .tick_snapshots()
+                .iter()
+                .filter(|s| s.schedulable)
+                .map(|s| s.largest_free_component)
+                .max()
+                .unwrap_or(0) as u32;
+            self.temporal.emit(TraceEvent::AdmissionStart {
+                tick,
+                largest_island,
+            });
+        }
         let (admission_events, mut snapshots) = self.cluster.process_admissions_with_snapshots();
         if let Some(chain) = self.digests.as_mut() {
             // Fleet-level admission digest: the merged decision sequence
@@ -681,8 +752,12 @@ impl ServeRuntime {
                 .expect("every queued id has a submit stamp");
             match event.outcome {
                 ClusterAdmissionOutcome::Admitted(id) => {
-                    self.accepted += 1;
-                    self.per_chip[id.chip].accepted += 1;
+                    self.temporal.emit(TraceEvent::Admitted {
+                        tick,
+                        id: event.id.0,
+                        chip: id.chip,
+                        vm: id.vm.0,
+                    });
                     let decided_at =
                         self.controller_cycles + (event.config_cycles_total - config_base);
                     self.placement_cycles.push(decided_at.saturating_sub(stamp));
@@ -699,7 +774,19 @@ impl ServeRuntime {
                     events.admitted.push(id);
                 }
                 ClusterAdmissionOutcome::Rejected(_) => {
-                    self.rejected += 1;
+                    self.temporal.emit(TraceEvent::Rejected {
+                        tick,
+                        id: event.id.0,
+                    });
+                    if self.temporal.wants_detail() {
+                        if let Some(hint) = event.fit_hint {
+                            self.temporal.emit(TraceEvent::HintEmitted {
+                                tick,
+                                id: event.id.0,
+                                cores: hint.cores,
+                            });
+                        }
+                    }
                     events.rejected.push((event.id, event.fit_hint));
                 }
             }
@@ -759,11 +846,24 @@ impl ServeRuntime {
                         expires_at_epoch: live.expires_at_epoch,
                     },
                 );
-                self.drain_migrations += 1;
-                self.per_chip[m.from.chip].drain_evacuated += 1;
-                self.per_chip[m.to.chip].drain_received += 1;
-                self.drain_reconfig = self.drain_reconfig.plus(m.cost);
+                self.temporal.emit(TraceEvent::DrainMove {
+                    tick,
+                    from_chip: m.from.chip,
+                    from_vm: m.from.vm.0,
+                    to_chip: m.to.chip,
+                    to_vm: m.to.vm.0,
+                    cost: m.cost,
+                });
                 events.drain_migrations += 1;
+            }
+            if self.temporal.wants_detail() {
+                self.temporal.emit(TraceEvent::DrainStep {
+                    tick,
+                    chip,
+                    moved: step.moved.len() as u64,
+                    skipped: step.skipped as u64,
+                    remaining: step.remaining as u64,
+                });
             }
             // Refresh only the chips this step touched (source plus the
             // destinations that received a tenant) — the tick keeps its
@@ -840,9 +940,12 @@ impl ServeRuntime {
                                 .migrate_tenant(live.tenant, cost.paused_cycles)
                                 .map_err(vnpu::VnpuError::Sim)?;
                         }
-                        self.migrations += 1;
-                        self.per_chip[chip].migrations += 1;
-                        self.reconfig = self.reconfig.plus(*cost);
+                        self.temporal.emit(TraceEvent::Migrated {
+                            tick,
+                            chip,
+                            vm: vm.0,
+                            cost: *cost,
+                        });
                         events.migrations += 1;
                     }
                     let before = &snapshots[chip];
@@ -852,12 +955,17 @@ impl ServeRuntime {
                     );
                     snapshots[chip] = self.cluster.snapshot_refresh(chip);
                     let after = &snapshots[chip];
-                    self.frag_windows_recovered +=
-                        after.largest_free_component.saturating_sub(window_before) as u64;
                     let delta = hbm_before - after.hbm_external_fragmentation;
-                    if delta > 0.0 {
-                        self.hbm_frag_recovered += delta;
-                    }
+                    self.temporal.emit(TraceEvent::DefragRecovered {
+                        tick,
+                        chip,
+                        window_cores: after.largest_free_component.saturating_sub(window_before)
+                            as u64,
+                        // Pre-clamped: only improvements are booked, and
+                        // folding `+= 0.0` preserves byte-identity for
+                        // the non-negative running sum.
+                        hbm_frag_delta: if delta > 0.0 { delta } else { 0.0 },
+                    });
                 }
             }
         }
@@ -974,15 +1082,30 @@ impl ServeRuntime {
                         d.finish(),
                     );
                 }
-                self.per_chip[chip].executed_epochs += 1;
-                self.per_chip[chip].machine_cycles += report.makespan();
+                self.temporal.emit(TraceEvent::Executed {
+                    tick,
+                    chip,
+                    machine_cycles: report.makespan(),
+                });
                 if self.cfg.time_phases {
-                    self.per_chip[chip].exec_nanos += nanos;
+                    self.exec_nanos[chip] += nanos;
                 }
                 events.executed_chips += 1;
             }
         }
         self.phase_nanos.execution += elapsed_nanos(t_exec);
+        if self.temporal.wants_detail() {
+            // Placement-cache conservation sample: TEMP-CACHE checks
+            // hits + misses == lookups and that both series are
+            // monotone across samples.
+            let cache = self.cluster.cache_stats();
+            self.temporal.emit(TraceEvent::CacheSample {
+                tick,
+                hits: cache.hits,
+                misses: cache.misses,
+                lookups: cache.hits + cache.misses,
+            });
+        }
 
         // 8. Optional post-tick fleet audit: every invariant the tick's
         //    phases were supposed to preserve, cross-checked read-only.
@@ -991,8 +1114,17 @@ impl ServeRuntime {
         if self.cfg.audit {
             let findings = self.auditor.audit(&self.cluster);
             events.audit_findings = findings.len() as u64;
+            if self.cfg.audit_detail {
+                events.audit_detail = findings.clone();
+            }
             self.audit_findings.extend(findings);
         }
+        events.temporal_findings = self
+            .temporal
+            .checker
+            .as_ref()
+            .map_or(0, |c| c.findings().len())
+            .saturating_sub(findings_before) as u64;
         Ok(events)
     }
 
@@ -1055,8 +1187,7 @@ impl ServeRuntime {
             if !changed {
                 continue; // duplicate onset: already faulted, nothing new
             }
-            self.faults_injected += 1;
-            self.per_chip[chip].fault_onsets += 1;
+            self.temporal.emit(TraceEvent::FaultOnset { tick, chip });
             events.fault_onsets += 1;
             let words = digest_words.entry(chip).or_default();
             words.push(1);
@@ -1066,8 +1197,13 @@ impl ServeRuntime {
             }
             for vm in FaultDetector::affected_tenants(self.cluster.chip(chip), &ev.kind) {
                 let id = ClusterVmId { chip, vm };
-                if self.live.contains_key(&id) {
-                    self.pending_recovery.entry(id).or_insert(tick);
+                if self.live.contains_key(&id) && !self.pending_recovery.contains_key(&id) {
+                    self.pending_recovery.insert(id, tick);
+                    self.temporal.emit(TraceEvent::RecoveryDetected {
+                        tick,
+                        chip,
+                        vm: vm.0,
+                    });
                 }
             }
         }
@@ -1102,8 +1238,7 @@ impl ServeRuntime {
             if !changed {
                 continue;
             }
-            self.faults_repaired += 1;
-            self.per_chip[chip].fault_repairs += 1;
+            self.temporal.emit(TraceEvent::FaultRepair { tick, chip });
             events.fault_repairs += 1;
             let words = digest_words.entry(chip).or_default();
             words.push(2);
@@ -1131,6 +1266,11 @@ impl ServeRuntime {
             .collect();
         for id in swept {
             self.pending_recovery.insert(id, tick);
+            self.temporal.emit(TraceEvent::RecoveryDetected {
+                tick,
+                chip: id.chip,
+                vm: id.vm.0,
+            });
         }
 
         // One recovery attempt per pending tenant, in ClusterVmId order.
@@ -1150,8 +1290,13 @@ impl ServeRuntime {
             // Fault repaired under the tenant: self-healed in place.
             if !FaultDetector::tenant_affected(self.cluster.chip(id.chip), id.vm) {
                 self.pending_recovery.remove(&id);
-                self.recoveries_self_healed += 1;
-                self.book_mttr(dt);
+                self.temporal.emit(TraceEvent::Recovered {
+                    tick,
+                    chip: id.chip,
+                    vm: id.vm.0,
+                    kind: RecoveryKind::SelfHealed,
+                    onset_tick: since,
+                });
                 digest_words
                     .entry(words_key)
                     .or_default()
@@ -1175,17 +1320,28 @@ impl ServeRuntime {
                 self.machines[id.chip]
                     .migrate_tenant(tenant, cost.paused_cycles)
                     .map_err(vnpu::VnpuError::Sim)?;
-                self.recovery_reconfig = self.recovery_reconfig.plus(cost);
+                // Paid even when the remap fails to escape a link fault
+                // — TEMP-COST conserves *paid* costs, so the emission is
+                // tied to the commit, not to the success check below.
+                self.temporal.emit(TraceEvent::RecoveryPaid {
+                    tick,
+                    chip: id.chip,
+                    cost,
+                });
                 remap_cost = Some(cost);
             }
             if let Some(cost) = remap_cost
                 .filter(|_| !FaultDetector::tenant_affected(self.cluster.chip(id.chip), id.vm))
             {
                 self.pending_recovery.remove(&id);
-                self.recoveries_remapped += 1;
-                self.per_chip[id.chip].recoveries_remapped += 1;
+                self.temporal.emit(TraceEvent::Recovered {
+                    tick,
+                    chip: id.chip,
+                    vm: id.vm.0,
+                    kind: RecoveryKind::Remapped,
+                    onset_tick: since,
+                });
                 events.recoveries_remapped += 1;
-                self.book_mttr(dt);
                 digest_words.entry(words_key).or_default().extend([
                     4,
                     u64::from(id.vm.0),
@@ -1223,11 +1379,21 @@ impl ServeRuntime {
                     },
                 );
                 self.pending_recovery.remove(&id);
-                self.recoveries_replaced += 1;
-                self.per_chip[id.chip].recoveries_replaced += 1;
-                self.recovery_reconfig = self.recovery_reconfig.plus(cost);
+                self.temporal.emit(TraceEvent::RecoveryPaid {
+                    tick,
+                    chip: id.chip,
+                    cost,
+                });
+                // Booked against the *old* identity — the outage being
+                // resolved is the one detected on the source chip.
+                self.temporal.emit(TraceEvent::Recovered {
+                    tick,
+                    chip: id.chip,
+                    vm: id.vm.0,
+                    kind: RecoveryKind::Replaced,
+                    onset_tick: since,
+                });
                 events.recoveries_replaced += 1;
-                self.book_mttr(dt);
                 digest_words.entry(words_key).or_default().extend([
                     5,
                     u64::from(id.vm.0),
@@ -1241,9 +1407,13 @@ impl ServeRuntime {
             // (c) Nowhere to go: lost after the deadline, else pending.
             if dt >= self.cfg.recovery.max_recovery_ticks {
                 self.pending_recovery.remove(&id);
-                self.retire(id)?;
-                self.tenants_lost += 1;
-                self.per_chip[id.chip].tenants_lost += 1;
+                self.temporal.emit(TraceEvent::TenantLost {
+                    tick,
+                    chip: id.chip,
+                    vm: id.vm.0,
+                    onset_tick: since,
+                });
+                self.retire(id, tick)?;
                 events.tenants_lost += 1;
                 digest_words
                     .entry(words_key)
@@ -1261,11 +1431,15 @@ impl ServeRuntime {
         // Degraded-mode accounting: a chip with any active fault at the
         // end of the phase serves this tick at the degraded router
         // penalty.
-        for (chip, machine) in self.machines.iter().enumerate() {
-            if machine.has_active_faults() {
-                self.per_chip[chip].degraded_ticks += 1;
-                self.degraded_ticks += 1;
-            }
+        let degraded: Vec<usize> = self
+            .machines
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.has_active_faults())
+            .map(|(chip, _)| chip)
+            .collect();
+        for chip in degraded {
+            self.temporal.emit(TraceEvent::Degraded { tick, chip });
         }
 
         if let Some(chain) = self.digests.as_mut() {
@@ -1285,18 +1459,50 @@ impl ServeRuntime {
         Ok(())
     }
 
-    /// Books one recovered tenant's time-to-recover (ticks since its
-    /// outage was detected; 0 = recovered the same tick).
-    fn book_mttr(&mut self, dt: u64) {
-        self.mttr_total_ticks += dt;
-        self.mttr_max_ticks = self.mttr_max_ticks.max(dt);
-    }
-
     /// Every finding the post-tick fleet audits have reported so far, in
     /// tick order (empty unless [`ServeConfig::audit`] is on — and empty
     /// on a healthy fleet even then).
     pub fn audit_findings(&self) -> &[AuditFinding] {
         &self.audit_findings
+    }
+
+    /// Every `TEMP-*` finding the streaming temporal checker has
+    /// reported so far (empty unless [`ServeConfig::temporal`] is on —
+    /// and empty on a healthy run even then). The deadline-bound
+    /// obligations ([`vnpu_temporal::TempRule::Starvation`],
+    /// [`vnpu_temporal::TempRule::FaultDeadline`]) are only fully
+    /// settled after [`ServeRuntime::drain`] finalizes the checker.
+    pub fn temporal_findings(&self) -> &[TemporalFinding] {
+        self.temporal.checker.as_ref().map_or(&[], |c| c.findings())
+    }
+
+    /// The recorded event stream (`None` unless
+    /// [`ServeConfig::record_trace`] is on). Feed it to
+    /// [`vnpu_temporal::check_trace`] for offline verification, or
+    /// corrupt a copy to prove the checker catches the corruption.
+    pub fn trace(&self) -> Option<&[TraceEvent]> {
+        self.temporal.trace.as_deref()
+    }
+
+    /// The recorded event stream with a final
+    /// [`TraceEvent::ReportClaim`] appended, restating the run counters
+    /// the fold accumulated. An offline `TEMP-COST` pass then checks
+    /// the claim against the per-event costs — the conservation law the
+    /// report's totals must satisfy. `None` unless
+    /// [`ServeConfig::record_trace`] is on.
+    pub fn trace_with_claim(&self) -> Option<Vec<TraceEvent>> {
+        let trace = self.temporal.trace.as_ref()?;
+        let fold = &self.temporal.fold;
+        let mut out = trace.clone();
+        out.push(TraceEvent::ReportClaim {
+            tick: self.tick,
+            migrations: fold.migrations,
+            drain_migrations: fold.drain_migrations,
+            reconfig: fold.reconfig,
+            drain_reconfig: fold.drain_reconfig,
+            recovery_reconfig: fold.recovery_reconfig,
+        });
+        Some(out)
     }
 
     /// Retires every remaining tenant so leak accounting is meaningful
@@ -1307,10 +1513,47 @@ impl ServeRuntime {
     ///
     /// Propagates teardown failures.
     pub fn drain(&mut self) -> Result<u64, vnpu::VnpuError> {
+        let tick = self.tick;
         let remaining: Vec<ClusterVmId> = self.live.keys().copied().collect();
         let count = remaining.len() as u64;
         for id in remaining {
-            self.retire(id)?;
+            self.retire(id, tick)?;
+        }
+        if self.temporal.wants_detail() {
+            // End-of-run quiescence probe: after the final drain a
+            // correct run holds no tenants, no occupied cores or HBM,
+            // and (absent permanent faults) one free region per chip —
+            // TEMP-LEAK's obligations.
+            let mut leaked_cores = 0u64;
+            let mut leaked_hbm_bytes = 0u64;
+            let mut faulted_cores = 0u64;
+            for hv in self.cluster.chips() {
+                leaked_cores += u64::from(
+                    hv.config().core_count() - hv.free_core_count() - hv.masked_core_count(),
+                );
+                leaked_hbm_bytes += hv.hbm_total_bytes() - hv.hbm_free_bytes();
+                faulted_cores += u64::from(hv.faulted_core_count());
+            }
+            let free_components: u64 = self
+                .cluster
+                .tick_snapshots()
+                .iter()
+                .map(|s| s.free_components as u64)
+                .sum();
+            let live_vnpus = self.live.len() as u64;
+            let chips = self.machines.len() as u64;
+            self.temporal.emit(TraceEvent::Quiesced {
+                tick,
+                live_vnpus,
+                leaked_cores,
+                leaked_hbm_bytes,
+                faulted_cores,
+                free_components,
+                chips,
+            });
+        }
+        if let Some(checker) = self.temporal.checker.as_mut() {
+            checker.finish();
         }
         Ok(count)
     }
@@ -1322,12 +1565,16 @@ impl ServeRuntime {
     pub fn report(&self) -> ServeReport {
         let mut sorted = self.placement_cycles.clone();
         sorted.sort_unstable();
+        // Every run counter below is read off the event fold — the same
+        // stream the temporal checker consumes — so the report cannot
+        // claim numbers the events don't support.
+        let fold = &self.temporal.fold;
         let per_chip: Vec<ChipReport> = self
             .cluster
             .chips()
             .enumerate()
             .map(|(i, hv)| {
-                let counters = &self.per_chip[i];
+                let counters = &fold.per_chip[i];
                 ChipReport {
                     chip: i,
                     mesh_width: hv.config().mesh_width,
@@ -1358,7 +1605,7 @@ impl ServeRuntime {
                         - hv.free_core_count()
                         - hv.masked_core_count(),
                     leaked_hbm_bytes: hv.hbm_total_bytes() - hv.hbm_free_bytes(),
-                    exec_nanos: counters.exec_nanos,
+                    exec_nanos: self.exec_nanos[i],
                 }
             })
             .collect();
@@ -1366,38 +1613,43 @@ impl ServeRuntime {
             seed: self.cfg.traffic.seed,
             epochs: self.tick,
             submitted: self.generator.generated(),
-            accepted: self.accepted,
-            rejected: self.rejected,
+            accepted: fold.accepted,
+            rejected: fold.rejected,
             queued_at_end: self.cluster.pending_count() as u64,
-            departed: self.departed,
+            departed: fold.departed,
             p50_placement_cycles: percentile(&sorted, 50),
             p99_placement_cycles: percentile(&sorted, 99),
             max_placement_cycles: sorted.last().copied().unwrap_or(0),
-            migrations: self.migrations,
-            drain_migrations: self.drain_migrations,
-            drain_reconfig: self.drain_reconfig,
-            reconfig: self.reconfig,
-            frag_windows_recovered: self.frag_windows_recovered,
-            hbm_frag_recovered: self.hbm_frag_recovered,
+            migrations: fold.migrations,
+            drain_migrations: fold.drain_migrations,
+            drain_reconfig: fold.drain_reconfig,
+            reconfig: fold.reconfig,
+            frag_windows_recovered: fold.frag_windows_recovered,
+            hbm_frag_recovered: fold.hbm_frag_recovered,
             cache: self.cluster.cache_stats(),
             fragmentation: self.fragmentation.clone(),
-            executed_epochs: per_chip.iter().map(|c| c.executed_epochs).sum(),
-            machine_cycles: per_chip.iter().map(|c| c.machine_cycles).sum(),
+            executed_epochs: fold.executed_epochs,
+            machine_cycles: fold.machine_cycles,
             controller_cycles: self.controller_cycles,
             leaked_cores: per_chip.iter().map(|c| c.leaked_cores).sum(),
             leaked_hbm_bytes: per_chip.iter().map(|c| c.leaked_hbm_bytes).sum(),
             audit_findings: self.audit_findings.len() as u64,
-            faults_injected: self.faults_injected,
-            faults_repaired: self.faults_repaired,
-            recoveries_remapped: self.recoveries_remapped,
-            recoveries_replaced: self.recoveries_replaced,
-            recoveries_self_healed: self.recoveries_self_healed,
-            tenants_lost: self.tenants_lost,
+            temporal_findings: self
+                .temporal
+                .checker
+                .as_ref()
+                .map_or(0, |c| c.findings().len() as u64),
+            faults_injected: fold.faults_injected,
+            faults_repaired: fold.faults_repaired,
+            recoveries_remapped: fold.recoveries_remapped,
+            recoveries_replaced: fold.recoveries_replaced,
+            recoveries_self_healed: fold.recoveries_self_healed,
+            tenants_lost: fold.tenants_lost,
             recoveries_pending: self.pending_recovery.len() as u64,
-            recovery_reconfig: self.recovery_reconfig,
-            degraded_ticks: self.degraded_ticks,
-            mttr_total_ticks: self.mttr_total_ticks,
-            mttr_max_ticks: self.mttr_max_ticks,
+            recovery_reconfig: fold.recovery_reconfig,
+            degraded_ticks: fold.degraded_ticks,
+            mttr_total_ticks: fold.mttr_total_ticks,
+            mttr_max_ticks: fold.mttr_max_ticks,
             workers: self.cfg.workers,
             recovery_nanos: self.phase_nanos.recovery,
             admission_nanos: self.phase_nanos.admission,
@@ -1408,14 +1660,17 @@ impl ServeRuntime {
         }
     }
 
-    fn retire(&mut self, id: ClusterVmId) -> Result<(), vnpu::VnpuError> {
+    fn retire(&mut self, id: ClusterVmId, tick: u64) -> Result<(), vnpu::VnpuError> {
         let live = self.live.remove(&id).expect("retire() only on live vms");
         self.cluster.destroy(id)?;
         self.machines[id.chip]
             .remove_tenant(live.tenant)
             .map_err(vnpu::VnpuError::Sim)?;
-        self.departed += 1;
-        self.per_chip[id.chip].departed += 1;
+        self.temporal.emit(TraceEvent::Departed {
+            tick,
+            chip: id.chip,
+            vm: id.vm.0,
+        });
         Ok(())
     }
 }
@@ -1856,6 +2111,68 @@ mod tests {
             plain.to_json(usize::MAX),
             "auditing a healthy fleet must not perturb the run"
         );
+    }
+
+    #[test]
+    fn temporal_run_is_clean_and_byte_identical_to_unchecked() {
+        use vnpu::plan::GreedyDefrag;
+        // Heavy churn with defrag on, temporally checked: the streaming
+        // TEMP-* checker must find nothing, and because it only observes
+        // the event stream the report must be byte-identical to the
+        // unchecked run.
+        let mut cfg = quick_cfg(13);
+        cfg.defrag = Some(Arc::new(GreedyDefrag::default()));
+        let plain = ServeRuntime::new(cfg.clone()).run().unwrap();
+        cfg.temporal = true;
+        cfg.record_trace = true;
+        let mut rt = ServeRuntime::new(cfg.clone());
+        for _ in 0..80 {
+            let ev = rt.step().unwrap();
+            assert_eq!(ev.temporal_findings, 0, "tick {} dirty", ev.tick);
+        }
+        rt.drain().unwrap();
+        assert!(rt.temporal_findings().is_empty(), "online checker clean");
+        let checked = rt.report();
+        assert_eq!(checked, plain);
+        assert_eq!(
+            checked.to_json(usize::MAX),
+            plain.to_json(usize::MAX),
+            "checking a healthy run must not perturb it"
+        );
+        // The recorded stream replays clean offline too — including the
+        // conservation pass against the report's claimed totals.
+        let trace = rt.trace_with_claim().expect("record_trace is on");
+        let offline = vnpu_temporal::check_trace(&trace, cfg.temporal_checker_config());
+        assert!(offline.is_empty(), "offline replay clean: {offline:?}");
+    }
+
+    #[test]
+    fn audit_detail_is_opt_in_and_mirrors_the_count() {
+        let mut cfg = quick_cfg(17);
+        cfg.audit = true;
+        let mut rt = ServeRuntime::new(cfg.clone());
+        for _ in 0..40 {
+            let ev = rt.step().unwrap();
+            assert!(
+                ev.audit_detail.is_empty(),
+                "detail stays empty unless audit_detail is on"
+            );
+        }
+        rt.drain().unwrap();
+        let plain = rt.report();
+        cfg.audit_detail = true;
+        let mut rt = ServeRuntime::new(cfg);
+        for _ in 0..40 {
+            let ev = rt.step().unwrap();
+            assert_eq!(
+                ev.audit_detail.len() as u64,
+                ev.audit_findings,
+                "detail mirrors the tick's finding count"
+            );
+        }
+        rt.drain().unwrap();
+        // Opting into per-tick detail must not perturb the run.
+        assert_eq!(rt.report(), plain);
     }
 
     #[test]

@@ -71,6 +71,30 @@ cargo bench --bench drain_maintenance -- --quick
 echo "== cargo bench --bench fault_recovery -- --quick =="
 cargo bench --bench fault_recovery -- --quick
 
+echo "== temporal verification gate =="
+# Mutation suite: every seeded trace corruption (dropped admission,
+# stalled drain, overdue recovery, inflated cost, broken cache
+# conservation, leaked quiescence, oversized hint) must be flagged
+# under exactly its TEMP-* rule while the pristine scenario traces
+# check clean online and offline at every worker count.
+cargo test --test temporal_mutations -q
+# Dedicated gate bench: churn/drain/fault with the online checker at
+# workers 1/2/4/8 — zero findings, reports byte-identical to the
+# checker-off baseline, offline replay agrees.
+cargo bench --bench temporal_check -- --quick
+# Streaming passes of the two dynamic headline scenarios: with the
+# checker on, the scenarios assert zero TEMP-* findings and the report
+# JSONs must be byte-identical to the baseline passes above.
+for scenario in drain_maintenance fault_recovery; do
+  report="target/vnpu-bench/${scenario}.report.quick.json"
+  cp "$report" "${report}.base"
+  VNPU_TEMPORAL=1 cargo bench --bench "$scenario" -- --quick >/dev/null
+  diff "${report}.base" "$report" \
+    || { echo "verify: FAIL (${scenario} report perturbed by the temporal checker)"; exit 1; }
+  rm -f "${report}.base"
+done
+echo "temporal gate: mutants flagged, scenarios clean and byte-identical under the checker"
+
 echo "== cargo run --release --example cluster_serving =="
 cargo run --release --example cluster_serving
 

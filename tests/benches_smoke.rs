@@ -120,6 +120,11 @@ fn smoke_parallel_tick() {
     figs::parallel_tick::run(true);
 }
 
+#[test]
+fn smoke_temporal_check() {
+    figs::temporal_check::run(true);
+}
+
 /// The micro-benchmark harness itself, in quick mode: the same bench
 /// functions `benches/micro_criterion.rs` registers must measure and
 /// record without panicking.
